@@ -1,0 +1,75 @@
+// Ablation: column compression. Section 4.1 of the paper argues that
+// "column-stores with compression (e.g., RLE or delta-compression) can
+// achieve the same effect [as B+tree key-prefix compression] on the sorted
+// property column", and section 4.3 that the column triple-store's cold
+// overhead of "reading the triples table into memory ... can be alleviated
+// using a column-store that supports table compression". This ablation
+// measures exactly that: cold runs with raw vs auto-compressed columns on
+// both column-store schemes.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_support/harness.h"
+#include "colstore/compression.h"
+#include "common/table_printer.h"
+#include "core/col_backends.h"
+
+int main() {
+  using swan::TablePrinter;
+  using swan::colstore::ColumnCodec;
+  using swan::core::QueryId;
+  const auto config = swan::bench::DefaultConfig();
+  swan::bench::PrintHeader("Ablation: column compression (cold runs)",
+                           "sections 4.1 / 4.3 compression discussion",
+                           config);
+
+  const auto barton = swan::bench_support::GenerateBarton(config);
+  const auto& data = barton.dataset;
+  const auto ctx = swan::bench_support::MakeBartonContext(data, 28);
+  const int reps = swan::bench::Repetitions();
+
+  struct Variant {
+    const char* label;
+    std::unique_ptr<swan::core::Backend> backend;
+  };
+  std::vector<Variant> variants;
+  variants.push_back(
+      {"triple PSO, raw",
+       std::make_unique<swan::core::ColTripleBackend>(
+           data, swan::rdf::TripleOrder::kPSO)});
+  variants.push_back(
+      {"triple PSO, compressed",
+       std::make_unique<swan::core::ColTripleBackend>(
+           data, swan::rdf::TripleOrder::kPSO, swan::storage::DiskConfig{},
+           4096, ColumnCodec::kAuto)});
+  variants.push_back({"vert. SO, raw",
+                      std::make_unique<swan::core::ColVerticalBackend>(data)});
+  variants.push_back(
+      {"vert. SO, compressed",
+       std::make_unique<swan::core::ColVerticalBackend>(
+           data, swan::storage::DiskConfig{}, 4096, ColumnCodec::kAuto)});
+
+  TablePrinter table({"variant", "disk MB", "q1 cold (s)", "q2 cold (s)",
+                      "q2* cold (s)", "q8 cold (s)"});
+  for (auto& variant : variants) {
+    std::vector<std::string> cells = {
+        variant.label,
+        TablePrinter::Fixed(variant.backend->disk_bytes() / 1e6, 2)};
+    for (QueryId id :
+         {QueryId::kQ1, QueryId::kQ2, QueryId::kQ2Star, QueryId::kQ8}) {
+      const auto m = swan::bench_support::MeasureCold(variant.backend.get(),
+                                                      id, ctx, reps);
+      cells.push_back(TablePrinter::Fixed(m.real_seconds, 4));
+    }
+    table.AddRow(cells);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "expected shape: compression shrinks the PSO-sorted triple table "
+      "dramatically\n(the sorted property column RLE-compresses to ~nothing) "
+      "and narrows or closes\nthe cold-run gap between the triple-store and "
+      "the vertical scheme.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+# Benchmark binaries. Included from the top-level CMakeLists (rather than
+# add_subdirectory) so that build/bench/ contains only the executables and
+# `for b in build/bench/*; do $b; done` runs the full suite cleanly.
+
+function(swan_add_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc ${ARGN})
+  target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR}/bench)
+  target_link_libraries(${name} PRIVATE
+    swan_bench_support swan_core swan_cstore swan_colstore swan_rowstore
+    swan_rdf swan_dict swan_storage swan_common)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+swan_add_bench(table1_dataset_stats)
+swan_add_bench(figure1_cdf)
+swan_add_bench(table2_query_coverage)
+swan_add_bench(section21_distribution_detail)
+swan_add_bench(table4_cstore_repetition)
+swan_add_bench(table5_query_footprint)
+swan_add_bench(figure5_io_history)
+swan_add_bench(table6_cold_runs ${CMAKE_SOURCE_DIR}/bench/grid_common.cc)
+swan_add_bench(table7_hot_runs ${CMAKE_SOURCE_DIR}/bench/grid_common.cc)
+swan_add_bench(figure6_property_sweep)
+swan_add_bench(figure7_scaleup)
+swan_add_bench(ablation_buffer_pool)
+swan_add_bench(ablation_compression)
+swan_add_bench(ablation_updates)
+swan_add_bench(beyond_property_table)
+swan_add_bench(scale_sensitivity)
+swan_add_bench(ablation_q8_join)
+
+swan_add_bench(micro_colstore_ops)
+target_link_libraries(micro_colstore_ops PRIVATE benchmark::benchmark)
+swan_add_bench(micro_bplus_tree)
+target_link_libraries(micro_bplus_tree PRIVATE benchmark::benchmark)
+swan_add_bench(micro_compression)
+target_link_libraries(micro_compression PRIVATE benchmark::benchmark)
+swan_add_bench(micro_sparql)
+target_link_libraries(micro_sparql PRIVATE benchmark::benchmark swan_sparql)

@@ -1,0 +1,36 @@
+#ifndef SWANDB_BENCH_BENCH_COMMON_H_
+#define SWANDB_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "bench_support/barton_generator.h"
+#include "bench_support/harness.h"
+
+namespace swan::bench {
+
+// Default benchmark scale: ~1/100 of the Barton dump. Override with
+// SWAN_TRIPLES; SWAN_SEED and SWAN_REPS are also honored.
+inline bench_support::BartonConfig DefaultConfig() {
+  bench_support::BartonConfig config;
+  config.target_triples = bench_support::EnvU64("SWAN_TRIPLES", 400000);
+  config.seed = bench_support::EnvU64("SWAN_SEED", 42);
+  return config;
+}
+
+inline int Repetitions() {
+  return static_cast<int>(bench_support::EnvU64("SWAN_REPS", 3));
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper_ref,
+                        const bench_support::BartonConfig& config) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("dataset: Barton-like, %llu triples (seed %llu)\n\n",
+              static_cast<unsigned long long>(config.target_triples),
+              static_cast<unsigned long long>(config.seed));
+}
+
+}  // namespace swan::bench
+
+#endif  // SWANDB_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,89 @@
+// Reproduces Figure 5: the I/O read history (cumulative MB read over
+// time) of the I/O-dominant queries q3 and q5 during a cold run of the
+// C-Store-style engine, on machines A (100 MB/s) and B (390 MB/s).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_support/harness.h"
+#include "common/table_printer.h"
+#include "core/cstore_backend.h"
+#include "cstore/cstore_engine.h"
+
+namespace {
+
+using swan::core::QueryId;
+using swan::storage::IoTracePoint;
+
+std::vector<IoTracePoint> TraceColdRun(const swan::rdf::Dataset& data,
+                                       const swan::core::QueryContext& ctx,
+                                       QueryId id, double bandwidth) {
+  swan::core::CStoreBackend backend(
+      data, ctx.interesting_properties(),
+      swan::cstore::CStoreEngine::RecommendedDiskConfig(bandwidth));
+  backend.DropCaches();
+  backend.disk()->ResetStats();
+  backend.disk()->StartTrace();
+  backend.Run(id, ctx);
+  return backend.disk()->StopTrace();
+}
+
+double BytesAtTime(const std::vector<IoTracePoint>& trace, double t) {
+  double bytes = 0;
+  for (const auto& point : trace) {
+    if (point.virtual_seconds > t) break;
+    bytes = static_cast<double>(point.cumulative_bytes);
+  }
+  return bytes;
+}
+
+void PrintQuery(const swan::rdf::Dataset& data,
+                const swan::core::QueryContext& ctx, QueryId id) {
+  const auto trace_a = TraceColdRun(data, ctx, id, 100.0);
+  const auto trace_b = TraceColdRun(data, ctx, id, 390.0);
+  const double end_a = trace_a.empty() ? 0 : trace_a.back().virtual_seconds;
+  const double end_b = trace_b.empty() ? 0 : trace_b.back().virtual_seconds;
+  const double end = std::max(end_a, end_b);
+
+  std::printf("--- Query %s ---\n", ToString(id).c_str());
+  swan::TablePrinter table(
+      {"time (s)", "machine A read (MB)", "machine B read (MB)"});
+  const int steps = 12;
+  for (int i = 0; i <= steps; ++i) {
+    const double t = end * i / steps;
+    table.AddRow({swan::TablePrinter::Fixed(t, 3),
+                  swan::TablePrinter::Fixed(BytesAtTime(trace_a, t) / 1e6, 2),
+                  swan::TablePrinter::Fixed(BytesAtTime(trace_b, t) / 1e6, 2)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("total: A %.2f MB in %.3fs (%.0f MB/s effective), "
+              "B %.2f MB in %.3fs (%.0f MB/s effective)\n\n",
+              trace_a.empty() ? 0 : trace_a.back().cumulative_bytes / 1e6,
+              end_a,
+              end_a > 0 ? trace_a.back().cumulative_bytes / 1e6 / end_a : 0,
+              trace_b.empty() ? 0 : trace_b.back().cumulative_bytes / 1e6,
+              end_b,
+              end_b > 0 ? trace_b.back().cumulative_bytes / 1e6 / end_b : 0);
+}
+
+}  // namespace
+
+int main() {
+  const auto config = swan::bench::DefaultConfig();
+  swan::bench::PrintHeader("Figure 5: I/O read history for q3 and q5",
+                           "Figure 5 of Sidirourgos et al., VLDB 2008",
+                           config);
+  const auto barton = swan::bench_support::GenerateBarton(config);
+  const auto ctx = swan::bench_support::MakeBartonContext(barton.dataset, 28);
+
+  PrintQuery(barton.dataset, ctx, QueryId::kQ3);
+  PrintQuery(barton.dataset, ctx, QueryId::kQ5);
+
+  std::printf(
+      "expected shape (paper Figure 5): both machines' curves climb at a "
+      "small\nfraction of their nominal bandwidth, and machine B finishes "
+      "only slightly\nearlier than machine A despite ~4x the raw "
+      "bandwidth.\n");
+  return 0;
+}

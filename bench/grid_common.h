@@ -1,0 +1,17 @@
+#ifndef SWANDB_BENCH_GRID_COMMON_H_
+#define SWANDB_BENCH_GRID_COMMON_H_
+
+#include <string>
+
+namespace swan::bench {
+
+// Shared driver for Tables 6 (cold) and 7 (hot): runs all 12 queries over
+// the full scheme × engine grid — DBX triple SPO / triple PSO / vert. SO,
+// MonetDB triple SPO / triple PSO / vert. SO, C-Store vert. SO — verifying
+// cross-backend result equality first, and prints the paper-style table
+// with real/user rows, G, G* and G*/G columns.
+void RunGrid(bool hot, const std::string& title);
+
+}  // namespace swan::bench
+
+#endif  // SWANDB_BENCH_GRID_COMMON_H_

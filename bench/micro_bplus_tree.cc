@@ -1,0 +1,83 @@
+// google-benchmark microbenchmarks for the row store's B+tree.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "rowstore/bplus_tree.h"
+
+namespace {
+
+using Tree = swan::rowstore::BPlusTree<3>;
+
+std::vector<Tree::Key> SortedKeys(size_t n) {
+  std::vector<Tree::Key> keys(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = {static_cast<uint64_t>(i), i * 2, i * 3};
+  }
+  return keys;
+}
+
+void BM_BulkLoad(benchmark::State& state) {
+  const auto keys = SortedKeys(state.range(0));
+  for (auto _ : state) {
+    swan::storage::SimulatedDisk disk;
+    swan::storage::BufferPool pool(&disk, 1 << 15);
+    Tree tree(&pool, &disk);
+    tree.BulkLoad(keys);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BulkLoad)->Range(1 << 12, 1 << 18);
+
+void BM_PointLookupHot(benchmark::State& state) {
+  swan::storage::SimulatedDisk disk;
+  swan::storage::BufferPool pool(&disk, 1 << 15);
+  Tree tree(&pool, &disk);
+  const size_t n = state.range(0);
+  tree.BulkLoad(SortedKeys(n));
+  swan::Rng rng(9);
+  for (auto _ : state) {
+    const uint64_t i = rng.Uniform(n);
+    benchmark::DoNotOptimize(tree.Contains({i, i * 2, i * 3}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PointLookupHot)->Range(1 << 12, 1 << 18);
+
+void BM_FullScanHot(benchmark::State& state) {
+  swan::storage::SimulatedDisk disk;
+  swan::storage::BufferPool pool(&disk, 1 << 15);
+  Tree tree(&pool, &disk);
+  tree.BulkLoad(SortedKeys(state.range(0)));
+  for (auto _ : state) {
+    uint64_t count = 0;
+    for (auto it = tree.Begin(); it.Valid(); it.Next()) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FullScanHot)->Range(1 << 12, 1 << 18);
+
+void BM_InsertRandom(benchmark::State& state) {
+  swan::Rng rng(11);
+  for (auto _ : state) {
+    state.PauseTiming();
+    swan::storage::SimulatedDisk disk;
+    swan::storage::BufferPool pool(&disk, 1 << 15);
+    Tree tree(&pool, &disk);
+    tree.BulkLoad({});
+    state.ResumeTiming();
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      tree.Insert({rng.Next(), rng.Next(), 0});
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InsertRandom)->Range(1 << 10, 1 << 14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// google-benchmark microbenchmarks for the column-store operator kernels.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "colstore/ops.h"
+#include "common/random.h"
+
+namespace {
+
+using swan::Rng;
+using swan::colstore::CountByKeyDense;
+using swan::colstore::CountByPair;
+using swan::colstore::MergeCountMatches;
+using swan::colstore::MergeJoin;
+using swan::colstore::SelectEq;
+
+std::vector<uint64_t> RandomColumn(size_t n, uint64_t universe,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> out(n);
+  for (auto& v : out) v = rng.Uniform(universe);
+  return out;
+}
+
+void BM_SelectEq(benchmark::State& state) {
+  const auto col = RandomColumn(state.range(0), 100, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectEq(col, 7));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SelectEq)->Range(1 << 10, 1 << 20);
+
+void BM_CountByKeyDense(benchmark::State& state) {
+  const auto col = RandomColumn(state.range(0), 1 << 16, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountByKeyDense(col, 1 << 16));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CountByKeyDense)->Range(1 << 10, 1 << 20);
+
+void BM_CountByPair(benchmark::State& state) {
+  const auto a = RandomColumn(state.range(0), 256, 3);
+  const auto b = RandomColumn(state.range(0), 4096, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountByPair(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CountByPair)->Range(1 << 10, 1 << 18);
+
+void BM_MergeJoin(benchmark::State& state) {
+  auto left = RandomColumn(state.range(0), state.range(0) * 4, 5);
+  auto right = RandomColumn(state.range(0), state.range(0) * 4, 6);
+  std::sort(left.begin(), left.end());
+  std::sort(right.begin(), right.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MergeJoin(left, right));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_MergeJoin)->Range(1 << 10, 1 << 18);
+
+void BM_MergeCountMatches(benchmark::State& state) {
+  auto values = RandomColumn(state.range(0), state.range(0) * 2, 7);
+  auto keys = RandomColumn(state.range(0) / 4, state.range(0) * 2, 8);
+  std::sort(values.begin(), values.end());
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MergeCountMatches(values, keys));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MergeCountMatches)->Range(1 << 10, 1 << 18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

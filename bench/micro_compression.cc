@@ -1,0 +1,102 @@
+// google-benchmark microbenchmarks for the column codecs: encode/decode
+// throughput and effectiveness on the column shapes that occur in the RDF
+// schemes (sorted property runs, sorted subject ids, unsorted objects).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "colstore/compression.h"
+#include "common/random.h"
+
+namespace {
+
+using swan::Rng;
+using swan::colstore::ColumnCodec;
+using swan::colstore::CompressU64;
+using swan::colstore::DecompressU64;
+
+std::vector<uint64_t> PsoPropertyColumn(size_t n) {
+  // 222 runs, Zipf-ish lengths — the RLE-friendly sorted property column.
+  std::vector<uint64_t> out;
+  out.reserve(n);
+  for (uint64_t p = 0; p < 222 && out.size() < n; ++p) {
+    const size_t run = std::max<size_t>(1, n / (2 * (p + 1)));
+    out.insert(out.end(), std::min(run, n - out.size()), p);
+  }
+  while (out.size() < n) out.push_back(221);
+  return out;
+}
+
+std::vector<uint64_t> SortedSubjectColumn(size_t n, uint64_t universe) {
+  Rng rng(1);
+  std::vector<uint64_t> out(n);
+  for (auto& v : out) v = rng.Uniform(universe);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<uint64_t> UnsortedObjectColumn(size_t n, uint64_t universe) {
+  Rng rng(2);
+  std::vector<uint64_t> out(n);
+  for (auto& v : out) v = rng.Uniform(universe);
+  return out;
+}
+
+template <typename MakeColumn>
+void RunCompress(benchmark::State& state, ColumnCodec codec,
+                 MakeColumn make) {
+  const auto values = make(static_cast<size_t>(state.range(0)));
+  size_t encoded_size = 0;
+  for (auto _ : state) {
+    const auto encoded = CompressU64(values, codec);
+    encoded_size = encoded.size();
+    benchmark::DoNotOptimize(encoded.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["bytes_per_value"] =
+      static_cast<double>(encoded_size) / static_cast<double>(values.size());
+}
+
+void BM_CompressRle_PropertyColumn(benchmark::State& state) {
+  RunCompress(state, ColumnCodec::kRle, PsoPropertyColumn);
+}
+BENCHMARK(BM_CompressRle_PropertyColumn)->Range(1 << 12, 1 << 18);
+
+void BM_CompressDelta_SubjectColumn(benchmark::State& state) {
+  RunCompress(state, ColumnCodec::kDelta,
+              [](size_t n) { return SortedSubjectColumn(n, 1 << 22); });
+}
+BENCHMARK(BM_CompressDelta_SubjectColumn)->Range(1 << 12, 1 << 18);
+
+void BM_CompressAuto_ObjectColumn(benchmark::State& state) {
+  RunCompress(state, ColumnCodec::kAuto,
+              [](size_t n) { return UnsortedObjectColumn(n, 1 << 20); });
+}
+BENCHMARK(BM_CompressAuto_ObjectColumn)->Range(1 << 12, 1 << 16);
+
+void BM_DecompressRle(benchmark::State& state) {
+  const auto values = PsoPropertyColumn(static_cast<size_t>(state.range(0)));
+  const auto encoded = CompressU64(values, ColumnCodec::kRle);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecompressU64(encoded, values.size()));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecompressRle)->Range(1 << 12, 1 << 18);
+
+void BM_DecompressDelta(benchmark::State& state) {
+  const auto values =
+      SortedSubjectColumn(static_cast<size_t>(state.range(0)), 1 << 22);
+  const auto encoded = CompressU64(values, ColumnCodec::kDelta);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecompressU64(encoded, values.size()));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecompressDelta)->Range(1 << 12, 1 << 18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

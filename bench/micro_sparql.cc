@@ -1,0 +1,48 @@
+// google-benchmark microbenchmarks for the SPARQL front-end: parse
+// throughput and end-to-end execution over a small store.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_support/barton_generator.h"
+#include "core/store.h"
+#include "sparql/sparql.h"
+
+namespace {
+
+const char* kJoinQuery =
+    "PREFIX m: <info:marcorg/>\n"
+    "SELECT DISTINCT ?record ?kind\n"
+    "WHERE {\n"
+    "  ?record <origin> m:DLC .\n"
+    "  ?record <records> ?thing .\n"
+    "  ?thing <type> ?kind .\n"
+    "}";
+
+void BM_SparqlParse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto parsed = swan::sparql::Parse(kJoinQuery);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SparqlParse);
+
+void BM_SparqlExecute(benchmark::State& state) {
+  swan::bench_support::BartonConfig config;
+  config.target_triples = static_cast<uint64_t>(state.range(0));
+  const auto barton = swan::bench_support::GenerateBarton(config);
+  auto store = swan::core::RdfStore::Open(barton.dataset);
+  for (auto _ : state) {
+    auto result =
+        swan::sparql::Execute(store->backend(), barton.dataset, kJoinQuery);
+    benchmark::DoNotOptimize(result.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SparqlExecute)->Arg(10000)->Arg(50000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

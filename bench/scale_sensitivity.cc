@@ -1,0 +1,86 @@
+// Robustness check: the paper's Table 6/7 verdicts should not depend on
+// our particular 1/100 scale choice. This bench re-measures the headline
+// geometric means at three dataset sizes and reports the winner per claim.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_support/harness.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "core/col_backends.h"
+#include "core/row_backends.h"
+
+namespace {
+
+using swan::core::Backend;
+using swan::core::QueryId;
+
+struct Means {
+  double g = 0.0;       // q1..q7
+  double g_star = 0.0;  // all 12
+};
+
+Means MeasureMeans(Backend* backend, const swan::core::QueryContext& ctx,
+                   bool hot) {
+  std::vector<double> initial, all;
+  for (QueryId id : swan::core::AllQueries()) {
+    const auto m =
+        hot ? swan::bench_support::MeasureHot(backend, id, ctx, 1)
+            : swan::bench_support::MeasureCold(backend, id, ctx, 1);
+    all.push_back(m.real_seconds);
+    if (!IsStar(id) && id != QueryId::kQ8) initial.push_back(m.real_seconds);
+  }
+  return {swan::GeometricMean(initial), swan::GeometricMean(all)};
+}
+
+}  // namespace
+
+int main() {
+  using swan::TablePrinter;
+  auto config = swan::bench::DefaultConfig();
+  swan::bench::PrintHeader(
+      "Scale sensitivity of the headline verdicts",
+      "robustness check for Tables 6/7 across dataset sizes", config);
+
+  TablePrinter table({"triples", "mode", "DBX PSO G*", "DBX vert G*",
+                      "row verdict", "Monet PSO G*", "Monet vert G*",
+                      "col G* verdict"});
+  for (uint64_t scale : {100000ull, 200000ull, 400000ull}) {
+    swan::bench_support::BartonConfig barton_config = config;
+    barton_config.target_triples = scale;
+    std::printf("generating and measuring at %llu triples...\n",
+                static_cast<unsigned long long>(scale));
+    const auto barton = swan::bench_support::GenerateBarton(barton_config);
+    const auto ctx = swan::bench_support::MakeBartonContext(barton.dataset, 28);
+
+    swan::core::RowTripleBackend row_pso(
+        barton.dataset, swan::rowstore::TripleRelation::PsoConfig());
+    swan::core::RowVerticalBackend row_vert(barton.dataset);
+    swan::core::ColTripleBackend col_pso(barton.dataset,
+                                         swan::rdf::TripleOrder::kPSO);
+    swan::core::ColVerticalBackend col_vert(barton.dataset);
+
+    for (const bool hot : {false, true}) {
+      const Means rp = MeasureMeans(&row_pso, ctx, hot);
+      const Means rv = MeasureMeans(&row_vert, ctx, hot);
+      const Means cp = MeasureMeans(&col_pso, ctx, hot);
+      const Means cv = MeasureMeans(&col_vert, ctx, hot);
+      table.AddRow(
+          {TablePrinter::Int(scale), hot ? "hot" : "cold",
+           TablePrinter::Fixed(rp.g_star, 4), TablePrinter::Fixed(rv.g_star, 4),
+           rp.g_star <= rv.g_star ? "triple PSO" : "vertical",
+           TablePrinter::Fixed(cp.g_star, 4), TablePrinter::Fixed(cv.g_star, 4),
+           cp.g_star <= cv.g_star ? "triple PSO" : "vertical"});
+    }
+    table.AddSeparator();
+  }
+  std::printf("\n%s\n", table.ToString().c_str());
+  std::printf(
+      "expected shape: the row-store verdict (triple PSO has the lower G*) "
+      "holds at\nevery scale for cold runs; the column store's G* contest "
+      "stays close, with the\nvertical scheme's star-query penalty growing "
+      "with scale.\n");
+  return 0;
+}

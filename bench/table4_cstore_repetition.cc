@@ -1,0 +1,91 @@
+// Reproduces Table 4: the repetition of the original C-Store experiment on
+// two machines with different I/O subsystems — machine A (2-disk RAID-0,
+// ~100 MB/s) and machine B (10-disk RAID-5, ~390 MB/s) — cold and hot,
+// real and user time, for q1..q7 plus the geometric mean G.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_support/harness.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "core/cstore_backend.h"
+#include "cstore/cstore_engine.h"
+
+namespace {
+
+using swan::TablePrinter;
+using swan::bench_support::Measurement;
+using swan::core::QueryId;
+
+struct MachineRow {
+  const char* machine;
+  double bandwidth_mb_s;
+};
+
+}  // namespace
+
+int main() {
+  const auto config = swan::bench::DefaultConfig();
+  swan::bench::PrintHeader("Table 4: repetition of the C-Store experiment",
+                           "Table 4 of Sidirourgos et al., VLDB 2008", config);
+
+  const auto barton = swan::bench_support::GenerateBarton(config);
+  const auto ctx = swan::bench_support::MakeBartonContext(barton.dataset, 28);
+  const int reps = swan::bench::Repetitions();
+
+  std::vector<std::string> header = {"machine", "run", "time"};
+  for (QueryId id : swan::core::InitialQueries()) {
+    header.push_back(ToString(id));
+  }
+  header.push_back("G");
+  TablePrinter table(header);
+  double max_stddev = 0.0;
+
+  for (const MachineRow& machine :
+       {MachineRow{"A", 100.0}, MachineRow{"B", 390.0}}) {
+    std::printf("measuring machine %s (%.0f MB/s)...\n", machine.machine,
+                machine.bandwidth_mb_s);
+    swan::core::CStoreBackend backend(
+        barton.dataset, ctx.interesting_properties(),
+        swan::cstore::CStoreEngine::RecommendedDiskConfig(
+            machine.bandwidth_mb_s));
+    for (const bool hot : {false, true}) {
+      std::vector<std::string> real_cells = {machine.machine,
+                                             hot ? "hot" : "cold", "real"};
+      std::vector<std::string> user_cells = {"", "", "user"};
+      std::vector<double> reals, users;
+      for (QueryId id : swan::core::InitialQueries()) {
+        const Measurement m =
+            hot ? swan::bench_support::MeasureHot(&backend, id, ctx, reps)
+                : swan::bench_support::MeasureCold(&backend, id, ctx, reps);
+        real_cells.push_back(TablePrinter::Fixed(m.real_seconds, 3));
+        user_cells.push_back(TablePrinter::Fixed(m.user_seconds, 3));
+        reals.push_back(m.real_seconds);
+        users.push_back(m.user_seconds);
+        max_stddev = std::max(max_stddev, m.real_stddev);
+      }
+      real_cells.push_back(TablePrinter::Fixed(swan::GeometricMean(reals), 3));
+      user_cells.push_back(TablePrinter::Fixed(swan::GeometricMean(users), 3));
+      table.AddRow(real_cells);
+      table.AddRow(user_cells);
+    }
+    table.AddSeparator();
+  }
+
+  std::printf("\n%s\n", table.ToString().c_str());
+  std::printf(
+      "max run-to-run stddev across all measurements: %.4f s (the paper "
+      "reports\ndeviations below 30 ms on seconds-long runs; our simulated "
+      "I/O is exactly\nrepeatable, leaving only CPU jitter).\n\n",
+      max_stddev);
+  std::printf(
+      "expected shape (paper section 3): machine B's ~4x higher sequential "
+      "bandwidth\nyields only a marginal cold-run improvement, because the "
+      "C-Store-style engine\nissues small scattered reads and exploits only "
+      "a fraction of the bandwidth;\nhot real times collapse to user "
+      "times.\n");
+  return 0;
+}

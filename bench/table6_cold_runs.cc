@@ -1,0 +1,9 @@
+// Reproduces Table 6: cold-run execution times for all 12 benchmark
+// queries over the full storage-scheme x engine grid.
+
+#include "grid_common.h"
+
+int main() {
+  swan::bench::RunGrid(/*hot=*/false, "Table 6: cold runs");
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Reproduces Table 7: hot-run execution times for all 12 benchmark
+// queries over the full storage-scheme x engine grid.
+
+#include "grid_common.h"
+
+int main() {
+  swan::bench::RunGrid(/*hot=*/true, "Table 7: hot runs");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Quickstart: build a small RDF graph, open a store, and query it.
+//
+//   $ ./build/examples/quickstart
+//
+// Demonstrates the three core API layers:
+//   1. rdf::Dataset      — dictionary-encoded triple set
+//   2. core::RdfStore    — a scheme x engine materialization
+//   3. Match/ExecuteBgp  — pattern queries with decoded results
+
+#include <cstdio>
+#include <algorithm>
+#include <string>
+
+#include "core/store.h"
+#include "rdf/dataset.h"
+
+int main() {
+  using swan::core::EngineKind;
+  using swan::core::RdfStore;
+  using swan::core::StorageScheme;
+  using swan::core::StoreOptions;
+  using swan::core::Term;
+
+  // 1. Build a graph. Terms are interned into a dictionary automatically.
+  swan::rdf::Dataset data;
+  data.Add("<alice>", "<worksAt>", "<cwi>");
+  data.Add("<bob>", "<worksAt>", "<cwi>");
+  data.Add("<carol>", "<worksAt>", "<mit>");
+  data.Add("<alice>", "<authored>", "<swan-paper>");
+  data.Add("<bob>", "<authored>", "<swan-paper>");
+  data.Add("<carol>", "<authored>", "<vp-paper>");
+  data.Add("<swan-paper>", "<cites>", "<vp-paper>");
+
+  // 2. Materialize it. Here: the vertically-partitioned scheme on the
+  // column-store engine (the paper's fastest combination at 222
+  // properties); swap scheme/engine freely — results are identical.
+  StoreOptions options;
+  options.scheme = StorageScheme::kVerticalPartitioned;
+  options.engine = EngineKind::kColumnStore;
+  auto store = RdfStore::Open(data, options);
+  std::printf("opened %s (%llu bytes on simulated disk)\n\n",
+              store->name().c_str(),
+              static_cast<unsigned long long>(store->disk_bytes()));
+
+  // 3a. Single-pattern lookup: who works at CWI?
+  swan::rdf::TriplePattern pattern;
+  pattern.property = data.dict().Find("<worksAt>").value();
+  pattern.object = data.dict().Find("<cwi>").value();
+  std::printf("employees of <cwi>:\n");
+  for (const auto& t : store->Match(pattern)) {
+    std::printf("  %s\n", std::string(data.dict().Lookup(t.subject)).c_str());
+  }
+
+  // 3b. Conjunctive (BGP) query: co-authors — pairs writing the same paper.
+  auto result = store->ExecuteBgp({
+      {Term::Var("a"), Term::Const(data.dict().Find("<authored>").value()),
+       Term::Var("paper")},
+      {Term::Var("b"), Term::Const(data.dict().Find("<authored>").value()),
+       Term::Var("paper")},
+  });
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  // Binding columns are ordered by first appearance; look them up by name.
+  const auto& vars = result.value().vars;
+  auto column_of = [&](const std::string& name) {
+    return std::find(vars.begin(), vars.end(), name) - vars.begin();
+  };
+  const auto a_col = column_of("a");
+  const auto b_col = column_of("b");
+  const auto paper_col = column_of("paper");
+  std::printf("\nco-authorship pairs (a, b, paper):\n");
+  for (const auto& row : result.value().rows) {
+    if (row[a_col] == row[b_col]) continue;  // skip self-pairs
+    std::printf("  %s  %s  %s\n",
+                std::string(data.dict().Lookup(row[a_col])).c_str(),
+                std::string(data.dict().Lookup(row[b_col])).c_str(),
+                std::string(data.dict().Lookup(row[paper_col])).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,271 @@
+#include "bench_support/barton_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace swan::bench_support {
+
+namespace {
+
+// Frequency ranks of the benchmark vocabulary properties. All are inside
+// the top-28, as in Barton, where the queried properties belong to the
+// "interesting" set.
+constexpr uint32_t kTypeRank = 0;
+constexpr uint32_t kRecordsRank = 2;
+constexpr uint32_t kLanguageRank = 5;
+constexpr uint32_t kOriginRank = 7;
+constexpr uint32_t kEncodingRank = 10;
+constexpr uint32_t kPointRank = 12;
+
+std::string PropertyName(uint32_t rank) {
+  switch (rank) {
+    case kTypeRank:
+      return "<type>";
+    case kRecordsRank:
+      return "<records>";
+    case kLanguageRank:
+      return "<language>";
+    case kOriginRank:
+      return "<origin>";
+    case kEncodingRank:
+      return "<Encoding>";
+    case kPointRank:
+      return "<Point>";
+    default:
+      return "<prop_" + std::to_string(rank) + ">";
+  }
+}
+
+// The published property skew, reshaped to an arbitrary property count:
+// <type> at 24.53 %, the rest of the top 28 covering ~73.5 %, ranks 28–55
+// ~1.5 %, and a thin Zipfian tail (partitions with single-digit row counts
+// at the default scale).
+std::vector<double> PropertyWeights(uint32_t num_properties) {
+  SWAN_CHECK(num_properties >= 29);
+  std::vector<double> w(num_properties, 0.0);
+  w[0] = 0.2453;
+
+  auto fill_band = [&](uint32_t lo, uint32_t hi, double alpha, double mass) {
+    double sum = 0.0;
+    for (uint32_t r = lo; r < hi; ++r) {
+      sum += std::pow(static_cast<double>(r - lo + 1), -alpha);
+    }
+    for (uint32_t r = lo; r < hi; ++r) {
+      w[r] = mass * std::pow(static_cast<double>(r - lo + 1), -alpha) / sum;
+    }
+  };
+  const uint32_t band2_end = std::min<uint32_t>(56, num_properties);
+  fill_band(1, 28, 0.8, 0.735);
+  if (band2_end > 28) fill_band(28, band2_end, 1.0, 0.015);
+  if (num_properties > band2_end) {
+    fill_band(band2_end, num_properties, 1.2, 0.0047);
+  }
+  return w;
+}
+
+std::string SubjectName(uint64_t i) {
+  return "<subj_" + std::to_string(i) + ">";
+}
+
+// Object kinds per property, mirroring Barton's per-property domains.
+enum class PropertyKind {
+  kType,
+  kRecords,
+  kLanguage,
+  kOrigin,
+  kEncoding,
+  kPoint,
+  kGeneric,
+};
+
+PropertyKind KindOf(uint32_t rank) {
+  switch (rank) {
+    case kTypeRank:
+      return PropertyKind::kType;
+    case kRecordsRank:
+      return PropertyKind::kRecords;
+    case kLanguageRank:
+      return PropertyKind::kLanguage;
+    case kOriginRank:
+      return PropertyKind::kOrigin;
+    case kEncodingRank:
+      return PropertyKind::kEncoding;
+    case kPointRank:
+      return PropertyKind::kPoint;
+    default:
+      return PropertyKind::kGeneric;
+  }
+}
+
+}  // namespace
+
+BartonDataset GenerateBarton(const BartonConfig& config) {
+  SWAN_CHECK(config.num_properties >= 29);
+  SWAN_CHECK(config.num_interesting >= 13 &&
+             config.num_interesting <= config.num_properties);
+  Rng rng(config.seed);
+  BartonDataset out;
+  rdf::Dataset& ds = out.dataset;
+
+  // Properties are interned first, in frequency-rank order.
+  std::vector<std::string> prop_names(config.num_properties);
+  std::vector<uint64_t> prop_ids(config.num_properties);
+  for (uint32_t r = 0; r < config.num_properties; ++r) {
+    prop_names[r] = PropertyName(r);
+    prop_ids[r] = ds.dict().Intern(prop_names[r]);
+  }
+  for (uint32_t r = 0; r < config.num_interesting; ++r) {
+    out.interesting_properties.push_back(prop_ids[r]);
+  }
+
+  const DiscreteSampler prop_sampler(PropertyWeights(config.num_properties));
+
+  // Type classes: <Date> ~32.7 % of type triples (≈ 8 % of all triples),
+  // <Text> ~14.6 %, the rest Zipfian.
+  std::vector<std::string> classes = {"<Date>", "<Text>"};
+  std::vector<double> class_weights = {0.327, 0.146};
+  {
+    double sum = 0.0;
+    for (int i = 2; i < 30; ++i) sum += std::pow(i - 1.0, -1.0);
+    for (int i = 2; i < 30; ++i) {
+      classes.push_back("<class_" + std::to_string(i) + ">");
+      class_weights.push_back(0.527 * std::pow(i - 1.0, -1.0) / sum);
+    }
+  }
+  const DiscreteSampler class_sampler(class_weights);
+
+  std::vector<std::string> languages = {"<language/iso639-2b/fre>"};
+  std::vector<double> language_weights = {0.30};
+  for (int i = 1; i < 20; ++i) {
+    languages.push_back("<language/iso639-2b/code_" + std::to_string(i) + ">");
+    language_weights.push_back(0.70 / 19.0);
+  }
+  const DiscreteSampler language_sampler(language_weights);
+
+  std::vector<std::string> origins = {"<info:marcorg/DLC>"};
+  std::vector<double> origin_weights = {0.40};
+  for (int i = 1; i < 10; ++i) {
+    origins.push_back("<info:marcorg/org_" + std::to_string(i) + ">");
+    origin_weights.push_back(0.60 / 9.0);
+  }
+  const DiscreteSampler origin_sampler(origin_weights);
+
+  std::vector<std::string> encodings;
+  for (int i = 0; i < 15; ++i) {
+    encodings.push_back("<encoding_" + std::to_string(i) + ">");
+  }
+
+  const uint64_t num_subjects = std::max<uint64_t>(
+      64, static_cast<uint64_t>(0.245 * static_cast<double>(
+                                            config.target_triples)));
+  const ZipfSampler subject_sampler(num_subjects, 0.2);
+
+  // Shared-literal pool for generic properties: some object reuse (Barton's
+  // object CDF), the rest unique literals.
+  const uint64_t literal_pool =
+      std::max<uint64_t>(32, config.target_triples / 5);
+  const ZipfSampler literal_sampler(literal_pool, 0.6);
+  uint64_t unique_counter = 0;
+
+  // --- Curated block: a deterministic "library record" cluster that
+  // guarantees non-empty results for q1–q8 at any scale. ---------------
+  const std::string conferences = "<conferences>";
+  {
+    auto curated = [](int i) { return "<curated_" + std::to_string(i) + ">"; };
+    for (int i = 0; i < 20; ++i) {
+      const std::string subject = curated(i);
+      ds.Add(subject, prop_names[kTypeRank],
+             i % 3 == 0 ? "<Text>" : (i % 3 == 1 ? "<Date>" : "<class_2>"));
+      ds.Add(subject, prop_names[kLanguageRank],
+             i % 2 == 0 ? languages[0] : languages[1]);
+      ds.Add(subject, prop_names[kOriginRank],
+             i < 10 ? origins[0] : origins[1]);
+      ds.Add(subject, prop_names[kPointRank], i < 10 ? "\"end\"" : "\"start\"");
+      ds.Add(subject, prop_names[kEncodingRank], encodings[i % 3]);
+      ds.Add(subject, prop_names[kRecordsRank], curated((i + 1) % 20));
+    }
+    // The q8 hub: "conferences" shares literal objects with a handful of
+    // curated subjects across several property tables.
+    for (int j = 0; j < 12; ++j) {
+      const std::string shared = "\"conf_topic_" + std::to_string(j) + "\"";
+      ds.Add(conferences, prop_names[13 + (j % 6)], shared);
+      ds.Add(curated(j % 20), prop_names[13 + ((j + 3) % 6)], shared);
+    }
+  }
+
+  // --- Bulk statistical generation. ------------------------------------
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = 4 * config.target_triples + 1000;
+  while (ds.size() < config.target_triples && attempts < max_attempts) {
+    ++attempts;
+    const uint32_t rank = static_cast<uint32_t>(prop_sampler.Sample(&rng));
+    const std::string subject = SubjectName(subject_sampler.Sample(&rng));
+    std::string object;
+    switch (KindOf(rank)) {
+      case PropertyKind::kType:
+        object = classes[class_sampler.Sample(&rng)];
+        break;
+      case PropertyKind::kRecords:
+        object = SubjectName(rng.Uniform(num_subjects));
+        break;
+      case PropertyKind::kLanguage:
+        object = languages[language_sampler.Sample(&rng)];
+        break;
+      case PropertyKind::kOrigin:
+        object = origins[origin_sampler.Sample(&rng)];
+        break;
+      case PropertyKind::kEncoding:
+        object = encodings[rng.Uniform(encodings.size())];
+        break;
+      case PropertyKind::kPoint:
+        object = rng.Chance(0.5) ? "\"end\"" : "\"start\"";
+        break;
+      case PropertyKind::kGeneric: {
+        const double roll = rng.NextDouble();
+        if (roll < 0.12) {
+          // Subject-object overlap beyond <records>.
+          object = SubjectName(rng.Uniform(num_subjects));
+        } else if (roll < 0.60) {
+          object = "\"lit_" + std::to_string(literal_sampler.Sample(&rng)) +
+                   "\"";
+        } else {
+          object = "\"uniq_" + std::to_string(unique_counter++) + "\"";
+        }
+        break;
+      }
+    }
+    ds.Add(subject, prop_names[rank], object);
+  }
+  return out;
+}
+
+core::QueryContext MakeBartonContext(const rdf::Dataset& dataset, size_t k) {
+  auto vocab_result = core::Vocabulary::Resolve(dataset);
+  SWAN_CHECK_MSG(vocab_result.ok(),
+                 "dataset does not carry the benchmark vocabulary");
+  const core::Vocabulary vocab = vocab_result.value();
+
+  // Top-k properties by frequency, with the queried properties always
+  // included (they are top-ranked in Barton; forcing them keeps tiny test
+  // datasets valid too).
+  const auto freqs = dataset.PropertyFrequencies();
+  std::vector<uint64_t> interesting = {vocab.type,   vocab.records,
+                                       vocab.language, vocab.origin,
+                                       vocab.encoding, vocab.point};
+  for (const auto& [prop, count] : freqs) {
+    if (interesting.size() >= k) break;
+    if (std::find(interesting.begin(), interesting.end(), prop) ==
+        interesting.end()) {
+      interesting.push_back(prop);
+    }
+  }
+  return core::QueryContext(vocab, std::move(interesting),
+                            dataset.dict().size(),
+                            dataset.DistinctProperties().size());
+}
+
+}  // namespace swan::bench_support

@@ -1,0 +1,57 @@
+#ifndef SWANDB_BENCH_SUPPORT_BARTON_GENERATOR_H_
+#define SWANDB_BENCH_SUPPORT_BARTON_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query.h"
+#include "rdf/dataset.h"
+
+namespace swan::bench_support {
+
+// Synthetic stand-in for the Barton Libraries catalog dump (the paper's
+// data set, Table 1 / Figure 1). The generator reproduces the published
+// *distributional* facts that drive every experiment:
+//
+//   * 222 properties with a highly Zipfian skew: <type> holds ~24.5 % of
+//     all triples, the top ~13 % of properties cover ~98–99 %, and the
+//     long tail consists of partitions with only a handful of rows;
+//   * near-uniform subjects (max subject degree ≪ 0.1 %);
+//   * <Date> as the most frequent object (~8 % of triples, all under
+//     <type>), <Text> as a large type class;
+//   * sizeable subject∩object overlap, driven by <records> edges whose
+//     objects are themselves subjects;
+//   * the inter-property structure queries q1–q8 rely on: <language>/fre,
+//     <origin>/DLC, <Point>/"end", <Encoding>, and a "conferences" hub
+//     subject sharing objects with other subjects.
+//
+// A small deterministic "curated block" guarantees that all benchmark
+// queries return non-empty results even at tiny scales (unit tests).
+//
+// Default scale is ~1/100 of Barton. Generation is fully deterministic in
+// `seed`.
+struct BartonConfig {
+  uint64_t target_triples = 500'000;
+  uint32_t num_properties = 222;
+  uint32_t num_interesting = 28;
+  uint64_t seed = 42;
+};
+
+struct BartonDataset {
+  rdf::Dataset dataset;
+  // The generator's frequency-rank top `num_interesting` property ids (the
+  // "28 interesting properties the Longwell administrator selected"); all
+  // benchmark vocabulary properties are in here by construction.
+  std::vector<uint64_t> interesting_properties;
+};
+
+BartonDataset GenerateBarton(const BartonConfig& config = {});
+
+// QueryContext for a generated dataset, restricted to the top-`k` most
+// frequent properties (k = 28 reproduces the paper's default; Figure 6
+// sweeps k). Requires the benchmark vocabulary to resolve.
+core::QueryContext MakeBartonContext(const rdf::Dataset& dataset, size_t k);
+
+}  // namespace swan::bench_support
+
+#endif  // SWANDB_BENCH_SUPPORT_BARTON_GENERATOR_H_

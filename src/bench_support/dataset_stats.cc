@@ -1,0 +1,59 @@
+#include "bench_support/dataset_stats.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace swan::bench_support {
+
+Table1Stats ComputeTable1Stats(const rdf::Dataset& dataset) {
+  Table1Stats stats;
+  stats.total_triples = dataset.size();
+  stats.strings_in_dictionary = dataset.dict().size();
+
+  std::unordered_set<uint64_t> subjects;
+  std::unordered_set<uint64_t> properties;
+  std::unordered_set<uint64_t> objects;
+  uint64_t term_bytes = 0;
+  const auto& dict = dataset.dict();
+  for (const rdf::Triple& t : dataset.triples()) {
+    subjects.insert(t.subject);
+    properties.insert(t.property);
+    objects.insert(t.object);
+    term_bytes += dict.Lookup(t.subject).size() +
+                  dict.Lookup(t.property).size() +
+                  dict.Lookup(t.object).size() + 5;  // " " x3 + ". \n"
+  }
+  stats.distinct_subjects = subjects.size();
+  stats.distinct_properties = properties.size();
+  stats.distinct_objects = objects.size();
+  stats.dataset_bytes = term_bytes;
+
+  uint64_t both = 0;
+  for (uint64_t s : subjects) {
+    if (objects.count(s) != 0) ++both;
+  }
+  stats.subjects_also_objects = both;
+  return stats;
+}
+
+Figure1Curves ComputeFigure1Curves(const rdf::Dataset& dataset, int points) {
+  std::unordered_map<uint64_t, uint64_t> subj, prop, obj;
+  for (const rdf::Triple& t : dataset.triples()) {
+    ++subj[t.subject];
+    ++prop[t.property];
+    ++obj[t.object];
+  }
+  auto counts_of = [](const std::unordered_map<uint64_t, uint64_t>& map) {
+    std::vector<uint64_t> out;
+    out.reserve(map.size());
+    for (const auto& [k, c] : map) out.push_back(c);
+    return out;
+  };
+  Figure1Curves curves;
+  curves.properties = CumulativeFrequency(counts_of(prop), points);
+  curves.subjects = CumulativeFrequency(counts_of(subj), points);
+  curves.objects = CumulativeFrequency(counts_of(obj), points);
+  return curves;
+}
+
+}  // namespace swan::bench_support

@@ -1,0 +1,38 @@
+#ifndef SWANDB_BENCH_SUPPORT_DATASET_STATS_H_
+#define SWANDB_BENCH_SUPPORT_DATASET_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "rdf/dataset.h"
+
+namespace swan::bench_support {
+
+// The counts behind the paper's Table 1 ("Data set details").
+struct Table1Stats {
+  uint64_t total_triples = 0;
+  uint64_t distinct_properties = 0;
+  uint64_t distinct_subjects = 0;
+  uint64_t distinct_objects = 0;
+  uint64_t subjects_also_objects = 0;
+  uint64_t strings_in_dictionary = 0;
+  // Raw N-Triples-equivalent size: total term bytes over all triples plus
+  // separators (the paper reports the textual dump size, 1253 MB).
+  uint64_t dataset_bytes = 0;
+};
+
+Table1Stats ComputeTable1Stats(const rdf::Dataset& dataset);
+
+// The three cumulative frequency distributions of Figure 1.
+struct Figure1Curves {
+  std::vector<CdfPoint> properties;
+  std::vector<CdfPoint> subjects;
+  std::vector<CdfPoint> objects;
+};
+
+Figure1Curves ComputeFigure1Curves(const rdf::Dataset& dataset, int points);
+
+}  // namespace swan::bench_support
+
+#endif  // SWANDB_BENCH_SUPPORT_DATASET_STATS_H_

@@ -1,0 +1,113 @@
+#include "bench_support/harness.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/macros.h"
+#include "common/timer.h"
+
+namespace swan::bench_support {
+
+namespace {
+
+// Executes once and returns the (real, user, bytes, rows) observation.
+Measurement RunOnce(core::Backend* backend, core::QueryId id,
+                    const core::QueryContext& ctx) {
+  storage::SimulatedDisk* disk = backend->disk();
+  const double io_before = disk->clock().now();
+  const uint64_t bytes_before = disk->total_bytes_read();
+  CpuTimer timer;
+  const core::QueryResult result = backend->Run(id, ctx);
+  Measurement m;
+  m.user_seconds = timer.ElapsedSeconds();
+  m.real_seconds = m.user_seconds + (disk->clock().now() - io_before);
+  m.bytes_read = disk->total_bytes_read() - bytes_before;
+  m.rows_returned = result.row_count();
+  return m;
+}
+
+Measurement Average(const std::vector<Measurement>& runs) {
+  Measurement avg;
+  if (runs.empty()) return avg;
+  for (const Measurement& m : runs) {
+    avg.real_seconds += m.real_seconds;
+    avg.user_seconds += m.user_seconds;
+    avg.bytes_read += m.bytes_read;
+    avg.rows_returned = m.rows_returned;
+  }
+  avg.real_seconds /= static_cast<double>(runs.size());
+  avg.user_seconds /= static_cast<double>(runs.size());
+  avg.bytes_read /= runs.size();
+  double variance = 0.0;
+  for (const Measurement& m : runs) {
+    const double d = m.real_seconds - avg.real_seconds;
+    variance += d * d;
+  }
+  avg.real_stddev = std::sqrt(variance / static_cast<double>(runs.size()));
+  return avg;
+}
+
+}  // namespace
+
+Measurement MeasureCold(core::Backend* backend, core::QueryId id,
+                        const core::QueryContext& ctx, int repetitions) {
+  std::vector<Measurement> runs;
+  for (int i = 0; i < repetitions; ++i) {
+    backend->DropCaches();  // "zapping the memory completely"
+    runs.push_back(RunOnce(backend, id, ctx));
+  }
+  return Average(runs);
+}
+
+Measurement MeasureHot(core::Backend* backend, core::QueryId id,
+                       const core::QueryContext& ctx, int repetitions) {
+  RunOnce(backend, id, ctx);  // warm-up, ignored
+  std::vector<Measurement> runs;
+  for (int i = 0; i < repetitions; ++i) {
+    runs.push_back(RunOnce(backend, id, ctx));
+  }
+  return Average(runs);
+}
+
+std::vector<uint64_t> VerifyBackendsAgree(
+    const std::vector<core::Backend*>& backends,
+    const std::vector<core::QueryId>& queries, const core::QueryContext& ctx) {
+  std::vector<uint64_t> row_counts;
+  for (core::QueryId id : queries) {
+    core::Backend* reference = nullptr;
+    core::QueryResult expected;
+    for (core::Backend* backend : backends) {
+      if (!backend->Supports(id)) continue;
+      core::QueryResult got = backend->Run(id, ctx);
+      if (reference == nullptr) {
+        reference = backend;
+        expected = std::move(got);
+        continue;
+      }
+      if (!expected.SameRows(got)) {
+        std::fprintf(stderr,
+                     "result divergence on %s: %s returned %llu rows, "
+                     "%s returned %llu rows\n",
+                     core::ToString(id).c_str(), reference->name().c_str(),
+                     static_cast<unsigned long long>(expected.row_count()),
+                     backend->name().c_str(),
+                     static_cast<unsigned long long>(got.row_count()));
+        SWAN_CHECK_MSG(false, "backends disagree; benchmark aborted");
+      }
+    }
+    row_counts.push_back(reference != nullptr ? expected.row_count() : 0);
+  }
+  return row_counts;
+}
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value) return fallback;
+  return static_cast<uint64_t>(parsed);
+}
+
+}  // namespace swan::bench_support

@@ -1,0 +1,47 @@
+#ifndef SWANDB_BENCH_SUPPORT_HARNESS_H_
+#define SWANDB_BENCH_SUPPORT_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/backend.h"
+#include "core/query.h"
+
+namespace swan::bench_support {
+
+// One measured query execution, averaged over repetitions.
+struct Measurement {
+  double real_seconds = 0.0;  // CPU time + simulated-disk virtual time
+  double user_seconds = 0.0;  // CPU time only
+  // Standard deviation of real_seconds across the repetitions — the
+  // paper's §3 remark ("we do not report the standard deviation ... the
+  // differences were less than 30 milliseconds"), checkable here.
+  double real_stddev = 0.0;
+  uint64_t bytes_read = 0;    // data pulled from the simulated disk
+  uint64_t rows_returned = 0;
+};
+
+// The paper's §2.3 protocol. A *cold* run drops every cache first, so the
+// query pays full I/O; repetitions each start cold. A *hot* run performs
+// one unmeasured warm-up execution, then averages the measured runs
+// without touching the caches.
+Measurement MeasureCold(core::Backend* backend, core::QueryId id,
+                        const core::QueryContext& ctx, int repetitions = 3);
+Measurement MeasureHot(core::Backend* backend, core::QueryId id,
+                       const core::QueryContext& ctx, int repetitions = 3);
+
+// Correctness gate run before timing: executes every supported query on
+// every backend and verifies that all backends produce identical rows.
+// Aborts with a diagnostic on divergence. Returns per-query row counts.
+std::vector<uint64_t> VerifyBackendsAgree(
+    const std::vector<core::Backend*>& backends,
+    const std::vector<core::QueryId>& queries, const core::QueryContext& ctx);
+
+// Reads an unsigned environment override, e.g. SWAN_TRIPLES for the
+// benchmark scale; returns `fallback` if unset or unparsable.
+uint64_t EnvU64(const char* name, uint64_t fallback);
+
+}  // namespace swan::bench_support
+
+#endif  // SWANDB_BENCH_SUPPORT_HARNESS_H_

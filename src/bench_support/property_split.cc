@@ -1,0 +1,77 @@
+#include "bench_support/property_split.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace swan::bench_support {
+
+rdf::Dataset SplitProperties(
+    const rdf::Dataset& input, uint64_t target_properties, uint64_t seed,
+    const std::vector<uint64_t>& protected_properties) {
+  Rng rng(seed);
+  const std::unordered_set<uint64_t> protected_set(
+      protected_properties.begin(), protected_properties.end());
+
+  // Per-property triple counts bound the number of useful fragments.
+  std::unordered_map<uint64_t, uint64_t> counts;
+  for (const rdf::Triple& t : input.triples()) ++counts[t.property];
+
+  // fragments[p] = how many sub-properties p is split into (1 = unsplit).
+  std::unordered_map<uint64_t, uint64_t> fragments;
+  uint64_t current = counts.size();
+
+  std::vector<uint64_t> splittable;
+  for (const auto& [p, c] : counts) {
+    fragments[p] = 1;
+    if (protected_set.count(p) == 0 && c >= 2) splittable.push_back(p);
+  }
+  std::sort(splittable.begin(), splittable.end());
+
+  uint64_t stuck_rounds = 0;
+  while (current < target_properties && !splittable.empty() &&
+         stuck_rounds < 10000) {
+    const uint64_t p = splittable[rng.Uniform(splittable.size())];
+    const uint64_t max_fragments = counts[p];
+    if (fragments[p] >= max_fragments) {
+      ++stuck_rounds;
+      continue;
+    }
+    // Split into up to n = 1..9 additional sub-properties (§4.4).
+    const uint64_t extra = std::min<uint64_t>(
+        {1 + rng.Uniform(9), max_fragments - fragments[p],
+         target_properties - current});
+    fragments[p] += extra;
+    current += extra;
+    stuck_rounds = 0;
+  }
+
+  // Materialize: assign each triple of a split property round-robin over
+  // its fragments (uniform, and no fragment is left empty).
+  rdf::Dataset out;
+  const auto& dict = input.dict();
+  std::unordered_map<uint64_t, uint64_t> round_robin;
+  for (const rdf::Triple& t : input.triples()) {
+    const uint64_t f = fragments[t.property];
+    std::string property(dict.Lookup(t.property));
+    if (f > 1) {
+      const uint64_t j = round_robin[t.property]++ % f;
+      if (j > 0) {
+        // "<p>" -> "<p#j>"; non-bracketed names just get a suffix.
+        if (!property.empty() && property.back() == '>') {
+          property.insert(property.size() - 1, "#" + std::to_string(j));
+        } else {
+          property += "#" + std::to_string(j);
+        }
+      }
+    }
+    out.Add(dict.Lookup(t.subject), property, dict.Lookup(t.object));
+  }
+  return out;
+}
+
+}  // namespace swan::bench_support

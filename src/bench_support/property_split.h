@@ -1,0 +1,29 @@
+#ifndef SWANDB_BENCH_SUPPORT_PROPERTY_SPLIT_H_
+#define SWANDB_BENCH_SUPPORT_PROPERTY_SPLIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rdf/dataset.h"
+
+namespace swan::bench_support {
+
+// The paper's §4.4 scalability transform: keep the same triples but
+// increase the number of distinct properties by splitting properties into
+// n sub-properties and redistributing each split property's triples
+// uniformly over its fragments.
+//
+// `protected_properties` (the benchmark vocabulary) are never split, so
+// query semantics are preserved. The result is a new Dataset with its own
+// dictionary; fragment j of property <p> is named <p`#j`> and fragment 0
+// keeps the original name.
+//
+// The returned dataset has exactly min(target_properties, achievable)
+// distinct properties; splitting is deterministic in `seed`.
+rdf::Dataset SplitProperties(const rdf::Dataset& input,
+                             uint64_t target_properties, uint64_t seed,
+                             const std::vector<uint64_t>& protected_properties);
+
+}  // namespace swan::bench_support
+
+#endif  // SWANDB_BENCH_SUPPORT_PROPERTY_SPLIT_H_

@@ -1,0 +1,46 @@
+#include "colstore/column.h"
+
+#include "common/macros.h"
+
+namespace swan::colstore {
+
+void Column::Build(std::span<const uint64_t> values) {
+  SWAN_CHECK_MSG(!built_, "Column::Build called twice");
+  built_ = true;
+  size_ = values.size();
+  if (codec_ == ColumnCodec::kRaw) {
+    // Fast path: the raw layout needs no staging buffer.
+    storage::U64FileWriter writer(&file_);
+    for (uint64_t v : values) writer.Append(v);
+    writer.Finish();
+    return;
+  }
+  const std::vector<uint8_t> encoded = CompressU64(values, codec_);
+  stored_bytes_ = encoded.size();
+  storage::ByteFileWriter writer(&file_);
+  writer.Append(encoded.data(), encoded.size());
+  writer.Finish();
+}
+
+const std::vector<uint64_t>& Column::Get() const {
+  SWAN_CHECK_MSG(built_, "Column::Get before Build");
+  if (!loaded_) {
+    if (codec_ == ColumnCodec::kRaw) {
+      storage::ReadU64File(pool_, file_, size_, &cache_);
+    } else {
+      std::vector<uint8_t> encoded;
+      storage::ReadByteFile(pool_, file_, stored_bytes_, &encoded);
+      cache_ = DecompressU64(encoded, size_);
+    }
+    loaded_ = true;
+  }
+  return cache_;
+}
+
+void Column::DropCache() const {
+  cache_.clear();
+  cache_.shrink_to_fit();
+  loaded_ = false;
+}
+
+}  // namespace swan::colstore

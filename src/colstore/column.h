@@ -1,0 +1,66 @@
+#ifndef SWANDB_COLSTORE_COLUMN_H_
+#define SWANDB_COLSTORE_COLUMN_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "colstore/compression.h"
+#include "storage/buffer_pool.h"
+#include "storage/paged_file.h"
+#include "storage/simulated_disk.h"
+
+namespace swan::colstore {
+
+// A disk-resident column of uint64 ids with an in-memory cache, the
+// MonetDB BAT tail: query processing always operates on the full
+// materialized array. The first access after a cache drop streams the
+// whole column from disk sequentially — this is the column store's "cold"
+// cost the paper measures (triple-store must read the complete triples
+// table; the vertical scheme only the partitions a query touches, §4.3).
+class Column {
+ public:
+  // `codec` controls the on-disk representation: compressed columns read
+  // fewer pages on a cold load at the cost of decode CPU (§4.1's RLE /
+  // delta discussion; quantified by bench/ablation_compression).
+  Column(storage::BufferPool* pool, storage::SimulatedDisk* disk,
+         ColumnCodec codec = ColumnCodec::kRaw)
+      : pool_(pool), file_(disk), codec_(codec) {}
+
+  Column(const Column&) = delete;
+  Column& operator=(const Column&) = delete;
+  Column(Column&&) = default;
+
+  // Writes `values` to disk. May only be called once, before any Get().
+  void Build(std::span<const uint64_t> values);
+
+  // Materialized view of the column; loads from disk if not cached.
+  const std::vector<uint64_t>& Get() const;
+
+  // Drops the in-memory image (cold-run protocol).
+  void DropCache() const;
+
+  bool loaded() const { return loaded_; }
+  uint64_t size() const { return size_; }
+  uint64_t disk_bytes() const {
+    return static_cast<uint64_t>(file_.page_count()) * storage::kPageSize;
+  }
+
+  ColumnCodec codec() const { return codec_; }
+
+ private:
+  storage::BufferPool* pool_;
+  storage::PagedFile file_;
+  ColumnCodec codec_;
+  uint64_t size_ = 0;
+  uint64_t stored_bytes_ = 0;  // compressed size (codec != kRaw)
+  bool built_ = false;
+
+  // Cache state is logically not part of the column's value.
+  mutable std::vector<uint64_t> cache_;
+  mutable bool loaded_ = false;
+};
+
+}  // namespace swan::colstore
+
+#endif  // SWANDB_COLSTORE_COLUMN_H_

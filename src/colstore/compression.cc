@@ -1,0 +1,179 @@
+#include "colstore/compression.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace swan::colstore {
+
+namespace {
+
+constexpr uint8_t kTagRaw = 0;
+constexpr uint8_t kTagRle = 1;
+constexpr uint8_t kTagDelta = 2;
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  const size_t at = out->size();
+  out->resize(at + sizeof(v));
+  std::memcpy(out->data() + at, &v, sizeof(v));
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  const size_t at = out->size();
+  out->resize(at + sizeof(v));
+  std::memcpy(out->data() + at, &v, sizeof(v));
+}
+
+uint64_t GetU64(std::span<const uint8_t> bytes, size_t* pos) {
+  SWAN_CHECK_MSG(*pos + 8 <= bytes.size(), "corrupt compressed column");
+  uint64_t v;
+  std::memcpy(&v, bytes.data() + *pos, sizeof(v));
+  *pos += 8;
+  return v;
+}
+
+uint32_t GetU32(std::span<const uint8_t> bytes, size_t* pos) {
+  SWAN_CHECK_MSG(*pos + 4 <= bytes.size(), "corrupt compressed column");
+  uint32_t v;
+  std::memcpy(&v, bytes.data() + *pos, sizeof(v));
+  *pos += 4;
+  return v;
+}
+
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+void PutVarint(std::vector<uint8_t>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+uint64_t GetVarint(std::span<const uint8_t> bytes, size_t* pos) {
+  uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    SWAN_CHECK_MSG(*pos < bytes.size() && shift < 64,
+                   "corrupt varint in compressed column");
+    const uint8_t byte = bytes[(*pos)++];
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+std::vector<uint8_t> EncodeRaw(std::span<const uint64_t> values) {
+  std::vector<uint8_t> out;
+  out.reserve(1 + values.size() * 8);
+  out.push_back(kTagRaw);
+  for (uint64_t v : values) PutU64(&out, v);
+  return out;
+}
+
+std::vector<uint8_t> EncodeRle(std::span<const uint64_t> values) {
+  std::vector<uint8_t> out;
+  out.push_back(kTagRle);
+  size_t i = 0;
+  while (i < values.size()) {
+    size_t j = i + 1;
+    while (j < values.size() && values[j] == values[i] &&
+           j - i < 0xFFFFFFFFull) {
+      ++j;
+    }
+    PutU64(&out, values[i]);
+    PutU32(&out, static_cast<uint32_t>(j - i));
+    i = j;
+  }
+  return out;
+}
+
+std::vector<uint8_t> EncodeDelta(std::span<const uint64_t> values) {
+  std::vector<uint8_t> out;
+  out.push_back(kTagDelta);
+  uint64_t prev = 0;
+  for (uint64_t v : values) {
+    PutVarint(&out, ZigZag(static_cast<int64_t>(v - prev)));
+    prev = v;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToString(ColumnCodec codec) {
+  switch (codec) {
+    case ColumnCodec::kRaw:
+      return "raw";
+    case ColumnCodec::kRle:
+      return "rle";
+    case ColumnCodec::kDelta:
+      return "delta";
+    case ColumnCodec::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+std::vector<uint8_t> CompressU64(std::span<const uint64_t> values,
+                                 ColumnCodec codec) {
+  switch (codec) {
+    case ColumnCodec::kRaw:
+      return EncodeRaw(values);
+    case ColumnCodec::kRle:
+      return EncodeRle(values);
+    case ColumnCodec::kDelta:
+      return EncodeDelta(values);
+    case ColumnCodec::kAuto: {
+      std::vector<uint8_t> best = EncodeRaw(values);
+      for (auto candidate : {EncodeRle(values), EncodeDelta(values)}) {
+        if (candidate.size() < best.size()) best = std::move(candidate);
+      }
+      return best;
+    }
+  }
+  SWAN_CHECK(false);
+  return {};
+}
+
+std::vector<uint64_t> DecompressU64(std::span<const uint8_t> bytes,
+                                    uint64_t count) {
+  SWAN_CHECK_MSG(!bytes.empty(), "empty compressed column buffer");
+  std::vector<uint64_t> out;
+  out.reserve(count);
+  size_t pos = 1;
+  switch (bytes[0]) {
+    case kTagRaw:
+      for (uint64_t i = 0; i < count; ++i) out.push_back(GetU64(bytes, &pos));
+      break;
+    case kTagRle:
+      while (out.size() < count) {
+        const uint64_t value = GetU64(bytes, &pos);
+        const uint32_t run = GetU32(bytes, &pos);
+        SWAN_CHECK_MSG(run > 0 && out.size() + run <= count,
+                       "corrupt RLE run");
+        out.insert(out.end(), run, value);
+      }
+      break;
+    case kTagDelta: {
+      uint64_t prev = 0;
+      for (uint64_t i = 0; i < count; ++i) {
+        prev += static_cast<uint64_t>(UnZigZag(GetVarint(bytes, &pos)));
+        out.push_back(prev);
+      }
+      break;
+    }
+    default:
+      SWAN_CHECK_MSG(false, "unknown column codec tag");
+  }
+  SWAN_CHECK(out.size() == count);
+  return out;
+}
+
+}  // namespace swan::colstore

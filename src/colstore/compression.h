@@ -1,0 +1,38 @@
+#ifndef SWANDB_COLSTORE_COMPRESSION_H_
+#define SWANDB_COLSTORE_COMPRESSION_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace swan::colstore {
+
+// Lightweight column codecs. The paper (§4.1) observes that "column-stores
+// with compression (e.g., RLE or delta-compression) can achieve the same
+// effect [as B+tree key-prefix compression] on the sorted property
+// column": a PSO-sorted triple table effectively stops paying for its
+// property column. These codecs make that observation measurable
+// (bench/ablation_compression).
+enum class ColumnCodec {
+  kRaw,    // 8 bytes per value
+  kRle,    // (value u64, run u32) pairs — ideal for sorted low-cardinality
+  kDelta,  // first value + zigzag-varint deltas — ideal for sorted ids
+  kAuto,   // smallest of the three
+};
+
+std::string ToString(ColumnCodec codec);
+
+// Encodes `values`. The first output byte records the codec actually used
+// (kAuto resolves to a concrete one).
+std::vector<uint8_t> CompressU64(std::span<const uint64_t> values,
+                                 ColumnCodec codec);
+
+// Decodes a buffer produced by CompressU64; `count` must equal the
+// original element count. Aborts on corrupt input.
+std::vector<uint64_t> DecompressU64(std::span<const uint8_t> bytes,
+                                    uint64_t count);
+
+}  // namespace swan::colstore
+
+#endif  // SWANDB_COLSTORE_COMPRESSION_H_

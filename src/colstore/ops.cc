@@ -1,0 +1,220 @@
+#include "colstore/ops.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace swan::colstore {
+
+PositionVector SelectEq(std::span<const uint64_t> col, uint64_t value) {
+  PositionVector out;
+  const uint32_t n = static_cast<uint32_t>(col.size());
+  for (uint32_t i = 0; i < n; ++i) {
+    if (col[i] == value) out.push_back(i);
+  }
+  return out;
+}
+
+PositionVector SelectEq(std::span<const uint64_t> col,
+                        const PositionVector& sel, uint64_t value) {
+  PositionVector out;
+  for (uint32_t i : sel) {
+    if (col[i] == value) out.push_back(i);
+  }
+  return out;
+}
+
+PositionVector SelectNe(std::span<const uint64_t> col,
+                        const PositionVector& sel, uint64_t value) {
+  PositionVector out;
+  for (uint32_t i : sel) {
+    if (col[i] != value) out.push_back(i);
+  }
+  return out;
+}
+
+std::pair<uint32_t, uint32_t> EqRangeSorted(std::span<const uint64_t> col,
+                                            uint64_t value) {
+  const auto lo = std::lower_bound(col.begin(), col.end(), value);
+  const auto hi = std::upper_bound(lo, col.end(), value);
+  return {static_cast<uint32_t>(lo - col.begin()),
+          static_cast<uint32_t>(hi - col.begin())};
+}
+
+std::pair<uint32_t, uint32_t> EqRangeSorted2(
+    std::span<const uint64_t> primary, std::span<const uint64_t> secondary,
+    uint64_t v1, uint64_t v2) {
+  const auto [plo, phi] = EqRangeSorted(primary, v1);
+  const auto sub = secondary.subspan(plo, phi - plo);
+  const auto [slo, shi] = EqRangeSorted(sub, v2);
+  return {plo + slo, plo + shi};
+}
+
+std::vector<uint64_t> Gather(std::span<const uint64_t> col,
+                             const PositionVector& sel) {
+  std::vector<uint64_t> out;
+  out.reserve(sel.size());
+  for (uint32_t i : sel) out.push_back(col[i]);
+  return out;
+}
+
+PositionVector SelectMarked(std::span<const uint64_t> col,
+                            const MarkSet& set) {
+  PositionVector out;
+  const uint32_t n = static_cast<uint32_t>(col.size());
+  for (uint32_t i = 0; i < n; ++i) {
+    if (set.Test(col[i])) out.push_back(i);
+  }
+  return out;
+}
+
+PositionVector SelectMarked(std::span<const uint64_t> col,
+                            const PositionVector& sel, const MarkSet& set) {
+  PositionVector out;
+  for (uint32_t i : sel) {
+    if (set.Test(col[i])) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> CountByKeyDense(
+    std::span<const uint64_t> keys, uint64_t universe_size) {
+  std::vector<uint64_t> counts(universe_size, 0);
+  for (uint64_t k : keys) {
+    SWAN_DCHECK(k < universe_size);
+    ++counts[k];
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  for (uint64_t k = 0; k < universe_size; ++k) {
+    if (counts[k] != 0) out.emplace_back(k, counts[k]);
+  }
+  return out;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> CountByKeyDense(
+    std::span<const uint64_t> col, const PositionVector& sel,
+    uint64_t universe_size) {
+  std::vector<uint64_t> counts(universe_size, 0);
+  for (uint32_t i : sel) {
+    SWAN_DCHECK(col[i] < universe_size);
+    ++counts[col[i]];
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  for (uint64_t k = 0; k < universe_size; ++k) {
+    if (counts[k] != 0) out.emplace_back(k, counts[k]);
+  }
+  return out;
+}
+
+std::vector<PairCount> CountByPair(std::span<const uint64_t> a,
+                                   std::span<const uint64_t> b) {
+  SWAN_CHECK(a.size() == b.size());
+  std::vector<uint64_t> packed;
+  packed.reserve(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    SWAN_CHECK_MSG(a[i] < (1ull << 32) && b[i] < (1ull << 32),
+                   "CountByPair requires 32-bit dictionary ids");
+    packed.push_back((a[i] << 32) | b[i]);
+  }
+  std::sort(packed.begin(), packed.end());
+  std::vector<PairCount> out;
+  size_t i = 0;
+  while (i < packed.size()) {
+    size_t j = i + 1;
+    while (j < packed.size() && packed[j] == packed[i]) ++j;
+    out.push_back(PairCount{packed[i] >> 32, packed[i] & 0xFFFFFFFFull,
+                            static_cast<uint64_t>(j - i)});
+    i = j;
+  }
+  return out;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> MergeJoin(
+    std::span<const uint64_t> left, std::span<const uint64_t> right) {
+  std::vector<std::pair<uint32_t, uint32_t>> out;
+  uint32_t i = 0, j = 0;
+  const uint32_t n = static_cast<uint32_t>(left.size());
+  const uint32_t m = static_cast<uint32_t>(right.size());
+  while (i < n && j < m) {
+    if (left[i] < right[j]) {
+      ++i;
+    } else if (right[j] < left[i]) {
+      ++j;
+    } else {
+      // Equal run: emit the cross product.
+      const uint64_t v = left[i];
+      uint32_t i_end = i;
+      while (i_end < n && left[i_end] == v) ++i_end;
+      uint32_t j_end = j;
+      while (j_end < m && right[j_end] == v) ++j_end;
+      for (uint32_t a = i; a < i_end; ++a) {
+        for (uint32_t b = j; b < j_end; ++b) {
+          out.emplace_back(a, b);
+        }
+      }
+      i = i_end;
+      j = j_end;
+    }
+  }
+  return out;
+}
+
+uint64_t MergeCountMatches(std::span<const uint64_t> values,
+                           std::span<const uint64_t> keys) {
+  uint64_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < values.size() && j < keys.size()) {
+    if (values[i] < keys[j]) {
+      ++i;
+    } else if (keys[j] < values[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;  // keys are unique; values may repeat
+    }
+  }
+  return count;
+}
+
+PositionVector MergeSelectPositions(std::span<const uint64_t> values,
+                                    std::span<const uint64_t> keys) {
+  PositionVector out;
+  size_t i = 0, j = 0;
+  while (i < values.size() && j < keys.size()) {
+    if (values[i] < keys[j]) {
+      ++i;
+    } else if (keys[j] < values[i]) {
+      ++j;
+    } else {
+      out.push_back(static_cast<uint32_t>(i));
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<uint64_t> SortedIntersect(std::span<const uint64_t> a,
+                                      std::span<const uint64_t> b) {
+  std::vector<uint64_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<uint64_t> UnionDistinct(
+    const std::vector<std::vector<uint64_t>>& lists) {
+  size_t total = 0;
+  for (const auto& l : lists) total += l.size();
+  std::vector<uint64_t> out;
+  out.reserve(total);
+  for (const auto& l : lists) out.insert(out.end(), l.begin(), l.end());
+  return SortDistinct(std::move(out));
+}
+
+std::vector<uint64_t> SortDistinct(std::vector<uint64_t> values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+}  // namespace swan::colstore

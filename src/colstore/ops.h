@@ -1,0 +1,116 @@
+#ifndef SWANDB_COLSTORE_OPS_H_
+#define SWANDB_COLSTORE_OPS_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace swan::colstore {
+
+// BAT-style vectorized operators. Positions are uint32 row indices into a
+// column (columns are bounded to < 2^32 rows); values are dictionary ids.
+// Dictionary ids are dense, which several operators exploit for O(1)
+// array-indexed membership and aggregation — the column store's structural
+// advantage over generic hash-based row processing.
+
+using PositionVector = std::vector<uint32_t>;
+
+// Positions where col[i] == value.
+PositionVector SelectEq(std::span<const uint64_t> col, uint64_t value);
+
+// Positions i in `sel` where col[i] == value.
+PositionVector SelectEq(std::span<const uint64_t> col,
+                        const PositionVector& sel, uint64_t value);
+
+// Positions i in `sel` where col[i] != value.
+PositionVector SelectNe(std::span<const uint64_t> col,
+                        const PositionVector& sel, uint64_t value);
+
+// [lo, hi) such that col[lo..hi) == value, for a sorted column.
+std::pair<uint32_t, uint32_t> EqRangeSorted(std::span<const uint64_t> col,
+                                            uint64_t value);
+
+// [lo, hi) of rows where (primary, secondary) == (v1, v2), for columns
+// sorted lexicographically by (primary, secondary).
+std::pair<uint32_t, uint32_t> EqRangeSorted2(std::span<const uint64_t> primary,
+                                             std::span<const uint64_t> secondary,
+                                             uint64_t v1, uint64_t v2);
+
+// Materializes col[sel[i]] for all i.
+std::vector<uint64_t> Gather(std::span<const uint64_t> col,
+                             const PositionVector& sel);
+
+// Dense bitmap over dictionary ids, the column store's O(1) membership
+// structure (MonetDB would use a void-headed BAT the same way).
+class MarkSet {
+ public:
+  explicit MarkSet(uint64_t universe_size) : marks_(universe_size, 0) {}
+
+  void MarkAll(std::span<const uint64_t> values) {
+    for (uint64_t v : values) marks_[v] = 1;
+  }
+  void Mark(uint64_t v) { marks_[v] = 1; }
+  bool Test(uint64_t v) const { return marks_[v] != 0; }
+
+ private:
+  std::vector<uint8_t> marks_;
+};
+
+// Positions i (of `col` or of `sel`) where col value is marked.
+PositionVector SelectMarked(std::span<const uint64_t> col, const MarkSet& set);
+PositionVector SelectMarked(std::span<const uint64_t> col,
+                            const PositionVector& sel, const MarkSet& set);
+
+// Dense group-by-count over dictionary ids: returns (value, count) pairs
+// for every value occurring in `keys`, ordered by value.
+std::vector<std::pair<uint64_t, uint64_t>> CountByKeyDense(
+    std::span<const uint64_t> keys, uint64_t universe_size);
+
+// As above but counting col[sel[i]].
+std::vector<std::pair<uint64_t, uint64_t>> CountByKeyDense(
+    std::span<const uint64_t> col, const PositionVector& sel,
+    uint64_t universe_size);
+
+// Group-by-count over (a, b) pairs (e.g. q3's GROUP BY prop, obj).
+// Requires both id spaces < 2^32 so the pair packs into a uint64.
+// Returns ((a, b), count) tuples sorted by (a, b).
+struct PairCount {
+  uint64_t a;
+  uint64_t b;
+  uint64_t count;
+};
+std::vector<PairCount> CountByPair(std::span<const uint64_t> a,
+                                   std::span<const uint64_t> b);
+
+// All matching index pairs of two sorted columns (merge join). Handles
+// duplicates on both sides (cross product per equal run) — needed for q7
+// where one subject can carry several Encoding/type triples.
+std::vector<std::pair<uint32_t, uint32_t>> MergeJoin(
+    std::span<const uint64_t> left, std::span<const uint64_t> right);
+
+// Number of entries of `values` (sorted, duplicates allowed) whose value
+// occurs in `keys` (sorted, unique): the counting form of the "simple,
+// fast (linear) merge join" the vertical scheme relies on.
+uint64_t MergeCountMatches(std::span<const uint64_t> values,
+                           std::span<const uint64_t> keys);
+
+// Positions of entries of `values` (sorted, duplicates allowed) whose
+// value occurs in `keys` (sorted, unique).
+PositionVector MergeSelectPositions(std::span<const uint64_t> values,
+                                    std::span<const uint64_t> keys);
+
+// Intersection of two sorted unique id lists.
+std::vector<uint64_t> SortedIntersect(std::span<const uint64_t> a,
+                                      std::span<const uint64_t> b);
+
+// Sorted distinct union of several id lists (unsorted inputs allowed).
+std::vector<uint64_t> UnionDistinct(
+    const std::vector<std::vector<uint64_t>>& lists);
+
+// Sorted copy with duplicates removed.
+std::vector<uint64_t> SortDistinct(std::vector<uint64_t> values);
+
+}  // namespace swan::colstore
+
+#endif  // SWANDB_COLSTORE_OPS_H_

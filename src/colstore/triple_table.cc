@@ -1,0 +1,70 @@
+#include "colstore/triple_table.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace swan::colstore {
+
+TripleTable::TripleTable(storage::BufferPool* pool,
+                         storage::SimulatedDisk* disk, rdf::TripleOrder order,
+                         ColumnCodec codec)
+    : order_(order),
+      subj_(std::make_unique<Column>(pool, disk, codec)),
+      prop_(std::make_unique<Column>(pool, disk, codec)),
+      obj_(std::make_unique<Column>(pool, disk, codec)) {}
+
+void TripleTable::Load(std::vector<rdf::Triple> triples) {
+  SWAN_CHECK_MSG(size_ == 0, "TripleTable::Load called twice");
+  SWAN_CHECK_MSG(triples.size() < (1ull << 32),
+                 "column store limited to 2^32 rows");
+  std::sort(triples.begin(), triples.end(),
+            [this](const rdf::Triple& a, const rdf::Triple& b) {
+              return KeyOf(a, order_) < KeyOf(b, order_);
+            });
+  size_ = triples.size();
+
+  std::vector<uint64_t> buf(triples.size());
+  for (size_t i = 0; i < triples.size(); ++i) buf[i] = triples[i].subject;
+  subj_->Build(buf);
+  for (size_t i = 0; i < triples.size(); ++i) buf[i] = triples[i].property;
+  prop_->Build(buf);
+  for (size_t i = 0; i < triples.size(); ++i) buf[i] = triples[i].object;
+  obj_->Build(buf);
+}
+
+const std::vector<uint64_t>& TripleTable::ComponentColumn(
+    int component_index) const {
+  switch (component_index) {
+    case 0:
+      return subjects();
+    case 1:
+      return properties();
+    default:
+      return objects();
+  }
+}
+
+std::pair<uint32_t, uint32_t> TripleTable::PrimaryRange(uint64_t v) const {
+  const auto comp = ComponentsOf(order_);
+  return EqRangeSorted(ComponentColumn(comp[0]), v);
+}
+
+std::pair<uint32_t, uint32_t> TripleTable::PrimarySecondaryRange(
+    uint64_t v1, uint64_t v2) const {
+  const auto comp = ComponentsOf(order_);
+  return EqRangeSorted2(ComponentColumn(comp[0]), ComponentColumn(comp[1]),
+                        v1, v2);
+}
+
+void TripleTable::DropCaches() const {
+  subj_->DropCache();
+  prop_->DropCache();
+  obj_->DropCache();
+}
+
+uint64_t TripleTable::disk_bytes() const {
+  return subj_->disk_bytes() + prop_->disk_bytes() + obj_->disk_bytes();
+}
+
+}  // namespace swan::colstore

@@ -1,0 +1,68 @@
+#ifndef SWANDB_COLSTORE_TRIPLE_TABLE_H_
+#define SWANDB_COLSTORE_TRIPLE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "colstore/column.h"
+#include "colstore/ops.h"
+#include "rdf/triple.h"
+#include "storage/buffer_pool.h"
+#include "storage/simulated_disk.h"
+
+namespace swan::colstore {
+
+// The column-store triple-store: one relation of three columns, physically
+// sorted in a chosen TripleOrder. With PSO ordering, the property column
+// is a sorted run-length-friendly column, the equivalent of the paper's
+// "column-stores with compression can achieve the same effect [as key-
+// prefix compression] on the sorted property column" (§4.1).
+//
+// Columns load lazily and independently: a query touching only the
+// property and object columns never reads the subject column — this is
+// what makes the column-store triple-store's cold behaviour differ from a
+// row store's.
+class TripleTable {
+ public:
+  TripleTable(storage::BufferPool* pool, storage::SimulatedDisk* disk,
+              rdf::TripleOrder order, ColumnCodec codec = ColumnCodec::kRaw);
+
+  TripleTable(const TripleTable&) = delete;
+  TripleTable& operator=(const TripleTable&) = delete;
+
+  // Sorts `triples` by `order` and builds the three columns.
+  void Load(std::vector<rdf::Triple> triples);
+
+  // Role-named accessors (each triggers a lazy load of that column only).
+  const std::vector<uint64_t>& subjects() const { return subj_->Get(); }
+  const std::vector<uint64_t>& properties() const { return prop_->Get(); }
+  const std::vector<uint64_t>& objects() const { return obj_->Get(); }
+
+  rdf::TripleOrder order() const { return order_; }
+  uint64_t size() const { return size_; }
+
+  // Row range where the physically-first sort component equals `v`
+  // (binary search; for PSO order this is "all rows of property v").
+  std::pair<uint32_t, uint32_t> PrimaryRange(uint64_t v) const;
+
+  // Row range where the first two sort components equal (v1, v2).
+  std::pair<uint32_t, uint32_t> PrimarySecondaryRange(uint64_t v1,
+                                                      uint64_t v2) const;
+
+  void DropCaches() const;
+  uint64_t disk_bytes() const;
+
+ private:
+  const std::vector<uint64_t>& ComponentColumn(int component_index) const;
+
+  rdf::TripleOrder order_;
+  uint64_t size_ = 0;
+  std::unique_ptr<Column> subj_;
+  std::unique_ptr<Column> prop_;
+  std::unique_ptr<Column> obj_;
+};
+
+}  // namespace swan::colstore
+
+#endif  // SWANDB_COLSTORE_TRIPLE_TABLE_H_

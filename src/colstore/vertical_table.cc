@@ -1,0 +1,110 @@
+#include "colstore/vertical_table.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace swan::colstore {
+
+VerticalTable::VerticalTable(storage::BufferPool* pool,
+                             storage::SimulatedDisk* disk, ColumnCodec codec)
+    : pool_(pool), disk_(disk), codec_(codec) {}
+
+void VerticalTable::Load(std::span<const rdf::Triple> triples) {
+  SWAN_CHECK_MSG(partitions_.empty(), "VerticalTable::Load called twice");
+
+  // Group triples by property, then sort each group by (subject, object).
+  std::unordered_map<uint64_t, std::vector<std::pair<uint64_t, uint64_t>>>
+      groups;
+  for (const rdf::Triple& t : triples) {
+    groups[t.property].emplace_back(t.subject, t.object);
+  }
+
+  properties_.reserve(groups.size());
+  for (auto& [prop, rows] : groups) {
+    properties_.push_back(prop);
+    std::sort(rows.begin(), rows.end());
+    SWAN_CHECK(rows.size() < (1ull << 32));
+
+    Partition part;
+    part.rows = rows.size();
+    part.subj = std::make_unique<Column>(pool_, disk_, codec_);
+    part.obj = std::make_unique<Column>(pool_, disk_, codec_);
+    std::vector<uint64_t> buf(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) buf[i] = rows[i].first;
+    part.subj->Build(buf);
+    for (size_t i = 0; i < rows.size(); ++i) buf[i] = rows[i].second;
+    part.obj->Build(buf);
+    partitions_.emplace(prop, std::move(part));
+  }
+  std::sort(properties_.begin(), properties_.end());
+}
+
+void VerticalTable::ReplacePartition(
+    uint64_t property, std::span<const std::pair<uint64_t, uint64_t>> rows) {
+  SWAN_CHECK(rows.size() < (1ull << 32));
+  for (size_t i = 1; i < rows.size(); ++i) {
+    SWAN_DCHECK(rows[i - 1] < rows[i]);
+  }
+  Partition part;
+  part.rows = rows.size();
+  part.subj = std::make_unique<Column>(pool_, disk_, codec_);
+  part.obj = std::make_unique<Column>(pool_, disk_, codec_);
+  std::vector<uint64_t> buf(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) buf[i] = rows[i].first;
+  part.subj->Build(buf);
+  for (size_t i = 0; i < rows.size(); ++i) buf[i] = rows[i].second;
+  part.obj->Build(buf);
+
+  auto it = partitions_.find(property);
+  if (it == partitions_.end()) {
+    partitions_.emplace(property, std::move(part));
+    properties_.insert(std::lower_bound(properties_.begin(), properties_.end(),
+                                        property),
+                       property);
+  } else {
+    it->second = std::move(part);
+  }
+}
+
+uint64_t VerticalTable::PartitionSize(uint64_t property) const {
+  auto it = partitions_.find(property);
+  return it == partitions_.end() ? 0 : it->second.rows;
+}
+
+const VerticalTable::Partition& VerticalTable::Require(
+    uint64_t property) const {
+  auto it = partitions_.find(property);
+  SWAN_CHECK_MSG(it != partitions_.end(), "no partition for property");
+  return it->second;
+}
+
+const std::vector<uint64_t>& VerticalTable::Subjects(uint64_t property) const {
+  return Require(property).subj->Get();
+}
+
+const std::vector<uint64_t>& VerticalTable::Objects(uint64_t property) const {
+  return Require(property).obj->Get();
+}
+
+std::pair<uint32_t, uint32_t> VerticalTable::SubjectRange(uint64_t property,
+                                                          uint64_t s) const {
+  return EqRangeSorted(Subjects(property), s);
+}
+
+void VerticalTable::DropCaches() const {
+  for (const auto& [prop, part] : partitions_) {
+    part.subj->DropCache();
+    part.obj->DropCache();
+  }
+}
+
+uint64_t VerticalTable::disk_bytes() const {
+  uint64_t total = 0;
+  for (const auto& [prop, part] : partitions_) {
+    total += part.subj->disk_bytes() + part.obj->disk_bytes();
+  }
+  return total;
+}
+
+}  // namespace swan::colstore

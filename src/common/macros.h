@@ -1,0 +1,35 @@
+#ifndef SWANDB_COMMON_MACROS_H_
+#define SWANDB_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant checking. SWAN_CHECK is always on (storage engines must never
+// silently corrupt data); SWAN_DCHECK compiles out in release builds.
+#define SWAN_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,          \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define SWAN_CHECK_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,     \
+                   __LINE__, #cond, msg);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define SWAN_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define SWAN_DCHECK(cond) SWAN_CHECK(cond)
+#endif
+
+#endif  // SWANDB_COMMON_MACROS_H_

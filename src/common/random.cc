@@ -1,0 +1,154 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace swan {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // Expand the seed via SplitMix64, as recommended by the xoshiro authors,
+  // so that nearby seeds produce unrelated streams.
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  SWAN_DCHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Chance(double p) { return NextDouble() < p; }
+
+ZipfSampler::ZipfSampler(uint64_t n, double alpha) : n_(n), alpha_(alpha) {
+  SWAN_CHECK(n >= 1);
+  SWAN_CHECK(alpha > 0.0);
+  h_integral_x1_ = HIntegral(1.5) - 1.0;
+  h_integral_num_elements_ = HIntegral(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HIntegralInverse(HIntegral(2.5) - H(2.0));
+}
+
+double ZipfSampler::H(double x) const { return std::exp(-alpha_ * std::log(x)); }
+
+double ZipfSampler::HIntegral(double x) const {
+  const double log_x = std::log(x);
+  // Stable evaluation of (exp(t*(1-alpha)) - 1) / (1-alpha) around alpha=1.
+  const double t = (1.0 - alpha_) * log_x;
+  double helper;
+  if (std::abs(t) > 1e-8) {
+    helper = (std::exp(t) - 1.0) / t;
+  } else {
+    helper = 1.0 + t * 0.5 * (1.0 + t / 3.0 * (1.0 + 0.25 * t));
+  }
+  return log_x * helper;
+}
+
+double ZipfSampler::HIntegralInverse(double x) const {
+  double t = x * (1.0 - alpha_);
+  if (t < -1.0) t = -1.0;  // Numerical guard near the distribution head.
+  double helper;
+  if (std::abs(t) > 1e-8) {
+    helper = std::log1p(t) / t;
+  } else {
+    helper = 1.0 - t * 0.5 * (1.0 - t / 3.0 * (1.0 - 0.25 * t));
+  }
+  return std::exp(x * helper);
+}
+
+uint64_t ZipfSampler::Sample(Rng* rng) const {
+  for (;;) {
+    const double u =
+        h_integral_num_elements_ +
+        rng->NextDouble() * (h_integral_x1_ - h_integral_num_elements_);
+    const double x = HIntegralInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_ || u >= HIntegral(kd + 0.5) - H(kd)) {
+      return k - 1;  // 0-based rank
+    }
+  }
+}
+
+DiscreteSampler::DiscreteSampler(const std::vector<double>& weights) {
+  SWAN_CHECK(!weights.empty());
+  const size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    SWAN_CHECK(w >= 0.0);
+    total += w;
+  }
+  SWAN_CHECK(total > 0.0);
+
+  prob_.resize(n);
+  alias_.resize(n);
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (uint32_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (uint32_t i : small) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+uint64_t DiscreteSampler::Sample(Rng* rng) const {
+  const uint64_t i = rng->Uniform(prob_.size());
+  return rng->NextDouble() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace swan

@@ -1,0 +1,74 @@
+#ifndef SWANDB_COMMON_RANDOM_H_
+#define SWANDB_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace swan {
+
+// Deterministic, fast PRNG (xoshiro256**). Seeded explicitly so every
+// benchmark table in this repository is reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Bernoulli trial with success probability p.
+  bool Chance(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+// Samples ranks 0..n-1 with probability proportional to (rank+1)^-alpha.
+// Uses the rejection-inversion method of Hörmann & Derflinger, the same
+// algorithm used by YCSB-style workload generators; O(1) per sample.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double alpha);
+
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double HIntegral(double x) const;
+  double HIntegralInverse(double x) const;
+  double H(double x) const;
+
+  uint64_t n_;
+  double alpha_;
+  double h_integral_x1_;
+  double h_integral_num_elements_;
+  double s_;
+};
+
+// Samples an index 0..weights.size()-1 proportional to arbitrary
+// non-negative weights, via the alias method; O(1) per sample after O(n)
+// preprocessing. Used for the calibrated Barton property distribution.
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(const std::vector<double>& weights);
+
+  uint64_t Sample(Rng* rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace swan
+
+#endif  // SWANDB_COMMON_RANDOM_H_

@@ -1,0 +1,124 @@
+#ifndef SWANDB_COMMON_STATUS_H_
+#define SWANDB_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+
+namespace swan {
+
+// Error taxonomy for fallible library operations. Internal invariant
+// violations use SWAN_CHECK instead; Status is reserved for conditions a
+// caller can reasonably cause or handle (bad input files, unknown names,
+// capacity limits).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kCorruption,
+  kUnimplemented,
+};
+
+// Value-semantic status object in the style of arrow::Status / absl::Status.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable rendering, e.g. "NotFound: no such property".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> holds either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : value_(std::move(status)) {  // NOLINT
+    SWAN_CHECK_MSG(!std::get<Status>(value_).ok(),
+                   "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const T& value() const& {
+    SWAN_CHECK(ok());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    SWAN_CHECK(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    SWAN_CHECK(ok());
+    return std::move(std::get<T>(value_));
+  }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(value_);
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+#define SWAN_RETURN_NOT_OK(expr)              \
+  do {                                        \
+    ::swan::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+#define SWAN_INTERNAL_CONCAT2(a, b) a##b
+#define SWAN_INTERNAL_CONCAT(a, b) SWAN_INTERNAL_CONCAT2(a, b)
+
+#define SWAN_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define SWAN_ASSIGN_OR_RETURN(lhs, expr) \
+  SWAN_ASSIGN_OR_RETURN_IMPL(SWAN_INTERNAL_CONCAT(_swan_res_, __LINE__), lhs, \
+                             expr)
+
+}  // namespace swan
+
+#endif  // SWANDB_COMMON_STATUS_H_

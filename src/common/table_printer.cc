@@ -1,0 +1,106 @@
+#include "common/table_printer.h"
+
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace swan {
+
+namespace {
+
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '-' || c == '+' || c == ',' || c == 'e')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  SWAN_CHECK_MSG(cells.size() == header_.size(),
+                 "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddSeparator() { rows_.push_back({"\x01"}); }
+
+std::string TablePrinter::ToString() const {
+  const size_t ncols = header_.size();
+  std::vector<size_t> width(ncols);
+  for (size_t c = 0; c < ncols; ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == "\x01") continue;
+    for (size_t c = 0; c < ncols; ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto render_line = [&](char fill) {
+    std::string line = "+";
+    for (size_t c = 0; c < ncols; ++c) {
+      line += std::string(width[c] + 2, fill);
+      line += "+";
+    }
+    line += "\n";
+    return line;
+  };
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = row[c];
+      const size_t pad = width[c] - cell.size();
+      if (LooksNumeric(cell)) {
+        line += " " + std::string(pad, ' ') + cell + " |";
+      } else {
+        line += " " + cell + std::string(pad, ' ') + " |";
+      }
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out = render_line('-');
+  out += render_row(header_);
+  out += render_line('-');
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == "\x01") {
+      out += render_line('-');
+    } else {
+      out += render_row(row);
+    }
+  }
+  out += render_line('-');
+  return out;
+}
+
+std::string TablePrinter::Fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string TablePrinter::Int(uint64_t value) {
+  // Render with thousands separators, e.g. 50,255,599 as in Table 1.
+  char raw[32];
+  std::snprintf(raw, sizeof(raw), "%llu",
+                static_cast<unsigned long long>(value));
+  std::string s(raw);
+  std::string out;
+  const size_t n = s.size();
+  for (size_t i = 0; i < n; ++i) {
+    out += s[i];
+    const size_t rem = n - 1 - i;
+    if (rem > 0 && rem % 3 == 0) out += ',';
+  }
+  return out;
+}
+
+}  // namespace swan

@@ -1,0 +1,33 @@
+#ifndef SWANDB_COMMON_TABLE_PRINTER_H_
+#define SWANDB_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace swan {
+
+// Minimal fixed-width ASCII table renderer used by the benchmark binaries
+// to print paper-style result tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  void AddSeparator();
+
+  // Renders the table. Numeric-looking cells are right-aligned.
+  std::string ToString() const;
+
+  // Convenience formatting helpers.
+  static std::string Fixed(double value, int decimals);
+  static std::string Int(uint64_t value);
+
+ private:
+  std::vector<std::string> header_;
+  // A row with the single magic cell "\x01" renders as a separator line.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace swan
+
+#endif  // SWANDB_COMMON_TABLE_PRINTER_H_

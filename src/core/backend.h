@@ -1,0 +1,86 @@
+#ifndef SWANDB_CORE_BACKEND_H_
+#define SWANDB_CORE_BACKEND_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+#include "rdf/pattern.h"
+#include "rdf/triple.h"
+#include "storage/buffer_pool.h"
+#include "storage/simulated_disk.h"
+
+namespace swan::core {
+
+// One point in the paper's evaluation grid: a storage scheme realized in
+// an engine architecture (e.g. "MonetDB / vertical SO" or "DBX / triple
+// PSO"). Each backend owns its own simulated disk and buffer pool, so
+// per-query I/O is attributable and the cold/hot protocol is independent
+// of other backends.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  // Display name as used in the paper's tables, e.g. "DBX triple PSO".
+  virtual std::string name() const = 0;
+
+  // Whether this backend implements the query (the C-Store engine only
+  // supports q1–q7, mirroring its hard-wired plans).
+  virtual bool Supports(QueryId id) const {
+    (void)id;
+    return true;
+  }
+
+  // Executes a benchmark query. The caller is responsible for the timing
+  // protocol (see bench_support::Harness).
+  virtual QueryResult Run(QueryId id, const QueryContext& ctx) = 0;
+
+  // Generic triple-pattern lookup, the building block of the BGP
+  // evaluator. Returns all matching triples.
+  virtual std::vector<rdf::Triple> Match(
+      const rdf::TriplePattern& pattern) const = 0;
+
+  // Adds a triple (ids must already be interned in the owning dataset's
+  // dictionary). Row backends update their B+trees in place; column
+  // backends buffer into a delta store that is merged into the
+  // read-optimized columns before the next query — so the cost of an
+  // insert differs radically by architecture (bench/ablation_updates).
+  // Returns AlreadyExists for duplicate triples (RDF set semantics) and
+  // Unimplemented for read-only engines (C-Store).
+  virtual Status Insert(const rdf::Triple& triple) {
+    (void)triple;
+    return Status::Unimplemented("read-only backend");
+  }
+
+  // Cold-run protocol: drop all memory state (buffer pool, column caches)
+  // so the next query pays full I/O.
+  virtual void DropCaches() = 0;
+
+  virtual storage::SimulatedDisk* disk() = 0;
+  const storage::SimulatedDisk* disk() const {
+    return const_cast<Backend*>(this)->disk();
+  }
+
+  // Total on-disk footprint of the backend's physical design.
+  virtual uint64_t disk_bytes() const = 0;
+};
+
+// Shared ownership plumbing for disk + buffer pool.
+class BackendBase : public Backend {
+ public:
+  BackendBase(storage::DiskConfig disk_config, size_t pool_pages)
+      : disk_(std::make_unique<storage::SimulatedDisk>(disk_config)),
+        pool_(std::make_unique<storage::BufferPool>(disk_.get(), pool_pages)) {}
+
+  storage::SimulatedDisk* disk() override { return disk_.get(); }
+  storage::BufferPool* pool() { return pool_.get(); }
+
+ protected:
+  std::unique_ptr<storage::SimulatedDisk> disk_;
+  std::unique_ptr<storage::BufferPool> pool_;
+};
+
+}  // namespace swan::core
+
+#endif  // SWANDB_CORE_BACKEND_H_

@@ -1,0 +1,153 @@
+#include "core/bgp.h"
+
+#include <climits>
+#include <optional>
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace swan::core {
+
+namespace {
+
+// Index of a variable in the binding table, or nullopt for constants.
+struct SlotRef {
+  std::optional<size_t> var_index;  // set if variable
+  uint64_t const_id = 0;
+};
+
+SlotRef ResolveTerm(const Term& term,
+                    std::unordered_map<std::string, size_t>* var_index,
+                    std::vector<std::string>* vars) {
+  if (!term.is_var) {
+    return SlotRef{std::nullopt, term.id};
+  }
+  auto it = var_index->find(term.var);
+  if (it == var_index->end()) {
+    const size_t idx = vars->size();
+    vars->push_back(term.var);
+    var_index->emplace(term.var, idx);
+    return SlotRef{idx, 0};
+  }
+  return SlotRef{it->second, 0};
+}
+
+}  // namespace
+
+std::vector<size_t> PlanPatternOrder(const std::vector<BgpPattern>& patterns) {
+  std::vector<size_t> order;
+  std::vector<bool> used(patterns.size(), false);
+  std::unordered_map<std::string, bool> bound;
+
+  auto score = [&](const BgpPattern& p) {
+    int constants = 0, joined = 0, fresh = 0;
+    for (const Term* t : {&p.subject, &p.property, &p.object}) {
+      if (!t->is_var) {
+        ++constants;
+      } else if (bound.count(t->var) != 0) {
+        ++joined;
+      } else {
+        ++fresh;
+      }
+    }
+    // Constants narrow the match most; variables already bound turn the
+    // step into a join; fresh variables widen the binding table.
+    return 3 * constants + 2 * joined - fresh;
+  };
+
+  for (size_t step = 0; step < patterns.size(); ++step) {
+    int best_score = INT_MIN;
+    size_t best = 0;
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      if (used[i]) continue;
+      const int s = score(patterns[i]);
+      if (s > best_score) {
+        best_score = s;
+        best = i;
+      }
+    }
+    used[best] = true;
+    order.push_back(best);
+    for (const Term* t : {&patterns[best].subject, &patterns[best].property,
+                          &patterns[best].object}) {
+      if (t->is_var) bound[t->var] = true;
+    }
+  }
+  return order;
+}
+
+Result<BgpResult> ExecuteBgp(const Backend& backend,
+                             const std::vector<BgpPattern>& raw_patterns) {
+  std::vector<BgpPattern> patterns;
+  patterns.reserve(raw_patterns.size());
+  for (size_t i : PlanPatternOrder(raw_patterns)) {
+    patterns.push_back(raw_patterns[i]);
+  }
+  if (raw_patterns.empty()) {
+    return Status::InvalidArgument("empty basic graph pattern");
+  }
+  for (const BgpPattern& p : patterns) {
+    for (const Term* t : {&p.subject, &p.property, &p.object}) {
+      if (t->is_var && t->var.empty()) {
+        return Status::InvalidArgument("variable term with empty name");
+      }
+    }
+  }
+
+  BgpResult result;
+  std::unordered_map<std::string, size_t> var_index;
+  result.rows.push_back({});  // one empty binding
+
+  for (const BgpPattern& pattern : patterns) {
+    const size_t known_vars = result.vars.size();
+    const SlotRef s = ResolveTerm(pattern.subject, &var_index, &result.vars);
+    const SlotRef p = ResolveTerm(pattern.property, &var_index, &result.vars);
+    const SlotRef o = ResolveTerm(pattern.object, &var_index, &result.vars);
+
+    auto bound_value = [&](const SlotRef& ref,
+                           const std::vector<uint64_t>& row)
+        -> std::optional<uint64_t> {
+      if (!ref.var_index) return ref.const_id;
+      if (*ref.var_index < row.size()) return row[*ref.var_index];
+      return std::nullopt;  // variable introduced by this pattern
+    };
+
+    std::vector<std::vector<uint64_t>> next_rows;
+    for (const auto& row : result.rows) {
+      rdf::TriplePattern tp;
+      tp.subject = bound_value(s, row);
+      tp.property = bound_value(p, row);
+      tp.object = bound_value(o, row);
+
+      for (const rdf::Triple& t : backend.Match(tp)) {
+        // Extend the binding; enforce consistency for variables repeated
+        // *within* this pattern (e.g. (?x, p, ?x)).
+        std::vector<uint64_t> extended = row;
+        extended.resize(result.vars.size(), 0);
+        std::vector<bool> set_now(result.vars.size() - known_vars, false);
+        bool consistent = true;
+        auto bind = [&](const SlotRef& ref, uint64_t value) {
+          if (!ref.var_index || *ref.var_index < known_vars) {
+            return;  // constants and known vars are enforced by Match
+          }
+          const size_t local = *ref.var_index - known_vars;
+          if (set_now[local] && extended[*ref.var_index] != value) {
+            consistent = false;
+            return;
+          }
+          extended[*ref.var_index] = value;
+          set_now[local] = true;
+        };
+        bind(s, t.subject);
+        bind(p, t.property);
+        bind(o, t.object);
+        if (consistent) next_rows.push_back(std::move(extended));
+      }
+    }
+    result.rows = std::move(next_rows);
+    if (result.rows.empty()) break;
+  }
+  return result;
+}
+
+}  // namespace swan::core

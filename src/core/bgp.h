@@ -1,0 +1,61 @@
+#ifndef SWANDB_CORE_BGP_H_
+#define SWANDB_CORE_BGP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/backend.h"
+
+namespace swan::core {
+
+// A SPARQL-style basic graph pattern (BGP) evaluator over any Backend.
+// This generalizes the fixed benchmark queries: all 8 simple triple
+// patterns of Figure 2 and arbitrary compositions of the A/B/C join
+// patterns can be expressed and executed, which is how the library covers
+// the full query design space the paper maps out in §2.2.
+
+// A term of a pattern: either a bound dictionary id or a named variable.
+struct Term {
+  static Term Const(uint64_t id) { return Term{false, id, ""}; }
+  static Term Var(std::string name) { return Term{true, 0, std::move(name)}; }
+
+  bool is_var = false;
+  uint64_t id = 0;
+  std::string var;
+};
+
+struct BgpPattern {
+  Term subject;
+  Term property;
+  Term object;
+};
+
+// Result: a binding table. Column i holds the values of variable vars[i].
+struct BgpResult {
+  std::vector<std::string> vars;
+  std::vector<std::vector<uint64_t>> rows;
+};
+
+// Greedy join ordering: returns the indices of `patterns` in evaluation
+// order — the most-bound pattern first, then repeatedly the pattern most
+// connected to the variables already bound. Equivalent results in any
+// order (BGP conjunction is commutative); the ordering only bounds the
+// intermediate binding-table sizes. Exposed for tests and EXPLAIN-style
+// inspection.
+std::vector<size_t> PlanPatternOrder(const std::vector<BgpPattern>& patterns);
+
+// Evaluates the conjunction of `patterns` against `backend` by iterative
+// binding extension (index-nested-loop at the logical level): patterns are
+// evaluated in PlanPatternOrder; for every partial binding the pattern is
+// instantiated and matched through Backend::Match. Repeated variables
+// within one pattern are checked for consistency. Result columns follow
+// first-appearance order *in evaluation order* — consult BgpResult::vars
+// rather than assuming the query's textual order.
+Result<BgpResult> ExecuteBgp(const Backend& backend,
+                             const std::vector<BgpPattern>& patterns);
+
+}  // namespace swan::core
+
+#endif  // SWANDB_CORE_BGP_H_

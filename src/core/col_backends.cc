@@ -1,0 +1,742 @@
+#include "core/col_backends.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace swan::core {
+
+namespace {
+
+using colstore::CountByKeyDense;
+using colstore::CountByPair;
+using colstore::EqRangeSorted;
+using colstore::Gather;
+using colstore::MarkSet;
+using colstore::MergeCountMatches;
+using colstore::MergeJoin;
+using colstore::MergeSelectPositions;
+using colstore::PositionVector;
+using colstore::SelectEq;
+using colstore::SortDistinct;
+using colstore::SortedIntersect;
+using colstore::UnionDistinct;
+
+// Whether this run of a q2/q3/q4/q6-family query applies the
+// "interesting properties" restriction while scanning.
+bool UseFilter(QueryId id, const QueryContext& ctx) {
+  return UsesPropertyFilter(id) && !IsStar(id) && !ctx.FilterCoversAll();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ColTripleBackend
+// ---------------------------------------------------------------------------
+
+ColTripleBackend::ColTripleBackend(const rdf::Dataset& dataset,
+                                   rdf::TripleOrder order,
+                                   storage::DiskConfig disk_config,
+                                   size_t pool_pages,
+                                   colstore::ColumnCodec codec)
+    : BackendBase(disk_config, pool_pages) {
+  SWAN_CHECK_MSG(
+      order == rdf::TripleOrder::kSPO || order == rdf::TripleOrder::kPSO,
+      "column triple-store supports SPO or PSO sort order");
+  pso_ = order == rdf::TripleOrder::kPSO;
+  codec_ = codec;
+  table_ = std::make_unique<colstore::TripleTable>(pool_.get(), disk_.get(),
+                                                   order, codec);
+  table_->Load(dataset.triples());
+}
+
+std::string ColTripleBackend::name() const {
+  return std::string("MonetDB triple ") + ToString(table_->order());
+}
+
+void ColTripleBackend::DropCaches() {
+  table_->DropCaches();
+  pool_->Clear();
+}
+
+PositionVector ColTripleBackend::PropPositions(uint64_t property) const {
+  if (pso_) {
+    const auto [lo, hi] = table_->PrimaryRange(property);
+    PositionVector out(hi - lo);
+    std::iota(out.begin(), out.end(), lo);
+    return out;
+  }
+  return SelectEq(table_->properties(), property);
+}
+
+std::vector<uint64_t> ColTripleBackend::SubjectsWithPropObj(
+    uint64_t property, uint64_t object) const {
+  const PositionVector props = PropPositions(property);
+  const PositionVector sel = SelectEq(table_->objects(), props, object);
+  // Subjects come out ascending in both sort orders: SPO is globally
+  // subject-sorted, PSO is subject-sorted within one property.
+  return Gather(table_->subjects(), sel);
+}
+
+QueryResult ColTripleBackend::RunQ1(const QueryContext& ctx) const {
+  const PositionVector sel = PropPositions(ctx.vocab().type);
+  QueryResult result;
+  result.column_names = {"obj", "count"};
+  for (const auto& [obj, count] :
+       CountByKeyDense(table_->objects(), sel, ctx.dict_size())) {
+    result.rows.push_back({obj, count});
+  }
+  return result;
+}
+
+QueryResult ColTripleBackend::RunQ2Family(QueryId id,
+                                          const QueryContext& ctx) const {
+  const auto& v = ctx.vocab();
+  MarkSet a_subjects(ctx.dict_size());
+  a_subjects.MarkAll(SubjectsWithPropObj(v.type, v.text));
+
+  const bool filter = UseFilter(id, ctx);
+  MarkSet interesting(filter ? ctx.dict_size() : 1);
+  if (filter) interesting.MarkAll(ctx.interesting_properties());
+
+  const auto& subj = table_->subjects();
+  const auto& prop = table_->properties();
+  std::vector<uint64_t> counts(ctx.dict_size(), 0);
+  const size_t n = subj.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (!a_subjects.Test(subj[i])) continue;
+    if (filter && !interesting.Test(prop[i])) continue;
+    ++counts[prop[i]];
+  }
+
+  QueryResult result;
+  result.column_names = {"prop", "count"};
+  for (uint64_t p = 0; p < counts.size(); ++p) {
+    if (counts[p] != 0) result.rows.push_back({p, counts[p]});
+  }
+  return result;
+}
+
+QueryResult ColTripleBackend::RunQ3Family(QueryId id,
+                                          const QueryContext& ctx) const {
+  const auto& v = ctx.vocab();
+  MarkSet a_subjects(ctx.dict_size());
+  a_subjects.MarkAll(SubjectsWithPropObj(v.type, v.text));
+
+  // q4/q4*: B's subject must also carry (language, fre).
+  const bool with_language =
+      BaseOf(id) == QueryId::kQ4;
+  MarkSet c_subjects(with_language ? ctx.dict_size() : 1);
+  if (with_language) {
+    c_subjects.MarkAll(SubjectsWithPropObj(v.language, v.french));
+  }
+
+  const bool filter = UseFilter(id, ctx);
+  MarkSet interesting(filter ? ctx.dict_size() : 1);
+  if (filter) interesting.MarkAll(ctx.interesting_properties());
+
+  const auto& subj = table_->subjects();
+  const auto& prop = table_->properties();
+  PositionVector sel;
+  const size_t n = subj.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (!a_subjects.Test(subj[i])) continue;
+    if (with_language && !c_subjects.Test(subj[i])) continue;
+    if (filter && !interesting.Test(prop[i])) continue;
+    sel.push_back(static_cast<uint32_t>(i));
+  }
+
+  const std::vector<uint64_t> props = Gather(prop, sel);
+  const std::vector<uint64_t> objs = Gather(table_->objects(), sel);
+
+  QueryResult result;
+  result.column_names = {"prop", "obj", "count"};
+  for (const auto& group : CountByPair(props, objs)) {
+    if (group.count > 1) {
+      result.rows.push_back({group.a, group.b, group.count});
+    }
+  }
+  return result;
+}
+
+QueryResult ColTripleBackend::RunQ5(const QueryContext& ctx) const {
+  const auto& v = ctx.vocab();
+  MarkSet a_subjects(ctx.dict_size());
+  a_subjects.MarkAll(SubjectsWithPropObj(v.origin, v.dlc));
+
+  // B: records-triples of DLC-origin subjects, as (object, subject) pairs
+  // sorted by object for the C-join.
+  const PositionVector rec_positions = PropPositions(v.records);
+  std::vector<std::pair<uint64_t, uint64_t>> b_pairs;
+  {
+    const auto& subj = table_->subjects();
+    const auto& obj = table_->objects();
+    for (uint32_t i : rec_positions) {
+      if (a_subjects.Test(subj[i])) b_pairs.emplace_back(obj[i], subj[i]);
+    }
+  }
+  std::sort(b_pairs.begin(), b_pairs.end());
+  std::vector<uint64_t> b_objects(b_pairs.size());
+  for (size_t i = 0; i < b_pairs.size(); ++i) b_objects[i] = b_pairs[i].first;
+
+  // C: type-triples, subject-sorted in both physical orders.
+  const PositionVector type_positions = PropPositions(v.type);
+  const std::vector<uint64_t> c_subjects =
+      Gather(table_->subjects(), type_positions);
+  const std::vector<uint64_t> c_objects =
+      Gather(table_->objects(), type_positions);
+
+  QueryResult result;
+  result.column_names = {"subj", "obj"};
+  for (const auto& [bi, ci] : MergeJoin(b_objects, c_subjects)) {
+    if (c_objects[ci] != v.text) {
+      result.rows.push_back({b_pairs[bi].second, c_objects[ci]});
+    }
+  }
+  return result;
+}
+
+QueryResult ColTripleBackend::RunQ6Family(QueryId id,
+                                          const QueryContext& ctx) const {
+  const auto& v = ctx.vocab();
+  const std::vector<uint64_t> a1 = SubjectsWithPropObj(v.type, v.text);
+  MarkSet text_typed(ctx.dict_size());
+  text_typed.MarkAll(a1);
+
+  // Union: Text-typed subjects plus subjects whose records-object is
+  // Text-typed.
+  MarkSet united(ctx.dict_size());
+  united.MarkAll(a1);
+  {
+    const PositionVector recs = PropPositions(v.records);
+    const auto& subj = table_->subjects();
+    const auto& obj = table_->objects();
+    for (uint32_t i : recs) {
+      if (text_typed.Test(obj[i])) united.Mark(subj[i]);
+    }
+  }
+
+  const bool filter = UseFilter(id, ctx);
+  MarkSet interesting(filter ? ctx.dict_size() : 1);
+  if (filter) interesting.MarkAll(ctx.interesting_properties());
+
+  const auto& subj = table_->subjects();
+  const auto& prop = table_->properties();
+  std::vector<uint64_t> counts(ctx.dict_size(), 0);
+  const size_t n = subj.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (!united.Test(subj[i])) continue;
+    if (filter && !interesting.Test(prop[i])) continue;
+    ++counts[prop[i]];
+  }
+
+  QueryResult result;
+  result.column_names = {"prop", "count"};
+  for (uint64_t p = 0; p < counts.size(); ++p) {
+    if (counts[p] != 0) result.rows.push_back({p, counts[p]});
+  }
+  return result;
+}
+
+QueryResult ColTripleBackend::RunQ7(const QueryContext& ctx) const {
+  const auto& v = ctx.vocab();
+  MarkSet a_subjects(ctx.dict_size());
+  a_subjects.MarkAll(SubjectsWithPropObj(v.point, v.end));
+
+  auto collect = [&](uint64_t property, std::vector<uint64_t>* subjects,
+                     std::vector<uint64_t>* objects) {
+    const PositionVector positions = PropPositions(property);
+    const auto& subj = table_->subjects();
+    const auto& obj = table_->objects();
+    for (uint32_t i : positions) {
+      if (a_subjects.Test(subj[i])) {
+        subjects->push_back(subj[i]);
+        objects->push_back(obj[i]);
+      }
+    }
+  };
+
+  std::vector<uint64_t> b_subj, b_obj, c_subj, c_obj;
+  collect(v.encoding, &b_subj, &b_obj);
+  collect(v.type, &c_subj, &c_obj);
+
+  QueryResult result;
+  result.column_names = {"subj", "encoding", "type"};
+  for (const auto& [bi, ci] : MergeJoin(b_subj, c_subj)) {
+    result.rows.push_back({b_subj[bi], b_obj[bi], c_obj[ci]});
+  }
+  return result;
+}
+
+QueryResult ColTripleBackend::RunQ8(const QueryContext& ctx) const {
+  const auto& v = ctx.vocab();
+  std::vector<uint64_t> t;
+  if (pso_) {
+    const PositionVector sel = SelectEq(table_->subjects(), v.conferences);
+    t = SortDistinct(Gather(table_->objects(), sel));
+  } else {
+    const auto [lo, hi] = table_->PrimaryRange(v.conferences);
+    PositionVector sel(hi - lo);
+    std::iota(sel.begin(), sel.end(), lo);
+    t = SortDistinct(Gather(table_->objects(), sel));
+  }
+  MarkSet shared(ctx.dict_size());
+  shared.MarkAll(t);
+
+  const auto& subj = table_->subjects();
+  const auto& obj = table_->objects();
+  std::vector<uint64_t> out;
+  const size_t n = subj.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (subj[i] != v.conferences && shared.Test(obj[i])) {
+      out.push_back(subj[i]);
+    }
+  }
+  out = SortDistinct(std::move(out));
+
+  QueryResult result;
+  result.column_names = {"subj"};
+  for (uint64_t s : out) result.rows.push_back({s});
+  return result;
+}
+
+bool ColTripleBackend::BaseContains(const rdf::Triple& t) const {
+  const auto [lo, hi] =
+      pso_ ? table_->PrimarySecondaryRange(t.property, t.subject)
+           : table_->PrimarySecondaryRange(t.subject, t.property);
+  const auto& obj = table_->objects();
+  for (uint32_t i = lo; i < hi; ++i) {
+    if (obj[i] == t.object) return true;
+  }
+  return false;
+}
+
+Status ColTripleBackend::Insert(const rdf::Triple& triple) {
+  if (delta_set_.count(triple) != 0 || BaseContains(triple)) {
+    return Status::AlreadyExists("triple already present");
+  }
+  delta_.push_back(triple);
+  delta_set_.insert(triple);
+  return Status::OK();
+}
+
+void ColTripleBackend::EnsureMerged() {
+  if (delta_.empty()) return;
+  // Merge the write store into the read-optimized columns: read the base
+  // columns back, append the delta, and rebuild — the full cost a
+  // sorted-column store pays for updates.
+  std::vector<rdf::Triple> all;
+  all.reserve(table_->size() + delta_.size());
+  const auto& subj = table_->subjects();
+  const auto& prop = table_->properties();
+  const auto& obj = table_->objects();
+  for (size_t i = 0; i < subj.size(); ++i) {
+    all.push_back({subj[i], prop[i], obj[i]});
+  }
+  all.insert(all.end(), delta_.begin(), delta_.end());
+  table_ = std::make_unique<colstore::TripleTable>(pool_.get(), disk_.get(),
+                                                   table_->order(), codec_);
+  table_->Load(std::move(all));
+  delta_.clear();
+  delta_set_.clear();
+  ++merge_count_;
+}
+
+QueryResult ColTripleBackend::Run(QueryId id, const QueryContext& ctx) {
+  EnsureMerged();
+  switch (BaseOf(id)) {
+    case QueryId::kQ1:
+      return RunQ1(ctx);
+    case QueryId::kQ2:
+      return RunQ2Family(id, ctx);
+    case QueryId::kQ3:
+    case QueryId::kQ4:
+      return RunQ3Family(id, ctx);
+    case QueryId::kQ5:
+      return RunQ5(ctx);
+    case QueryId::kQ6:
+      return RunQ6Family(id, ctx);
+    case QueryId::kQ7:
+      return RunQ7(ctx);
+    case QueryId::kQ8:
+      return RunQ8(ctx);
+    default:
+      SWAN_CHECK(false);
+      return {};
+  }
+}
+
+std::vector<rdf::Triple> ColTripleBackend::Match(
+    const rdf::TriplePattern& pattern) const {
+  PositionVector sel;
+  bool have_sel = false;
+
+  // Exploit the physical sort order for the leading bound component.
+  rdf::TriplePattern residual = pattern;
+  if (pso_ && pattern.property) {
+    uint32_t lo = 0, hi = 0;
+    if (pattern.subject) {
+      std::tie(lo, hi) = table_->PrimarySecondaryRange(*pattern.property,
+                                                       *pattern.subject);
+      residual.subject.reset();
+    } else {
+      std::tie(lo, hi) = table_->PrimaryRange(*pattern.property);
+    }
+    residual.property.reset();
+    sel.resize(hi - lo);
+    std::iota(sel.begin(), sel.end(), lo);
+    have_sel = true;
+  } else if (!pso_ && pattern.subject) {
+    uint32_t lo = 0, hi = 0;
+    if (pattern.property) {
+      std::tie(lo, hi) = table_->PrimarySecondaryRange(*pattern.subject,
+                                                       *pattern.property);
+      residual.property.reset();
+    } else {
+      std::tie(lo, hi) = table_->PrimaryRange(*pattern.subject);
+    }
+    residual.subject.reset();
+    sel.resize(hi - lo);
+    std::iota(sel.begin(), sel.end(), lo);
+    have_sel = true;
+  }
+
+  if (!have_sel) {
+    sel.resize(table_->size());
+    std::iota(sel.begin(), sel.end(), 0);
+  }
+  if (residual.subject) sel = SelectEq(table_->subjects(), sel, *residual.subject);
+  if (residual.property) {
+    sel = SelectEq(table_->properties(), sel, *residual.property);
+  }
+  if (residual.object) sel = SelectEq(table_->objects(), sel, *residual.object);
+
+  std::vector<rdf::Triple> out;
+  out.reserve(sel.size());
+  const auto& subj = table_->subjects();
+  const auto& prop = table_->properties();
+  const auto& obj = table_->objects();
+  for (uint32_t i : sel) out.push_back({subj[i], prop[i], obj[i]});
+  // Unmerged inserts are visible to pattern lookups via a delta scan.
+  for (const rdf::Triple& t : delta_) {
+    if (pattern.Matches(t)) out.push_back(t);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ColVerticalBackend
+// ---------------------------------------------------------------------------
+
+ColVerticalBackend::ColVerticalBackend(const rdf::Dataset& dataset,
+                                       storage::DiskConfig disk_config,
+                                       size_t pool_pages,
+                                       colstore::ColumnCodec codec)
+    : BackendBase(disk_config, pool_pages) {
+  codec_ = codec;
+  table_ = std::make_unique<colstore::VerticalTable>(pool_.get(), disk_.get(),
+                                                     codec);
+  table_->Load(dataset.triples());
+}
+
+Status ColVerticalBackend::Insert(const rdf::Triple& triple) {
+  if (delta_set_.count(triple) != 0) {
+    return Status::AlreadyExists("triple already present");
+  }
+  if (table_->HasPartition(triple.property)) {
+    const auto [lo, hi] =
+        table_->SubjectRange(triple.property, triple.subject);
+    const auto& obj = table_->Objects(triple.property);
+    for (uint32_t i = lo; i < hi; ++i) {
+      if (obj[i] == triple.object) {
+        return Status::AlreadyExists("triple already present");
+      }
+    }
+  } else if (delta_.count(triple.property) == 0) {
+    // The data-driven schema grows: a new property means a new table.
+    ++partitions_created_;
+  }
+  delta_[triple.property].emplace_back(triple.subject, triple.object);
+  delta_set_.insert(triple);
+  return Status::OK();
+}
+
+void ColVerticalBackend::EnsureMerged() {
+  if (delta_.empty()) return;
+  for (auto& [property, fresh] : delta_) {
+    std::vector<std::pair<uint64_t, uint64_t>> rows;
+    if (table_->HasPartition(property)) {
+      const auto& subj = table_->Subjects(property);
+      const auto& obj = table_->Objects(property);
+      rows.reserve(subj.size() + fresh.size());
+      for (size_t i = 0; i < subj.size(); ++i) {
+        rows.emplace_back(subj[i], obj[i]);
+      }
+    }
+    rows.insert(rows.end(), fresh.begin(), fresh.end());
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+    table_->ReplacePartition(property, rows);
+  }
+  delta_.clear();
+  delta_set_.clear();
+  ++merge_count_;
+}
+
+std::string ColVerticalBackend::name() const { return "MonetDB vert. SO"; }
+
+void ColVerticalBackend::DropCaches() {
+  table_->DropCaches();
+  pool_->Clear();
+}
+
+std::vector<uint64_t> ColVerticalBackend::SubjectsWhereObjEq(
+    uint64_t property, uint64_t object) const {
+  if (!table_->HasPartition(property)) return {};
+  const PositionVector sel = SelectEq(table_->Objects(property), object);
+  // Subject columns are sorted, so the gathered subset stays sorted.
+  return Gather(table_->Subjects(property), sel);
+}
+
+std::vector<uint64_t> ColVerticalBackend::PropertyList(
+    QueryId id, const QueryContext& ctx) const {
+  if (IsStar(id) || ctx.FilterCoversAll()) return table_->properties();
+  return ctx.interesting_properties();
+}
+
+QueryResult ColVerticalBackend::RunQ1(const QueryContext& ctx) const {
+  QueryResult result;
+  result.column_names = {"obj", "count"};
+  if (!table_->HasPartition(ctx.vocab().type)) return result;
+  for (const auto& [obj, count] :
+       CountByKeyDense(table_->Objects(ctx.vocab().type), ctx.dict_size())) {
+    result.rows.push_back({obj, count});
+  }
+  return result;
+}
+
+QueryResult ColVerticalBackend::RunQ2Family(QueryId id,
+                                            const QueryContext& ctx) const {
+  const auto& v = ctx.vocab();
+  const std::vector<uint64_t> a = SubjectsWhereObjEq(v.type, v.text);
+
+  QueryResult result;
+  result.column_names = {"prop", "count"};
+  // One merge join per property table, then the implicit union of all the
+  // per-partition results — the plan shape the Perl-generated SQL produces.
+  for (uint64_t p : PropertyList(id, ctx)) {
+    if (!table_->HasPartition(p)) continue;
+    const uint64_t count = MergeCountMatches(table_->Subjects(p), a);
+    if (count > 0) result.rows.push_back({p, count});
+  }
+  return result;
+}
+
+QueryResult ColVerticalBackend::RunQ3Family(QueryId id,
+                                            const QueryContext& ctx) const {
+  const auto& v = ctx.vocab();
+  std::vector<uint64_t> a = SubjectsWhereObjEq(v.type, v.text);
+  if (BaseOf(id) == QueryId::kQ4) {
+    a = SortedIntersect(a, SubjectsWhereObjEq(v.language, v.french));
+  }
+
+  QueryResult result;
+  result.column_names = {"prop", "obj", "count"};
+  for (uint64_t p : PropertyList(id, ctx)) {
+    if (!table_->HasPartition(p)) continue;
+    const PositionVector sel =
+        MergeSelectPositions(table_->Subjects(p), a);
+    std::vector<uint64_t> objs = Gather(table_->Objects(p), sel);
+    std::sort(objs.begin(), objs.end());
+    size_t i = 0;
+    while (i < objs.size()) {
+      size_t j = i + 1;
+      while (j < objs.size() && objs[j] == objs[i]) ++j;
+      if (j - i > 1) {
+        result.rows.push_back({p, objs[i], static_cast<uint64_t>(j - i)});
+      }
+      i = j;
+    }
+  }
+  return result;
+}
+
+QueryResult ColVerticalBackend::RunQ5(const QueryContext& ctx) const {
+  const auto& v = ctx.vocab();
+  QueryResult result;
+  result.column_names = {"subj", "obj"};
+  if (!table_->HasPartition(v.records) || !table_->HasPartition(v.type)) {
+    return result;
+  }
+  const std::vector<uint64_t> a = SubjectsWhereObjEq(v.origin, v.dlc);
+
+  const PositionVector rec_sel =
+      MergeSelectPositions(table_->Subjects(v.records), a);
+  std::vector<std::pair<uint64_t, uint64_t>> b_pairs;  // (object, subject)
+  {
+    const auto& rs = table_->Subjects(v.records);
+    const auto& ro = table_->Objects(v.records);
+    b_pairs.reserve(rec_sel.size());
+    for (uint32_t i : rec_sel) b_pairs.emplace_back(ro[i], rs[i]);
+  }
+  std::sort(b_pairs.begin(), b_pairs.end());
+  std::vector<uint64_t> b_objects(b_pairs.size());
+  for (size_t i = 0; i < b_pairs.size(); ++i) b_objects[i] = b_pairs[i].first;
+
+  const auto& c_subjects = table_->Subjects(v.type);
+  const auto& c_objects = table_->Objects(v.type);
+  for (const auto& [bi, ci] : MergeJoin(b_objects, c_subjects)) {
+    if (c_objects[ci] != v.text) {
+      result.rows.push_back({b_pairs[bi].second, c_objects[ci]});
+    }
+  }
+  return result;
+}
+
+QueryResult ColVerticalBackend::RunQ6Family(QueryId id,
+                                            const QueryContext& ctx) const {
+  const auto& v = ctx.vocab();
+  const std::vector<uint64_t> a1 = SubjectsWhereObjEq(v.type, v.text);
+  MarkSet text_typed(ctx.dict_size());
+  text_typed.MarkAll(a1);
+
+  std::vector<uint64_t> via_records;
+  if (table_->HasPartition(v.records)) {
+    const auto& rs = table_->Subjects(v.records);
+    const auto& ro = table_->Objects(v.records);
+    for (size_t i = 0; i < ro.size(); ++i) {
+      if (text_typed.Test(ro[i])) via_records.push_back(rs[i]);
+    }
+  }
+  const std::vector<uint64_t> united = UnionDistinct({a1, via_records});
+
+  QueryResult result;
+  result.column_names = {"prop", "count"};
+  for (uint64_t p : PropertyList(id, ctx)) {
+    if (!table_->HasPartition(p)) continue;
+    const uint64_t count = MergeCountMatches(table_->Subjects(p), united);
+    if (count > 0) result.rows.push_back({p, count});
+  }
+  return result;
+}
+
+QueryResult ColVerticalBackend::RunQ7(const QueryContext& ctx) const {
+  const auto& v = ctx.vocab();
+  QueryResult result;
+  result.column_names = {"subj", "encoding", "type"};
+  if (!table_->HasPartition(v.encoding) || !table_->HasPartition(v.type)) {
+    return result;
+  }
+  const std::vector<uint64_t> a = SubjectsWhereObjEq(v.point, v.end);
+
+  auto collect = [&](uint64_t property, std::vector<uint64_t>* subjects,
+                     std::vector<uint64_t>* objects) {
+    const PositionVector sel =
+        MergeSelectPositions(table_->Subjects(property), a);
+    *subjects = Gather(table_->Subjects(property), sel);
+    *objects = Gather(table_->Objects(property), sel);
+  };
+  std::vector<uint64_t> b_subj, b_obj, c_subj, c_obj;
+  collect(v.encoding, &b_subj, &b_obj);
+  collect(v.type, &c_subj, &c_obj);
+
+  for (const auto& [bi, ci] : MergeJoin(b_subj, c_subj)) {
+    result.rows.push_back({b_subj[bi], b_obj[bi], c_obj[ci]});
+  }
+  return result;
+}
+
+QueryResult ColVerticalBackend::RunQ8(const QueryContext& ctx) const {
+  const auto& v = ctx.vocab();
+
+  // Phase 1 (temporary table t): visit *every* property table and collect
+  // the objects of subject "conferences".
+  std::vector<std::vector<uint64_t>> object_lists;
+  for (uint64_t p : table_->properties()) {
+    const auto [lo, hi] = table_->SubjectRange(p, v.conferences);
+    if (lo == hi) continue;
+    PositionVector sel(hi - lo);
+    std::iota(sel.begin(), sel.end(), lo);
+    object_lists.push_back(Gather(table_->Objects(p), sel));
+  }
+  const std::vector<uint64_t> t = UnionDistinct(object_lists);
+  MarkSet shared(ctx.dict_size());
+  shared.MarkAll(t);
+
+  // Phase 2: join t back against every property table.
+  std::vector<uint64_t> out;
+  for (uint64_t p : table_->properties()) {
+    const auto& subj = table_->Subjects(p);
+    const auto& obj = table_->Objects(p);
+    for (size_t i = 0; i < obj.size(); ++i) {
+      if (subj[i] != v.conferences && shared.Test(obj[i])) {
+        out.push_back(subj[i]);
+      }
+    }
+  }
+  out = SortDistinct(std::move(out));
+
+  QueryResult result;
+  result.column_names = {"subj"};
+  for (uint64_t s : out) result.rows.push_back({s});
+  return result;
+}
+
+QueryResult ColVerticalBackend::Run(QueryId id, const QueryContext& ctx) {
+  EnsureMerged();
+  switch (BaseOf(id)) {
+    case QueryId::kQ1:
+      return RunQ1(ctx);
+    case QueryId::kQ2:
+      return RunQ2Family(id, ctx);
+    case QueryId::kQ3:
+    case QueryId::kQ4:
+      return RunQ3Family(id, ctx);
+    case QueryId::kQ5:
+      return RunQ5(ctx);
+    case QueryId::kQ6:
+      return RunQ6Family(id, ctx);
+    case QueryId::kQ7:
+      return RunQ7(ctx);
+    case QueryId::kQ8:
+      return RunQ8(ctx);
+    default:
+      SWAN_CHECK(false);
+      return {};
+  }
+}
+
+std::vector<rdf::Triple> ColVerticalBackend::Match(
+    const rdf::TriplePattern& pattern) const {
+  std::vector<uint64_t> props;
+  if (pattern.property) {
+    if (table_->HasPartition(*pattern.property)) {
+      props.push_back(*pattern.property);
+    }
+  } else {
+    props = table_->properties();
+  }
+
+  std::vector<rdf::Triple> out;
+  for (uint64_t p : props) {
+    if (!table_->HasPartition(p)) continue;
+    const auto& subj = table_->Subjects(p);
+    const auto& obj = table_->Objects(p);
+    uint32_t lo = 0, hi = static_cast<uint32_t>(subj.size());
+    if (pattern.subject) {
+      std::tie(lo, hi) = table_->SubjectRange(p, *pattern.subject);
+    }
+    for (uint32_t i = lo; i < hi; ++i) {
+      if (pattern.object && obj[i] != *pattern.object) continue;
+      out.push_back({subj[i], p, obj[i]});
+    }
+  }
+  // Unmerged inserts are visible via a delta scan.
+  for (const rdf::Triple& t : delta_set_) {
+    if (pattern.Matches(t)) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace swan::core

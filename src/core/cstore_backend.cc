@@ -1,0 +1,129 @@
+#include "core/cstore_backend.h"
+
+#include "common/macros.h"
+
+namespace swan::core {
+
+namespace {
+
+cstore::CStoreConstants ConstantsFrom(const QueryContext& ctx) {
+  const Vocabulary& v = ctx.vocab();
+  cstore::CStoreConstants c;
+  c.type = v.type;
+  c.text = v.text;
+  c.language = v.language;
+  c.french = v.french;
+  c.origin = v.origin;
+  c.dlc = v.dlc;
+  c.records = v.records;
+  c.point = v.point;
+  c.end = v.end;
+  c.encoding = v.encoding;
+  c.dict_size = ctx.dict_size();
+  return c;
+}
+
+const std::vector<std::string>& ColumnNamesFor(QueryId id) {
+  static const auto* const kTwo =
+      new std::vector<std::string>{"obj", "count"};
+  static const auto* const kProp =
+      new std::vector<std::string>{"prop", "count"};
+  static const auto* const kThree =
+      new std::vector<std::string>{"prop", "obj", "count"};
+  static const auto* const kQ5 = new std::vector<std::string>{"subj", "obj"};
+  static const auto* const kQ7 =
+      new std::vector<std::string>{"subj", "encoding", "type"};
+  switch (id) {
+    case QueryId::kQ1:
+      return *kTwo;
+    case QueryId::kQ2:
+    case QueryId::kQ6:
+      return *kProp;
+    case QueryId::kQ3:
+    case QueryId::kQ4:
+      return *kThree;
+    case QueryId::kQ5:
+      return *kQ5;
+    default:
+      return *kQ7;
+  }
+}
+
+}  // namespace
+
+CStoreBackend::CStoreBackend(const rdf::Dataset& dataset,
+                             std::vector<uint64_t> properties,
+                             storage::DiskConfig disk_config,
+                             size_t pool_pages)
+    : BackendBase(disk_config, pool_pages) {
+  engine_ = std::make_unique<cstore::CStoreEngine>(pool_.get(), disk_.get());
+  engine_->Load(dataset.triples(), properties);
+}
+
+bool CStoreBackend::Supports(QueryId id) const {
+  return !IsStar(id) && id != QueryId::kQ8;
+}
+
+QueryResult CStoreBackend::Run(QueryId id, const QueryContext& ctx) {
+  SWAN_CHECK_MSG(Supports(id),
+                 "C-Store's hard-wired plans cover only q1-q7");
+  const cstore::CStoreConstants c = ConstantsFrom(ctx);
+  QueryResult result;
+  result.column_names = ColumnNamesFor(id);
+  switch (id) {
+    case QueryId::kQ1:
+      result.rows = engine_->Q1(c);
+      break;
+    case QueryId::kQ2:
+      result.rows = engine_->Q2(c);
+      break;
+    case QueryId::kQ3:
+      result.rows = engine_->Q3(c);
+      break;
+    case QueryId::kQ4:
+      result.rows = engine_->Q4(c);
+      break;
+    case QueryId::kQ5:
+      result.rows = engine_->Q5(c);
+      break;
+    case QueryId::kQ6:
+      result.rows = engine_->Q6(c);
+      break;
+    case QueryId::kQ7:
+      result.rows = engine_->Q7(c);
+      break;
+    default:
+      SWAN_CHECK(false);
+  }
+  return result;
+}
+
+std::vector<rdf::Triple> CStoreBackend::Match(
+    const rdf::TriplePattern& pattern) const {
+  std::vector<uint64_t> props;
+  if (pattern.property) {
+    if (engine_->HasProperty(*pattern.property)) {
+      props.push_back(*pattern.property);
+    }
+  } else {
+    props = engine_->properties();
+  }
+  std::vector<rdf::Triple> out;
+  for (uint64_t p : props) {
+    const auto& subj = engine_->Subjects(p);
+    const auto& obj = engine_->Objects(p);
+    for (size_t i = 0; i < subj.size(); ++i) {
+      if (pattern.subject && subj[i] != *pattern.subject) continue;
+      if (pattern.object && obj[i] != *pattern.object) continue;
+      out.push_back({subj[i], p, obj[i]});
+    }
+  }
+  return out;
+}
+
+void CStoreBackend::DropCaches() {
+  engine_->DropCaches();
+  pool_->Clear();
+}
+
+}  // namespace swan::core

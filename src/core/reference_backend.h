@@ -1,0 +1,40 @@
+#ifndef SWANDB_CORE_REFERENCE_BACKEND_H_
+#define SWANDB_CORE_REFERENCE_BACKEND_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/backend.h"
+
+namespace swan::core {
+
+// Deliberately naive oracle: executes every benchmark query by direct
+// loops over an in-memory triple vector, translating the SQL of the
+// paper's appendix as literally as possible — no indexes, no access-path
+// choice, no vectorization, no shared sub-plan machinery. It exists so
+// that the optimized backends can be validated against an implementation
+// whose correctness is checkable by eye; it is also the equivalence
+// gate's tie-breaker when two optimized backends agree on a wrong answer.
+//
+// Not benchmarked: its disk is a stub (nothing is ever read from it).
+class ReferenceBackend : public BackendBase {
+ public:
+  explicit ReferenceBackend(const rdf::Dataset& dataset);
+
+  std::string name() const override { return "reference (naive)"; }
+  QueryResult Run(QueryId id, const QueryContext& ctx) override;
+  std::vector<rdf::Triple> Match(
+      const rdf::TriplePattern& pattern) const override;
+  Status Insert(const rdf::Triple& triple) override;
+  void DropCaches() override {}
+  uint64_t disk_bytes() const override { return 0; }
+
+ private:
+  std::vector<rdf::Triple> triples_;
+  std::unordered_set<rdf::Triple, rdf::TripleHash> present_;
+};
+
+}  // namespace swan::core
+
+#endif  // SWANDB_CORE_REFERENCE_BACKEND_H_

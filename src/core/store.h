@@ -1,0 +1,113 @@
+#ifndef SWANDB_CORE_STORE_H_
+#define SWANDB_CORE_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/backend.h"
+#include "colstore/compression.h"
+#include "core/bgp.h"
+#include "core/query.h"
+#include "rdf/dataset.h"
+
+namespace swan::core {
+
+// Which relational RDF storage scheme to materialize. kPropertyTable is
+// an extension beyond the paper (which excludes that scheme; §1) and is
+// only available on the row engine.
+enum class StorageScheme { kTripleStore, kVerticalPartitioned, kPropertyTable };
+
+// Which engine architecture executes the queries.
+enum class EngineKind { kRowStore, kColumnStore, kCStore };
+
+std::string ToString(StorageScheme scheme);
+std::string ToString(EngineKind engine);
+
+struct StoreOptions {
+  StorageScheme scheme = StorageScheme::kVerticalPartitioned;
+  EngineKind engine = EngineKind::kColumnStore;
+
+  // Clustering / sort order for the triple-store scheme (SPO or PSO; the
+  // row engine additionally builds the paper's secondary indices).
+  rdf::TripleOrder clustering = rdf::TripleOrder::kPSO;
+
+  // I/O model; defaults to the paper's machine B (390 MB/s RAID).
+  storage::DiskConfig disk;
+
+  // Buffer-pool capacity in 8 KiB pages.
+  size_t pool_pages = 65536;
+
+  // On-disk column codec for the column-store engine (the C-Store engine
+  // always compresses). kRaw matches the paper's MonetDB 5.6 baseline.
+  colstore::ColumnCodec codec = colstore::ColumnCodec::kRaw;
+
+  // For EngineKind::kCStore: the property subset to load. Empty means all
+  // distinct properties of the dataset.
+  std::vector<uint64_t> cstore_properties;
+
+  // For StorageScheme::kPropertyTable: how many of the most frequent
+  // properties the design wizard flattens into the wide table.
+  uint32_t property_table_width = 20;
+};
+
+// The public faсade of swandb: an RDF store materialized under one
+// scheme × engine combination. Holds a reference to the Dataset (which
+// must outlive the store); all query answers are dictionary ids that can
+// be decoded through dataset.dict().
+//
+// Typical use:
+//
+//   rdf::Dataset data = ...;                       // load or generate
+//   StoreOptions options;
+//   options.scheme = StorageScheme::kVerticalPartitioned;
+//   options.engine = EngineKind::kColumnStore;
+//   auto store = RdfStore::Open(data, options);
+//   auto bindings = store->ExecuteBgp({...});      // ad-hoc BGP query
+//
+class RdfStore {
+ public:
+  static std::unique_ptr<RdfStore> Open(const rdf::Dataset& dataset,
+                                        StoreOptions options = {});
+
+  // Runs one of the 12 fixed benchmark queries.
+  QueryResult Run(QueryId id, const QueryContext& ctx) {
+    return backend_->Run(id, ctx);
+  }
+
+  // Single triple-pattern lookup.
+  std::vector<rdf::Triple> Match(const rdf::TriplePattern& pattern) const {
+    return backend_->Match(pattern);
+  }
+
+  // Conjunctive pattern (BGP) query.
+  Result<BgpResult> ExecuteBgp(const std::vector<BgpPattern>& patterns) const {
+    return core::ExecuteBgp(*backend_, patterns);
+  }
+
+  // Benchmark protocol hooks.
+  void DropCaches() { backend_->DropCaches(); }
+
+  Backend& backend() { return *backend_; }
+  const Backend& backend() const { return *backend_; }
+  const rdf::Dataset& dataset() const { return *dataset_; }
+  const StoreOptions& options() const { return options_; }
+
+  std::string name() const { return backend_->name(); }
+  uint64_t disk_bytes() const { return backend_->disk_bytes(); }
+
+ private:
+  RdfStore(const rdf::Dataset& dataset, StoreOptions options,
+           std::unique_ptr<Backend> backend)
+      : dataset_(&dataset),
+        options_(std::move(options)),
+        backend_(std::move(backend)) {}
+
+  const rdf::Dataset* dataset_;
+  StoreOptions options_;
+  std::unique_ptr<Backend> backend_;
+};
+
+}  // namespace swan::core
+
+#endif  // SWANDB_CORE_STORE_H_

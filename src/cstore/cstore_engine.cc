@@ -1,0 +1,228 @@
+#include "cstore/cstore_engine.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "colstore/ops.h"
+#include "common/macros.h"
+
+namespace swan::cstore {
+
+using colstore::CountByKeyDense;
+using colstore::Gather;
+using colstore::MarkSet;
+using colstore::MergeCountMatches;
+using colstore::MergeJoin;
+using colstore::MergeSelectPositions;
+using colstore::PositionVector;
+using colstore::SelectEq;
+using colstore::SortedIntersect;
+using colstore::UnionDistinct;
+
+storage::DiskConfig CStoreEngine::RecommendedDiskConfig(
+    double bandwidth_mb_per_s) {
+  storage::DiskConfig config;
+  config.bandwidth_mb_per_s = bandwidth_mb_per_s;
+  config.seek_latency_ms = 2.0;
+  config.forced_seek_interval_pages = 4;
+  return config;
+}
+
+CStoreEngine::CStoreEngine(storage::BufferPool* pool,
+                           storage::SimulatedDisk* disk)
+    : pool_(pool), disk_(disk) {}
+
+void CStoreEngine::Load(std::span<const rdf::Triple> triples,
+                        std::span<const uint64_t> properties) {
+  SWAN_CHECK_MSG(partitions_.empty(), "CStoreEngine::Load called twice");
+  const std::unordered_set<uint64_t> wanted(properties.begin(),
+                                            properties.end());
+  std::map<uint64_t, std::vector<std::pair<uint64_t, uint64_t>>> groups;
+  for (const rdf::Triple& t : triples) {
+    if (wanted.count(t.property) != 0) {
+      groups[t.property].emplace_back(t.subject, t.object);
+    }
+  }
+  for (auto& [prop, rows] : groups) {
+    std::sort(rows.begin(), rows.end());
+    properties_.push_back(prop);
+    Partition part;
+    // The real C-Store compresses aggressively; pick the best codec per
+    // column (sorted subjects delta-compress, objects fall back as needed).
+    part.subj = std::make_unique<colstore::Column>(
+        pool_, disk_, colstore::ColumnCodec::kAuto);
+    part.obj = std::make_unique<colstore::Column>(
+        pool_, disk_, colstore::ColumnCodec::kAuto);
+    std::vector<uint64_t> buf(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) buf[i] = rows[i].first;
+    part.subj->Build(buf);
+    for (size_t i = 0; i < rows.size(); ++i) buf[i] = rows[i].second;
+    part.obj->Build(buf);
+    partitions_.emplace(prop, std::move(part));
+  }
+}
+
+const std::vector<uint64_t>& CStoreEngine::Subjects(uint64_t property) const {
+  auto it = partitions_.find(property);
+  SWAN_CHECK_MSG(it != partitions_.end(), "property not loaded in C-Store");
+  return it->second.subj->Get();
+}
+
+const std::vector<uint64_t>& CStoreEngine::Objects(uint64_t property) const {
+  auto it = partitions_.find(property);
+  SWAN_CHECK_MSG(it != partitions_.end(), "property not loaded in C-Store");
+  return it->second.obj->Get();
+}
+
+std::vector<uint64_t> CStoreEngine::SubjectsWhereObjEq(uint64_t property,
+                                                       uint64_t object) const {
+  if (!HasProperty(property)) return {};
+  const PositionVector sel = SelectEq(Objects(property), object);
+  return Gather(Subjects(property), sel);
+}
+
+CStoreEngine::Rows CStoreEngine::Q1(const CStoreConstants& c) const {
+  Rows rows;
+  if (!HasProperty(c.type)) return rows;
+  for (const auto& [obj, count] : CountByKeyDense(Objects(c.type),
+                                                  c.dict_size)) {
+    rows.push_back({obj, count});
+  }
+  return rows;
+}
+
+CStoreEngine::Rows CStoreEngine::Q2(const CStoreConstants& c) const {
+  const std::vector<uint64_t> a = SubjectsWhereObjEq(c.type, c.text);
+  Rows rows;
+  for (uint64_t p : properties_) {
+    const uint64_t count = MergeCountMatches(Subjects(p), a);
+    if (count > 0) rows.push_back({p, count});
+  }
+  return rows;
+}
+
+CStoreEngine::Rows CStoreEngine::Q3(const CStoreConstants& c) const {
+  const std::vector<uint64_t> a = SubjectsWhereObjEq(c.type, c.text);
+  Rows rows;
+  for (uint64_t p : properties_) {
+    const PositionVector sel = MergeSelectPositions(Subjects(p), a);
+    std::vector<uint64_t> objs = Gather(Objects(p), sel);
+    std::sort(objs.begin(), objs.end());
+    size_t i = 0;
+    while (i < objs.size()) {
+      size_t j = i + 1;
+      while (j < objs.size() && objs[j] == objs[i]) ++j;
+      if (j - i > 1) rows.push_back({p, objs[i], static_cast<uint64_t>(j - i)});
+      i = j;
+    }
+  }
+  return rows;
+}
+
+CStoreEngine::Rows CStoreEngine::Q4(const CStoreConstants& c) const {
+  const std::vector<uint64_t> a = SortedIntersect(
+      SubjectsWhereObjEq(c.type, c.text),
+      SubjectsWhereObjEq(c.language, c.french));
+  Rows rows;
+  for (uint64_t p : properties_) {
+    const PositionVector sel = MergeSelectPositions(Subjects(p), a);
+    std::vector<uint64_t> objs = Gather(Objects(p), sel);
+    std::sort(objs.begin(), objs.end());
+    size_t i = 0;
+    while (i < objs.size()) {
+      size_t j = i + 1;
+      while (j < objs.size() && objs[j] == objs[i]) ++j;
+      if (j - i > 1) rows.push_back({p, objs[i], static_cast<uint64_t>(j - i)});
+      i = j;
+    }
+  }
+  return rows;
+}
+
+CStoreEngine::Rows CStoreEngine::Q5(const CStoreConstants& c) const {
+  Rows rows;
+  if (!HasProperty(c.records) || !HasProperty(c.type)) return rows;
+  const std::vector<uint64_t> a = SubjectsWhereObjEq(c.origin, c.dlc);
+
+  const PositionVector rec_sel =
+      MergeSelectPositions(Subjects(c.records), a);
+  std::vector<std::pair<uint64_t, uint64_t>> b_pairs;
+  {
+    const auto& rs = Subjects(c.records);
+    const auto& ro = Objects(c.records);
+    for (uint32_t i : rec_sel) b_pairs.emplace_back(ro[i], rs[i]);
+  }
+  std::sort(b_pairs.begin(), b_pairs.end());
+  std::vector<uint64_t> b_objects(b_pairs.size());
+  for (size_t i = 0; i < b_pairs.size(); ++i) b_objects[i] = b_pairs[i].first;
+
+  const auto& c_subjects = Subjects(c.type);
+  const auto& c_objects = Objects(c.type);
+  for (const auto& [bi, ci] : MergeJoin(b_objects, c_subjects)) {
+    if (c_objects[ci] != c.text) {
+      rows.push_back({b_pairs[bi].second, c_objects[ci]});
+    }
+  }
+  return rows;
+}
+
+CStoreEngine::Rows CStoreEngine::Q6(const CStoreConstants& c) const {
+  const std::vector<uint64_t> a1 = SubjectsWhereObjEq(c.type, c.text);
+  MarkSet text_typed(c.dict_size);
+  text_typed.MarkAll(a1);
+
+  std::vector<uint64_t> via_records;
+  if (HasProperty(c.records)) {
+    const auto& rs = Subjects(c.records);
+    const auto& ro = Objects(c.records);
+    for (size_t i = 0; i < ro.size(); ++i) {
+      if (text_typed.Test(ro[i])) via_records.push_back(rs[i]);
+    }
+  }
+  const std::vector<uint64_t> united = UnionDistinct({a1, via_records});
+
+  Rows rows;
+  for (uint64_t p : properties_) {
+    const uint64_t count = MergeCountMatches(Subjects(p), united);
+    if (count > 0) rows.push_back({p, count});
+  }
+  return rows;
+}
+
+CStoreEngine::Rows CStoreEngine::Q7(const CStoreConstants& c) const {
+  Rows rows;
+  if (!HasProperty(c.encoding) || !HasProperty(c.type)) return rows;
+  const std::vector<uint64_t> a = SubjectsWhereObjEq(c.point, c.end);
+
+  auto collect = [&](uint64_t property, std::vector<uint64_t>* subjects,
+                     std::vector<uint64_t>* objects) {
+    const PositionVector sel = MergeSelectPositions(Subjects(property), a);
+    *subjects = Gather(Subjects(property), sel);
+    *objects = Gather(Objects(property), sel);
+  };
+  std::vector<uint64_t> b_subj, b_obj, c_subj, c_obj;
+  collect(c.encoding, &b_subj, &b_obj);
+  collect(c.type, &c_subj, &c_obj);
+
+  for (const auto& [bi, ci] : MergeJoin(b_subj, c_subj)) {
+    rows.push_back({b_subj[bi], b_obj[bi], c_obj[ci]});
+  }
+  return rows;
+}
+
+void CStoreEngine::DropCaches() const {
+  for (const auto& [prop, part] : partitions_) {
+    part.subj->DropCache();
+    part.obj->DropCache();
+  }
+}
+
+uint64_t CStoreEngine::disk_bytes() const {
+  uint64_t total = 0;
+  for (const auto& [prop, part] : partitions_) {
+    total += part.subj->disk_bytes() + part.obj->disk_bytes();
+  }
+  return total;
+}
+
+}  // namespace swan::cstore

@@ -1,0 +1,96 @@
+#ifndef SWANDB_CSTORE_CSTORE_ENGINE_H_
+#define SWANDB_CSTORE_CSTORE_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "colstore/column.h"
+#include "rdf/triple.h"
+#include "storage/buffer_pool.h"
+#include "storage/simulated_disk.h"
+
+namespace swan::cstore {
+
+// Re-creation of the original experiment's C-Store setup (§3): an early
+// column engine holding *only* the vertically-partitioned tables of the 28
+// selected properties, with the seven benchmark query plans hard-wired in
+// C++ — there is no way to run q8, the full-scale `*` variants, or any
+// other storage scheme, which is precisely the repeatability limitation
+// the paper reports.
+//
+// Its recommended disk configuration issues small scattered reads
+// (DiskConfig::forced_seek_interval_pages), so raising the sequential
+// bandwidth from machine A to machine B barely improves cold runs — the
+// paper's Figure 5 observation that "C-Store only exploits a small
+// fraction of the I/O bandwidth".
+struct CStoreConstants {
+  uint64_t type = 0;
+  uint64_t text = 0;
+  uint64_t language = 0;
+  uint64_t french = 0;
+  uint64_t origin = 0;
+  uint64_t dlc = 0;
+  uint64_t records = 0;
+  uint64_t point = 0;
+  uint64_t end = 0;
+  uint64_t encoding = 0;
+  uint64_t dict_size = 0;
+};
+
+class CStoreEngine {
+ public:
+  using Rows = std::vector<std::vector<uint64_t>>;
+
+  // The BerkeleyDB-like access pattern: a seek every 4 pages.
+  static storage::DiskConfig RecommendedDiskConfig(double bandwidth_mb_per_s);
+
+  CStoreEngine(storage::BufferPool* pool, storage::SimulatedDisk* disk);
+
+  CStoreEngine(const CStoreEngine&) = delete;
+  CStoreEngine& operator=(const CStoreEngine&) = delete;
+
+  // Loads only the triples whose property is in `properties` (the "28
+  // interesting properties" subset — hence the small database size the
+  // paper notes in §3).
+  void Load(std::span<const rdf::Triple> triples,
+            std::span<const uint64_t> properties);
+
+  // The seven hard-wired plans.
+  Rows Q1(const CStoreConstants& c) const;
+  Rows Q2(const CStoreConstants& c) const;
+  Rows Q3(const CStoreConstants& c) const;
+  Rows Q4(const CStoreConstants& c) const;
+  Rows Q5(const CStoreConstants& c) const;
+  Rows Q6(const CStoreConstants& c) const;
+  Rows Q7(const CStoreConstants& c) const;
+
+  void DropCaches() const;
+  uint64_t disk_bytes() const;
+
+  const std::vector<uint64_t>& properties() const { return properties_; }
+  bool HasProperty(uint64_t p) const { return partitions_.count(p) != 0; }
+  const std::vector<uint64_t>& Subjects(uint64_t property) const;
+  const std::vector<uint64_t>& Objects(uint64_t property) const;
+
+ private:
+  struct Partition {
+    std::unique_ptr<colstore::Column> subj;
+    std::unique_ptr<colstore::Column> obj;
+  };
+
+  // Sorted subjects with (property, object) — the shared sub-plan.
+  std::vector<uint64_t> SubjectsWhereObjEq(uint64_t property,
+                                           uint64_t object) const;
+
+  storage::BufferPool* pool_;
+  storage::SimulatedDisk* disk_;
+  std::vector<uint64_t> properties_;
+  std::map<uint64_t, Partition> partitions_;
+};
+
+}  // namespace swan::cstore
+
+#endif  // SWANDB_CSTORE_CSTORE_ENGINE_H_

@@ -1,0 +1,28 @@
+#include "dict/dictionary.h"
+
+#include "common/macros.h"
+
+namespace swan::dict {
+
+uint64_t Dictionary::Intern(std::string_view term) {
+  auto it = index_.find(term);
+  if (it != index_.end()) return it->second;
+  const uint64_t id = static_cast<uint64_t>(terms_.size());
+  terms_.emplace_back(term);
+  index_.emplace(std::string_view(terms_.back()), id);
+  total_string_bytes_ += term.size();
+  return id;
+}
+
+std::optional<uint64_t> Dictionary::Find(std::string_view term) const {
+  auto it = index_.find(term);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string_view Dictionary::Lookup(uint64_t id) const {
+  SWAN_CHECK_MSG(id < terms_.size(), "dictionary id out of range");
+  return terms_[static_cast<size_t>(id)];
+}
+
+}  // namespace swan::dict

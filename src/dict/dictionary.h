@@ -1,0 +1,51 @@
+#ifndef SWANDB_DICT_DICTIONARY_H_
+#define SWANDB_DICT_DICTIONARY_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace swan::dict {
+
+// Bidirectional mapping between RDF terms (URIs and literals) and dense
+// uint64 ids. All query processing in swandb operates on ids; strings are
+// touched only at load time and when decoding results — the paper's
+// "actual queries use integer predicates, since all strings are encoded on
+// a dictionary structure" (Appendix).
+//
+// Ids are dense and assigned in interning order starting at 0, which lets
+// downstream code use them directly as array indices.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+
+  // Returns the id for `term`, interning it if new.
+  uint64_t Intern(std::string_view term);
+
+  // Returns the id for `term` if present.
+  std::optional<uint64_t> Find(std::string_view term) const;
+
+  // Returns the term for an id previously returned by Intern().
+  std::string_view Lookup(uint64_t id) const;
+
+  uint64_t size() const { return static_cast<uint64_t>(terms_.size()); }
+
+  // Total bytes of stored term text (Table 1 sizing).
+  uint64_t TotalStringBytes() const { return total_string_bytes_; }
+
+ private:
+  // deque keeps string storage stable so string_views into it never dangle.
+  std::deque<std::string> terms_;
+  std::unordered_map<std::string_view, uint64_t> index_;
+  uint64_t total_string_bytes_ = 0;
+};
+
+}  // namespace swan::dict
+
+#endif  // SWANDB_DICT_DICTIONARY_H_

@@ -1,0 +1,48 @@
+#include "rdf/dataset.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace swan::rdf {
+
+bool Dataset::Add(const Triple& t) {
+  if (!present_.insert(t).second) return false;
+  triples_.push_back(t);
+  return true;
+}
+
+bool Dataset::Add(std::string_view subject, std::string_view property,
+                  std::string_view object) {
+  return Add(Triple{dict_->Intern(subject), dict_->Intern(property),
+                    dict_->Intern(object)});
+}
+
+std::vector<uint64_t> Dataset::DistinctProperties() const {
+  std::unordered_set<uint64_t> seen;
+  for (const Triple& t : triples_) seen.insert(t.property);
+  std::vector<uint64_t> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> Dataset::PropertyFrequencies()
+    const {
+  std::unordered_map<uint64_t, uint64_t> counts;
+  for (const Triple& t : triples_) ++counts[t.property];
+  std::vector<std::pair<uint64_t, uint64_t>> out(counts.begin(), counts.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+void Dataset::ReplaceTriples(std::vector<Triple> triples) {
+  present_.clear();
+  triples_.clear();
+  for (const Triple& t : triples) {
+    if (present_.insert(t).second) triples_.push_back(t);
+  }
+}
+
+}  // namespace swan::rdf

@@ -1,0 +1,59 @@
+#ifndef SWANDB_RDF_DATASET_H_
+#define SWANDB_RDF_DATASET_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "dict/dictionary.h"
+#include "rdf/triple.h"
+
+namespace swan::rdf {
+
+// A dictionary-encoded RDF graph: the input every storage backend is
+// built from. Triples are kept deduplicated (set semantics).
+class Dataset {
+ public:
+  Dataset() = default;
+
+  Dataset(const Dataset&) = delete;
+  Dataset& operator=(const Dataset&) = delete;
+  Dataset(Dataset&&) = default;
+  Dataset& operator=(Dataset&&) = default;
+
+  dict::Dictionary& dict() { return *dict_; }
+  const dict::Dictionary& dict() const { return *dict_; }
+
+  const std::vector<Triple>& triples() const { return triples_; }
+
+  // Adds a triple if not already present; returns true if inserted.
+  bool Add(const Triple& t);
+  bool Add(std::string_view subject, std::string_view property,
+           std::string_view object);
+
+  uint64_t size() const { return static_cast<uint64_t>(triples_.size()); }
+
+  // All distinct property ids, ascending.
+  std::vector<uint64_t> DistinctProperties() const;
+
+  // Per-property triple counts as (property id, count), descending count.
+  std::vector<std::pair<uint64_t, uint64_t>> PropertyFrequencies() const;
+
+  // Replaces the triple set (used by the property-splitting transform).
+  // Deduplicates the input.
+  void ReplaceTriples(std::vector<Triple> triples);
+
+ private:
+  // unique_ptr keeps Dataset movable: Dictionary itself is pinned because
+  // its index holds string_views into its own storage.
+  std::unique_ptr<dict::Dictionary> dict_ = std::make_unique<dict::Dictionary>();
+  std::vector<Triple> triples_;
+  std::unordered_set<Triple, TripleHash> present_;
+};
+
+}  // namespace swan::rdf
+
+#endif  // SWANDB_RDF_DATASET_H_

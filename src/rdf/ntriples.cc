@@ -1,0 +1,111 @@
+#include "rdf/ntriples.h"
+
+#include <string>
+
+namespace swan::rdf {
+
+namespace {
+
+void SkipSpace(std::string_view line, size_t* pos) {
+  while (*pos < line.size() &&
+         (line[*pos] == ' ' || line[*pos] == '\t' || line[*pos] == '\r')) {
+    ++*pos;
+  }
+}
+
+// Parses a URI (<...>) or literal ("..." plus optional suffix up to the
+// next whitespace). Returns the term text including delimiters.
+Status ParseTerm(std::string_view line, size_t* pos, std::string* term,
+                 bool allow_literal) {
+  SkipSpace(line, pos);
+  if (*pos >= line.size()) {
+    return Status::InvalidArgument("unexpected end of line");
+  }
+  const size_t start = *pos;
+  if (line[*pos] == '<') {
+    const size_t end = line.find('>', *pos);
+    if (end == std::string_view::npos) {
+      return Status::InvalidArgument("unterminated URI");
+    }
+    *pos = end + 1;
+    *term = std::string(line.substr(start, *pos - start));
+    return Status::OK();
+  }
+  if (line[*pos] == '"') {
+    if (!allow_literal) {
+      return Status::InvalidArgument("literal not allowed in this position");
+    }
+    ++*pos;
+    while (*pos < line.size()) {
+      if (line[*pos] == '\\') {
+        *pos += 2;
+        continue;
+      }
+      if (line[*pos] == '"') break;
+      ++*pos;
+    }
+    if (*pos >= line.size()) {
+      return Status::InvalidArgument("unterminated literal");
+    }
+    ++*pos;  // closing quote
+    // Optional language tag (@en) or datatype (^^<...>), kept verbatim.
+    while (*pos < line.size() && line[*pos] != ' ' && line[*pos] != '\t') {
+      ++*pos;
+    }
+    *term = std::string(line.substr(start, *pos - start));
+    return Status::OK();
+  }
+  return Status::InvalidArgument("expected '<' or '\"'");
+}
+
+}  // namespace
+
+Status ParseNTriplesLine(std::string_view line, Dataset* dataset,
+                         bool* added) {
+  *added = false;
+  size_t pos = 0;
+  SkipSpace(line, &pos);
+  if (pos >= line.size() || line[pos] == '#' || line[pos] == '\n') {
+    return Status::OK();
+  }
+
+  std::string subject, property, object;
+  SWAN_RETURN_NOT_OK(ParseTerm(line, &pos, &subject, /*allow_literal=*/false));
+  SWAN_RETURN_NOT_OK(ParseTerm(line, &pos, &property, /*allow_literal=*/false));
+  SWAN_RETURN_NOT_OK(ParseTerm(line, &pos, &object, /*allow_literal=*/true));
+  SkipSpace(line, &pos);
+  if (pos >= line.size() || line[pos] != '.') {
+    return Status::InvalidArgument("missing terminating '.'");
+  }
+  *added = dataset->Add(subject, property, object);
+  return Status::OK();
+}
+
+Status ParseNTriples(std::istream& in, Dataset* dataset,
+                     uint64_t* triples_added) {
+  uint64_t added_count = 0;
+  std::string line;
+  uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    bool added = false;
+    Status st = ParseNTriplesLine(line, dataset, &added);
+    if (!st.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                     st.message());
+    }
+    if (added) ++added_count;
+  }
+  if (triples_added != nullptr) *triples_added = added_count;
+  return Status::OK();
+}
+
+void WriteNTriples(const Dataset& dataset, std::ostream& out) {
+  const auto& dict = dataset.dict();
+  for (const Triple& t : dataset.triples()) {
+    out << dict.Lookup(t.subject) << ' ' << dict.Lookup(t.property) << ' '
+        << dict.Lookup(t.object) << " .\n";
+  }
+}
+
+}  // namespace swan::rdf

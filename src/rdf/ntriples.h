@@ -1,0 +1,36 @@
+#ifndef SWANDB_RDF_NTRIPLES_H_
+#define SWANDB_RDF_NTRIPLES_H_
+
+#include <istream>
+#include <ostream>
+#include <string_view>
+
+#include "common/status.h"
+#include "rdf/dataset.h"
+
+namespace swan::rdf {
+
+// Parser/writer for the N-Triples subset the Barton dump uses:
+//
+//   <subject-uri> <property-uri> <object-uri-or-literal> .
+//
+// Terms are stored in the dictionary verbatim, including the angle
+// brackets / quotes, so encoding round-trips exactly. Supported object
+// literals: "..." with \" and \\ escapes, optionally followed by a
+// language tag or datatype suffix (kept verbatim). Lines starting with
+// '#' and blank lines are skipped.
+
+// Parses one N-Triples line into `dataset`. Returns OK and sets
+// *added=false for skippable lines (comments/blank) without adding.
+Status ParseNTriplesLine(std::string_view line, Dataset* dataset, bool* added);
+
+// Parses a whole stream; stops at the first malformed line.
+Status ParseNTriples(std::istream& in, Dataset* dataset,
+                     uint64_t* triples_added);
+
+// Writes the dataset in N-Triples form (one line per triple).
+void WriteNTriples(const Dataset& dataset, std::ostream& out);
+
+}  // namespace swan::rdf
+
+#endif  // SWANDB_RDF_NTRIPLES_H_

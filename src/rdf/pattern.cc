@@ -1,0 +1,56 @@
+#include "rdf/pattern.h"
+
+namespace swan::rdf {
+
+int TriplePattern::PatternNumber() const {
+  const bool s = subject.has_value();
+  const bool p = property.has_value();
+  const bool o = object.has_value();
+  if (s && p && o) return 1;
+  if (!s && p && o) return 2;
+  if (s && !p && o) return 3;
+  if (s && p && !o) return 4;
+  if (!s && !p && o) return 5;
+  if (s && !p && !o) return 6;
+  if (!s && p && !o) return 7;
+  return 8;
+}
+
+std::string TriplePattern::ToString() const {
+  std::string out = "(";
+  out += subject ? std::to_string(*subject) : "?s";
+  out += ", ";
+  out += property ? std::to_string(*property) : "?p";
+  out += ", ";
+  out += object ? std::to_string(*object) : "?o";
+  out += ")";
+  return out;
+}
+
+std::string ToString(JoinPattern pattern) {
+  switch (pattern) {
+    case JoinPattern::kA:
+      return "A";
+    case JoinPattern::kB:
+      return "B";
+    case JoinPattern::kC:
+      return "C";
+  }
+  return "?";
+}
+
+std::optional<JoinPattern> Classify(const JoinCondition& condition) {
+  using C = TripleComponent;
+  if (condition.left == C::kProperty || condition.right == C::kProperty) {
+    return std::nullopt;
+  }
+  if (condition.left == C::kSubject && condition.right == C::kSubject) {
+    return JoinPattern::kA;
+  }
+  if (condition.left == C::kObject && condition.right == C::kObject) {
+    return JoinPattern::kB;
+  }
+  return JoinPattern::kC;
+}
+
+}  // namespace swan::rdf

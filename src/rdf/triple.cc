@@ -1,0 +1,57 @@
+#include "rdf/triple.h"
+
+#include "common/macros.h"
+
+namespace swan::rdf {
+
+std::array<int, 3> ComponentsOf(TripleOrder order) {
+  switch (order) {
+    case TripleOrder::kSPO:
+      return {0, 1, 2};
+    case TripleOrder::kSOP:
+      return {0, 2, 1};
+    case TripleOrder::kPSO:
+      return {1, 0, 2};
+    case TripleOrder::kPOS:
+      return {1, 2, 0};
+    case TripleOrder::kOSP:
+      return {2, 0, 1};
+    case TripleOrder::kOPS:
+      return {2, 1, 0};
+  }
+  SWAN_CHECK(false);
+  return {0, 1, 2};
+}
+
+std::array<uint64_t, 3> KeyOf(const Triple& t, TripleOrder order) {
+  const uint64_t spo[3] = {t.subject, t.property, t.object};
+  const auto comp = ComponentsOf(order);
+  return {spo[comp[0]], spo[comp[1]], spo[comp[2]]};
+}
+
+Triple TripleFromKey(const std::array<uint64_t, 3>& key, TripleOrder order) {
+  const auto comp = ComponentsOf(order);
+  uint64_t spo[3];
+  for (int i = 0; i < 3; ++i) spo[comp[i]] = key[i];
+  return Triple{spo[0], spo[1], spo[2]};
+}
+
+std::string ToString(TripleOrder order) {
+  switch (order) {
+    case TripleOrder::kSPO:
+      return "SPO";
+    case TripleOrder::kSOP:
+      return "SOP";
+    case TripleOrder::kPSO:
+      return "PSO";
+    case TripleOrder::kPOS:
+      return "POS";
+    case TripleOrder::kOSP:
+      return "OSP";
+    case TripleOrder::kOPS:
+      return "OPS";
+  }
+  return "?";
+}
+
+}  // namespace swan::rdf

@@ -1,0 +1,515 @@
+#ifndef SWANDB_ROWSTORE_BPLUS_TREE_H_
+#define SWANDB_ROWSTORE_BPLUS_TREE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/macros.h"
+#include "storage/buffer_pool.h"
+#include "storage/paged_file.h"
+
+namespace swan::rowstore {
+
+inline constexpr uint32_t kInvalidPage = 0xFFFFFFFFu;
+
+// Disk-resident B+tree over fixed-width tuples of uint64 ids, compared
+// lexicographically. The tuple *is* the record (covering index): this is
+// exactly how a clustered index over a (subject, property, object) or
+// (subject, object) relation stores its rows.
+//
+// W is the key width: 3 for triple permutations, 2 for the per-property
+// tables of the vertically-partitioned scheme.
+//
+// All page accesses go through the BufferPool, so the simulated disk
+// observes the tree's real access pattern: bulk-loaded leaves are laid out
+// sequentially (range scans read contiguous pages), while root-to-leaf
+// descents and secondary-index row fetches pay random I/O.
+template <int W>
+class BPlusTree {
+ public:
+  using Key = std::array<uint64_t, W>;
+
+  // Page layout -----------------------------------------------------------
+  // Both node kinds start with:
+  //   u16 is_leaf | u16 count | u32 next_leaf (leaf chain; kInvalidPage)
+  //   u64 reserved (alignment)
+  // Leaf:     keys[count] at byte 16, each W*8 bytes.
+  // Internal: children[count+1] (u32) at byte 16, keys at kInternalKeyOff.
+  //   Key i separates children i and i+1: it is the smallest key reachable
+  //   under child i+1.
+  // Capacities leave one key (and one child) of slack: the insert path
+  // lets a node temporarily hold capacity+1 keys before splitting it.
+  static constexpr size_t kHeaderSize = 16;
+  static constexpr size_t kKeyBytes = sizeof(uint64_t) * W;
+  static constexpr uint16_t kLeafCapacity = static_cast<uint16_t>(
+      (storage::kPageSize - kHeaderSize) / kKeyBytes - 1);
+  static constexpr uint16_t kInternalCapacity = static_cast<uint16_t>(
+      (storage::kPageSize - kHeaderSize - 2 * sizeof(uint32_t) - kKeyBytes -
+       8) /
+      (kKeyBytes + sizeof(uint32_t)));
+  static constexpr size_t kInternalKeyOff =
+      (kHeaderSize + sizeof(uint32_t) * (kInternalCapacity + 2) + 7) & ~7ull;
+  static_assert(kHeaderSize + kKeyBytes * (kLeafCapacity + 1) <=
+                storage::kPageSize);
+  static_assert(kInternalKeyOff + kKeyBytes * (kInternalCapacity + 1) <=
+                storage::kPageSize);
+
+  BPlusTree(storage::BufferPool* pool, storage::SimulatedDisk* disk)
+      : pool_(pool), file_(disk) {}
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+  BPlusTree(BPlusTree&&) = default;
+
+  // Builds the tree from keys that must be sorted and unique. Leaves are
+  // written in key order as consecutive pages, then each internal level.
+  // May only be called on an empty tree.
+  void BulkLoad(std::span<const Key> sorted_keys);
+
+  // Inserts a key, splitting nodes as needed; returns false if the key was
+  // already present. Write-through: pages are patched in the pool and on
+  // disk.
+  bool Insert(const Key& key);
+
+  bool Contains(const Key& key) const;
+
+  uint64_t size() const { return size_; }
+  int height() const { return height_; }
+  uint32_t page_count() const { return file_.page_count(); }
+  uint64_t disk_bytes() const {
+    return static_cast<uint64_t>(file_.page_count()) * storage::kPageSize;
+  }
+
+  // Forward iterator over keys, starting at the first key >= lower bound.
+  class Iterator {
+   public:
+    Iterator() = default;
+
+    bool Valid() const { return tree_ != nullptr; }
+    const Key& key() const { return key_; }
+
+    void Next() {
+      SWAN_DCHECK(Valid());
+      ++slot_;
+      if (slot_ >= count_) {
+        if (next_leaf_ == kInvalidPage) {
+          tree_ = nullptr;
+          return;
+        }
+        LoadLeaf(next_leaf_);
+        if (count_ == 0) {  // can only happen on an empty chain tail
+          tree_ = nullptr;
+          return;
+        }
+      }
+      LoadKey();
+    }
+
+   private:
+    friend class BPlusTree;
+
+    void LoadLeaf(uint32_t page_no) {
+      guard_ = tree_->pool_->Fetch(tree_->file_.page_id(page_no));
+      const uint8_t* p = guard_.data();
+      count_ = ReadU16(p + 2);
+      next_leaf_ = ReadU32(p + 4);
+      slot_ = 0;
+    }
+
+    void LoadKey() {
+      std::memcpy(key_.data(), guard_.data() + kHeaderSize + slot_ * kKeyBytes,
+                  kKeyBytes);
+    }
+
+    const BPlusTree* tree_ = nullptr;
+    storage::PageGuard guard_;
+    uint16_t slot_ = 0;
+    uint16_t count_ = 0;
+    uint32_t next_leaf_ = kInvalidPage;
+    Key key_;
+  };
+
+  // First key >= `lower`. Iterator is invalid if no such key exists.
+  Iterator Seek(const Key& lower) const;
+
+  // Iterator over the whole tree in key order.
+  Iterator Begin() const;
+
+  // Number of keys whose first `prefix_len` components equal `prefix`.
+  // Walks the leaf range (used by tests; plans use statistics instead).
+  uint64_t CountPrefix(std::span<const uint64_t> prefix) const;
+
+ private:
+  static uint16_t ReadU16(const uint8_t* p) {
+    uint16_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+  }
+  static uint32_t ReadU32(const uint8_t* p) {
+    uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+  }
+  static void WriteU16(uint8_t* p, uint16_t v) { std::memcpy(p, &v, 2); }
+  static void WriteU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, 4); }
+
+  static Key LeafKeyAt(const uint8_t* page, uint16_t slot) {
+    Key k;
+    std::memcpy(k.data(), page + kHeaderSize + slot * kKeyBytes, kKeyBytes);
+    return k;
+  }
+  static Key InternalKeyAt(const uint8_t* page, uint16_t slot) {
+    Key k;
+    std::memcpy(k.data(), page + kInternalKeyOff + slot * kKeyBytes,
+                kKeyBytes);
+    return k;
+  }
+  static uint32_t ChildAt(const uint8_t* page, uint16_t slot) {
+    return ReadU32(page + kHeaderSize + slot * sizeof(uint32_t));
+  }
+
+  // Returns the leaf page holding the lower bound of `key` plus the slot.
+  // Descends from the root, pinning one page at a time.
+  void FindLeaf(const Key& key, uint32_t* leaf_page, uint16_t* slot,
+                bool* found) const;
+
+  // Insert helpers operating on page images copied out of the pool.
+  struct SplitResult {
+    bool split = false;
+    Key separator;
+    uint32_t right_page = 0;
+  };
+  SplitResult InsertRecurse(uint32_t page_no, const Key& key, bool* inserted);
+
+  storage::BufferPool* pool_;
+  storage::PagedFile file_;
+  uint32_t root_page_ = kInvalidPage;
+  uint64_t size_ = 0;
+  int height_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Implementation
+// ---------------------------------------------------------------------------
+
+template <int W>
+void BPlusTree<W>::BulkLoad(std::span<const Key> sorted_keys) {
+  SWAN_CHECK_MSG(root_page_ == kInvalidPage, "BulkLoad on non-empty tree");
+  for (size_t i = 1; i < sorted_keys.size(); ++i) {
+    SWAN_DCHECK(sorted_keys[i - 1] < sorted_keys[i]);
+  }
+
+  size_ = sorted_keys.size();
+  alignas(8) uint8_t page[storage::kPageSize];
+
+  if (sorted_keys.empty()) {
+    std::memset(page, 0, sizeof(page));
+    WriteU16(page, 1);           // is_leaf
+    WriteU16(page + 2, 0);       // count
+    WriteU32(page + 4, kInvalidPage);
+    root_page_ = file_.AppendPage(page);
+    height_ = 1;
+    return;
+  }
+
+  // Level 0: leaves. Entries for the next level: (first key, page_no).
+  std::vector<std::pair<Key, uint32_t>> level;
+  {
+    size_t pos = 0;
+    const size_t n = sorted_keys.size();
+    const size_t num_leaves = (n + kLeafCapacity - 1) / kLeafCapacity;
+    // Page numbers are allocated consecutively starting at the current end
+    // of the file, so the next_leaf chain can be filled in as we go.
+    const uint32_t first_leaf = file_.page_count();
+    for (size_t leaf = 0; leaf < num_leaves; ++leaf) {
+      const size_t take = std::min<size_t>(kLeafCapacity, n - pos);
+      std::memset(page, 0, sizeof(page));
+      WriteU16(page, 1);
+      WriteU16(page + 2, static_cast<uint16_t>(take));
+      const uint32_t next = (leaf + 1 < num_leaves)
+                                ? first_leaf + static_cast<uint32_t>(leaf) + 1
+                                : kInvalidPage;
+      WriteU32(page + 4, next);
+      std::memcpy(page + kHeaderSize, sorted_keys[pos].data(),
+                  take * kKeyBytes);
+      const uint32_t page_no = file_.AppendPage(page);
+      level.emplace_back(sorted_keys[pos], page_no);
+      pos += take;
+    }
+  }
+  height_ = 1;
+
+  // Upper levels.
+  while (level.size() > 1) {
+    std::vector<std::pair<Key, uint32_t>> next_level;
+    size_t pos = 0;
+    while (pos < level.size()) {
+      const size_t take =
+          std::min<size_t>(kInternalCapacity + 1, level.size() - pos);
+      std::memset(page, 0, sizeof(page));
+      WriteU16(page, 0);  // internal
+      WriteU16(page + 2, static_cast<uint16_t>(take - 1));
+      WriteU32(page + 4, kInvalidPage);
+      for (size_t i = 0; i < take; ++i) {
+        WriteU32(page + kHeaderSize + i * sizeof(uint32_t),
+                 level[pos + i].second);
+      }
+      for (size_t i = 1; i < take; ++i) {
+        std::memcpy(page + kInternalKeyOff + (i - 1) * kKeyBytes,
+                    level[pos + i].first.data(), kKeyBytes);
+      }
+      const uint32_t page_no = file_.AppendPage(page);
+      next_level.emplace_back(level[pos].first, page_no);
+      pos += take;
+    }
+    level = std::move(next_level);
+    ++height_;
+  }
+  root_page_ = level[0].second;
+}
+
+template <int W>
+void BPlusTree<W>::FindLeaf(const Key& key, uint32_t* leaf_page,
+                            uint16_t* slot, bool* found) const {
+  SWAN_CHECK_MSG(root_page_ != kInvalidPage, "tree not loaded");
+  uint32_t page_no = root_page_;
+  for (;;) {
+    storage::PageGuard guard = pool_->Fetch(file_.page_id(page_no));
+    const uint8_t* p = guard.data();
+    const bool is_leaf = ReadU16(p) != 0;
+    const uint16_t count = ReadU16(p + 2);
+    if (is_leaf) {
+      // Lower bound within the leaf.
+      uint16_t lo = 0, hi = count;
+      while (lo < hi) {
+        const uint16_t mid = (lo + hi) / 2;
+        if (LeafKeyAt(p, mid) < key) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      *leaf_page = page_no;
+      *slot = lo;
+      *found = lo < count && LeafKeyAt(p, lo) == key;
+      return;
+    }
+    // Internal: find first separator > key; descend into that child.
+    uint16_t lo = 0, hi = count;
+    while (lo < hi) {
+      const uint16_t mid = (lo + hi) / 2;
+      if (InternalKeyAt(p, mid) <= key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    page_no = ChildAt(p, lo);
+  }
+}
+
+template <int W>
+bool BPlusTree<W>::Contains(const Key& key) const {
+  uint32_t leaf;
+  uint16_t slot;
+  bool found;
+  FindLeaf(key, &leaf, &slot, &found);
+  return found;
+}
+
+template <int W>
+typename BPlusTree<W>::Iterator BPlusTree<W>::Seek(const Key& lower) const {
+  uint32_t leaf;
+  uint16_t slot;
+  bool found;
+  FindLeaf(lower, &leaf, &slot, &found);
+
+  Iterator it;
+  it.tree_ = this;
+  it.LoadLeaf(leaf);
+  it.slot_ = slot;
+  if (slot >= it.count_) {
+    // Lower bound falls past the end of this leaf; move to the next one.
+    if (it.next_leaf_ == kInvalidPage) return Iterator();
+    it.LoadLeaf(it.next_leaf_);
+    if (it.count_ == 0) return Iterator();
+  }
+  it.LoadKey();
+  return it;
+}
+
+template <int W>
+typename BPlusTree<W>::Iterator BPlusTree<W>::Begin() const {
+  Key min{};
+  min.fill(0);
+  return Seek(min);
+}
+
+template <int W>
+uint64_t BPlusTree<W>::CountPrefix(std::span<const uint64_t> prefix) const {
+  SWAN_CHECK(prefix.size() <= W);
+  Key lower{};
+  lower.fill(0);
+  std::copy(prefix.begin(), prefix.end(), lower.begin());
+  uint64_t count = 0;
+  for (Iterator it = Seek(lower); it.Valid(); it.Next()) {
+    bool match = true;
+    for (size_t i = 0; i < prefix.size(); ++i) {
+      if (it.key()[i] != prefix[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) break;
+    ++count;
+  }
+  return count;
+}
+
+template <int W>
+typename BPlusTree<W>::SplitResult BPlusTree<W>::InsertRecurse(
+    uint32_t page_no, const Key& key, bool* inserted) {
+  alignas(8) uint8_t page[storage::kPageSize];
+  {
+    storage::PageGuard guard = pool_->Fetch(file_.page_id(page_no));
+    std::memcpy(page, guard.data(), storage::kPageSize);
+  }
+  const bool is_leaf = ReadU16(page) != 0;
+  uint16_t count = ReadU16(page + 2);
+
+  if (is_leaf) {
+    uint16_t lo = 0, hi = count;
+    while (lo < hi) {
+      const uint16_t mid = (lo + hi) / 2;
+      if (LeafKeyAt(page, mid) < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo < count && LeafKeyAt(page, lo) == key) {
+      *inserted = false;
+      return {};
+    }
+    *inserted = true;
+    ++size_;
+    // Shift and insert.
+    uint8_t* base = page + kHeaderSize;
+    std::memmove(base + (lo + 1) * kKeyBytes, base + lo * kKeyBytes,
+                 (count - lo) * kKeyBytes);
+    std::memcpy(base + lo * kKeyBytes, key.data(), kKeyBytes);
+    ++count;
+    WriteU16(page + 2, count);
+
+    if (count <= kLeafCapacity) {
+      pool_->WriteThrough(file_.page_id(page_no), page);
+      return {};
+    }
+    // Split: left keeps half, right gets the rest.
+    const uint16_t left_count = count / 2;
+    const uint16_t right_count = count - left_count;
+    alignas(8) uint8_t right[storage::kPageSize];
+    std::memset(right, 0, sizeof(right));
+    WriteU16(right, 1);
+    WriteU16(right + 2, right_count);
+    WriteU32(right + 4, ReadU32(page + 4));  // inherit next pointer
+    std::memcpy(right + kHeaderSize, base + left_count * kKeyBytes,
+                right_count * kKeyBytes);
+    const uint32_t right_page = file_.AppendPage(right);
+
+    WriteU16(page + 2, left_count);
+    WriteU32(page + 4, right_page);
+    pool_->WriteThrough(file_.page_id(page_no), page);
+
+    SplitResult result;
+    result.split = true;
+    result.separator = LeafKeyAt(right, 0);
+    result.right_page = right_page;
+    return result;
+  }
+
+  // Internal node: find child and recurse.
+  uint16_t lo = 0, hi = count;
+  while (lo < hi) {
+    const uint16_t mid = (lo + hi) / 2;
+    if (InternalKeyAt(page, mid) <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const uint32_t child = ChildAt(page, lo);
+  const SplitResult child_split = InsertRecurse(child, key, inserted);
+  if (!child_split.split) return {};
+
+  // Insert separator at position lo, child pointer at lo+1.
+  uint8_t* children = page + kHeaderSize;
+  uint8_t* keys = page + kInternalKeyOff;
+  std::memmove(children + (lo + 2) * sizeof(uint32_t),
+               children + (lo + 1) * sizeof(uint32_t),
+               (count - lo) * sizeof(uint32_t));
+  WriteU32(children + (lo + 1) * sizeof(uint32_t), child_split.right_page);
+  std::memmove(keys + (lo + 1) * kKeyBytes, keys + lo * kKeyBytes,
+               (count - lo) * kKeyBytes);
+  std::memcpy(keys + lo * kKeyBytes, child_split.separator.data(), kKeyBytes);
+  ++count;
+  WriteU16(page + 2, count);
+
+  if (count <= kInternalCapacity) {
+    pool_->WriteThrough(file_.page_id(page_no), page);
+    return {};
+  }
+
+  // Split internal node. Key at position `mid` moves up as the separator.
+  const uint16_t mid = count / 2;
+  const uint16_t right_count = count - mid - 1;
+  alignas(8) uint8_t right[storage::kPageSize];
+  std::memset(right, 0, sizeof(right));
+  WriteU16(right, 0);
+  WriteU16(right + 2, right_count);
+  WriteU32(right + 4, kInvalidPage);
+  std::memcpy(right + kHeaderSize, children + (mid + 1) * sizeof(uint32_t),
+              (right_count + 1) * sizeof(uint32_t));
+  std::memcpy(right + kInternalKeyOff, keys + (mid + 1) * kKeyBytes,
+              right_count * kKeyBytes);
+  const uint32_t right_page = file_.AppendPage(right);
+
+  SplitResult result;
+  result.split = true;
+  result.separator = InternalKeyAt(page, mid);
+  result.right_page = right_page;
+
+  WriteU16(page + 2, mid);
+  pool_->WriteThrough(file_.page_id(page_no), page);
+  return result;
+}
+
+template <int W>
+bool BPlusTree<W>::Insert(const Key& key) {
+  if (root_page_ == kInvalidPage) {
+    BulkLoad(std::span<const Key>(&key, 1));
+    return true;
+  }
+  bool inserted = false;
+  const SplitResult split = InsertRecurse(root_page_, key, &inserted);
+  if (split.split) {
+    alignas(8) uint8_t page[storage::kPageSize];
+    std::memset(page, 0, sizeof(page));
+    WriteU16(page, 0);
+    WriteU16(page + 2, 1);
+    WriteU32(page + 4, kInvalidPage);
+    WriteU32(page + kHeaderSize, root_page_);
+    WriteU32(page + kHeaderSize + sizeof(uint32_t), split.right_page);
+    std::memcpy(page + kInternalKeyOff, split.separator.data(), kKeyBytes);
+    root_page_ = file_.AppendPage(page);
+    ++height_;
+  }
+  return inserted;
+}
+
+}  // namespace swan::rowstore
+
+#endif  // SWANDB_ROWSTORE_BPLUS_TREE_H_

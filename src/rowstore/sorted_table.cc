@@ -1,0 +1,95 @@
+#include "rowstore/sorted_table.h"
+
+#include <cstring>
+
+namespace swan::rowstore {
+
+SortedTable::SortedTable(storage::BufferPool* pool,
+                         storage::SimulatedDisk* disk, uint32_t row_width)
+    : pool_(pool), file_(disk), row_width_(row_width) {
+  SWAN_CHECK(row_width >= 1);
+  SWAN_CHECK_MSG(row_width * sizeof(uint64_t) <= storage::kPageSize,
+                 "row wider than a page");
+}
+
+void SortedTable::BulkLoad(std::span<const uint64_t> flat,
+                           uint64_t row_count) {
+  SWAN_CHECK_MSG(!built_, "SortedTable::BulkLoad called twice");
+  SWAN_CHECK(flat.size() == row_count * row_width_);
+  built_ = true;
+  row_count_ = row_count;
+
+  const uint64_t rows_per_page = RowsPerPage();
+  alignas(8) uint8_t page[storage::kPageSize];
+  uint64_t row = 0;
+  while (row < row_count) {
+    std::memset(page, 0, sizeof(page));
+    const uint64_t take = std::min(rows_per_page, row_count - row);
+    std::memcpy(page, flat.data() + row * row_width_,
+                take * row_width_ * sizeof(uint64_t));
+    file_.AppendPage(page);
+    row += take;
+  }
+}
+
+uint64_t SortedTable::KeyAt(uint64_t index) const {
+  const uint64_t rows_per_page = RowsPerPage();
+  const uint32_t page_no = static_cast<uint32_t>(index / rows_per_page);
+  const uint64_t slot = index % rows_per_page;
+  storage::PageGuard guard = pool_->Fetch(file_.page_id(page_no));
+  uint64_t key;
+  std::memcpy(&key,
+              guard.data() + slot * row_width_ * sizeof(uint64_t),
+              sizeof(key));
+  return key;
+}
+
+std::optional<uint64_t> SortedTable::FindRow(uint64_t key) const {
+  SWAN_CHECK_MSG(built_, "SortedTable not loaded");
+  uint64_t lo = 0, hi = row_count_;
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (KeyAt(mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < row_count_ && KeyAt(lo) == key) return lo;
+  return std::nullopt;
+}
+
+void SortedTable::Cursor::LoadRow() {
+  const uint64_t rows_per_page = table_->RowsPerPage();
+  const uint32_t page_no = static_cast<uint32_t>(index_ / rows_per_page);
+  if (page_no != page_no_) {
+    guard_ = table_->pool_->Fetch(table_->file_.page_id(page_no));
+    page_no_ = page_no;
+  }
+  const uint64_t slot = index_ % rows_per_page;
+  values_ = reinterpret_cast<const uint64_t*>(
+      guard_.data() + slot * table_->row_width_ * sizeof(uint64_t));
+}
+
+void SortedTable::Cursor::Next() {
+  SWAN_DCHECK(Valid());
+  ++index_;
+  if (index_ >= table_->row_count_) {
+    table_ = nullptr;
+    values_ = nullptr;
+    return;
+  }
+  LoadRow();
+}
+
+SortedTable::Cursor SortedTable::SeekRow(uint64_t index) const {
+  SWAN_CHECK_MSG(built_, "SortedTable not loaded");
+  Cursor cursor;
+  if (index >= row_count_) return cursor;
+  cursor.table_ = this;
+  cursor.index_ = index;
+  cursor.LoadRow();
+  return cursor;
+}
+
+}  // namespace swan::rowstore

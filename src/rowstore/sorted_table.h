@@ -1,0 +1,91 @@
+#ifndef SWANDB_ROWSTORE_SORTED_TABLE_H_
+#define SWANDB_ROWSTORE_SORTED_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/macros.h"
+#include "storage/buffer_pool.h"
+#include "storage/paged_file.h"
+
+namespace swan::rowstore {
+
+// Read-only table of fixed-width uint64 rows, stored sorted by the first
+// column and accessed by binary search or sequential scan. This is the
+// storage for the property-table scheme's wide "flattened" table: rows
+// keyed by subject with one column per materialized property.
+//
+// Unlike BPlusTree, the row width is a runtime value (property tables are
+// as wide as the property set chosen by the design wizard).
+class SortedTable {
+ public:
+  SortedTable(storage::BufferPool* pool, storage::SimulatedDisk* disk,
+              uint32_t row_width);
+
+  SortedTable(const SortedTable&) = delete;
+  SortedTable& operator=(const SortedTable&) = delete;
+
+  // `flat` is row-major, row_count * row_width values, sorted by column 0
+  // with unique keys. May only be called once.
+  void BulkLoad(std::span<const uint64_t> flat, uint64_t row_count);
+
+  uint64_t row_count() const { return row_count_; }
+  uint32_t row_width() const { return row_width_; }
+  uint64_t disk_bytes() const {
+    return static_cast<uint64_t>(file_.page_count()) * storage::kPageSize;
+  }
+
+  // Index of the row whose column 0 equals `key`, if any. O(log n) page
+  // accesses through the buffer pool.
+  std::optional<uint64_t> FindRow(uint64_t key) const;
+
+  // Sequential cursor; holds the current page pinned.
+  class Cursor {
+   public:
+    Cursor() = default;
+
+    bool Valid() const { return table_ != nullptr; }
+    // The current row's values (row_width entries). The span is valid
+    // until Next() or destruction.
+    std::span<const uint64_t> row() const {
+      SWAN_DCHECK(Valid());
+      return {values_, table_->row_width_};
+    }
+    void Next();
+
+   private:
+    friend class SortedTable;
+
+    void LoadRow();
+
+    const SortedTable* table_ = nullptr;
+    uint64_t index_ = 0;
+    storage::PageGuard guard_;
+    uint32_t page_no_ = UINT32_MAX;
+    const uint64_t* values_ = nullptr;
+  };
+
+  // Cursor positioned at row `index` (e.g. from FindRow); invalid if past
+  // the end.
+  Cursor SeekRow(uint64_t index) const;
+  Cursor Begin() const { return SeekRow(0); }
+
+ private:
+  uint64_t RowsPerPage() const {
+    return storage::kPageSize / (sizeof(uint64_t) * row_width_);
+  }
+  // Key (column 0) of row `index`.
+  uint64_t KeyAt(uint64_t index) const;
+
+  storage::BufferPool* pool_;
+  storage::PagedFile file_;
+  uint32_t row_width_;
+  uint64_t row_count_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace swan::rowstore
+
+#endif  // SWANDB_ROWSTORE_SORTED_TABLE_H_

@@ -1,0 +1,49 @@
+#include "rowstore/stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace swan::rowstore {
+
+TripleStats TripleStats::Compute(std::span<const rdf::Triple> triples) {
+  TripleStats stats;
+  stats.total_triples = triples.size();
+  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> prop_objects;
+  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> prop_subjects;
+  for (const rdf::Triple& t : triples) {
+    ++stats.subject_count[t.subject];
+    ++stats.property_count[t.property];
+    ++stats.object_count[t.object];
+    prop_objects[t.property].insert(t.object);
+    prop_subjects[t.property].insert(t.subject);
+  }
+  for (const auto& [p, objs] : prop_objects) {
+    stats.property_distinct_objects[p] = objs.size();
+  }
+  for (const auto& [p, subjs] : prop_subjects) {
+    stats.property_distinct_subjects[p] = subjs.size();
+  }
+  return stats;
+}
+
+double TripleStats::EstimateMatches(const rdf::TriplePattern& pattern) const {
+  if (total_triples == 0) return 0.0;
+  const double total = static_cast<double>(total_triples);
+  double estimate = total;
+  if (pattern.subject) {
+    estimate *= static_cast<double>(CountOf(subject_count, *pattern.subject)) /
+                total;
+  }
+  if (pattern.property) {
+    estimate *=
+        static_cast<double>(CountOf(property_count, *pattern.property)) /
+        total;
+  }
+  if (pattern.object) {
+    estimate *= static_cast<double>(CountOf(object_count, *pattern.object)) /
+                total;
+  }
+  return estimate;
+}
+
+}  // namespace swan::rowstore

@@ -1,0 +1,188 @@
+#include "rowstore/vertical_relation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace swan::rowstore {
+
+namespace {
+
+constexpr double kRandomPenaltyPages = 24.0;
+constexpr double kRowsPerLeafPage =
+    static_cast<double>(BPlusTree<2>::kLeafCapacity);
+
+double PagesFor(double rows) { return rows / kRowsPerLeafPage; }
+
+}  // namespace
+
+VerticalRelation::VerticalRelation(storage::BufferPool* pool,
+                                   storage::SimulatedDisk* disk)
+    : pool_(pool), disk_(disk) {}
+
+void VerticalRelation::Load(std::span<const rdf::Triple> triples) {
+  SWAN_CHECK_MSG(partitions_.empty(), "VerticalRelation::Load called twice");
+
+  std::unordered_map<uint64_t, std::vector<std::array<uint64_t, 2>>> groups;
+  for (const rdf::Triple& t : triples) {
+    groups[t.property].push_back({t.subject, t.object});
+  }
+
+  for (auto& [prop, rows] : groups) {
+    properties_.push_back(prop);
+    Partition part;
+    part.clustered_so = std::make_unique<BPlusTree<2>>(pool_, disk_);
+    part.secondary_os = std::make_unique<BPlusTree<2>>(pool_, disk_);
+
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+    part.rows = rows.size();
+    part.clustered_so->BulkLoad(rows);
+    {
+      uint64_t distinct = 0;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        if (i == 0 || rows[i][0] != rows[i - 1][0]) ++distinct;
+      }
+      part.distinct_subjects = distinct;
+    }
+
+    std::vector<std::array<uint64_t, 2>> os(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) os[i] = {rows[i][1], rows[i][0]};
+    std::sort(os.begin(), os.end());
+    part.secondary_os->BulkLoad(os);
+    {
+      uint64_t distinct = 0;
+      for (size_t i = 0; i < os.size(); ++i) {
+        if (i == 0 || os[i][0] != os[i - 1][0]) ++distinct;
+      }
+      part.distinct_objects = distinct;
+    }
+
+    partitions_.emplace(prop, std::move(part));
+  }
+  std::sort(properties_.begin(), properties_.end());
+}
+
+bool VerticalRelation::Insert(const rdf::Triple& triple) {
+  auto it = partitions_.find(triple.property);
+  if (it == partitions_.end()) {
+    // Schema change: materialize a fresh partition for the new property.
+    Partition part;
+    part.clustered_so = std::make_unique<BPlusTree<2>>(pool_, disk_);
+    part.clustered_so->BulkLoad({});
+    part.secondary_os = std::make_unique<BPlusTree<2>>(pool_, disk_);
+    part.secondary_os->BulkLoad({});
+    it = partitions_.emplace(triple.property, std::move(part)).first;
+    properties_.insert(std::lower_bound(properties_.begin(), properties_.end(),
+                                        triple.property),
+                       triple.property);
+    ++partitions_created_;
+  }
+  Partition& part = it->second;
+  if (!part.clustered_so->Insert({triple.subject, triple.object})) {
+    return false;
+  }
+  const bool fresh = part.secondary_os->Insert({triple.object, triple.subject});
+  SWAN_CHECK_MSG(fresh, "OS index out of sync with SO tree");
+  ++part.rows;
+  return true;
+}
+
+uint64_t VerticalRelation::PartitionSize(uint64_t property) const {
+  auto it = partitions_.find(property);
+  return it == partitions_.end() ? 0 : it->second.rows;
+}
+
+uint64_t VerticalRelation::disk_bytes() const {
+  uint64_t total = 0;
+  for (const auto& [prop, part] : partitions_) {
+    total += part.clustered_so->disk_bytes() + part.secondary_os->disk_bytes();
+  }
+  return total;
+}
+
+VerticalRelation::Scan VerticalRelation::OpenPartition(
+    uint64_t property, std::optional<uint64_t> subject,
+    std::optional<uint64_t> object) const {
+  auto pit = partitions_.find(property);
+  if (pit == partitions_.end()) return Scan();
+  const Partition& part = pit->second;
+
+  Scan scan;
+  scan.clustered_ = part.clustered_so.get();
+  scan.subject_filter_ = subject;
+  scan.object_filter_ = object;
+  scan.property_ = property;
+
+  const double rows = static_cast<double>(part.rows);
+
+  // Access-path choice: clustered (s[,o]) prefix when the subject is
+  // bound; otherwise, for a bound object, the OS secondary if the expected
+  // match count is small enough to beat a full partition scan.
+  if (subject.has_value()) {
+    scan.tree_ = part.clustered_so.get();
+    scan.object_order_ = false;
+    scan.prefix_len_ = object.has_value() ? 2 : 1;
+    scan.prefix_ = {*subject, object.value_or(0)};
+  } else if (object.has_value()) {
+    const double est =
+        rows / static_cast<double>(std::max<uint64_t>(1, part.distinct_objects));
+    const double secondary_cost =
+        kRandomPenaltyPages + PagesFor(est) + est * kRandomPenaltyPages;
+    const double full_cost = kRandomPenaltyPages + PagesFor(rows);
+    if (secondary_cost < full_cost) {
+      scan.tree_ = part.secondary_os.get();
+      scan.object_order_ = true;
+      scan.charge_row_fetch_ = true;
+      scan.prefix_len_ = 1;
+      scan.prefix_ = {*object, 0};
+    } else {
+      scan.tree_ = part.clustered_so.get();
+      scan.object_order_ = false;
+      scan.prefix_len_ = 0;
+    }
+  } else {
+    scan.tree_ = part.clustered_so.get();
+    scan.object_order_ = false;
+    scan.prefix_len_ = 0;
+  }
+
+  std::array<uint64_t, 2> lower{};
+  lower.fill(0);
+  for (int i = 0; i < scan.prefix_len_; ++i) lower[i] = scan.prefix_[i];
+  scan.it_ = scan.tree_->Seek(lower);
+  scan.Advance();
+  return scan;
+}
+
+void VerticalRelation::Scan::Advance() {
+  valid_ = false;
+  while (it_.Valid()) {
+    const auto& key = it_.key();
+    for (int i = 0; i < prefix_len_; ++i) {
+      if (key[i] != prefix_[i]) return;
+    }
+    const uint64_t s = object_order_ ? key[1] : key[0];
+    const uint64_t o = object_order_ ? key[0] : key[1];
+    if ((!subject_filter_ || *subject_filter_ == s) &&
+        (!object_filter_ || *object_filter_ == o)) {
+      if (charge_row_fetch_) {
+        const bool present = clustered_->Contains({s, o});
+        SWAN_CHECK_MSG(present, "OS index points at missing row");
+      }
+      current_ = rdf::Triple{s, property_, o};
+      valid_ = true;
+      return;
+    }
+    it_.Next();
+  }
+}
+
+void VerticalRelation::Scan::Next() {
+  SWAN_DCHECK(valid_);
+  it_.Next();
+  Advance();
+}
+
+}  // namespace swan::rowstore

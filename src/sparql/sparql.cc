@@ -1,0 +1,436 @@
+#include "sparql/sparql.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "core/bgp.h"
+
+namespace swan::sparql {
+
+namespace {
+
+// --- Lexer ----------------------------------------------------------------
+
+enum class TokenKind {
+  kKeyword,   // SELECT / DISTINCT / WHERE / PREFIX / LIMIT (case-insensitive)
+  kVariable,  // ?name
+  kIri,       // <...>
+  kLiteral,   // "..." with optional @lang / ^^<iri> suffix
+  kPrefixedName,  // ns:local  (also bare "ns:" in PREFIX declarations)
+  kStar,
+  kLBrace,
+  kRBrace,
+  kDot,
+  kNumber,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int line = 1;
+  int column = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    for (;;) {
+      SkipWhitespaceAndComments();
+      Token token;
+      token.line = line_;
+      token.column = column_;
+      if (AtEnd()) {
+        token.kind = TokenKind::kEnd;
+        out.push_back(token);
+        return out;
+      }
+      const char c = Peek();
+      if (c == '?') {
+        Advance();
+        token.kind = TokenKind::kVariable;
+        while (!AtEnd() && (std::isalnum(Peek()) || Peek() == '_')) {
+          token.text += Take();
+        }
+        if (token.text.empty()) return Error(token, "empty variable name");
+      } else if (c == '<') {
+        token.kind = TokenKind::kIri;
+        token.text += Take();
+        while (!AtEnd() && Peek() != '>') token.text += Take();
+        if (AtEnd()) return Error(token, "unterminated IRI");
+        token.text += Take();  // '>'
+      } else if (c == '"') {
+        token.kind = TokenKind::kLiteral;
+        token.text += Take();
+        while (!AtEnd() && Peek() != '"') {
+          if (Peek() == '\\') token.text += Take();
+          if (AtEnd()) break;
+          token.text += Take();
+        }
+        if (AtEnd()) return Error(token, "unterminated literal");
+        token.text += Take();  // closing quote
+        // Optional @lang or ^^<iri> suffix, kept verbatim.
+        if (!AtEnd() && Peek() == '@') {
+          while (!AtEnd() && (std::isalnum(Peek()) || Peek() == '@' ||
+                              Peek() == '-')) {
+            token.text += Take();
+          }
+        } else if (!AtEnd() && Peek() == '^') {
+          token.text += Take();
+          if (AtEnd() || Peek() != '^') return Error(token, "expected '^^'");
+          token.text += Take();
+          if (AtEnd() || Peek() != '<') {
+            return Error(token, "expected IRI after '^^'");
+          }
+          while (!AtEnd() && Peek() != '>') token.text += Take();
+          if (AtEnd()) return Error(token, "unterminated datatype IRI");
+          token.text += Take();
+        }
+      } else if (c == '*') {
+        token.kind = TokenKind::kStar;
+        token.text = Take();
+      } else if (c == '{') {
+        token.kind = TokenKind::kLBrace;
+        token.text = Take();
+      } else if (c == '}') {
+        token.kind = TokenKind::kRBrace;
+        token.text = Take();
+      } else if (c == '.') {
+        token.kind = TokenKind::kDot;
+        token.text = Take();
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        token.kind = TokenKind::kNumber;
+        while (!AtEnd() && std::isdigit(Peek())) token.text += Take();
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        // Keyword or prefixed name.
+        while (!AtEnd() &&
+               (std::isalnum(Peek()) || Peek() == '_' || Peek() == '-')) {
+          token.text += Take();
+        }
+        if (!AtEnd() && Peek() == ':') {
+          token.text += Take();  // ':'
+          while (!AtEnd() &&
+                 (std::isalnum(Peek()) || Peek() == '_' || Peek() == '-' ||
+                  Peek() == '.' || Peek() == '/')) {
+            token.text += Take();
+          }
+          token.kind = TokenKind::kPrefixedName;
+        } else {
+          token.kind = TokenKind::kKeyword;
+        }
+      } else if (c == ':') {
+        // Prefixed name with the empty prefix, e.g. ":local".
+        token.text += Take();
+        while (!AtEnd() &&
+               (std::isalnum(Peek()) || Peek() == '_' || Peek() == '-' ||
+                Peek() == '.' || Peek() == '/')) {
+          token.text += Take();
+        }
+        token.kind = TokenKind::kPrefixedName;
+      } else {
+        token.text = std::string(1, c);
+        return Error(token, "unexpected character '" + token.text + "'");
+      }
+      out.push_back(std::move(token));
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char Take() {
+    const char c = input_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+  void Advance() { Take(); }
+
+  void SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      if (std::isspace(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      } else if (Peek() == '#') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Status Error(const Token& at, const std::string& message) const {
+    return Status::InvalidArgument(std::to_string(at.line) + ":" +
+                                   std::to_string(at.column) + ": " + message);
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+// --- Parser ----------------------------------------------------------------
+
+bool KeywordIs(const Token& token, std::string_view keyword) {
+  if (token.kind != TokenKind::kKeyword) return false;
+  if (token.text.size() != keyword.size()) return false;
+  for (size_t i = 0; i < keyword.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(token.text[i])) != keyword[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedQuery> Run() {
+    ParsedQuery query;
+    // PREFIX declarations.
+    while (KeywordIs(Current(), "PREFIX")) {
+      Next();
+      if (Current().kind != TokenKind::kPrefixedName ||
+          Current().text.back() != ':') {
+        return Error("expected prefix name ending in ':'");
+      }
+      const std::string prefix =
+          Current().text.substr(0, Current().text.size() - 1);
+      Next();
+      if (Current().kind != TokenKind::kIri) {
+        return Error("expected IRI after prefix name");
+      }
+      // Strip the angle brackets; they are re-added on expansion.
+      prefixes_[prefix] =
+          Current().text.substr(1, Current().text.size() - 2);
+      Next();
+    }
+
+    if (!KeywordIs(Current(), "SELECT")) return Error("expected SELECT");
+    Next();
+    if (KeywordIs(Current(), "DISTINCT")) {
+      query.distinct = true;
+      Next();
+    }
+    if (Current().kind == TokenKind::kStar) {
+      Next();
+    } else {
+      while (Current().kind == TokenKind::kVariable) {
+        query.projection.push_back(Current().text);
+        Next();
+      }
+      if (query.projection.empty()) {
+        return Error("expected '*' or at least one ?variable");
+      }
+    }
+
+    if (!KeywordIs(Current(), "WHERE")) return Error("expected WHERE");
+    Next();
+    if (Current().kind != TokenKind::kLBrace) return Error("expected '{'");
+    Next();
+
+    while (Current().kind != TokenKind::kRBrace) {
+      if (Current().kind == TokenKind::kEnd) return Error("expected '}'");
+      if (KeywordIs(Current(), "FILTER") || KeywordIs(Current(), "OPTIONAL") ||
+          KeywordIs(Current(), "UNION")) {
+        return Error(Current().text + " is not supported (BGP subset only)");
+      }
+      ParsedPattern pattern;
+      SWAN_ASSIGN_OR_RETURN(pattern.subject, ParseTerm(/*literal_ok=*/false));
+      SWAN_ASSIGN_OR_RETURN(pattern.property, ParseTerm(/*literal_ok=*/false));
+      SWAN_ASSIGN_OR_RETURN(pattern.object, ParseTerm(/*literal_ok=*/true));
+      query.patterns.push_back(std::move(pattern));
+      if (Current().kind == TokenKind::kDot) Next();
+    }
+    Next();  // '}'
+
+    if (KeywordIs(Current(), "LIMIT")) {
+      Next();
+      if (Current().kind != TokenKind::kNumber) {
+        return Error("expected number after LIMIT");
+      }
+      query.limit = std::stoull(Current().text);
+      Next();
+    }
+    if (Current().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input '" + Current().text + "'");
+    }
+    if (query.patterns.empty()) return Error("empty WHERE block");
+    return query;
+  }
+
+ private:
+  const Token& Current() const { return tokens_[pos_]; }
+  void Next() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(std::to_string(Current().line) + ":" +
+                                   std::to_string(Current().column) + ": " +
+                                   message);
+  }
+
+  Result<ParsedTerm> ParseTerm(bool literal_ok) {
+    ParsedTerm term;
+    switch (Current().kind) {
+      case TokenKind::kVariable:
+        term.kind = ParsedTerm::Kind::kVariable;
+        term.text = Current().text;
+        break;
+      case TokenKind::kIri:
+        term.kind = ParsedTerm::Kind::kIri;
+        term.text = Current().text;
+        break;
+      case TokenKind::kLiteral:
+        if (!literal_ok) {
+          return Error("literal not allowed in this position");
+        }
+        term.kind = ParsedTerm::Kind::kLiteral;
+        term.text = Current().text;
+        break;
+      case TokenKind::kPrefixedName: {
+        const std::string& name = Current().text;
+        const size_t colon = name.find(':');
+        const std::string prefix = name.substr(0, colon);
+        auto it = prefixes_.find(prefix);
+        if (it == prefixes_.end()) {
+          return Error("undeclared prefix '" + prefix + ":'");
+        }
+        term.kind = ParsedTerm::Kind::kIri;
+        term.text = "<" + it->second + name.substr(colon + 1) + ">";
+        break;
+      }
+      default:
+        return Error("expected a term, got '" + Current().text + "'");
+    }
+    Next();
+    return term;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::unordered_map<std::string, std::string> prefixes_;
+};
+
+}  // namespace
+
+Result<ParsedQuery> Parse(std::string_view query) {
+  Lexer lexer(query);
+  SWAN_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Run();
+}
+
+std::vector<core::BgpPattern> Bind(const ParsedQuery& parsed,
+                                   const rdf::Dataset& dataset,
+                                   bool* unmatchable) {
+  *unmatchable = false;
+  std::vector<core::BgpPattern> patterns;
+  auto bind = [&](const ParsedTerm& term) -> core::Term {
+    if (term.kind == ParsedTerm::Kind::kVariable) {
+      return core::Term::Var(term.text);
+    }
+    const auto id = dataset.dict().Find(term.text);
+    if (!id) {
+      *unmatchable = true;
+      return core::Term::Const(0);
+    }
+    return core::Term::Const(*id);
+  };
+  for (const ParsedPattern& p : parsed.patterns) {
+    core::BgpPattern pattern;
+    pattern.subject = bind(p.subject);
+    pattern.property = bind(p.property);
+    pattern.object = bind(p.object);
+    patterns.push_back(std::move(pattern));
+  }
+  return patterns;
+}
+
+Result<QueryOutput> Execute(const core::Backend& backend,
+                            const rdf::Dataset& dataset,
+                            std::string_view query) {
+  SWAN_ASSIGN_OR_RETURN(ParsedQuery parsed, Parse(query));
+
+  // Bind constants against the dictionary. A miss means the graph cannot
+  // match: produce the empty result with the right header.
+  bool unmatchable = false;
+  std::vector<core::BgpPattern> patterns =
+      Bind(parsed, dataset, &unmatchable);
+
+  // Projection validation happens even for unmatchable queries.
+  std::vector<std::string> all_vars;
+  {
+    std::unordered_set<std::string> seen;
+    for (const core::BgpPattern& p : patterns) {
+      for (const core::Term* t : {&p.subject, &p.property, &p.object}) {
+        if (t->is_var && seen.insert(t->var).second) all_vars.push_back(t->var);
+      }
+    }
+  }
+  const std::vector<std::string>& projection =
+      parsed.projection.empty() ? all_vars : parsed.projection;
+  for (const std::string& var : projection) {
+    if (std::find(all_vars.begin(), all_vars.end(), var) == all_vars.end()) {
+      return Status::InvalidArgument("projected variable ?" + var +
+                                     " does not occur in WHERE");
+    }
+  }
+
+  QueryOutput output;
+  output.vars = projection;
+  if (unmatchable) return output;
+
+  SWAN_ASSIGN_OR_RETURN(core::BgpResult bgp,
+                        core::ExecuteBgp(backend, patterns));
+
+  // The evaluator may reorder patterns, so binding columns are located by
+  // name against the result's own variable list.
+  std::vector<size_t> column_of;
+  for (const std::string& var : projection) {
+    const auto it = std::find(bgp.vars.begin(), bgp.vars.end(), var);
+    SWAN_CHECK_MSG(it != bgp.vars.end(), "projected variable lost by BGP");
+    column_of.push_back(static_cast<size_t>(it - bgp.vars.begin()));
+  }
+
+  // Project, optionally deduplicate, apply LIMIT, decode.
+  std::vector<std::vector<uint64_t>> projected;
+  projected.reserve(bgp.rows.size());
+  for (const auto& row : bgp.rows) {
+    std::vector<uint64_t> out_row;
+    out_row.reserve(column_of.size());
+    for (size_t c : column_of) out_row.push_back(row[c]);
+    projected.push_back(std::move(out_row));
+  }
+  if (parsed.distinct) {
+    std::sort(projected.begin(), projected.end());
+    projected.erase(std::unique(projected.begin(), projected.end()),
+                    projected.end());
+  }
+  if (parsed.limit && projected.size() > *parsed.limit) {
+    projected.resize(*parsed.limit);
+  }
+  for (const auto& ids : projected) {
+    Row row;
+    row.ids = ids;
+    for (uint64_t id : ids) {
+      row.text.emplace_back(dataset.dict().Lookup(id));
+    }
+    output.rows.push_back(std::move(row));
+  }
+  return output;
+}
+
+}  // namespace swan::sparql

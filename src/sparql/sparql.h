@@ -1,0 +1,87 @@
+#ifndef SWANDB_SPARQL_SPARQL_H_
+#define SWANDB_SPARQL_SPARQL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/backend.h"
+#include "core/bgp.h"
+#include "rdf/dataset.h"
+
+namespace swan::sparql {
+
+// A front-end for the SPARQL subset that maps onto basic graph patterns —
+// the query-space fragment the paper analyzes in §2.2 (all 8 simple triple
+// patterns composed through the A/B/C join patterns):
+//
+//   PREFIX ex: <http://example.org/>
+//   SELECT DISTINCT ?who ?what
+//   WHERE { ?who ex:authored ?what . ?what ex:cites ?classic . }
+//   LIMIT 10
+//
+// Supported: PREFIX declarations, `SELECT * | ?var...`, DISTINCT, a WHERE
+// block of triple patterns over IRIs (`<...>`), prefixed names
+// (`ex:name`), literals (`"..."` with \-escapes and optional @lang / ^^
+// suffixes), variables (`?name`), and LIMIT. Not supported (rejected with
+// a parse error): FILTER, OPTIONAL, UNION, property paths.
+
+// --- Abstract syntax ------------------------------------------------------
+
+struct ParsedTerm {
+  enum class Kind { kVariable, kIri, kLiteral };
+  Kind kind = Kind::kVariable;
+  // Variable name without '?', or the full term text including <> / "".
+  std::string text;
+};
+
+struct ParsedPattern {
+  ParsedTerm subject;
+  ParsedTerm property;
+  ParsedTerm object;
+};
+
+struct ParsedQuery {
+  bool distinct = false;
+  // Empty means SELECT * (all variables in order of first appearance).
+  std::vector<std::string> projection;
+  std::vector<ParsedPattern> patterns;
+  std::optional<uint64_t> limit;
+};
+
+// Parses the query text. Errors carry 1-based line:column positions.
+Result<ParsedQuery> Parse(std::string_view query);
+
+// --- Execution ------------------------------------------------------------
+
+struct Row {
+  std::vector<uint64_t> ids;      // dictionary ids, aligned with vars
+  std::vector<std::string> text;  // decoded terms, aligned with vars
+};
+
+struct QueryOutput {
+  std::vector<std::string> vars;
+  std::vector<Row> rows;
+};
+
+// Binds a parsed query's constant terms against the dataset's dictionary,
+// producing executable BGP patterns. A constant absent from the dictionary
+// cannot match anything: *unmatchable is set and the caller should return
+// the empty result (standard SPARQL semantics).
+std::vector<core::BgpPattern> Bind(const ParsedQuery& parsed,
+                                   const rdf::Dataset& dataset,
+                                   bool* unmatchable);
+
+// Parses and runs `query` against `backend`, decoding results through the
+// dataset's dictionary. A constant term that is not in the dictionary
+// yields an empty result (standard SPARQL semantics), not an error.
+Result<QueryOutput> Execute(const core::Backend& backend,
+                            const rdf::Dataset& dataset,
+                            std::string_view query);
+
+}  // namespace swan::sparql
+
+#endif  // SWANDB_SPARQL_SPARQL_H_

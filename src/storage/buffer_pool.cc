@@ -1,0 +1,126 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace swan::storage {
+
+PageGuard::PageGuard(BufferPool* pool, size_t frame_index, const uint8_t* data)
+    : pool_(pool), frame_index_(frame_index), data_(data) {}
+
+PageGuard::~PageGuard() { Release(); }
+
+PageGuard::PageGuard(PageGuard&& other) noexcept
+    : pool_(other.pool_), frame_index_(other.frame_index_), data_(other.data_) {
+  other.pool_ = nullptr;
+  other.data_ = nullptr;
+}
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_index_ = other.frame_index_;
+    data_ = other.data_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_index_);
+    pool_ = nullptr;
+    data_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(SimulatedDisk* disk, size_t capacity_pages)
+    : disk_(disk), capacity_(capacity_pages) {
+  SWAN_CHECK(capacity_pages >= 8);
+  frames_.reserve(capacity_pages);
+}
+
+PageGuard BufferPool::Fetch(PageId id) {
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    ++hits_;
+    Frame& frame = frames_[it->second];
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_pos);
+      frame.in_lru = false;
+    }
+    ++frame.pin_count;
+    return PageGuard(this, it->second, frame.data.get());
+  }
+
+  ++misses_;
+  const size_t idx = AllocateFrame();
+  Frame& frame = frames_[idx];
+  frame.id = id;
+  frame.pin_count = 1;
+  frame.in_lru = false;
+  disk_->ReadPage(id, frame.data.get());
+  map_[id] = idx;
+  return PageGuard(this, idx, frame.data.get());
+}
+
+void BufferPool::WriteThrough(PageId id, const void* data) {
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    std::memcpy(frames_[it->second].data.get(), data, kPageSize);
+  }
+  disk_->WritePage(id, data);
+}
+
+void BufferPool::Clear() {
+  for (const auto& [id, idx] : map_) {
+    SWAN_CHECK_MSG(frames_[idx].pin_count == 0,
+                   "Clear() with pinned pages outstanding");
+  }
+  map_.clear();
+  lru_.clear();
+  free_frames_.clear();
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    frames_[i].in_lru = false;
+    free_frames_.push_back(i);
+  }
+}
+
+void BufferPool::Unpin(size_t frame_index) {
+  Frame& frame = frames_[frame_index];
+  SWAN_CHECK(frame.pin_count > 0);
+  if (--frame.pin_count == 0) {
+    lru_.push_front(frame_index);
+    frame.lru_pos = lru_.begin();
+    frame.in_lru = true;
+  }
+}
+
+size_t BufferPool::AllocateFrame() {
+  if (!free_frames_.empty()) {
+    const size_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    if (frames_[idx].data == nullptr) {
+      frames_[idx].data = std::make_unique<uint8_t[]>(kPageSize);
+    }
+    return idx;
+  }
+  if (frames_.size() < capacity_) {
+    frames_.emplace_back();
+    frames_.back().data = std::make_unique<uint8_t[]>(kPageSize);
+    return frames_.size() - 1;
+  }
+  // Evict the least recently used unpinned frame.
+  SWAN_CHECK_MSG(!lru_.empty(), "buffer pool exhausted: all pages pinned");
+  const size_t victim = lru_.back();
+  lru_.pop_back();
+  Frame& frame = frames_[victim];
+  frame.in_lru = false;
+  map_.erase(frame.id);
+  return victim;
+}
+
+}  // namespace swan::storage

@@ -1,0 +1,96 @@
+#ifndef SWANDB_STORAGE_BUFFER_POOL_H_
+#define SWANDB_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/page.h"
+#include "storage/simulated_disk.h"
+
+namespace swan::storage {
+
+class BufferPool;
+
+// RAII pin on a buffered page. The pointed-to bytes stay valid (and the
+// frame un-evictable) for the guard's lifetime.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, size_t frame_index, const uint8_t* data);
+  ~PageGuard();
+
+  PageGuard(PageGuard&& other) noexcept;
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  bool valid() const { return pool_ != nullptr; }
+
+ private:
+  void Release();
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_index_ = 0;
+  const uint8_t* data_ = nullptr;
+};
+
+// Page cache with LRU replacement between a storage engine and the
+// simulated disk. Dropping it (Clear) is the reproduction's equivalent of
+// the paper's "zapping the memory completely" between cold runs.
+class BufferPool {
+ public:
+  BufferPool(SimulatedDisk* disk, size_t capacity_pages);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Returns a pinned view of the page, reading it from disk on a miss.
+  PageGuard Fetch(PageId id);
+
+  // Write-through update: patches the cached copy (if resident) and the
+  // disk image. Used by the row store's insert path.
+  void WriteThrough(PageId id, const void* data);
+
+  // Evicts everything. All pages must be unpinned.
+  void Clear();
+
+  size_t capacity_pages() const { return capacity_; }
+  size_t resident_pages() const { return map_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  void ResetStats() { hits_ = misses_ = 0; }
+
+  SimulatedDisk* disk() const { return disk_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    PageId id;
+    std::unique_ptr<uint8_t[]> data;
+    uint32_t pin_count = 0;
+    // Position in lru_ when pin_count == 0.
+    std::list<size_t>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  void Unpin(size_t frame_index);
+  size_t AllocateFrame();
+
+  SimulatedDisk* disk_;
+  size_t capacity_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::unordered_map<PageId, size_t, PageIdHash> map_;
+  std::list<size_t> lru_;  // front = most recent
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace swan::storage
+
+#endif  // SWANDB_STORAGE_BUFFER_POOL_H_

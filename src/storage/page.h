@@ -1,0 +1,35 @@
+#ifndef SWANDB_STORAGE_PAGE_H_
+#define SWANDB_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace swan::storage {
+
+// All persistent structures (B+tree nodes, column segments) are stored in
+// fixed-size pages, the granularity of simulated disk I/O and buffering.
+inline constexpr size_t kPageSize = 8192;
+
+// Identifies a page as (file, offset-within-file).
+struct PageId {
+  uint32_t file_id = 0;
+  uint32_t page_no = 0;
+
+  friend bool operator==(const PageId& a, const PageId& b) {
+    return a.file_id == b.file_id && a.page_no == b.page_no;
+  }
+
+  uint64_t Packed() const {
+    return (static_cast<uint64_t>(file_id) << 32) | page_no;
+  }
+};
+
+struct PageIdHash {
+  size_t operator()(const PageId& id) const {
+    return std::hash<uint64_t>()(id.Packed() * 0x9e3779b97f4a7c15ULL);
+  }
+};
+
+}  // namespace swan::storage
+
+#endif  // SWANDB_STORAGE_PAGE_H_

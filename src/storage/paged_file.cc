@@ -1,0 +1,81 @@
+#include "storage/paged_file.h"
+
+#include "common/macros.h"
+
+namespace swan::storage {
+
+void U64FileWriter::Append(uint64_t value) {
+  std::memcpy(buffer_ + fill_, &value, sizeof(value));
+  fill_ += sizeof(value);
+  ++count_;
+  if (fill_ == kPageSize) {
+    file_->AppendPage(buffer_);
+    fill_ = 0;
+  }
+}
+
+void U64FileWriter::Finish() {
+  if (fill_ > 0) {
+    std::memset(buffer_ + fill_, 0, kPageSize - fill_);
+    file_->AppendPage(buffer_);
+    fill_ = 0;
+  }
+}
+
+void ByteFileWriter::Append(const void* data, size_t size) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  while (size > 0) {
+    const size_t take = std::min(size, kPageSize - fill_);
+    std::memcpy(buffer_ + fill_, bytes, take);
+    fill_ += take;
+    bytes += take;
+    size -= take;
+    byte_count_ += take;
+    if (fill_ == kPageSize) {
+      file_->AppendPage(buffer_);
+      fill_ = 0;
+    }
+  }
+}
+
+void ByteFileWriter::Finish() {
+  if (fill_ > 0) {
+    std::memset(buffer_ + fill_, 0, kPageSize - fill_);
+    file_->AppendPage(buffer_);
+    fill_ = 0;
+  }
+}
+
+void ReadByteFile(BufferPool* pool, const PagedFile& file, uint64_t count,
+                  std::vector<uint8_t>* out) {
+  out->clear();
+  out->reserve(count);
+  const uint32_t pages = file.page_count();
+  uint64_t remaining = count;
+  for (uint32_t p = 0; p < pages && remaining > 0; ++p) {
+    PageGuard guard = pool->Fetch(file.page_id(p));
+    const uint64_t take = std::min<uint64_t>(remaining, kPageSize);
+    out->insert(out->end(), guard.data(), guard.data() + take);
+    remaining -= take;
+  }
+  SWAN_CHECK_MSG(remaining == 0, "byte file shorter than declared count");
+}
+
+void ReadU64File(BufferPool* pool, const PagedFile& file, uint64_t count,
+                 std::vector<uint64_t>* out) {
+  out->clear();
+  out->reserve(count);
+  constexpr uint64_t kPerPage = kPageSize / sizeof(uint64_t);
+  const uint32_t pages = file.page_count();
+  uint64_t remaining = count;
+  for (uint32_t p = 0; p < pages && remaining > 0; ++p) {
+    PageGuard guard = pool->Fetch(file.page_id(p));
+    const uint64_t take = std::min<uint64_t>(remaining, kPerPage);
+    const uint64_t* values = reinterpret_cast<const uint64_t*>(guard.data());
+    out->insert(out->end(), values, values + take);
+    remaining -= take;
+  }
+  SWAN_CHECK_MSG(remaining == 0, "column file shorter than declared count");
+}
+
+}  // namespace swan::storage

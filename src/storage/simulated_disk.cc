@@ -1,0 +1,99 @@
+#include "storage/simulated_disk.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace swan::storage {
+
+SimulatedDisk::SimulatedDisk(DiskConfig config) : config_(config) {}
+
+uint32_t SimulatedDisk::CreateFile() {
+  files_.emplace_back();
+  return static_cast<uint32_t>(files_.size() - 1);
+}
+
+uint32_t SimulatedDisk::AppendPage(uint32_t file_id, const void* data) {
+  SWAN_CHECK(file_id < files_.size());
+  auto& file = files_[file_id];
+  const size_t offset = file.size();
+  file.resize(offset + kPageSize);
+  std::memcpy(file.data() + offset, data, kPageSize);
+  return static_cast<uint32_t>(offset / kPageSize);
+}
+
+void SimulatedDisk::WritePage(PageId id, const void* data) {
+  SWAN_CHECK(id.file_id < files_.size());
+  auto& file = files_[id.file_id];
+  const size_t offset = static_cast<size_t>(id.page_no) * kPageSize;
+  SWAN_CHECK(offset + kPageSize <= file.size());
+  std::memcpy(file.data() + offset, data, kPageSize);
+}
+
+void SimulatedDisk::ReadPage(PageId id, void* out) {
+  SWAN_CHECK(id.file_id < files_.size());
+  const auto& file = files_[id.file_id];
+  const size_t offset = static_cast<size_t>(id.page_no) * kPageSize;
+  SWAN_CHECK_MSG(offset + kPageSize <= file.size(), "read past end of file");
+  std::memcpy(out, file.data() + offset, kPageSize);
+
+  // Charge the I/O model.
+  bool seek = true;
+  if (has_last_read_ && id.file_id == last_read_.file_id &&
+      id.page_no == last_read_.page_no + 1) {
+    seek = false;
+    ++run_length_pages_;
+    if (config_.forced_seek_interval_pages > 0 &&
+        run_length_pages_ >= config_.forced_seek_interval_pages) {
+      seek = true;
+    }
+  }
+  if (seek) run_length_pages_ = 0;
+  has_last_read_ = true;
+  last_read_ = id;
+
+  double seconds =
+      static_cast<double>(kPageSize) / (config_.bandwidth_mb_per_s * 1e6);
+  if (seek) {
+    seconds += config_.seek_latency_ms * 1e-3;
+    ++total_seeks_;
+  }
+  clock_.Advance(seconds);
+  total_bytes_read_ += kPageSize;
+  ++total_reads_;
+  if (tracing_) {
+    trace_.push_back({clock_.now(), total_bytes_read_});
+  }
+}
+
+uint32_t SimulatedDisk::PageCount(uint32_t file_id) const {
+  SWAN_CHECK(file_id < files_.size());
+  return static_cast<uint32_t>(files_[file_id].size() / kPageSize);
+}
+
+void SimulatedDisk::ResetStats() {
+  total_bytes_read_ = 0;
+  total_reads_ = 0;
+  total_seeks_ = 0;
+  clock_.Reset();
+  has_last_read_ = false;
+  run_length_pages_ = 0;
+}
+
+void SimulatedDisk::StartTrace() {
+  tracing_ = true;
+  trace_.clear();
+}
+
+std::vector<IoTracePoint> SimulatedDisk::StopTrace() {
+  tracing_ = false;
+  return std::move(trace_);
+}
+
+uint64_t SimulatedDisk::TotalStoredBytes() const {
+  uint64_t total = 0;
+  for (const auto& f : files_) total += f.size();
+  return total;
+}
+
+}  // namespace swan::storage

@@ -1,0 +1,121 @@
+// Property test at the system level: all scheme × engine combinations must
+// return identical rows for every benchmark query, on generated Barton-like
+// datasets of several scales and seeds, both with restricted and full
+// property lists, and cold as well as hot.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "bench_support/barton_generator.h"
+#include "bench_support/harness.h"
+#include "core/col_backends.h"
+#include "core/cstore_backend.h"
+#include "core/property_table_backend.h"
+#include "core/reference_backend.h"
+#include "core/row_backends.h"
+
+namespace swan {
+namespace {
+
+using bench_support::BartonConfig;
+using bench_support::GenerateBarton;
+using bench_support::MakeBartonContext;
+using core::QueryId;
+
+struct Combo {
+  uint64_t triples;
+  uint64_t seed;
+};
+
+class EquivalenceTest : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(EquivalenceTest, AllBackendsAgreeOnAllQueries) {
+  BartonConfig config;
+  config.target_triples = GetParam().triples;
+  config.seed = GetParam().seed;
+  const auto barton = GenerateBarton(config);
+  const rdf::Dataset& data = barton.dataset;
+  const core::QueryContext ctx = MakeBartonContext(data, 28);
+
+  core::ColTripleBackend col_spo(data, rdf::TripleOrder::kSPO);
+  core::ColTripleBackend col_pso(data, rdf::TripleOrder::kPSO);
+  core::ColVerticalBackend col_vert(data);
+  core::RowTripleBackend row_spo(data, rowstore::TripleRelation::SpoConfig());
+  core::RowTripleBackend row_pso(data, rowstore::TripleRelation::PsoConfig());
+  core::RowVerticalBackend row_vert(data);
+  core::CStoreBackend cstore(data, ctx.interesting_properties());
+  core::PropertyTableBackend property_table(data, 20);
+  core::ReferenceBackend reference(data);
+
+  // The naive reference oracle goes first so every optimized backend is
+  // compared against it, not just against each other.
+  std::vector<core::Backend*> backends = {&reference, &col_spo, &col_pso,
+                                          &col_vert, &row_spo, &row_pso,
+                                          &row_vert, &property_table, &cstore};
+  const std::vector<uint64_t> rows = bench_support::VerifyBackendsAgree(
+      backends, core::AllQueries(), ctx);
+
+  // Every benchmark query must be non-trivial on generated data.
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_GT(rows[i], 0u) << "query " << ToString(core::AllQueries()[i])
+                           << " returned no rows";
+  }
+}
+
+TEST_P(EquivalenceTest, ColdRunsReturnSameRowsAsHot) {
+  BartonConfig config;
+  config.target_triples = GetParam().triples;
+  config.seed = GetParam().seed;
+  const auto barton = GenerateBarton(config);
+  const core::QueryContext ctx = MakeBartonContext(barton.dataset, 28);
+
+  core::ColVerticalBackend col_vert(barton.dataset);
+  core::RowTripleBackend row_pso(barton.dataset,
+                                 rowstore::TripleRelation::PsoConfig());
+  for (QueryId id : core::AllQueries()) {
+    core::QueryResult hot_col = col_vert.Run(id, ctx);
+    col_vert.DropCaches();
+    core::QueryResult cold_col = col_vert.Run(id, ctx);
+    EXPECT_TRUE(hot_col.SameRows(cold_col)) << ToString(id);
+
+    core::QueryResult hot_row = row_pso.Run(id, ctx);
+    row_pso.DropCaches();
+    core::QueryResult cold_row = row_pso.Run(id, ctx);
+    EXPECT_TRUE(hot_row.SameRows(cold_row)) << ToString(id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ScalesAndSeeds, EquivalenceTest,
+    ::testing::Values(Combo{3000, 1}, Combo{3000, 7}, Combo{12000, 42},
+                      Combo{12000, 99}, Combo{40000, 2026}),
+    [](const ::testing::TestParamInfo<Combo>& info) {
+      return "t" + std::to_string(info.param.triples) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+// The restriction list is part of query semantics: growing it must only
+// grow q2's result set (monotonicity property used by Figure 6).
+TEST(PropertySweepTest, Q2ResultGrowsWithPropertyCount) {
+  BartonConfig config;
+  config.target_triples = 20000;
+  const auto barton = GenerateBarton(config);
+  core::ColVerticalBackend vert(barton.dataset);
+  core::ColTripleBackend triple(barton.dataset, rdf::TripleOrder::kPSO);
+
+  uint64_t previous = 0;
+  for (size_t k : {28, 56, 112, 222}) {
+    const core::QueryContext ctx = MakeBartonContext(barton.dataset, k);
+    core::QueryResult from_vert = vert.Run(QueryId::kQ2, ctx);
+    core::QueryResult from_triple = triple.Run(QueryId::kQ2, ctx);
+    EXPECT_TRUE(from_vert.SameRows(from_triple)) << "k=" << k;
+    EXPECT_GE(from_vert.row_count(), previous);
+    previous = from_vert.row_count();
+  }
+}
+
+}  // namespace
+}  // namespace swan

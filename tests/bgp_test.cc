@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/bgp.h"
+#include "core/col_backends.h"
+#include "core/row_backends.h"
+#include "core/store.h"
+#include "rdf/dataset.h"
+
+namespace swan::core {
+namespace {
+
+class BgpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    //  alice knows bob, bob knows carol, carol knows alice
+    //  alice age "30", bob age "30", carol age "25"
+    data_.Add("<alice>", "<knows>", "<bob>");
+    data_.Add("<bob>", "<knows>", "<carol>");
+    data_.Add("<carol>", "<knows>", "<alice>");
+    data_.Add("<alice>", "<age>", "\"30\"");
+    data_.Add("<bob>", "<age>", "\"30\"");
+    data_.Add("<carol>", "<age>", "\"25\"");
+  }
+
+  uint64_t Id(const std::string& term) const {
+    return data_.dict().Find(term).value();
+  }
+
+  rdf::Dataset data_;
+};
+
+TEST_F(BgpTest, SinglePatternAllVariables) {
+  ColVerticalBackend backend(data_);
+  auto result = ExecuteBgp(
+      backend, {{Term::Var("s"), Term::Var("p"), Term::Var("o")}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rows.size(), 6u);
+  EXPECT_EQ(result.value().vars, (std::vector<std::string>{"s", "p", "o"}));
+}
+
+TEST_F(BgpTest, JoinPatternA_SharedSubject) {
+  // ?x knows ?y . ?x age "30"  -> alice, bob
+  ColVerticalBackend backend(data_);
+  auto result = ExecuteBgp(
+      backend,
+      {{Term::Var("x"), Term::Const(Id("<knows>")), Term::Var("y")},
+       {Term::Var("x"), Term::Const(Id("<age>")), Term::Const(Id("\"30\""))}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rows.size(), 2u);
+}
+
+TEST_F(BgpTest, JoinPatternC_PathOfLengthTwo) {
+  // ?x knows ?y . ?y knows ?z  (object-subject chain)
+  ColVerticalBackend backend(data_);
+  auto result = ExecuteBgp(
+      backend, {{Term::Var("x"), Term::Const(Id("<knows>")), Term::Var("y")},
+                {Term::Var("y"), Term::Const(Id("<knows>")), Term::Var("z")}});
+  ASSERT_TRUE(result.ok());
+  // The knows-cycle of length 3 gives 3 two-step paths.
+  EXPECT_EQ(result.value().rows.size(), 3u);
+}
+
+TEST_F(BgpTest, JoinPatternB_SharedObject) {
+  // ?x age ?a . ?y age ?a  -> all (x, y) with equal age: 4 with "30"
+  // (alice/alice, alice/bob, bob/alice, bob/bob) + 1 with "25".
+  ColVerticalBackend backend(data_);
+  auto result = ExecuteBgp(
+      backend, {{Term::Var("x"), Term::Const(Id("<age>")), Term::Var("a")},
+                {Term::Var("y"), Term::Const(Id("<age>")), Term::Var("a")}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rows.size(), 5u);
+}
+
+TEST_F(BgpTest, RepeatedVariableWithinPattern) {
+  // ?x knows ?x -> nobody knows themselves here.
+  ColVerticalBackend backend(data_);
+  auto result = ExecuteBgp(
+      backend, {{Term::Var("x"), Term::Const(Id("<knows>")), Term::Var("x")}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().rows.empty());
+
+  data_.Add("<narcissus>", "<knows>", "<narcissus>");
+  ColVerticalBackend backend2(data_);
+  auto result2 = ExecuteBgp(
+      backend2, {{Term::Var("x"), Term::Const(Id("<knows>")), Term::Var("x")}});
+  ASSERT_TRUE(result2.ok());
+  EXPECT_EQ(result2.value().rows.size(), 1u);
+}
+
+TEST_F(BgpTest, EmptyBgpIsInvalid) {
+  ColVerticalBackend backend(data_);
+  auto result = ExecuteBgp(backend, {});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(BgpTest, UnnamedVariableIsInvalid) {
+  ColVerticalBackend backend(data_);
+  auto result =
+      ExecuteBgp(backend, {{Term::Var(""), Term::Var("p"), Term::Var("o")}});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(BgpTest, NoMatchesYieldsEmptyRows) {
+  ColVerticalBackend backend(data_);
+  auto result = ExecuteBgp(
+      backend, {{Term::Var("x"), Term::Const(Id("<age>")), Term::Var("a")},
+                {Term::Var("x"), Term::Const(Id("<knows>")),
+                 Term::Const(Id("\"25\""))}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().rows.empty());
+}
+
+TEST_F(BgpTest, AllBackendsGiveSameBindingCount) {
+  const std::vector<BgpPattern> query = {
+      {Term::Var("x"), Term::Const(Id("<knows>")), Term::Var("y")},
+      {Term::Var("y"), Term::Const(Id("<age>")), Term::Var("a")}};
+
+  ColTripleBackend spo(data_, rdf::TripleOrder::kSPO);
+  ColTripleBackend pso(data_, rdf::TripleOrder::kPSO);
+  ColVerticalBackend vert(data_);
+  RowTripleBackend row_spo(data_, rowstore::TripleRelation::SpoConfig());
+  RowVerticalBackend row_vert(data_);
+
+  std::vector<size_t> counts;
+  for (Backend* backend : std::initializer_list<Backend*>{
+           &spo, &pso, &vert, &row_spo, &row_vert}) {
+    auto result = ExecuteBgp(*backend, query);
+    ASSERT_TRUE(result.ok());
+    auto rows = result.value().rows;
+    std::sort(rows.begin(), rows.end());
+    counts.push_back(rows.size());
+  }
+  for (size_t c : counts) EXPECT_EQ(c, counts[0]);
+  EXPECT_EQ(counts[0], 3u);
+}
+
+TEST_F(BgpTest, PlanOrderPutsMostBoundPatternFirst) {
+  // (?x age "30") has two constants; (?x knows ?y) only one.
+  const std::vector<BgpPattern> patterns = {
+      {Term::Var("x"), Term::Const(Id("<knows>")), Term::Var("y")},
+      {Term::Var("x"), Term::Const(Id("<age>")), Term::Const(Id("\"30\""))}};
+  const auto order = PlanPatternOrder(patterns);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 0u);
+}
+
+TEST_F(BgpTest, PlanOrderPrefersConnectedPatterns) {
+  // After the seed pattern about ?a, the ?a-connected pattern should come
+  // before the disconnected ?c one.
+  const std::vector<BgpPattern> patterns = {
+      {Term::Var("c"), Term::Const(Id("<knows>")), Term::Var("d")},
+      {Term::Var("a"), Term::Const(Id("<age>")), Term::Const(Id("\"30\""))},
+      {Term::Var("a"), Term::Const(Id("<knows>")), Term::Var("b")}};
+  const auto order = PlanPatternOrder(patterns);
+  EXPECT_EQ(order[0], 1u);  // most constants
+  EXPECT_EQ(order[1], 2u);  // joins on ?a
+  EXPECT_EQ(order[2], 0u);  // cartesian-ish pattern last
+}
+
+TEST_F(BgpTest, ReorderingDoesNotChangeResults) {
+  // Same query written in two textual orders: identical binding sets.
+  ColVerticalBackend backend(data_);
+  const BgpPattern knows = {Term::Var("x"), Term::Const(Id("<knows>")),
+                            Term::Var("y")};
+  const BgpPattern age = {Term::Var("y"), Term::Const(Id("<age>")),
+                          Term::Var("v")};
+  auto forward = ExecuteBgp(backend, {knows, age});
+  auto reversed = ExecuteBgp(backend, {age, knows});
+  ASSERT_TRUE(forward.ok());
+  ASSERT_TRUE(reversed.ok());
+  auto canonical = [](const BgpResult& r) {
+    // Rows keyed by variable name so column order is irrelevant.
+    std::vector<std::vector<std::pair<std::string, uint64_t>>> rows;
+    for (const auto& row : r.rows) {
+      std::vector<std::pair<std::string, uint64_t>> named;
+      for (size_t c = 0; c < r.vars.size(); ++c) {
+        named.emplace_back(r.vars[c], row[c]);
+      }
+      std::sort(named.begin(), named.end());
+      rows.push_back(std::move(named));
+    }
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+  EXPECT_EQ(canonical(forward.value()), canonical(reversed.value()));
+  EXPECT_EQ(forward.value().rows.size(), 3u);
+}
+
+TEST_F(BgpTest, FacadeExecutesBgp) {
+  StoreOptions options;
+  options.scheme = StorageScheme::kVerticalPartitioned;
+  options.engine = EngineKind::kColumnStore;
+  auto store = RdfStore::Open(data_, options);
+  auto result = store->ExecuteBgp(
+      {{Term::Var("x"), Term::Const(Id("<knows>")), Term::Var("y")}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rows.size(), 3u);
+  EXPECT_GT(store->disk_bytes(), 0u);
+  EXPECT_EQ(store->name(), "MonetDB vert. SO");
+}
+
+TEST_F(BgpTest, MatchCoversAllEightPatterns) {
+  // Every backend must answer all 8 simple triple patterns of Figure 2.
+  ColTripleBackend pso(data_, rdf::TripleOrder::kPSO);
+  RowTripleBackend row(data_, rowstore::TripleRelation::PsoConfig());
+  ColVerticalBackend vert(data_);
+
+  const uint64_t s = Id("<alice>");
+  const uint64_t p = Id("<knows>");
+  const uint64_t o = Id("<bob>");
+  for (int mask = 0; mask < 8; ++mask) {
+    rdf::TriplePattern pattern;
+    if (mask & 1) pattern.subject = s;
+    if (mask & 2) pattern.property = p;
+    if (mask & 4) pattern.object = o;
+    auto a = pso.Match(pattern);
+    auto b = row.Match(pattern);
+    auto c = vert.Match(pattern);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    std::sort(c.begin(), c.end());
+    EXPECT_EQ(a, b) << pattern.ToString();
+    EXPECT_EQ(a, c) << pattern.ToString();
+    EXPECT_FALSE(a.empty()) << pattern.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace swan::core

@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "colstore/column.h"
+#include "colstore/ops.h"
+#include "colstore/triple_table.h"
+#include "colstore/vertical_table.h"
+#include "common/random.h"
+
+namespace swan::colstore {
+namespace {
+
+struct ColFixture {
+  storage::SimulatedDisk disk;
+  storage::BufferPool pool{&disk, 1 << 12};
+};
+
+TEST(ColumnTest, BuildAndGetRoundTrip) {
+  ColFixture f;
+  Column col(&f.pool, &f.disk);
+  std::vector<uint64_t> values(5000);
+  for (size_t i = 0; i < values.size(); ++i) values[i] = i * i;
+  col.Build(values);
+  EXPECT_EQ(col.Get(), values);
+  EXPECT_EQ(col.size(), values.size());
+}
+
+TEST(ColumnTest, LazyLoadChargesOnceThenCaches) {
+  ColFixture f;
+  Column col(&f.pool, &f.disk);
+  std::vector<uint64_t> values(10000, 42);
+  col.Build(values);
+  EXPECT_FALSE(col.loaded());
+  f.disk.ResetStats();
+  col.Get();
+  const uint64_t after_first = f.disk.total_bytes_read();
+  EXPECT_GT(after_first, 0u);
+  col.Get();
+  EXPECT_EQ(f.disk.total_bytes_read(), after_first);
+}
+
+TEST(ColumnTest, DropCacheForcesReload) {
+  ColFixture f;
+  Column col(&f.pool, &f.disk);
+  col.Build(std::vector<uint64_t>(10000, 7));
+  col.Get();
+  col.DropCache();
+  f.pool.Clear();
+  f.disk.ResetStats();
+  col.Get();
+  EXPECT_GT(f.disk.total_bytes_read(), 0u);
+}
+
+TEST(ColumnTest, ColdLoadIsSequential) {
+  ColFixture f;
+  Column col(&f.pool, &f.disk);
+  col.Build(std::vector<uint64_t>(100000, 1));
+  col.DropCache();
+  f.pool.Clear();
+  f.disk.ResetStats();
+  col.Get();
+  EXPECT_LE(f.disk.total_seeks(), 2u);
+}
+
+TEST(OpsTest, SelectEqFindsAllPositions) {
+  std::vector<uint64_t> col = {5, 3, 5, 1, 5};
+  EXPECT_EQ(SelectEq(col, 5), (PositionVector{0, 2, 4}));
+  EXPECT_TRUE(SelectEq(col, 9).empty());
+}
+
+TEST(OpsTest, SelectEqOverSelection) {
+  std::vector<uint64_t> col = {5, 3, 5, 1, 5};
+  const PositionVector sel = {1, 2, 3};
+  EXPECT_EQ(SelectEq(col, sel, 5), (PositionVector{2}));
+}
+
+TEST(OpsTest, SelectNeOverSelection) {
+  std::vector<uint64_t> col = {5, 3, 5, 1, 5};
+  const PositionVector sel = {0, 1, 2};
+  EXPECT_EQ(SelectNe(col, sel, 5), (PositionVector{1}));
+}
+
+TEST(OpsTest, EqRangeSortedBinarySearches) {
+  std::vector<uint64_t> col = {1, 1, 2, 2, 2, 5};
+  EXPECT_EQ(EqRangeSorted(col, 2), (std::pair<uint32_t, uint32_t>{2, 5}));
+  EXPECT_EQ(EqRangeSorted(col, 3), (std::pair<uint32_t, uint32_t>{5, 5}));
+  EXPECT_EQ(EqRangeSorted(col, 0), (std::pair<uint32_t, uint32_t>{0, 0}));
+}
+
+TEST(OpsTest, EqRangeSorted2UsesBothColumns) {
+  //   primary:   1 1 1 2 2
+  //   secondary: 3 4 4 1 2
+  std::vector<uint64_t> primary = {1, 1, 1, 2, 2};
+  std::vector<uint64_t> secondary = {3, 4, 4, 1, 2};
+  EXPECT_EQ(EqRangeSorted2(primary, secondary, 1, 4),
+            (std::pair<uint32_t, uint32_t>{1, 3}));
+  EXPECT_EQ(EqRangeSorted2(primary, secondary, 2, 2),
+            (std::pair<uint32_t, uint32_t>{4, 5}));
+}
+
+TEST(OpsTest, GatherMaterializes) {
+  std::vector<uint64_t> col = {10, 20, 30};
+  EXPECT_EQ(Gather(col, {2, 0}), (std::vector<uint64_t>{30, 10}));
+}
+
+TEST(OpsTest, MarkSetMembership) {
+  MarkSet marks(10);
+  marks.MarkAll(std::vector<uint64_t>{1, 3});
+  marks.Mark(7);
+  EXPECT_TRUE(marks.Test(1));
+  EXPECT_TRUE(marks.Test(7));
+  EXPECT_FALSE(marks.Test(0));
+  EXPECT_FALSE(marks.Test(9));
+}
+
+TEST(OpsTest, SelectMarkedFilters) {
+  MarkSet marks(10);
+  marks.Mark(4);
+  std::vector<uint64_t> col = {4, 5, 4, 6};
+  EXPECT_EQ(SelectMarked(col, marks), (PositionVector{0, 2}));
+  EXPECT_EQ(SelectMarked(col, {1, 2}, marks), (PositionVector{2}));
+}
+
+TEST(OpsTest, CountByKeyDenseCountsAndOrders) {
+  std::vector<uint64_t> keys = {3, 1, 3, 3, 0};
+  const auto counts = CountByKeyDense(keys, 5);
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], (std::pair<uint64_t, uint64_t>{0, 1}));
+  EXPECT_EQ(counts[1], (std::pair<uint64_t, uint64_t>{1, 1}));
+  EXPECT_EQ(counts[2], (std::pair<uint64_t, uint64_t>{3, 3}));
+}
+
+TEST(OpsTest, CountByPairGroups) {
+  std::vector<uint64_t> a = {1, 1, 2, 1};
+  std::vector<uint64_t> b = {9, 9, 9, 8};
+  const auto groups = CountByPair(a, b);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].a, 1u);
+  EXPECT_EQ(groups[0].b, 8u);
+  EXPECT_EQ(groups[0].count, 1u);
+  EXPECT_EQ(groups[1].b, 9u);
+  EXPECT_EQ(groups[1].count, 2u);
+  EXPECT_EQ(groups[2].a, 2u);
+}
+
+TEST(OpsTest, MergeJoinHandlesDuplicatesOnBothSides) {
+  std::vector<uint64_t> left = {1, 2, 2, 4};
+  std::vector<uint64_t> right = {2, 2, 3, 4, 4};
+  const auto pairs = MergeJoin(left, right);
+  // 2x2 cross product for value 2, 1x2 for value 4.
+  EXPECT_EQ(pairs.size(), 6u);
+  int count2 = 0, count4 = 0;
+  for (const auto& [l, r] : pairs) {
+    EXPECT_EQ(left[l], right[r]);
+    if (left[l] == 2) ++count2;
+    if (left[l] == 4) ++count4;
+  }
+  EXPECT_EQ(count2, 4);
+  EXPECT_EQ(count4, 2);
+}
+
+TEST(OpsTest, MergeJoinEmptyInputs) {
+  std::vector<uint64_t> some = {1, 2};
+  EXPECT_TRUE(MergeJoin({}, some).empty());
+  EXPECT_TRUE(MergeJoin(some, {}).empty());
+}
+
+TEST(OpsTest, MergeCountMatchesCountsDuplicates) {
+  std::vector<uint64_t> values = {1, 2, 2, 2, 5, 7};
+  std::vector<uint64_t> keys = {2, 5, 6};
+  EXPECT_EQ(MergeCountMatches(values, keys), 4u);
+}
+
+TEST(OpsTest, MergeSelectPositionsFindsAll) {
+  std::vector<uint64_t> values = {1, 2, 2, 5};
+  std::vector<uint64_t> keys = {2, 5};
+  EXPECT_EQ(MergeSelectPositions(values, keys), (PositionVector{1, 2, 3}));
+}
+
+TEST(OpsTest, SortedIntersectBasic) {
+  std::vector<uint64_t> a = {1, 3, 5, 7};
+  std::vector<uint64_t> b = {3, 4, 7, 9};
+  EXPECT_EQ(SortedIntersect(a, b), (std::vector<uint64_t>{3, 7}));
+}
+
+TEST(OpsTest, UnionDistinctMergesAndDedups) {
+  EXPECT_EQ(UnionDistinct({{3, 1}, {2, 3}, {}}),
+            (std::vector<uint64_t>{1, 2, 3}));
+}
+
+TEST(OpsTest, SortDistinct) {
+  EXPECT_EQ(SortDistinct({5, 1, 5, 2, 1}), (std::vector<uint64_t>{1, 2, 5}));
+}
+
+// Randomized cross-check of MergeJoin against a nested-loop oracle.
+TEST(OpsTest, MergeJoinMatchesNestedLoopOracle) {
+  Rng rng(21);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<uint64_t> left(rng.Uniform(50)), right(rng.Uniform(50));
+    for (auto& v : left) v = rng.Uniform(10);
+    for (auto& v : right) v = rng.Uniform(10);
+    std::sort(left.begin(), left.end());
+    std::sort(right.begin(), right.end());
+    size_t expected = 0;
+    for (uint64_t l : left) {
+      for (uint64_t r : right) {
+        if (l == r) ++expected;
+      }
+    }
+    EXPECT_EQ(MergeJoin(left, right).size(), expected);
+  }
+}
+
+TEST(TripleTableTest, SortsByOrderAndAnswersRanges) {
+  ColFixture f;
+  TripleTable table(&f.pool, &f.disk, rdf::TripleOrder::kPSO);
+  table.Load({{3, 10, 7}, {1, 11, 8}, {2, 10, 9}, {1, 10, 6}});
+  // PSO order: (10,1,6), (10,2,9), (10,3,7), (11,1,8)
+  EXPECT_EQ(table.properties(),
+            (std::vector<uint64_t>{10, 10, 10, 11}));
+  EXPECT_EQ(table.subjects(), (std::vector<uint64_t>{1, 2, 3, 1}));
+  EXPECT_EQ(table.PrimaryRange(10), (std::pair<uint32_t, uint32_t>{0, 3}));
+  EXPECT_EQ(table.PrimarySecondaryRange(10, 2),
+            (std::pair<uint32_t, uint32_t>{1, 2}));
+}
+
+TEST(TripleTableTest, ColumnsLoadIndependently) {
+  ColFixture f;
+  TripleTable table(&f.pool, &f.disk, rdf::TripleOrder::kPSO);
+  std::vector<rdf::Triple> triples;
+  for (uint64_t i = 0; i < 30000; ++i) triples.push_back({i, i % 5, i % 7});
+  table.Load(std::move(triples));
+  table.DropCaches();
+  f.pool.Clear();
+  f.disk.ResetStats();
+  table.properties();  // touch only the property column
+  const uint64_t one_column = f.disk.total_bytes_read();
+  EXPECT_GT(one_column, 0u);
+  EXPECT_LT(one_column, table.disk_bytes() / 2);
+}
+
+TEST(VerticalTableTest, PartitionsByProperty) {
+  ColFixture f;
+  VerticalTable table(&f.pool, &f.disk);
+  std::vector<rdf::Triple> triples = {
+      {1, 10, 5}, {2, 10, 6}, {1, 11, 7}, {3, 10, 5}};
+  table.Load(triples);
+  EXPECT_EQ(table.properties(), (std::vector<uint64_t>{10, 11}));
+  EXPECT_EQ(table.PartitionSize(10), 3u);
+  EXPECT_EQ(table.PartitionSize(11), 1u);
+  EXPECT_EQ(table.PartitionSize(99), 0u);
+  EXPECT_TRUE(table.HasPartition(10));
+  EXPECT_FALSE(table.HasPartition(99));
+  EXPECT_EQ(table.Subjects(10), (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(table.Objects(10), (std::vector<uint64_t>{5, 6, 5}));
+  EXPECT_EQ(table.SubjectRange(10, 2), (std::pair<uint32_t, uint32_t>{1, 2}));
+}
+
+TEST(VerticalTableTest, TouchingOnePartitionLeavesOthersCold) {
+  ColFixture f;
+  VerticalTable table(&f.pool, &f.disk);
+  std::vector<rdf::Triple> triples;
+  for (uint64_t i = 0; i < 20000; ++i) triples.push_back({i, i % 4, i + 1});
+  table.Load(triples);
+  table.DropCaches();
+  f.pool.Clear();
+  f.disk.ResetStats();
+  table.Subjects(0);
+  table.Objects(0);
+  // Roughly a quarter of the data (one of four equally-sized partitions).
+  EXPECT_LT(f.disk.total_bytes_read(), table.disk_bytes() / 3);
+}
+
+}  // namespace
+}  // namespace swan::colstore

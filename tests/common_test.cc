@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+
+namespace swan {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformCoversAllValues) {
+  Rng rng(11);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) ++seen[rng.Uniform(10)];
+  for (int count : seen) EXPECT_GT(count, 800);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.Chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+class ZipfAlphaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfAlphaTest, RankZeroIsMostFrequent) {
+  const double alpha = GetParam();
+  ZipfSampler zipf(100, alpha);
+  Rng rng(42);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(&rng)];
+  // Frequency must decrease (statistically) with rank.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[50]);
+  // Exact head probability: p(rank 0) = 1 / sum_k (k+1)^-alpha.
+  double norm = 0.0;
+  for (int k = 1; k <= 100; ++k) norm += std::pow(k, -alpha);
+  EXPECT_NEAR(counts[0] / 50000.0, 1.0 / norm, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfAlphaTest,
+                         ::testing::Values(0.3, 0.8, 1.0, 1.5, 2.2));
+
+TEST(ZipfTest, AllSamplesInRange) {
+  ZipfSampler zipf(7, 1.1);
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) EXPECT_LT(zipf.Sample(&rng), 7u);
+}
+
+TEST(DiscreteSamplerTest, MatchesWeights) {
+  DiscreteSampler sampler({0.5, 0.25, 0.125, 0.125});
+  Rng rng(13);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[sampler.Sample(&rng)];
+  EXPECT_NEAR(counts[0] / 100000.0, 0.5, 0.01);
+  EXPECT_NEAR(counts[1] / 100000.0, 0.25, 0.01);
+  EXPECT_NEAR(counts[2] / 100000.0, 0.125, 0.01);
+}
+
+TEST(DiscreteSamplerTest, ZeroWeightNeverSampled) {
+  DiscreteSampler sampler({1.0, 0.0, 1.0});
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(sampler.Sample(&rng), 1u);
+}
+
+TEST(StatsTest, GeometricMeanOfEqualValues) {
+  EXPECT_DOUBLE_EQ(GeometricMean({4.0, 4.0, 4.0}), 4.0);
+}
+
+TEST(StatsTest, GeometricMeanKnownValue) {
+  EXPECT_NEAR(GeometricMean({1.0, 8.0}), std::sqrt(8.0), 1e-12);
+}
+
+TEST(StatsTest, GeometricMeanEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(GeometricMean({}), 0.0);
+}
+
+TEST(StatsTest, MeanBasic) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(StatsTest, CumulativeFrequencyEndsAtHundred) {
+  const auto cdf = CumulativeFrequency({10, 5, 1, 1, 1}, 10);
+  ASSERT_FALSE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.front().pct_items, 0.0);
+  EXPECT_DOUBLE_EQ(cdf.back().pct_items, 100.0);
+  EXPECT_DOUBLE_EQ(cdf.back().pct_total, 100.0);
+}
+
+TEST(StatsTest, CumulativeFrequencyIsMonotonic) {
+  const auto cdf = CumulativeFrequency({100, 50, 20, 5, 2, 1, 1, 1}, 20);
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].pct_total, cdf[i - 1].pct_total);
+  }
+}
+
+TEST(StatsTest, SkewedCountsFrontLoadTheCdf) {
+  // One item holding 90 of 100 occurrences: the first 25% of items must
+  // already account for >= 90% of the mass.
+  const auto cdf = CumulativeFrequency({90, 4, 3, 3}, 4);
+  EXPECT_GE(cdf[1].pct_total, 90.0);
+}
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.ToString(), "NotFound: missing thing");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("bad"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1.50"});
+  table.AddSeparator();
+  table.AddRow({"beta", "22.00"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22.00"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+}
+
+TEST(TablePrinterTest, IntFormatsThousands) {
+  EXPECT_EQ(TablePrinter::Int(50255599), "50,255,599");
+  EXPECT_EQ(TablePrinter::Int(999), "999");
+  EXPECT_EQ(TablePrinter::Int(1000), "1,000");
+}
+
+TEST(TablePrinterTest, FixedRounds) {
+  EXPECT_EQ(TablePrinter::Fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fixed(2.0, 1), "2.0");
+}
+
+TEST(TimerTest, VirtualClockAccumulates) {
+  VirtualClock clock;
+  clock.Advance(1.5);
+  clock.Advance(0.25);
+  EXPECT_DOUBLE_EQ(clock.now(), 1.75);
+  clock.Reset();
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+}
+
+TEST(TimerTest, CpuTimerAdvancesUnderWork) {
+  CpuTimer timer;
+  volatile double sink = 0;
+  for (int i = 0; i < 2000000; ++i) {
+    sink = sink + std::sqrt(static_cast<double>(i));
+  }
+  EXPECT_GT(timer.ElapsedSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace swan

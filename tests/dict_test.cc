@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dict/dictionary.h"
+
+namespace swan::dict {
+namespace {
+
+TEST(DictionaryTest, InternAssignsDenseIds) {
+  Dictionary dict;
+  EXPECT_EQ(dict.Intern("<a>"), 0u);
+  EXPECT_EQ(dict.Intern("<b>"), 1u);
+  EXPECT_EQ(dict.Intern("<c>"), 2u);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary dict;
+  const uint64_t id = dict.Intern("<x>");
+  EXPECT_EQ(dict.Intern("<x>"), id);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(DictionaryTest, LookupRoundTrips) {
+  Dictionary dict;
+  const uint64_t id = dict.Intern("\"some literal\"");
+  EXPECT_EQ(dict.Lookup(id), "\"some literal\"");
+}
+
+TEST(DictionaryTest, FindMissingReturnsNullopt) {
+  Dictionary dict;
+  dict.Intern("<present>");
+  EXPECT_FALSE(dict.Find("<absent>").has_value());
+  EXPECT_TRUE(dict.Find("<present>").has_value());
+}
+
+TEST(DictionaryTest, ViewsSurviveRehashing) {
+  Dictionary dict;
+  const uint64_t first = dict.Intern("<first>");
+  // Force many insertions (deque guarantees stable storage; the index
+  // string_views must stay valid through unordered_map rehashes).
+  for (int i = 0; i < 20000; ++i) {
+    dict.Intern("<term_" + std::to_string(i) + ">");
+  }
+  EXPECT_EQ(dict.Lookup(first), "<first>");
+  EXPECT_EQ(dict.Find("<first>"), first);
+  EXPECT_EQ(dict.Find("<term_19999>"), dict.size() - 1);
+}
+
+TEST(DictionaryTest, TracksStringBytes) {
+  Dictionary dict;
+  dict.Intern("abcd");   // 4
+  dict.Intern("ef");     // 2
+  dict.Intern("abcd");   // duplicate, not counted
+  EXPECT_EQ(dict.TotalStringBytes(), 6u);
+}
+
+TEST(DictionaryTest, DistinguishesUriFromLiteralSpelling) {
+  Dictionary dict;
+  const uint64_t uri = dict.Intern("<Text>");
+  const uint64_t lit = dict.Intern("\"Text\"");
+  EXPECT_NE(uri, lit);
+}
+
+}  // namespace
+}  // namespace swan::dict

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bench_support/barton_generator.h"
+#include "bench_support/dataset_stats.h"
+#include "core/query.h"
+
+namespace swan::bench_support {
+namespace {
+
+BartonConfig MediumConfig() {
+  BartonConfig config;
+  config.target_triples = 100000;
+  config.seed = 4242;
+  return config;
+}
+
+TEST(GeneratorTest, HitsTargetSize) {
+  const auto barton = GenerateBarton(MediumConfig());
+  EXPECT_NEAR(static_cast<double>(barton.dataset.size()), 100000.0, 500.0);
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  BartonConfig config;
+  config.target_triples = 5000;
+  const auto a = GenerateBarton(config);
+  const auto b = GenerateBarton(config);
+  ASSERT_EQ(a.dataset.size(), b.dataset.size());
+  EXPECT_EQ(a.dataset.triples(), b.dataset.triples());
+
+  config.seed = 777;
+  const auto c = GenerateBarton(config);
+  EXPECT_NE(a.dataset.triples(), c.dataset.triples());
+}
+
+TEST(GeneratorTest, VocabularyResolves) {
+  BartonConfig config;
+  config.target_triples = 2000;
+  const auto barton = GenerateBarton(config);
+  EXPECT_TRUE(core::Vocabulary::Resolve(barton.dataset).ok());
+}
+
+TEST(GeneratorTest, TypeIsTheDominantProperty) {
+  const auto barton = GenerateBarton(MediumConfig());
+  const auto freqs = barton.dataset.PropertyFrequencies();
+  ASSERT_FALSE(freqs.empty());
+  const auto type_id = barton.dataset.dict().Find("<type>");
+  ASSERT_TRUE(type_id.has_value());
+  EXPECT_EQ(freqs[0].first, *type_id);
+  // ~24.5% of all triples (Table 1 / Figure 1).
+  const double share = static_cast<double>(freqs[0].second) /
+                       static_cast<double>(barton.dataset.size());
+  EXPECT_NEAR(share, 0.245, 0.02);
+}
+
+TEST(GeneratorTest, Top29PropertiesCoverAlmostEverything) {
+  const auto barton = GenerateBarton(MediumConfig());
+  const auto freqs = barton.dataset.PropertyFrequencies();
+  uint64_t top = 0;
+  for (size_t i = 0; i < std::min<size_t>(29, freqs.size()); ++i) {
+    top += freqs[i].second;
+  }
+  const double share =
+      static_cast<double>(top) / static_cast<double>(barton.dataset.size());
+  // The paper: top 13% of 222 properties account for ~99% of triples.
+  EXPECT_GT(share, 0.95);
+}
+
+TEST(GeneratorTest, LongTailHasTinyPartitions) {
+  const auto barton = GenerateBarton(MediumConfig());
+  const auto freqs = barton.dataset.PropertyFrequencies();
+  EXPECT_GT(freqs.size(), 100u);  // most of the 222 materialize at 100k
+  // "many with just a small number of rows (less than 10)"
+  size_t tiny = 0;
+  for (const auto& [p, c] : freqs) {
+    if (c < 10) ++tiny;
+  }
+  EXPECT_GT(tiny, 20u);
+}
+
+TEST(GeneratorTest, SubjectsAreNearUniform) {
+  const auto barton = GenerateBarton(MediumConfig());
+  std::unordered_map<uint64_t, uint64_t> counts;
+  for (const auto& t : barton.dataset.triples()) ++counts[t.subject];
+  uint64_t max_count = 0;
+  for (const auto& [s, c] : counts) max_count = std::max(max_count, c);
+  // Max subject frequency stays well below 0.1% of triples (3794 of 50M in
+  // Barton).
+  EXPECT_LT(max_count, barton.dataset.size() / 500);
+}
+
+TEST(GeneratorTest, DateIsTopObjectViaTypeOnly) {
+  const auto barton = GenerateBarton(MediumConfig());
+  const auto date_id = barton.dataset.dict().Find("<Date>");
+  ASSERT_TRUE(date_id.has_value());
+  const auto type_id = barton.dataset.dict().Find("<type>");
+  uint64_t date_total = 0, date_under_type = 0;
+  for (const auto& t : barton.dataset.triples()) {
+    if (t.object == *date_id) {
+      ++date_total;
+      if (t.property == *type_id) ++date_under_type;
+    }
+  }
+  const double share = static_cast<double>(date_total) /
+                       static_cast<double>(barton.dataset.size());
+  EXPECT_NEAR(share, 0.08, 0.015);  // ~8% of all triples
+  EXPECT_EQ(date_total, date_under_type);  // all of them under <type>
+}
+
+TEST(GeneratorTest, SubjectObjectOverlapIsSubstantial) {
+  const auto barton = GenerateBarton(MediumConfig());
+  const auto stats = ComputeTable1Stats(barton.dataset);
+  // Barton: 9.65M of 12.3M subjects also appear as objects (~20% of all
+  // distinct subjects at least, generously bounded here).
+  EXPECT_GT(stats.subjects_also_objects, stats.distinct_subjects / 5);
+}
+
+TEST(GeneratorTest, InterestingPropertiesAreTopRanked) {
+  const auto barton = GenerateBarton(MediumConfig());
+  EXPECT_EQ(barton.interesting_properties.size(), 28u);
+  const auto& dict = barton.dataset.dict();
+  for (const char* name :
+       {"<type>", "<records>", "<language>", "<origin>", "<Encoding>",
+        "<Point>"}) {
+    const auto id = dict.Find(name);
+    ASSERT_TRUE(id.has_value()) << name;
+    EXPECT_NE(std::find(barton.interesting_properties.begin(),
+                        barton.interesting_properties.end(), *id),
+              barton.interesting_properties.end())
+        << name;
+  }
+}
+
+TEST(GeneratorTest, Table1StatsAreConsistent) {
+  const auto barton = GenerateBarton(MediumConfig());
+  const auto stats = ComputeTable1Stats(barton.dataset);
+  EXPECT_EQ(stats.total_triples, barton.dataset.size());
+  EXPECT_LE(stats.subjects_also_objects, stats.distinct_subjects);
+  EXPECT_LE(stats.distinct_properties, 222u);
+  EXPECT_GE(stats.strings_in_dictionary,
+            stats.distinct_subjects);  // dictionary holds them all
+  EXPECT_GT(stats.dataset_bytes, stats.total_triples * 10);
+}
+
+TEST(GeneratorTest, Figure1CurvesAreWellFormed) {
+  const auto barton = GenerateBarton(MediumConfig());
+  const auto curves = ComputeFigure1Curves(barton.dataset, 50);
+  ASSERT_FALSE(curves.properties.empty());
+  // Properties are maximally skewed: at 20% of items they cover far more
+  // mass than subjects do at 20% of items.
+  auto at20 = [](const std::vector<CdfPoint>& curve) {
+    for (const auto& p : curve) {
+      if (p.pct_items >= 20.0) return p.pct_total;
+    }
+    return 100.0;
+  };
+  EXPECT_GT(at20(curves.properties), 90.0);
+  EXPECT_LT(at20(curves.subjects), 60.0);
+}
+
+TEST(GeneratorTest, MakeBartonContextBuildsUsableContext) {
+  BartonConfig config;
+  config.target_triples = 20000;
+  const auto barton = GenerateBarton(config);
+  const auto ctx = MakeBartonContext(barton.dataset, 28);
+  EXPECT_EQ(ctx.interesting_properties().size(), 28u);
+  EXPECT_FALSE(ctx.FilterCoversAll());
+  EXPECT_TRUE(ctx.IsInteresting(ctx.vocab().type));
+
+  const auto all_ctx = MakeBartonContext(
+      barton.dataset, barton.dataset.DistinctProperties().size());
+  EXPECT_TRUE(all_ctx.FilterCoversAll());
+}
+
+}  // namespace
+}  // namespace swan::bench_support

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "bench_support/barton_generator.h"
+#include "bench_support/property_split.h"
+#include "core/query.h"
+
+namespace swan::bench_support {
+namespace {
+
+std::vector<uint64_t> VocabularyProperties(const rdf::Dataset& ds) {
+  std::vector<uint64_t> out;
+  for (const char* name : {"<type>", "<records>", "<language>", "<origin>",
+                           "<Encoding>", "<Point>"}) {
+    auto id = ds.dict().Find(name);
+    if (id) out.push_back(*id);
+  }
+  return out;
+}
+
+TEST(PropertySplitTest, ReachesTargetPropertyCount) {
+  BartonConfig config;
+  config.target_triples = 30000;
+  const auto barton = GenerateBarton(config);
+  const auto protect = VocabularyProperties(barton.dataset);
+  const rdf::Dataset split =
+      SplitProperties(barton.dataset, 500, 1, protect);
+  EXPECT_EQ(split.DistinctProperties().size(), 500u);
+}
+
+TEST(PropertySplitTest, PreservesTripleCount) {
+  BartonConfig config;
+  config.target_triples = 30000;
+  const auto barton = GenerateBarton(config);
+  const rdf::Dataset split = SplitProperties(
+      barton.dataset, 400, 2, VocabularyProperties(barton.dataset));
+  EXPECT_EQ(split.size(), barton.dataset.size());
+}
+
+TEST(PropertySplitTest, ProtectedPropertiesKeepTheirTriples) {
+  BartonConfig config;
+  config.target_triples = 30000;
+  const auto barton = GenerateBarton(config);
+  const auto protect = VocabularyProperties(barton.dataset);
+  const rdf::Dataset split =
+      SplitProperties(barton.dataset, 600, 3, protect);
+
+  auto count_for = [](const rdf::Dataset& ds, const char* name) {
+    auto id = ds.dict().Find(name);
+    if (!id) return uint64_t{0};
+    uint64_t count = 0;
+    for (const auto& t : ds.triples()) {
+      if (t.property == *id) ++count;
+    }
+    return count;
+  };
+  for (const char* name : {"<type>", "<records>", "<language>", "<origin>",
+                           "<Encoding>", "<Point>"}) {
+    EXPECT_EQ(count_for(barton.dataset, name), count_for(split, name)) << name;
+  }
+  // The benchmark still runs on the split dataset.
+  EXPECT_TRUE(core::Vocabulary::Resolve(split).ok());
+}
+
+TEST(PropertySplitTest, SubjectsAndObjectsUnchanged) {
+  BartonConfig config;
+  config.target_triples = 10000;
+  const auto barton = GenerateBarton(config);
+  const rdf::Dataset split = SplitProperties(
+      barton.dataset, 300, 4, VocabularyProperties(barton.dataset));
+  // Multiset of (subject, object) pairs must be identical.
+  auto pair_counts = [](const rdf::Dataset& ds) {
+    std::unordered_map<uint64_t, uint64_t> counts;
+    const auto& dict = ds.dict();
+    std::hash<std::string_view> hasher;
+    for (const auto& t : ds.triples()) {
+      const uint64_t key = hasher(dict.Lookup(t.subject)) * 31 +
+                           hasher(dict.Lookup(t.object));
+      ++counts[key];
+    }
+    return counts;
+  };
+  EXPECT_EQ(pair_counts(barton.dataset), pair_counts(split));
+}
+
+TEST(PropertySplitTest, FragmentsFollowNamingScheme) {
+  rdf::Dataset ds;
+  for (int i = 0; i < 100; ++i) {
+    ds.Add("<s" + std::to_string(i) + ">", "<bulk>", "<o>");
+  }
+  ds.Add("<s>", "<keep>", "<o>");
+  const auto keep_id = ds.dict().Find("<keep>").value();
+  const rdf::Dataset split = SplitProperties(ds, 10, 5, {keep_id});
+  EXPECT_EQ(split.DistinctProperties().size(), 10u);
+  EXPECT_TRUE(split.dict().Find("<bulk>").has_value());   // fragment 0
+  EXPECT_TRUE(split.dict().Find("<bulk#1>").has_value());
+  EXPECT_TRUE(split.dict().Find("<keep>").has_value());
+}
+
+TEST(PropertySplitTest, TargetBelowCurrentIsNoOp) {
+  rdf::Dataset ds;
+  ds.Add("<s1>", "<p1>", "<o1>");
+  ds.Add("<s2>", "<p2>", "<o2>");
+  const rdf::Dataset split = SplitProperties(ds, 1, 6, {});
+  EXPECT_EQ(split.DistinctProperties().size(), 2u);
+  EXPECT_EQ(split.size(), 2u);
+}
+
+TEST(PropertySplitTest, DeterministicInSeed) {
+  BartonConfig config;
+  config.target_triples = 5000;
+  const auto barton = GenerateBarton(config);
+  const auto a = SplitProperties(barton.dataset, 300, 9, {});
+  const auto b = SplitProperties(barton.dataset, 300, 9, {});
+  EXPECT_EQ(a.triples(), b.triples());
+}
+
+}  // namespace
+}  // namespace swan::bench_support

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rdf/dataset.h"
+#include "rdf/ntriples.h"
+#include "rdf/pattern.h"
+#include "rdf/triple.h"
+
+namespace swan::rdf {
+namespace {
+
+TEST(TripleOrderTest, KeyRoundTripsAllOrders) {
+  const Triple t{11, 22, 33};
+  for (TripleOrder order :
+       {TripleOrder::kSPO, TripleOrder::kSOP, TripleOrder::kPSO,
+        TripleOrder::kPOS, TripleOrder::kOSP, TripleOrder::kOPS}) {
+    EXPECT_EQ(TripleFromKey(KeyOf(t, order), order), t) << ToString(order);
+  }
+}
+
+TEST(TripleOrderTest, PsoKeyLeadsWithProperty) {
+  const Triple t{11, 22, 33};
+  const auto key = KeyOf(t, TripleOrder::kPSO);
+  EXPECT_EQ(key[0], 22u);
+  EXPECT_EQ(key[1], 11u);
+  EXPECT_EQ(key[2], 33u);
+}
+
+TEST(TripleOrderTest, NamesMatch) {
+  EXPECT_EQ(ToString(TripleOrder::kSPO), "SPO");
+  EXPECT_EQ(ToString(TripleOrder::kOPS), "OPS");
+}
+
+TEST(TriplePatternTest, PatternNumbersMatchFigure2) {
+  auto pat = [](bool s, bool p, bool o) {
+    TriplePattern out;
+    if (s) out.subject = 1;
+    if (p) out.property = 2;
+    if (o) out.object = 3;
+    return out;
+  };
+  EXPECT_EQ(pat(true, true, true).PatternNumber(), 1);
+  EXPECT_EQ(pat(false, true, true).PatternNumber(), 2);
+  EXPECT_EQ(pat(true, false, true).PatternNumber(), 3);
+  EXPECT_EQ(pat(true, true, false).PatternNumber(), 4);
+  EXPECT_EQ(pat(false, false, true).PatternNumber(), 5);
+  EXPECT_EQ(pat(true, false, false).PatternNumber(), 6);
+  EXPECT_EQ(pat(false, true, false).PatternNumber(), 7);
+  EXPECT_EQ(pat(false, false, false).PatternNumber(), 8);
+}
+
+TEST(TriplePatternTest, MatchesRespectsBoundComponents) {
+  TriplePattern p;
+  p.property = 5;
+  EXPECT_TRUE(p.Matches({1, 5, 9}));
+  EXPECT_FALSE(p.Matches({1, 6, 9}));
+  p.object = 9;
+  EXPECT_TRUE(p.Matches({1, 5, 9}));
+  EXPECT_FALSE(p.Matches({1, 5, 8}));
+}
+
+TEST(JoinPatternTest, ClassificationMatchesSection22) {
+  using C = TripleComponent;
+  EXPECT_EQ(Classify({C::kSubject, C::kSubject}), JoinPattern::kA);
+  EXPECT_EQ(Classify({C::kObject, C::kObject}), JoinPattern::kB);
+  EXPECT_EQ(Classify({C::kObject, C::kSubject}), JoinPattern::kC);
+  EXPECT_EQ(Classify({C::kSubject, C::kObject}), JoinPattern::kC);
+  EXPECT_FALSE(Classify({C::kProperty, C::kSubject}).has_value());
+  EXPECT_FALSE(Classify({C::kObject, C::kProperty}).has_value());
+}
+
+TEST(DatasetTest, AddDeduplicates) {
+  Dataset ds;
+  EXPECT_TRUE(ds.Add("<s>", "<p>", "<o>"));
+  EXPECT_FALSE(ds.Add("<s>", "<p>", "<o>"));
+  EXPECT_EQ(ds.size(), 1u);
+}
+
+TEST(DatasetTest, DistinctPropertiesSorted) {
+  Dataset ds;
+  ds.Add("<s>", "<p2>", "<o>");
+  ds.Add("<s>", "<p1>", "<o>");
+  ds.Add("<s2>", "<p2>", "<o>");
+  const auto props = ds.DistinctProperties();
+  ASSERT_EQ(props.size(), 2u);
+  EXPECT_LT(props[0], props[1]);
+}
+
+TEST(DatasetTest, PropertyFrequenciesDescending) {
+  Dataset ds;
+  ds.Add("<a>", "<p1>", "<o1>");
+  ds.Add("<b>", "<p1>", "<o2>");
+  ds.Add("<c>", "<p2>", "<o3>");
+  const auto freqs = ds.PropertyFrequencies();
+  ASSERT_EQ(freqs.size(), 2u);
+  EXPECT_EQ(freqs[0].second, 2u);
+  EXPECT_EQ(freqs[1].second, 1u);
+}
+
+TEST(DatasetTest, ReplaceTriplesDeduplicates) {
+  Dataset ds;
+  ds.Add("<s>", "<p>", "<o>");
+  const Triple t = ds.triples()[0];
+  ds.ReplaceTriples({t, t, t});
+  EXPECT_EQ(ds.size(), 1u);
+}
+
+TEST(NTriplesTest, ParsesUriTriple) {
+  Dataset ds;
+  bool added = false;
+  auto st = ParseNTriplesLine("<s> <p> <o> .", &ds, &added);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_TRUE(added);
+  EXPECT_EQ(ds.size(), 1u);
+}
+
+TEST(NTriplesTest, ParsesLiteralObject) {
+  Dataset ds;
+  bool added = false;
+  auto st = ParseNTriplesLine("<s> <p> \"a literal\" .", &ds, &added);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_TRUE(ds.dict().Find("\"a literal\"").has_value());
+}
+
+TEST(NTriplesTest, ParsesEscapedQuoteInLiteral) {
+  Dataset ds;
+  bool added = false;
+  auto st =
+      ParseNTriplesLine(R"(<s> <p> "say \"hi\"" .)", &ds, &added);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_TRUE(added);
+}
+
+TEST(NTriplesTest, ParsesLanguageTaggedLiteral) {
+  Dataset ds;
+  bool added = false;
+  auto st = ParseNTriplesLine("<s> <p> \"bonjour\"@fr .", &ds, &added);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_TRUE(ds.dict().Find("\"bonjour\"@fr").has_value());
+}
+
+TEST(NTriplesTest, SkipsCommentsAndBlankLines) {
+  Dataset ds;
+  bool added = true;
+  EXPECT_TRUE(ParseNTriplesLine("# comment", &ds, &added).ok());
+  EXPECT_FALSE(added);
+  added = true;
+  EXPECT_TRUE(ParseNTriplesLine("   ", &ds, &added).ok());
+  EXPECT_FALSE(added);
+}
+
+TEST(NTriplesTest, RejectsLiteralSubject) {
+  Dataset ds;
+  bool added = false;
+  EXPECT_FALSE(ParseNTriplesLine("\"lit\" <p> <o> .", &ds, &added).ok());
+}
+
+TEST(NTriplesTest, RejectsMissingDot) {
+  Dataset ds;
+  bool added = false;
+  EXPECT_FALSE(ParseNTriplesLine("<s> <p> <o>", &ds, &added).ok());
+}
+
+TEST(NTriplesTest, RejectsUnterminatedUri) {
+  Dataset ds;
+  bool added = false;
+  EXPECT_FALSE(ParseNTriplesLine("<s <p> <o> .", &ds, &added).ok());
+}
+
+TEST(NTriplesTest, StreamRoundTrip) {
+  Dataset original;
+  original.Add("<s1>", "<p1>", "<o1>");
+  original.Add("<s2>", "<p2>", "\"literal value\"");
+  original.Add("<s1>", "<p2>", "<s2>");
+  std::stringstream buffer;
+  WriteNTriples(original, buffer);
+
+  Dataset parsed;
+  uint64_t added = 0;
+  auto st = ParseNTriples(buffer, &parsed, &added);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(added, 3u);
+  EXPECT_EQ(parsed.size(), original.size());
+  // Same term spellings must exist.
+  EXPECT_TRUE(parsed.dict().Find("\"literal value\"").has_value());
+}
+
+TEST(NTriplesTest, ReportsLineNumberOnError) {
+  std::stringstream in("<a> <b> <c> .\nbroken line\n");
+  Dataset ds;
+  uint64_t added = 0;
+  auto st = ParseNTriples(in, &ds, &added);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("line 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swan::rdf

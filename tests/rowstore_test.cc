@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "rowstore/stats.h"
+#include "rowstore/triple_relation.h"
+#include "rowstore/vertical_relation.h"
+
+namespace swan::rowstore {
+namespace {
+
+struct RowFixture {
+  storage::SimulatedDisk disk;
+  storage::BufferPool pool{&disk, 1 << 14};
+};
+
+std::vector<rdf::Triple> SmallGraph() {
+  // Properties 100/101 are frequent; 200 and 300 are rare. Big enough that
+  // the page-based cost model separates the access paths.
+  std::vector<rdf::Triple> triples;
+  for (uint64_t s = 0; s < 60000; ++s) triples.push_back({s, 100, s % 50});
+  for (uint64_t s = 0; s < 40000; ++s) triples.push_back({s, 101, s % 31});
+  for (uint64_t s = 0; s < 10; ++s) triples.push_back({s, 200, 7});
+  triples.push_back({5, 300, 9});
+  return triples;
+}
+
+std::vector<rdf::Triple> Collect(TripleRelation::Scan scan) {
+  std::vector<rdf::Triple> out;
+  for (; scan.Valid(); scan.Next()) out.push_back(scan.value());
+  return out;
+}
+
+std::vector<rdf::Triple> Collect(VerticalRelation::Scan scan) {
+  std::vector<rdf::Triple> out;
+  for (; scan.Valid(); scan.Next()) out.push_back(scan.value());
+  return out;
+}
+
+TEST(TripleStatsTest, CountsComponents) {
+  const auto stats = TripleStats::Compute(SmallGraph());
+  EXPECT_EQ(stats.total_triples, 100011u);
+  EXPECT_EQ(stats.CountOf(stats.property_count, 100), 60000u);
+  EXPECT_EQ(stats.CountOf(stats.property_count, 200), 10u);
+  EXPECT_EQ(stats.CountOf(stats.property_count, 300), 1u);
+  EXPECT_EQ(stats.CountOf(stats.property_distinct_objects, 100), 50u);
+}
+
+TEST(TripleStatsTest, EstimateUsesIndependence) {
+  const auto stats = TripleStats::Compute(SmallGraph());
+  rdf::TriplePattern pattern;
+  pattern.property = 100;
+  EXPECT_NEAR(stats.EstimateMatches(pattern), 60000.0, 1e-6);
+  pattern.object = 7;
+  const double est = stats.EstimateMatches(pattern);
+  EXPECT_GT(est, 0.0);
+  EXPECT_LT(est, 60000.0);
+}
+
+TEST(TripleStatsTest, UnknownConstantEstimatesZero) {
+  const auto stats = TripleStats::Compute(SmallGraph());
+  rdf::TriplePattern pattern;
+  pattern.property = 12345;
+  EXPECT_DOUBLE_EQ(stats.EstimateMatches(pattern), 0.0);
+}
+
+class TripleRelationConfigTest : public ::testing::TestWithParam<bool> {
+ protected:
+  TripleRelation::Config GetConfig() const {
+    return GetParam() ? TripleRelation::PsoConfig()
+                      : TripleRelation::SpoConfig();
+  }
+};
+
+TEST_P(TripleRelationConfigTest, FullScanReturnsEverything) {
+  RowFixture f;
+  TripleRelation rel(&f.pool, &f.disk, GetConfig());
+  const auto triples = SmallGraph();
+  rel.Load(triples);
+  EXPECT_EQ(rel.size(), triples.size());
+  auto all = Collect(rel.Open(rdf::TriplePattern{}));
+  EXPECT_EQ(all.size(), triples.size());
+}
+
+TEST_P(TripleRelationConfigTest, PatternScansMatchOracle) {
+  RowFixture f;
+  TripleRelation rel(&f.pool, &f.disk, GetConfig());
+  const auto triples = SmallGraph();
+  rel.Load(triples);
+
+  std::vector<rdf::TriplePattern> patterns;
+  {
+    rdf::TriplePattern p;
+    p.property = 100;
+    patterns.push_back(p);
+    p.object = 7;
+    patterns.push_back(p);
+    p = {};
+    p.subject = 5;
+    patterns.push_back(p);
+    p = {};
+    p.property = 300;
+    p.object = 9;
+    patterns.push_back(p);
+    p = {};
+    p.object = 7;
+    patterns.push_back(p);
+    p = {};
+    p.subject = 5;
+    p.property = 200;
+    p.object = 7;
+    patterns.push_back(p);
+  }
+  for (const auto& pattern : patterns) {
+    std::vector<rdf::Triple> expected;
+    for (const auto& t : triples) {
+      if (pattern.Matches(t)) expected.push_back(t);
+    }
+    auto got = Collect(rel.Open(pattern));
+    std::sort(expected.begin(), expected.end());
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << pattern.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, TripleRelationConfigTest,
+                         ::testing::Values(true, false),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "PSO" : "SPO";
+                         });
+
+TEST(TripleRelationTest, PsoUsesClusteredPrefixForPropertyScan) {
+  RowFixture f;
+  TripleRelation rel(&f.pool, &f.disk, TripleRelation::PsoConfig());
+  rel.Load(SmallGraph());
+  rdf::TriplePattern pattern;
+  pattern.property = 100;
+  const auto path = rel.ChoosePath(pattern);
+  EXPECT_EQ(path.kind, TripleRelation::AccessPath::Kind::kClusteredPrefix);
+  EXPECT_EQ(path.order, rdf::TripleOrder::kPSO);
+}
+
+TEST(TripleRelationTest, SpoFallsBackToFullScanForFrequentProperty) {
+  RowFixture f;
+  TripleRelation rel(&f.pool, &f.disk, TripleRelation::SpoConfig());
+  rel.Load(SmallGraph());
+  rdf::TriplePattern pattern;
+  pattern.property = 100;  // matches ~60% of the table
+  const auto path = rel.ChoosePath(pattern);
+  EXPECT_EQ(path.kind, TripleRelation::AccessPath::Kind::kFullScan);
+}
+
+TEST(TripleRelationTest, SpoUsesSecondaryForRarePredicate) {
+  RowFixture f;
+  TripleRelation rel(&f.pool, &f.disk, TripleRelation::SpoConfig());
+  rel.Load(SmallGraph());
+  rdf::TriplePattern pattern;
+  pattern.property = 300;  // 1 row
+  const auto path = rel.ChoosePath(pattern);
+  EXPECT_EQ(path.kind, TripleRelation::AccessPath::Kind::kSecondaryPrefix);
+  EXPECT_EQ(path.order, rdf::TripleOrder::kPOS);
+}
+
+TEST(TripleRelationTest, SubjectProbeUsesIndexInBothConfigs) {
+  RowFixture f;
+  TripleRelation pso(&f.pool, &f.disk, TripleRelation::PsoConfig());
+  pso.Load(SmallGraph());
+  rdf::TriplePattern pattern;
+  pattern.subject = 5;
+  const auto path = pso.ChoosePath(pattern);
+  EXPECT_NE(path.kind, TripleRelation::AccessPath::Kind::kFullScan);
+}
+
+TEST(TripleRelationTest, SecondaryScanChargesRowFetches) {
+  RowFixture f;
+  TripleRelation rel(&f.pool, &f.disk, TripleRelation::SpoConfig());
+  rel.Load(SmallGraph());
+  f.pool.Clear();
+  f.disk.ResetStats();
+  rdf::TriplePattern pattern;
+  pattern.property = 200;  // 10 rows via POS secondary
+  const auto got = Collect(rel.Open(pattern));
+  EXPECT_EQ(got.size(), 10u);
+  // Ten row fetches -> at least ten random descents' worth of pages.
+  EXPECT_GT(f.disk.total_seeks(), 5u);
+}
+
+TEST(VerticalRelationTest, PartitionScansMatchOracle) {
+  RowFixture f;
+  VerticalRelation rel(&f.pool, &f.disk);
+  const auto triples = SmallGraph();
+  rel.Load(triples);
+  ASSERT_EQ(rel.properties().size(), 4u);
+  EXPECT_EQ(rel.PartitionSize(100), 60000u);
+  EXPECT_EQ(rel.PartitionSize(999), 0u);
+
+  struct Case {
+    uint64_t property;
+    std::optional<uint64_t> s, o;
+  };
+  for (const Case& c :
+       {Case{100, std::nullopt, std::nullopt}, Case{100, 5, std::nullopt},
+        Case{100, std::nullopt, 7}, Case{200, std::nullopt, 7},
+        Case{300, 5, 9}, Case{100, 5, 5}}) {
+    std::vector<rdf::Triple> expected;
+    for (const auto& t : triples) {
+      if (t.property == c.property && (!c.s || t.subject == *c.s) &&
+          (!c.o || t.object == *c.o)) {
+        expected.push_back(t);
+      }
+    }
+    auto got = Collect(rel.OpenPartition(c.property, c.s, c.o));
+    std::sort(expected.begin(), expected.end());
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(VerticalRelationTest, MissingPartitionScanIsInvalid) {
+  RowFixture f;
+  VerticalRelation rel(&f.pool, &f.disk);
+  rel.Load(SmallGraph());
+  EXPECT_FALSE(rel.OpenPartition(999, std::nullopt, std::nullopt).Valid());
+}
+
+TEST(VerticalRelationTest, RandomizedEquivalenceWithTripleRelation) {
+  Rng rng(33);
+  std::vector<rdf::Triple> triples;
+  for (int i = 0; i < 5000; ++i) {
+    triples.push_back({rng.Uniform(300), rng.Uniform(12), rng.Uniform(100)});
+  }
+  std::sort(triples.begin(), triples.end());
+  triples.erase(std::unique(triples.begin(), triples.end()), triples.end());
+
+  RowFixture f;
+  TripleRelation triple(&f.pool, &f.disk, TripleRelation::PsoConfig());
+  triple.Load(triples);
+  VerticalRelation vertical(&f.pool, &f.disk);
+  vertical.Load(triples);
+
+  for (int round = 0; round < 30; ++round) {
+    rdf::TriplePattern pattern;
+    pattern.property = rng.Uniform(12);
+    if (rng.Chance(0.5)) pattern.subject = rng.Uniform(300);
+    if (rng.Chance(0.5)) pattern.object = rng.Uniform(100);
+    auto a = Collect(triple.Open(pattern));
+    auto b = Collect(vertical.OpenPartition(*pattern.property, pattern.subject,
+                                            pattern.object));
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << pattern.ToString();
+  }
+}
+
+TEST(VerticalRelationTest, DiskBytesCoverAllPartitions) {
+  RowFixture f;
+  VerticalRelation rel(&f.pool, &f.disk);
+  rel.Load(SmallGraph());
+  // 3 partitions x (clustered + secondary), at least one page each.
+  EXPECT_GE(rel.disk_bytes(), 6 * storage::kPageSize);
+}
+
+}  // namespace
+}  // namespace swan::rowstore

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/col_backends.h"
+#include "core/reference_backend.h"
+#include "rdf/dataset.h"
+#include "sparql/sparql.h"
+
+namespace swan::sparql {
+namespace {
+
+class SparqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_.Add("<http://ex.org/alice>", "<http://ex.org/knows>",
+              "<http://ex.org/bob>");
+    data_.Add("<http://ex.org/bob>", "<http://ex.org/knows>",
+              "<http://ex.org/carol>");
+    data_.Add("<http://ex.org/alice>", "<http://ex.org/age>", "\"30\"");
+    data_.Add("<http://ex.org/bob>", "<http://ex.org/age>", "\"30\"");
+    data_.Add("<http://ex.org/carol>", "<http://ex.org/age>", "\"25\"");
+    backend_ = std::make_unique<core::ColVerticalBackend>(data_);
+  }
+
+  Result<QueryOutput> Run(const std::string& query) {
+    return Execute(*backend_, data_, query);
+  }
+
+  rdf::Dataset data_;
+  std::unique_ptr<core::ColVerticalBackend> backend_;
+};
+
+TEST_F(SparqlTest, ParsesMinimalQuery) {
+  auto parsed = Parse("SELECT ?s WHERE { ?s <p> ?o }");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().projection, (std::vector<std::string>{"s"}));
+  ASSERT_EQ(parsed.value().patterns.size(), 1u);
+  EXPECT_EQ(parsed.value().patterns[0].property.text, "<p>");
+}
+
+TEST_F(SparqlTest, ParsesStarDistinctAndLimit) {
+  auto parsed =
+      Parse("SELECT DISTINCT * WHERE { ?s ?p ?o . } LIMIT 5");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed.value().distinct);
+  EXPECT_TRUE(parsed.value().projection.empty());
+  EXPECT_EQ(parsed.value().limit, 5u);
+}
+
+TEST_F(SparqlTest, KeywordsAreCaseInsensitive) {
+  auto parsed = Parse("select ?s where { ?s ?p ?o } limit 1");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+}
+
+TEST_F(SparqlTest, ExpandsPrefixedNames) {
+  auto parsed = Parse(
+      "PREFIX ex: <http://ex.org/>\n"
+      "SELECT ?x WHERE { ?x ex:knows ?y }");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().patterns[0].property.text, "<http://ex.org/knows>");
+}
+
+TEST_F(SparqlTest, RejectsUndeclaredPrefix) {
+  auto parsed = Parse("SELECT ?x WHERE { ?x foaf:knows ?y }");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("foaf"), std::string::npos);
+}
+
+TEST_F(SparqlTest, RejectsUnsupportedConstructs) {
+  EXPECT_FALSE(Parse("SELECT ?x WHERE { FILTER(?x > 3) }").ok());
+  EXPECT_FALSE(Parse("SELECT ?x WHERE { OPTIONAL { ?x <p> ?y } }").ok());
+}
+
+TEST_F(SparqlTest, ErrorsCarryPositions) {
+  auto parsed = Parse("SELECT ?x\nWHERE ?x <p> ?y }");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("2:"), std::string::npos);
+}
+
+TEST_F(SparqlTest, RejectsLiteralSubject) {
+  EXPECT_FALSE(Parse("SELECT ?x WHERE { \"lit\" <p> ?x }").ok());
+}
+
+TEST_F(SparqlTest, RejectsProjectionOfUnboundVariable) {
+  auto result = Run("SELECT ?nope WHERE { ?s ?p ?o }");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(SparqlTest, ExecutesSingleTriplePattern) {
+  auto result = Run(
+      "PREFIX ex: <http://ex.org/>\n"
+      "SELECT ?who WHERE { ?who ex:age \"30\" }");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().rows.size(), 2u);
+  std::vector<std::string> names;
+  for (const auto& row : result.value().rows) names.push_back(row.text[0]);
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"<http://ex.org/alice>",
+                                             "<http://ex.org/bob>"}));
+}
+
+TEST_F(SparqlTest, ExecutesJoin) {
+  auto result = Run(
+      "PREFIX ex: <http://ex.org/>\n"
+      "SELECT ?a ?c WHERE { ?a ex:knows ?b . ?b ex:knows ?c . }");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().rows.size(), 1u);
+  EXPECT_EQ(result.value().rows[0].text[0], "<http://ex.org/alice>");
+  EXPECT_EQ(result.value().rows[0].text[1], "<http://ex.org/carol>");
+}
+
+TEST_F(SparqlTest, DistinctDeduplicates) {
+  // Without DISTINCT: one row per (x, y) age pairing with equal ages.
+  auto plain = Run(
+      "PREFIX ex: <http://ex.org/>\n"
+      "SELECT ?v WHERE { ?x ex:age ?v . ?y ex:age ?v . }");
+  ASSERT_TRUE(plain.ok());
+  auto distinct = Run(
+      "PREFIX ex: <http://ex.org/>\n"
+      "SELECT DISTINCT ?v WHERE { ?x ex:age ?v . ?y ex:age ?v . }");
+  ASSERT_TRUE(distinct.ok());
+  EXPECT_EQ(plain.value().rows.size(), 5u);     // 2x2 for "30", 1 for "25"
+  EXPECT_EQ(distinct.value().rows.size(), 2u);  // "30", "25"
+}
+
+TEST_F(SparqlTest, LimitTruncates) {
+  auto result = Run("SELECT * WHERE { ?s ?p ?o } LIMIT 2");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rows.size(), 2u);
+}
+
+TEST_F(SparqlTest, UnknownConstantYieldsEmptyResult) {
+  auto result = Run("SELECT ?s WHERE { ?s <http://ex.org/unseen> ?o }");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().rows.empty());
+  EXPECT_EQ(result.value().vars, (std::vector<std::string>{"s"}));
+}
+
+TEST_F(SparqlTest, SelectStarUsesFirstAppearanceOrder) {
+  auto result = Run(
+      "PREFIX ex: <http://ex.org/>\n"
+      "SELECT * WHERE { ?a ex:knows ?b }");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().vars, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_F(SparqlTest, CommentsAreIgnored)  {
+  auto result = Run(
+      "# find friends\nSELECT ?a WHERE { ?a <http://ex.org/knows> ?b # inline\n }");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().rows.size(), 2u);
+}
+
+TEST_F(SparqlTest, SameAnswersOnEveryBackend) {
+  core::ReferenceBackend reference(data_);
+  const char* query =
+      "PREFIX ex: <http://ex.org/>\n"
+      "SELECT DISTINCT ?x ?v WHERE { ?x ex:knows ?y . ?x ex:age ?v }";
+  auto a = Execute(*backend_, data_, query);
+  auto b = Execute(reference, data_, query);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto key = [](const QueryOutput& out) {
+    std::vector<std::vector<uint64_t>> rows;
+    for (const auto& row : out.rows) rows.push_back(row.ids);
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+  EXPECT_EQ(key(a.value()), key(b.value()));
+}
+
+TEST_F(SparqlTest, BindResolvesConstantsAgainstDictionary) {
+  auto parsed = Parse(
+      "PREFIX ex: <http://ex.org/>\n"
+      "SELECT ?x WHERE { ?x ex:knows ex:bob }");
+  ASSERT_TRUE(parsed.ok());
+  bool unmatchable = true;
+  const auto patterns = Bind(parsed.value(), data_, &unmatchable);
+  EXPECT_FALSE(unmatchable);
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_TRUE(patterns[0].subject.is_var);
+  EXPECT_FALSE(patterns[0].property.is_var);
+  EXPECT_EQ(patterns[0].property.id,
+            data_.dict().Find("<http://ex.org/knows>").value());
+  EXPECT_EQ(patterns[0].object.id,
+            data_.dict().Find("<http://ex.org/bob>").value());
+}
+
+TEST_F(SparqlTest, BindFlagsUnknownConstants) {
+  auto parsed = Parse("SELECT ?x WHERE { ?x <http://nowhere/p> ?y }");
+  ASSERT_TRUE(parsed.ok());
+  bool unmatchable = false;
+  Bind(parsed.value(), data_, &unmatchable);
+  EXPECT_TRUE(unmatchable);
+}
+
+TEST_F(SparqlTest, LanguageTaggedLiteralRoundTrips) {
+  data_.Add("<http://ex.org/alice>", "<http://ex.org/motto>",
+            "\"carpe diem\"@la");
+  core::ReferenceBackend reference(data_);
+  auto result = Execute(
+      reference, data_,
+      "SELECT ?s WHERE { ?s <http://ex.org/motto> \"carpe diem\"@la }");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().rows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace swan::sparql

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "storage/paged_file.h"
+#include "storage/simulated_disk.h"
+
+namespace swan::storage {
+namespace {
+
+std::vector<uint8_t> PatternPage(uint8_t fill) {
+  return std::vector<uint8_t>(kPageSize, fill);
+}
+
+TEST(SimulatedDiskTest, RoundTripsPages) {
+  SimulatedDisk disk;
+  const uint32_t f = disk.CreateFile();
+  disk.AppendPage(f, PatternPage(0xAB).data());
+  disk.AppendPage(f, PatternPage(0xCD).data());
+  uint8_t buf[kPageSize];
+  disk.ReadPage({f, 1}, buf);
+  EXPECT_EQ(buf[0], 0xCD);
+  disk.ReadPage({f, 0}, buf);
+  EXPECT_EQ(buf[100], 0xAB);
+  EXPECT_EQ(disk.PageCount(f), 2u);
+}
+
+TEST(SimulatedDiskTest, WritePageOverwrites) {
+  SimulatedDisk disk;
+  const uint32_t f = disk.CreateFile();
+  disk.AppendPage(f, PatternPage(0x11).data());
+  disk.WritePage({f, 0}, PatternPage(0x22).data());
+  uint8_t buf[kPageSize];
+  disk.ReadPage({f, 0}, buf);
+  EXPECT_EQ(buf[0], 0x22);
+}
+
+TEST(SimulatedDiskTest, ChargesBandwidthTime) {
+  DiskConfig config;
+  config.bandwidth_mb_per_s = 8.0;  // 1 page = 1.024 ms
+  config.seek_latency_ms = 0.0;
+  SimulatedDisk disk(config);
+  const uint32_t f = disk.CreateFile();
+  for (int i = 0; i < 10; ++i) disk.AppendPage(f, PatternPage(0).data());
+  uint8_t buf[kPageSize];
+  for (uint32_t p = 0; p < 10; ++p) disk.ReadPage({f, p}, buf);
+  EXPECT_NEAR(disk.clock().now(), 10 * kPageSize / 8e6, 1e-9);
+  EXPECT_EQ(disk.total_bytes_read(), 10 * kPageSize);
+}
+
+TEST(SimulatedDiskTest, SequentialReadsSkipSeeks) {
+  DiskConfig config;
+  config.seek_latency_ms = 10.0;
+  SimulatedDisk disk(config);
+  const uint32_t f = disk.CreateFile();
+  for (int i = 0; i < 5; ++i) disk.AppendPage(f, PatternPage(0).data());
+  uint8_t buf[kPageSize];
+  for (uint32_t p = 0; p < 5; ++p) disk.ReadPage({f, p}, buf);
+  EXPECT_EQ(disk.total_seeks(), 1u);  // only the initial positioning
+}
+
+TEST(SimulatedDiskTest, RandomReadsPaySeeks) {
+  SimulatedDisk disk;
+  const uint32_t f = disk.CreateFile();
+  for (int i = 0; i < 10; ++i) disk.AppendPage(f, PatternPage(0).data());
+  uint8_t buf[kPageSize];
+  disk.ReadPage({f, 9}, buf);
+  disk.ReadPage({f, 0}, buf);
+  disk.ReadPage({f, 5}, buf);
+  EXPECT_EQ(disk.total_seeks(), 3u);
+}
+
+TEST(SimulatedDiskTest, ForcedSeekIntervalLimitsRunLength) {
+  DiskConfig config;
+  config.forced_seek_interval_pages = 2;
+  SimulatedDisk disk(config);
+  const uint32_t f = disk.CreateFile();
+  for (int i = 0; i < 8; ++i) disk.AppendPage(f, PatternPage(0).data());
+  uint8_t buf[kPageSize];
+  for (uint32_t p = 0; p < 8; ++p) disk.ReadPage({f, p}, buf);
+  // Seek at page 0, then every 2 sequential pages: 0,2,4,6 -> 4 seeks.
+  EXPECT_EQ(disk.total_seeks(), 4u);
+}
+
+TEST(SimulatedDiskTest, TraceRecordsCumulativeBytes) {
+  SimulatedDisk disk;
+  const uint32_t f = disk.CreateFile();
+  for (int i = 0; i < 4; ++i) disk.AppendPage(f, PatternPage(0).data());
+  disk.StartTrace();
+  uint8_t buf[kPageSize];
+  for (uint32_t p = 0; p < 4; ++p) disk.ReadPage({f, p}, buf);
+  const auto trace = disk.StopTrace();
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.back().cumulative_bytes, 4 * kPageSize);
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GT(trace[i].virtual_seconds, trace[i - 1].virtual_seconds);
+  }
+}
+
+TEST(SimulatedDiskTest, ResetStatsClearsCounters) {
+  SimulatedDisk disk;
+  const uint32_t f = disk.CreateFile();
+  disk.AppendPage(f, PatternPage(0).data());
+  uint8_t buf[kPageSize];
+  disk.ReadPage({f, 0}, buf);
+  disk.ResetStats();
+  EXPECT_EQ(disk.total_bytes_read(), 0u);
+  EXPECT_EQ(disk.total_seeks(), 0u);
+  EXPECT_DOUBLE_EQ(disk.clock().now(), 0.0);
+}
+
+TEST(BufferPoolTest, MissThenHit) {
+  SimulatedDisk disk;
+  const uint32_t f = disk.CreateFile();
+  disk.AppendPage(f, PatternPage(0x5A).data());
+  BufferPool pool(&disk, 16);
+  {
+    PageGuard g = pool.Fetch({f, 0});
+    EXPECT_EQ(g.data()[0], 0x5A);
+  }
+  EXPECT_EQ(pool.misses(), 1u);
+  { PageGuard g = pool.Fetch({f, 0}); }
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(disk.total_reads(), 1u);  // second fetch served from memory
+}
+
+TEST(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  SimulatedDisk disk;
+  const uint32_t f = disk.CreateFile();
+  for (int i = 0; i < 20; ++i) disk.AppendPage(f, PatternPage(i).data());
+  BufferPool pool(&disk, 8);
+  for (uint32_t p = 0; p < 20; ++p) {
+    PageGuard g = pool.Fetch({f, p});
+  }
+  EXPECT_EQ(pool.resident_pages(), 8u);
+  // Pages 12..19 are resident; page 0 was evicted -> refetch misses.
+  const uint64_t misses_before = pool.misses();
+  { PageGuard g = pool.Fetch({f, 0}); }
+  EXPECT_EQ(pool.misses(), misses_before + 1);
+  // Page 19 is still resident -> hit.
+  const uint64_t hits_before = pool.hits();
+  { PageGuard g = pool.Fetch({f, 19}); }
+  EXPECT_EQ(pool.hits(), hits_before + 1);
+}
+
+TEST(BufferPoolTest, PinnedPagesSurviveEvictionPressure) {
+  SimulatedDisk disk;
+  const uint32_t f = disk.CreateFile();
+  for (int i = 0; i < 20; ++i) disk.AppendPage(f, PatternPage(i).data());
+  BufferPool pool(&disk, 8);
+  PageGuard pinned = pool.Fetch({f, 0});
+  for (uint32_t p = 1; p < 20; ++p) {
+    PageGuard g = pool.Fetch({f, p});
+  }
+  // The pinned page's bytes must still be valid.
+  EXPECT_EQ(pinned.data()[0], 0);
+  const uint64_t hits_before = pool.hits();
+  PageGuard again = pool.Fetch({f, 0});
+  EXPECT_EQ(pool.hits(), hits_before + 1);
+}
+
+TEST(BufferPoolTest, ClearForcesColdReads) {
+  SimulatedDisk disk;
+  const uint32_t f = disk.CreateFile();
+  disk.AppendPage(f, PatternPage(1).data());
+  BufferPool pool(&disk, 16);
+  { PageGuard g = pool.Fetch({f, 0}); }
+  pool.Clear();
+  { PageGuard g = pool.Fetch({f, 0}); }
+  EXPECT_EQ(disk.total_reads(), 2u);
+}
+
+TEST(BufferPoolTest, WriteThroughUpdatesCacheAndDisk) {
+  SimulatedDisk disk;
+  const uint32_t f = disk.CreateFile();
+  disk.AppendPage(f, PatternPage(1).data());
+  BufferPool pool(&disk, 16);
+  { PageGuard g = pool.Fetch({f, 0}); }
+  pool.WriteThrough({f, 0}, PatternPage(9).data());
+  {
+    PageGuard g = pool.Fetch({f, 0});
+    EXPECT_EQ(g.data()[0], 9);
+  }
+  uint8_t buf[kPageSize];
+  disk.ReadPage({f, 0}, buf);
+  EXPECT_EQ(buf[0], 9);
+}
+
+TEST(PagedFileTest, U64RoundTrip) {
+  SimulatedDisk disk;
+  PagedFile file(&disk);
+  U64FileWriter writer(&file);
+  std::vector<uint64_t> values;
+  for (uint64_t i = 0; i < 3000; ++i) {
+    values.push_back(i * 7 + 1);
+    writer.Append(i * 7 + 1);
+  }
+  writer.Finish();
+  BufferPool pool(&disk, 16);
+  std::vector<uint64_t> back;
+  ReadU64File(&pool, file, 3000, &back);
+  EXPECT_EQ(back, values);
+}
+
+TEST(PagedFileTest, PartialLastPageIsPadded) {
+  SimulatedDisk disk;
+  PagedFile file(&disk);
+  U64FileWriter writer(&file);
+  writer.Append(42);
+  writer.Finish();
+  EXPECT_EQ(file.page_count(), 1u);
+  BufferPool pool(&disk, 16);
+  std::vector<uint64_t> back;
+  ReadU64File(&pool, file, 1, &back);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0], 42u);
+}
+
+TEST(PagedFileTest, EmptyFileReadsEmpty) {
+  SimulatedDisk disk;
+  PagedFile file(&disk);
+  U64FileWriter writer(&file);
+  writer.Finish();
+  BufferPool pool(&disk, 16);
+  std::vector<uint64_t> back{1, 2, 3};
+  ReadU64File(&pool, file, 0, &back);
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(PageIdTest, PackedIsUnique) {
+  PageId a{1, 2}, b{2, 1};
+  EXPECT_NE(a.Packed(), b.Packed());
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE((PageId{1, 2} == PageId{1, 2}));
+}
+
+}  // namespace
+}  // namespace swan::storage

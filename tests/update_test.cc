@@ -1,0 +1,173 @@
+// Insert support across all writable backends: visibility in queries and
+// pattern matches, duplicate rejection, schema growth in the vertical
+// scheme, and cross-backend equivalence after a mixed insert workload.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench_support/barton_generator.h"
+#include "bench_support/harness.h"
+#include "core/col_backends.h"
+#include "core/cstore_backend.h"
+#include "core/reference_backend.h"
+#include "core/row_backends.h"
+
+namespace swan::core {
+namespace {
+
+class UpdateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    bench_support::BartonConfig config;
+    config.target_triples = 5000;
+    barton_ = bench_support::GenerateBarton(config);
+  }
+
+  std::vector<std::unique_ptr<Backend>> WritableBackends() {
+    std::vector<std::unique_ptr<Backend>> backends;
+    backends.push_back(std::make_unique<ColTripleBackend>(
+        barton_.dataset, rdf::TripleOrder::kPSO));
+    backends.push_back(std::make_unique<ColTripleBackend>(
+        barton_.dataset, rdf::TripleOrder::kSPO));
+    backends.push_back(std::make_unique<ColVerticalBackend>(barton_.dataset));
+    backends.push_back(std::make_unique<RowTripleBackend>(
+        barton_.dataset, rowstore::TripleRelation::PsoConfig()));
+    backends.push_back(std::make_unique<RowVerticalBackend>(barton_.dataset));
+    backends.push_back(std::make_unique<ReferenceBackend>(barton_.dataset));
+    return backends;
+  }
+
+  bench_support::BartonDataset barton_;
+};
+
+TEST_F(UpdateTest, InsertedTripleVisibleInMatch) {
+  // New subject with an existing property and object.
+  const uint64_t s = barton_.dataset.dict().Intern("<new-subject>");
+  const uint64_t type = *barton_.dataset.dict().Find("<type>");
+  const uint64_t text = *barton_.dataset.dict().Find("<Text>");
+  for (auto& backend : WritableBackends()) {
+    EXPECT_TRUE(backend->Insert({s, type, text}).ok()) << backend->name();
+    rdf::TriplePattern pattern;
+    pattern.subject = s;
+    const auto matches = backend->Match(pattern);
+    ASSERT_EQ(matches.size(), 1u) << backend->name();
+    EXPECT_EQ(matches[0].object, text) << backend->name();
+  }
+}
+
+TEST_F(UpdateTest, InsertedTripleVisibleInBenchmarkQuery) {
+  const uint64_t s = barton_.dataset.dict().Intern("<another-subject>");
+  const uint64_t type = *barton_.dataset.dict().Find("<type>");
+  const uint64_t text = *barton_.dataset.dict().Find("<Text>");
+  const auto ctx = bench_support::MakeBartonContext(barton_.dataset, 28);
+  for (auto& backend : WritableBackends()) {
+    const QueryResult before = backend->Run(QueryId::kQ1, ctx);
+    uint64_t text_count_before = 0;
+    for (const auto& row : before.rows) {
+      if (row[0] == text) text_count_before = row[1];
+    }
+    ASSERT_TRUE(backend->Insert({s, type, text}).ok());
+    const QueryResult after = backend->Run(QueryId::kQ1, ctx);
+    uint64_t text_count_after = 0;
+    for (const auto& row : after.rows) {
+      if (row[0] == text) text_count_after = row[1];
+    }
+    EXPECT_EQ(text_count_after, text_count_before + 1) << backend->name();
+  }
+}
+
+TEST_F(UpdateTest, DuplicateInsertRejected) {
+  const rdf::Triple existing = barton_.dataset.triples().front();
+  for (auto& backend : WritableBackends()) {
+    const Status st = backend->Insert(existing);
+    EXPECT_EQ(st.code(), StatusCode::kAlreadyExists) << backend->name();
+  }
+}
+
+TEST_F(UpdateTest, DuplicateOfUnmergedDeltaRejected) {
+  const uint64_t s = barton_.dataset.dict().Intern("<delta-subject>");
+  const uint64_t type = *barton_.dataset.dict().Find("<type>");
+  const uint64_t text = *barton_.dataset.dict().Find("<Text>");
+  ColVerticalBackend backend(barton_.dataset);
+  ASSERT_TRUE(backend.Insert({s, type, text}).ok());
+  EXPECT_EQ(backend.Insert({s, type, text}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(UpdateTest, CStoreIsReadOnly) {
+  const auto ctx = bench_support::MakeBartonContext(barton_.dataset, 28);
+  CStoreBackend cstore(barton_.dataset, ctx.interesting_properties());
+  EXPECT_EQ(cstore.Insert({1, 2, 3}).code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(UpdateTest, NewPropertyCreatesPartition) {
+  const uint64_t s = barton_.dataset.dict().Intern("<subject-np>");
+  const uint64_t p = barton_.dataset.dict().Intern("<brand-new-property>");
+  const uint64_t o = barton_.dataset.dict().Intern("\"value\"");
+
+  ColVerticalBackend col(barton_.dataset);
+  EXPECT_EQ(col.partitions_created(), 0u);
+  ASSERT_TRUE(col.Insert({s, p, o}).ok());
+  EXPECT_EQ(col.partitions_created(), 1u);
+
+  RowVerticalBackend row(barton_.dataset);
+  ASSERT_TRUE(row.Insert({s, p, o}).ok());
+  EXPECT_EQ(row.relation().partitions_created(), 1u);
+  rdf::TriplePattern pattern;
+  pattern.property = p;
+  EXPECT_EQ(row.Match(pattern).size(), 1u);
+  EXPECT_EQ(col.Match(pattern).size(), 1u);
+}
+
+TEST_F(UpdateTest, ColumnBackendMergesOnNextRun) {
+  const uint64_t s = barton_.dataset.dict().Intern("<merge-subject>");
+  const uint64_t type = *barton_.dataset.dict().Find("<type>");
+  const uint64_t text = *barton_.dataset.dict().Find("<Text>");
+  const auto ctx = bench_support::MakeBartonContext(barton_.dataset, 28);
+
+  ColTripleBackend backend(barton_.dataset, rdf::TripleOrder::kPSO);
+  ASSERT_TRUE(backend.Insert({s, type, text}).ok());
+  EXPECT_EQ(backend.delta_size(), 1u);
+  EXPECT_EQ(backend.merge_count(), 0u);
+  backend.Run(QueryId::kQ1, ctx);
+  EXPECT_EQ(backend.delta_size(), 0u);
+  EXPECT_EQ(backend.merge_count(), 1u);
+  // A second run does not merge again.
+  backend.Run(QueryId::kQ1, ctx);
+  EXPECT_EQ(backend.merge_count(), 1u);
+}
+
+TEST_F(UpdateTest, AllBackendsAgreeAfterMixedInsertWorkload) {
+  // Build the insert batch first (interning mutates the dictionary, so all
+  // ids must exist before contexts/backends snapshot dict_size).
+  std::vector<rdf::Triple> batch;
+  {
+    auto& dict = barton_.dataset.dict();
+    const uint64_t type = *dict.Find("<type>");
+    const uint64_t text = *dict.Find("<Text>");
+    const uint64_t fresh_p = dict.Intern("<post-load-property>");
+    for (int i = 0; i < 50; ++i) {
+      const uint64_t s =
+          dict.Intern("<post-load-subject-" + std::to_string(i) + ">");
+      batch.push_back({s, type, text});
+      batch.push_back({s, fresh_p, dict.Intern("\"v" + std::to_string(i % 7) +
+                                               "\"")});
+    }
+  }
+
+  auto backends = WritableBackends();
+  for (auto& backend : backends) {
+    for (const rdf::Triple& t : batch) {
+      ASSERT_TRUE(backend->Insert(t).ok()) << backend->name();
+    }
+  }
+  const auto ctx = bench_support::MakeBartonContext(barton_.dataset, 28);
+  std::vector<Backend*> raw;
+  for (auto& b : backends) raw.push_back(b.get());
+  bench_support::VerifyBackendsAgree(raw, AllQueries(), ctx);
+}
+
+}  // namespace
+}  // namespace swan::core

@@ -1,0 +1,239 @@
+// swandb_shell: command-line front-end over the library.
+//
+//   swandb_shell [--scheme triple|vertical|ptable] [--engine row|column]
+//                [--clustering spo|pso] [--generate N | --load FILE.nt]
+//                [--query 'SPARQL...' | --file QUERIES.rq] [--explain]
+//
+// With no --query/--file, reads SPARQL queries from stdin, separated by
+// lines containing only ';'. Each result is printed with row count and
+// timing (real = CPU + simulated I/O).
+//
+//   $ ./build/tools/swandb_shell --generate 100000
+//         --query 'SELECT ?s WHERE { ?s <type> <Text> } LIMIT 5'
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench_support/barton_generator.h"
+#include "common/timer.h"
+#include "core/store.h"
+#include "rdf/ntriples.h"
+#include "sparql/sparql.h"
+
+namespace {
+
+struct ShellOptions {
+  bool explain = false;
+  std::string scheme = "vertical";
+  std::string engine = "column";
+  std::string clustering = "pso";
+  uint64_t generate = 0;
+  std::string load_path;
+  std::string query;
+  std::string query_file;
+};
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: swandb_shell [--scheme triple|vertical|ptable]\n"
+      "                    [--engine row|column] [--clustering spo|pso]\n"
+      "                    [--generate N | --load FILE.nt]\n"
+      "                    [--query 'SPARQL' | --file QUERIES.rq]\n");
+}
+
+bool ParseArgs(int argc, char** argv, ShellOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--scheme" && (value = next())) {
+      options->scheme = value;
+    } else if (arg == "--engine" && (value = next())) {
+      options->engine = value;
+    } else if (arg == "--clustering" && (value = next())) {
+      options->clustering = value;
+    } else if (arg == "--generate" && (value = next())) {
+      options->generate = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--load" && (value = next())) {
+      options->load_path = value;
+    } else if (arg == "--query" && (value = next())) {
+      options->query = value;
+    } else if (arg == "--file" && (value = next())) {
+      options->query_file = value;
+    } else if (arg == "--explain") {
+      options->explain = true;
+    } else {
+      std::fprintf(stderr, "unknown or incomplete argument: %s\n",
+                   arg.c_str());
+      return false;
+    }
+  }
+  if ((options->generate == 0) == options->load_path.empty()) {
+    std::fprintf(stderr, "exactly one of --generate or --load is required\n");
+    return false;
+  }
+  return true;
+}
+
+void ExplainQuery(const swan::rdf::Dataset& dataset,
+                  const std::string& query) {
+  auto parsed = swan::sparql::Parse(query);
+  if (!parsed.ok()) return;  // RunQuery reports the parse error
+  bool unmatchable = false;
+  const auto patterns =
+      swan::sparql::Bind(parsed.value(), dataset, &unmatchable);
+  const auto order = swan::core::PlanPatternOrder(patterns);
+  std::printf("plan (greedy join order%s):\n",
+              unmatchable ? "; query is unmatchable" : "");
+  auto render = [&](const swan::core::Term& term) -> std::string {
+    if (term.is_var) return "?" + term.var;
+    return std::string(dataset.dict().Lookup(term.id));
+  };
+  for (size_t step = 0; step < order.size(); ++step) {
+    const auto& p = patterns[order[step]];
+    std::printf("  %zu. (%s, %s, %s)\n", step + 1,
+                render(p.subject).c_str(), render(p.property).c_str(),
+                render(p.object).c_str());
+  }
+}
+
+int RunQuery(const swan::core::RdfStore& store,
+             const swan::rdf::Dataset& dataset, const std::string& query,
+             bool explain) {
+  if (explain) ExplainQuery(dataset, query);
+  swan::CpuTimer timer;
+  const double io_before = store.backend().disk()->clock().now();
+  auto result = swan::sparql::Execute(store.backend(), dataset, query);
+  const double user = timer.ElapsedSeconds();
+  const double real =
+      user + (store.backend().disk()->clock().now() - io_before);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& var : result.value().vars) {
+    std::printf("?%-27s", var.c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : result.value().rows) {
+    for (const auto& text : row.text) std::printf("%-28s", text.c_str());
+    std::printf("\n");
+  }
+  std::printf("-- %llu rows, real %.4fs (user %.4fs)\n\n",
+              static_cast<unsigned long long>(result.value().rows.size()),
+              real, user);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ShellOptions options;
+  if (!ParseArgs(argc, argv, &options)) {
+    PrintUsage();
+    return 2;
+  }
+
+  // Data.
+  swan::rdf::Dataset owned_dataset;
+  swan::bench_support::BartonDataset barton;
+  const swan::rdf::Dataset* dataset = nullptr;
+  if (options.generate > 0) {
+    swan::bench_support::BartonConfig config;
+    config.target_triples = options.generate;
+    std::fprintf(stderr, "generating %llu Barton-like triples...\n",
+                 static_cast<unsigned long long>(options.generate));
+    barton = swan::bench_support::GenerateBarton(config);
+    dataset = &barton.dataset;
+  } else {
+    std::ifstream in(options.load_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", options.load_path.c_str());
+      return 1;
+    }
+    uint64_t added = 0;
+    auto st = swan::rdf::ParseNTriples(in, &owned_dataset, &added);
+    if (!st.ok()) {
+      std::fprintf(stderr, "parse error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "loaded %llu triples from %s\n",
+                 static_cast<unsigned long long>(added),
+                 options.load_path.c_str());
+    dataset = &owned_dataset;
+  }
+
+  // Store.
+  swan::core::StoreOptions store_options;
+  if (options.scheme == "triple") {
+    store_options.scheme = swan::core::StorageScheme::kTripleStore;
+  } else if (options.scheme == "vertical") {
+    store_options.scheme = swan::core::StorageScheme::kVerticalPartitioned;
+  } else if (options.scheme == "ptable") {
+    store_options.scheme = swan::core::StorageScheme::kPropertyTable;
+    store_options.engine = swan::core::EngineKind::kRowStore;
+  } else {
+    std::fprintf(stderr, "unknown scheme '%s'\n", options.scheme.c_str());
+    return 2;
+  }
+  if (options.scheme != "ptable") {
+    if (options.engine == "row") {
+      store_options.engine = swan::core::EngineKind::kRowStore;
+    } else if (options.engine == "column") {
+      store_options.engine = swan::core::EngineKind::kColumnStore;
+    } else {
+      std::fprintf(stderr, "unknown engine '%s'\n", options.engine.c_str());
+      return 2;
+    }
+  }
+  store_options.clustering = options.clustering == "spo"
+                                 ? swan::rdf::TripleOrder::kSPO
+                                 : swan::rdf::TripleOrder::kPSO;
+  auto store = swan::core::RdfStore::Open(*dataset, store_options);
+  std::fprintf(stderr, "store: %s (%.1f MB on simulated disk)\n\n",
+               store->name().c_str(), store->disk_bytes() / 1e6);
+
+  // Queries.
+  if (!options.query.empty()) {
+    return RunQuery(*store, *dataset, options.query, options.explain);
+  }
+  std::istream* in = &std::cin;
+  std::ifstream file;
+  if (!options.query_file.empty()) {
+    file.open(options.query_file);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", options.query_file.c_str());
+      return 1;
+    }
+    in = &file;
+  } else {
+    std::fprintf(stderr,
+                 "enter SPARQL; finish each query with a line containing "
+                 "only ';'\n");
+  }
+
+  int status = 0;
+  std::string buffer, line;
+  while (std::getline(*in, line)) {
+    if (line == ";") {
+      if (!buffer.empty()) {
+        status |= RunQuery(*store, *dataset, buffer, options.explain);
+      }
+      buffer.clear();
+      continue;
+    }
+    buffer += line;
+    buffer += '\n';
+  }
+  if (!buffer.empty()) {
+    status |= RunQuery(*store, *dataset, buffer, options.explain);
+  }
+  return status;
+}
