@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_q8_join.dir/bench/ablation_q8_join.cc.o"
+  "CMakeFiles/ablation_q8_join.dir/bench/ablation_q8_join.cc.o.d"
+  "bench/ablation_q8_join"
+  "bench/ablation_q8_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_q8_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beyond_property_table.dir/bench/beyond_property_table.cc.o"
+  "CMakeFiles/beyond_property_table.dir/bench/beyond_property_table.cc.o.d"
+  "bench/beyond_property_table"
+  "bench/beyond_property_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beyond_property_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

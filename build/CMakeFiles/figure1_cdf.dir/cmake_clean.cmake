@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_cdf.dir/bench/figure1_cdf.cc.o"
+  "CMakeFiles/figure1_cdf.dir/bench/figure1_cdf.cc.o.d"
+  "bench/figure1_cdf"
+  "bench/figure1_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

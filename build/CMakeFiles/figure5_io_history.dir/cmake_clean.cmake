@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure5_io_history.dir/bench/figure5_io_history.cc.o"
+  "CMakeFiles/figure5_io_history.dir/bench/figure5_io_history.cc.o.d"
+  "bench/figure5_io_history"
+  "bench/figure5_io_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure5_io_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure6_property_sweep.dir/bench/figure6_property_sweep.cc.o"
+  "CMakeFiles/figure6_property_sweep.dir/bench/figure6_property_sweep.cc.o.d"
+  "bench/figure6_property_sweep"
+  "bench/figure6_property_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure6_property_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure7_scaleup.dir/bench/figure7_scaleup.cc.o"
+  "CMakeFiles/figure7_scaleup.dir/bench/figure7_scaleup.cc.o.d"
+  "bench/figure7_scaleup"
+  "bench/figure7_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure7_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_bplus_tree.dir/bench/micro_bplus_tree.cc.o"
+  "CMakeFiles/micro_bplus_tree.dir/bench/micro_bplus_tree.cc.o.d"
+  "bench/micro_bplus_tree"
+  "bench/micro_bplus_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bplus_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

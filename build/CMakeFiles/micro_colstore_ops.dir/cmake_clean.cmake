@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_colstore_ops.dir/bench/micro_colstore_ops.cc.o"
+  "CMakeFiles/micro_colstore_ops.dir/bench/micro_colstore_ops.cc.o.d"
+  "bench/micro_colstore_ops"
+  "bench/micro_colstore_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_colstore_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

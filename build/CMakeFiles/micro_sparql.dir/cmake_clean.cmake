@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sparql.dir/bench/micro_sparql.cc.o"
+  "CMakeFiles/micro_sparql.dir/bench/micro_sparql.cc.o.d"
+  "bench/micro_sparql"
+  "bench/micro_sparql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sparql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

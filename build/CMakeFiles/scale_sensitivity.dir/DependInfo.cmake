@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/scale_sensitivity.cc" "CMakeFiles/scale_sensitivity.dir/bench/scale_sensitivity.cc.o" "gcc" "CMakeFiles/scale_sensitivity.dir/bench/scale_sensitivity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bench_support/CMakeFiles/swan_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/swan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cstore/CMakeFiles/swan_cstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/colstore/CMakeFiles/swan_colstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/rowstore/CMakeFiles/swan_rowstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/swan_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dict/CMakeFiles/swan_dict.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/swan_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

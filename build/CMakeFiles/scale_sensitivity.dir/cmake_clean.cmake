@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_sensitivity.dir/bench/scale_sensitivity.cc.o"
+  "CMakeFiles/scale_sensitivity.dir/bench/scale_sensitivity.cc.o.d"
+  "bench/scale_sensitivity"
+  "bench/scale_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/section21_distribution_detail.dir/bench/section21_distribution_detail.cc.o"
+  "CMakeFiles/section21_distribution_detail.dir/bench/section21_distribution_detail.cc.o.d"
+  "bench/section21_distribution_detail"
+  "bench/section21_distribution_detail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/section21_distribution_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

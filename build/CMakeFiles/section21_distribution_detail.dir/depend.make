@@ -1,0 +1,2 @@
+# Empty dependencies file for section21_distribution_detail.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_query_coverage.dir/bench/table2_query_coverage.cc.o"
+  "CMakeFiles/table2_query_coverage.dir/bench/table2_query_coverage.cc.o.d"
+  "bench/table2_query_coverage"
+  "bench/table2_query_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_query_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

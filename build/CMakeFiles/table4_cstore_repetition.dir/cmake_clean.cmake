@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_cstore_repetition.dir/bench/table4_cstore_repetition.cc.o"
+  "CMakeFiles/table4_cstore_repetition.dir/bench/table4_cstore_repetition.cc.o.d"
+  "bench/table4_cstore_repetition"
+  "bench/table4_cstore_repetition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_cstore_repetition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

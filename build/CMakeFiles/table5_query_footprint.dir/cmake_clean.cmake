@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_query_footprint.dir/bench/table5_query_footprint.cc.o"
+  "CMakeFiles/table5_query_footprint.dir/bench/table5_query_footprint.cc.o.d"
+  "bench/table5_query_footprint"
+  "bench/table5_query_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_query_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

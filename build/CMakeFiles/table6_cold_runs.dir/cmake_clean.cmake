@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_cold_runs.dir/bench/grid_common.cc.o"
+  "CMakeFiles/table6_cold_runs.dir/bench/grid_common.cc.o.d"
+  "CMakeFiles/table6_cold_runs.dir/bench/table6_cold_runs.cc.o"
+  "CMakeFiles/table6_cold_runs.dir/bench/table6_cold_runs.cc.o.d"
+  "bench/table6_cold_runs"
+  "bench/table6_cold_runs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_cold_runs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

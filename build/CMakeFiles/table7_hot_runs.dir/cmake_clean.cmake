@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_hot_runs.dir/bench/grid_common.cc.o"
+  "CMakeFiles/table7_hot_runs.dir/bench/grid_common.cc.o.d"
+  "CMakeFiles/table7_hot_runs.dir/bench/table7_hot_runs.cc.o"
+  "CMakeFiles/table7_hot_runs.dir/bench/table7_hot_runs.cc.o.d"
+  "bench/table7_hot_runs"
+  "bench/table7_hot_runs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_hot_runs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

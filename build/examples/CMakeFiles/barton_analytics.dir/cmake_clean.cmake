@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barton_analytics.dir/barton_analytics.cpp.o"
+  "CMakeFiles/barton_analytics.dir/barton_analytics.cpp.o.d"
+  "barton_analytics"
+  "barton_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barton_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

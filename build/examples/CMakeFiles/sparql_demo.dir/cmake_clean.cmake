@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparql_demo.dir/sparql_demo.cpp.o"
+  "CMakeFiles/sparql_demo.dir/sparql_demo.cpp.o.d"
+  "sparql_demo"
+  "sparql_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparql_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

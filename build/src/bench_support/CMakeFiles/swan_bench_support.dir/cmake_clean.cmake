@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swan_bench_support.dir/barton_generator.cc.o"
+  "CMakeFiles/swan_bench_support.dir/barton_generator.cc.o.d"
+  "CMakeFiles/swan_bench_support.dir/dataset_stats.cc.o"
+  "CMakeFiles/swan_bench_support.dir/dataset_stats.cc.o.d"
+  "CMakeFiles/swan_bench_support.dir/harness.cc.o"
+  "CMakeFiles/swan_bench_support.dir/harness.cc.o.d"
+  "CMakeFiles/swan_bench_support.dir/property_split.cc.o"
+  "CMakeFiles/swan_bench_support.dir/property_split.cc.o.d"
+  "libswan_bench_support.a"
+  "libswan_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swan_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

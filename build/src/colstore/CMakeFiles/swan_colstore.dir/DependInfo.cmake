@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/colstore/column.cc" "src/colstore/CMakeFiles/swan_colstore.dir/column.cc.o" "gcc" "src/colstore/CMakeFiles/swan_colstore.dir/column.cc.o.d"
+  "/root/repo/src/colstore/compression.cc" "src/colstore/CMakeFiles/swan_colstore.dir/compression.cc.o" "gcc" "src/colstore/CMakeFiles/swan_colstore.dir/compression.cc.o.d"
+  "/root/repo/src/colstore/ops.cc" "src/colstore/CMakeFiles/swan_colstore.dir/ops.cc.o" "gcc" "src/colstore/CMakeFiles/swan_colstore.dir/ops.cc.o.d"
+  "/root/repo/src/colstore/triple_table.cc" "src/colstore/CMakeFiles/swan_colstore.dir/triple_table.cc.o" "gcc" "src/colstore/CMakeFiles/swan_colstore.dir/triple_table.cc.o.d"
+  "/root/repo/src/colstore/vertical_table.cc" "src/colstore/CMakeFiles/swan_colstore.dir/vertical_table.cc.o" "gcc" "src/colstore/CMakeFiles/swan_colstore.dir/vertical_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/swan_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/swan_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/swan_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dict/CMakeFiles/swan_dict.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

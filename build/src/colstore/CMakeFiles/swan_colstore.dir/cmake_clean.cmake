@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swan_colstore.dir/column.cc.o"
+  "CMakeFiles/swan_colstore.dir/column.cc.o.d"
+  "CMakeFiles/swan_colstore.dir/compression.cc.o"
+  "CMakeFiles/swan_colstore.dir/compression.cc.o.d"
+  "CMakeFiles/swan_colstore.dir/ops.cc.o"
+  "CMakeFiles/swan_colstore.dir/ops.cc.o.d"
+  "CMakeFiles/swan_colstore.dir/triple_table.cc.o"
+  "CMakeFiles/swan_colstore.dir/triple_table.cc.o.d"
+  "CMakeFiles/swan_colstore.dir/vertical_table.cc.o"
+  "CMakeFiles/swan_colstore.dir/vertical_table.cc.o.d"
+  "libswan_colstore.a"
+  "libswan_colstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swan_colstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

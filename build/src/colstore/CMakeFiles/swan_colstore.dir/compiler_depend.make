@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for swan_colstore.
+# This may be replaced when dependencies are built.

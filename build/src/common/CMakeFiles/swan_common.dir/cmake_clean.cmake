@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swan_common.dir/random.cc.o"
+  "CMakeFiles/swan_common.dir/random.cc.o.d"
+  "CMakeFiles/swan_common.dir/stats.cc.o"
+  "CMakeFiles/swan_common.dir/stats.cc.o.d"
+  "CMakeFiles/swan_common.dir/status.cc.o"
+  "CMakeFiles/swan_common.dir/status.cc.o.d"
+  "CMakeFiles/swan_common.dir/table_printer.cc.o"
+  "CMakeFiles/swan_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/swan_common.dir/timer.cc.o"
+  "CMakeFiles/swan_common.dir/timer.cc.o.d"
+  "libswan_common.a"
+  "libswan_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swan_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bgp.cc" "src/core/CMakeFiles/swan_core.dir/bgp.cc.o" "gcc" "src/core/CMakeFiles/swan_core.dir/bgp.cc.o.d"
+  "/root/repo/src/core/col_backends.cc" "src/core/CMakeFiles/swan_core.dir/col_backends.cc.o" "gcc" "src/core/CMakeFiles/swan_core.dir/col_backends.cc.o.d"
+  "/root/repo/src/core/cstore_backend.cc" "src/core/CMakeFiles/swan_core.dir/cstore_backend.cc.o" "gcc" "src/core/CMakeFiles/swan_core.dir/cstore_backend.cc.o.d"
+  "/root/repo/src/core/property_table_backend.cc" "src/core/CMakeFiles/swan_core.dir/property_table_backend.cc.o" "gcc" "src/core/CMakeFiles/swan_core.dir/property_table_backend.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/core/CMakeFiles/swan_core.dir/query.cc.o" "gcc" "src/core/CMakeFiles/swan_core.dir/query.cc.o.d"
+  "/root/repo/src/core/reference_backend.cc" "src/core/CMakeFiles/swan_core.dir/reference_backend.cc.o" "gcc" "src/core/CMakeFiles/swan_core.dir/reference_backend.cc.o.d"
+  "/root/repo/src/core/row_backends.cc" "src/core/CMakeFiles/swan_core.dir/row_backends.cc.o" "gcc" "src/core/CMakeFiles/swan_core.dir/row_backends.cc.o.d"
+  "/root/repo/src/core/store.cc" "src/core/CMakeFiles/swan_core.dir/store.cc.o" "gcc" "src/core/CMakeFiles/swan_core.dir/store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/swan_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/swan_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/dict/CMakeFiles/swan_dict.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/swan_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/rowstore/CMakeFiles/swan_rowstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/colstore/CMakeFiles/swan_colstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/cstore/CMakeFiles/swan_cstore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

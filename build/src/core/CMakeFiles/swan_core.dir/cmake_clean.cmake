@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swan_core.dir/bgp.cc.o"
+  "CMakeFiles/swan_core.dir/bgp.cc.o.d"
+  "CMakeFiles/swan_core.dir/col_backends.cc.o"
+  "CMakeFiles/swan_core.dir/col_backends.cc.o.d"
+  "CMakeFiles/swan_core.dir/cstore_backend.cc.o"
+  "CMakeFiles/swan_core.dir/cstore_backend.cc.o.d"
+  "CMakeFiles/swan_core.dir/property_table_backend.cc.o"
+  "CMakeFiles/swan_core.dir/property_table_backend.cc.o.d"
+  "CMakeFiles/swan_core.dir/query.cc.o"
+  "CMakeFiles/swan_core.dir/query.cc.o.d"
+  "CMakeFiles/swan_core.dir/reference_backend.cc.o"
+  "CMakeFiles/swan_core.dir/reference_backend.cc.o.d"
+  "CMakeFiles/swan_core.dir/row_backends.cc.o"
+  "CMakeFiles/swan_core.dir/row_backends.cc.o.d"
+  "CMakeFiles/swan_core.dir/store.cc.o"
+  "CMakeFiles/swan_core.dir/store.cc.o.d"
+  "libswan_core.a"
+  "libswan_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swan_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swan_cstore.dir/cstore_engine.cc.o"
+  "CMakeFiles/swan_cstore.dir/cstore_engine.cc.o.d"
+  "libswan_cstore.a"
+  "libswan_cstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swan_cstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swan_dict.dir/dictionary.cc.o"
+  "CMakeFiles/swan_dict.dir/dictionary.cc.o.d"
+  "libswan_dict.a"
+  "libswan_dict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swan_dict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

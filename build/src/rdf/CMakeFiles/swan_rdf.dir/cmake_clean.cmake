@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swan_rdf.dir/dataset.cc.o"
+  "CMakeFiles/swan_rdf.dir/dataset.cc.o.d"
+  "CMakeFiles/swan_rdf.dir/ntriples.cc.o"
+  "CMakeFiles/swan_rdf.dir/ntriples.cc.o.d"
+  "CMakeFiles/swan_rdf.dir/pattern.cc.o"
+  "CMakeFiles/swan_rdf.dir/pattern.cc.o.d"
+  "CMakeFiles/swan_rdf.dir/triple.cc.o"
+  "CMakeFiles/swan_rdf.dir/triple.cc.o.d"
+  "libswan_rdf.a"
+  "libswan_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swan_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rowstore/sorted_table.cc" "src/rowstore/CMakeFiles/swan_rowstore.dir/sorted_table.cc.o" "gcc" "src/rowstore/CMakeFiles/swan_rowstore.dir/sorted_table.cc.o.d"
+  "/root/repo/src/rowstore/stats.cc" "src/rowstore/CMakeFiles/swan_rowstore.dir/stats.cc.o" "gcc" "src/rowstore/CMakeFiles/swan_rowstore.dir/stats.cc.o.d"
+  "/root/repo/src/rowstore/triple_relation.cc" "src/rowstore/CMakeFiles/swan_rowstore.dir/triple_relation.cc.o" "gcc" "src/rowstore/CMakeFiles/swan_rowstore.dir/triple_relation.cc.o.d"
+  "/root/repo/src/rowstore/vertical_relation.cc" "src/rowstore/CMakeFiles/swan_rowstore.dir/vertical_relation.cc.o" "gcc" "src/rowstore/CMakeFiles/swan_rowstore.dir/vertical_relation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/swan_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/swan_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/swan_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dict/CMakeFiles/swan_dict.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swan_rowstore.dir/sorted_table.cc.o"
+  "CMakeFiles/swan_rowstore.dir/sorted_table.cc.o.d"
+  "CMakeFiles/swan_rowstore.dir/stats.cc.o"
+  "CMakeFiles/swan_rowstore.dir/stats.cc.o.d"
+  "CMakeFiles/swan_rowstore.dir/triple_relation.cc.o"
+  "CMakeFiles/swan_rowstore.dir/triple_relation.cc.o.d"
+  "CMakeFiles/swan_rowstore.dir/vertical_relation.cc.o"
+  "CMakeFiles/swan_rowstore.dir/vertical_relation.cc.o.d"
+  "libswan_rowstore.a"
+  "libswan_rowstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swan_rowstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

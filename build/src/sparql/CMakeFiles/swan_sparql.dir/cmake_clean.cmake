@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swan_sparql.dir/sparql.cc.o"
+  "CMakeFiles/swan_sparql.dir/sparql.cc.o.d"
+  "libswan_sparql.a"
+  "libswan_sparql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swan_sparql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

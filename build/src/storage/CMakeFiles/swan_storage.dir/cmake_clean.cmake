@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swan_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/swan_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/swan_storage.dir/paged_file.cc.o"
+  "CMakeFiles/swan_storage.dir/paged_file.cc.o.d"
+  "CMakeFiles/swan_storage.dir/simulated_disk.cc.o"
+  "CMakeFiles/swan_storage.dir/simulated_disk.cc.o.d"
+  "libswan_storage.a"
+  "libswan_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swan_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

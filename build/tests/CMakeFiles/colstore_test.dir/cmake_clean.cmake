@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colstore_test.dir/colstore_test.cc.o"
+  "CMakeFiles/colstore_test.dir/colstore_test.cc.o.d"
+  "colstore_test"
+  "colstore_test.pdb"
+  "colstore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

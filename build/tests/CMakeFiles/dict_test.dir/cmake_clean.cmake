@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dict_test.dir/dict_test.cc.o"
+  "CMakeFiles/dict_test.dir/dict_test.cc.o.d"
+  "dict_test"
+  "dict_test.pdb"
+  "dict_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dict_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_split_test.dir/property_split_test.cc.o"
+  "CMakeFiles/property_split_test.dir/property_split_test.cc.o.d"
+  "property_split_test"
+  "property_split_test.pdb"
+  "property_split_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_split_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swandb_shell.dir/swandb_shell.cc.o"
+  "CMakeFiles/swandb_shell.dir/swandb_shell.cc.o.d"
+  "swandb_shell"
+  "swandb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swandb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
