@@ -1,0 +1,73 @@
+#include "audit/audit.h"
+
+#include <sstream>
+#include <utility>
+
+namespace swan::audit {
+
+const char* ToString(FindingClass cls) {
+  switch (cls) {
+    case FindingClass::kChecksum:
+      return "checksum";
+    case FindingClass::kBPlusTree:
+      return "bplustree";
+    case FindingClass::kColumn:
+      return "column";
+    case FindingClass::kDictionary:
+      return "dictionary";
+    case FindingClass::kBufferPool:
+      return "bufferpool";
+    case FindingClass::kStructure:
+      return "structure";
+  }
+  return "unknown";
+}
+
+const char* ToString(AuditLevel level) {
+  switch (level) {
+    case AuditLevel::kQuick:
+      return "quick";
+    case AuditLevel::kFull:
+      return "full";
+  }
+  return "unknown";
+}
+
+std::string AuditFinding::ToString() const {
+  std::ostringstream os;
+  os << "[" << audit::ToString(cls) << "] " << object << ": " << detail;
+  return os.str();
+}
+
+void AuditReport::Add(FindingClass cls, std::string object,
+                      std::string detail) {
+  findings_.push_back(
+      AuditFinding{cls, std::move(object), std::move(detail)});
+}
+
+void AuditReport::Merge(AuditReport other) {
+  findings_.insert(findings_.end(),
+                   std::make_move_iterator(other.findings_.begin()),
+                   std::make_move_iterator(other.findings_.end()));
+}
+
+size_t AuditReport::CountClass(FindingClass cls) const {
+  size_t count = 0;
+  for (const auto& f : findings_) {
+    if (f.cls == cls) ++count;
+  }
+  return count;
+}
+
+std::string AuditReport::ToString() const {
+  if (findings_.empty()) return "audit clean\n";
+  std::ostringstream os;
+  os << "audit found " << findings_.size() << " problem"
+     << (findings_.size() == 1 ? "" : "s") << ":\n";
+  for (const auto& f : findings_) {
+    os << "  " << f.ToString() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace swan::audit

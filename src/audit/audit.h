@@ -1,0 +1,79 @@
+#ifndef SWANDB_AUDIT_AUDIT_H_
+#define SWANDB_AUDIT_AUDIT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace swan::audit {
+
+// How deep an audit walks. The levels are cumulative: everything kQuick
+// verifies is also verified at kFull.
+enum class AuditLevel {
+  // Metadata-only: counters, map/list agreement, pin accounting. No page
+  // reads, so it is cheap enough to run between mutation batches.
+  kQuick = 0,
+  // Structural walk of every page: checksums, key ordering within and
+  // across nodes, leaf chains, sortedness, dictionary bijection. Reads
+  // every page of the audited structures (and therefore warms caches);
+  // intended for quiescent points — after a load, between benchmark
+  // phases, or on demand from the shell's `audit` command.
+  kFull = 1,
+};
+
+// What kind of invariant a finding violates. One corruption usually
+// surfaces as exactly one class (a byte-flipped page is kChecksum; a
+// logically unsorted but correctly-checksummed column is kColumn).
+enum class FindingClass {
+  kChecksum,    // stored page bytes disagree with their checksum
+  kBPlusTree,   // node ordering, separators, leaf chain, fill, size
+  kColumn,      // sortedness, declared size, id range, cache/disk skew
+  kDictionary,  // id<->term bijection, dense id space, byte accounting
+  kBufferPool,  // pin leaks, frame/page-table disagreement, LRU, capacity
+  kStructure,   // anything engine-specific above the previous layers
+};
+
+const char* ToString(FindingClass cls);
+const char* ToString(AuditLevel level);
+
+// One detected invariant violation.
+struct AuditFinding {
+  FindingClass cls;
+  std::string object;  // which structure, e.g. "bplustree(file 2)"
+  std::string detail;  // what is wrong, with the offending values
+
+  std::string ToString() const;
+};
+
+// The result of auditing one structure (or a whole backend: reports
+// compose with Merge). Empty == the structure satisfies every invariant
+// the walker knows about.
+class AuditReport {
+ public:
+  void Add(FindingClass cls, std::string object, std::string detail);
+  void Merge(AuditReport other);
+
+  [[nodiscard]] bool ok() const { return findings_.empty(); }
+  const std::vector<AuditFinding>& findings() const { return findings_; }
+  size_t CountClass(FindingClass cls) const;
+
+  // Multi-line human-readable rendering ("audit clean" when ok()).
+  std::string ToString() const;
+
+ private:
+  std::vector<AuditFinding> findings_;
+};
+
+// Uniform entry point — `audit::Audit(x, level)` works for any structure
+// exposing the AuditInto(level, report) walker convention (B+trees,
+// columns, tables, dictionary, buffer pool, simulated disk, backends).
+template <typename T>
+AuditReport Audit(const T& structure, AuditLevel level) {
+  AuditReport report;
+  structure.AuditInto(level, &report);
+  return report;
+}
+
+}  // namespace swan::audit
+
+#endif  // SWANDB_AUDIT_AUDIT_H_

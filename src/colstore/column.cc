@@ -43,4 +43,93 @@ void Column::DropCache() const {
   loaded_ = false;
 }
 
+bool Column::AuditRead(const std::string& label, std::vector<uint64_t>* out,
+                       audit::AuditReport* report) const {
+  if (codec_ == ColumnCodec::kRaw) {
+    Status st = storage::TryReadU64File(pool_, file_, size_, out);
+    if (!st.ok()) {
+      report->Add(audit::FindingClass::kChecksum, label, st.ToString());
+      return false;
+    }
+    return true;
+  }
+  std::vector<uint8_t> encoded;
+  Status st = storage::TryReadByteFile(pool_, file_, stored_bytes_, &encoded);
+  if (!st.ok()) {
+    // Do not attempt to decode a buffer that failed its checksum —
+    // DecompressU64 aborts on malformed input by design.
+    report->Add(audit::FindingClass::kChecksum, label, st.ToString());
+    return false;
+  }
+  *out = DecompressU64(encoded, size_);
+  return true;
+}
+
+void Column::AuditInto(audit::AuditLevel level,
+                       const ColumnAuditOptions& options,
+                       audit::AuditReport* report) const {
+  const std::string& label = options.label;
+  if (!built_) {
+    // An unbuilt column has no on-disk image; nothing to verify.
+    return;
+  }
+  if (loaded_ && cache_.size() != size_) {
+    report->Add(audit::FindingClass::kColumn, label,
+                "cached image has " + std::to_string(cache_.size()) +
+                    " values, declared size is " + std::to_string(size_));
+  }
+  if (level == audit::AuditLevel::kQuick) {
+    // Quick audits verify whatever is already in memory, without paying
+    // for a disk sweep.
+    if (!loaded_) return;
+    AuditValues(label, cache_, options, report);
+    return;
+  }
+  std::vector<uint64_t> disk_values;
+  if (!AuditRead(label, &disk_values, report)) return;
+  if (disk_values.size() != size_) {
+    report->Add(audit::FindingClass::kColumn, label,
+                "on-disk image decodes to " +
+                    std::to_string(disk_values.size()) +
+                    " values, declared size is " + std::to_string(size_));
+    return;
+  }
+  if (loaded_ && cache_ != disk_values) {
+    report->Add(audit::FindingClass::kColumn, label,
+                "in-memory cache diverges from on-disk image");
+  }
+  AuditValues(label, disk_values, options, report);
+}
+
+void Column::AuditValues(const std::string& label,
+                         const std::vector<uint64_t>& values,
+                         const ColumnAuditOptions& options,
+                         audit::AuditReport* report) {
+  if (options.expect_sorted) {
+    for (size_t i = 1; i < values.size(); ++i) {
+      if (values[i - 1] > values[i]) {
+        report->Add(audit::FindingClass::kColumn, label,
+                    "declared sorted but values[" + std::to_string(i - 1) +
+                        "]=" + std::to_string(values[i - 1]) +
+                        " > values[" + std::to_string(i) +
+                        "]=" + std::to_string(values[i]));
+        break;  // one finding per column is enough; later entries follow
+      }
+    }
+  }
+  if (options.max_valid_id.has_value()) {
+    const uint64_t bound = *options.max_valid_id;
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (values[i] >= bound) {
+        report->Add(audit::FindingClass::kColumn, label,
+                    "values[" + std::to_string(i) + "]=" +
+                        std::to_string(values[i]) +
+                        " outside dictionary id range [0, " +
+                        std::to_string(bound) + ")");
+        break;
+      }
+    }
+  }
+}
+
 }  // namespace swan::colstore

@@ -2,15 +2,32 @@
 #define SWANDB_COLSTORE_COLUMN_H_
 
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "audit/audit.h"
 #include "colstore/compression.h"
 #include "storage/buffer_pool.h"
 #include "storage/paged_file.h"
 #include "storage/simulated_disk.h"
 
 namespace swan::colstore {
+
+// What a Column audit should verify beyond structural integrity. Columns
+// themselves do not know whether their contents are declared sorted or
+// what id universe they draw from — the owning table does, and passes it
+// down here.
+struct ColumnAuditOptions {
+  std::string label = "column";
+  // Sortedness the physical design declares (e.g. the primary sort
+  // component of a TripleTable, a VerticalTable subject column).
+  bool expect_sorted = false;
+  // Upper bound (exclusive) for every stored value — the dictionary-code
+  // range check: an id >= dict size can never decode to a term.
+  std::optional<uint64_t> max_valid_id;
+};
 
 // A disk-resident column of uint64 ids with an in-memory cache, the
 // MonetDB BAT tail: query processing always operates on the full
@@ -45,10 +62,33 @@ class Column {
   uint64_t disk_bytes() const {
     return static_cast<uint64_t>(file_.page_count()) * storage::kPageSize;
   }
+  uint32_t file_id() const { return file_.file_id(); }
 
   ColumnCodec codec() const { return codec_; }
 
+  // Audit walker. At kFull, re-reads the column from disk (tolerantly:
+  // checksum mismatches become findings) and verifies the declared size,
+  // sortedness and id-range constraints of `options`, plus agreement
+  // between the in-memory cache (if loaded) and the on-disk image.
+  void AuditInto(audit::AuditLevel level, const ColumnAuditOptions& options,
+                 audit::AuditReport* report) const;
+
+  // AuditInto with default options (structural checks only).
+  void AuditInto(audit::AuditLevel level, audit::AuditReport* report) const {
+    AuditInto(level, ColumnAuditOptions{}, report);
+  }
+
+  // Re-reads and decodes the on-disk image without touching cache_, for
+  // owning tables that need the materialized values to verify cross-column
+  // invariants. Returns false (with a finding added) on corrupt pages.
+  bool AuditRead(const std::string& label, std::vector<uint64_t>* out,
+                 audit::AuditReport* report) const;
+
  private:
+  static void AuditValues(const std::string& label,
+                          const std::vector<uint64_t>& values,
+                          const ColumnAuditOptions& options,
+                          audit::AuditReport* report);
   storage::BufferPool* pool_;
   storage::PagedFile file_;
   ColumnCodec codec_;

@@ -172,7 +172,7 @@ std::vector<uint64_t> DecompressU64(std::span<const uint8_t> bytes,
     default:
       SWAN_CHECK_MSG(false, "unknown column codec tag");
   }
-  SWAN_CHECK(out.size() == count);
+  SWAN_CHECK_EQ(out.size(), count);
   return out;
 }
 

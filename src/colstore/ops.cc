@@ -81,7 +81,7 @@ std::vector<std::pair<uint64_t, uint64_t>> CountByKeyDense(
     std::span<const uint64_t> keys, uint64_t universe_size) {
   std::vector<uint64_t> counts(universe_size, 0);
   for (uint64_t k : keys) {
-    SWAN_DCHECK(k < universe_size);
+    SWAN_DCHECK_LT(k, universe_size);
     ++counts[k];
   }
   std::vector<std::pair<uint64_t, uint64_t>> out;
@@ -96,7 +96,7 @@ std::vector<std::pair<uint64_t, uint64_t>> CountByKeyDense(
     uint64_t universe_size) {
   std::vector<uint64_t> counts(universe_size, 0);
   for (uint32_t i : sel) {
-    SWAN_DCHECK(col[i] < universe_size);
+    SWAN_DCHECK_LT(col[i], universe_size);
     ++counts[col[i]];
   }
   std::vector<std::pair<uint64_t, uint64_t>> out;
@@ -108,7 +108,7 @@ std::vector<std::pair<uint64_t, uint64_t>> CountByKeyDense(
 
 std::vector<PairCount> CountByPair(std::span<const uint64_t> a,
                                    std::span<const uint64_t> b) {
-  SWAN_CHECK(a.size() == b.size());
+  SWAN_CHECK_EQ(a.size(), b.size());
   std::vector<uint64_t> packed;
   packed.reserve(a.size());
   for (size_t i = 0; i < a.size(); ++i) {

@@ -1,6 +1,8 @@
 #include "colstore/triple_table.h"
 
 #include <algorithm>
+#include <string>
+#include <tuple>
 
 #include "common/macros.h"
 
@@ -65,6 +67,54 @@ void TripleTable::DropCaches() const {
 
 uint64_t TripleTable::disk_bytes() const {
   return subj_->disk_bytes() + prop_->disk_bytes() + obj_->disk_bytes();
+}
+
+void TripleTable::AuditInto(audit::AuditLevel level,
+                            std::optional<uint64_t> max_valid_id,
+                            audit::AuditReport* report) const {
+  const std::string name = "triple_table(" + rdf::ToString(order_) + ")";
+  const auto comp = ComponentsOf(order_);
+  const Column* cols[3] = {subj_.get(), prop_.get(), obj_.get()};
+  const char* role[3] = {"subject", "property", "object"};
+
+  // Per-column checks. The physically-first sort component is a sorted
+  // column by construction; the other two are only sorted within runs, so
+  // no sortedness is declared for them.
+  for (int i = 0; i < 3; ++i) {
+    ColumnAuditOptions opts;
+    opts.label = name + "." + role[i];
+    opts.expect_sorted = (comp[0] == i);
+    opts.max_valid_id = max_valid_id;
+    cols[i]->AuditInto(level, opts, report);
+    if (cols[i]->size() != size_) {
+      report->Add(audit::FindingClass::kColumn, opts.label,
+                  "column has " + std::to_string(cols[i]->size()) +
+                      " values, table has " + std::to_string(size_) +
+                      " rows");
+    }
+  }
+  if (level == audit::AuditLevel::kQuick || size_ == 0) return;
+
+  // Cross-column check: rows must be lexicographically sorted by order_.
+  std::vector<uint64_t> vals[3];
+  for (int i = 0; i < 3; ++i) {
+    if (!cols[i]->AuditRead(name + "." + role[i], &vals[i], report)) return;
+    if (vals[i].size() != size_) return;  // already reported above
+  }
+  const std::vector<uint64_t>& c1 = vals[comp[0]];
+  const std::vector<uint64_t>& c2 = vals[comp[1]];
+  const std::vector<uint64_t>& c3 = vals[comp[2]];
+  for (uint64_t i = 1; i < size_; ++i) {
+    const auto prev = std::make_tuple(c1[i - 1], c2[i - 1], c3[i - 1]);
+    const auto cur = std::make_tuple(c1[i], c2[i], c3[i]);
+    if (prev > cur) {
+      report->Add(audit::FindingClass::kColumn, name,
+                  "rows " + std::to_string(i - 1) + " and " +
+                      std::to_string(i) +
+                      " violate the declared lexicographic sort order");
+      break;
+    }
+  }
 }
 
 }  // namespace swan::colstore

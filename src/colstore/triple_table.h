@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "audit/audit.h"
 #include "colstore/column.h"
 #include "colstore/ops.h"
 #include "rdf/triple.h"
@@ -52,6 +54,13 @@ class TripleTable {
 
   void DropCaches() const;
   uint64_t disk_bytes() const;
+
+  // Audit walker. Verifies each column structurally, then (at kFull)
+  // re-reads all three from disk and checks that the rows are sorted
+  // lexicographically by `order_` and that every id is below
+  // `max_valid_id` (the owning dictionary's size) when provided.
+  void AuditInto(audit::AuditLevel level, std::optional<uint64_t> max_valid_id,
+                 audit::AuditReport* report) const;
 
  private:
   const std::vector<uint64_t>& ComponentColumn(int component_index) const;

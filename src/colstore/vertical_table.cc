@@ -1,6 +1,8 @@
 #include "colstore/vertical_table.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "common/macros.h"
 
@@ -24,7 +26,7 @@ void VerticalTable::Load(std::span<const rdf::Triple> triples) {
   for (auto& [prop, rows] : groups) {
     properties_.push_back(prop);
     std::sort(rows.begin(), rows.end());
-    SWAN_CHECK(rows.size() < (1ull << 32));
+    SWAN_CHECK_LT(rows.size(), 1ull << 32);
 
     Partition part;
     part.rows = rows.size();
@@ -42,7 +44,7 @@ void VerticalTable::Load(std::span<const rdf::Triple> triples) {
 
 void VerticalTable::ReplacePartition(
     uint64_t property, std::span<const std::pair<uint64_t, uint64_t>> rows) {
-  SWAN_CHECK(rows.size() < (1ull << 32));
+  SWAN_CHECK_LT(rows.size(), 1ull << 32);
   for (size_t i = 1; i < rows.size(); ++i) {
     SWAN_DCHECK(rows[i - 1] < rows[i]);
   }
@@ -105,6 +107,70 @@ uint64_t VerticalTable::disk_bytes() const {
     total += part.subj->disk_bytes() + part.obj->disk_bytes();
   }
   return total;
+}
+
+void VerticalTable::AuditInto(audit::AuditLevel level,
+                              std::optional<uint64_t> max_valid_id,
+                              audit::AuditReport* report) const {
+  // The property index and the partition map must describe the same set.
+  if (properties_.size() != partitions_.size()) {
+    report->Add(audit::FindingClass::kStructure, "vertical_table",
+                "property index has " + std::to_string(properties_.size()) +
+                    " entries, partition map has " +
+                    std::to_string(partitions_.size()));
+  }
+  for (size_t i = 0; i < properties_.size(); ++i) {
+    if (i > 0 && properties_[i - 1] >= properties_[i]) {
+      report->Add(audit::FindingClass::kStructure, "vertical_table",
+                  "property index not strictly ascending at entry " +
+                      std::to_string(i));
+    }
+    if (partitions_.count(properties_[i]) == 0) {
+      report->Add(audit::FindingClass::kStructure, "vertical_table",
+                  "property " + std::to_string(properties_[i]) +
+                      " indexed but has no partition");
+    }
+  }
+
+  for (const auto& [prop, part] : partitions_) {
+    const std::string name = "partition(" + std::to_string(prop) + ")";
+    ColumnAuditOptions subj_opts;
+    subj_opts.label = name + ".subject";
+    subj_opts.expect_sorted = true;
+    subj_opts.max_valid_id = max_valid_id;
+    part.subj->AuditInto(level, subj_opts, report);
+    ColumnAuditOptions obj_opts;
+    obj_opts.label = name + ".object";
+    obj_opts.max_valid_id = max_valid_id;
+    part.obj->AuditInto(level, obj_opts, report);
+    if (part.subj->size() != part.rows || part.obj->size() != part.rows) {
+      report->Add(audit::FindingClass::kColumn, name,
+                  "columns have " + std::to_string(part.subj->size()) + "/" +
+                      std::to_string(part.obj->size()) +
+                      " values, partition declares " +
+                      std::to_string(part.rows) + " rows");
+      continue;
+    }
+    if (level == audit::AuditLevel::kQuick) continue;
+
+    // Cross-column check: (subject, object) pairs sorted without
+    // duplicates — the contract ReplacePartition demands of its callers.
+    std::vector<uint64_t> subj;
+    std::vector<uint64_t> obj;
+    if (!part.subj->AuditRead(name + ".subject", &subj, report)) continue;
+    if (!part.obj->AuditRead(name + ".object", &obj, report)) continue;
+    if (subj.size() != part.rows || obj.size() != part.rows) continue;
+    for (uint64_t i = 1; i < part.rows; ++i) {
+      const auto prev = std::make_pair(subj[i - 1], obj[i - 1]);
+      const auto cur = std::make_pair(subj[i], obj[i]);
+      if (prev >= cur) {
+        report->Add(audit::FindingClass::kColumn, name,
+                    "(subject, object) pairs not strictly ascending at row " +
+                        std::to_string(i));
+        break;
+      }
+    }
+  }
 }
 
 }  // namespace swan::colstore

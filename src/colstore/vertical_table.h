@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "audit/audit.h"
 #include "colstore/column.h"
 #include "colstore/ops.h"
 #include "rdf/triple.h"
@@ -58,6 +60,14 @@ class VerticalTable {
 
   void DropCaches() const;
   uint64_t disk_bytes() const;
+
+  // Audit walker. Verifies the property index (ascending, in one-to-one
+  // correspondence with the partition map) and each partition: equal-size
+  // subject/object columns, subjects sorted, and at kFull that the (s, o)
+  // pairs are sorted and duplicate-free and ids are below `max_valid_id`
+  // when provided.
+  void AuditInto(audit::AuditLevel level, std::optional<uint64_t> max_valid_id,
+                 audit::AuditReport* report) const;
 
  private:
   struct Partition {

@@ -3,6 +3,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <utility>
 
 // Invariant checking. SWAN_CHECK is always on (storage engines must never
 // silently corrupt data); SWAN_DCHECK compiles out in release builds.
@@ -24,12 +28,89 @@
     }                                                                        \
   } while (0)
 
-#ifdef NDEBUG
-#define SWAN_DCHECK(cond) \
-  do {                    \
+namespace swan::macros_internal {
+
+template <typename T, typename = void>
+struct IsStreamable : std::false_type {};
+template <typename T>
+struct IsStreamable<T, std::void_t<decltype(std::declval<std::ostream&>()
+                                            << std::declval<const T&>())>>
+    : std::true_type {};
+
+// Renders a failing operand. Anything without operator<< (composite keys,
+// iterators) degrades to a placeholder instead of failing to compile.
+template <typename T>
+std::string CheckOpRender(const T& v) {
+  if constexpr (IsStreamable<T>::value) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  } else {
+    return "<unprintable>";
+  }
+}
+
+[[noreturn]] inline void CheckOpAbort(const char* file, int line,
+                                      const char* expr,
+                                      const std::string& lhs,
+                                      const std::string& rhs) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s (lhs=%s, rhs=%s)\n", file,
+               line, expr, lhs.c_str(), rhs.c_str());
+  std::abort();
+}
+
+}  // namespace swan::macros_internal
+
+// Comparison checks that print both operand values on failure, so a crash
+// in a deep engine path (B+tree split, column decode) is diagnosable from
+// the log alone.
+#define SWAN_CHECK_OP(op, a, b)                                              \
+  do {                                                                       \
+    auto&& _swan_lhs = (a);                                                  \
+    auto&& _swan_rhs = (b);                                                  \
+    if (!(_swan_lhs op _swan_rhs)) {                                         \
+      ::swan::macros_internal::CheckOpAbort(                                 \
+          __FILE__, __LINE__, #a " " #op " " #b,                             \
+          ::swan::macros_internal::CheckOpRender(_swan_lhs),                 \
+          ::swan::macros_internal::CheckOpRender(_swan_rhs));                \
+    }                                                                        \
   } while (0)
+
+#define SWAN_CHECK_EQ(a, b) SWAN_CHECK_OP(==, a, b)
+#define SWAN_CHECK_NE(a, b) SWAN_CHECK_OP(!=, a, b)
+#define SWAN_CHECK_LT(a, b) SWAN_CHECK_OP(<, a, b)
+#define SWAN_CHECK_LE(a, b) SWAN_CHECK_OP(<=, a, b)
+#define SWAN_CHECK_GT(a, b) SWAN_CHECK_OP(>, a, b)
+#define SWAN_CHECK_GE(a, b) SWAN_CHECK_OP(>=, a, b)
+
+// Debug-only variants. The `if (false)` keeps the operands odr-used (no
+// unused-variable warnings in NDEBUG builds) while compiling to nothing.
+#ifdef NDEBUG
+#define SWAN_DCHECK_NOOP2(a, b) \
+  do {                          \
+    if (false) {                \
+      (void)(a);                \
+      (void)(b);                \
+    }                           \
+  } while (0)
+#define SWAN_DCHECK(cond)    \
+  do {                       \
+    if (false) (void)(cond); \
+  } while (0)
+#define SWAN_DCHECK_EQ(a, b) SWAN_DCHECK_NOOP2(a, b)
+#define SWAN_DCHECK_NE(a, b) SWAN_DCHECK_NOOP2(a, b)
+#define SWAN_DCHECK_LT(a, b) SWAN_DCHECK_NOOP2(a, b)
+#define SWAN_DCHECK_LE(a, b) SWAN_DCHECK_NOOP2(a, b)
+#define SWAN_DCHECK_GT(a, b) SWAN_DCHECK_NOOP2(a, b)
+#define SWAN_DCHECK_GE(a, b) SWAN_DCHECK_NOOP2(a, b)
 #else
 #define SWAN_DCHECK(cond) SWAN_CHECK(cond)
+#define SWAN_DCHECK_EQ(a, b) SWAN_CHECK_EQ(a, b)
+#define SWAN_DCHECK_NE(a, b) SWAN_CHECK_NE(a, b)
+#define SWAN_DCHECK_LT(a, b) SWAN_CHECK_LT(a, b)
+#define SWAN_DCHECK_LE(a, b) SWAN_CHECK_LE(a, b)
+#define SWAN_DCHECK_GT(a, b) SWAN_CHECK_GT(a, b)
+#define SWAN_DCHECK_GE(a, b) SWAN_CHECK_GE(a, b)
 #endif
 
 #endif  // SWANDB_COMMON_MACROS_H_

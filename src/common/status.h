@@ -25,7 +25,10 @@ enum class StatusCode {
 };
 
 // Value-semantic status object in the style of arrow::Status / absl::Status.
-class Status {
+// [[nodiscard]]: a dropped Status is a silently-swallowed error, which the
+// storage engines must never do — every ignored return is a compile warning
+// (an error under SWAN_WERROR).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -54,7 +57,7 @@ class Status {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
@@ -68,7 +71,7 @@ class Status {
 
 // Result<T> holds either a value or an error Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so functions can `return value;` / `return status;`.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -77,7 +80,7 @@ class Result {
                    "Result constructed from OK status");
   }
 
-  bool ok() const { return std::holds_alternative<T>(value_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(value_); }
 
   const T& value() const& {
     SWAN_CHECK(ok());

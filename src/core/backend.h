@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/audit.h"
 #include "core/query.h"
 #include "rdf/pattern.h"
 #include "rdf/triple.h"
@@ -64,6 +65,17 @@ class Backend {
 
   // Total on-disk footprint of the backend's physical design.
   virtual uint64_t disk_bytes() const = 0;
+
+  // Deep invariant audit of the backend's physical structures: page
+  // checksums, B+tree/column/partition invariants, buffer-pool accounting.
+  // kFull sweeps every page through the buffer pool, so it perturbs cache
+  // state — callers running the cold/hot timing protocol should audit only
+  // between measurements. The default covers backends with no persistent
+  // state of their own.
+  virtual audit::AuditReport Audit(audit::AuditLevel level) const {
+    (void)level;
+    return audit::AuditReport{};
+  }
 };
 
 // Shared ownership plumbing for disk + buffer pool.
@@ -75,6 +87,16 @@ class BackendBase : public Backend {
 
   storage::SimulatedDisk* disk() override { return disk_.get(); }
   storage::BufferPool* pool() { return pool_.get(); }
+
+  // Storage-level audit shared by every engine: buffer-pool accounting and
+  // (at kFull) a checksum sweep of every page on the simulated disk.
+  // Subclasses override Audit(), call this, then add their own walkers.
+  audit::AuditReport Audit(audit::AuditLevel level) const override {
+    audit::AuditReport report;
+    pool_->AuditInto(level, &report);
+    disk_->AuditInto(level, &report);
+    return report;
+  }
 
  protected:
   std::unique_ptr<storage::SimulatedDisk> disk_;

@@ -46,9 +46,17 @@ ColTripleBackend::ColTripleBackend(const rdf::Dataset& dataset,
       "column triple-store supports SPO or PSO sort order");
   pso_ = order == rdf::TripleOrder::kPSO;
   codec_ = codec;
+  dataset_ = &dataset;
   table_ = std::make_unique<colstore::TripleTable>(pool_.get(), disk_.get(),
                                                    order, codec);
   table_->Load(dataset.triples());
+}
+
+audit::AuditReport ColTripleBackend::Audit(audit::AuditLevel level) const {
+  audit::AuditReport report;
+  table_->AuditInto(level, dataset_->dict().size(), &report);
+  report.Merge(BackendBase::Audit(level));
+  return report;
 }
 
 std::string ColTripleBackend::name() const {
@@ -435,9 +443,17 @@ ColVerticalBackend::ColVerticalBackend(const rdf::Dataset& dataset,
                                        colstore::ColumnCodec codec)
     : BackendBase(disk_config, pool_pages) {
   codec_ = codec;
+  dataset_ = &dataset;
   table_ = std::make_unique<colstore::VerticalTable>(pool_.get(), disk_.get(),
                                                      codec);
   table_->Load(dataset.triples());
+}
+
+audit::AuditReport ColVerticalBackend::Audit(audit::AuditLevel level) const {
+  audit::AuditReport report;
+  table_->AuditInto(level, dataset_->dict().size(), &report);
+  report.Merge(BackendBase::Audit(level));
+  return report;
 }
 
 Status ColVerticalBackend::Insert(const rdf::Triple& triple) {

@@ -37,6 +37,8 @@ class ColTripleBackend : public BackendBase {
   uint64_t delta_size() const { return delta_.size(); }
   uint64_t merge_count() const { return merge_count_; }
 
+  audit::AuditReport Audit(audit::AuditLevel level) const override;
+
  private:
   colstore::PositionVector PropPositions(uint64_t property) const;
   // Sorted subjects of all triples matching (?, property, object).
@@ -58,6 +60,9 @@ class ColTripleBackend : public BackendBase {
 
   bool pso_;
   colstore::ColumnCodec codec_;
+  // For audit id-range checks; the dataset outlives the backend (RdfStore
+  // contract).
+  const rdf::Dataset* dataset_ = nullptr;
   std::unique_ptr<colstore::TripleTable> table_;
   // Write store: inserts buffer here and merge before the next Run().
   std::vector<rdf::Triple> delta_;
@@ -90,6 +95,8 @@ class ColVerticalBackend : public BackendBase {
   uint64_t partitions_created() const { return partitions_created_; }
   uint64_t merge_count() const { return merge_count_; }
 
+  audit::AuditReport Audit(audit::AuditLevel level) const override;
+
  private:
   // Sorted subjects of partition `property`'s rows whose object == o.
   std::vector<uint64_t> SubjectsWhereObjEq(uint64_t property,
@@ -108,6 +115,7 @@ class ColVerticalBackend : public BackendBase {
   void EnsureMerged();
 
   colstore::ColumnCodec codec_;
+  const rdf::Dataset* dataset_ = nullptr;
   std::unique_ptr<colstore::VerticalTable> table_;
   // Write store, per partition; merged before the next Run().
   std::unordered_map<uint64_t, std::vector<std::pair<uint64_t, uint64_t>>>

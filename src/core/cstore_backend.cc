@@ -55,7 +55,7 @@ CStoreBackend::CStoreBackend(const rdf::Dataset& dataset,
                              std::vector<uint64_t> properties,
                              storage::DiskConfig disk_config,
                              size_t pool_pages)
-    : BackendBase(disk_config, pool_pages) {
+    : BackendBase(disk_config, pool_pages), dataset_ptr_(&dataset) {
   engine_ = std::make_unique<cstore::CStoreEngine>(pool_.get(), disk_.get());
   engine_->Load(dataset.triples(), properties);
 }

@@ -33,7 +33,15 @@ class CStoreBackend : public BackendBase {
 
   const cstore::CStoreEngine& engine() const { return *engine_; }
 
+  audit::AuditReport Audit(audit::AuditLevel level) const override {
+    audit::AuditReport report;
+    engine_->AuditInto(level, dataset_ptr_->dict().size(), &report);
+    report.Merge(BackendBase::Audit(level));
+    return report;
+  }
+
  private:
+  const rdf::Dataset* dataset_ptr_;
   std::unique_ptr<cstore::CStoreEngine> engine_;
 };
 

@@ -55,6 +55,14 @@ class PropertyTableBackend : public BackendBase {
   const std::vector<uint64_t>& wide_properties() const { return wide_props_; }
   uint64_t overflow_triples() const { return overflow_->size(); }
 
+  audit::AuditReport Audit(audit::AuditLevel level) const override {
+    audit::AuditReport report;
+    wide_->AuditInto(level, &report);
+    overflow_->AuditInto(level, &report);
+    report.Merge(BackendBase::Audit(level));
+    return report;
+  }
+
  private:
   // Streams every triple matching `pattern` (wide columns + overflow).
   void ScanPattern(const rdf::TriplePattern& pattern,

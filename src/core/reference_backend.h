@@ -30,6 +30,21 @@ class ReferenceBackend : public BackendBase {
   void DropCaches() override {}
   uint64_t disk_bytes() const override { return 0; }
 
+  // RDF set semantics: the vector and the membership set must hold exactly
+  // the same triples.
+  audit::AuditReport Audit(audit::AuditLevel level) const override {
+    audit::AuditReport report;
+    if (triples_.size() != present_.size()) {
+      report.Add(audit::FindingClass::kStructure, "reference",
+                 "triple vector has " + std::to_string(triples_.size()) +
+                     " rows, membership set has " +
+                     std::to_string(present_.size()) +
+                     " (duplicates or drift)");
+    }
+    report.Merge(BackendBase::Audit(level));
+    return report;
+  }
+
  private:
   std::vector<rdf::Triple> triples_;
   std::unordered_set<rdf::Triple, rdf::TripleHash> present_;

@@ -39,6 +39,13 @@ class RowTripleBackend : public BackendBase {
 
   const rowstore::TripleRelation& relation() const { return *relation_; }
 
+  audit::AuditReport Audit(audit::AuditLevel level) const override {
+    audit::AuditReport report;
+    relation_->AuditInto(level, &report);
+    report.Merge(BackendBase::Audit(level));
+    return report;
+  }
+
  private:
   std::unordered_set<uint64_t> SubjectSet(uint64_t property,
                                           uint64_t object) const;
@@ -77,6 +84,13 @@ class RowVerticalBackend : public BackendBase {
   uint64_t disk_bytes() const override { return relation_->disk_bytes(); }
 
   const rowstore::VerticalRelation& relation() const { return *relation_; }
+
+  audit::AuditReport Audit(audit::AuditLevel level) const override {
+    audit::AuditReport report;
+    relation_->AuditInto(level, &report);
+    report.Merge(BackendBase::Audit(level));
+    return report;
+  }
 
  private:
   std::unordered_set<uint64_t> SubjectSet(uint64_t property,

@@ -88,6 +88,14 @@ class RdfStore {
   // Benchmark protocol hooks.
   void DropCaches() { backend_->DropCaches(); }
 
+  // Deep invariant audit: backend structures, buffer pool, page checksums,
+  // plus the shared dictionary's id<->term bijection.
+  audit::AuditReport Audit(audit::AuditLevel level) const {
+    audit::AuditReport report = backend_->Audit(level);
+    dataset_->dict().AuditInto(level, &report);
+    return report;
+  }
+
   Backend& backend() { return *backend_; }
   const Backend& backend() const { return *backend_; }
   const rdf::Dataset& dataset() const { return *dataset_; }

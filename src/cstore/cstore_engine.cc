@@ -225,4 +225,40 @@ uint64_t CStoreEngine::disk_bytes() const {
   return total;
 }
 
+void CStoreEngine::AuditInto(audit::AuditLevel level,
+                             std::optional<uint64_t> max_valid_id,
+                             audit::AuditReport* report) const {
+  if (properties_.size() != partitions_.size()) {
+    report->Add(audit::FindingClass::kStructure, "cstore",
+                "property index has " + std::to_string(properties_.size()) +
+                    " entries, partition map has " +
+                    std::to_string(partitions_.size()));
+  }
+  for (uint64_t prop : properties_) {
+    if (partitions_.count(prop) == 0) {
+      report->Add(audit::FindingClass::kStructure, "cstore",
+                  "property " + std::to_string(prop) +
+                      " indexed but has no partition");
+    }
+  }
+  for (const auto& [prop, part] : partitions_) {
+    const std::string name = "cstore.partition(" + std::to_string(prop) + ")";
+    colstore::ColumnAuditOptions subj_opts;
+    subj_opts.label = name + ".subject";
+    subj_opts.expect_sorted = true;
+    subj_opts.max_valid_id = max_valid_id;
+    part.subj->AuditInto(level, subj_opts, report);
+    colstore::ColumnAuditOptions obj_opts;
+    obj_opts.label = name + ".object";
+    obj_opts.max_valid_id = max_valid_id;
+    part.obj->AuditInto(level, obj_opts, report);
+    if (part.subj->size() != part.obj->size()) {
+      report->Add(audit::FindingClass::kColumn, name,
+                  "subject column has " + std::to_string(part.subj->size()) +
+                      " values, object column has " +
+                      std::to_string(part.obj->size()));
+    }
+  }
+}
+
 }  // namespace swan::cstore

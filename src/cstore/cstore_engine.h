@@ -4,9 +4,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "audit/audit.h"
 #include "colstore/column.h"
 #include "rdf/triple.h"
 #include "storage/buffer_pool.h"
@@ -74,6 +76,11 @@ class CStoreEngine {
   bool HasProperty(uint64_t p) const { return partitions_.count(p) != 0; }
   const std::vector<uint64_t>& Subjects(uint64_t property) const;
   const std::vector<uint64_t>& Objects(uint64_t property) const;
+
+  // Audit walker: per-partition sorted-subject and id-range checks, plus
+  // property-index / partition-map agreement.
+  void AuditInto(audit::AuditLevel level, std::optional<uint64_t> max_valid_id,
+                 audit::AuditReport* report) const;
 
  private:
   struct Partition {

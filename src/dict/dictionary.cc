@@ -25,4 +25,48 @@ std::string_view Dictionary::Lookup(uint64_t id) const {
   return terms_[static_cast<size_t>(id)];
 }
 
+void Dictionary::AuditInto(audit::AuditLevel level,
+                           audit::AuditReport* report) const {
+  if (index_.size() != terms_.size()) {
+    report->Add(audit::FindingClass::kDictionary, "dictionary",
+                "index has " + std::to_string(index_.size()) +
+                    " entries, term store has " +
+                    std::to_string(terms_.size()) +
+                    " (duplicate or missing ids)");
+  }
+  if (level == audit::AuditLevel::kQuick) return;
+  int findings = 0;
+  uint64_t string_bytes = 0;
+  for (const auto& [term, id] : index_) {
+    if (id >= terms_.size()) {
+      report->Add(audit::FindingClass::kDictionary, "dictionary",
+                  "term maps to id " + std::to_string(id) +
+                      " outside the dense id space [0, " +
+                      std::to_string(terms_.size()) + ")");
+      if (++findings >= 4) break;
+      continue;
+    }
+    if (terms_[static_cast<size_t>(id)] != term) {
+      report->Add(audit::FindingClass::kDictionary, "dictionary",
+                  "id " + std::to_string(id) +
+                      " does not round-trip to its indexed term (bijection "
+                      "broken)");
+      if (++findings >= 4) break;
+    }
+  }
+  for (const std::string& term : terms_) string_bytes += term.size();
+  if (string_bytes != total_string_bytes_) {
+    report->Add(audit::FindingClass::kDictionary, "dictionary",
+                "string-byte accounting says " +
+                    std::to_string(total_string_bytes_) + ", stored terms sum "
+                    "to " + std::to_string(string_bytes));
+  }
+}
+
+void Dictionary::TestOnlyCorruptId(std::string_view term, uint64_t id) {
+  auto it = index_.find(term);
+  SWAN_CHECK_MSG(it != index_.end(), "TestOnlyCorruptId: unknown term");
+  it->second = id;
+}
+
 }  // namespace swan::dict

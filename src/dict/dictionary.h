@@ -8,6 +8,8 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "audit/audit.h"
+
 namespace swan::dict {
 
 // Bidirectional mapping between RDF terms (URIs and literals) and dense
@@ -38,6 +40,15 @@ class Dictionary {
 
   // Total bytes of stored term text (Table 1 sizing).
   uint64_t TotalStringBytes() const { return total_string_bytes_; }
+
+  // Audit walker. Verifies the id<->term bijection: every indexed term
+  // round-trips through its id, the id space is dense ([0, size())), and
+  // the string-byte accounting matches the stored terms.
+  void AuditInto(audit::AuditLevel level, audit::AuditReport* report) const;
+
+  // Corruption seeding for the auditor tests: repoints `term`'s index
+  // entry at `id`, silently breaking the bijection.
+  void TestOnlyCorruptId(std::string_view term, uint64_t id);
 
  private:
   // deque keeps string storage stable so string_views into it never dangle.

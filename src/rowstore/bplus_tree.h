@@ -5,8 +5,11 @@
 #include <cstdint>
 #include <cstring>
 #include <span>
+#include <string>
+#include <unordered_set>
 #include <vector>
 
+#include "audit/audit.h"
 #include "common/macros.h"
 #include "storage/buffer_pool.h"
 #include "storage/paged_file.h"
@@ -79,6 +82,7 @@ class BPlusTree {
   uint64_t size() const { return size_; }
   int height() const { return height_; }
   uint32_t page_count() const { return file_.page_count(); }
+  uint32_t file_id() const { return file_.file_id(); }
   uint64_t disk_bytes() const {
     return static_cast<uint64_t>(file_.page_count()) * storage::kPageSize;
   }
@@ -142,6 +146,16 @@ class BPlusTree {
   // Walks the leaf range (used by tests; plans use statistics instead).
   uint64_t CountPrefix(std::span<const uint64_t> prefix) const;
 
+  // Audit walker. At kFull, descends from the root verifying: page
+  // checksums, header sanity, key ordering within nodes, separator/child
+  // consistency (every key under child i+1 is >= separator i and every key
+  // under child i is < separator i), uniform leaf depth, minimum fill
+  // (no empty non-root nodes), the leaf sibling chain, and that the leaf
+  // key total matches size(). Tolerant: corruption becomes findings, never
+  // an abort, and reporting stops after a bounded number of findings per
+  // tree so a trashed page does not flood the report.
+  void AuditInto(audit::AuditLevel level, audit::AuditReport* report) const;
+
  private:
   static uint16_t ReadU16(const uint8_t* p) {
     uint16_t v;
@@ -176,6 +190,44 @@ class BPlusTree {
   void FindLeaf(const Key& key, uint32_t* leaf_page, uint16_t* slot,
                 bool* found) const;
 
+  // Shared state of one AuditInto() walk.
+  struct AuditWalkState {
+    audit::AuditReport* report = nullptr;
+    std::string object;
+    std::unordered_set<uint32_t> visited;
+    // Leaves in key order as encountered by the DFS: (page_no, next_leaf).
+    std::vector<std::pair<uint32_t, uint32_t>> leaves;
+    uint64_t leaf_keys = 0;
+    int leaf_depth = -1;  // first observed root->leaf depth
+    int findings_budget = 16;
+
+    void Add(std::string detail) {
+      if (findings_budget == 0) {
+        report->Add(audit::FindingClass::kBPlusTree, object,
+                    "(further findings suppressed)");
+        --findings_budget;
+      }
+      if (findings_budget < 0) return;
+      --findings_budget;
+      report->Add(audit::FindingClass::kBPlusTree, object, std::move(detail));
+    }
+  };
+
+  static std::string RenderKey(const Key& key) {
+    std::string out = "(";
+    for (int i = 0; i < W; ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(key[i]);
+    }
+    out += ")";
+    return out;
+  }
+
+  // DFS node check with propagated key bounds: every key in the subtree
+  // must lie in [lower, upper). Null bound = unbounded.
+  void AuditWalk(uint32_t page_no, int depth, const Key* lower,
+                 const Key* upper, AuditWalkState* state) const;
+
   // Insert helpers operating on page images copied out of the pool.
   struct SplitResult {
     bool split = false;
@@ -199,7 +251,7 @@ template <int W>
 void BPlusTree<W>::BulkLoad(std::span<const Key> sorted_keys) {
   SWAN_CHECK_MSG(root_page_ == kInvalidPage, "BulkLoad on non-empty tree");
   for (size_t i = 1; i < sorted_keys.size(); ++i) {
-    SWAN_DCHECK(sorted_keys[i - 1] < sorted_keys[i]);
+    SWAN_DCHECK_LT(sorted_keys[i - 1], sorted_keys[i]);
   }
 
   size_ = sorted_keys.size();
@@ -350,7 +402,7 @@ typename BPlusTree<W>::Iterator BPlusTree<W>::Begin() const {
 
 template <int W>
 uint64_t BPlusTree<W>::CountPrefix(std::span<const uint64_t> prefix) const {
-  SWAN_CHECK(prefix.size() <= W);
+  SWAN_CHECK_LE(prefix.size(), static_cast<size_t>(W));
   Key lower{};
   lower.fill(0);
   std::copy(prefix.begin(), prefix.end(), lower.begin());
@@ -485,6 +537,162 @@ typename BPlusTree<W>::SplitResult BPlusTree<W>::InsertRecurse(
   WriteU16(page + 2, mid);
   pool_->WriteThrough(file_.page_id(page_no), page);
   return result;
+}
+
+template <int W>
+void BPlusTree<W>::AuditWalk(uint32_t page_no, int depth, const Key* lower,
+                             const Key* upper, AuditWalkState* state) const {
+  const std::string at = "page " + std::to_string(page_no);
+  if (page_no >= file_.page_count()) {
+    state->Add(at + ": child pointer past end of file (" +
+               std::to_string(file_.page_count()) + " pages)");
+    return;
+  }
+  if (!state->visited.insert(page_no).second) {
+    state->Add(at + ": reachable twice (cycle or shared child)");
+    return;
+  }
+
+  // Copy the image out so no pin is held across the recursion; a checksum
+  // mismatch is a finding, not an abort.
+  alignas(8) uint8_t page[storage::kPageSize];
+  {
+    storage::PageGuard guard;
+    Status st = pool_->TryFetch(file_.page_id(page_no), &guard);
+    if (!st.ok()) {
+      state->report->Add(audit::FindingClass::kChecksum, state->object,
+                         at + ": " + st.message());
+      return;
+    }
+    std::memcpy(page, guard.data(), storage::kPageSize);
+  }
+
+  const uint16_t is_leaf_raw = ReadU16(page);
+  if (is_leaf_raw > 1) {
+    state->Add(at + ": header is_leaf flag is " +
+               std::to_string(is_leaf_raw) + ", expected 0 or 1");
+    return;
+  }
+  const bool is_leaf = is_leaf_raw != 0;
+  const uint16_t count = ReadU16(page + 2);
+  const bool is_root = page_no == root_page_;
+
+  if (is_leaf) {
+    if (count > kLeafCapacity) {
+      state->Add(at + ": leaf count " + std::to_string(count) +
+                 " exceeds capacity " + std::to_string(kLeafCapacity));
+      return;  // key slots past capacity would read garbage
+    }
+    if (count == 0 && !is_root) {
+      state->Add(at + ": empty non-root leaf violates minimum fill");
+    }
+    if (state->leaf_depth == -1) {
+      state->leaf_depth = depth;
+    } else if (depth != state->leaf_depth) {
+      state->Add(at + ": leaf at depth " + std::to_string(depth) +
+                 " but first leaf was at depth " +
+                 std::to_string(state->leaf_depth));
+    }
+    Key prev{};
+    for (uint16_t i = 0; i < count; ++i) {
+      const Key k = LeafKeyAt(page, i);
+      if (i > 0 && !(prev < k)) {
+        state->Add(at + ": leaf keys out of order at slot " +
+                   std::to_string(i) + ": " + RenderKey(prev) + " !< " +
+                   RenderKey(k));
+      }
+      if (lower != nullptr && k < *lower) {
+        state->Add(at + ": key " + RenderKey(k) +
+                   " below subtree lower bound " + RenderKey(*lower));
+      }
+      if (upper != nullptr && !(k < *upper)) {
+        state->Add(at + ": key " + RenderKey(k) +
+                   " not below subtree upper bound " + RenderKey(*upper));
+      }
+      prev = k;
+    }
+    state->leaf_keys += count;
+    state->leaves.emplace_back(page_no, ReadU32(page + 4));
+    return;
+  }
+
+  // Internal node.
+  if (count > kInternalCapacity) {
+    state->Add(at + ": internal count " + std::to_string(count) +
+               " exceeds capacity " + std::to_string(kInternalCapacity));
+    return;
+  }
+  if (count == 0) {
+    state->Add(at + ": internal node with zero separators");
+    return;
+  }
+  // Separators must be strictly increasing and within the propagated
+  // bounds; each child subtree inherits the adjacent separators as bounds.
+  std::vector<Key> seps(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    seps[i] = InternalKeyAt(page, i);
+    if (i > 0 && !(seps[i - 1] < seps[i])) {
+      state->Add(at + ": separators out of order at slot " +
+                 std::to_string(i) + ": " + RenderKey(seps[i - 1]) + " !< " +
+                 RenderKey(seps[i]));
+    }
+    if (lower != nullptr && seps[i] < *lower) {
+      state->Add(at + ": separator " + RenderKey(seps[i]) +
+                 " below subtree lower bound " + RenderKey(*lower));
+    }
+    if (upper != nullptr && !(seps[i] < *upper)) {
+      state->Add(at + ": separator " + RenderKey(seps[i]) +
+                 " not below subtree upper bound " + RenderKey(*upper));
+    }
+  }
+  for (uint16_t i = 0; i <= count; ++i) {
+    if (state->findings_budget < 0) return;
+    const Key* child_lower = (i == 0) ? lower : &seps[i - 1];
+    const Key* child_upper = (i == count) ? upper : &seps[i];
+    AuditWalk(ChildAt(page, i), depth + 1, child_lower, child_upper, state);
+  }
+}
+
+template <int W>
+void BPlusTree<W>::AuditInto(audit::AuditLevel level,
+                             audit::AuditReport* report) const {
+  const std::string object =
+      "bplustree(file " + std::to_string(file_.file_id()) + ")";
+  if (root_page_ == kInvalidPage) {
+    if (size_ != 0) {
+      report->Add(audit::FindingClass::kBPlusTree, object,
+                  "unloaded tree claims size " + std::to_string(size_));
+    }
+    return;
+  }
+  if (level < audit::AuditLevel::kFull) return;  // all checks walk pages
+
+  AuditWalkState state;
+  state.report = report;
+  state.object = object;
+  AuditWalk(root_page_, 1, nullptr, nullptr, &state);
+  if (state.findings_budget < 0) return;  // structure too damaged to sum up
+
+  if (state.leaf_keys != size_) {
+    state.Add("leaf keys total " + std::to_string(state.leaf_keys) +
+              " but tree claims size " + std::to_string(size_));
+  }
+  if (state.leaf_depth != height_) {
+    state.Add("leaf depth " + std::to_string(state.leaf_depth) +
+              " but tree claims height " + std::to_string(height_));
+  }
+  // Leaf sibling chain must enumerate the leaves in key order.
+  for (size_t i = 0; i < state.leaves.size(); ++i) {
+    const uint32_t next = state.leaves[i].second;
+    const uint32_t expect = (i + 1 < state.leaves.size())
+                                ? state.leaves[i + 1].first
+                                : kInvalidPage;
+    if (next != expect) {
+      state.Add("leaf page " + std::to_string(state.leaves[i].first) +
+                " chains to " + std::to_string(next) + ", expected " +
+                std::to_string(expect));
+    }
+  }
 }
 
 template <int W>

@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "audit/audit.h"
 #include "common/macros.h"
 #include "storage/buffer_pool.h"
 #include "storage/paged_file.h"
@@ -71,6 +72,11 @@ class SortedTable {
   // the end.
   Cursor SeekRow(uint64_t index) const;
   Cursor Begin() const { return SeekRow(0); }
+
+  // Audit walker. Verifies the page count covers the declared row count
+  // and (at kFull) sweeps every page tolerantly, checking that keys
+  // (column 0) are strictly ascending across the whole table.
+  void AuditInto(audit::AuditLevel level, audit::AuditReport* report) const;
 
  private:
   uint64_t RowsPerPage() const {

@@ -255,4 +255,19 @@ void TripleRelation::Scan::Next() {
   Advance();
 }
 
+void TripleRelation::AuditInto(audit::AuditLevel level,
+                               audit::AuditReport* report) const {
+  clustered_->AuditInto(level, report);
+  for (const auto& [order, tree] : secondaries_) {
+    tree->AuditInto(level, report);
+    if (tree->size() != clustered_->size()) {
+      report->Add(audit::FindingClass::kStructure,
+                  "triple_relation." + rdf::ToString(order),
+                  "secondary index has " + std::to_string(tree->size()) +
+                      " rows, clustered tree has " +
+                      std::to_string(clustered_->size()));
+    }
+  }
+}
+
 }  // namespace swan::rowstore

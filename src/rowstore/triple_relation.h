@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/audit.h"
 #include "rdf/pattern.h"
 #include "rdf/triple.h"
 #include "rowstore/bplus_tree.h"
@@ -97,6 +98,10 @@ class TripleRelation {
     bool valid_ = false;
   };
   Scan Open(const rdf::TriplePattern& pattern) const;
+
+  // Audit walker. Audits the clustered tree and every secondary index,
+  // and checks that all trees agree on the row count.
+  void AuditInto(audit::AuditLevel level, audit::AuditReport* report) const;
 
  private:
   const BPlusTree<3>* TreeFor(rdf::TripleOrder order) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/macros.h"
 
@@ -183,6 +184,37 @@ void VerticalRelation::Scan::Next() {
   SWAN_DCHECK(valid_);
   it_.Next();
   Advance();
+}
+
+void VerticalRelation::AuditInto(audit::AuditLevel level,
+                                 audit::AuditReport* report) const {
+  if (properties_.size() != partitions_.size()) {
+    report->Add(audit::FindingClass::kStructure, "vertical_relation",
+                "property index has " + std::to_string(properties_.size()) +
+                    " entries, partition map has " +
+                    std::to_string(partitions_.size()));
+  }
+  for (uint64_t prop : properties_) {
+    if (partitions_.count(prop) == 0) {
+      report->Add(audit::FindingClass::kStructure, "vertical_relation",
+                  "property " + std::to_string(prop) +
+                      " indexed but has no partition");
+    }
+  }
+  for (const auto& [prop, part] : partitions_) {
+    const std::string name =
+        "vertical_relation.partition(" + std::to_string(prop) + ")";
+    part.clustered_so->AuditInto(level, report);
+    part.secondary_os->AuditInto(level, report);
+    if (part.clustered_so->size() != part.rows ||
+        part.secondary_os->size() != part.rows) {
+      report->Add(audit::FindingClass::kStructure, name,
+                  "trees have " + std::to_string(part.clustered_so->size()) +
+                      "/" + std::to_string(part.secondary_os->size()) +
+                      " rows, partition declares " +
+                      std::to_string(part.rows));
+    }
+  }
 }
 
 }  // namespace swan::rowstore

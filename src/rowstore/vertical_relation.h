@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "audit/audit.h"
 #include "rdf/triple.h"
 #include "rowstore/bplus_tree.h"
 #include "storage/buffer_pool.h"
@@ -76,6 +77,11 @@ class VerticalRelation {
   // the partition does not exist.
   Scan OpenPartition(uint64_t property, std::optional<uint64_t> subject,
                      std::optional<uint64_t> object) const;
+
+  // Audit walker. Audits both B+trees of every partition and checks that
+  // the SO and OS trees agree with the partition's declared row count and
+  // that the property index matches the partition map.
+  void AuditInto(audit::AuditLevel level, audit::AuditReport* report) const;
 
  private:
   struct Partition {

@@ -1,6 +1,7 @@
 #include "storage/buffer_pool.h"
 
 #include <cstring>
+#include <string>
 
 #include "common/macros.h"
 
@@ -39,11 +40,18 @@ void PageGuard::Release() {
 
 BufferPool::BufferPool(SimulatedDisk* disk, size_t capacity_pages)
     : disk_(disk), capacity_(capacity_pages) {
-  SWAN_CHECK(capacity_pages >= 8);
+  SWAN_CHECK_GE(capacity_pages, 8u);
   frames_.reserve(capacity_pages);
 }
 
 PageGuard BufferPool::Fetch(PageId id) {
+  PageGuard guard;
+  Status st = TryFetch(id, &guard);
+  SWAN_CHECK_MSG(st.ok(), st.ToString().c_str());
+  return guard;
+}
+
+Status BufferPool::TryFetch(PageId id, PageGuard* out) {
   auto it = map_.find(id);
   if (it != map_.end()) {
     ++hits_;
@@ -53,7 +61,8 @@ PageGuard BufferPool::Fetch(PageId id) {
       frame.in_lru = false;
     }
     ++frame.pin_count;
-    return PageGuard(this, it->second, frame.data.get());
+    *out = PageGuard(this, it->second, frame.data.get());
+    return Status::OK();
   }
 
   ++misses_;
@@ -62,9 +71,124 @@ PageGuard BufferPool::Fetch(PageId id) {
   frame.id = id;
   frame.pin_count = 1;
   frame.in_lru = false;
-  disk_->ReadPage(id, frame.data.get());
+  Status st = disk_->ReadPage(id, frame.data.get());
+  if (!st.ok()) {
+    // Do not cache a corrupted image: release the frame back to the free
+    // list so a later (possibly repaired) read starts fresh.
+    frame.pin_count = 0;
+    free_frames_.push_back(idx);
+    *out = PageGuard();
+    return st;
+  }
   map_[id] = idx;
-  return PageGuard(this, idx, frame.data.get());
+  *out = PageGuard(this, idx, frame.data.get());
+  return Status::OK();
+}
+
+void BufferPool::AuditInto(audit::AuditLevel level,
+                           audit::AuditReport* report) const {
+  (void)level;  // all pool checks are metadata-only, so kQuick == kFull
+  const std::string object = "bufferpool";
+
+  if (frames_.size() > capacity_) {
+    report->Add(audit::FindingClass::kBufferPool, object,
+                "frame count " + std::to_string(frames_.size()) +
+                    " exceeds capacity " + std::to_string(capacity_));
+  }
+  if (map_.size() > frames_.size()) {
+    report->Add(audit::FindingClass::kBufferPool, object,
+                "page table has " + std::to_string(map_.size()) +
+                    " entries but only " + std::to_string(frames_.size()) +
+                    " frames exist");
+  }
+
+  // Page table -> frame agreement, and uniqueness of the mapping.
+  std::vector<bool> mapped(frames_.size(), false);
+  for (const auto& [id, idx] : map_) {
+    if (idx >= frames_.size()) {
+      report->Add(audit::FindingClass::kBufferPool, object,
+                  "page table entry points to nonexistent frame " +
+                      std::to_string(idx));
+      continue;
+    }
+    if (mapped[idx]) {
+      report->Add(audit::FindingClass::kBufferPool, object,
+                  "two page-table entries share frame " +
+                      std::to_string(idx));
+    }
+    mapped[idx] = true;
+    const Frame& frame = frames_[idx];
+    if (!(frame.id == id)) {
+      report->Add(audit::FindingClass::kBufferPool, object,
+                  "page table maps (" + std::to_string(id.file_id) + "," +
+                      std::to_string(id.page_no) + ") to frame " +
+                      std::to_string(idx) + " holding (" +
+                      std::to_string(frame.id.file_id) + "," +
+                      std::to_string(frame.id.page_no) + ")");
+    }
+  }
+
+  // Free-list frames must not be resident.
+  std::vector<bool> free_frame(frames_.size(), false);
+  for (size_t idx : free_frames_) {
+    if (idx >= frames_.size()) {
+      report->Add(audit::FindingClass::kBufferPool, object,
+                  "free list references nonexistent frame " +
+                      std::to_string(idx));
+      continue;
+    }
+    if (free_frame[idx]) {
+      report->Add(audit::FindingClass::kBufferPool, object,
+                  "frame " + std::to_string(idx) + " on the free list twice");
+    }
+    free_frame[idx] = true;
+    if (mapped[idx]) {
+      report->Add(audit::FindingClass::kBufferPool, object,
+                  "frame " + std::to_string(idx) +
+                      " is both free and page-table resident");
+    }
+  }
+
+  // LRU membership: exactly the unpinned resident frames, each once.
+  std::vector<uint32_t> lru_hits(frames_.size(), 0);
+  for (size_t idx : lru_) {
+    if (idx >= frames_.size()) {
+      report->Add(audit::FindingClass::kBufferPool, object,
+                  "LRU references nonexistent frame " + std::to_string(idx));
+      continue;
+    }
+    ++lru_hits[idx];
+  }
+  uint64_t pinned = 0;
+  for (size_t idx = 0; idx < frames_.size(); ++idx) {
+    const Frame& frame = frames_[idx];
+    if (frame.pin_count > 0) {
+      if (!mapped[idx]) {
+        report->Add(audit::FindingClass::kBufferPool, object,
+                    "pinned frame " + std::to_string(idx) +
+                        " missing from the page table");
+      }
+      pinned += frame.pin_count;
+    }
+    const bool expect_in_lru = mapped[idx] && frame.pin_count == 0;
+    if (frame.in_lru != expect_in_lru || lru_hits[idx] != (expect_in_lru ? 1u : 0u)) {
+      report->Add(audit::FindingClass::kBufferPool, object,
+                  "frame " + std::to_string(idx) + " LRU state broken " +
+                      "(in_lru=" + std::to_string(frame.in_lru) +
+                      ", lru entries=" + std::to_string(lru_hits[idx]) +
+                      ", pin_count=" + std::to_string(frame.pin_count) +
+                      ", resident=" + std::to_string(mapped[idx]) + ")");
+    }
+  }
+
+  // A full-level audit runs at a quiescent point (between queries /
+  // mutation batches), where every PageGuard must have been released.
+  if (pinned > 0) {
+    report->Add(audit::FindingClass::kBufferPool, object,
+                std::to_string(pinned) +
+                    " pin(s) still outstanding at audit time (leaked "
+                    "PageGuard?)");
+  }
 }
 
 void BufferPool::WriteThrough(PageId id, const void* data) {
@@ -91,7 +215,7 @@ void BufferPool::Clear() {
 
 void BufferPool::Unpin(size_t frame_index) {
   Frame& frame = frames_[frame_index];
-  SWAN_CHECK(frame.pin_count > 0);
+  SWAN_CHECK_GT(frame.pin_count, 0u);
   if (--frame.pin_count == 0) {
     lru_.push_front(frame_index);
     frame.lru_pos = lru_.begin();

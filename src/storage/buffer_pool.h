@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "audit/audit.h"
+#include "common/status.h"
 #include "storage/page.h"
 #include "storage/simulated_disk.h"
 
@@ -49,7 +51,18 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
 
   // Returns a pinned view of the page, reading it from disk on a miss.
+  // Aborts loudly if the on-disk page fails its checksum — the hot path
+  // must never hand out corrupted bytes. Recoverable callers (the audit
+  // walkers) use TryFetch instead.
   PageGuard Fetch(PageId id);
+
+  // Like Fetch, but a checksum mismatch comes back as Status::Corruption
+  // (with `*out` left invalid and the frame released) instead of aborting.
+  [[nodiscard]] Status TryFetch(PageId id, PageGuard* out);
+
+  // Audit walker: pin accounting (a pin outstanding at a quiescent point
+  // is a leak), frame<->page-table agreement, LRU membership, capacity.
+  void AuditInto(audit::AuditLevel level, audit::AuditReport* report) const;
 
   // Write-through update: patches the cached copy (if resident) and the
   // disk image. Used by the row store's insert path.

@@ -46,36 +46,56 @@ void ByteFileWriter::Finish() {
   }
 }
 
-void ReadByteFile(BufferPool* pool, const PagedFile& file, uint64_t count,
-                  std::vector<uint8_t>* out) {
+Status TryReadByteFile(BufferPool* pool, const PagedFile& file,
+                       uint64_t count, std::vector<uint8_t>* out) {
   out->clear();
   out->reserve(count);
   const uint32_t pages = file.page_count();
   uint64_t remaining = count;
   for (uint32_t p = 0; p < pages && remaining > 0; ++p) {
-    PageGuard guard = pool->Fetch(file.page_id(p));
+    PageGuard guard;
+    SWAN_RETURN_NOT_OK(pool->TryFetch(file.page_id(p), &guard));
     const uint64_t take = std::min<uint64_t>(remaining, kPageSize);
     out->insert(out->end(), guard.data(), guard.data() + take);
     remaining -= take;
   }
-  SWAN_CHECK_MSG(remaining == 0, "byte file shorter than declared count");
+  if (remaining != 0) {
+    return Status::Corruption("byte file shorter than declared count");
+  }
+  return Status::OK();
 }
 
-void ReadU64File(BufferPool* pool, const PagedFile& file, uint64_t count,
-                 std::vector<uint64_t>* out) {
+void ReadByteFile(BufferPool* pool, const PagedFile& file, uint64_t count,
+                  std::vector<uint8_t>* out) {
+  Status st = TryReadByteFile(pool, file, count, out);
+  SWAN_CHECK_MSG(st.ok(), st.ToString().c_str());
+}
+
+Status TryReadU64File(BufferPool* pool, const PagedFile& file, uint64_t count,
+                      std::vector<uint64_t>* out) {
   out->clear();
   out->reserve(count);
   constexpr uint64_t kPerPage = kPageSize / sizeof(uint64_t);
   const uint32_t pages = file.page_count();
   uint64_t remaining = count;
   for (uint32_t p = 0; p < pages && remaining > 0; ++p) {
-    PageGuard guard = pool->Fetch(file.page_id(p));
+    PageGuard guard;
+    SWAN_RETURN_NOT_OK(pool->TryFetch(file.page_id(p), &guard));
     const uint64_t take = std::min<uint64_t>(remaining, kPerPage);
     const uint64_t* values = reinterpret_cast<const uint64_t*>(guard.data());
     out->insert(out->end(), values, values + take);
     remaining -= take;
   }
-  SWAN_CHECK_MSG(remaining == 0, "column file shorter than declared count");
+  if (remaining != 0) {
+    return Status::Corruption("column file shorter than declared count");
+  }
+  return Status::OK();
+}
+
+void ReadU64File(BufferPool* pool, const PagedFile& file, uint64_t count,
+                 std::vector<uint64_t>* out) {
+  Status st = TryReadU64File(pool, file, count, out);
+  SWAN_CHECK_MSG(st.ok(), st.ToString().c_str());
 }
 
 }  // namespace swan::storage

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <vector>
 
+#include "common/status.h"
 #include "storage/buffer_pool.h"
 #include "storage/page.h"
 #include "storage/simulated_disk.h"
@@ -60,9 +61,15 @@ class U64FileWriter {
 // Reads `count` uint64 values of a column file through `pool` into `out`.
 // Every page is fetched exactly once, in order, so a cold read is one
 // sequential sweep of the file — the MonetDB-style "read the whole column"
-// cost the paper measures.
+// cost the paper measures. Aborts on a checksum mismatch (hot path).
 void ReadU64File(BufferPool* pool, const PagedFile& file, uint64_t count,
                  std::vector<uint64_t>* out);
+
+// Tolerant variant for the audit walkers: a checksum mismatch or a file
+// shorter than `count` comes back as Status::Corruption.
+[[nodiscard]] Status TryReadU64File(BufferPool* pool, const PagedFile& file,
+                                    uint64_t count,
+                                    std::vector<uint64_t>* out);
 
 // Streams an arbitrary byte sequence into pages (used for compressed
 // column segments).
@@ -86,6 +93,11 @@ class ByteFileWriter {
 // Reads `count` bytes of a byte file through `pool`, sequentially.
 void ReadByteFile(BufferPool* pool, const PagedFile& file, uint64_t count,
                   std::vector<uint8_t>* out);
+
+// Tolerant variant of ReadByteFile (see TryReadU64File).
+[[nodiscard]] Status TryReadByteFile(BufferPool* pool, const PagedFile& file,
+                                     uint64_t count,
+                                     std::vector<uint8_t>* out);
 
 }  // namespace swan::storage
 

@@ -1,6 +1,7 @@
 #include "storage/simulated_disk.h"
 
 #include <cstring>
+#include <string>
 
 #include "common/macros.h"
 
@@ -8,34 +9,49 @@ namespace swan::storage {
 
 SimulatedDisk::SimulatedDisk(DiskConfig config) : config_(config) {}
 
+uint64_t SimulatedDisk::PageChecksum(const void* data) {
+  // FNV-1a 64 over the full page. Fast, deterministic, and sensitive to
+  // single-byte flips anywhere in the image.
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < kPageSize; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
 uint32_t SimulatedDisk::CreateFile() {
   files_.emplace_back();
   return static_cast<uint32_t>(files_.size() - 1);
 }
 
 uint32_t SimulatedDisk::AppendPage(uint32_t file_id, const void* data) {
-  SWAN_CHECK(file_id < files_.size());
+  SWAN_CHECK_LT(file_id, files_.size());
   auto& file = files_[file_id];
-  const size_t offset = file.size();
-  file.resize(offset + kPageSize);
-  std::memcpy(file.data() + offset, data, kPageSize);
+  const size_t offset = file.bytes.size();
+  file.bytes.resize(offset + kPageSize);
+  std::memcpy(file.bytes.data() + offset, data, kPageSize);
+  file.checksums.push_back(PageChecksum(data));
   return static_cast<uint32_t>(offset / kPageSize);
 }
 
 void SimulatedDisk::WritePage(PageId id, const void* data) {
-  SWAN_CHECK(id.file_id < files_.size());
+  SWAN_CHECK_LT(id.file_id, files_.size());
   auto& file = files_[id.file_id];
   const size_t offset = static_cast<size_t>(id.page_no) * kPageSize;
-  SWAN_CHECK(offset + kPageSize <= file.size());
-  std::memcpy(file.data() + offset, data, kPageSize);
+  SWAN_CHECK_LE(offset + kPageSize, file.bytes.size());
+  std::memcpy(file.bytes.data() + offset, data, kPageSize);
+  file.checksums[id.page_no] = PageChecksum(data);
 }
 
-void SimulatedDisk::ReadPage(PageId id, void* out) {
-  SWAN_CHECK(id.file_id < files_.size());
+Status SimulatedDisk::ReadPage(PageId id, void* out) {
+  SWAN_CHECK_LT(id.file_id, files_.size());
   const auto& file = files_[id.file_id];
   const size_t offset = static_cast<size_t>(id.page_no) * kPageSize;
-  SWAN_CHECK_MSG(offset + kPageSize <= file.size(), "read past end of file");
-  std::memcpy(out, file.data() + offset, kPageSize);
+  SWAN_CHECK_MSG(offset + kPageSize <= file.bytes.size(),
+                 "read past end of file");
+  std::memcpy(out, file.bytes.data() + offset, kPageSize);
 
   // Charge the I/O model.
   bool seek = true;
@@ -64,11 +80,66 @@ void SimulatedDisk::ReadPage(PageId id, void* out) {
   if (tracing_) {
     trace_.push_back({clock_.now(), total_bytes_read_});
   }
+
+  // Verify after charging: the transfer happened, the payload is bad.
+  if (PageChecksum(out) != file.checksums[id.page_no]) {
+    return Status::Corruption("checksum mismatch on page " +
+                              std::to_string(id.page_no) + " of file " +
+                              std::to_string(id.file_id));
+  }
+  return Status::OK();
+}
+
+Status SimulatedDisk::VerifyPage(PageId id) const {
+  SWAN_CHECK_LT(id.file_id, files_.size());
+  const auto& file = files_[id.file_id];
+  const size_t offset = static_cast<size_t>(id.page_no) * kPageSize;
+  SWAN_CHECK_MSG(offset + kPageSize <= file.bytes.size(),
+                 "verify past end of file");
+  if (PageChecksum(file.bytes.data() + offset) != file.checksums[id.page_no]) {
+    return Status::Corruption("checksum mismatch on page " +
+                              std::to_string(id.page_no) + " of file " +
+                              std::to_string(id.file_id));
+  }
+  return Status::OK();
+}
+
+Status SimulatedDisk::VerifyFile(uint32_t file_id) const {
+  const uint32_t pages = PageCount(file_id);
+  for (uint32_t p = 0; p < pages; ++p) {
+    SWAN_RETURN_NOT_OK(VerifyPage(PageId{file_id, p}));
+  }
+  return Status::OK();
+}
+
+void SimulatedDisk::CorruptPageForTesting(PageId id, size_t offset,
+                                          uint8_t xor_mask) {
+  SWAN_CHECK_LT(id.file_id, files_.size());
+  SWAN_CHECK_LT(offset, kPageSize);
+  auto& file = files_[id.file_id];
+  const size_t byte = static_cast<size_t>(id.page_no) * kPageSize + offset;
+  SWAN_CHECK_LT(byte, file.bytes.size());
+  file.bytes[byte] ^= xor_mask;  // checksum deliberately left stale
+}
+
+void SimulatedDisk::AuditInto(audit::AuditLevel level,
+                              audit::AuditReport* report) const {
+  if (level < audit::AuditLevel::kFull) return;
+  for (uint32_t f = 0; f < files_.size(); ++f) {
+    const uint32_t pages = PageCount(f);
+    for (uint32_t p = 0; p < pages; ++p) {
+      Status st = VerifyPage(PageId{f, p});
+      if (!st.ok()) {
+        report->Add(audit::FindingClass::kChecksum,
+                    "disk file " + std::to_string(f), st.message());
+      }
+    }
+  }
 }
 
 uint32_t SimulatedDisk::PageCount(uint32_t file_id) const {
-  SWAN_CHECK(file_id < files_.size());
-  return static_cast<uint32_t>(files_[file_id].size() / kPageSize);
+  SWAN_CHECK_LT(file_id, files_.size());
+  return static_cast<uint32_t>(files_[file_id].bytes.size() / kPageSize);
 }
 
 void SimulatedDisk::ResetStats() {
@@ -92,7 +163,7 @@ std::vector<IoTracePoint> SimulatedDisk::StopTrace() {
 
 uint64_t SimulatedDisk::TotalStoredBytes() const {
   uint64_t total = 0;
-  for (const auto& f : files_) total += f.size();
+  for (const auto& f : files_) total += f.bytes.size();
   return total;
 }
 

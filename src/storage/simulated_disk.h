@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "audit/audit.h"
+#include "common/status.h"
 #include "common/timer.h"
 #include "storage/page.h"
 
@@ -39,6 +41,11 @@ struct IoTracePoint {
 // byte-accurate, and fast — a query's "real time" is its CPU time plus the
 // virtual seconds accrued here.
 //
+// Every page carries an out-of-band 64-bit checksum (the moral equivalent
+// of a sector CRC area), computed on AppendPage/WritePage and verified on
+// every ReadPage. A mismatch is reported as Status::Corruption so callers
+// never consume silently-corrupted bytes.
+//
 // Writes are free and not traced: the paper keeps loading and index
 // construction outside the benchmark scope (§2.3).
 class SimulatedDisk {
@@ -58,8 +65,28 @@ class SimulatedDisk {
   void WritePage(PageId id, const void* data);
 
   // Copies a page image into `out` (kPageSize bytes) and charges virtual
-  // I/O time according to the disk model.
-  void ReadPage(PageId id, void* out);
+  // I/O time according to the disk model. Returns Corruption (with the
+  // bytes still copied, for forensics) if the stored image no longer
+  // matches its checksum.
+  [[nodiscard]] Status ReadPage(PageId id, void* out);
+
+  // Recomputes `id`'s checksum against the stored image without charging
+  // I/O time or touching read statistics (audit path).
+  [[nodiscard]] Status VerifyPage(PageId id) const;
+
+  // VerifyPage over every page of `file_id`.
+  [[nodiscard]] Status VerifyFile(uint32_t file_id) const;
+
+  // Checksum of one kPageSize page image (FNV-1a 64).
+  static uint64_t PageChecksum(const void* data);
+
+  // Byte-flips `xor_mask` into the stored image at `offset` WITHOUT
+  // updating the checksum — simulates silent media corruption for the
+  // auditor tests. Never called outside tests.
+  void CorruptPageForTesting(PageId id, size_t offset, uint8_t xor_mask);
+
+  // Audit walker: at kFull, verifies the checksum of every stored page.
+  void AuditInto(audit::AuditLevel level, audit::AuditReport* report) const;
 
   uint32_t PageCount(uint32_t file_id) const;
 
@@ -83,8 +110,15 @@ class SimulatedDisk {
   uint64_t TotalStoredBytes() const;
 
  private:
+  struct FileData {
+    std::vector<uint8_t> bytes;
+    // One checksum per page, stored out of band so the full kPageSize
+    // payload stays available to the engines.
+    std::vector<uint64_t> checksums;
+  };
+
   DiskConfig config_;
-  std::vector<std::vector<uint8_t>> files_;
+  std::vector<FileData> files_;
   VirtualClock clock_;
 
   uint64_t total_bytes_read_ = 0;

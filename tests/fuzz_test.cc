@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/audit.h"
 #include "common/random.h"
 #include "core/col_backends.h"
 #include "core/property_table_backend.h"
@@ -99,6 +100,13 @@ TEST_P(GraphFuzzTest, AllBackendsMatchReferenceOnRandomGraphs) {
           << GetParam() << ")";
     }
   }
+
+  // The full query workload must leave every backend audit-clean.
+  for (auto& backend : backends) {
+    const auto report = backend->Audit(audit::AuditLevel::kFull);
+    EXPECT_TRUE(report.ok()) << backend->name() << " (seed " << GetParam()
+                             << ")\n" << report.ToString();
+  }
 }
 
 TEST_P(GraphFuzzTest, RandomPatternsMatchReference) {
@@ -149,7 +157,7 @@ TEST(ParserFuzzTest, NTriplesNeverCrashesOnGarbage) {
     rdf::Dataset data;
     bool added = false;
     // Must return (either status), never abort.
-    rdf::ParseNTriplesLine(line, &data, &added).ok();
+    (void)rdf::ParseNTriplesLine(line, &data, &added);
   }
 }
 
@@ -162,7 +170,7 @@ TEST(ParserFuzzTest, SparqlNeverCrashesOnGarbage) {
     for (uint64_t i = 0; i < len; ++i) {
       query += alphabet[rng.Uniform(alphabet.size())];
     }
-    sparql::Parse(query).ok();  // either outcome, never a crash
+    (void)sparql::Parse(query);  // either outcome, never a crash
   }
 }
 
@@ -174,7 +182,7 @@ TEST(ParserFuzzTest, SparqlRejectsTruncationsOfValidQuery) {
   // Every strict prefix must parse-fail or parse to something, without
   // crashing. (Some prefixes are valid queries; most are not.)
   for (size_t cut = 0; cut < valid.size(); ++cut) {
-    sparql::Parse(valid.substr(0, cut)).ok();
+    (void)sparql::Parse(valid.substr(0, cut));
   }
 }
 

@@ -6,8 +6,10 @@
 
 #include <map>
 #include <set>
+#include <string>
 #include <vector>
 
+#include "audit/audit.h"
 #include "bench_support/barton_generator.h"
 #include "bench_support/harness.h"
 #include "colstore/column.h"
@@ -40,6 +42,9 @@ TEST(BufferPoolStressTest, RandomAccessMatchesShadowModel) {
   EXPECT_LE(pool.resident_pages(), 16u);
   EXPECT_GT(pool.hits(), 0u);
   EXPECT_GT(pool.misses(), 16u);  // evictions happened
+  // No guards are live, so the pool's accounting must be spotless.
+  const auto report = audit::Audit(pool, audit::AuditLevel::kFull);
+  EXPECT_TRUE(report.ok()) << report.ToString();
 }
 
 TEST(BufferPoolStressTest, ManyConcurrentPinsUpToCapacity) {
@@ -133,6 +138,10 @@ TEST(BPlusTreeStressTest, MixedInsertAndScanAgainstShadowSet) {
       ++expected;
     }
     ASSERT_EQ(expected, shadow.end());
+    // Every mutation batch must leave the tree structurally sound.
+    const auto report = audit::Audit(tree, audit::AuditLevel::kFull);
+    ASSERT_TRUE(report.ok()) << "round " << round << "\n"
+                             << report.ToString();
   }
 }
 
@@ -153,6 +162,12 @@ TEST(ColumnStressTest, CompressedColumnsUnderTinyPool) {
       pool.Clear();
       ASSERT_EQ(col.Get(), values) << ToString(codec);
     }
+    colstore::ColumnAuditOptions opts;
+    opts.label = std::string("stress.") + ToString(codec);
+    opts.expect_sorted = true;
+    audit::AuditReport report;
+    col.AuditInto(audit::AuditLevel::kFull, opts, &report);
+    EXPECT_TRUE(report.ok()) << report.ToString();
   }
 }
 

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "audit/audit.h"
 #include "bench_support/barton_generator.h"
 #include "bench_support/harness.h"
 #include "core/col_backends.h"
@@ -167,6 +168,13 @@ TEST_F(UpdateTest, AllBackendsAgreeAfterMixedInsertWorkload) {
   std::vector<Backend*> raw;
   for (auto& b : backends) raw.push_back(b.get());
   bench_support::VerifyBackendsAgree(raw, AllQueries(), ctx);
+
+  // After the whole mutation workload, every backend's physical structures
+  // must still satisfy their invariants.
+  for (auto& backend : backends) {
+    const auto report = backend->Audit(audit::AuditLevel::kFull);
+    EXPECT_TRUE(report.ok()) << backend->name() << "\n" << report.ToString();
+  }
 }
 
 }  // namespace

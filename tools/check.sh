@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Static-analysis and sanitizer driver:
+#   1. clang-tidy over src/ (skipped with a notice if clang-tidy is not
+#      installed — the container image ships only gcc),
+#   2. an ASan+UBSan build of everything, running the full test suite.
+#
+# Usage: tools/check.sh [--tidy-only|--asan-only]
+# Exits non-zero if any stage fails.
+set -u
+
+cd "$(dirname "$0")/.."
+REPO_ROOT="$PWD"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_tidy=1
+run_asan=1
+case "${1:-}" in
+  --tidy-only) run_asan=0 ;;
+  --asan-only) run_tidy=0 ;;
+  "") ;;
+  *) echo "usage: tools/check.sh [--tidy-only|--asan-only]" >&2; exit 2 ;;
+esac
+
+failures=0
+
+if [ "$run_tidy" -eq 1 ]; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== clang-tidy =="
+    TIDY_BUILD="$REPO_ROOT/build-tidy"
+    cmake -B "$TIDY_BUILD" -S "$REPO_ROOT" \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null || exit 1
+    # Library sources only: test files are gtest-macro heavy and drown the
+    # signal.
+    mapfile -t tidy_sources < <(find "$REPO_ROOT/src" -name '*.cc' | sort)
+    if ! clang-tidy -p "$TIDY_BUILD" --quiet "${tidy_sources[@]}"; then
+      echo "clang-tidy: FINDINGS (see above)"
+      failures=$((failures + 1))
+    else
+      echo "clang-tidy: clean"
+    fi
+  else
+    echo "== clang-tidy: not installed, skipping (gcc-only toolchain) =="
+  fi
+fi
+
+if [ "$run_asan" -eq 1 ]; then
+  echo "== ASan+UBSan build + ctest =="
+  ASAN_BUILD="$REPO_ROOT/build-asan"
+  cmake -B "$ASAN_BUILD" -S "$REPO_ROOT" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    "-DSWAN_SANITIZE=address;undefined" \
+    -DSWAN_WERROR=ON >/dev/null || exit 1
+  cmake --build "$ASAN_BUILD" -j "$JOBS" || exit 1
+  if ! (cd "$ASAN_BUILD" && ctest --output-on-failure -j "$JOBS"); then
+    echo "sanitized ctest: FAILURES"
+    failures=$((failures + 1))
+  else
+    echo "sanitized ctest: clean"
+  fi
+fi
+
+if [ "$failures" -ne 0 ]; then
+  echo "check.sh: $failures stage(s) failed"
+  exit 1
+fi
+echo "check.sh: all stages passed"

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# CI matrix driver, runnable locally or from .github/workflows/ci.yml:
+#   release  - plain Release build, -Werror, full ctest
+#   sanitize - ASan+UBSan RelWithDebInfo build, full ctest
+#   tidy     - clang-tidy over src/ (skips with a notice if not installed)
+#
+# Usage: tools/ci.sh [release|sanitize|tidy|all]   (default: all)
+set -u
+
+cd "$(dirname "$0")/.."
+REPO_ROOT="$PWD"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+mode="${1:-all}"
+
+build_and_test() {
+  local dir="$1"; shift
+  cmake -B "$dir" -S "$REPO_ROOT" "$@" || return 1
+  cmake --build "$dir" -j "$JOBS" || return 1
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS")
+}
+
+status=0
+case "$mode" in
+  release|all)
+    echo "=== matrix: release ==="
+    build_and_test "$REPO_ROOT/build-ci-release" \
+      -DCMAKE_BUILD_TYPE=Release -DSWAN_WERROR=ON || status=1
+    [ "$mode" = "release" ] && exit "$status"
+    ;;&
+  sanitize|all)
+    echo "=== matrix: sanitize (address;undefined) ==="
+    build_and_test "$REPO_ROOT/build-ci-asan" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSWAN_WERROR=ON \
+      "-DSWAN_SANITIZE=address;undefined" || status=1
+    [ "$mode" = "sanitize" ] && exit "$status"
+    ;;&
+  tidy|all)
+    echo "=== matrix: clang-tidy ==="
+    bash "$REPO_ROOT/tools/check.sh" --tidy-only || status=1
+    [ "$mode" = "tidy" ] && exit "$status"
+    ;;&
+  release|sanitize|tidy|all)
+    ;;
+  *)
+    echo "usage: tools/ci.sh [release|sanitize|tidy|all]" >&2
+    exit 2
+    ;;
+esac
+
+exit "$status"

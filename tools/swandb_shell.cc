@@ -3,10 +3,14 @@
 //   swandb_shell [--scheme triple|vertical|ptable] [--engine row|column]
 //                [--clustering spo|pso] [--generate N | --load FILE.nt]
 //                [--query 'SPARQL...' | --file QUERIES.rq] [--explain]
+//                [--audit]
 //
 // With no --query/--file, reads SPARQL queries from stdin, separated by
 // lines containing only ';'. Each result is printed with row count and
-// timing (real = CPU + simulated I/O).
+// timing (real = CPU + simulated I/O). Typing `audit` (followed by ';')
+// instead of a query runs the deep invariant audit over the open store.
+// --audit runs the audit immediately after load and exits (non-zero if
+// any invariant is violated).
 //
 //   $ ./build/tools/swandb_shell --generate 100000
 //         --query 'SELECT ?s WHERE { ?s <type> <Text> } LIMIT 5'
@@ -18,6 +22,7 @@
 #include <sstream>
 #include <string>
 
+#include "audit/audit.h"
 #include "bench_support/barton_generator.h"
 #include "common/timer.h"
 #include "core/store.h"
@@ -28,6 +33,7 @@ namespace {
 
 struct ShellOptions {
   bool explain = false;
+  bool audit = false;
   std::string scheme = "vertical";
   std::string engine = "column";
   std::string clustering = "pso";
@@ -43,7 +49,8 @@ void PrintUsage() {
       "usage: swandb_shell [--scheme triple|vertical|ptable]\n"
       "                    [--engine row|column] [--clustering spo|pso]\n"
       "                    [--generate N | --load FILE.nt]\n"
-      "                    [--query 'SPARQL' | --file QUERIES.rq]\n");
+      "                    [--query 'SPARQL' | --file QUERIES.rq]\n"
+      "                    [--audit]\n");
 }
 
 bool ParseArgs(int argc, char** argv, ShellOptions* options) {
@@ -69,6 +76,8 @@ bool ParseArgs(int argc, char** argv, ShellOptions* options) {
       options->query_file = value;
     } else if (arg == "--explain") {
       options->explain = true;
+    } else if (arg == "--audit") {
+      options->audit = true;
     } else {
       std::fprintf(stderr, "unknown or incomplete argument: %s\n",
                    arg.c_str());
@@ -104,9 +113,24 @@ void ExplainQuery(const swan::rdf::Dataset& dataset,
   }
 }
 
+// Deep invariant audit of the open store; returns 1 if anything is wrong.
+int RunAudit(const swan::core::RdfStore& store) {
+  const auto report = store.Audit(swan::audit::AuditLevel::kFull);
+  std::printf("%s", report.ToString().c_str());
+  return report.ok() ? 0 : 1;
+}
+
+std::string Trimmed(const std::string& text) {
+  const auto begin = text.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const auto end = text.find_last_not_of(" \t\r\n");
+  return text.substr(begin, end - begin + 1);
+}
+
 int RunQuery(const swan::core::RdfStore& store,
              const swan::rdf::Dataset& dataset, const std::string& query,
              bool explain) {
+  if (Trimmed(query) == "audit") return RunAudit(store);
   if (explain) ExplainQuery(dataset, query);
   swan::CpuTimer timer;
   const double io_before = store.backend().disk()->clock().now();
@@ -199,6 +223,10 @@ int main(int argc, char** argv) {
   auto store = swan::core::RdfStore::Open(*dataset, store_options);
   std::fprintf(stderr, "store: %s (%.1f MB on simulated disk)\n\n",
                store->name().c_str(), store->disk_bytes() / 1e6);
+
+  if (options.audit) {
+    return RunAudit(*store);
+  }
 
   // Queries.
   if (!options.query.empty()) {
