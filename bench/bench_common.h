@@ -2,10 +2,13 @@
 #define SWANDB_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "bench_support/barton_generator.h"
 #include "bench_support/harness.h"
+#include "exec/thread_pool.h"
 
 namespace swan::bench {
 
@@ -22,13 +25,34 @@ inline int Repetitions() {
   return static_cast<int>(bench_support::EnvU64("SWAN_REPS", 3));
 }
 
+// Configures the execution width from --threads=N (or "--threads N") on
+// the command line, falling back to SWAN_THREADS, defaulting to 1 so every
+// paper-reproduction bench keeps its published single-threaded shape
+// unless parallelism is explicitly requested. `--threads=0` means "use
+// the hardware concurrency".
+inline void InitThreads(int argc, char** argv) {
+  long long threads =
+      static_cast<long long>(bench_support::EnvU64("SWAN_THREADS", 1));
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      threads = std::atoll(arg + 10);
+    } else if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoll(argv[++i]);
+    }
+  }
+  if (threads <= 0) threads = exec::HardwareConcurrency();
+  exec::SetThreads(static_cast<int>(threads));
+}
+
 inline void PrintHeader(const std::string& title, const std::string& paper_ref,
                         const bench_support::BartonConfig& config) {
   std::printf("=== %s ===\n", title.c_str());
   std::printf("reproduces: %s\n", paper_ref.c_str());
-  std::printf("dataset: Barton-like, %llu triples (seed %llu)\n\n",
+  std::printf("dataset: Barton-like, %llu triples (seed %llu)\n",
               static_cast<unsigned long long>(config.target_triples),
               static_cast<unsigned long long>(config.seed));
+  std::printf("threads: %d\n\n", exec::Threads());
 }
 
 }  // namespace swan::bench

@@ -1,0 +1,161 @@
+// Speedup curves for the morsel-driven parallel execution layer: the
+// vertical-scheme star queries (q2*, q3*, q4*, q6*) fan one sub-plan out
+// per property partition, so they are the queries the paper's schemes
+// leave the most parallelism on the table for. Runs the MonetDB-style
+// vertical column backend hot at increasing thread counts and reports the
+// modeled real-time speedup over the single-threaded engine.
+//
+// Before timing, every thread count is gated on equivalence with the
+// single-threaded run: identical result rows and identical cold-run
+// virtual I/O bytes. Parallelism that changed the answer (or the bytes
+// touched) would be a bug, not a speedup.
+//
+// Output ends with a single-line JSON summary for scripted consumers.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/macros.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "core/col_backends.h"
+
+namespace {
+
+using swan::bench_support::Measurement;
+using swan::core::QueryId;
+
+std::string Key(int threads) { return std::to_string(threads); }
+
+}  // namespace
+
+int main(int, char**) {
+  const auto config = swan::bench::DefaultConfig();
+  std::printf("=== Parallel speedup: vertical star queries ===\n");
+  std::printf(
+      "morsel-driven execution over per-property sub-plans; modeled real "
+      "time\n(critical-path CPU + virtual I/O), deterministic on any "
+      "host.\n");
+  std::printf("dataset: Barton-like, %llu triples (seed %llu)\n\n",
+              static_cast<unsigned long long>(config.target_triples),
+              static_cast<unsigned long long>(config.seed));
+
+  const auto barton = swan::bench_support::GenerateBarton(config);
+  const swan::rdf::Dataset& data = barton.dataset;
+  const swan::core::QueryContext ctx =
+      swan::bench_support::MakeBartonContext(data, 28);
+
+  std::printf("building vertical column backend...\n");
+  swan::core::ColVerticalBackend backend(data);
+
+  const std::vector<QueryId> queries = {QueryId::kQ2Star, QueryId::kQ3Star,
+                                        QueryId::kQ4Star, QueryId::kQ6Star};
+  std::vector<int> thread_counts = {1, 2, 4, 8};
+  const int hw = swan::exec::HardwareConcurrency();
+  if (hw > thread_counts.back()) thread_counts.push_back(hw);
+
+  const int reps = swan::bench::Repetitions();
+
+  // Reference run at one thread: result rows, cold I/O bytes, hot time.
+  swan::exec::SetThreads(1);
+  std::vector<swan::core::QueryResult> ref_rows;
+  std::vector<uint64_t> ref_cold_bytes;
+  std::vector<std::vector<double>> hot_real(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    ref_rows.push_back(backend.Run(queries[q], ctx));
+    ref_cold_bytes.push_back(
+        swan::bench_support::MeasureCold(&backend, queries[q], ctx, 1)
+            .bytes_read);
+    hot_real[q].push_back(
+        swan::bench_support::MeasureHot(&backend, queries[q], ctx, reps)
+            .real_seconds);
+  }
+
+  bool equivalent = true;
+  for (size_t t = 1; t < thread_counts.size(); ++t) {
+    swan::exec::SetThreads(thread_counts[t]);
+    std::printf("measuring %d thread(s)...\n", thread_counts[t]);
+    for (size_t q = 0; q < queries.size(); ++q) {
+      // Equivalence gate: same rows, same cold virtual I/O bytes.
+      const swan::core::QueryResult rows = backend.Run(queries[q], ctx);
+      if (!ref_rows[q].SameRows(rows)) {
+        std::fprintf(stderr, "FAIL: %s rows diverge at %d threads\n",
+                     ToString(queries[q]).c_str(), thread_counts[t]);
+        equivalent = false;
+      }
+      const uint64_t cold_bytes =
+          swan::bench_support::MeasureCold(&backend, queries[q], ctx, 1)
+              .bytes_read;
+      if (cold_bytes != ref_cold_bytes[q]) {
+        std::fprintf(
+            stderr, "FAIL: %s cold bytes %llu != %llu at %d threads\n",
+            ToString(queries[q]).c_str(),
+            static_cast<unsigned long long>(cold_bytes),
+            static_cast<unsigned long long>(ref_cold_bytes[q]),
+            thread_counts[t]);
+        equivalent = false;
+      }
+      hot_real[q].push_back(
+          swan::bench_support::MeasureHot(&backend, queries[q], ctx, reps)
+              .real_seconds);
+    }
+  }
+  swan::exec::SetThreads(1);
+  SWAN_CHECK_MSG(equivalent,
+                 "parallel execution changed query results; aborting");
+  std::printf("equivalence gate passed (rows and cold I/O bytes match the "
+              "single-threaded run at every width).\n\n");
+
+  std::vector<std::string> header = {"query"};
+  for (int t : thread_counts) header.push_back(Key(t) + "T real");
+  for (size_t i = 1; i < thread_counts.size(); ++i) {
+    header.push_back("x" + Key(thread_counts[i]));
+  }
+  swan::TablePrinter table(header);
+  std::vector<std::vector<double>> speedups(thread_counts.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    std::vector<std::string> cells = {ToString(queries[q])};
+    for (size_t i = 0; i < thread_counts.size(); ++i) {
+      cells.push_back(swan::TablePrinter::Fixed(hot_real[q][i], 4));
+    }
+    for (size_t i = 1; i < thread_counts.size(); ++i) {
+      const double s = hot_real[q][0] / hot_real[q][i];
+      speedups[i].push_back(s);
+      cells.push_back(swan::TablePrinter::Fixed(s, 2));
+    }
+    table.AddRow(cells);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf("geomean speedup over {q2*, q3*, q4*, q6*} (hot, modeled):\n");
+  for (size_t i = 1; i < thread_counts.size(); ++i) {
+    std::printf("  %2d threads: %.2fx\n", thread_counts[i],
+                swan::GeometricMean(speedups[i]));
+  }
+
+  // Machine-readable summary.
+  std::printf("\nJSON: {\"bench\":\"parallel_speedup\",\"triples\":%llu,"
+              "\"equivalent\":true,\"threads\":[",
+              static_cast<unsigned long long>(config.target_triples));
+  for (size_t i = 0; i < thread_counts.size(); ++i) {
+    std::printf("%s%d", i ? "," : "", thread_counts[i]);
+  }
+  std::printf("],\"queries\":{");
+  for (size_t q = 0; q < queries.size(); ++q) {
+    std::printf("%s\"%s\":[", q ? "," : "", ToString(queries[q]).c_str());
+    for (size_t i = 0; i < thread_counts.size(); ++i) {
+      std::printf("%s%.6f", i ? "," : "", hot_real[q][i]);
+    }
+    std::printf("]");
+  }
+  std::printf("},\"geomean_speedup\":{");
+  for (size_t i = 1; i < thread_counts.size(); ++i) {
+    std::printf("%s\"%d\":%.3f", i > 1 ? "," : "", thread_counts[i],
+                swan::GeometricMean(speedups[i]));
+  }
+  std::printf("}}\n");
+  return 0;
+}

@@ -1,9 +1,11 @@
 // Reproduces Table 6: cold-run execution times for all 12 benchmark
 // queries over the full storage-scheme x engine grid.
 
+#include "bench_common.h"
 #include "grid_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  swan::bench::InitThreads(argc, argv);
   swan::bench::RunGrid(/*hot=*/false, "Table 6: cold runs");
   return 0;
 }

@@ -1,9 +1,11 @@
 // Reproduces Table 7: hot-run execution times for all 12 benchmark
 // queries over the full storage-scheme x engine grid.
 
+#include "bench_common.h"
 #include "grid_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  swan::bench::InitThreads(argc, argv);
   swan::bench::RunGrid(/*hot=*/true, "Table 7: hot runs");
   return 0;
 }

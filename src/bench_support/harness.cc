@@ -1,11 +1,13 @@
 #include "bench_support/harness.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
 #include "common/macros.h"
 #include "common/timer.h"
+#include "exec/thread_pool.h"
 
 namespace swan::bench_support {
 
@@ -17,11 +19,30 @@ Measurement RunOnce(core::Backend* backend, core::QueryId id,
   storage::SimulatedDisk* disk = backend->disk();
   const double io_before = disk->clock().now();
   const uint64_t bytes_before = disk->total_bytes_read();
+  const std::vector<double> lanes_before = exec::LaneCpuSnapshot();
+  WallTimer wall;
   CpuTimer timer;
   const core::QueryResult result = backend->Run(id, ctx);
   Measurement m;
   m.user_seconds = timer.ElapsedSeconds();
-  m.real_seconds = m.user_seconds + (disk->clock().now() - io_before);
+  m.wall_seconds = wall.ElapsedSeconds();
+
+  // Modeled parallel CPU: the portion of the process CPU charged to
+  // ParallelFor lanes progresses as its slowest lane; the serial rest
+  // runs start to finish. With no parallel work both terms are zero.
+  double lane_sum = 0.0;
+  double lane_max = 0.0;
+  const std::vector<double> lanes_after = exec::LaneCpuSnapshot();
+  for (size_t i = 0; i < lanes_after.size(); ++i) {
+    const double before = i < lanes_before.size() ? lanes_before[i] : 0.0;
+    const double delta = lanes_after[i] - before;
+    lane_sum += delta;
+    lane_max = std::max(lane_max, delta);
+  }
+  const double modeled_cpu =
+      std::max(m.user_seconds - lane_sum + lane_max, lane_max);
+
+  m.real_seconds = modeled_cpu + (disk->clock().now() - io_before);
   m.bytes_read = disk->total_bytes_read() - bytes_before;
   m.rows_returned = result.row_count();
   return m;
@@ -33,11 +54,13 @@ Measurement Average(const std::vector<Measurement>& runs) {
   for (const Measurement& m : runs) {
     avg.real_seconds += m.real_seconds;
     avg.user_seconds += m.user_seconds;
+    avg.wall_seconds += m.wall_seconds;
     avg.bytes_read += m.bytes_read;
     avg.rows_returned = m.rows_returned;
   }
   avg.real_seconds /= static_cast<double>(runs.size());
   avg.user_seconds /= static_cast<double>(runs.size());
+  avg.wall_seconds /= static_cast<double>(runs.size());
   avg.bytes_read /= runs.size();
   double variance = 0.0;
   for (const Measurement& m : runs) {

@@ -11,9 +11,18 @@
 namespace swan::bench_support {
 
 // One measured query execution, averaged over repetitions.
+//
+// With exec::SetThreads(n > 1), real_seconds stays a *modeled* wall
+// cost that is deterministic on any host: CPU spent inside ParallelFor
+// chunks progresses as its slowest lane (max over the per-lane CPU
+// deltas) while serial CPU runs start to finish, and the simulated disk
+// likewise advances its clock by serial I/O plus the slowest I/O lane.
+// At one thread no lanes exist and the numbers reduce exactly to the
+// pre-parallel model (CPU time + virtual disk time).
 struct Measurement {
-  double real_seconds = 0.0;  // CPU time + simulated-disk virtual time
-  double user_seconds = 0.0;  // CPU time only
+  double real_seconds = 0.0;  // modeled critical-path CPU + virtual disk time
+  double user_seconds = 0.0;  // CPU time summed over all threads
+  double wall_seconds = 0.0;  // host wall clock (diagnostic; host-dependent)
   // Standard deviation of real_seconds across the repetitions — the
   // paper's §3 remark ("we do not report the standard deviation ... the
   // differences were less than 30 milliseconds"), checkable here.

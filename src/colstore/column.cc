@@ -24,15 +24,18 @@ void Column::Build(std::span<const uint64_t> values) {
 
 const std::vector<uint64_t>& Column::Get() const {
   SWAN_CHECK_MSG(built_, "Column::Get before Build");
-  if (!loaded_) {
-    if (codec_ == ColumnCodec::kRaw) {
-      storage::ReadU64File(pool_, file_, size_, &cache_);
-    } else {
-      std::vector<uint8_t> encoded;
-      storage::ReadByteFile(pool_, file_, stored_bytes_, &encoded);
-      cache_ = DecompressU64(encoded, size_);
+  if (!loaded_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(load_mutex_);
+    if (!loaded_.load(std::memory_order_relaxed)) {
+      if (codec_ == ColumnCodec::kRaw) {
+        storage::ReadU64File(pool_, file_, size_, &cache_);
+      } else {
+        std::vector<uint8_t> encoded;
+        storage::ReadByteFile(pool_, file_, stored_bytes_, &encoded);
+        cache_ = DecompressU64(encoded, size_);
+      }
+      loaded_.store(true, std::memory_order_release);
     }
-    loaded_ = true;
   }
   return cache_;
 }
@@ -40,7 +43,7 @@ const std::vector<uint64_t>& Column::Get() const {
 void Column::DropCache() const {
   cache_.clear();
   cache_.shrink_to_fit();
-  loaded_ = false;
+  loaded_.store(false, std::memory_order_release);
 }
 
 bool Column::AuditRead(const std::string& label, std::vector<uint64_t>* out,

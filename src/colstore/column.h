@@ -1,7 +1,9 @@
 #ifndef SWANDB_COLSTORE_COLUMN_H_
 #define SWANDB_COLSTORE_COLUMN_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -46,18 +48,20 @@ class Column {
 
   Column(const Column&) = delete;
   Column& operator=(const Column&) = delete;
-  Column(Column&&) = default;
 
   // Writes `values` to disk. May only be called once, before any Get().
   void Build(std::span<const uint64_t> values);
 
   // Materialized view of the column; loads from disk if not cached.
+  // Thread-safe: concurrent first accesses serialize on a load mutex so
+  // the column is streamed from disk exactly once.
   const std::vector<uint64_t>& Get() const;
 
-  // Drops the in-memory image (cold-run protocol).
+  // Drops the in-memory image (cold-run protocol). Not safe against
+  // concurrent Get() — the harness only drops caches between runs.
   void DropCache() const;
 
-  bool loaded() const { return loaded_; }
+  bool loaded() const { return loaded_.load(std::memory_order_acquire); }
   uint64_t size() const { return size_; }
   uint64_t disk_bytes() const {
     return static_cast<uint64_t>(file_.page_count()) * storage::kPageSize;
@@ -96,9 +100,13 @@ class Column {
   uint64_t stored_bytes_ = 0;  // compressed size (codec != kRaw)
   bool built_ = false;
 
-  // Cache state is logically not part of the column's value.
+  // Cache state is logically not part of the column's value. loaded_ is
+  // the double-checked-locking publication flag for cache_: set with
+  // release order after the load completes under load_mutex_, read with
+  // acquire order on the fast path.
+  mutable std::mutex load_mutex_;
   mutable std::vector<uint64_t> cache_;
-  mutable bool loaded_ = false;
+  mutable std::atomic<bool> loaded_{false};
 };
 
 }  // namespace swan::colstore

@@ -3,34 +3,120 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "exec/thread_pool.h"
 
 namespace swan::colstore {
 
-PositionVector SelectEq(std::span<const uint64_t> col, uint64_t value) {
+namespace {
+
+// Morsel size for scan kernels: 64Ki values (512 KB of ids) is large
+// enough to amortize scheduling and small enough to load-balance skew.
+constexpr uint64_t kMorsel = 1ull << 16;
+
+PositionVector ConcatParts(std::vector<PositionVector>& parts) {
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
   PositionVector out;
-  const uint32_t n = static_cast<uint32_t>(col.size());
-  for (uint32_t i = 0; i < n; ++i) {
-    if (col[i] == value) out.push_back(i);
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+// Runs fill(begin, end, &part) over morsels of [0, n) and concatenates the
+// per-chunk outputs in chunk order — the same sequence the serial scan
+// would produce. Positions emitted by chunk c all precede chunk c+1's.
+template <typename Fill>
+PositionVector MorselSelect(uint64_t n, const Fill& fill) {
+  if (exec::Threads() <= 1 || n < 2 * kMorsel) {
+    PositionVector out;
+    out.reserve(n / 8 + 8);
+    fill(0, n, &out);
+    return out;
+  }
+  const uint64_t chunks = (n + kMorsel - 1) / kMorsel;
+  std::vector<PositionVector> parts(chunks);
+  exec::ParallelFor(n, kMorsel, [&](uint64_t b, uint64_t e, uint64_t c) {
+    parts[c].reserve((e - b) / 8 + 8);
+    fill(b, e, &parts[c]);
+  });
+  return ConcatParts(parts);
+}
+
+// Shared tail of the dense count kernels: per-shard dense partials built
+// in parallel, summed (a commutative merge — order-independent), then
+// swept for the nonzero entries.
+template <typename Accumulate>
+std::vector<std::pair<uint64_t, uint64_t>> DenseCount(
+    uint64_t n, uint64_t universe_size, const Accumulate& accumulate) {
+  std::vector<uint64_t> counts;
+  const uint64_t shards = exec::ShardsFor(n, kMorsel);
+  if (shards <= 1) {
+    counts.assign(universe_size, 0);
+    accumulate(0, n, &counts);
+  } else {
+    const uint64_t grain = (n + shards - 1) / shards;
+    std::vector<std::vector<uint64_t>> partials(shards);
+    exec::ParallelFor(n, grain, [&](uint64_t b, uint64_t e, uint64_t c) {
+      partials[c].assign(universe_size, 0);
+      accumulate(b, e, &partials[c]);
+    });
+    counts = std::move(partials[0]);
+    exec::ParallelFor(
+        universe_size, kMorsel, [&](uint64_t b, uint64_t e, uint64_t) {
+          for (uint64_t s = 1; s < shards; ++s) {
+            const auto& p = partials[s];
+            for (uint64_t k = b; k < e; ++k) counts[k] += p[k];
+          }
+        });
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  for (uint64_t k = 0; k < universe_size; ++k) {
+    if (counts[k] != 0) out.emplace_back(k, counts[k]);
   }
   return out;
+}
+
+// Sorted-unique union of two sorted-unique lists.
+std::vector<uint64_t> SetUnion2(const std::vector<uint64_t>& a,
+                                const std::vector<uint64_t>& b) {
+  std::vector<uint64_t> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+PositionVector SelectEq(std::span<const uint64_t> col, uint64_t value) {
+  return MorselSelect(col.size(),
+                      [&](uint64_t b, uint64_t e, PositionVector* out) {
+                        for (uint64_t i = b; i < e; ++i) {
+                          if (col[i] == value) {
+                            out->push_back(static_cast<uint32_t>(i));
+                          }
+                        }
+                      });
 }
 
 PositionVector SelectEq(std::span<const uint64_t> col,
                         const PositionVector& sel, uint64_t value) {
-  PositionVector out;
-  for (uint32_t i : sel) {
-    if (col[i] == value) out.push_back(i);
-  }
-  return out;
+  return MorselSelect(sel.size(),
+                      [&](uint64_t b, uint64_t e, PositionVector* out) {
+                        for (uint64_t j = b; j < e; ++j) {
+                          if (col[sel[j]] == value) out->push_back(sel[j]);
+                        }
+                      });
 }
 
 PositionVector SelectNe(std::span<const uint64_t> col,
                         const PositionVector& sel, uint64_t value) {
-  PositionVector out;
-  for (uint32_t i : sel) {
-    if (col[i] != value) out.push_back(i);
-  }
-  return out;
+  return MorselSelect(sel.size(),
+                      [&](uint64_t b, uint64_t e, PositionVector* out) {
+                        for (uint64_t j = b; j < e; ++j) {
+                          if (col[sel[j]] != value) out->push_back(sel[j]);
+                        }
+                      });
 }
 
 std::pair<uint32_t, uint32_t> EqRangeSorted(std::span<const uint64_t> col,
@@ -52,79 +138,115 @@ std::pair<uint32_t, uint32_t> EqRangeSorted2(
 
 std::vector<uint64_t> Gather(std::span<const uint64_t> col,
                              const PositionVector& sel) {
-  std::vector<uint64_t> out;
-  out.reserve(sel.size());
-  for (uint32_t i : sel) out.push_back(col[i]);
+  std::vector<uint64_t> out(sel.size());
+  exec::ParallelFor(sel.size(), kMorsel,
+                    [&](uint64_t b, uint64_t e, uint64_t) {
+                      for (uint64_t i = b; i < e; ++i) out[i] = col[sel[i]];
+                    });
   return out;
 }
 
 PositionVector SelectMarked(std::span<const uint64_t> col,
                             const MarkSet& set) {
-  PositionVector out;
-  const uint32_t n = static_cast<uint32_t>(col.size());
-  for (uint32_t i = 0; i < n; ++i) {
-    if (set.Test(col[i])) out.push_back(i);
-  }
-  return out;
+  return MorselSelect(col.size(),
+                      [&](uint64_t b, uint64_t e, PositionVector* out) {
+                        for (uint64_t i = b; i < e; ++i) {
+                          if (set.Test(col[i])) {
+                            out->push_back(static_cast<uint32_t>(i));
+                          }
+                        }
+                      });
 }
 
 PositionVector SelectMarked(std::span<const uint64_t> col,
                             const PositionVector& sel, const MarkSet& set) {
-  PositionVector out;
-  for (uint32_t i : sel) {
-    if (set.Test(col[i])) out.push_back(i);
-  }
-  return out;
+  return MorselSelect(sel.size(),
+                      [&](uint64_t b, uint64_t e, PositionVector* out) {
+                        for (uint64_t j = b; j < e; ++j) {
+                          if (set.Test(col[sel[j]])) out->push_back(sel[j]);
+                        }
+                      });
 }
 
 std::vector<std::pair<uint64_t, uint64_t>> CountByKeyDense(
     std::span<const uint64_t> keys, uint64_t universe_size) {
-  std::vector<uint64_t> counts(universe_size, 0);
-  for (uint64_t k : keys) {
-    SWAN_DCHECK_LT(k, universe_size);
-    ++counts[k];
-  }
-  std::vector<std::pair<uint64_t, uint64_t>> out;
-  for (uint64_t k = 0; k < universe_size; ++k) {
-    if (counts[k] != 0) out.emplace_back(k, counts[k]);
-  }
-  return out;
+  return DenseCount(keys.size(), universe_size,
+                    [&](uint64_t b, uint64_t e, std::vector<uint64_t>* counts) {
+                      for (uint64_t i = b; i < e; ++i) {
+                        SWAN_DCHECK_LT(keys[i], universe_size);
+                        ++(*counts)[keys[i]];
+                      }
+                    });
 }
 
 std::vector<std::pair<uint64_t, uint64_t>> CountByKeyDense(
     std::span<const uint64_t> col, const PositionVector& sel,
     uint64_t universe_size) {
-  std::vector<uint64_t> counts(universe_size, 0);
-  for (uint32_t i : sel) {
-    SWAN_DCHECK_LT(col[i], universe_size);
-    ++counts[col[i]];
-  }
-  std::vector<std::pair<uint64_t, uint64_t>> out;
-  for (uint64_t k = 0; k < universe_size; ++k) {
-    if (counts[k] != 0) out.emplace_back(k, counts[k]);
-  }
-  return out;
+  return DenseCount(sel.size(), universe_size,
+                    [&](uint64_t b, uint64_t e, std::vector<uint64_t>* counts) {
+                      for (uint64_t j = b; j < e; ++j) {
+                        SWAN_DCHECK_LT(col[sel[j]], universe_size);
+                        ++(*counts)[col[sel[j]]];
+                      }
+                    });
 }
 
 std::vector<PairCount> CountByPair(std::span<const uint64_t> a,
                                    std::span<const uint64_t> b) {
   SWAN_CHECK_EQ(a.size(), b.size());
-  std::vector<uint64_t> packed;
-  packed.reserve(a.size());
-  for (size_t i = 0; i < a.size(); ++i) {
-    SWAN_CHECK_MSG(a[i] < (1ull << 32) && b[i] < (1ull << 32),
-                   "CountByPair requires 32-bit dictionary ids");
-    packed.push_back((a[i] << 32) | b[i]);
+  const uint64_t n = a.size();
+  std::vector<uint64_t> packed(n);
+  exec::ParallelFor(n, kMorsel, [&](uint64_t lo, uint64_t hi, uint64_t) {
+    for (uint64_t i = lo; i < hi; ++i) {
+      SWAN_CHECK_MSG(a[i] < (1ull << 32) && b[i] < (1ull << 32),
+                     "CountByPair requires 32-bit dictionary ids");
+      packed[i] = (a[i] << 32) | b[i];
+    }
+  });
+
+  // Sort contiguous shards in parallel, then count while merging the
+  // sorted runs — the (value, count) stream is the same no matter how the
+  // input was sharded.
+  const uint64_t shards = exec::ShardsFor(n, kMorsel);
+  struct Run {
+    uint64_t pos;
+    uint64_t end;
+  };
+  std::vector<Run> runs;
+  if (shards <= 1) {
+    std::sort(packed.begin(), packed.end());
+    runs.push_back(Run{0, n});
+  } else {
+    const uint64_t grain = (n + shards - 1) / shards;
+    exec::ParallelFor(n, grain, [&](uint64_t lo, uint64_t hi, uint64_t) {
+      std::sort(packed.begin() + static_cast<ptrdiff_t>(lo),
+                packed.begin() + static_cast<ptrdiff_t>(hi));
+    });
+    for (uint64_t lo = 0; lo < n; lo += grain) {
+      runs.push_back(Run{lo, std::min(lo + grain, n)});
+    }
   }
-  std::sort(packed.begin(), packed.end());
+
   std::vector<PairCount> out;
-  size_t i = 0;
-  while (i < packed.size()) {
-    size_t j = i + 1;
-    while (j < packed.size() && packed[j] == packed[i]) ++j;
-    out.push_back(PairCount{packed[i] >> 32, packed[i] & 0xFFFFFFFFull,
-                            static_cast<uint64_t>(j - i)});
-    i = j;
+  for (;;) {
+    uint64_t best = 0;
+    bool any = false;
+    for (const Run& r : runs) {
+      if (r.pos < r.end && (!any || packed[r.pos] < best)) {
+        best = packed[r.pos];
+        any = true;
+      }
+    }
+    if (!any) break;
+    uint64_t count = 0;
+    for (Run& r : runs) {
+      while (r.pos < r.end && packed[r.pos] == best) {
+        ++r.pos;
+        ++count;
+      }
+    }
+    out.push_back(
+        PairCount{best >> 32, best & 0xFFFFFFFFull, count});
   }
   return out;
 }
@@ -203,12 +325,34 @@ std::vector<uint64_t> SortedIntersect(std::span<const uint64_t> a,
 
 std::vector<uint64_t> UnionDistinct(
     const std::vector<std::vector<uint64_t>>& lists) {
-  size_t total = 0;
-  for (const auto& l : lists) total += l.size();
-  std::vector<uint64_t> out;
-  out.reserve(total);
-  for (const auto& l : lists) out.insert(out.end(), l.begin(), l.end());
-  return SortDistinct(std::move(out));
+  if (exec::Threads() <= 1 || lists.size() <= 1) {
+    size_t total = 0;
+    for (const auto& l : lists) total += l.size();
+    std::vector<uint64_t> out;
+    out.reserve(total);
+    for (const auto& l : lists) out.insert(out.end(), l.begin(), l.end());
+    return SortDistinct(std::move(out));
+  }
+
+  // Sort-distinct every list in parallel, then a parallel pairwise merge
+  // tree. A sorted set is one value regardless of merge shape, so the
+  // result matches the serial path exactly.
+  std::vector<std::vector<uint64_t>> sorted(lists.size());
+  exec::ParallelFor(lists.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
+    for (uint64_t l = b; l < e; ++l) sorted[l] = SortDistinct(lists[l]);
+  });
+  while (sorted.size() > 1) {
+    const uint64_t pairs = sorted.size() / 2;
+    std::vector<std::vector<uint64_t>> next((sorted.size() + 1) / 2);
+    exec::ParallelFor(pairs, 1, [&](uint64_t b, uint64_t e, uint64_t) {
+      for (uint64_t p = b; p < e; ++p) {
+        next[p] = SetUnion2(sorted[2 * p], sorted[2 * p + 1]);
+      }
+    });
+    if (sorted.size() % 2 != 0) next.back() = std::move(sorted.back());
+    sorted.swap(next);
+  }
+  return std::move(sorted.front());
 }
 
 std::vector<uint64_t> SortDistinct(std::vector<uint64_t> values) {

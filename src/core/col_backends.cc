@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <numeric>
+#include <span>
 
 #include "common/macros.h"
+#include "exec/thread_pool.h"
 
 namespace swan::core {
 
@@ -27,6 +29,69 @@ using colstore::UnionDistinct;
 // "interesting properties" restriction while scanning.
 bool UseFilter(QueryId id, const QueryContext& ctx) {
   return UsesPropertyFilter(id) && !IsStar(id) && !ctx.FilterCoversAll();
+}
+
+// Morsel size for the triple store's fused column scans (matches the ops
+// kernels' chunking).
+constexpr uint64_t kScanMorsel = 1ull << 16;
+
+// Fused scan-and-count: counts occurrences of prop[i] over rows whose
+// subject is in `subjects`. Sharded into per-chunk dense partials that are
+// summed afterwards, so the totals are identical at any thread count.
+std::vector<uint64_t> CountPropsOfMarkedSubjects(
+    std::span<const uint64_t> subj, std::span<const uint64_t> prop,
+    uint64_t dict_size, const MarkSet& subjects) {
+  const uint64_t n = subj.size();
+  const uint64_t shards = exec::ShardsFor(n, kScanMorsel);
+  std::vector<uint64_t> counts;
+  if (shards <= 1) {
+    counts.assign(dict_size, 0);
+    for (uint64_t i = 0; i < n; ++i) {
+      if (subjects.Test(subj[i])) ++counts[prop[i]];
+    }
+    return counts;
+  }
+  const uint64_t grain = (n + shards - 1) / shards;
+  std::vector<std::vector<uint64_t>> partials(shards);
+  exec::ParallelFor(n, grain, [&](uint64_t b, uint64_t e, uint64_t c) {
+    partials[c].assign(dict_size, 0);
+    auto& local = partials[c];
+    for (uint64_t i = b; i < e; ++i) {
+      if (subjects.Test(subj[i])) ++local[prop[i]];
+    }
+  });
+  counts = std::move(partials[0]);
+  for (uint64_t s = 1; s < shards; ++s) {
+    const auto& p = partials[s];
+    for (uint64_t k = 0; k < dict_size; ++k) counts[k] += p[k];
+  }
+  return counts;
+}
+
+// Chunked positional scan: collects positions i where pred(i), morsel by
+// morsel, concatenated in chunk order — the serial scan's output.
+template <typename Pred>
+PositionVector ScanPositions(uint64_t n, const Pred& pred) {
+  if (exec::Threads() <= 1 || n < 2 * kScanMorsel) {
+    PositionVector out;
+    for (uint64_t i = 0; i < n; ++i) {
+      if (pred(i)) out.push_back(static_cast<uint32_t>(i));
+    }
+    return out;
+  }
+  const uint64_t chunks = (n + kScanMorsel - 1) / kScanMorsel;
+  std::vector<PositionVector> parts(chunks);
+  exec::ParallelFor(n, kScanMorsel, [&](uint64_t b, uint64_t e, uint64_t c) {
+    for (uint64_t i = b; i < e; ++i) {
+      if (pred(i)) parts[c].push_back(static_cast<uint32_t>(i));
+    }
+  });
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  PositionVector out;
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
 }
 
 }  // namespace
@@ -108,20 +173,18 @@ QueryResult ColTripleBackend::RunQ2Family(QueryId id,
   MarkSet interesting(filter ? ctx.dict_size() : 1);
   if (filter) interesting.MarkAll(ctx.interesting_properties());
 
-  const auto& subj = table_->subjects();
-  const auto& prop = table_->properties();
-  std::vector<uint64_t> counts(ctx.dict_size(), 0);
-  const size_t n = subj.size();
-  for (size_t i = 0; i < n; ++i) {
-    if (!a_subjects.Test(subj[i])) continue;
-    if (filter && !interesting.Test(prop[i])) continue;
-    ++counts[prop[i]];
-  }
+  // Count every property of the marked subjects (morsel-parallel), then
+  // apply the property filter when emitting — non-interesting properties
+  // simply never produce a row, so the rows match the fused filter scan.
+  const std::vector<uint64_t> counts = CountPropsOfMarkedSubjects(
+      table_->subjects(), table_->properties(), ctx.dict_size(), a_subjects);
 
   QueryResult result;
   result.column_names = {"prop", "count"};
   for (uint64_t p = 0; p < counts.size(); ++p) {
-    if (counts[p] != 0) result.rows.push_back({p, counts[p]});
+    if (counts[p] == 0) continue;
+    if (filter && !interesting.Test(p)) continue;
+    result.rows.push_back({p, counts[p]});
   }
   return result;
 }
@@ -146,14 +209,12 @@ QueryResult ColTripleBackend::RunQ3Family(QueryId id,
 
   const auto& subj = table_->subjects();
   const auto& prop = table_->properties();
-  PositionVector sel;
-  const size_t n = subj.size();
-  for (size_t i = 0; i < n; ++i) {
-    if (!a_subjects.Test(subj[i])) continue;
-    if (with_language && !c_subjects.Test(subj[i])) continue;
-    if (filter && !interesting.Test(prop[i])) continue;
-    sel.push_back(static_cast<uint32_t>(i));
-  }
+  const PositionVector sel = ScanPositions(subj.size(), [&](uint64_t i) {
+    if (!a_subjects.Test(subj[i])) return false;
+    if (with_language && !c_subjects.Test(subj[i])) return false;
+    if (filter && !interesting.Test(prop[i])) return false;
+    return true;
+  });
 
   const std::vector<uint64_t> props = Gather(prop, sel);
   const std::vector<uint64_t> objs = Gather(table_->objects(), sel);
@@ -229,20 +290,15 @@ QueryResult ColTripleBackend::RunQ6Family(QueryId id,
   MarkSet interesting(filter ? ctx.dict_size() : 1);
   if (filter) interesting.MarkAll(ctx.interesting_properties());
 
-  const auto& subj = table_->subjects();
-  const auto& prop = table_->properties();
-  std::vector<uint64_t> counts(ctx.dict_size(), 0);
-  const size_t n = subj.size();
-  for (size_t i = 0; i < n; ++i) {
-    if (!united.Test(subj[i])) continue;
-    if (filter && !interesting.Test(prop[i])) continue;
-    ++counts[prop[i]];
-  }
+  const std::vector<uint64_t> counts = CountPropsOfMarkedSubjects(
+      table_->subjects(), table_->properties(), ctx.dict_size(), united);
 
   QueryResult result;
   result.column_names = {"prop", "count"};
   for (uint64_t p = 0; p < counts.size(); ++p) {
-    if (counts[p] != 0) result.rows.push_back({p, counts[p]});
+    if (counts[p] == 0) continue;
+    if (filter && !interesting.Test(p)) continue;
+    result.rows.push_back({p, counts[p]});
   }
   return result;
 }
@@ -294,14 +350,10 @@ QueryResult ColTripleBackend::RunQ8(const QueryContext& ctx) const {
 
   const auto& subj = table_->subjects();
   const auto& obj = table_->objects();
-  std::vector<uint64_t> out;
-  const size_t n = subj.size();
-  for (size_t i = 0; i < n; ++i) {
-    if (subj[i] != v.conferences && shared.Test(obj[i])) {
-      out.push_back(subj[i]);
-    }
-  }
-  out = SortDistinct(std::move(out));
+  const PositionVector hits = ScanPositions(subj.size(), [&](uint64_t i) {
+    return subj[i] != v.conferences && shared.Test(obj[i]);
+  });
+  std::vector<uint64_t> out = SortDistinct(Gather(subj, hits));
 
   QueryResult result;
   result.column_names = {"subj"};
@@ -541,10 +593,18 @@ QueryResult ColVerticalBackend::RunQ2Family(QueryId id,
   result.column_names = {"prop", "count"};
   // One merge join per property table, then the implicit union of all the
   // per-partition results — the plan shape the Perl-generated SQL produces.
-  for (uint64_t p : PropertyList(id, ctx)) {
-    if (!table_->HasPartition(p)) continue;
-    const uint64_t count = MergeCountMatches(table_->Subjects(p), a);
-    if (count > 0) result.rows.push_back({p, count});
+  // The per-property sub-plans are independent, so they fan out across the
+  // pool (on cold runs each sub-plan also streams its own partition in).
+  const std::vector<uint64_t> props = PropertyList(id, ctx);
+  std::vector<uint64_t> counts(props.size(), 0);
+  exec::ParallelFor(props.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
+    for (uint64_t k = b; k < e; ++k) {
+      if (!table_->HasPartition(props[k])) continue;
+      counts[k] = MergeCountMatches(table_->Subjects(props[k]), a);
+    }
+  });
+  for (size_t k = 0; k < props.size(); ++k) {
+    if (counts[k] > 0) result.rows.push_back({props[k], counts[k]});
   }
   return result;
 }
@@ -559,21 +619,32 @@ QueryResult ColVerticalBackend::RunQ3Family(QueryId id,
 
   QueryResult result;
   result.column_names = {"prop", "obj", "count"};
-  for (uint64_t p : PropertyList(id, ctx)) {
-    if (!table_->HasPartition(p)) continue;
-    const PositionVector sel =
-        MergeSelectPositions(table_->Subjects(p), a);
-    std::vector<uint64_t> objs = Gather(table_->Objects(p), sel);
-    std::sort(objs.begin(), objs.end());
-    size_t i = 0;
-    while (i < objs.size()) {
-      size_t j = i + 1;
-      while (j < objs.size() && objs[j] == objs[i]) ++j;
-      if (j - i > 1) {
-        result.rows.push_back({p, objs[i], static_cast<uint64_t>(j - i)});
+  // Independent per-property sub-plans; each produces its row group, and
+  // the groups are stitched back together in property-list order so the
+  // result matches the serial loop row for row.
+  const std::vector<uint64_t> props = PropertyList(id, ctx);
+  std::vector<std::vector<std::vector<uint64_t>>> groups(props.size());
+  exec::ParallelFor(props.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
+    for (uint64_t k = b; k < e; ++k) {
+      const uint64_t p = props[k];
+      if (!table_->HasPartition(p)) continue;
+      const PositionVector sel =
+          MergeSelectPositions(table_->Subjects(p), a);
+      std::vector<uint64_t> objs = Gather(table_->Objects(p), sel);
+      std::sort(objs.begin(), objs.end());
+      size_t i = 0;
+      while (i < objs.size()) {
+        size_t j = i + 1;
+        while (j < objs.size() && objs[j] == objs[i]) ++j;
+        if (j - i > 1) {
+          groups[k].push_back({p, objs[i], static_cast<uint64_t>(j - i)});
+        }
+        i = j;
       }
-      i = j;
     }
+  });
+  for (auto& g : groups) {
+    for (auto& row : g) result.rows.push_back(std::move(row));
   }
   return result;
 }
@@ -629,10 +700,16 @@ QueryResult ColVerticalBackend::RunQ6Family(QueryId id,
 
   QueryResult result;
   result.column_names = {"prop", "count"};
-  for (uint64_t p : PropertyList(id, ctx)) {
-    if (!table_->HasPartition(p)) continue;
-    const uint64_t count = MergeCountMatches(table_->Subjects(p), united);
-    if (count > 0) result.rows.push_back({p, count});
+  const std::vector<uint64_t> props = PropertyList(id, ctx);
+  std::vector<uint64_t> counts(props.size(), 0);
+  exec::ParallelFor(props.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
+    for (uint64_t k = b; k < e; ++k) {
+      if (!table_->HasPartition(props[k])) continue;
+      counts[k] = MergeCountMatches(table_->Subjects(props[k]), united);
+    }
+  });
+  for (size_t k = 0; k < props.size(); ++k) {
+    if (counts[k] > 0) result.rows.push_back({props[k], counts[k]});
   }
   return result;
 }
@@ -667,30 +744,42 @@ QueryResult ColVerticalBackend::RunQ8(const QueryContext& ctx) const {
   const auto& v = ctx.vocab();
 
   // Phase 1 (temporary table t): visit *every* property table and collect
-  // the objects of subject "conferences".
-  std::vector<std::vector<uint64_t>> object_lists;
-  for (uint64_t p : table_->properties()) {
-    const auto [lo, hi] = table_->SubjectRange(p, v.conferences);
-    if (lo == hi) continue;
-    PositionVector sel(hi - lo);
-    std::iota(sel.begin(), sel.end(), lo);
-    object_lists.push_back(Gather(table_->Objects(p), sel));
-  }
+  // the objects of subject "conferences". One sub-plan per partition;
+  // empty per-property lists contribute nothing to the union.
+  const std::vector<uint64_t> all_props = table_->properties();
+  std::vector<std::vector<uint64_t>> object_lists(all_props.size());
+  exec::ParallelFor(
+      all_props.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
+        for (uint64_t k = b; k < e; ++k) {
+          const uint64_t p = all_props[k];
+          const auto [lo, hi] = table_->SubjectRange(p, v.conferences);
+          if (lo == hi) continue;
+          PositionVector sel(hi - lo);
+          std::iota(sel.begin(), sel.end(), lo);
+          object_lists[k] = Gather(table_->Objects(p), sel);
+        }
+      });
   const std::vector<uint64_t> t = UnionDistinct(object_lists);
   MarkSet shared(ctx.dict_size());
   shared.MarkAll(t);
 
-  // Phase 2: join t back against every property table.
+  // Phase 2: join t back against every property table. `shared` is only
+  // read from here on, so the probe fans out per partition as well.
+  std::vector<std::vector<uint64_t>> hits(all_props.size());
+  exec::ParallelFor(
+      all_props.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
+        for (uint64_t k = b; k < e; ++k) {
+          const auto& subj = table_->Subjects(all_props[k]);
+          const auto& obj = table_->Objects(all_props[k]);
+          for (size_t i = 0; i < obj.size(); ++i) {
+            if (subj[i] != v.conferences && shared.Test(obj[i])) {
+              hits[k].push_back(subj[i]);
+            }
+          }
+        }
+      });
   std::vector<uint64_t> out;
-  for (uint64_t p : table_->properties()) {
-    const auto& subj = table_->Subjects(p);
-    const auto& obj = table_->Objects(p);
-    for (size_t i = 0; i < obj.size(); ++i) {
-      if (subj[i] != v.conferences && shared.Test(obj[i])) {
-        out.push_back(subj[i]);
-      }
-    }
-  }
+  for (const auto& h : hits) out.insert(out.end(), h.begin(), h.end());
   out = SortDistinct(std::move(out));
 
   QueryResult result;

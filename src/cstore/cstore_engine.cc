@@ -5,6 +5,7 @@
 
 #include "colstore/ops.h"
 #include "common/macros.h"
+#include "exec/thread_pool.h"
 
 namespace swan::cstore {
 
@@ -91,52 +92,64 @@ CStoreEngine::Rows CStoreEngine::Q1(const CStoreConstants& c) const {
   return rows;
 }
 
-CStoreEngine::Rows CStoreEngine::Q2(const CStoreConstants& c) const {
-  const std::vector<uint64_t> a = SubjectsWhereObjEq(c.type, c.text);
+CStoreEngine::Rows CStoreEngine::CountMatchesPerProperty(
+    const std::vector<uint64_t>& keys) const {
+  // One independent merge-count sub-plan per partition, fanned out across
+  // the pool and emitted in property order.
+  std::vector<uint64_t> counts(properties_.size(), 0);
+  exec::ParallelFor(
+      properties_.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
+        for (uint64_t k = b; k < e; ++k) {
+          counts[k] = MergeCountMatches(Subjects(properties_[k]), keys);
+        }
+      });
   Rows rows;
-  for (uint64_t p : properties_) {
-    const uint64_t count = MergeCountMatches(Subjects(p), a);
-    if (count > 0) rows.push_back({p, count});
+  for (size_t k = 0; k < properties_.size(); ++k) {
+    if (counts[k] > 0) rows.push_back({properties_[k], counts[k]});
   }
   return rows;
+}
+
+CStoreEngine::Rows CStoreEngine::GroupObjectsPerProperty(
+    const std::vector<uint64_t>& keys) const {
+  std::vector<Rows> groups(properties_.size());
+  exec::ParallelFor(
+      properties_.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
+        for (uint64_t k = b; k < e; ++k) {
+          const uint64_t p = properties_[k];
+          const PositionVector sel = MergeSelectPositions(Subjects(p), keys);
+          std::vector<uint64_t> objs = Gather(Objects(p), sel);
+          std::sort(objs.begin(), objs.end());
+          size_t i = 0;
+          while (i < objs.size()) {
+            size_t j = i + 1;
+            while (j < objs.size() && objs[j] == objs[i]) ++j;
+            if (j - i > 1) {
+              groups[k].push_back({p, objs[i], static_cast<uint64_t>(j - i)});
+            }
+            i = j;
+          }
+        }
+      });
+  Rows rows;
+  for (auto& g : groups) {
+    for (auto& row : g) rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+CStoreEngine::Rows CStoreEngine::Q2(const CStoreConstants& c) const {
+  return CountMatchesPerProperty(SubjectsWhereObjEq(c.type, c.text));
 }
 
 CStoreEngine::Rows CStoreEngine::Q3(const CStoreConstants& c) const {
-  const std::vector<uint64_t> a = SubjectsWhereObjEq(c.type, c.text);
-  Rows rows;
-  for (uint64_t p : properties_) {
-    const PositionVector sel = MergeSelectPositions(Subjects(p), a);
-    std::vector<uint64_t> objs = Gather(Objects(p), sel);
-    std::sort(objs.begin(), objs.end());
-    size_t i = 0;
-    while (i < objs.size()) {
-      size_t j = i + 1;
-      while (j < objs.size() && objs[j] == objs[i]) ++j;
-      if (j - i > 1) rows.push_back({p, objs[i], static_cast<uint64_t>(j - i)});
-      i = j;
-    }
-  }
-  return rows;
+  return GroupObjectsPerProperty(SubjectsWhereObjEq(c.type, c.text));
 }
 
 CStoreEngine::Rows CStoreEngine::Q4(const CStoreConstants& c) const {
-  const std::vector<uint64_t> a = SortedIntersect(
+  return GroupObjectsPerProperty(SortedIntersect(
       SubjectsWhereObjEq(c.type, c.text),
-      SubjectsWhereObjEq(c.language, c.french));
-  Rows rows;
-  for (uint64_t p : properties_) {
-    const PositionVector sel = MergeSelectPositions(Subjects(p), a);
-    std::vector<uint64_t> objs = Gather(Objects(p), sel);
-    std::sort(objs.begin(), objs.end());
-    size_t i = 0;
-    while (i < objs.size()) {
-      size_t j = i + 1;
-      while (j < objs.size() && objs[j] == objs[i]) ++j;
-      if (j - i > 1) rows.push_back({p, objs[i], static_cast<uint64_t>(j - i)});
-      i = j;
-    }
-  }
-  return rows;
+      SubjectsWhereObjEq(c.language, c.french)));
 }
 
 CStoreEngine::Rows CStoreEngine::Q5(const CStoreConstants& c) const {
@@ -180,13 +193,7 @@ CStoreEngine::Rows CStoreEngine::Q6(const CStoreConstants& c) const {
     }
   }
   const std::vector<uint64_t> united = UnionDistinct({a1, via_records});
-
-  Rows rows;
-  for (uint64_t p : properties_) {
-    const uint64_t count = MergeCountMatches(Subjects(p), united);
-    if (count > 0) rows.push_back({p, count});
-  }
-  return rows;
+  return CountMatchesPerProperty(united);
 }
 
 CStoreEngine::Rows CStoreEngine::Q7(const CStoreConstants& c) const {

@@ -92,6 +92,13 @@ class CStoreEngine {
   std::vector<uint64_t> SubjectsWhereObjEq(uint64_t property,
                                            uint64_t object) const;
 
+  // Per-property fan-out shared by q2/q6 (merge-count against `keys`) and
+  // q3/q4 (gather + group objects of rows whose subject is in `keys`).
+  // Sub-plans run in parallel across the pool; rows come back in
+  // property order either way.
+  Rows CountMatchesPerProperty(const std::vector<uint64_t>& keys) const;
+  Rows GroupObjectsPerProperty(const std::vector<uint64_t>& keys) const;
+
   storage::BufferPool* pool_;
   storage::SimulatedDisk* disk_;
   std::vector<uint64_t> properties_;

@@ -1,0 +1,261 @@
+#include "exec/thread_pool.h"
+
+#include <time.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/macros.h"
+
+namespace swan::exec {
+
+namespace {
+
+thread_local TaskContext* g_current_task = nullptr;
+
+double ThreadCpuSeconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+// Lane CPU ledger. Lanes only accumulate; readers snapshot before/after a
+// measured region and diff.
+std::mutex g_lane_mutex;
+std::vector<double> g_lane_cpu;  // NOLINT(runtime/global)
+
+void AddLaneCpu(int lane, double seconds) {
+  std::lock_guard<std::mutex> lock(g_lane_mutex);
+  if (g_lane_cpu.size() <= static_cast<size_t>(lane)) {
+    g_lane_cpu.resize(static_cast<size_t>(lane) + 1, 0.0);
+  }
+  g_lane_cpu[static_cast<size_t>(lane)] += seconds;
+}
+
+// One ParallelFor invocation: chunks self-schedule off an atomic cursor
+// (morsel-at-a-time), which is the work distribution; the pool's deques
+// and stealing below keep the *runner* tasks spread across workers.
+struct Batch {
+  uint64_t n = 0;
+  uint64_t grain = 1;
+  uint64_t chunks = 0;
+  int threads = 1;
+  const std::function<void(uint64_t, uint64_t, uint64_t)>* body = nullptr;
+
+  std::atomic<uint64_t> next{0};
+  std::atomic<bool> failed{false};
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  uint64_t done = 0;  // guarded by mutex
+  std::exception_ptr exception;  // guarded by mutex
+
+  void RunChunks() {
+    for (;;) {
+      const uint64_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      if (!failed.load(std::memory_order_acquire)) {
+        const uint64_t begin = c * grain;
+        const uint64_t end = begin + grain < n ? begin + grain : n;
+        TaskContext ctx;
+        ctx.lane = static_cast<int>(c % static_cast<uint64_t>(threads));
+        TaskContext* const prev = g_current_task;
+        g_current_task = &ctx;
+        const double cpu_before = ThreadCpuSeconds();
+        try {
+          (*body)(begin, end, c);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mutex);
+          if (exception == nullptr) exception = std::current_exception();
+          failed.store(true, std::memory_order_release);
+        }
+        AddLaneCpu(ctx.lane, ThreadCpuSeconds() - cpu_before);
+        g_current_task = prev;
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      if (++done == chunks) done_cv.notify_all();
+    }
+  }
+};
+
+// Work-stealing pool: each worker owns a deque, pops its own front (LIFO
+// locality) and steals from other workers' backs when empty. Submitted
+// tasks are runner loops over a Batch, so stealing spreads runners and the
+// atomic cursor balances morsels within a batch.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int workers) : queues_(static_cast<size_t>(workers)) {
+    for (auto& q : queues_) q = std::make_unique<WorkerQueue>();
+    threads_.reserve(static_cast<size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      threads_.emplace_back([this, i] { WorkerLoop(i); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(wake_mutex_);
+      stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  int worker_count() const { return static_cast<int>(threads_.size()); }
+
+  void Submit(std::function<void()> task) {
+    const size_t target = submit_cursor_.fetch_add(1, std::memory_order_relaxed) %
+                          queues_.size();
+    {
+      std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+      queues_[target]->tasks.push_back(std::move(task));
+    }
+    pending_.fetch_add(1, std::memory_order_release);
+    wake_cv_.notify_all();
+  }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  bool TryRunOne(size_t self) {
+    std::function<void()> task;
+    // Own queue first (front = most recently submitted share), then steal
+    // from the other queues' backs.
+    for (size_t k = 0; k < queues_.size(); ++k) {
+      const size_t idx = (self + k) % queues_.size();
+      WorkerQueue& q = *queues_[idx];
+      std::lock_guard<std::mutex> lock(q.mutex);
+      if (q.tasks.empty()) continue;
+      if (k == 0) {
+        task = std::move(q.tasks.front());
+        q.tasks.pop_front();
+      } else {
+        task = std::move(q.tasks.back());
+        q.tasks.pop_back();
+      }
+      break;
+    }
+    if (task == nullptr) return false;
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    task();
+    return true;
+  }
+
+  void WorkerLoop(int self) {
+    const size_t idx = static_cast<size_t>(self);
+    for (;;) {
+      if (TryRunOne(idx)) continue;
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      if (stop_) break;
+      if (pending_.load(std::memory_order_acquire) > 0) continue;
+      wake_cv_.wait(lock, [this] {
+        return stop_ || pending_.load(std::memory_order_acquire) > 0;
+      });
+      if (stop_) break;
+    }
+    // Drain anything still queued so no submitted task is dropped.
+    while (TryRunOne(idx)) {
+    }
+  }
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::atomic<size_t> submit_cursor_{0};
+  std::atomic<int> pending_{0};
+  bool stop_ = false;  // guarded by wake_mutex_
+};
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;  // NOLINT(runtime/global)
+std::atomic<int> g_threads{1};
+
+ThreadPool* GlobalPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  return g_pool.get();
+}
+
+}  // namespace
+
+TaskContext* CurrentTask() { return g_current_task; }
+
+void SetThreads(int n) {
+  if (n < 1) n = 1;
+  SWAN_CHECK_MSG(g_current_task == nullptr,
+                 "SetThreads inside a ParallelFor chunk");
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (n == g_threads.load(std::memory_order_relaxed)) return;
+  g_pool.reset();  // joins the old workers
+  if (n > 1) g_pool = std::make_unique<ThreadPool>(n - 1);
+  g_threads.store(n, std::memory_order_relaxed);
+}
+
+int Threads() { return g_threads.load(std::memory_order_relaxed); }
+
+int HardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ParallelFor(uint64_t n, uint64_t grain,
+                 const std::function<void(uint64_t, uint64_t, uint64_t)>& body) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const uint64_t chunks = (n + grain - 1) / grain;
+  const int threads = Threads();
+  if (threads <= 1 || chunks <= 1 || g_current_task != nullptr) {
+    // Inline path: sequential, in the caller's (possibly null) task
+    // context. At --threads=1 this is byte-for-byte the serial engine.
+    for (uint64_t c = 0; c < chunks; ++c) {
+      const uint64_t begin = c * grain;
+      const uint64_t end = begin + grain < n ? begin + grain : n;
+      body(begin, end, c);
+    }
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->grain = grain;
+  batch->chunks = chunks;
+  batch->threads = threads;
+  batch->body = &body;
+
+  ThreadPool* pool = GlobalPool();
+  SWAN_CHECK(pool != nullptr);
+  const uint64_t runners =
+      std::min<uint64_t>(static_cast<uint64_t>(pool->worker_count()),
+                         chunks - 1);
+  for (uint64_t r = 0; r < runners; ++r) {
+    pool->Submit([batch] { batch->RunChunks(); });
+  }
+  batch->RunChunks();  // the caller is executor number `threads`
+
+  std::unique_lock<std::mutex> lock(batch->mutex);
+  batch->done_cv.wait(lock, [&] { return batch->done == batch->chunks; });
+  if (batch->exception != nullptr) std::rethrow_exception(batch->exception);
+}
+
+uint64_t ShardsFor(uint64_t n, uint64_t min_items_per_shard) {
+  const uint64_t threads = static_cast<uint64_t>(Threads());
+  if (threads <= 1 || min_items_per_shard == 0) return 1;
+  const uint64_t by_size = n / min_items_per_shard;
+  return std::max<uint64_t>(1, std::min(threads, by_size));
+}
+
+std::vector<double> LaneCpuSnapshot() {
+  std::lock_guard<std::mutex> lock(g_lane_mutex);
+  return g_lane_cpu;
+}
+
+}  // namespace swan::exec

@@ -52,10 +52,18 @@ PageGuard BufferPool::Fetch(PageId id) {
 }
 
 Status BufferPool::TryFetch(PageId id, PageGuard* out) {
-  auto it = map_.find(id);
-  if (it != map_.end()) {
-    ++hits_;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    auto it = map_.find(id);
+    if (it == map_.end()) break;
     Frame& frame = frames_[it->second];
+    if (!frame.ready) {
+      // Another thread is reading this page from disk. Wait, then re-find:
+      // the loader may have hit a checksum error and withdrawn the entry.
+      io_cv_.wait(lock);
+      continue;
+    }
+    ++hits_;
     if (frame.in_lru) {
       lru_.erase(frame.lru_pos);
       frame.in_lru = false;
@@ -71,16 +79,30 @@ Status BufferPool::TryFetch(PageId id, PageGuard* out) {
   frame.id = id;
   frame.pin_count = 1;
   frame.in_lru = false;
+  frame.ready = false;
+  map_[id] = idx;
+
+  // The pin keeps the frame un-evictable and the map entry makes same-page
+  // fetchers wait instead of duplicating the read, so the lock can drop
+  // for the (virtually slow) transfer.
+  lock.unlock();
   Status st = disk_->ReadPage(id, frame.data.get());
+  lock.lock();
+
   if (!st.ok()) {
-    // Do not cache a corrupted image: release the frame back to the free
-    // list so a later (possibly repaired) read starts fresh.
+    // Do not cache a corrupted image: withdraw the entry and release the
+    // frame back to the free list so a later (possibly repaired) read
+    // starts fresh. Waiters re-find, miss, and retry the read themselves.
+    map_.erase(id);
     frame.pin_count = 0;
+    frame.ready = true;
     free_frames_.push_back(idx);
+    io_cv_.notify_all();
     *out = PageGuard();
     return st;
   }
-  map_[id] = idx;
+  frame.ready = true;
+  io_cv_.notify_all();
   *out = PageGuard(this, idx, frame.data.get());
   return Status::OK();
 }
@@ -88,6 +110,7 @@ Status BufferPool::TryFetch(PageId id, PageGuard* out) {
 void BufferPool::AuditInto(audit::AuditLevel level,
                            audit::AuditReport* report) const {
   (void)level;  // all pool checks are metadata-only, so kQuick == kFull
+  std::lock_guard<std::mutex> lock(mutex_);
   const std::string object = "bufferpool";
 
   if (frames_.size() > capacity_) {
@@ -192,14 +215,18 @@ void BufferPool::AuditInto(audit::AuditLevel level,
 }
 
 void BufferPool::WriteThrough(PageId id, const void* data) {
-  auto it = map_.find(id);
-  if (it != map_.end()) {
-    std::memcpy(frames_[it->second].data.get(), data, kPageSize);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(id);
+    if (it != map_.end()) {
+      std::memcpy(frames_[it->second].data.get(), data, kPageSize);
+    }
   }
   disk_->WritePage(id, data);
 }
 
 void BufferPool::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& [id, idx] : map_) {
     SWAN_CHECK_MSG(frames_[idx].pin_count == 0,
                    "Clear() with pinned pages outstanding");
@@ -214,6 +241,7 @@ void BufferPool::Clear() {
 }
 
 void BufferPool::Unpin(size_t frame_index) {
+  std::lock_guard<std::mutex> lock(mutex_);
   Frame& frame = frames_[frame_index];
   SWAN_CHECK_GT(frame.pin_count, 0u);
   if (--frame.pin_count == 0) {

@@ -1,9 +1,11 @@
 #ifndef SWANDB_STORAGE_BUFFER_POOL_H_
 #define SWANDB_STORAGE_BUFFER_POOL_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -43,6 +45,16 @@ class PageGuard {
 // Page cache with LRU replacement between a storage engine and the
 // simulated disk. Dropping it (Clear) is the reproduction's equivalent of
 // the paper's "zapping the memory completely" between cold runs.
+//
+// Thread safety: Fetch/TryFetch/Unpin/WriteThrough and the statistics
+// accessors may be called concurrently. A miss inserts a not-yet-ready
+// page-table entry, drops the pool lock for the duration of the disk
+// read (frame storage is pre-reserved, so the pointer stays stable), then
+// marks the frame ready and wakes any waiters. Concurrent fetchers of the
+// same page block on the in-progress read instead of issuing a duplicate
+// one, so bytes_read stays identical to the serial schedule. Clear and
+// AuditInto assume a quiescent pool (no fetches in flight), matching how
+// the harness uses them between runs.
 class BufferPool {
  public:
   BufferPool(SimulatedDisk* disk, size_t capacity_pages);
@@ -72,10 +84,22 @@ class BufferPool {
   void Clear();
 
   size_t capacity_pages() const { return capacity_; }
-  size_t resident_pages() const { return map_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  void ResetStats() { hits_ = misses_ = 0; }
+  size_t resident_pages() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+  }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    hits_ = misses_ = 0;
+  }
 
   SimulatedDisk* disk() const { return disk_; }
 
@@ -89,13 +113,24 @@ class BufferPool {
     // Position in lru_ when pin_count == 0.
     std::list<size_t>::iterator lru_pos;
     bool in_lru = false;
+    // False while the disk read that populates this frame is in flight
+    // (the frame is mapped and pinned by the loading thread; other
+    // fetchers of the same page wait on io_cv_).
+    bool ready = true;
   };
 
   void Unpin(size_t frame_index);
-  size_t AllocateFrame();
+  size_t AllocateFrame();  // requires mutex_ held
 
   SimulatedDisk* disk_;
   size_t capacity_;
+
+  // Guards every member below. Released only around the disk read on a
+  // miss; frames_ never reallocates (reserved to capacity_), so the
+  // loading frame's address is stable while unlocked.
+  mutable std::mutex mutex_;
+  std::condition_variable io_cv_;
+
   std::vector<Frame> frames_;
   std::vector<size_t> free_frames_;
   std::unordered_map<PageId, size_t, PageIdHash> map_;

@@ -1,9 +1,11 @@
 #include "storage/simulated_disk.h"
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 
 #include "common/macros.h"
+#include "exec/thread_pool.h"
 
 namespace swan::storage {
 
@@ -22,67 +24,106 @@ uint64_t SimulatedDisk::PageChecksum(const void* data) {
 }
 
 uint32_t SimulatedDisk::CreateFile() {
+  std::lock_guard<std::mutex> lock(mutex_);
   files_.emplace_back();
   return static_cast<uint32_t>(files_.size() - 1);
 }
 
 uint32_t SimulatedDisk::AppendPage(uint32_t file_id, const void* data) {
+  const uint64_t checksum = PageChecksum(data);
+  std::lock_guard<std::mutex> lock(mutex_);
   SWAN_CHECK_LT(file_id, files_.size());
   auto& file = files_[file_id];
   const size_t offset = file.bytes.size();
   file.bytes.resize(offset + kPageSize);
   std::memcpy(file.bytes.data() + offset, data, kPageSize);
-  file.checksums.push_back(PageChecksum(data));
+  file.checksums.push_back(checksum);
   return static_cast<uint32_t>(offset / kPageSize);
 }
 
 void SimulatedDisk::WritePage(PageId id, const void* data) {
+  const uint64_t checksum = PageChecksum(data);
+  std::lock_guard<std::mutex> lock(mutex_);
   SWAN_CHECK_LT(id.file_id, files_.size());
   auto& file = files_[id.file_id];
   const size_t offset = static_cast<size_t>(id.page_no) * kPageSize;
   SWAN_CHECK_LE(offset + kPageSize, file.bytes.size());
   std::memcpy(file.bytes.data() + offset, data, kPageSize);
-  file.checksums[id.page_no] = PageChecksum(data);
+  file.checksums[id.page_no] = checksum;
 }
 
 Status SimulatedDisk::ReadPage(PageId id, void* out) {
-  SWAN_CHECK_LT(id.file_id, files_.size());
-  const auto& file = files_[id.file_id];
-  const size_t offset = static_cast<size_t>(id.page_no) * kPageSize;
-  SWAN_CHECK_MSG(offset + kPageSize <= file.bytes.size(),
-                 "read past end of file");
-  std::memcpy(out, file.bytes.data() + offset, kPageSize);
+  exec::TaskContext* const task = exec::CurrentTask();
+  uint64_t expected_checksum = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SWAN_CHECK_LT(id.file_id, files_.size());
+    const auto& file = files_[id.file_id];
+    const size_t offset = static_cast<size_t>(id.page_no) * kPageSize;
+    SWAN_CHECK_MSG(offset + kPageSize <= file.bytes.size(),
+                   "read past end of file");
+    std::memcpy(out, file.bytes.data() + offset, kPageSize);
+    expected_checksum = file.checksums[id.page_no];
 
-  // Charge the I/O model.
-  bool seek = true;
-  if (has_last_read_ && id.file_id == last_read_.file_id &&
-      id.page_no == last_read_.page_no + 1) {
-    seek = false;
-    ++run_length_pages_;
-    if (config_.forced_seek_interval_pages > 0 &&
-        run_length_pages_ >= config_.forced_seek_interval_pages) {
-      seek = true;
+    // Charge the I/O model. Stream contiguity is judged against the
+    // serial stream (no task) or the task's own stream — never across
+    // tasks, so parallel accrual is interleaving-independent.
+    bool seek = true;
+    if (task == nullptr) {
+      if (has_last_read_ && id.file_id == last_read_.file_id &&
+          id.page_no == last_read_.page_no + 1) {
+        seek = false;
+        ++run_length_pages_;
+        if (config_.forced_seek_interval_pages > 0 &&
+            run_length_pages_ >= config_.forced_seek_interval_pages) {
+          seek = true;
+        }
+      }
+      if (seek) run_length_pages_ = 0;
+      has_last_read_ = true;
+      last_read_ = id;
+    } else {
+      if (task->io_has_last && id.file_id == task->io_last_file &&
+          id.page_no == task->io_last_page + 1) {
+        seek = false;
+        ++task->io_run_length;
+        if (config_.forced_seek_interval_pages > 0 &&
+            task->io_run_length >= config_.forced_seek_interval_pages) {
+          seek = true;
+        }
+      }
+      if (seek) task->io_run_length = 0;
+      task->io_has_last = true;
+      task->io_last_file = id.file_id;
+      task->io_last_page = id.page_no;
+    }
+
+    double seconds =
+        static_cast<double>(kPageSize) / (config_.bandwidth_mb_per_s * 1e6);
+    if (seek) {
+      seconds += config_.seek_latency_ms * 1e-3;
+      ++total_seeks_;
+    }
+    if (task == nullptr) {
+      serial_seconds_ += seconds;
+    } else {
+      const size_t lane = static_cast<size_t>(task->lane);
+      if (lane_seconds_.size() <= lane) lane_seconds_.resize(lane + 1, 0.0);
+      lane_seconds_[lane] += seconds;
+      max_lane_seconds_ = std::max(max_lane_seconds_, lane_seconds_[lane]);
+    }
+    // Wall-cost semantics: serial accrual plus the slowest parallel lane.
+    clock_.Advance(serial_seconds_ + max_lane_seconds_ - clock_.now());
+    total_bytes_read_ += kPageSize;
+    ++total_reads_;
+    if (tracing_) {
+      trace_.push_back({clock_.now(), total_bytes_read_});
     }
   }
-  if (seek) run_length_pages_ = 0;
-  has_last_read_ = true;
-  last_read_ = id;
 
-  double seconds =
-      static_cast<double>(kPageSize) / (config_.bandwidth_mb_per_s * 1e6);
-  if (seek) {
-    seconds += config_.seek_latency_ms * 1e-3;
-    ++total_seeks_;
-  }
-  clock_.Advance(seconds);
-  total_bytes_read_ += kPageSize;
-  ++total_reads_;
-  if (tracing_) {
-    trace_.push_back({clock_.now(), total_bytes_read_});
-  }
-
-  // Verify after charging: the transfer happened, the payload is bad.
-  if (PageChecksum(out) != file.checksums[id.page_no]) {
+  // Verify outside the lock (the transfer happened, the payload is bad);
+  // concurrent readers overlap their checksum CPU.
+  if (PageChecksum(out) != expected_checksum) {
     return Status::Corruption("checksum mismatch on page " +
                               std::to_string(id.page_no) + " of file " +
                               std::to_string(id.file_id));
@@ -91,6 +132,7 @@ Status SimulatedDisk::ReadPage(PageId id, void* out) {
 }
 
 Status SimulatedDisk::VerifyPage(PageId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   SWAN_CHECK_LT(id.file_id, files_.size());
   const auto& file = files_[id.file_id];
   const size_t offset = static_cast<size_t>(id.page_no) * kPageSize;
@@ -114,6 +156,7 @@ Status SimulatedDisk::VerifyFile(uint32_t file_id) const {
 
 void SimulatedDisk::CorruptPageForTesting(PageId id, size_t offset,
                                           uint8_t xor_mask) {
+  std::lock_guard<std::mutex> lock(mutex_);
   SWAN_CHECK_LT(id.file_id, files_.size());
   SWAN_CHECK_LT(offset, kPageSize);
   auto& file = files_[id.file_id];
@@ -125,7 +168,12 @@ void SimulatedDisk::CorruptPageForTesting(PageId id, size_t offset,
 void SimulatedDisk::AuditInto(audit::AuditLevel level,
                               audit::AuditReport* report) const {
   if (level < audit::AuditLevel::kFull) return;
-  for (uint32_t f = 0; f < files_.size(); ++f) {
+  uint32_t file_count;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    file_count = static_cast<uint32_t>(files_.size());
+  }
+  for (uint32_t f = 0; f < file_count; ++f) {
     const uint32_t pages = PageCount(f);
     for (uint32_t p = 0; p < pages; ++p) {
       Status st = VerifyPage(PageId{f, p});
@@ -138,30 +186,38 @@ void SimulatedDisk::AuditInto(audit::AuditLevel level,
 }
 
 uint32_t SimulatedDisk::PageCount(uint32_t file_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   SWAN_CHECK_LT(file_id, files_.size());
   return static_cast<uint32_t>(files_[file_id].bytes.size() / kPageSize);
 }
 
 void SimulatedDisk::ResetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
   total_bytes_read_ = 0;
   total_reads_ = 0;
   total_seeks_ = 0;
   clock_.Reset();
   has_last_read_ = false;
   run_length_pages_ = 0;
+  serial_seconds_ = 0.0;
+  lane_seconds_.clear();
+  max_lane_seconds_ = 0.0;
 }
 
 void SimulatedDisk::StartTrace() {
+  std::lock_guard<std::mutex> lock(mutex_);
   tracing_ = true;
   trace_.clear();
 }
 
 std::vector<IoTracePoint> SimulatedDisk::StopTrace() {
+  std::lock_guard<std::mutex> lock(mutex_);
   tracing_ = false;
   return std::move(trace_);
 }
 
 uint64_t SimulatedDisk::TotalStoredBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   uint64_t total = 0;
   for (const auto& f : files_) total += f.bytes.size();
   return total;

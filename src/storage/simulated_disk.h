@@ -2,6 +2,7 @@
 #define SWANDB_STORAGE_SIMULATED_DISK_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "audit/audit.h"
@@ -48,6 +49,17 @@ struct IoTracePoint {
 //
 // Writes are free and not traced: the paper keeps loading and index
 // construction outside the benchmark scope (§2.3).
+//
+// Concurrent-I/O cost model: ReadPage is thread-safe. Serial reads (no
+// exec::TaskContext, i.e. everything at --threads=1) accrue onto a serial
+// clock with the global stream-contiguity state, exactly as before
+// parallelism existed. Reads issued from inside a ParallelFor chunk
+// accrue onto the chunk's *lane* (chunk index mod thread count) and judge
+// contiguity against the task's own previous read only, so per-task
+// accrual never depends on how the scheduler interleaves tasks. The
+// virtual clock reads serial_seconds + max-over-lanes — the wall cost of
+// lanes progressing in parallel — which keeps cold-run "real time"
+// deterministic and meaningful at any thread count.
 class SimulatedDisk {
  public:
   explicit SimulatedDisk(DiskConfig config = DiskConfig());
@@ -91,10 +103,26 @@ class SimulatedDisk {
   uint32_t PageCount(uint32_t file_id) const;
 
   // --- accounting -------------------------------------------------------
-  uint64_t total_bytes_read() const { return total_bytes_read_; }
-  uint64_t total_reads() const { return total_reads_; }
-  uint64_t total_seeks() const { return total_seeks_; }
+  uint64_t total_bytes_read() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_bytes_read_;
+  }
+  uint64_t total_reads() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_reads_;
+  }
+  uint64_t total_seeks() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_seeks_;
+  }
   const VirtualClock& clock() const { return clock_; }
+
+  // Virtual seconds accrued per lane since the last ResetStats (index =
+  // lane id; empty when no parallel reads happened). For bench reporting.
+  std::vector<double> LaneSecondsSnapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lane_seconds_;
+  }
 
   void ResetStats();
 
@@ -121,13 +149,26 @@ class SimulatedDisk {
   std::vector<FileData> files_;
   VirtualClock clock_;
 
+  // Everything below mutex_ is guarded by it. files_ contents are also
+  // read under the lock (AppendPage may reallocate); the checksum over the
+  // copied-out page is computed outside it.
+  mutable std::mutex mutex_;
+
   uint64_t total_bytes_read_ = 0;
   uint64_t total_reads_ = 0;
   uint64_t total_seeks_ = 0;
 
+  // Serial (non-task) stream state and clock component.
   bool has_last_read_ = false;
   PageId last_read_;
   uint32_t run_length_pages_ = 0;
+  double serial_seconds_ = 0.0;
+
+  // Per-lane accrual for reads issued from ParallelFor chunks. Lane
+  // values only grow between ResetStats calls, so the running max is
+  // maintained incrementally.
+  std::vector<double> lane_seconds_;
+  double max_lane_seconds_ = 0.0;
 
   bool tracing_ = false;
   std::vector<IoTracePoint> trace_;

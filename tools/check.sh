@@ -2,9 +2,11 @@
 # Static-analysis and sanitizer driver:
 #   1. clang-tidy over src/ (skipped with a notice if clang-tidy is not
 #      installed — the container image ships only gcc),
-#   2. an ASan+UBSan build of everything, running the full test suite.
+#   2. an ASan+UBSan build of everything, running the full test suite,
+#   3. a TSan build running the concurrency-focused tests (thread pool,
+#      buffer-pool/column stress) — ASan and TSan cannot share a binary.
 #
-# Usage: tools/check.sh [--tidy-only|--asan-only]
+# Usage: tools/check.sh [--tidy-only|--asan-only|--tsan-only]
 # Exits non-zero if any stage fails.
 set -u
 
@@ -14,11 +16,16 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 
 run_tidy=1
 run_asan=1
+run_tsan=1
 case "${1:-}" in
-  --tidy-only) run_asan=0 ;;
-  --asan-only) run_tidy=0 ;;
+  --tidy-only) run_asan=0; run_tsan=0 ;;
+  --asan-only) run_tidy=0; run_tsan=0 ;;
+  --tsan-only) run_tidy=0; run_asan=0 ;;
   "") ;;
-  *) echo "usage: tools/check.sh [--tidy-only|--asan-only]" >&2; exit 2 ;;
+  *)
+    echo "usage: tools/check.sh [--tidy-only|--asan-only|--tsan-only]" >&2
+    exit 2
+    ;;
 esac
 
 failures=0
@@ -56,6 +63,25 @@ if [ "$run_asan" -eq 1 ]; then
     failures=$((failures + 1))
   else
     echo "sanitized ctest: clean"
+  fi
+fi
+
+if [ "$run_tsan" -eq 1 ]; then
+  echo "== TSan build + concurrency tests =="
+  TSAN_BUILD="$REPO_ROOT/build-tsan"
+  cmake -B "$TSAN_BUILD" -S "$REPO_ROOT" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSWAN_SANITIZE=thread \
+    -DSWAN_WERROR=ON >/dev/null || exit 1
+  cmake --build "$TSAN_BUILD" -j "$JOBS" \
+    --target thread_pool_test concurrency_stress_test || exit 1
+  if ! (cd "$TSAN_BUILD" &&
+        ctest --output-on-failure -j "$JOBS" \
+          -R 'ThreadPool|ConcurrencyStress'); then
+    echo "tsan ctest: FAILURES"
+    failures=$((failures + 1))
+  else
+    echo "tsan ctest: clean"
   fi
 fi
 

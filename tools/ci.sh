@@ -2,9 +2,10 @@
 # CI matrix driver, runnable locally or from .github/workflows/ci.yml:
 #   release  - plain Release build, -Werror, full ctest
 #   sanitize - ASan+UBSan RelWithDebInfo build, full ctest
+#   tsan     - ThreadSanitizer build, concurrency-focused tests
 #   tidy     - clang-tidy over src/ (skips with a notice if not installed)
 #
-# Usage: tools/ci.sh [release|sanitize|tidy|all]   (default: all)
+# Usage: tools/ci.sh [release|sanitize|tsan|tidy|all]   (default: all)
 set -u
 
 cd "$(dirname "$0")/.."
@@ -34,15 +35,30 @@ case "$mode" in
       "-DSWAN_SANITIZE=address;undefined" || status=1
     [ "$mode" = "sanitize" ] && exit "$status"
     ;;&
+  tsan|all)
+    # TSan is incompatible with ASan, so it gets its own tree. The full
+    # suite is slow under TSan; the concurrency-focused tests are the ones
+    # that exercise cross-thread interleavings, so CI runs just those.
+    echo "=== matrix: tsan (thread) ==="
+    TSAN_DIR="$REPO_ROOT/build-ci-tsan"
+    { cmake -B "$TSAN_DIR" -S "$REPO_ROOT" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSWAN_WERROR=ON \
+        -DSWAN_SANITIZE=thread &&
+      cmake --build "$TSAN_DIR" -j "$JOBS" \
+        --target thread_pool_test concurrency_stress_test &&
+      (cd "$TSAN_DIR" && ctest --output-on-failure -j "$JOBS" \
+        -R 'ThreadPool|ConcurrencyStress'); } || status=1
+    [ "$mode" = "tsan" ] && exit "$status"
+    ;;&
   tidy|all)
     echo "=== matrix: clang-tidy ==="
     bash "$REPO_ROOT/tools/check.sh" --tidy-only || status=1
     [ "$mode" = "tidy" ] && exit "$status"
     ;;&
-  release|sanitize|tidy|all)
+  release|sanitize|tsan|tidy|all)
     ;;
   *)
-    echo "usage: tools/ci.sh [release|sanitize|tidy|all]" >&2
+    echo "usage: tools/ci.sh [release|sanitize|tsan|tidy|all]" >&2
     exit 2
     ;;
 esac
