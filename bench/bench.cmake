@@ -33,6 +33,8 @@ swan_add_bench(parallel_speedup)
 
 swan_add_bench(micro_colstore_ops)
 target_link_libraries(micro_colstore_ops PRIVATE benchmark::benchmark)
+swan_add_bench(micro_merge_join)
+target_link_libraries(micro_merge_join PRIVATE benchmark::benchmark)
 swan_add_bench(micro_bplus_tree)
 target_link_libraries(micro_bplus_tree PRIVATE benchmark::benchmark)
 swan_add_bench(micro_compression)

@@ -1,6 +1,8 @@
 #ifndef SWANDB_BENCH_BENCH_COMMON_H_
 #define SWANDB_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -8,6 +10,7 @@
 
 #include "bench_support/barton_generator.h"
 #include "bench_support/harness.h"
+#include "exec/exec_context.h"
 #include "exec/thread_pool.h"
 
 namespace swan::bench {
@@ -25,34 +28,68 @@ inline int Repetitions() {
   return static_cast<int>(bench_support::EnvU64("SWAN_REPS", 3));
 }
 
+// Parses a --threads value. Rejects anything that is not a plain decimal
+// integer (benches exit rather than silently running at a surprise width).
+inline long long ParseThreadsOrDie(const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || value < 0) {
+    std::fprintf(stderr, "error: invalid --threads value '%s' (expected a "
+                         "non-negative integer)\n", text);
+    std::exit(2);
+  }
+  return value;
+}
+
 // Configures the execution width from --threads=N (or "--threads N") on
 // the command line, falling back to SWAN_THREADS, defaulting to 1 so every
 // paper-reproduction bench keeps its published single-threaded shape
 // unless parallelism is explicitly requested. `--threads=0` means "use
-// the hardware concurrency".
-inline void InitThreads(int argc, char** argv) {
+// the hardware concurrency". Returns the context benches should pass
+// down; the global width is set to the same value so default-constructed
+// contexts agree with it.
+inline exec::ExecContext InitThreads(int argc, char** argv) {
   long long threads =
       static_cast<long long>(bench_support::EnvU64("SWAN_THREADS", 1));
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--threads=", 10) == 0) {
-      threads = std::atoll(arg + 10);
+      threads = ParseThreadsOrDie(arg + 10);
     } else if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
-      threads = std::atoll(argv[++i]);
+      threads = ParseThreadsOrDie(argv[++i]);
     }
   }
-  if (threads <= 0) threads = exec::HardwareConcurrency();
+  const long long hw = static_cast<long long>(exec::HardwareConcurrency());
+  if (threads == 0) threads = hw;
+  // Lanes are virtual (timings are modeled), so the published sweep
+  // widths stay meaningful on small hosts; oversubscription only gets a
+  // notice. The hard cap rejects absurd widths that would flood the real
+  // pool with OS threads.
+  const long long cap = std::max<long long>(16, hw);
+  if (threads > cap) {
+    std::fprintf(stderr,
+                 "warning: --threads=%lld exceeds the supported maximum %lld "
+                 "(hardware concurrency %lld); capping\n", threads, cap, hw);
+    threads = cap;
+  } else if (threads > hw) {
+    std::fprintf(stderr,
+                 "note: --threads=%lld oversubscribes hardware concurrency "
+                 "%lld; modeled lane times stay deterministic\n", threads, hw);
+  }
   exec::SetThreads(static_cast<int>(threads));
+  return exec::ExecContext(static_cast<int>(threads));
 }
 
 inline void PrintHeader(const std::string& title, const std::string& paper_ref,
-                        const bench_support::BartonConfig& config) {
+                        const bench_support::BartonConfig& config,
+                        const exec::ExecContext& ectx = exec::ExecContext()) {
   std::printf("=== %s ===\n", title.c_str());
   std::printf("reproduces: %s\n", paper_ref.c_str());
   std::printf("dataset: Barton-like, %llu triples (seed %llu)\n",
               static_cast<unsigned long long>(config.target_triples),
               static_cast<unsigned long long>(config.seed));
-  std::printf("threads: %d\n\n", exec::Threads());
+  std::printf("threads: %d\n\n", ectx.threads());
 }
 
 }  // namespace swan::bench

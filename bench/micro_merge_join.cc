@@ -1,0 +1,80 @@
+// Microbenchmark for the key-range-partitioned MergeJoin against its
+// serial form, on Zipf-skewed inputs — the q4*-shaped workload where a
+// handful of giant equal runs (one hub key owning a large share of the
+// rows) used to serialize the per-property fan-out. Partition boundaries
+// snap to equal-run edges, so a skewed run costs its own size, not the
+// whole join.
+//
+// The skew knob is the Zipf exponent × 100: Zipf/10 is near-uniform,
+// Zipf/120 puts most of the mass on the first few keys.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "colstore/ops.h"
+#include "common/random.h"
+#include "exec/exec_context.h"
+#include "exec/thread_pool.h"
+
+namespace {
+
+using swan::Rng;
+using swan::ZipfSampler;
+using swan::colstore::MergeJoin;
+using swan::exec::ExecContext;
+
+// Sorted column of `n` values drawn Zipf(exponent_x100 / 100) over
+// `universe` keys; deterministic in `seed`.
+std::vector<uint64_t> ZipfSortedColumn(size_t n, uint64_t universe,
+                                       int exponent_x100, uint64_t seed) {
+  const ZipfSampler sampler(universe, exponent_x100 / 100.0);
+  Rng rng(seed);
+  std::vector<uint64_t> out(n);
+  for (auto& v : out) v = sampler.Sample(&rng);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void BM_MergeJoinZipf(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int exponent_x100 = static_cast<int>(state.range(1));
+  const int width = static_cast<int>(state.range(2));
+
+  // The q4*-shaped join: a skewed subject column (one hub key owns a
+  // large share of the rows) against a sorted unique key list.
+  const auto left = ZipfSortedColumn(n, n / 16 + 1, exponent_x100, 7);
+  auto right = ZipfSortedColumn(n / 4, n / 16 + 1, exponent_x100, 11);
+  right.erase(std::unique(right.begin(), right.end()), right.end());
+
+  const ExecContext ectx(width);
+  uint64_t pairs = 0;
+  for (auto _ : state) {
+    const auto joined = MergeJoin(left, right, ectx);
+    pairs = joined.size();
+    benchmark::DoNotOptimize(joined.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["pairs"] = static_cast<double>(pairs);
+  state.counters["partitions"] = static_cast<double>(
+      ectx.counters().merge_join_partitions.load() / state.iterations());
+}
+// Sweep: input size × Zipf exponent (uniform / mild / heavy hub skew) ×
+// execution width (1 = the serial reference).
+BENCHMARK(BM_MergeJoinZipf)
+    ->ArgsProduct({{1 << 18, 1 << 20}, {10, 80, 120}, {1, 2, 4, 8}})
+    ->ArgNames({"n", "zipf_x100", "threads"});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Contexts clamp to the global budget; open it up to the widest point.
+  swan::exec::SetThreads(8);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

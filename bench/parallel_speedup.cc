@@ -1,19 +1,33 @@
-// Speedup curves for the morsel-driven parallel execution layer: the
-// vertical-scheme star queries (q2*, q3*, q4*, q6*) fan one sub-plan out
-// per property partition, so they are the queries the paper's schemes
-// leave the most parallelism on the table for. Runs the MonetDB-style
-// vertical column backend hot at increasing thread counts and reports the
-// modeled real-time speedup over the single-threaded engine.
+// Speedup curves for the morsel-driven parallel execution layer across
+// all three parallel surfaces:
+//   * the vertical-scheme star queries (q2*, q3*, q4*, q6*) on the
+//     MonetDB-style column backend — per-property sub-plans plus
+//     row-range morsels inside the big partitions,
+//   * the same star queries on the DBX-style row vertical backend —
+//     per-partition B+tree join branches, and
+//   * basic-graph-pattern evaluation (ExecuteBgp) — binding-table
+//     batches, on both a column and a row backend.
+// Reports the modeled real-time speedup over the single-threaded engine.
+// Widths are swept with one exec::ExecContext per point; global state is
+// set once to the maximum width.
 //
 // Before timing, every thread count is gated on equivalence with the
-// single-threaded run: identical result rows and identical cold-run
-// virtual I/O bytes. Parallelism that changed the answer (or the bytes
-// touched) would be a bug, not a speedup.
+// single-threaded run: identical result rows (bit-identical binding
+// tables for BGP) and identical cold-run virtual I/O bytes. Parallelism
+// that changed the answer (or the bytes touched) would be a bug, not a
+// speedup. The gate aborts the process on divergence, which is what the
+// CI smoke run (`parallel_speedup --threads=4`) relies on.
+//
+// With an explicit `--threads=N` (N > 1) only widths {1, N} are swept —
+// the CI smoke shape; the default is the full curve {1, 2, 4, 8, hw}.
 //
 // Output ends with a single-line JSON summary for scripted consumers.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -21,24 +35,40 @@
 #include "common/macros.h"
 #include "common/stats.h"
 #include "common/table_printer.h"
+#include "core/bgp.h"
 #include "core/col_backends.h"
+#include "core/row_backends.h"
 
 namespace {
 
 using swan::bench_support::Measurement;
+using swan::core::Backend;
+using swan::core::BgpPattern;
 using swan::core::QueryId;
+using swan::core::Term;
+using swan::exec::ExecContext;
 
 std::string Key(int threads) { return std::to_string(threads); }
 
+// One bench row: a label, a group (for per-group geomeans), a hot
+// measurement under a context, and an equivalence gate against the
+// 1-thread reference.
+struct Entry {
+  std::string label;
+  std::string group;
+  std::function<double(const ExecContext&)> hot_real_seconds;
+  std::function<bool(const ExecContext&)> equivalent_to_serial;
+};
+
 }  // namespace
 
-int main(int, char**) {
+int main(int argc, char** argv) {
+  const ExecContext requested = swan::bench::InitThreads(argc, argv);
   const auto config = swan::bench::DefaultConfig();
-  std::printf("=== Parallel speedup: vertical star queries ===\n");
+  std::printf("=== Parallel speedup: star queries and BGP ===\n");
   std::printf(
-      "morsel-driven execution over per-property sub-plans; modeled real "
-      "time\n(critical-path CPU + virtual I/O), deterministic on any "
-      "host.\n");
+      "morsel-driven execution; modeled real time (critical-path CPU + "
+      "virtual I/O),\ndeterministic on any host.\n");
   std::printf("dataset: Barton-like, %llu triples (seed %llu)\n\n",
               static_cast<unsigned long long>(config.target_triples),
               static_cast<unsigned long long>(config.seed));
@@ -48,92 +78,145 @@ int main(int, char**) {
   const swan::core::QueryContext ctx =
       swan::bench_support::MakeBartonContext(data, 28);
 
-  std::printf("building vertical column backend...\n");
-  swan::core::ColVerticalBackend backend(data);
+  std::printf("building backends (col vertical, row vertical, row PSO)...\n");
+  swan::core::ColVerticalBackend col_vert(data);
+  swan::core::RowVerticalBackend row_vert(data);
+  swan::core::RowTripleBackend row_pso(data,
+                                       swan::rowstore::TripleRelation::PsoConfig());
 
-  const std::vector<QueryId> queries = {QueryId::kQ2Star, QueryId::kQ3Star,
-                                        QueryId::kQ4Star, QueryId::kQ6Star};
-  std::vector<int> thread_counts = {1, 2, 4, 8};
-  const int hw = swan::exec::HardwareConcurrency();
-  if (hw > thread_counts.back()) thread_counts.push_back(hw);
+  // Width sweep: explicit --threads=N (N > 1) means the CI smoke shape.
+  std::vector<int> thread_counts;
+  if (requested.threads() > 1) {
+    thread_counts = {1, requested.threads()};
+  } else {
+    thread_counts = {1, 2, 4, 8};
+    const int hw = swan::exec::HardwareConcurrency();
+    if (hw > thread_counts.back()) thread_counts.push_back(hw);
+  }
+  const int max_width =
+      *std::max_element(thread_counts.begin(), thread_counts.end());
+  // Contexts clamp to the global budget; set it once to the widest point.
+  swan::exec::SetThreads(max_width);
 
   const int reps = swan::bench::Repetitions();
+  const std::vector<QueryId> queries = {QueryId::kQ2Star, QueryId::kQ3Star,
+                                        QueryId::kQ4Star, QueryId::kQ6Star};
 
-  // Reference run at one thread: result rows, cold I/O bytes, hot time.
-  swan::exec::SetThreads(1);
-  std::vector<swan::core::QueryResult> ref_rows;
-  std::vector<uint64_t> ref_cold_bytes;
-  std::vector<std::vector<double>> hot_real(queries.size());
-  for (size_t q = 0; q < queries.size(); ++q) {
-    ref_rows.push_back(backend.Run(queries[q], ctx));
-    ref_cold_bytes.push_back(
-        swan::bench_support::MeasureCold(&backend, queries[q], ctx, 1)
-            .bytes_read);
-    hot_real[q].push_back(
-        swan::bench_support::MeasureHot(&backend, queries[q], ctx, reps)
-            .real_seconds);
-  }
+  // The BGP workload: the seed pattern binds every subject carrying
+  // <origin>, then each binding row is extended through a point Match —
+  // the batched step, and the bulk of the work.
+  const auto vocab = ctx.vocab();
+  const std::vector<BgpPattern> bgp_query = {
+      {Term::Var("s"), Term::Const(vocab.origin), Term::Var("o")},
+      {Term::Var("s"), Term::Const(vocab.type), Term::Var("t")}};
 
-  bool equivalent = true;
-  for (size_t t = 1; t < thread_counts.size(); ++t) {
-    swan::exec::SetThreads(thread_counts[t]);
-    std::printf("measuring %d thread(s)...\n", thread_counts[t]);
-    for (size_t q = 0; q < queries.size(); ++q) {
-      // Equivalence gate: same rows, same cold virtual I/O bytes.
-      const swan::core::QueryResult rows = backend.Run(queries[q], ctx);
-      if (!ref_rows[q].SameRows(rows)) {
-        std::fprintf(stderr, "FAIL: %s rows diverge at %d threads\n",
-                     ToString(queries[q]).c_str(), thread_counts[t]);
-        equivalent = false;
-      }
-      const uint64_t cold_bytes =
-          swan::bench_support::MeasureCold(&backend, queries[q], ctx, 1)
+  std::vector<Entry> entries;
+  for (auto* backend : {static_cast<swan::core::BackendBase*>(&col_vert),
+                        static_cast<swan::core::BackendBase*>(&row_vert)}) {
+    const std::string group =
+        backend == static_cast<swan::core::BackendBase*>(&col_vert)
+            ? "col-vert"
+            : "row-vert";
+    for (QueryId q : queries) {
+      // 1-thread reference: rows and cold virtual I/O bytes.
+      const ExecContext serial(1);
+      const swan::core::QueryResult ref_rows = backend->Run(q, ctx, serial);
+      const uint64_t ref_cold =
+          swan::bench_support::MeasureCold(backend, q, ctx, serial, 1)
               .bytes_read;
-      if (cold_bytes != ref_cold_bytes[q]) {
-        std::fprintf(
-            stderr, "FAIL: %s cold bytes %llu != %llu at %d threads\n",
-            ToString(queries[q]).c_str(),
-            static_cast<unsigned long long>(cold_bytes),
-            static_cast<unsigned long long>(ref_cold_bytes[q]),
-            thread_counts[t]);
-        equivalent = false;
-      }
-      hot_real[q].push_back(
-          swan::bench_support::MeasureHot(&backend, queries[q], ctx, reps)
-              .real_seconds);
+      entries.push_back(Entry{
+          group + " " + ToString(q), group,
+          [backend, q, &ctx, reps](const ExecContext& ectx) {
+            return swan::bench_support::MeasureHot(backend, q, ctx, ectx, reps)
+                .real_seconds;
+          },
+          [backend, q, &ctx, ref_rows, ref_cold](const ExecContext& ectx) {
+            const swan::core::QueryResult rows = backend->Run(q, ctx, ectx);
+            const uint64_t cold =
+                swan::bench_support::MeasureCold(backend, q, ctx, ectx, 1)
+                    .bytes_read;
+            return ref_rows.SameRows(rows) && cold == ref_cold;
+          }});
     }
   }
-  swan::exec::SetThreads(1);
+  for (auto* backend : {static_cast<swan::core::BackendBase*>(&col_vert),
+                        static_cast<swan::core::BackendBase*>(&row_pso)}) {
+    const std::string group = "bgp";
+    const std::string label =
+        backend == static_cast<swan::core::BackendBase*>(&col_vert)
+            ? "bgp col-vert"
+            : "bgp row-pso";
+    const ExecContext serial(1);
+    const auto ref = swan::core::ExecuteBgp(*backend, bgp_query, serial);
+    SWAN_CHECK_MSG(ref.ok(), "BGP reference run failed");
+    const auto ref_rows = ref.value().rows;
+    entries.push_back(Entry{
+        label, group,
+        [backend, &bgp_query, reps](const ExecContext& ectx) {
+          return swan::bench_support::MeasureBgpHot(backend, bgp_query, ectx,
+                                                    reps)
+              .real_seconds;
+        },
+        [backend, &bgp_query, ref_rows](const ExecContext& ectx) {
+          // Bit-identical binding table: batch stitching preserves the
+          // exact serial row order.
+          const auto result = swan::core::ExecuteBgp(*backend, bgp_query, ectx);
+          return result.ok() && result.value().rows == ref_rows;
+        }});
+  }
+
+  // Measure: hot real seconds per entry per width, gated on equivalence.
+  bool equivalent = true;
+  std::vector<std::vector<double>> hot_real(entries.size());
+  for (size_t t = 0; t < thread_counts.size(); ++t) {
+    std::printf("measuring %d thread(s)...\n", thread_counts[t]);
+    const ExecContext ectx(thread_counts[t]);
+    for (size_t e = 0; e < entries.size(); ++e) {
+      if (t > 0 && !entries[e].equivalent_to_serial(ectx)) {
+        std::fprintf(stderr, "FAIL: %s diverges at %d threads\n",
+                     entries[e].label.c_str(), thread_counts[t]);
+        equivalent = false;
+      }
+      hot_real[e].push_back(entries[e].hot_real_seconds(ectx));
+    }
+  }
   SWAN_CHECK_MSG(equivalent,
                  "parallel execution changed query results; aborting");
   std::printf("equivalence gate passed (rows and cold I/O bytes match the "
               "single-threaded run at every width).\n\n");
 
-  std::vector<std::string> header = {"query"};
+  std::vector<std::string> header = {"workload"};
   for (int t : thread_counts) header.push_back(Key(t) + "T real");
   for (size_t i = 1; i < thread_counts.size(); ++i) {
     header.push_back("x" + Key(thread_counts[i]));
   }
   swan::TablePrinter table(header);
-  std::vector<std::vector<double>> speedups(thread_counts.size());
-  for (size_t q = 0; q < queries.size(); ++q) {
-    std::vector<std::string> cells = {ToString(queries[q])};
+  // speedups[group][width index] = per-entry speedups of that group.
+  std::map<std::string, std::vector<std::vector<double>>> group_speedups;
+  for (size_t e = 0; e < entries.size(); ++e) {
+    std::vector<std::string> cells = {entries[e].label};
     for (size_t i = 0; i < thread_counts.size(); ++i) {
-      cells.push_back(swan::TablePrinter::Fixed(hot_real[q][i], 4));
+      cells.push_back(swan::TablePrinter::Fixed(hot_real[e][i], 4));
     }
+    auto& by_width = group_speedups[entries[e].group];
+    by_width.resize(thread_counts.size());
     for (size_t i = 1; i < thread_counts.size(); ++i) {
-      const double s = hot_real[q][0] / hot_real[q][i];
-      speedups[i].push_back(s);
+      const double s = hot_real[e][0] / hot_real[e][i];
+      by_width[i].push_back(s);
       cells.push_back(swan::TablePrinter::Fixed(s, 2));
     }
     table.AddRow(cells);
   }
   std::printf("%s\n", table.ToString().c_str());
 
-  std::printf("geomean speedup over {q2*, q3*, q4*, q6*} (hot, modeled):\n");
-  for (size_t i = 1; i < thread_counts.size(); ++i) {
-    std::printf("  %2d threads: %.2fx\n", thread_counts[i],
-                swan::GeometricMean(speedups[i]));
+  std::printf("geomean speedup (hot, modeled):\n");
+  for (const auto& [group, by_width] : group_speedups) {
+    std::printf("  %-9s", group.c_str());
+    for (size_t i = 1; i < thread_counts.size(); ++i) {
+      std::printf("  %dT %.2fx", thread_counts[i],
+                  swan::GeometricMean(by_width[i]));
+    }
+    std::printf("\n");
   }
 
   // Machine-readable summary.
@@ -143,18 +226,24 @@ int main(int, char**) {
   for (size_t i = 0; i < thread_counts.size(); ++i) {
     std::printf("%s%d", i ? "," : "", thread_counts[i]);
   }
-  std::printf("],\"queries\":{");
-  for (size_t q = 0; q < queries.size(); ++q) {
-    std::printf("%s\"%s\":[", q ? "," : "", ToString(queries[q]).c_str());
+  std::printf("],\"workloads\":{");
+  for (size_t e = 0; e < entries.size(); ++e) {
+    std::printf("%s\"%s\":[", e ? "," : "", entries[e].label.c_str());
     for (size_t i = 0; i < thread_counts.size(); ++i) {
-      std::printf("%s%.6f", i ? "," : "", hot_real[q][i]);
+      std::printf("%s%.6f", i ? "," : "", hot_real[e][i]);
     }
     std::printf("]");
   }
   std::printf("},\"geomean_speedup\":{");
-  for (size_t i = 1; i < thread_counts.size(); ++i) {
-    std::printf("%s\"%d\":%.3f", i > 1 ? "," : "", thread_counts[i],
-                swan::GeometricMean(speedups[i]));
+  bool first_group = true;
+  for (const auto& [group, by_width] : group_speedups) {
+    std::printf("%s\"%s\":{", first_group ? "" : ",", group.c_str());
+    first_group = false;
+    for (size_t i = 1; i < thread_counts.size(); ++i) {
+      std::printf("%s\"%d\":%.3f", i > 1 ? "," : "", thread_counts[i],
+                  swan::GeometricMean(by_width[i]));
+    }
+    std::printf("}");
   }
   std::printf("}}\n");
   return 0;

@@ -13,16 +13,16 @@ namespace swan::bench_support {
 
 namespace {
 
-// Executes once and returns the (real, user, bytes, rows) observation.
-Measurement RunOnce(core::Backend* backend, core::QueryId id,
-                    const core::QueryContext& ctx) {
-  storage::SimulatedDisk* disk = backend->disk();
+// Times one execution of `body` (which returns the row count) against
+// `disk` and returns the (real, user, bytes, rows) observation.
+template <typename Body>
+Measurement TimeOnce(storage::SimulatedDisk* disk, const Body& body) {
   const double io_before = disk->clock().now();
   const uint64_t bytes_before = disk->total_bytes_read();
   const std::vector<double> lanes_before = exec::LaneCpuSnapshot();
   WallTimer wall;
   CpuTimer timer;
-  const core::QueryResult result = backend->Run(id, ctx);
+  const uint64_t rows = body();
   Measurement m;
   m.user_seconds = timer.ElapsedSeconds();
   m.wall_seconds = wall.ElapsedSeconds();
@@ -44,8 +44,17 @@ Measurement RunOnce(core::Backend* backend, core::QueryId id,
 
   m.real_seconds = modeled_cpu + (disk->clock().now() - io_before);
   m.bytes_read = disk->total_bytes_read() - bytes_before;
-  m.rows_returned = result.row_count();
+  m.rows_returned = rows;
   return m;
+}
+
+// Executes one benchmark query under `ectx`.
+Measurement RunOnce(core::Backend* backend, core::QueryId id,
+                    const core::QueryContext& ctx,
+                    const exec::ExecContext& ectx) {
+  return TimeOnce(backend->disk(), [&] {
+    return backend->Run(id, ctx, ectx).row_count();
+  });
 }
 
 Measurement Average(const std::vector<Measurement>& runs) {
@@ -75,20 +84,49 @@ Measurement Average(const std::vector<Measurement>& runs) {
 
 Measurement MeasureCold(core::Backend* backend, core::QueryId id,
                         const core::QueryContext& ctx, int repetitions) {
+  return MeasureCold(backend, id, ctx, exec::ExecContext(), repetitions);
+}
+
+Measurement MeasureHot(core::Backend* backend, core::QueryId id,
+                       const core::QueryContext& ctx, int repetitions) {
+  return MeasureHot(backend, id, ctx, exec::ExecContext(), repetitions);
+}
+
+Measurement MeasureCold(core::Backend* backend, core::QueryId id,
+                        const core::QueryContext& ctx,
+                        const exec::ExecContext& ectx, int repetitions) {
   std::vector<Measurement> runs;
   for (int i = 0; i < repetitions; ++i) {
     backend->DropCaches();  // "zapping the memory completely"
-    runs.push_back(RunOnce(backend, id, ctx));
+    runs.push_back(RunOnce(backend, id, ctx, ectx));
   }
   return Average(runs);
 }
 
 Measurement MeasureHot(core::Backend* backend, core::QueryId id,
-                       const core::QueryContext& ctx, int repetitions) {
-  RunOnce(backend, id, ctx);  // warm-up, ignored
+                       const core::QueryContext& ctx,
+                       const exec::ExecContext& ectx, int repetitions) {
+  RunOnce(backend, id, ctx, ectx);  // warm-up, ignored
   std::vector<Measurement> runs;
   for (int i = 0; i < repetitions; ++i) {
-    runs.push_back(RunOnce(backend, id, ctx));
+    runs.push_back(RunOnce(backend, id, ctx, ectx));
+  }
+  return Average(runs);
+}
+
+Measurement MeasureBgpHot(core::Backend* backend,
+                          const std::vector<core::BgpPattern>& patterns,
+                          const exec::ExecContext& ectx, int repetitions) {
+  auto run = [&] {
+    const Result<core::BgpResult> result =
+        core::ExecuteBgp(*backend, patterns, ectx);
+    SWAN_CHECK_MSG(result.ok(), "BGP evaluation failed during measurement");
+    return static_cast<uint64_t>(result.value().rows.size());
+  };
+  run();  // warm-up, ignored
+  std::vector<Measurement> runs;
+  for (int i = 0; i < repetitions; ++i) {
+    runs.push_back(TimeOnce(backend->disk(), run));
   }
   return Average(runs);
 }

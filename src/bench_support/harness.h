@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "core/backend.h"
+#include "core/bgp.h"
 #include "core/query.h"
+#include "exec/exec_context.h"
 
 namespace swan::bench_support {
 
@@ -39,6 +41,23 @@ Measurement MeasureCold(core::Backend* backend, core::QueryId id,
                         const core::QueryContext& ctx, int repetitions = 3);
 Measurement MeasureHot(core::Backend* backend, core::QueryId id,
                        const core::QueryContext& ctx, int repetitions = 3);
+
+// As above, under an explicit execution context instead of the global
+// thread width — the benches sweep widths by constructing one context per
+// point rather than mutating global state between runs.
+Measurement MeasureCold(core::Backend* backend, core::QueryId id,
+                        const core::QueryContext& ctx,
+                        const exec::ExecContext& ectx, int repetitions = 3);
+Measurement MeasureHot(core::Backend* backend, core::QueryId id,
+                       const core::QueryContext& ctx,
+                       const exec::ExecContext& ectx, int repetitions = 3);
+
+// Hot-protocol measurement of a BGP evaluation under an explicit context
+// (one unmeasured warm-up, then averaged measured runs). rows_returned is
+// the binding-table row count.
+Measurement MeasureBgpHot(core::Backend* backend,
+                          const std::vector<core::BgpPattern>& patterns,
+                          const exec::ExecContext& ectx, int repetitions = 3);
 
 // Correctness gate run before timing: executes every supported query on
 // every backend and verifies that all backends produce identical rows.

@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "common/macros.h"
-#include "exec/thread_pool.h"
 
 namespace swan::colstore {
 
@@ -26,8 +25,9 @@ PositionVector ConcatParts(std::vector<PositionVector>& parts) {
 // per-chunk outputs in chunk order — the same sequence the serial scan
 // would produce. Positions emitted by chunk c all precede chunk c+1's.
 template <typename Fill>
-PositionVector MorselSelect(uint64_t n, const Fill& fill) {
-  if (exec::Threads() <= 1 || n < 2 * kMorsel) {
+PositionVector MorselSelect(const exec::ExecContext& ctx, uint64_t n,
+                            const Fill& fill) {
+  if (!ctx.parallel() || n < 2 * kMorsel) {
     PositionVector out;
     out.reserve(n / 8 + 8);
     fill(0, n, &out);
@@ -35,7 +35,7 @@ PositionVector MorselSelect(uint64_t n, const Fill& fill) {
   }
   const uint64_t chunks = (n + kMorsel - 1) / kMorsel;
   std::vector<PositionVector> parts(chunks);
-  exec::ParallelFor(n, kMorsel, [&](uint64_t b, uint64_t e, uint64_t c) {
+  ctx.ParallelFor(n, kMorsel, [&](uint64_t b, uint64_t e, uint64_t c) {
     parts[c].reserve((e - b) / 8 + 8);
     fill(b, e, &parts[c]);
   });
@@ -47,21 +47,22 @@ PositionVector MorselSelect(uint64_t n, const Fill& fill) {
 // swept for the nonzero entries.
 template <typename Accumulate>
 std::vector<std::pair<uint64_t, uint64_t>> DenseCount(
-    uint64_t n, uint64_t universe_size, const Accumulate& accumulate) {
+    const exec::ExecContext& ctx, uint64_t n, uint64_t universe_size,
+    const Accumulate& accumulate) {
   std::vector<uint64_t> counts;
-  const uint64_t shards = exec::ShardsFor(n, kMorsel);
+  const uint64_t shards = ctx.ShardsFor(n, kMorsel);
   if (shards <= 1) {
     counts.assign(universe_size, 0);
     accumulate(0, n, &counts);
   } else {
     const uint64_t grain = (n + shards - 1) / shards;
     std::vector<std::vector<uint64_t>> partials(shards);
-    exec::ParallelFor(n, grain, [&](uint64_t b, uint64_t e, uint64_t c) {
+    ctx.ParallelFor(n, grain, [&](uint64_t b, uint64_t e, uint64_t c) {
       partials[c].assign(universe_size, 0);
       accumulate(b, e, &partials[c]);
     });
     counts = std::move(partials[0]);
-    exec::ParallelFor(
+    ctx.ParallelFor(
         universe_size, kMorsel, [&](uint64_t b, uint64_t e, uint64_t) {
           for (uint64_t s = 1; s < shards; ++s) {
             const auto& p = partials[s];
@@ -86,10 +87,66 @@ std::vector<uint64_t> SetUnion2(const std::vector<uint64_t>& a,
   return out;
 }
 
+// Serial merge-join kernel over subranges, emitting *global* indices
+// (subrange start + offset). Shared by the serial path and every
+// partition of the parallel path.
+void MergeJoinInto(std::span<const uint64_t> left,
+                   std::span<const uint64_t> right, uint32_t left_off,
+                   uint32_t right_off,
+                   std::vector<std::pair<uint32_t, uint32_t>>* out) {
+  uint32_t i = 0, j = 0;
+  const uint32_t n = static_cast<uint32_t>(left.size());
+  const uint32_t m = static_cast<uint32_t>(right.size());
+  while (i < n && j < m) {
+    if (left[i] < right[j]) {
+      ++i;
+    } else if (right[j] < left[i]) {
+      ++j;
+    } else {
+      // Equal run: emit the cross product.
+      const uint64_t v = left[i];
+      uint32_t i_end = i;
+      while (i_end < n && left[i_end] == v) ++i_end;
+      uint32_t j_end = j;
+      while (j_end < m && right[j_end] == v) ++j_end;
+      for (uint32_t a = i; a < i_end; ++a) {
+        for (uint32_t b = j; b < j_end; ++b) {
+          out->emplace_back(left_off + a, right_off + b);
+        }
+      }
+      i = i_end;
+      j = j_end;
+    }
+  }
+}
+
+// Splits [0, size) of a sorted column into ~kMorsel-sized partitions whose
+// boundaries are advanced to equal-run edges, so no run of equal keys
+// straddles a partition. Returns the boundary positions (first = 0,
+// last = size), deduplicated.
+std::vector<uint64_t> RunAlignedBoundaries(std::span<const uint64_t> sorted,
+                                           uint64_t target_parts) {
+  const uint64_t size = sorted.size();
+  const uint64_t grain = std::max<uint64_t>(1, size / target_parts);
+  std::vector<uint64_t> bounds;
+  bounds.push_back(0);
+  for (uint64_t t = grain; t < size; t += grain) {
+    // Advance the tentative cut to the end of the run containing it.
+    const uint64_t cut = static_cast<uint64_t>(
+        std::upper_bound(sorted.begin() + static_cast<ptrdiff_t>(t),
+                         sorted.end(), sorted[t]) -
+        sorted.begin());
+    if (cut > bounds.back() && cut < size) bounds.push_back(cut);
+  }
+  bounds.push_back(size);
+  return bounds;
+}
+
 }  // namespace
 
-PositionVector SelectEq(std::span<const uint64_t> col, uint64_t value) {
-  return MorselSelect(col.size(),
+PositionVector SelectEq(std::span<const uint64_t> col, uint64_t value,
+                        const exec::ExecContext& ctx) {
+  return MorselSelect(ctx, col.size(),
                       [&](uint64_t b, uint64_t e, PositionVector* out) {
                         for (uint64_t i = b; i < e; ++i) {
                           if (col[i] == value) {
@@ -100,8 +157,9 @@ PositionVector SelectEq(std::span<const uint64_t> col, uint64_t value) {
 }
 
 PositionVector SelectEq(std::span<const uint64_t> col,
-                        const PositionVector& sel, uint64_t value) {
-  return MorselSelect(sel.size(),
+                        const PositionVector& sel, uint64_t value,
+                        const exec::ExecContext& ctx) {
+  return MorselSelect(ctx, sel.size(),
                       [&](uint64_t b, uint64_t e, PositionVector* out) {
                         for (uint64_t j = b; j < e; ++j) {
                           if (col[sel[j]] == value) out->push_back(sel[j]);
@@ -110,8 +168,9 @@ PositionVector SelectEq(std::span<const uint64_t> col,
 }
 
 PositionVector SelectNe(std::span<const uint64_t> col,
-                        const PositionVector& sel, uint64_t value) {
-  return MorselSelect(sel.size(),
+                        const PositionVector& sel, uint64_t value,
+                        const exec::ExecContext& ctx) {
+  return MorselSelect(ctx, sel.size(),
                       [&](uint64_t b, uint64_t e, PositionVector* out) {
                         for (uint64_t j = b; j < e; ++j) {
                           if (col[sel[j]] != value) out->push_back(sel[j]);
@@ -137,18 +196,19 @@ std::pair<uint32_t, uint32_t> EqRangeSorted2(
 }
 
 std::vector<uint64_t> Gather(std::span<const uint64_t> col,
-                             const PositionVector& sel) {
+                             const PositionVector& sel,
+                             const exec::ExecContext& ctx) {
   std::vector<uint64_t> out(sel.size());
-  exec::ParallelFor(sel.size(), kMorsel,
-                    [&](uint64_t b, uint64_t e, uint64_t) {
-                      for (uint64_t i = b; i < e; ++i) out[i] = col[sel[i]];
-                    });
+  ctx.ParallelFor(sel.size(), kMorsel,
+                  [&](uint64_t b, uint64_t e, uint64_t) {
+                    for (uint64_t i = b; i < e; ++i) out[i] = col[sel[i]];
+                  });
   return out;
 }
 
-PositionVector SelectMarked(std::span<const uint64_t> col,
-                            const MarkSet& set) {
-  return MorselSelect(col.size(),
+PositionVector SelectMarked(std::span<const uint64_t> col, const MarkSet& set,
+                            const exec::ExecContext& ctx) {
+  return MorselSelect(ctx, col.size(),
                       [&](uint64_t b, uint64_t e, PositionVector* out) {
                         for (uint64_t i = b; i < e; ++i) {
                           if (set.Test(col[i])) {
@@ -159,8 +219,9 @@ PositionVector SelectMarked(std::span<const uint64_t> col,
 }
 
 PositionVector SelectMarked(std::span<const uint64_t> col,
-                            const PositionVector& sel, const MarkSet& set) {
-  return MorselSelect(sel.size(),
+                            const PositionVector& sel, const MarkSet& set,
+                            const exec::ExecContext& ctx) {
+  return MorselSelect(ctx, sel.size(),
                       [&](uint64_t b, uint64_t e, PositionVector* out) {
                         for (uint64_t j = b; j < e; ++j) {
                           if (set.Test(col[sel[j]])) out->push_back(sel[j]);
@@ -169,8 +230,9 @@ PositionVector SelectMarked(std::span<const uint64_t> col,
 }
 
 std::vector<std::pair<uint64_t, uint64_t>> CountByKeyDense(
-    std::span<const uint64_t> keys, uint64_t universe_size) {
-  return DenseCount(keys.size(), universe_size,
+    std::span<const uint64_t> keys, uint64_t universe_size,
+    const exec::ExecContext& ctx) {
+  return DenseCount(ctx, keys.size(), universe_size,
                     [&](uint64_t b, uint64_t e, std::vector<uint64_t>* counts) {
                       for (uint64_t i = b; i < e; ++i) {
                         SWAN_DCHECK_LT(keys[i], universe_size);
@@ -181,8 +243,8 @@ std::vector<std::pair<uint64_t, uint64_t>> CountByKeyDense(
 
 std::vector<std::pair<uint64_t, uint64_t>> CountByKeyDense(
     std::span<const uint64_t> col, const PositionVector& sel,
-    uint64_t universe_size) {
-  return DenseCount(sel.size(), universe_size,
+    uint64_t universe_size, const exec::ExecContext& ctx) {
+  return DenseCount(ctx, sel.size(), universe_size,
                     [&](uint64_t b, uint64_t e, std::vector<uint64_t>* counts) {
                       for (uint64_t j = b; j < e; ++j) {
                         SWAN_DCHECK_LT(col[sel[j]], universe_size);
@@ -192,11 +254,12 @@ std::vector<std::pair<uint64_t, uint64_t>> CountByKeyDense(
 }
 
 std::vector<PairCount> CountByPair(std::span<const uint64_t> a,
-                                   std::span<const uint64_t> b) {
+                                   std::span<const uint64_t> b,
+                                   const exec::ExecContext& ctx) {
   SWAN_CHECK_EQ(a.size(), b.size());
   const uint64_t n = a.size();
   std::vector<uint64_t> packed(n);
-  exec::ParallelFor(n, kMorsel, [&](uint64_t lo, uint64_t hi, uint64_t) {
+  ctx.ParallelFor(n, kMorsel, [&](uint64_t lo, uint64_t hi, uint64_t) {
     for (uint64_t i = lo; i < hi; ++i) {
       SWAN_CHECK_MSG(a[i] < (1ull << 32) && b[i] < (1ull << 32),
                      "CountByPair requires 32-bit dictionary ids");
@@ -207,7 +270,7 @@ std::vector<PairCount> CountByPair(std::span<const uint64_t> a,
   // Sort contiguous shards in parallel, then count while merging the
   // sorted runs — the (value, count) stream is the same no matter how the
   // input was sharded.
-  const uint64_t shards = exec::ShardsFor(n, kMorsel);
+  const uint64_t shards = ctx.ShardsFor(n, kMorsel);
   struct Run {
     uint64_t pos;
     uint64_t end;
@@ -218,7 +281,7 @@ std::vector<PairCount> CountByPair(std::span<const uint64_t> a,
     runs.push_back(Run{0, n});
   } else {
     const uint64_t grain = (n + shards - 1) / shards;
-    exec::ParallelFor(n, grain, [&](uint64_t lo, uint64_t hi, uint64_t) {
+    ctx.ParallelFor(n, grain, [&](uint64_t lo, uint64_t hi, uint64_t) {
       std::sort(packed.begin() + static_cast<ptrdiff_t>(lo),
                 packed.begin() + static_cast<ptrdiff_t>(hi));
     });
@@ -252,37 +315,101 @@ std::vector<PairCount> CountByPair(std::span<const uint64_t> a,
 }
 
 std::vector<std::pair<uint32_t, uint32_t>> MergeJoin(
-    std::span<const uint64_t> left, std::span<const uint64_t> right) {
-  std::vector<std::pair<uint32_t, uint32_t>> out;
-  uint32_t i = 0, j = 0;
-  const uint32_t n = static_cast<uint32_t>(left.size());
-  const uint32_t m = static_cast<uint32_t>(right.size());
-  while (i < n && j < m) {
-    if (left[i] < right[j]) {
-      ++i;
-    } else if (right[j] < left[i]) {
-      ++j;
-    } else {
-      // Equal run: emit the cross product.
-      const uint64_t v = left[i];
-      uint32_t i_end = i;
-      while (i_end < n && left[i_end] == v) ++i_end;
-      uint32_t j_end = j;
-      while (j_end < m && right[j_end] == v) ++j_end;
-      for (uint32_t a = i; a < i_end; ++a) {
-        for (uint32_t b = j; b < j_end; ++b) {
-          out.emplace_back(a, b);
-        }
-      }
-      i = i_end;
-      j = j_end;
-    }
+    std::span<const uint64_t> left, std::span<const uint64_t> right,
+    const exec::ExecContext& ctx) {
+  if (!ctx.parallel() || left.size() + right.size() < 2 * kMorsel) {
+    std::vector<std::pair<uint32_t, uint32_t>> out;
+    MergeJoinInto(left, right, 0, 0, &out);
+    return out;
   }
+
+  // Key-range partitioning on the larger side. Boundaries sit on equal-run
+  // edges, so every key (and therefore every output pair) belongs to
+  // exactly one partition; the other side's matching range is recovered by
+  // binary search. Partition p covers a strictly smaller key range than
+  // partition p+1, so concatenating outputs in partition order reproduces
+  // the serial key-ordered pair sequence exactly.
+  const bool left_larger = left.size() >= right.size();
+  const std::span<const uint64_t> big = left_larger ? left : right;
+  const std::span<const uint64_t> small = left_larger ? right : left;
+  const uint64_t parts_target =
+      std::max<uint64_t>(static_cast<uint64_t>(ctx.threads()),
+                         big.size() / kMorsel);
+  const std::vector<uint64_t> bounds = RunAlignedBoundaries(big, parts_target);
+  const uint64_t parts = bounds.size() - 1;
+  if (parts <= 1) {
+    std::vector<std::pair<uint32_t, uint32_t>> out;
+    MergeJoinInto(left, right, 0, 0, &out);
+    return out;
+  }
+  ctx.counters().merge_join_partitions.fetch_add(parts,
+                                                 std::memory_order_relaxed);
+
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> outs(parts);
+  ctx.ParallelFor(parts, 1, [&](uint64_t pb, uint64_t pe, uint64_t) {
+    for (uint64_t p = pb; p < pe; ++p) {
+      const uint64_t blo = bounds[p];
+      const uint64_t bhi = bounds[p + 1];
+      // Matching key range in the smaller side.
+      const uint64_t slo = static_cast<uint64_t>(
+          std::lower_bound(small.begin(), small.end(), big[blo]) -
+          small.begin());
+      const uint64_t shi = static_cast<uint64_t>(
+          std::upper_bound(small.begin() + static_cast<ptrdiff_t>(slo),
+                           small.end(), big[bhi - 1]) -
+          small.begin());
+      const auto big_sub = big.subspan(blo, bhi - blo);
+      const auto small_sub = small.subspan(slo, shi - slo);
+      if (left_larger) {
+        MergeJoinInto(big_sub, small_sub, static_cast<uint32_t>(blo),
+                      static_cast<uint32_t>(slo), &outs[p]);
+      } else {
+        MergeJoinInto(small_sub, big_sub, static_cast<uint32_t>(slo),
+                      static_cast<uint32_t>(blo), &outs[p]);
+      }
+    }
+  });
+
+  size_t total = 0;
+  for (const auto& o : outs) total += o.size();
+  std::vector<std::pair<uint32_t, uint32_t>> out;
+  out.reserve(total);
+  for (const auto& o : outs) out.insert(out.end(), o.begin(), o.end());
   return out;
 }
 
 uint64_t MergeCountMatches(std::span<const uint64_t> values,
-                           std::span<const uint64_t> keys) {
+                           std::span<const uint64_t> keys,
+                           const exec::ExecContext& ctx) {
+  const uint64_t n = values.size();
+  if (ctx.parallel() && n >= 2 * kMorsel && !keys.empty()) {
+    // Range-partition `values`; each chunk counts matches against the key
+    // subrange it can touch. Per-element membership is independent, so the
+    // per-chunk counts are additive and the total equals the serial count.
+    const uint64_t chunks = (n + kMorsel - 1) / kMorsel;
+    std::vector<uint64_t> partial(chunks, 0);
+    ctx.ParallelFor(n, kMorsel, [&](uint64_t b, uint64_t e, uint64_t c) {
+      const auto kb =
+          std::lower_bound(keys.begin(), keys.end(), values[b]);
+      uint64_t count = 0;
+      size_t i = b;
+      auto j = kb;
+      while (i < e && j != keys.end()) {
+        if (values[i] < *j) {
+          ++i;
+        } else if (*j < values[i]) {
+          ++j;
+        } else {
+          ++count;
+          ++i;  // keys are unique; values may repeat
+        }
+      }
+      partial[c] = count;
+    });
+    uint64_t total = 0;
+    for (uint64_t c : partial) total += c;
+    return total;
+  }
   uint64_t count = 0;
   size_t i = 0, j = 0;
   while (i < values.size() && j < keys.size()) {
@@ -299,7 +426,28 @@ uint64_t MergeCountMatches(std::span<const uint64_t> values,
 }
 
 PositionVector MergeSelectPositions(std::span<const uint64_t> values,
-                                    std::span<const uint64_t> keys) {
+                                    std::span<const uint64_t> keys,
+                                    const exec::ExecContext& ctx) {
+  const uint64_t n = values.size();
+  if (ctx.parallel() && n >= 2 * kMorsel && !keys.empty()) {
+    // Range-partition `values`; chunk outputs concatenate in chunk order,
+    // which is ascending position order — exactly the serial sequence.
+    return MorselSelect(ctx, n, [&](uint64_t b, uint64_t e,
+                                    PositionVector* out) {
+      auto j = std::lower_bound(keys.begin(), keys.end(), values[b]);
+      size_t i = b;
+      while (i < e && j != keys.end()) {
+        if (values[i] < *j) {
+          ++i;
+        } else if (*j < values[i]) {
+          ++j;
+        } else {
+          out->push_back(static_cast<uint32_t>(i));
+          ++i;
+        }
+      }
+    });
+  }
   PositionVector out;
   size_t i = 0, j = 0;
   while (i < values.size() && j < keys.size()) {
@@ -324,8 +472,9 @@ std::vector<uint64_t> SortedIntersect(std::span<const uint64_t> a,
 }
 
 std::vector<uint64_t> UnionDistinct(
-    const std::vector<std::vector<uint64_t>>& lists) {
-  if (exec::Threads() <= 1 || lists.size() <= 1) {
+    const std::vector<std::vector<uint64_t>>& lists,
+    const exec::ExecContext& ctx) {
+  if (!ctx.parallel() || lists.size() <= 1) {
     size_t total = 0;
     for (const auto& l : lists) total += l.size();
     std::vector<uint64_t> out;
@@ -338,13 +487,13 @@ std::vector<uint64_t> UnionDistinct(
   // tree. A sorted set is one value regardless of merge shape, so the
   // result matches the serial path exactly.
   std::vector<std::vector<uint64_t>> sorted(lists.size());
-  exec::ParallelFor(lists.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
+  ctx.ParallelFor(lists.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
     for (uint64_t l = b; l < e; ++l) sorted[l] = SortDistinct(lists[l]);
   });
   while (sorted.size() > 1) {
     const uint64_t pairs = sorted.size() / 2;
     std::vector<std::vector<uint64_t>> next((sorted.size() + 1) / 2);
-    exec::ParallelFor(pairs, 1, [&](uint64_t b, uint64_t e, uint64_t) {
+    ctx.ParallelFor(pairs, 1, [&](uint64_t b, uint64_t e, uint64_t) {
       for (uint64_t p = b; p < e; ++p) {
         next[p] = SetUnion2(sorted[2 * p], sorted[2 * p + 1]);
       }

@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "exec/exec_context.h"
+
 namespace swan::colstore {
 
 // BAT-style vectorized operators. Positions are uint32 row indices into a
@@ -14,25 +16,30 @@ namespace swan::colstore {
 // array-indexed membership and aggregation — the column store's structural
 // advantage over generic hash-based row processing.
 //
-// The scan/aggregate operators are morsel-parallel: when exec::SetThreads
-// has configured more than one thread and the input is large enough, they
-// split into chunks executed across the pool and recombine in chunk order
-// (selection) or by commutative merge (aggregation), so results are
-// identical at every thread count. At one thread they run the original
-// serial loops.
+// The scan/aggregate/join operators are morsel-parallel under an explicit
+// exec::ExecContext: when the context's thread budget exceeds one and the
+// input is large enough, they split into chunks executed across the pool
+// and recombine in chunk order (selection, join) or by commutative merge
+// (aggregation), so results are identical at every thread count. The
+// defaulted context snapshots the globally configured width; passing
+// ExecContext(1) forces the original serial loops. No operator reads
+// global execution state directly.
 
 using PositionVector = std::vector<uint32_t>;
 
 // Positions where col[i] == value.
-PositionVector SelectEq(std::span<const uint64_t> col, uint64_t value);
+PositionVector SelectEq(std::span<const uint64_t> col, uint64_t value,
+                        const exec::ExecContext& ctx = exec::ExecContext());
 
 // Positions i in `sel` where col[i] == value.
 PositionVector SelectEq(std::span<const uint64_t> col,
-                        const PositionVector& sel, uint64_t value);
+                        const PositionVector& sel, uint64_t value,
+                        const exec::ExecContext& ctx = exec::ExecContext());
 
 // Positions i in `sel` where col[i] != value.
 PositionVector SelectNe(std::span<const uint64_t> col,
-                        const PositionVector& sel, uint64_t value);
+                        const PositionVector& sel, uint64_t value,
+                        const exec::ExecContext& ctx = exec::ExecContext());
 
 // [lo, hi) such that col[lo..hi) == value, for a sorted column.
 std::pair<uint32_t, uint32_t> EqRangeSorted(std::span<const uint64_t> col,
@@ -46,7 +53,8 @@ std::pair<uint32_t, uint32_t> EqRangeSorted2(std::span<const uint64_t> primary,
 
 // Materializes col[sel[i]] for all i.
 std::vector<uint64_t> Gather(std::span<const uint64_t> col,
-                             const PositionVector& sel);
+                             const PositionVector& sel,
+                             const exec::ExecContext& ctx = exec::ExecContext());
 
 // Dense bitmap over dictionary ids, the column store's O(1) membership
 // structure (MonetDB would use a void-headed BAT the same way). Packed
@@ -70,19 +78,23 @@ class MarkSet {
 };
 
 // Positions i (of `col` or of `sel`) where col value is marked.
-PositionVector SelectMarked(std::span<const uint64_t> col, const MarkSet& set);
+PositionVector SelectMarked(std::span<const uint64_t> col, const MarkSet& set,
+                            const exec::ExecContext& ctx = exec::ExecContext());
 PositionVector SelectMarked(std::span<const uint64_t> col,
-                            const PositionVector& sel, const MarkSet& set);
+                            const PositionVector& sel, const MarkSet& set,
+                            const exec::ExecContext& ctx = exec::ExecContext());
 
 // Dense group-by-count over dictionary ids: returns (value, count) pairs
 // for every value occurring in `keys`, ordered by value.
 std::vector<std::pair<uint64_t, uint64_t>> CountByKeyDense(
-    std::span<const uint64_t> keys, uint64_t universe_size);
+    std::span<const uint64_t> keys, uint64_t universe_size,
+    const exec::ExecContext& ctx = exec::ExecContext());
 
 // As above but counting col[sel[i]].
 std::vector<std::pair<uint64_t, uint64_t>> CountByKeyDense(
     std::span<const uint64_t> col, const PositionVector& sel,
-    uint64_t universe_size);
+    uint64_t universe_size,
+    const exec::ExecContext& ctx = exec::ExecContext());
 
 // Group-by-count over (a, b) pairs (e.g. q3's GROUP BY prop, obj).
 // Requires both id spaces < 2^32 so the pair packs into a uint64.
@@ -92,25 +104,40 @@ struct PairCount {
   uint64_t b;
   uint64_t count;
 };
-std::vector<PairCount> CountByPair(std::span<const uint64_t> a,
-                                   std::span<const uint64_t> b);
+std::vector<PairCount> CountByPair(
+    std::span<const uint64_t> a, std::span<const uint64_t> b,
+    const exec::ExecContext& ctx = exec::ExecContext());
 
 // All matching index pairs of two sorted columns (merge join). Handles
 // duplicates on both sides (cross product per equal run) — needed for q7
 // where one subject can carry several Encoding/type triples.
+//
+// Parallelism is *intra-operator* by key-range partitioning: the larger
+// input is split into equal-size morsels whose boundaries are advanced to
+// equal-run edges (no run straddles a partition), the matching key range
+// of the other input is found by binary search, and the partitions join
+// independently. Concatenating partition outputs in range order yields
+// exactly the serial pair sequence, so a skewed key (one giant equal run)
+// degrades gracefully to that run's cost instead of serializing the whole
+// join. ctx.counters().merge_join_partitions records the fan-out.
 std::vector<std::pair<uint32_t, uint32_t>> MergeJoin(
-    std::span<const uint64_t> left, std::span<const uint64_t> right);
+    std::span<const uint64_t> left, std::span<const uint64_t> right,
+    const exec::ExecContext& ctx = exec::ExecContext());
 
 // Number of entries of `values` (sorted, duplicates allowed) whose value
 // occurs in `keys` (sorted, unique): the counting form of the "simple,
-// fast (linear) merge join" the vertical scheme relies on.
+// fast (linear) merge join" the vertical scheme relies on. Parallelized by
+// range-partitioning `values` (counts are additive across partitions).
 uint64_t MergeCountMatches(std::span<const uint64_t> values,
-                           std::span<const uint64_t> keys);
+                           std::span<const uint64_t> keys,
+                           const exec::ExecContext& ctx = exec::ExecContext());
 
 // Positions of entries of `values` (sorted, duplicates allowed) whose
-// value occurs in `keys` (sorted, unique).
-PositionVector MergeSelectPositions(std::span<const uint64_t> values,
-                                    std::span<const uint64_t> keys);
+// value occurs in `keys` (sorted, unique). Parallelized by
+// range-partitioning `values`; partitions concatenate in range order.
+PositionVector MergeSelectPositions(
+    std::span<const uint64_t> values, std::span<const uint64_t> keys,
+    const exec::ExecContext& ctx = exec::ExecContext());
 
 // Intersection of two sorted unique id lists.
 std::vector<uint64_t> SortedIntersect(std::span<const uint64_t> a,
@@ -118,7 +145,8 @@ std::vector<uint64_t> SortedIntersect(std::span<const uint64_t> a,
 
 // Sorted distinct union of several id lists (unsorted inputs allowed).
 std::vector<uint64_t> UnionDistinct(
-    const std::vector<std::vector<uint64_t>>& lists);
+    const std::vector<std::vector<uint64_t>>& lists,
+    const exec::ExecContext& ctx = exec::ExecContext());
 
 // Sorted copy with duplicates removed.
 std::vector<uint64_t> SortDistinct(std::vector<uint64_t> values);

@@ -7,6 +7,7 @@
 
 #include "audit/audit.h"
 #include "core/query.h"
+#include "exec/exec_context.h"
 #include "rdf/pattern.h"
 #include "rdf/triple.h"
 #include "storage/buffer_pool.h"
@@ -33,14 +34,31 @@ class Backend {
     return true;
   }
 
-  // Executes a benchmark query. The caller is responsible for the timing
-  // protocol (see bench_support::Harness).
-  virtual QueryResult Run(QueryId id, const QueryContext& ctx) = 0;
+  // Executes a benchmark query under an explicit execution context (thread
+  // budget + per-query operator counters). The caller is responsible for
+  // the timing protocol (see bench_support::Harness). Running with
+  // ExecContext(1) is bit-identical to the serial engine.
+  virtual QueryResult Run(QueryId id, const QueryContext& ctx,
+                          const exec::ExecContext& ectx) = 0;
+
+  // Convenience: run under a default context (the globally configured
+  // thread width). Derived classes re-expose this with
+  // `using Backend::Run;`.
+  QueryResult Run(QueryId id, const QueryContext& ctx) {
+    return Run(id, ctx, exec::ExecContext());
+  }
 
   // Generic triple-pattern lookup, the building block of the BGP
-  // evaluator. Returns all matching triples.
+  // evaluator. Returns all matching triples, in the backend's canonical
+  // (deterministic) order regardless of the context's thread count.
   virtual std::vector<rdf::Triple> Match(
-      const rdf::TriplePattern& pattern) const = 0;
+      const rdf::TriplePattern& pattern,
+      const exec::ExecContext& ectx) const = 0;
+
+  // Convenience overload under a default context.
+  std::vector<rdf::Triple> Match(const rdf::TriplePattern& pattern) const {
+    return Match(pattern, exec::ExecContext());
+  }
 
   // Adds a triple (ids must already be interned in the owning dataset's
   // dictionary). Row backends update their B+trees in place; column
@@ -58,10 +76,10 @@ class Backend {
   // so the next query pays full I/O.
   virtual void DropCaches() = 0;
 
+  // Const-overloaded accessors (no const_cast laundering: a const backend
+  // hands out a const disk).
   virtual storage::SimulatedDisk* disk() = 0;
-  const storage::SimulatedDisk* disk() const {
-    return const_cast<Backend*>(this)->disk();
-  }
+  virtual const storage::SimulatedDisk* disk() const = 0;
 
   // Total on-disk footprint of the backend's physical design.
   virtual uint64_t disk_bytes() const = 0;
@@ -86,6 +104,7 @@ class BackendBase : public Backend {
         pool_(std::make_unique<storage::BufferPool>(disk_.get(), pool_pages)) {}
 
   storage::SimulatedDisk* disk() override { return disk_.get(); }
+  const storage::SimulatedDisk* disk() const override { return disk_.get(); }
   storage::BufferPool* pool() { return pool_.get(); }
 
   // Storage-level audit shared by every engine: buffer-pool accounting and

@@ -1,5 +1,6 @@
 #include "core/bgp.h"
 
+#include <algorithm>
 #include <climits>
 #include <optional>
 #include <unordered_map>
@@ -76,8 +77,13 @@ std::vector<size_t> PlanPatternOrder(const std::vector<BgpPattern>& patterns) {
   return order;
 }
 
+// Bindings per extension batch: one Match per binding dominates the work,
+// so small batches balance skewed fan-outs across lanes.
+constexpr uint64_t kBindingsPerBatch = 16;
+
 Result<BgpResult> ExecuteBgp(const Backend& backend,
-                             const std::vector<BgpPattern>& raw_patterns) {
+                             const std::vector<BgpPattern>& raw_patterns,
+                             const exec::ExecContext& ectx) {
   std::vector<BgpPattern> patterns;
   patterns.reserve(raw_patterns.size());
   for (size_t i : PlanPatternOrder(raw_patterns)) {
@@ -112,14 +118,17 @@ Result<BgpResult> ExecuteBgp(const Backend& backend,
       return std::nullopt;  // variable introduced by this pattern
     };
 
-    std::vector<std::vector<uint64_t>> next_rows;
-    for (const auto& row : result.rows) {
+    // Extends one binding row with every match of the instantiated
+    // pattern, appending the surviving extensions to *out in match order.
+    auto extend_row = [&](const std::vector<uint64_t>& row,
+                          std::vector<std::vector<uint64_t>>* out) {
       rdf::TriplePattern tp;
       tp.subject = bound_value(s, row);
       tp.property = bound_value(p, row);
       tp.object = bound_value(o, row);
 
-      for (const rdf::Triple& t : backend.Match(tp)) {
+      ++ectx.counters().match_calls;
+      for (const rdf::Triple& t : backend.Match(tp, ectx)) {
         // Extend the binding; enforce consistency for variables repeated
         // *within* this pattern (e.g. (?x, p, ?x)).
         std::vector<uint64_t> extended = row;
@@ -141,13 +150,49 @@ Result<BgpResult> ExecuteBgp(const Backend& backend,
         bind(s, t.subject);
         bind(p, t.property);
         bind(o, t.object);
-        if (consistent) next_rows.push_back(std::move(extended));
+        if (consistent) out->push_back(std::move(extended));
+      }
+    };
+
+    std::vector<std::vector<uint64_t>> next_rows;
+    const uint64_t n = result.rows.size();
+    const uint64_t batches =
+        ectx.parallel() && n >= 2 * kBindingsPerBatch
+            ? (n + kBindingsPerBatch - 1) / kBindingsPerBatch
+            : 1;
+    if (batches <= 1) {
+      for (const auto& row : result.rows) extend_row(row, &next_rows);
+    } else {
+      // Order-preserving stitch: batch b covers a contiguous row range,
+      // and batch outputs concatenate in batch order — the exact serial
+      // extension sequence regardless of lane interleaving.
+      ectx.counters().bgp_batches += batches;
+      std::vector<std::vector<std::vector<uint64_t>>> batch_out(batches);
+      ectx.ParallelFor(batches, 1, [&](uint64_t b, uint64_t e, uint64_t) {
+        for (uint64_t batch = b; batch < e; ++batch) {
+          const uint64_t lo = batch * kBindingsPerBatch;
+          const uint64_t hi = std::min<uint64_t>(n, lo + kBindingsPerBatch);
+          for (uint64_t i = lo; i < hi; ++i) {
+            extend_row(result.rows[i], &batch_out[batch]);
+          }
+        }
+      });
+      size_t total = 0;
+      for (const auto& out : batch_out) total += out.size();
+      next_rows.reserve(total);
+      for (auto& out : batch_out) {
+        for (auto& row : out) next_rows.push_back(std::move(row));
       }
     }
     result.rows = std::move(next_rows);
     if (result.rows.empty()) break;
   }
   return result;
+}
+
+Result<BgpResult> ExecuteBgp(const Backend& backend,
+                             const std::vector<BgpPattern>& raw_patterns) {
+  return ExecuteBgp(backend, raw_patterns, exec::ExecContext());
 }
 
 }  // namespace swan::core

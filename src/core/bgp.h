@@ -53,6 +53,18 @@ std::vector<size_t> PlanPatternOrder(const std::vector<BgpPattern>& patterns);
 // within one pattern are checked for consistency. Result columns follow
 // first-appearance order *in evaluation order* — consult BgpResult::vars
 // rather than assuming the query's textual order.
+//
+// Under a parallel ExecContext the binding table of each step is range-
+// partitioned into batches whose extensions run concurrently (each batch
+// issues its own Match calls); batch outputs concatenate in batch order,
+// so the binding rows come out in exactly the serial sequence at every
+// thread count. ectx.counters() records match_calls and bgp_batches.
+Result<BgpResult> ExecuteBgp(const Backend& backend,
+                             const std::vector<BgpPattern>& patterns,
+                             const exec::ExecContext& ectx);
+
+// Convenience overload under a default context (the globally configured
+// thread width).
 Result<BgpResult> ExecuteBgp(const Backend& backend,
                              const std::vector<BgpPattern>& patterns);
 

@@ -5,7 +5,6 @@
 #include <span>
 
 #include "common/macros.h"
-#include "exec/thread_pool.h"
 
 namespace swan::core {
 
@@ -40,9 +39,10 @@ constexpr uint64_t kScanMorsel = 1ull << 16;
 // summed afterwards, so the totals are identical at any thread count.
 std::vector<uint64_t> CountPropsOfMarkedSubjects(
     std::span<const uint64_t> subj, std::span<const uint64_t> prop,
-    uint64_t dict_size, const MarkSet& subjects) {
+    uint64_t dict_size, const MarkSet& subjects,
+    const exec::ExecContext& ectx) {
   const uint64_t n = subj.size();
-  const uint64_t shards = exec::ShardsFor(n, kScanMorsel);
+  const uint64_t shards = ectx.ShardsFor(n, kScanMorsel);
   std::vector<uint64_t> counts;
   if (shards <= 1) {
     counts.assign(dict_size, 0);
@@ -53,7 +53,7 @@ std::vector<uint64_t> CountPropsOfMarkedSubjects(
   }
   const uint64_t grain = (n + shards - 1) / shards;
   std::vector<std::vector<uint64_t>> partials(shards);
-  exec::ParallelFor(n, grain, [&](uint64_t b, uint64_t e, uint64_t c) {
+  ectx.ParallelFor(n, grain, [&](uint64_t b, uint64_t e, uint64_t c) {
     partials[c].assign(dict_size, 0);
     auto& local = partials[c];
     for (uint64_t i = b; i < e; ++i) {
@@ -71,8 +71,9 @@ std::vector<uint64_t> CountPropsOfMarkedSubjects(
 // Chunked positional scan: collects positions i where pred(i), morsel by
 // morsel, concatenated in chunk order — the serial scan's output.
 template <typename Pred>
-PositionVector ScanPositions(uint64_t n, const Pred& pred) {
-  if (exec::Threads() <= 1 || n < 2 * kScanMorsel) {
+PositionVector ScanPositions(const exec::ExecContext& ectx, uint64_t n,
+                             const Pred& pred) {
+  if (!ectx.parallel() || n < 2 * kScanMorsel) {
     PositionVector out;
     for (uint64_t i = 0; i < n; ++i) {
       if (pred(i)) out.push_back(static_cast<uint32_t>(i));
@@ -81,7 +82,7 @@ PositionVector ScanPositions(uint64_t n, const Pred& pred) {
   }
   const uint64_t chunks = (n + kScanMorsel - 1) / kScanMorsel;
   std::vector<PositionVector> parts(chunks);
-  exec::ParallelFor(n, kScanMorsel, [&](uint64_t b, uint64_t e, uint64_t c) {
+  ectx.ParallelFor(n, kScanMorsel, [&](uint64_t b, uint64_t e, uint64_t c) {
     for (uint64_t i = b; i < e; ++i) {
       if (pred(i)) parts[c].push_back(static_cast<uint32_t>(i));
     }
@@ -92,6 +93,32 @@ PositionVector ScanPositions(uint64_t n, const Pred& pred) {
   out.reserve(total);
   for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
   return out;
+}
+
+// One (property, row-range) work unit of a flattened per-property fan-out.
+struct PropMorsel {
+  uint32_t prop_idx;
+  uint32_t lo;
+  uint32_t hi;
+};
+
+// Splits every property's partition rows into ~kScanMorsel-row morsels,
+// in (property, range) order. Fanning out over these instead of whole
+// properties lets one giant partition (the q4*-family skew case, where a
+// handful of properties hold most of the data) load-balance across lanes
+// instead of serializing on a single one.
+template <typename RowCountFn>
+std::vector<PropMorsel> FlattenPropMorsels(uint64_t props,
+                                           const RowCountFn& rows_of) {
+  std::vector<PropMorsel> morsels;
+  for (uint64_t k = 0; k < props; ++k) {
+    const uint64_t n = rows_of(k);
+    for (uint64_t lo = 0; lo < n; lo += kScanMorsel) {
+      morsels.push_back({static_cast<uint32_t>(k), static_cast<uint32_t>(lo),
+                         static_cast<uint32_t>(std::min(lo + kScanMorsel, n))});
+    }
+  }
+  return morsels;
 }
 
 }  // namespace
@@ -133,41 +160,43 @@ void ColTripleBackend::DropCaches() {
   pool_->Clear();
 }
 
-PositionVector ColTripleBackend::PropPositions(uint64_t property) const {
+PositionVector ColTripleBackend::PropPositions(
+    uint64_t property, const exec::ExecContext& ectx) const {
   if (pso_) {
     const auto [lo, hi] = table_->PrimaryRange(property);
     PositionVector out(hi - lo);
     std::iota(out.begin(), out.end(), lo);
     return out;
   }
-  return SelectEq(table_->properties(), property);
+  return SelectEq(table_->properties(), property, ectx);
 }
 
 std::vector<uint64_t> ColTripleBackend::SubjectsWithPropObj(
-    uint64_t property, uint64_t object) const {
-  const PositionVector props = PropPositions(property);
-  const PositionVector sel = SelectEq(table_->objects(), props, object);
+    uint64_t property, uint64_t object, const exec::ExecContext& ectx) const {
+  const PositionVector props = PropPositions(property, ectx);
+  const PositionVector sel = SelectEq(table_->objects(), props, object, ectx);
   // Subjects come out ascending in both sort orders: SPO is globally
   // subject-sorted, PSO is subject-sorted within one property.
-  return Gather(table_->subjects(), sel);
+  return Gather(table_->subjects(), sel, ectx);
 }
 
-QueryResult ColTripleBackend::RunQ1(const QueryContext& ctx) const {
-  const PositionVector sel = PropPositions(ctx.vocab().type);
+QueryResult ColTripleBackend::RunQ1(const QueryContext& ctx,
+                                    const exec::ExecContext& ectx) const {
+  const PositionVector sel = PropPositions(ctx.vocab().type, ectx);
   QueryResult result;
   result.column_names = {"obj", "count"};
   for (const auto& [obj, count] :
-       CountByKeyDense(table_->objects(), sel, ctx.dict_size())) {
+       CountByKeyDense(table_->objects(), sel, ctx.dict_size(), ectx)) {
     result.rows.push_back({obj, count});
   }
   return result;
 }
 
-QueryResult ColTripleBackend::RunQ2Family(QueryId id,
-                                          const QueryContext& ctx) const {
+QueryResult ColTripleBackend::RunQ2Family(QueryId id, const QueryContext& ctx,
+                                          const exec::ExecContext& ectx) const {
   const auto& v = ctx.vocab();
   MarkSet a_subjects(ctx.dict_size());
-  a_subjects.MarkAll(SubjectsWithPropObj(v.type, v.text));
+  a_subjects.MarkAll(SubjectsWithPropObj(v.type, v.text, ectx));
 
   const bool filter = UseFilter(id, ctx);
   MarkSet interesting(filter ? ctx.dict_size() : 1);
@@ -176,8 +205,9 @@ QueryResult ColTripleBackend::RunQ2Family(QueryId id,
   // Count every property of the marked subjects (morsel-parallel), then
   // apply the property filter when emitting — non-interesting properties
   // simply never produce a row, so the rows match the fused filter scan.
-  const std::vector<uint64_t> counts = CountPropsOfMarkedSubjects(
-      table_->subjects(), table_->properties(), ctx.dict_size(), a_subjects);
+  const std::vector<uint64_t> counts =
+      CountPropsOfMarkedSubjects(table_->subjects(), table_->properties(),
+                                 ctx.dict_size(), a_subjects, ectx);
 
   QueryResult result;
   result.column_names = {"prop", "count"};
@@ -189,18 +219,18 @@ QueryResult ColTripleBackend::RunQ2Family(QueryId id,
   return result;
 }
 
-QueryResult ColTripleBackend::RunQ3Family(QueryId id,
-                                          const QueryContext& ctx) const {
+QueryResult ColTripleBackend::RunQ3Family(QueryId id, const QueryContext& ctx,
+                                          const exec::ExecContext& ectx) const {
   const auto& v = ctx.vocab();
   MarkSet a_subjects(ctx.dict_size());
-  a_subjects.MarkAll(SubjectsWithPropObj(v.type, v.text));
+  a_subjects.MarkAll(SubjectsWithPropObj(v.type, v.text, ectx));
 
   // q4/q4*: B's subject must also carry (language, fre).
   const bool with_language =
       BaseOf(id) == QueryId::kQ4;
   MarkSet c_subjects(with_language ? ctx.dict_size() : 1);
   if (with_language) {
-    c_subjects.MarkAll(SubjectsWithPropObj(v.language, v.french));
+    c_subjects.MarkAll(SubjectsWithPropObj(v.language, v.french, ectx));
   }
 
   const bool filter = UseFilter(id, ctx);
@@ -209,19 +239,20 @@ QueryResult ColTripleBackend::RunQ3Family(QueryId id,
 
   const auto& subj = table_->subjects();
   const auto& prop = table_->properties();
-  const PositionVector sel = ScanPositions(subj.size(), [&](uint64_t i) {
-    if (!a_subjects.Test(subj[i])) return false;
-    if (with_language && !c_subjects.Test(subj[i])) return false;
-    if (filter && !interesting.Test(prop[i])) return false;
-    return true;
-  });
+  const PositionVector sel =
+      ScanPositions(ectx, subj.size(), [&](uint64_t i) {
+        if (!a_subjects.Test(subj[i])) return false;
+        if (with_language && !c_subjects.Test(subj[i])) return false;
+        if (filter && !interesting.Test(prop[i])) return false;
+        return true;
+      });
 
-  const std::vector<uint64_t> props = Gather(prop, sel);
-  const std::vector<uint64_t> objs = Gather(table_->objects(), sel);
+  const std::vector<uint64_t> props = Gather(prop, sel, ectx);
+  const std::vector<uint64_t> objs = Gather(table_->objects(), sel, ectx);
 
   QueryResult result;
   result.column_names = {"prop", "obj", "count"};
-  for (const auto& group : CountByPair(props, objs)) {
+  for (const auto& group : CountByPair(props, objs, ectx)) {
     if (group.count > 1) {
       result.rows.push_back({group.a, group.b, group.count});
     }
@@ -229,14 +260,15 @@ QueryResult ColTripleBackend::RunQ3Family(QueryId id,
   return result;
 }
 
-QueryResult ColTripleBackend::RunQ5(const QueryContext& ctx) const {
+QueryResult ColTripleBackend::RunQ5(const QueryContext& ctx,
+                                    const exec::ExecContext& ectx) const {
   const auto& v = ctx.vocab();
   MarkSet a_subjects(ctx.dict_size());
-  a_subjects.MarkAll(SubjectsWithPropObj(v.origin, v.dlc));
+  a_subjects.MarkAll(SubjectsWithPropObj(v.origin, v.dlc, ectx));
 
   // B: records-triples of DLC-origin subjects, as (object, subject) pairs
   // sorted by object for the C-join.
-  const PositionVector rec_positions = PropPositions(v.records);
+  const PositionVector rec_positions = PropPositions(v.records, ectx);
   std::vector<std::pair<uint64_t, uint64_t>> b_pairs;
   {
     const auto& subj = table_->subjects();
@@ -250,15 +282,15 @@ QueryResult ColTripleBackend::RunQ5(const QueryContext& ctx) const {
   for (size_t i = 0; i < b_pairs.size(); ++i) b_objects[i] = b_pairs[i].first;
 
   // C: type-triples, subject-sorted in both physical orders.
-  const PositionVector type_positions = PropPositions(v.type);
+  const PositionVector type_positions = PropPositions(v.type, ectx);
   const std::vector<uint64_t> c_subjects =
-      Gather(table_->subjects(), type_positions);
+      Gather(table_->subjects(), type_positions, ectx);
   const std::vector<uint64_t> c_objects =
-      Gather(table_->objects(), type_positions);
+      Gather(table_->objects(), type_positions, ectx);
 
   QueryResult result;
   result.column_names = {"subj", "obj"};
-  for (const auto& [bi, ci] : MergeJoin(b_objects, c_subjects)) {
+  for (const auto& [bi, ci] : MergeJoin(b_objects, c_subjects, ectx)) {
     if (c_objects[ci] != v.text) {
       result.rows.push_back({b_pairs[bi].second, c_objects[ci]});
     }
@@ -266,10 +298,10 @@ QueryResult ColTripleBackend::RunQ5(const QueryContext& ctx) const {
   return result;
 }
 
-QueryResult ColTripleBackend::RunQ6Family(QueryId id,
-                                          const QueryContext& ctx) const {
+QueryResult ColTripleBackend::RunQ6Family(QueryId id, const QueryContext& ctx,
+                                          const exec::ExecContext& ectx) const {
   const auto& v = ctx.vocab();
-  const std::vector<uint64_t> a1 = SubjectsWithPropObj(v.type, v.text);
+  const std::vector<uint64_t> a1 = SubjectsWithPropObj(v.type, v.text, ectx);
   MarkSet text_typed(ctx.dict_size());
   text_typed.MarkAll(a1);
 
@@ -278,7 +310,7 @@ QueryResult ColTripleBackend::RunQ6Family(QueryId id,
   MarkSet united(ctx.dict_size());
   united.MarkAll(a1);
   {
-    const PositionVector recs = PropPositions(v.records);
+    const PositionVector recs = PropPositions(v.records, ectx);
     const auto& subj = table_->subjects();
     const auto& obj = table_->objects();
     for (uint32_t i : recs) {
@@ -290,8 +322,9 @@ QueryResult ColTripleBackend::RunQ6Family(QueryId id,
   MarkSet interesting(filter ? ctx.dict_size() : 1);
   if (filter) interesting.MarkAll(ctx.interesting_properties());
 
-  const std::vector<uint64_t> counts = CountPropsOfMarkedSubjects(
-      table_->subjects(), table_->properties(), ctx.dict_size(), united);
+  const std::vector<uint64_t> counts =
+      CountPropsOfMarkedSubjects(table_->subjects(), table_->properties(),
+                                 ctx.dict_size(), united, ectx);
 
   QueryResult result;
   result.column_names = {"prop", "count"};
@@ -303,14 +336,15 @@ QueryResult ColTripleBackend::RunQ6Family(QueryId id,
   return result;
 }
 
-QueryResult ColTripleBackend::RunQ7(const QueryContext& ctx) const {
+QueryResult ColTripleBackend::RunQ7(const QueryContext& ctx,
+                                    const exec::ExecContext& ectx) const {
   const auto& v = ctx.vocab();
   MarkSet a_subjects(ctx.dict_size());
-  a_subjects.MarkAll(SubjectsWithPropObj(v.point, v.end));
+  a_subjects.MarkAll(SubjectsWithPropObj(v.point, v.end, ectx));
 
   auto collect = [&](uint64_t property, std::vector<uint64_t>* subjects,
                      std::vector<uint64_t>* objects) {
-    const PositionVector positions = PropPositions(property);
+    const PositionVector positions = PropPositions(property, ectx);
     const auto& subj = table_->subjects();
     const auto& obj = table_->objects();
     for (uint32_t i : positions) {
@@ -327,33 +361,36 @@ QueryResult ColTripleBackend::RunQ7(const QueryContext& ctx) const {
 
   QueryResult result;
   result.column_names = {"subj", "encoding", "type"};
-  for (const auto& [bi, ci] : MergeJoin(b_subj, c_subj)) {
+  for (const auto& [bi, ci] : MergeJoin(b_subj, c_subj, ectx)) {
     result.rows.push_back({b_subj[bi], b_obj[bi], c_obj[ci]});
   }
   return result;
 }
 
-QueryResult ColTripleBackend::RunQ8(const QueryContext& ctx) const {
+QueryResult ColTripleBackend::RunQ8(const QueryContext& ctx,
+                                    const exec::ExecContext& ectx) const {
   const auto& v = ctx.vocab();
   std::vector<uint64_t> t;
   if (pso_) {
-    const PositionVector sel = SelectEq(table_->subjects(), v.conferences);
-    t = SortDistinct(Gather(table_->objects(), sel));
+    const PositionVector sel =
+        SelectEq(table_->subjects(), v.conferences, ectx);
+    t = SortDistinct(Gather(table_->objects(), sel, ectx));
   } else {
     const auto [lo, hi] = table_->PrimaryRange(v.conferences);
     PositionVector sel(hi - lo);
     std::iota(sel.begin(), sel.end(), lo);
-    t = SortDistinct(Gather(table_->objects(), sel));
+    t = SortDistinct(Gather(table_->objects(), sel, ectx));
   }
   MarkSet shared(ctx.dict_size());
   shared.MarkAll(t);
 
   const auto& subj = table_->subjects();
   const auto& obj = table_->objects();
-  const PositionVector hits = ScanPositions(subj.size(), [&](uint64_t i) {
-    return subj[i] != v.conferences && shared.Test(obj[i]);
-  });
-  std::vector<uint64_t> out = SortDistinct(Gather(subj, hits));
+  const PositionVector hits =
+      ScanPositions(ectx, subj.size(), [&](uint64_t i) {
+        return subj[i] != v.conferences && shared.Test(obj[i]);
+      });
+  std::vector<uint64_t> out = SortDistinct(Gather(subj, hits, ectx));
 
   QueryResult result;
   result.column_names = {"subj"};
@@ -403,24 +440,25 @@ void ColTripleBackend::EnsureMerged() {
   ++merge_count_;
 }
 
-QueryResult ColTripleBackend::Run(QueryId id, const QueryContext& ctx) {
+QueryResult ColTripleBackend::Run(QueryId id, const QueryContext& ctx,
+                                  const exec::ExecContext& ectx) {
   EnsureMerged();
   switch (BaseOf(id)) {
     case QueryId::kQ1:
-      return RunQ1(ctx);
+      return RunQ1(ctx, ectx);
     case QueryId::kQ2:
-      return RunQ2Family(id, ctx);
+      return RunQ2Family(id, ctx, ectx);
     case QueryId::kQ3:
     case QueryId::kQ4:
-      return RunQ3Family(id, ctx);
+      return RunQ3Family(id, ctx, ectx);
     case QueryId::kQ5:
-      return RunQ5(ctx);
+      return RunQ5(ctx, ectx);
     case QueryId::kQ6:
-      return RunQ6Family(id, ctx);
+      return RunQ6Family(id, ctx, ectx);
     case QueryId::kQ7:
-      return RunQ7(ctx);
+      return RunQ7(ctx, ectx);
     case QueryId::kQ8:
-      return RunQ8(ctx);
+      return RunQ8(ctx, ectx);
     default:
       SWAN_CHECK(false);
       return {};
@@ -428,7 +466,7 @@ QueryResult ColTripleBackend::Run(QueryId id, const QueryContext& ctx) {
 }
 
 std::vector<rdf::Triple> ColTripleBackend::Match(
-    const rdf::TriplePattern& pattern) const {
+    const rdf::TriplePattern& pattern, const exec::ExecContext& ectx) const {
   PositionVector sel;
   bool have_sel = false;
 
@@ -466,11 +504,15 @@ std::vector<rdf::Triple> ColTripleBackend::Match(
     sel.resize(table_->size());
     std::iota(sel.begin(), sel.end(), 0);
   }
-  if (residual.subject) sel = SelectEq(table_->subjects(), sel, *residual.subject);
-  if (residual.property) {
-    sel = SelectEq(table_->properties(), sel, *residual.property);
+  if (residual.subject) {
+    sel = SelectEq(table_->subjects(), sel, *residual.subject, ectx);
   }
-  if (residual.object) sel = SelectEq(table_->objects(), sel, *residual.object);
+  if (residual.property) {
+    sel = SelectEq(table_->properties(), sel, *residual.property, ectx);
+  }
+  if (residual.object) {
+    sel = SelectEq(table_->objects(), sel, *residual.object, ectx);
+  }
 
   std::vector<rdf::Triple> out;
   out.reserve(sel.size());
@@ -560,11 +602,11 @@ void ColVerticalBackend::DropCaches() {
 }
 
 std::vector<uint64_t> ColVerticalBackend::SubjectsWhereObjEq(
-    uint64_t property, uint64_t object) const {
+    uint64_t property, uint64_t object, const exec::ExecContext& ectx) const {
   if (!table_->HasPartition(property)) return {};
-  const PositionVector sel = SelectEq(table_->Objects(property), object);
+  const PositionVector sel = SelectEq(table_->Objects(property), object, ectx);
   // Subject columns are sorted, so the gathered subset stays sorted.
-  return Gather(table_->Subjects(property), sel);
+  return Gather(table_->Subjects(property), sel, ectx);
 }
 
 std::vector<uint64_t> ColVerticalBackend::PropertyList(
@@ -573,93 +615,142 @@ std::vector<uint64_t> ColVerticalBackend::PropertyList(
   return ctx.interesting_properties();
 }
 
-QueryResult ColVerticalBackend::RunQ1(const QueryContext& ctx) const {
+QueryResult ColVerticalBackend::RunQ1(const QueryContext& ctx,
+                                      const exec::ExecContext& ectx) const {
   QueryResult result;
   result.column_names = {"obj", "count"};
   if (!table_->HasPartition(ctx.vocab().type)) return result;
-  for (const auto& [obj, count] :
-       CountByKeyDense(table_->Objects(ctx.vocab().type), ctx.dict_size())) {
+  for (const auto& [obj, count] : CountByKeyDense(
+           table_->Objects(ctx.vocab().type), ctx.dict_size(), ectx)) {
     result.rows.push_back({obj, count});
   }
   return result;
 }
 
-QueryResult ColVerticalBackend::RunQ2Family(QueryId id,
-                                            const QueryContext& ctx) const {
+QueryResult ColVerticalBackend::RunQ2Family(
+    QueryId id, const QueryContext& ctx, const exec::ExecContext& ectx) const {
   const auto& v = ctx.vocab();
-  const std::vector<uint64_t> a = SubjectsWhereObjEq(v.type, v.text);
+  const std::vector<uint64_t> a = SubjectsWhereObjEq(v.type, v.text, ectx);
 
   QueryResult result;
   result.column_names = {"prop", "count"};
   // One merge join per property table, then the implicit union of all the
   // per-partition results — the plan shape the Perl-generated SQL produces.
-  // The per-property sub-plans are independent, so they fan out across the
-  // pool (on cold runs each sub-plan also streams its own partition in).
+  // The fan-out is over flattened (property, row-range) morsels rather
+  // than whole properties, so the handful of giant partitions that
+  // dominate q2* load-balance across lanes; per-morsel counts are
+  // additive per property, so the totals match the serial loop exactly.
   const std::vector<uint64_t> props = PropertyList(id, ctx);
-  std::vector<uint64_t> counts(props.size(), 0);
-  exec::ParallelFor(props.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
-    for (uint64_t k = b; k < e; ++k) {
-      if (!table_->HasPartition(props[k])) continue;
-      counts[k] = MergeCountMatches(table_->Subjects(props[k]), a);
+  const std::vector<PropMorsel> morsels =
+      FlattenPropMorsels(props.size(), [&](uint64_t k) -> uint64_t {
+        return table_->HasPartition(props[k])
+                   ? table_->Subjects(props[k]).size()
+                   : 0;
+      });
+  std::vector<uint64_t> partial(morsels.size(), 0);
+  ectx.ParallelFor(morsels.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
+    for (uint64_t m = b; m < e; ++m) {
+      const PropMorsel& ms = morsels[m];
+      const auto subj =
+          std::span<const uint64_t>(table_->Subjects(props[ms.prop_idx]))
+              .subspan(ms.lo, ms.hi - ms.lo);
+      partial[m] = MergeCountMatches(subj, a, ectx);
     }
   });
+  std::vector<uint64_t> counts(props.size(), 0);
+  for (size_t m = 0; m < morsels.size(); ++m) {
+    counts[morsels[m].prop_idx] += partial[m];
+  }
   for (size_t k = 0; k < props.size(); ++k) {
     if (counts[k] > 0) result.rows.push_back({props[k], counts[k]});
   }
   return result;
 }
 
-QueryResult ColVerticalBackend::RunQ3Family(QueryId id,
-                                            const QueryContext& ctx) const {
+QueryResult ColVerticalBackend::RunQ3Family(
+    QueryId id, const QueryContext& ctx, const exec::ExecContext& ectx) const {
   const auto& v = ctx.vocab();
-  std::vector<uint64_t> a = SubjectsWhereObjEq(v.type, v.text);
+  std::vector<uint64_t> a = SubjectsWhereObjEq(v.type, v.text, ectx);
   if (BaseOf(id) == QueryId::kQ4) {
-    a = SortedIntersect(a, SubjectsWhereObjEq(v.language, v.french));
+    a = SortedIntersect(a, SubjectsWhereObjEq(v.language, v.french, ectx));
   }
 
   QueryResult result;
   result.column_names = {"prop", "obj", "count"};
-  // Independent per-property sub-plans; each produces its row group, and
-  // the groups are stitched back together in property-list order so the
-  // result matches the serial loop row for row.
+  // Flattened (property, row-range) morsels: each morsel filters its row
+  // range against `a` and pre-aggregates its objects into a sorted
+  // (obj, count) list; per property, the morsel lists are merged with
+  // counts summed, which is exactly the serial whole-partition
+  // sort-and-count. This is the q4* fix: before, one skewed partition
+  // pinned the entire query to a single lane.
   const std::vector<uint64_t> props = PropertyList(id, ctx);
-  std::vector<std::vector<std::vector<uint64_t>>> groups(props.size());
-  exec::ParallelFor(props.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
-    for (uint64_t k = b; k < e; ++k) {
-      const uint64_t p = props[k];
-      if (!table_->HasPartition(p)) continue;
-      const PositionVector sel =
-          MergeSelectPositions(table_->Subjects(p), a);
-      std::vector<uint64_t> objs = Gather(table_->Objects(p), sel);
+  const std::vector<PropMorsel> morsels =
+      FlattenPropMorsels(props.size(), [&](uint64_t k) -> uint64_t {
+        return table_->HasPartition(props[k])
+                   ? table_->Subjects(props[k]).size()
+                   : 0;
+      });
+  std::vector<std::vector<std::pair<uint64_t, uint64_t>>> partial(
+      morsels.size());
+  ectx.ParallelFor(morsels.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
+    for (uint64_t m = b; m < e; ++m) {
+      const PropMorsel& ms = morsels[m];
+      const uint64_t p = props[ms.prop_idx];
+      const auto subj = std::span<const uint64_t>(table_->Subjects(p))
+                            .subspan(ms.lo, ms.hi - ms.lo);
+      const PositionVector sel = MergeSelectPositions(subj, a, ectx);
+      const auto& obj = table_->Objects(p);
+      std::vector<uint64_t> objs(sel.size());
+      for (size_t i = 0; i < sel.size(); ++i) objs[i] = obj[ms.lo + sel[i]];
       std::sort(objs.begin(), objs.end());
       size_t i = 0;
       while (i < objs.size()) {
         size_t j = i + 1;
         while (j < objs.size() && objs[j] == objs[i]) ++j;
-        if (j - i > 1) {
-          groups[k].push_back({p, objs[i], static_cast<uint64_t>(j - i)});
-        }
+        partial[m].emplace_back(objs[i], static_cast<uint64_t>(j - i));
         i = j;
       }
     }
   });
-  for (auto& g : groups) {
-    for (auto& row : g) result.rows.push_back(std::move(row));
+  // Stitch per property: merge the morsel (obj, count) lists, summing
+  // counts, and emit HAVING count > 1 rows in ascending object order.
+  size_t m = 0;
+  for (size_t k = 0; k < props.size(); ++k) {
+    std::vector<std::pair<uint64_t, uint64_t>> merged;
+    while (m < morsels.size() && morsels[m].prop_idx == k) {
+      merged.insert(merged.end(), partial[m].begin(), partial[m].end());
+      ++m;
+    }
+    std::sort(merged.begin(), merged.end());
+    size_t i = 0;
+    while (i < merged.size()) {
+      size_t j = i + 1;
+      uint64_t count = merged[i].second;
+      while (j < merged.size() && merged[j].first == merged[i].first) {
+        count += merged[j].second;
+        ++j;
+      }
+      if (count > 1) {
+        result.rows.push_back({props[k], merged[i].first, count});
+      }
+      i = j;
+    }
   }
   return result;
 }
 
-QueryResult ColVerticalBackend::RunQ5(const QueryContext& ctx) const {
+QueryResult ColVerticalBackend::RunQ5(const QueryContext& ctx,
+                                      const exec::ExecContext& ectx) const {
   const auto& v = ctx.vocab();
   QueryResult result;
   result.column_names = {"subj", "obj"};
   if (!table_->HasPartition(v.records) || !table_->HasPartition(v.type)) {
     return result;
   }
-  const std::vector<uint64_t> a = SubjectsWhereObjEq(v.origin, v.dlc);
+  const std::vector<uint64_t> a = SubjectsWhereObjEq(v.origin, v.dlc, ectx);
 
   const PositionVector rec_sel =
-      MergeSelectPositions(table_->Subjects(v.records), a);
+      MergeSelectPositions(table_->Subjects(v.records), a, ectx);
   std::vector<std::pair<uint64_t, uint64_t>> b_pairs;  // (object, subject)
   {
     const auto& rs = table_->Subjects(v.records);
@@ -673,7 +764,7 @@ QueryResult ColVerticalBackend::RunQ5(const QueryContext& ctx) const {
 
   const auto& c_subjects = table_->Subjects(v.type);
   const auto& c_objects = table_->Objects(v.type);
-  for (const auto& [bi, ci] : MergeJoin(b_objects, c_subjects)) {
+  for (const auto& [bi, ci] : MergeJoin(b_objects, c_subjects, ectx)) {
     if (c_objects[ci] != v.text) {
       result.rows.push_back({b_pairs[bi].second, c_objects[ci]});
     }
@@ -681,10 +772,10 @@ QueryResult ColVerticalBackend::RunQ5(const QueryContext& ctx) const {
   return result;
 }
 
-QueryResult ColVerticalBackend::RunQ6Family(QueryId id,
-                                            const QueryContext& ctx) const {
+QueryResult ColVerticalBackend::RunQ6Family(
+    QueryId id, const QueryContext& ctx, const exec::ExecContext& ectx) const {
   const auto& v = ctx.vocab();
-  const std::vector<uint64_t> a1 = SubjectsWhereObjEq(v.type, v.text);
+  const std::vector<uint64_t> a1 = SubjectsWhereObjEq(v.type, v.text, ectx);
   MarkSet text_typed(ctx.dict_size());
   text_typed.MarkAll(a1);
 
@@ -696,51 +787,68 @@ QueryResult ColVerticalBackend::RunQ6Family(QueryId id,
       if (text_typed.Test(ro[i])) via_records.push_back(rs[i]);
     }
   }
-  const std::vector<uint64_t> united = UnionDistinct({a1, via_records});
+  const std::vector<uint64_t> united = UnionDistinct({a1, via_records}, ectx);
 
   QueryResult result;
   result.column_names = {"prop", "count"};
+  // Same flattened (property, row-range) fan-out as the q2 family; counts
+  // are additive per property.
   const std::vector<uint64_t> props = PropertyList(id, ctx);
-  std::vector<uint64_t> counts(props.size(), 0);
-  exec::ParallelFor(props.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
-    for (uint64_t k = b; k < e; ++k) {
-      if (!table_->HasPartition(props[k])) continue;
-      counts[k] = MergeCountMatches(table_->Subjects(props[k]), united);
+  const std::vector<PropMorsel> morsels =
+      FlattenPropMorsels(props.size(), [&](uint64_t k) -> uint64_t {
+        return table_->HasPartition(props[k])
+                   ? table_->Subjects(props[k]).size()
+                   : 0;
+      });
+  std::vector<uint64_t> partial(morsels.size(), 0);
+  ectx.ParallelFor(morsels.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
+    for (uint64_t m = b; m < e; ++m) {
+      const PropMorsel& ms = morsels[m];
+      const auto subj =
+          std::span<const uint64_t>(table_->Subjects(props[ms.prop_idx]))
+              .subspan(ms.lo, ms.hi - ms.lo);
+      partial[m] = MergeCountMatches(subj, united, ectx);
     }
   });
+  std::vector<uint64_t> counts(props.size(), 0);
+  for (size_t m = 0; m < morsels.size(); ++m) {
+    counts[morsels[m].prop_idx] += partial[m];
+  }
   for (size_t k = 0; k < props.size(); ++k) {
     if (counts[k] > 0) result.rows.push_back({props[k], counts[k]});
   }
   return result;
 }
 
-QueryResult ColVerticalBackend::RunQ7(const QueryContext& ctx) const {
+QueryResult ColVerticalBackend::RunQ7(const QueryContext& ctx,
+                                      const exec::ExecContext& ectx) const {
   const auto& v = ctx.vocab();
   QueryResult result;
   result.column_names = {"subj", "encoding", "type"};
   if (!table_->HasPartition(v.encoding) || !table_->HasPartition(v.type)) {
     return result;
   }
-  const std::vector<uint64_t> a = SubjectsWhereObjEq(v.point, v.end);
+  const std::vector<uint64_t> a = SubjectsWhereObjEq(v.point, v.end, ectx);
 
   auto collect = [&](uint64_t property, std::vector<uint64_t>* subjects,
                      std::vector<uint64_t>* objects) {
     const PositionVector sel =
-        MergeSelectPositions(table_->Subjects(property), a);
-    *subjects = Gather(table_->Subjects(property), sel);
-    *objects = Gather(table_->Objects(property), sel);
+        MergeSelectPositions(table_->Subjects(property), a, ectx);
+    *subjects = Gather(table_->Subjects(property), sel, ectx);
+    *objects = Gather(table_->Objects(property), sel, ectx);
   };
   std::vector<uint64_t> b_subj, b_obj, c_subj, c_obj;
   collect(v.encoding, &b_subj, &b_obj);
   collect(v.type, &c_subj, &c_obj);
 
-  for (const auto& [bi, ci] : MergeJoin(b_subj, c_subj)) {
+  for (const auto& [bi, ci] : MergeJoin(b_subj, c_subj, ectx)) {
     result.rows.push_back({b_subj[bi], b_obj[bi], c_obj[ci]});
   }
   return result;
 }
 
-QueryResult ColVerticalBackend::RunQ8(const QueryContext& ctx) const {
+QueryResult ColVerticalBackend::RunQ8(const QueryContext& ctx,
+                                      const exec::ExecContext& ectx) const {
   const auto& v = ctx.vocab();
 
   // Phase 1 (temporary table t): visit *every* property table and collect
@@ -748,7 +856,7 @@ QueryResult ColVerticalBackend::RunQ8(const QueryContext& ctx) const {
   // empty per-property lists contribute nothing to the union.
   const std::vector<uint64_t> all_props = table_->properties();
   std::vector<std::vector<uint64_t>> object_lists(all_props.size());
-  exec::ParallelFor(
+  ectx.ParallelFor(
       all_props.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
         for (uint64_t k = b; k < e; ++k) {
           const uint64_t p = all_props[k];
@@ -756,28 +864,34 @@ QueryResult ColVerticalBackend::RunQ8(const QueryContext& ctx) const {
           if (lo == hi) continue;
           PositionVector sel(hi - lo);
           std::iota(sel.begin(), sel.end(), lo);
-          object_lists[k] = Gather(table_->Objects(p), sel);
+          object_lists[k] = Gather(table_->Objects(p), sel, ectx);
         }
       });
-  const std::vector<uint64_t> t = UnionDistinct(object_lists);
+  const std::vector<uint64_t> t = UnionDistinct(object_lists, ectx);
   MarkSet shared(ctx.dict_size());
   shared.MarkAll(t);
 
-  // Phase 2: join t back against every property table. `shared` is only
-  // read from here on, so the probe fans out per partition as well.
-  std::vector<std::vector<uint64_t>> hits(all_props.size());
-  exec::ParallelFor(
-      all_props.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
-        for (uint64_t k = b; k < e; ++k) {
-          const auto& subj = table_->Subjects(all_props[k]);
-          const auto& obj = table_->Objects(all_props[k]);
-          for (size_t i = 0; i < obj.size(); ++i) {
-            if (subj[i] != v.conferences && shared.Test(obj[i])) {
-              hits[k].push_back(subj[i]);
-            }
-          }
-        }
+  // Phase 2: join t back against every property table, fanned out over
+  // flattened (property, row-range) morsels — the probe side is dominated
+  // by the few giant partitions, which would otherwise serialize. `shared`
+  // is only read from here on.
+  const std::vector<PropMorsel> morsels =
+      FlattenPropMorsels(all_props.size(), [&](uint64_t k) -> uint64_t {
+        return table_->Subjects(all_props[k]).size();
       });
+  std::vector<std::vector<uint64_t>> hits(morsels.size());
+  ectx.ParallelFor(morsels.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
+    for (uint64_t m = b; m < e; ++m) {
+      const PropMorsel& ms = morsels[m];
+      const auto& subj = table_->Subjects(all_props[ms.prop_idx]);
+      const auto& obj = table_->Objects(all_props[ms.prop_idx]);
+      for (uint32_t i = ms.lo; i < ms.hi; ++i) {
+        if (subj[i] != v.conferences && shared.Test(obj[i])) {
+          hits[m].push_back(subj[i]);
+        }
+      }
+    }
+  });
   std::vector<uint64_t> out;
   for (const auto& h : hits) out.insert(out.end(), h.begin(), h.end());
   out = SortDistinct(std::move(out));
@@ -788,24 +902,25 @@ QueryResult ColVerticalBackend::RunQ8(const QueryContext& ctx) const {
   return result;
 }
 
-QueryResult ColVerticalBackend::Run(QueryId id, const QueryContext& ctx) {
+QueryResult ColVerticalBackend::Run(QueryId id, const QueryContext& ctx,
+                                    const exec::ExecContext& ectx) {
   EnsureMerged();
   switch (BaseOf(id)) {
     case QueryId::kQ1:
-      return RunQ1(ctx);
+      return RunQ1(ctx, ectx);
     case QueryId::kQ2:
-      return RunQ2Family(id, ctx);
+      return RunQ2Family(id, ctx, ectx);
     case QueryId::kQ3:
     case QueryId::kQ4:
-      return RunQ3Family(id, ctx);
+      return RunQ3Family(id, ctx, ectx);
     case QueryId::kQ5:
-      return RunQ5(ctx);
+      return RunQ5(ctx, ectx);
     case QueryId::kQ6:
-      return RunQ6Family(id, ctx);
+      return RunQ6Family(id, ctx, ectx);
     case QueryId::kQ7:
-      return RunQ7(ctx);
+      return RunQ7(ctx, ectx);
     case QueryId::kQ8:
-      return RunQ8(ctx);
+      return RunQ8(ctx, ectx);
     default:
       SWAN_CHECK(false);
       return {};
@@ -813,7 +928,8 @@ QueryResult ColVerticalBackend::Run(QueryId id, const QueryContext& ctx) {
 }
 
 std::vector<rdf::Triple> ColVerticalBackend::Match(
-    const rdf::TriplePattern& pattern) const {
+    const rdf::TriplePattern& pattern, const exec::ExecContext& ectx) const {
+  (void)ectx;  // per-partition range scans stay serial (canonical order)
   std::vector<uint64_t> props;
   if (pattern.property) {
     if (table_->HasPartition(*pattern.property)) {

@@ -26,9 +26,13 @@ class ColTripleBackend : public BackendBase {
                    colstore::ColumnCodec codec = colstore::ColumnCodec::kRaw);
 
   std::string name() const override;
-  QueryResult Run(QueryId id, const QueryContext& ctx) override;
+  using Backend::Run;
+  using Backend::Match;
+  QueryResult Run(QueryId id, const QueryContext& ctx,
+                  const exec::ExecContext& ectx) override;
   std::vector<rdf::Triple> Match(
-      const rdf::TriplePattern& pattern) const override;
+      const rdf::TriplePattern& pattern,
+      const exec::ExecContext& ectx) const override;
   Status Insert(const rdf::Triple& triple) override;
   void DropCaches() override;
   uint64_t disk_bytes() const override { return table_->disk_bytes(); }
@@ -40,18 +44,26 @@ class ColTripleBackend : public BackendBase {
   audit::AuditReport Audit(audit::AuditLevel level) const override;
 
  private:
-  colstore::PositionVector PropPositions(uint64_t property) const;
+  colstore::PositionVector PropPositions(uint64_t property,
+                                         const exec::ExecContext& ectx) const;
   // Sorted subjects of all triples matching (?, property, object).
-  std::vector<uint64_t> SubjectsWithPropObj(uint64_t property,
-                                            uint64_t object) const;
+  std::vector<uint64_t> SubjectsWithPropObj(
+      uint64_t property, uint64_t object, const exec::ExecContext& ectx) const;
 
-  QueryResult RunQ1(const QueryContext& ctx) const;
-  QueryResult RunQ2Family(QueryId id, const QueryContext& ctx) const;
-  QueryResult RunQ3Family(QueryId id, const QueryContext& ctx) const;
-  QueryResult RunQ5(const QueryContext& ctx) const;
-  QueryResult RunQ6Family(QueryId id, const QueryContext& ctx) const;
-  QueryResult RunQ7(const QueryContext& ctx) const;
-  QueryResult RunQ8(const QueryContext& ctx) const;
+  QueryResult RunQ1(const QueryContext& ctx,
+                    const exec::ExecContext& ectx) const;
+  QueryResult RunQ2Family(QueryId id, const QueryContext& ctx,
+                          const exec::ExecContext& ectx) const;
+  QueryResult RunQ3Family(QueryId id, const QueryContext& ctx,
+                          const exec::ExecContext& ectx) const;
+  QueryResult RunQ5(const QueryContext& ctx,
+                    const exec::ExecContext& ectx) const;
+  QueryResult RunQ6Family(QueryId id, const QueryContext& ctx,
+                          const exec::ExecContext& ectx) const;
+  QueryResult RunQ7(const QueryContext& ctx,
+                    const exec::ExecContext& ectx) const;
+  QueryResult RunQ8(const QueryContext& ctx,
+                    const exec::ExecContext& ectx) const;
 
   // True if the triple exists in the merged (base) columns.
   bool BaseContains(const rdf::Triple& triple) const;
@@ -83,9 +95,13 @@ class ColVerticalBackend : public BackendBase {
                                   colstore::ColumnCodec::kRaw);
 
   std::string name() const override;
-  QueryResult Run(QueryId id, const QueryContext& ctx) override;
+  using Backend::Run;
+  using Backend::Match;
+  QueryResult Run(QueryId id, const QueryContext& ctx,
+                  const exec::ExecContext& ectx) override;
   std::vector<rdf::Triple> Match(
-      const rdf::TriplePattern& pattern) const override;
+      const rdf::TriplePattern& pattern,
+      const exec::ExecContext& ectx) const override;
   void DropCaches() override;
   uint64_t disk_bytes() const override { return table_->disk_bytes(); }
 
@@ -99,18 +115,25 @@ class ColVerticalBackend : public BackendBase {
 
  private:
   // Sorted subjects of partition `property`'s rows whose object == o.
-  std::vector<uint64_t> SubjectsWhereObjEq(uint64_t property,
-                                           uint64_t object) const;
+  std::vector<uint64_t> SubjectsWhereObjEq(
+      uint64_t property, uint64_t object, const exec::ExecContext& ectx) const;
   // Property list a (possibly star) filtered query iterates.
   std::vector<uint64_t> PropertyList(QueryId id, const QueryContext& ctx) const;
 
-  QueryResult RunQ1(const QueryContext& ctx) const;
-  QueryResult RunQ2Family(QueryId id, const QueryContext& ctx) const;
-  QueryResult RunQ3Family(QueryId id, const QueryContext& ctx) const;
-  QueryResult RunQ5(const QueryContext& ctx) const;
-  QueryResult RunQ6Family(QueryId id, const QueryContext& ctx) const;
-  QueryResult RunQ7(const QueryContext& ctx) const;
-  QueryResult RunQ8(const QueryContext& ctx) const;
+  QueryResult RunQ1(const QueryContext& ctx,
+                    const exec::ExecContext& ectx) const;
+  QueryResult RunQ2Family(QueryId id, const QueryContext& ctx,
+                          const exec::ExecContext& ectx) const;
+  QueryResult RunQ3Family(QueryId id, const QueryContext& ctx,
+                          const exec::ExecContext& ectx) const;
+  QueryResult RunQ5(const QueryContext& ctx,
+                    const exec::ExecContext& ectx) const;
+  QueryResult RunQ6Family(QueryId id, const QueryContext& ctx,
+                          const exec::ExecContext& ectx) const;
+  QueryResult RunQ7(const QueryContext& ctx,
+                    const exec::ExecContext& ectx) const;
+  QueryResult RunQ8(const QueryContext& ctx,
+                    const exec::ExecContext& ectx) const;
 
   void EnsureMerged();
 

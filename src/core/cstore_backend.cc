@@ -64,7 +64,8 @@ bool CStoreBackend::Supports(QueryId id) const {
   return !IsStar(id) && id != QueryId::kQ8;
 }
 
-QueryResult CStoreBackend::Run(QueryId id, const QueryContext& ctx) {
+QueryResult CStoreBackend::Run(QueryId id, const QueryContext& ctx,
+                               const exec::ExecContext& ectx) {
   SWAN_CHECK_MSG(Supports(id),
                  "C-Store's hard-wired plans cover only q1-q7");
   const cstore::CStoreConstants c = ConstantsFrom(ctx);
@@ -72,25 +73,25 @@ QueryResult CStoreBackend::Run(QueryId id, const QueryContext& ctx) {
   result.column_names = ColumnNamesFor(id);
   switch (id) {
     case QueryId::kQ1:
-      result.rows = engine_->Q1(c);
+      result.rows = engine_->Q1(c, ectx);
       break;
     case QueryId::kQ2:
-      result.rows = engine_->Q2(c);
+      result.rows = engine_->Q2(c, ectx);
       break;
     case QueryId::kQ3:
-      result.rows = engine_->Q3(c);
+      result.rows = engine_->Q3(c, ectx);
       break;
     case QueryId::kQ4:
-      result.rows = engine_->Q4(c);
+      result.rows = engine_->Q4(c, ectx);
       break;
     case QueryId::kQ5:
-      result.rows = engine_->Q5(c);
+      result.rows = engine_->Q5(c, ectx);
       break;
     case QueryId::kQ6:
-      result.rows = engine_->Q6(c);
+      result.rows = engine_->Q6(c, ectx);
       break;
     case QueryId::kQ7:
-      result.rows = engine_->Q7(c);
+      result.rows = engine_->Q7(c, ectx);
       break;
     default:
       SWAN_CHECK(false);
@@ -99,7 +100,8 @@ QueryResult CStoreBackend::Run(QueryId id, const QueryContext& ctx) {
 }
 
 std::vector<rdf::Triple> CStoreBackend::Match(
-    const rdf::TriplePattern& pattern) const {
+    const rdf::TriplePattern& pattern, const exec::ExecContext& ectx) const {
+  (void)ectx;  // per-property scans below are cheap and stay serial
   std::vector<uint64_t> props;
   if (pattern.property) {
     if (engine_->HasProperty(*pattern.property)) {

@@ -25,9 +25,13 @@ class CStoreBackend : public BackendBase {
 
   std::string name() const override { return "C-Store vert. SO"; }
   bool Supports(QueryId id) const override;
-  QueryResult Run(QueryId id, const QueryContext& ctx) override;
+  using Backend::Run;
+  using Backend::Match;
+  QueryResult Run(QueryId id, const QueryContext& ctx,
+                  const exec::ExecContext& ectx) override;
   std::vector<rdf::Triple> Match(
-      const rdf::TriplePattern& pattern) const override;
+      const rdf::TriplePattern& pattern,
+      const exec::ExecContext& ectx) const override;
   void DropCaches() override;
   uint64_t disk_bytes() const override { return engine_->disk_bytes(); }
 

@@ -284,7 +284,12 @@ QueryResult PropertyTableBackend::RunQ8(const QueryContext& ctx) const {
   return result;
 }
 
-QueryResult PropertyTableBackend::Run(QueryId id, const QueryContext& ctx) {
+QueryResult PropertyTableBackend::Run(QueryId id, const QueryContext& ctx,
+                                      const exec::ExecContext& ectx) {
+  // The wide-table scans are row-at-a-time over a single clustered tree;
+  // they stay serial (the scheme is the paper's excluded extension, not a
+  // scalability subject), so the context is accepted but unused.
+  (void)ectx;
   switch (BaseOf(id)) {
     case QueryId::kQ1:
       return RunQ1(ctx);
@@ -322,7 +327,8 @@ Status PropertyTableBackend::Insert(const rdf::Triple& triple) {
 }
 
 std::vector<rdf::Triple> PropertyTableBackend::Match(
-    const rdf::TriplePattern& pattern) const {
+    const rdf::TriplePattern& pattern, const exec::ExecContext& ectx) const {
+  (void)ectx;  // pattern scans stay serial
   std::vector<rdf::Triple> out;
   ScanPattern(pattern, [&](const rdf::Triple& t) {
     if (pattern.Matches(t)) out.push_back(t);

@@ -38,9 +38,13 @@ class PropertyTableBackend : public BackendBase {
                        size_t pool_pages = 65536);
 
   std::string name() const override { return "DBX prop. table"; }
-  QueryResult Run(QueryId id, const QueryContext& ctx) override;
+  using Backend::Run;
+  using Backend::Match;
+  QueryResult Run(QueryId id, const QueryContext& ctx,
+                  const exec::ExecContext& ectx) override;
   std::vector<rdf::Triple> Match(
-      const rdf::TriplePattern& pattern) const override;
+      const rdf::TriplePattern& pattern,
+      const exec::ExecContext& ectx) const override;
   // Inserts land in the overflow triple table (as Jena2 property tables
   // do): the wide table's schema and rows stay untouched, at the price of
   // the overflow growing — re-running the design wizard would be a full

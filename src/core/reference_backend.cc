@@ -41,7 +41,9 @@ Status ReferenceBackend::Insert(const rdf::Triple& triple) {
   return Status::OK();
 }
 
-QueryResult ReferenceBackend::Run(QueryId id, const QueryContext& ctx) {
+QueryResult ReferenceBackend::Run(QueryId id, const QueryContext& ctx,
+                                  const exec::ExecContext& ectx) {
+  (void)ectx;  // the oracle stays single-threaded by design
   const Vocabulary& v = ctx.vocab();
   QueryResult result;
   const bool filter = ApplyFilter(id, ctx);
@@ -166,7 +168,8 @@ QueryResult ReferenceBackend::Run(QueryId id, const QueryContext& ctx) {
 }
 
 std::vector<rdf::Triple> ReferenceBackend::Match(
-    const rdf::TriplePattern& pattern) const {
+    const rdf::TriplePattern& pattern, const exec::ExecContext& ectx) const {
+  (void)ectx;
   std::vector<rdf::Triple> out;
   for (const rdf::Triple& t : triples_) {
     if (pattern.Matches(t)) out.push_back(t);

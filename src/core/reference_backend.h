@@ -23,9 +23,13 @@ class ReferenceBackend : public BackendBase {
   explicit ReferenceBackend(const rdf::Dataset& dataset);
 
   std::string name() const override { return "reference (naive)"; }
-  QueryResult Run(QueryId id, const QueryContext& ctx) override;
+  using Backend::Run;
+  using Backend::Match;
+  QueryResult Run(QueryId id, const QueryContext& ctx,
+                  const exec::ExecContext& ectx) override;
   std::vector<rdf::Triple> Match(
-      const rdf::TriplePattern& pattern) const override;
+      const rdf::TriplePattern& pattern,
+      const exec::ExecContext& ectx) const override;
   Status Insert(const rdf::Triple& triple) override;
   void DropCaches() override {}
   uint64_t disk_bytes() const override { return 0; }

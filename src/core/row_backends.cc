@@ -1,6 +1,7 @@
 #include "core/row_backends.h"
 
 #include <algorithm>
+#include <array>
 #include <functional>
 #include <unordered_map>
 
@@ -78,19 +79,39 @@ QueryResult RowTripleBackend::RunQ1(const QueryContext& ctx) const {
   return result;
 }
 
-QueryResult RowTripleBackend::RunQ2Family(QueryId id,
-                                          const QueryContext& ctx) const {
+QueryResult RowTripleBackend::RunQ2Family(QueryId id, const QueryContext& ctx,
+                                          const exec::ExecContext& ectx) const {
   const auto& v = ctx.vocab();
   const std::unordered_set<uint64_t> a = SubjectSet(v.type, v.text);
   const bool filter = UseFilter(id, ctx);
 
   std::unordered_map<uint64_t, uint64_t> counts;
-  for (auto scan = relation_->Open(rdf::TriplePattern{}); scan.Valid();
-       scan.Next()) {
-    const rdf::Triple& t = scan.value();
-    if (a.count(t.subject) == 0) continue;
-    if (filter && !ctx.IsInteresting(t.property)) continue;
-    ++counts[t.property];
+  const uint64_t chunks = relation_->FullScanChunks(ectx);
+  if (chunks <= 1) {
+    for (auto scan = relation_->Open(rdf::TriplePattern{}); scan.Valid();
+         scan.Next()) {
+      const rdf::Triple& t = scan.value();
+      if (a.count(t.subject) == 0) continue;
+      if (filter && !ctx.IsInteresting(t.property)) continue;
+      ++counts[t.property];
+    }
+  } else {
+    // Chunked leaf-chain scan with one hash accumulator per chunk; the
+    // partial counts are additive, so the merge order is immaterial.
+    relation_->ChargeFullScanDescent();
+    std::vector<std::unordered_map<uint64_t, uint64_t>> partial(chunks);
+    ectx.ParallelFor(chunks, 1, [&](uint64_t b, uint64_t e, uint64_t) {
+      for (uint64_t c = b; c < e; ++c) {
+        relation_->FullScanChunk(c, chunks, [&](const rdf::Triple& t) {
+          if (a.count(t.subject) == 0) return;
+          if (filter && !ctx.IsInteresting(t.property)) return;
+          ++partial[c][t.property];
+        });
+      }
+    });
+    for (const auto& part : partial) {
+      for (const auto& [prop, n] : part) counts[prop] += n;
+    }
   }
   QueryResult result;
   result.column_names = {"prop", "count"};
@@ -98,8 +119,8 @@ QueryResult RowTripleBackend::RunQ2Family(QueryId id,
   return result;
 }
 
-QueryResult RowTripleBackend::RunQ3Family(QueryId id,
-                                          const QueryContext& ctx) const {
+QueryResult RowTripleBackend::RunQ3Family(QueryId id, const QueryContext& ctx,
+                                          const exec::ExecContext& ectx) const {
   const auto& v = ctx.vocab();
   const std::unordered_set<uint64_t> a = SubjectSet(v.type, v.text);
   const bool with_language = BaseOf(id) == QueryId::kQ4;
@@ -107,14 +128,33 @@ QueryResult RowTripleBackend::RunQ3Family(QueryId id,
   if (with_language) c = SubjectSet(v.language, v.french);
   const bool filter = UseFilter(id, ctx);
 
+  auto accept = [&](const rdf::Triple& t) {
+    if (a.count(t.subject) == 0) return false;
+    if (with_language && c.count(t.subject) == 0) return false;
+    return !(filter && !ctx.IsInteresting(t.property));
+  };
+
   std::unordered_map<uint64_t, uint64_t> counts;
-  for (auto scan = relation_->Open(rdf::TriplePattern{}); scan.Valid();
-       scan.Next()) {
-    const rdf::Triple& t = scan.value();
-    if (a.count(t.subject) == 0) continue;
-    if (with_language && c.count(t.subject) == 0) continue;
-    if (filter && !ctx.IsInteresting(t.property)) continue;
-    ++counts[PackPair(t.property, t.object)];
+  const uint64_t chunks = relation_->FullScanChunks(ectx);
+  if (chunks <= 1) {
+    for (auto scan = relation_->Open(rdf::TriplePattern{}); scan.Valid();
+         scan.Next()) {
+      const rdf::Triple& t = scan.value();
+      if (accept(t)) ++counts[PackPair(t.property, t.object)];
+    }
+  } else {
+    relation_->ChargeFullScanDescent();
+    std::vector<std::unordered_map<uint64_t, uint64_t>> partial(chunks);
+    ectx.ParallelFor(chunks, 1, [&](uint64_t b, uint64_t e, uint64_t) {
+      for (uint64_t k = b; k < e; ++k) {
+        relation_->FullScanChunk(k, chunks, [&](const rdf::Triple& t) {
+          if (accept(t)) ++partial[k][PackPair(t.property, t.object)];
+        });
+      }
+    });
+    for (const auto& part : partial) {
+      for (const auto& [packed, n] : part) counts[packed] += n;
+    }
   }
   QueryResult result;
   result.column_names = {"prop", "obj", "count"};
@@ -153,8 +193,8 @@ QueryResult RowTripleBackend::RunQ5(const QueryContext& ctx) const {
   return result;
 }
 
-QueryResult RowTripleBackend::RunQ6Family(QueryId id,
-                                          const QueryContext& ctx) const {
+QueryResult RowTripleBackend::RunQ6Family(QueryId id, const QueryContext& ctx,
+                                          const exec::ExecContext& ectx) const {
   const auto& v = ctx.vocab();
   std::unordered_set<uint64_t> united = SubjectSet(v.type, v.text);
   {
@@ -170,12 +210,30 @@ QueryResult RowTripleBackend::RunQ6Family(QueryId id,
   const bool filter = UseFilter(id, ctx);
 
   std::unordered_map<uint64_t, uint64_t> counts;
-  for (auto scan = relation_->Open(rdf::TriplePattern{}); scan.Valid();
-       scan.Next()) {
-    const rdf::Triple& t = scan.value();
-    if (united.count(t.subject) == 0) continue;
-    if (filter && !ctx.IsInteresting(t.property)) continue;
-    ++counts[t.property];
+  const uint64_t chunks = relation_->FullScanChunks(ectx);
+  if (chunks <= 1) {
+    for (auto scan = relation_->Open(rdf::TriplePattern{}); scan.Valid();
+         scan.Next()) {
+      const rdf::Triple& t = scan.value();
+      if (united.count(t.subject) == 0) continue;
+      if (filter && !ctx.IsInteresting(t.property)) continue;
+      ++counts[t.property];
+    }
+  } else {
+    relation_->ChargeFullScanDescent();
+    std::vector<std::unordered_map<uint64_t, uint64_t>> partial(chunks);
+    ectx.ParallelFor(chunks, 1, [&](uint64_t b, uint64_t e, uint64_t) {
+      for (uint64_t k = b; k < e; ++k) {
+        relation_->FullScanChunk(k, chunks, [&](const rdf::Triple& t) {
+          if (united.count(t.subject) == 0) return;
+          if (filter && !ctx.IsInteresting(t.property)) return;
+          ++partial[k][t.property];
+        });
+      }
+    });
+    for (const auto& part : partial) {
+      for (const auto& [prop, n] : part) counts[prop] += n;
+    }
   }
   QueryResult result;
   result.column_names = {"prop", "count"};
@@ -208,7 +266,8 @@ QueryResult RowTripleBackend::RunQ7(const QueryContext& ctx) const {
   return result;
 }
 
-QueryResult RowTripleBackend::RunQ8(const QueryContext& ctx) const {
+QueryResult RowTripleBackend::RunQ8(const QueryContext& ctx,
+                                    const exec::ExecContext& ectx) const {
   const auto& v = ctx.vocab();
   std::unordered_set<uint64_t> t_objects;
   {
@@ -219,12 +278,30 @@ QueryResult RowTripleBackend::RunQ8(const QueryContext& ctx) const {
     }
   }
   std::unordered_set<uint64_t> subjects;
-  for (auto scan = relation_->Open(rdf::TriplePattern{}); scan.Valid();
-       scan.Next()) {
-    const rdf::Triple& t = scan.value();
-    if (t.subject != v.conferences && t_objects.count(t.object) != 0) {
-      subjects.insert(t.subject);
+  const uint64_t chunks = relation_->FullScanChunks(ectx);
+  if (chunks <= 1) {
+    for (auto scan = relation_->Open(rdf::TriplePattern{}); scan.Valid();
+         scan.Next()) {
+      const rdf::Triple& t = scan.value();
+      if (t.subject != v.conferences && t_objects.count(t.object) != 0) {
+        subjects.insert(t.subject);
+      }
     }
+  } else {
+    relation_->ChargeFullScanDescent();
+    std::vector<std::vector<uint64_t>> partial(chunks);
+    ectx.ParallelFor(chunks, 1, [&](uint64_t b, uint64_t e, uint64_t) {
+      for (uint64_t k = b; k < e; ++k) {
+        relation_->FullScanChunk(k, chunks, [&](const rdf::Triple& t) {
+          if (t.subject != v.conferences && t_objects.count(t.object) != 0) {
+            partial[k].push_back(t.subject);
+          }
+        });
+      }
+    });
+    // Insert in chunk (= key) order: the same insertion sequence the
+    // serial scan produces, so even the set's iteration order matches.
+    for (const auto& part : partial) subjects.insert(part.begin(), part.end());
   }
   QueryResult result;
   result.column_names = {"subj"};
@@ -232,23 +309,24 @@ QueryResult RowTripleBackend::RunQ8(const QueryContext& ctx) const {
   return result;
 }
 
-QueryResult RowTripleBackend::Run(QueryId id, const QueryContext& ctx) {
+QueryResult RowTripleBackend::Run(QueryId id, const QueryContext& ctx,
+                                  const exec::ExecContext& ectx) {
   switch (BaseOf(id)) {
     case QueryId::kQ1:
       return RunQ1(ctx);
     case QueryId::kQ2:
-      return RunQ2Family(id, ctx);
+      return RunQ2Family(id, ctx, ectx);
     case QueryId::kQ3:
     case QueryId::kQ4:
-      return RunQ3Family(id, ctx);
+      return RunQ3Family(id, ctx, ectx);
     case QueryId::kQ5:
       return RunQ5(ctx);
     case QueryId::kQ6:
-      return RunQ6Family(id, ctx);
+      return RunQ6Family(id, ctx, ectx);
     case QueryId::kQ7:
       return RunQ7(ctx);
     case QueryId::kQ8:
-      return RunQ8(ctx);
+      return RunQ8(ctx, ectx);
     default:
       SWAN_CHECK(false);
       return {};
@@ -256,7 +334,10 @@ QueryResult RowTripleBackend::Run(QueryId id, const QueryContext& ctx) {
 }
 
 std::vector<rdf::Triple> RowTripleBackend::Match(
-    const rdf::TriplePattern& pattern) const {
+    const rdf::TriplePattern& pattern, const exec::ExecContext& ectx) const {
+  // Pattern lookups are index descents or short range scans; canonical
+  // key order must be preserved, so they stay serial.
+  (void)ectx;
   std::vector<rdf::Triple> out;
   for (auto scan = relation_->Open(pattern); scan.Valid(); scan.Next()) {
     out.push_back(scan.value());
@@ -357,8 +438,8 @@ QueryResult RowVerticalBackend::RunQ1(const QueryContext& ctx) const {
   return result;
 }
 
-QueryResult RowVerticalBackend::RunQ2Family(QueryId id,
-                                            const QueryContext& ctx) const {
+QueryResult RowVerticalBackend::RunQ2Family(
+    QueryId id, const QueryContext& ctx, const exec::ExecContext& ectx) const {
   const auto& v = ctx.vocab();
   // A is materialized once as a temporary table, but the generated SQL
   // contains one join *per property table*, and the row engine's executor
@@ -370,17 +451,25 @@ QueryResult RowVerticalBackend::RunQ2Family(QueryId id,
 
   QueryResult result;
   result.column_names = {"prop", "count"};
-  for (uint64_t p : PropertyList(id, ctx)) {
-    uint64_t count = 0;
-    JoinPartitionWithTempTable(p, a,
-                               [&](const rdf::Triple&) { ++count; });
-    if (count > 0) result.rows.push_back({p, count});
+  // One union branch per property; branches are independent (each builds
+  // its own hash table), so they fan out across the context's lanes and
+  // the per-branch counts are stitched back in property order.
+  const std::vector<uint64_t> props = PropertyList(id, ctx);
+  std::vector<uint64_t> branch_count(props.size(), 0);
+  ectx.ParallelFor(props.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
+    for (uint64_t k = b; k < e; ++k) {
+      JoinPartitionWithTempTable(props[k], a,
+                                 [&](const rdf::Triple&) { ++branch_count[k]; });
+    }
+  });
+  for (size_t k = 0; k < props.size(); ++k) {
+    if (branch_count[k] > 0) result.rows.push_back({props[k], branch_count[k]});
   }
   return result;
 }
 
-QueryResult RowVerticalBackend::RunQ3Family(QueryId id,
-                                            const QueryContext& ctx) const {
+QueryResult RowVerticalBackend::RunQ3Family(
+    QueryId id, const QueryContext& ctx, const exec::ExecContext& ectx) const {
   const auto& v = ctx.vocab();
   // Per-branch hash builds, as in RunQ2Family: every union branch of the
   // generated SQL is its own join operator.
@@ -401,13 +490,23 @@ QueryResult RowVerticalBackend::RunQ3Family(QueryId id,
 
   QueryResult result;
   result.column_names = {"prop", "obj", "count"};
-  for (uint64_t p : PropertyList(id, ctx)) {
-    std::unordered_map<uint64_t, uint64_t> counts;
-    JoinPartitionWithTempTable(
-        p, keys, [&](const rdf::Triple& t) { ++counts[t.object]; });
-    for (const auto& [obj, count] : counts) {
-      if (count > 1) result.rows.push_back({p, obj, count});
+  // Branch-per-property fan-out; each branch keeps its own per-object
+  // accumulator and the emitted rows concatenate in property order —
+  // exactly the serial branch sequence.
+  const std::vector<uint64_t> props = PropertyList(id, ctx);
+  std::vector<std::vector<std::array<uint64_t, 3>>> branch_rows(props.size());
+  ectx.ParallelFor(props.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
+    for (uint64_t k = b; k < e; ++k) {
+      std::unordered_map<uint64_t, uint64_t> counts;
+      JoinPartitionWithTempTable(
+          props[k], keys, [&](const rdf::Triple& t) { ++counts[t.object]; });
+      for (const auto& [obj, count] : counts) {
+        if (count > 1) branch_rows[k].push_back({props[k], obj, count});
+      }
     }
+  });
+  for (const auto& rows : branch_rows) {
+    for (const auto& r : rows) result.rows.push_back({r[0], r[1], r[2]});
   }
   return result;
 }
@@ -439,8 +538,8 @@ QueryResult RowVerticalBackend::RunQ5(const QueryContext& ctx) const {
   return result;
 }
 
-QueryResult RowVerticalBackend::RunQ6Family(QueryId id,
-                                            const QueryContext& ctx) const {
+QueryResult RowVerticalBackend::RunQ6Family(
+    QueryId id, const QueryContext& ctx, const exec::ExecContext& ectx) const {
   const auto& v = ctx.vocab();
   std::unordered_set<uint64_t> united = SubjectSet(v.type, v.text);
   {
@@ -461,11 +560,16 @@ QueryResult RowVerticalBackend::RunQ6Family(QueryId id,
 
   QueryResult result;
   result.column_names = {"prop", "count"};
-  for (uint64_t p : PropertyList(id, ctx)) {
-    uint64_t count = 0;
-    JoinPartitionWithTempTable(p, united_table,
-                               [&](const rdf::Triple&) { ++count; });
-    if (count > 0) result.rows.push_back({p, count});
+  const std::vector<uint64_t> props = PropertyList(id, ctx);
+  std::vector<uint64_t> branch_count(props.size(), 0);
+  ectx.ParallelFor(props.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
+    for (uint64_t k = b; k < e; ++k) {
+      JoinPartitionWithTempTable(props[k], united_table,
+                                 [&](const rdf::Triple&) { ++branch_count[k]; });
+    }
+  });
+  for (size_t k = 0; k < props.size(); ++k) {
+    if (branch_count[k] > 0) result.rows.push_back({props[k], branch_count[k]});
   }
   return result;
 }
@@ -496,29 +600,50 @@ QueryResult RowVerticalBackend::RunQ7(const QueryContext& ctx) const {
   return result;
 }
 
-QueryResult RowVerticalBackend::RunQ8(const QueryContext& ctx) const {
+QueryResult RowVerticalBackend::RunQ8(const QueryContext& ctx,
+                                      const exec::ExecContext& ectx) const {
   const auto& v = ctx.vocab();
+  const std::vector<uint64_t>& props = relation_->properties();
 
   // Phase 1: probe every partition's clustered tree for the subject
-  // "conferences" — one B+tree descent per property table.
+  // "conferences" — one B+tree descent per property table. The descents
+  // are independent; merging the per-partition hits in property order
+  // reproduces the serial insertion sequence exactly.
   std::unordered_set<uint64_t> t_objects;
-  for (uint64_t p : relation_->properties()) {
-    for (auto scan = relation_->OpenPartition(p, v.conferences, std::nullopt);
-         scan.Valid(); scan.Next()) {
-      t_objects.insert(scan.value().object);
-    }
+  {
+    std::vector<std::vector<uint64_t>> hits(props.size());
+    ectx.ParallelFor(props.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
+      for (uint64_t k = b; k < e; ++k) {
+        for (auto scan =
+                 relation_->OpenPartition(props[k], v.conferences,
+                                          std::nullopt);
+             scan.Valid(); scan.Next()) {
+          hits[k].push_back(scan.value().object);
+        }
+      }
+    });
+    for (const auto& part : hits) t_objects.insert(part.begin(), part.end());
   }
 
-  // Phase 2: hash-join t back against every partition.
+  // Phase 2: hash-join t back against every partition, one branch per
+  // property table (t_objects is read-only from here on).
   std::unordered_set<uint64_t> subjects;
-  for (uint64_t p : relation_->properties()) {
-    for (auto scan = relation_->OpenPartition(p, std::nullopt, std::nullopt);
-         scan.Valid(); scan.Next()) {
-      const rdf::Triple& t = scan.value();
-      if (t.subject != v.conferences && t_objects.count(t.object) != 0) {
-        subjects.insert(t.subject);
+  {
+    std::vector<std::vector<uint64_t>> hits(props.size());
+    ectx.ParallelFor(props.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
+      for (uint64_t k = b; k < e; ++k) {
+        for (auto scan =
+                 relation_->OpenPartition(props[k], std::nullopt,
+                                          std::nullopt);
+             scan.Valid(); scan.Next()) {
+          const rdf::Triple& t = scan.value();
+          if (t.subject != v.conferences && t_objects.count(t.object) != 0) {
+            hits[k].push_back(t.subject);
+          }
+        }
       }
-    }
+    });
+    for (const auto& part : hits) subjects.insert(part.begin(), part.end());
   }
   QueryResult result;
   result.column_names = {"subj"};
@@ -526,23 +651,24 @@ QueryResult RowVerticalBackend::RunQ8(const QueryContext& ctx) const {
   return result;
 }
 
-QueryResult RowVerticalBackend::Run(QueryId id, const QueryContext& ctx) {
+QueryResult RowVerticalBackend::Run(QueryId id, const QueryContext& ctx,
+                                    const exec::ExecContext& ectx) {
   switch (BaseOf(id)) {
     case QueryId::kQ1:
       return RunQ1(ctx);
     case QueryId::kQ2:
-      return RunQ2Family(id, ctx);
+      return RunQ2Family(id, ctx, ectx);
     case QueryId::kQ3:
     case QueryId::kQ4:
-      return RunQ3Family(id, ctx);
+      return RunQ3Family(id, ctx, ectx);
     case QueryId::kQ5:
       return RunQ5(ctx);
     case QueryId::kQ6:
-      return RunQ6Family(id, ctx);
+      return RunQ6Family(id, ctx, ectx);
     case QueryId::kQ7:
       return RunQ7(ctx);
     case QueryId::kQ8:
-      return RunQ8(ctx);
+      return RunQ8(ctx, ectx);
     default:
       SWAN_CHECK(false);
       return {};
@@ -550,7 +676,8 @@ QueryResult RowVerticalBackend::Run(QueryId id, const QueryContext& ctx) {
 }
 
 std::vector<rdf::Triple> RowVerticalBackend::Match(
-    const rdf::TriplePattern& pattern) const {
+    const rdf::TriplePattern& pattern, const exec::ExecContext& ectx) const {
+  (void)ectx;  // partition scans stay serial to keep canonical order
   std::vector<uint64_t> props;
   if (pattern.property) {
     props.push_back(*pattern.property);

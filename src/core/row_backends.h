@@ -26,9 +26,13 @@ class RowTripleBackend : public BackendBase {
                    size_t pool_pages = 65536);
 
   std::string name() const override;
-  QueryResult Run(QueryId id, const QueryContext& ctx) override;
+  using Backend::Run;
+  using Backend::Match;
+  QueryResult Run(QueryId id, const QueryContext& ctx,
+                  const exec::ExecContext& ectx) override;
   std::vector<rdf::Triple> Match(
-      const rdf::TriplePattern& pattern) const override;
+      const rdf::TriplePattern& pattern,
+      const exec::ExecContext& ectx) const override;
   Status Insert(const rdf::Triple& triple) override {
     return relation_->Insert(triple)
                ? Status::OK()
@@ -51,12 +55,16 @@ class RowTripleBackend : public BackendBase {
                                           uint64_t object) const;
 
   QueryResult RunQ1(const QueryContext& ctx) const;
-  QueryResult RunQ2Family(QueryId id, const QueryContext& ctx) const;
-  QueryResult RunQ3Family(QueryId id, const QueryContext& ctx) const;
+  QueryResult RunQ2Family(QueryId id, const QueryContext& ctx,
+                          const exec::ExecContext& ectx) const;
+  QueryResult RunQ3Family(QueryId id, const QueryContext& ctx,
+                          const exec::ExecContext& ectx) const;
   QueryResult RunQ5(const QueryContext& ctx) const;
-  QueryResult RunQ6Family(QueryId id, const QueryContext& ctx) const;
+  QueryResult RunQ6Family(QueryId id, const QueryContext& ctx,
+                          const exec::ExecContext& ectx) const;
   QueryResult RunQ7(const QueryContext& ctx) const;
-  QueryResult RunQ8(const QueryContext& ctx) const;
+  QueryResult RunQ8(const QueryContext& ctx,
+                    const exec::ExecContext& ectx) const;
 
   std::unique_ptr<rowstore::TripleRelation> relation_;
 };
@@ -72,9 +80,13 @@ class RowVerticalBackend : public BackendBase {
                               size_t pool_pages = 65536);
 
   std::string name() const override;
-  QueryResult Run(QueryId id, const QueryContext& ctx) override;
+  using Backend::Run;
+  using Backend::Match;
+  QueryResult Run(QueryId id, const QueryContext& ctx,
+                  const exec::ExecContext& ectx) override;
   std::vector<rdf::Triple> Match(
-      const rdf::TriplePattern& pattern) const override;
+      const rdf::TriplePattern& pattern,
+      const exec::ExecContext& ectx) const override;
   Status Insert(const rdf::Triple& triple) override {
     return relation_->Insert(triple)
                ? Status::OK()
@@ -108,12 +120,16 @@ class RowVerticalBackend : public BackendBase {
   std::vector<uint64_t> PropertyList(QueryId id, const QueryContext& ctx) const;
 
   QueryResult RunQ1(const QueryContext& ctx) const;
-  QueryResult RunQ2Family(QueryId id, const QueryContext& ctx) const;
-  QueryResult RunQ3Family(QueryId id, const QueryContext& ctx) const;
+  QueryResult RunQ2Family(QueryId id, const QueryContext& ctx,
+                          const exec::ExecContext& ectx) const;
+  QueryResult RunQ3Family(QueryId id, const QueryContext& ctx,
+                          const exec::ExecContext& ectx) const;
   QueryResult RunQ5(const QueryContext& ctx) const;
-  QueryResult RunQ6Family(QueryId id, const QueryContext& ctx) const;
+  QueryResult RunQ6Family(QueryId id, const QueryContext& ctx,
+                          const exec::ExecContext& ectx) const;
   QueryResult RunQ7(const QueryContext& ctx) const;
-  QueryResult RunQ8(const QueryContext& ctx) const;
+  QueryResult RunQ8(const QueryContext& ctx,
+                    const exec::ExecContext& ectx) const;
 
   std::unique_ptr<rowstore::VerticalRelation> relation_;
 };

@@ -70,19 +70,32 @@ class RdfStore {
   static std::unique_ptr<RdfStore> Open(const rdf::Dataset& dataset,
                                         StoreOptions options = {});
 
-  // Runs one of the 12 fixed benchmark queries.
+  // Runs one of the 12 fixed benchmark queries. The overload without an
+  // ExecContext uses the globally configured thread width.
   QueryResult Run(QueryId id, const QueryContext& ctx) {
     return backend_->Run(id, ctx);
+  }
+  QueryResult Run(QueryId id, const QueryContext& ctx,
+                  const exec::ExecContext& ectx) {
+    return backend_->Run(id, ctx, ectx);
   }
 
   // Single triple-pattern lookup.
   std::vector<rdf::Triple> Match(const rdf::TriplePattern& pattern) const {
     return backend_->Match(pattern);
   }
+  std::vector<rdf::Triple> Match(const rdf::TriplePattern& pattern,
+                                 const exec::ExecContext& ectx) const {
+    return backend_->Match(pattern, ectx);
+  }
 
   // Conjunctive pattern (BGP) query.
   Result<BgpResult> ExecuteBgp(const std::vector<BgpPattern>& patterns) const {
     return core::ExecuteBgp(*backend_, patterns);
+  }
+  Result<BgpResult> ExecuteBgp(const std::vector<BgpPattern>& patterns,
+                               const exec::ExecContext& ectx) const {
+    return core::ExecuteBgp(*backend_, patterns, ectx);
   }
 
   // Benchmark protocol hooks.

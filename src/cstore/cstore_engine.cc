@@ -5,7 +5,6 @@
 
 #include "colstore/ops.h"
 #include "common/macros.h"
-#include "exec/thread_pool.h"
 
 namespace swan::cstore {
 
@@ -75,32 +74,33 @@ const std::vector<uint64_t>& CStoreEngine::Objects(uint64_t property) const {
   return it->second.obj->Get();
 }
 
-std::vector<uint64_t> CStoreEngine::SubjectsWhereObjEq(uint64_t property,
-                                                       uint64_t object) const {
+std::vector<uint64_t> CStoreEngine::SubjectsWhereObjEq(
+    uint64_t property, uint64_t object, const exec::ExecContext& ectx) const {
   if (!HasProperty(property)) return {};
-  const PositionVector sel = SelectEq(Objects(property), object);
-  return Gather(Subjects(property), sel);
+  const PositionVector sel = SelectEq(Objects(property), object, ectx);
+  return Gather(Subjects(property), sel, ectx);
 }
 
-CStoreEngine::Rows CStoreEngine::Q1(const CStoreConstants& c) const {
+CStoreEngine::Rows CStoreEngine::Q1(const CStoreConstants& c,
+                                    const exec::ExecContext& ectx) const {
   Rows rows;
   if (!HasProperty(c.type)) return rows;
   for (const auto& [obj, count] : CountByKeyDense(Objects(c.type),
-                                                  c.dict_size)) {
+                                                  c.dict_size, ectx)) {
     rows.push_back({obj, count});
   }
   return rows;
 }
 
 CStoreEngine::Rows CStoreEngine::CountMatchesPerProperty(
-    const std::vector<uint64_t>& keys) const {
+    const std::vector<uint64_t>& keys, const exec::ExecContext& ectx) const {
   // One independent merge-count sub-plan per partition, fanned out across
   // the pool and emitted in property order.
   std::vector<uint64_t> counts(properties_.size(), 0);
-  exec::ParallelFor(
+  ectx.ParallelFor(
       properties_.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
         for (uint64_t k = b; k < e; ++k) {
-          counts[k] = MergeCountMatches(Subjects(properties_[k]), keys);
+          counts[k] = MergeCountMatches(Subjects(properties_[k]), keys, ectx);
         }
       });
   Rows rows;
@@ -111,14 +111,15 @@ CStoreEngine::Rows CStoreEngine::CountMatchesPerProperty(
 }
 
 CStoreEngine::Rows CStoreEngine::GroupObjectsPerProperty(
-    const std::vector<uint64_t>& keys) const {
+    const std::vector<uint64_t>& keys, const exec::ExecContext& ectx) const {
   std::vector<Rows> groups(properties_.size());
-  exec::ParallelFor(
+  ectx.ParallelFor(
       properties_.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
         for (uint64_t k = b; k < e; ++k) {
           const uint64_t p = properties_[k];
-          const PositionVector sel = MergeSelectPositions(Subjects(p), keys);
-          std::vector<uint64_t> objs = Gather(Objects(p), sel);
+          const PositionVector sel =
+              MergeSelectPositions(Subjects(p), keys, ectx);
+          std::vector<uint64_t> objs = Gather(Objects(p), sel, ectx);
           std::sort(objs.begin(), objs.end());
           size_t i = 0;
           while (i < objs.size()) {
@@ -138,27 +139,34 @@ CStoreEngine::Rows CStoreEngine::GroupObjectsPerProperty(
   return rows;
 }
 
-CStoreEngine::Rows CStoreEngine::Q2(const CStoreConstants& c) const {
-  return CountMatchesPerProperty(SubjectsWhereObjEq(c.type, c.text));
+CStoreEngine::Rows CStoreEngine::Q2(const CStoreConstants& c,
+                                    const exec::ExecContext& ectx) const {
+  return CountMatchesPerProperty(SubjectsWhereObjEq(c.type, c.text, ectx),
+                                 ectx);
 }
 
-CStoreEngine::Rows CStoreEngine::Q3(const CStoreConstants& c) const {
-  return GroupObjectsPerProperty(SubjectsWhereObjEq(c.type, c.text));
+CStoreEngine::Rows CStoreEngine::Q3(const CStoreConstants& c,
+                                    const exec::ExecContext& ectx) const {
+  return GroupObjectsPerProperty(SubjectsWhereObjEq(c.type, c.text, ectx),
+                                 ectx);
 }
 
-CStoreEngine::Rows CStoreEngine::Q4(const CStoreConstants& c) const {
-  return GroupObjectsPerProperty(SortedIntersect(
-      SubjectsWhereObjEq(c.type, c.text),
-      SubjectsWhereObjEq(c.language, c.french)));
+CStoreEngine::Rows CStoreEngine::Q4(const CStoreConstants& c,
+                                    const exec::ExecContext& ectx) const {
+  return GroupObjectsPerProperty(
+      SortedIntersect(SubjectsWhereObjEq(c.type, c.text, ectx),
+                      SubjectsWhereObjEq(c.language, c.french, ectx)),
+      ectx);
 }
 
-CStoreEngine::Rows CStoreEngine::Q5(const CStoreConstants& c) const {
+CStoreEngine::Rows CStoreEngine::Q5(const CStoreConstants& c,
+                                    const exec::ExecContext& ectx) const {
   Rows rows;
   if (!HasProperty(c.records) || !HasProperty(c.type)) return rows;
-  const std::vector<uint64_t> a = SubjectsWhereObjEq(c.origin, c.dlc);
+  const std::vector<uint64_t> a = SubjectsWhereObjEq(c.origin, c.dlc, ectx);
 
   const PositionVector rec_sel =
-      MergeSelectPositions(Subjects(c.records), a);
+      MergeSelectPositions(Subjects(c.records), a, ectx);
   std::vector<std::pair<uint64_t, uint64_t>> b_pairs;
   {
     const auto& rs = Subjects(c.records);
@@ -171,7 +179,7 @@ CStoreEngine::Rows CStoreEngine::Q5(const CStoreConstants& c) const {
 
   const auto& c_subjects = Subjects(c.type);
   const auto& c_objects = Objects(c.type);
-  for (const auto& [bi, ci] : MergeJoin(b_objects, c_subjects)) {
+  for (const auto& [bi, ci] : MergeJoin(b_objects, c_subjects, ectx)) {
     if (c_objects[ci] != c.text) {
       rows.push_back({b_pairs[bi].second, c_objects[ci]});
     }
@@ -179,8 +187,9 @@ CStoreEngine::Rows CStoreEngine::Q5(const CStoreConstants& c) const {
   return rows;
 }
 
-CStoreEngine::Rows CStoreEngine::Q6(const CStoreConstants& c) const {
-  const std::vector<uint64_t> a1 = SubjectsWhereObjEq(c.type, c.text);
+CStoreEngine::Rows CStoreEngine::Q6(const CStoreConstants& c,
+                                    const exec::ExecContext& ectx) const {
+  const std::vector<uint64_t> a1 = SubjectsWhereObjEq(c.type, c.text, ectx);
   MarkSet text_typed(c.dict_size);
   text_typed.MarkAll(a1);
 
@@ -192,26 +201,28 @@ CStoreEngine::Rows CStoreEngine::Q6(const CStoreConstants& c) const {
       if (text_typed.Test(ro[i])) via_records.push_back(rs[i]);
     }
   }
-  const std::vector<uint64_t> united = UnionDistinct({a1, via_records});
-  return CountMatchesPerProperty(united);
+  const std::vector<uint64_t> united = UnionDistinct({a1, via_records}, ectx);
+  return CountMatchesPerProperty(united, ectx);
 }
 
-CStoreEngine::Rows CStoreEngine::Q7(const CStoreConstants& c) const {
+CStoreEngine::Rows CStoreEngine::Q7(const CStoreConstants& c,
+                                    const exec::ExecContext& ectx) const {
   Rows rows;
   if (!HasProperty(c.encoding) || !HasProperty(c.type)) return rows;
-  const std::vector<uint64_t> a = SubjectsWhereObjEq(c.point, c.end);
+  const std::vector<uint64_t> a = SubjectsWhereObjEq(c.point, c.end, ectx);
 
   auto collect = [&](uint64_t property, std::vector<uint64_t>* subjects,
                      std::vector<uint64_t>* objects) {
-    const PositionVector sel = MergeSelectPositions(Subjects(property), a);
-    *subjects = Gather(Subjects(property), sel);
-    *objects = Gather(Objects(property), sel);
+    const PositionVector sel =
+        MergeSelectPositions(Subjects(property), a, ectx);
+    *subjects = Gather(Subjects(property), sel, ectx);
+    *objects = Gather(Objects(property), sel, ectx);
   };
   std::vector<uint64_t> b_subj, b_obj, c_subj, c_obj;
   collect(c.encoding, &b_subj, &b_obj);
   collect(c.type, &c_subj, &c_obj);
 
-  for (const auto& [bi, ci] : MergeJoin(b_subj, c_subj)) {
+  for (const auto& [bi, ci] : MergeJoin(b_subj, c_subj, ectx)) {
     rows.push_back({b_subj[bi], b_obj[bi], c_obj[ci]});
   }
   return rows;

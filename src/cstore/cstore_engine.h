@@ -10,6 +10,7 @@
 
 #include "audit/audit.h"
 #include "colstore/column.h"
+#include "exec/exec_context.h"
 #include "rdf/triple.h"
 #include "storage/buffer_pool.h"
 #include "storage/simulated_disk.h"
@@ -60,14 +61,21 @@ class CStoreEngine {
   void Load(std::span<const rdf::Triple> triples,
             std::span<const uint64_t> properties);
 
-  // The seven hard-wired plans.
-  Rows Q1(const CStoreConstants& c) const;
-  Rows Q2(const CStoreConstants& c) const;
-  Rows Q3(const CStoreConstants& c) const;
-  Rows Q4(const CStoreConstants& c) const;
-  Rows Q5(const CStoreConstants& c) const;
-  Rows Q6(const CStoreConstants& c) const;
-  Rows Q7(const CStoreConstants& c) const;
+  // The seven hard-wired plans, executed under `ectx`'s thread budget.
+  Rows Q1(const CStoreConstants& c,
+          const exec::ExecContext& ectx = exec::ExecContext()) const;
+  Rows Q2(const CStoreConstants& c,
+          const exec::ExecContext& ectx = exec::ExecContext()) const;
+  Rows Q3(const CStoreConstants& c,
+          const exec::ExecContext& ectx = exec::ExecContext()) const;
+  Rows Q4(const CStoreConstants& c,
+          const exec::ExecContext& ectx = exec::ExecContext()) const;
+  Rows Q5(const CStoreConstants& c,
+          const exec::ExecContext& ectx = exec::ExecContext()) const;
+  Rows Q6(const CStoreConstants& c,
+          const exec::ExecContext& ectx = exec::ExecContext()) const;
+  Rows Q7(const CStoreConstants& c,
+          const exec::ExecContext& ectx = exec::ExecContext()) const;
 
   void DropCaches() const;
   uint64_t disk_bytes() const;
@@ -89,15 +97,17 @@ class CStoreEngine {
   };
 
   // Sorted subjects with (property, object) — the shared sub-plan.
-  std::vector<uint64_t> SubjectsWhereObjEq(uint64_t property,
-                                           uint64_t object) const;
+  std::vector<uint64_t> SubjectsWhereObjEq(uint64_t property, uint64_t object,
+                                           const exec::ExecContext& ectx) const;
 
   // Per-property fan-out shared by q2/q6 (merge-count against `keys`) and
   // q3/q4 (gather + group objects of rows whose subject is in `keys`).
   // Sub-plans run in parallel across the pool; rows come back in
   // property order either way.
-  Rows CountMatchesPerProperty(const std::vector<uint64_t>& keys) const;
-  Rows GroupObjectsPerProperty(const std::vector<uint64_t>& keys) const;
+  Rows CountMatchesPerProperty(const std::vector<uint64_t>& keys,
+                               const exec::ExecContext& ectx) const;
+  Rows GroupObjectsPerProperty(const std::vector<uint64_t>& keys,
+                               const exec::ExecContext& ectx) const;
 
   storage::BufferPool* pool_;
   storage::SimulatedDisk* disk_;

@@ -1,0 +1,31 @@
+#include "exec/exec_context.h"
+
+#include "exec/thread_pool.h"
+
+namespace swan::exec {
+
+ExecContext::ExecContext() : threads_(Threads()) {}
+
+ExecContext::ExecContext(int threads) : threads_(threads < 1 ? 1 : threads) {}
+
+void ExecContext::ParallelFor(
+    uint64_t n, uint64_t grain,
+    const std::function<void(uint64_t, uint64_t, uint64_t)>& body) const {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  if (threads_ > 1) {
+    const uint64_t chunks = (n + grain - 1) / grain;
+    if (chunks > 1) {
+      counters_.parallel_regions.fetch_add(1, std::memory_order_relaxed);
+      counters_.morsels.fetch_add(chunks, std::memory_order_relaxed);
+    }
+  }
+  ParallelForWidth(n, grain, threads_, body);
+}
+
+uint64_t ExecContext::ShardsFor(uint64_t n,
+                                uint64_t min_items_per_shard) const {
+  return ShardsForWidth(n, min_items_per_shard, threads_);
+}
+
+}  // namespace swan::exec

@@ -2,6 +2,7 @@
 
 #include <time.h>
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <deque>
@@ -209,10 +210,16 @@ int HardwareConcurrency() {
 
 void ParallelFor(uint64_t n, uint64_t grain,
                  const std::function<void(uint64_t, uint64_t, uint64_t)>& body) {
+  ParallelForWidth(n, grain, Threads(), body);
+}
+
+void ParallelForWidth(uint64_t n, uint64_t grain, int width,
+                      const std::function<void(uint64_t, uint64_t, uint64_t)>&
+                          body) {
   if (n == 0) return;
   if (grain == 0) grain = 1;
   const uint64_t chunks = (n + grain - 1) / grain;
-  const int threads = Threads();
+  const int threads = std::min(width, Threads());
   if (threads <= 1 || chunks <= 1 || g_current_task != nullptr) {
     // Inline path: sequential, in the caller's (possibly null) task
     // context. At --threads=1 this is byte-for-byte the serial engine.
@@ -233,9 +240,9 @@ void ParallelFor(uint64_t n, uint64_t grain,
 
   ThreadPool* pool = GlobalPool();
   SWAN_CHECK(pool != nullptr);
-  const uint64_t runners =
-      std::min<uint64_t>(static_cast<uint64_t>(pool->worker_count()),
-                         chunks - 1);
+  const uint64_t runners = std::min<uint64_t>(
+      {static_cast<uint64_t>(pool->worker_count()),
+       static_cast<uint64_t>(threads - 1), chunks - 1});
   for (uint64_t r = 0; r < runners; ++r) {
     pool->Submit([batch] { batch->RunChunks(); });
   }
@@ -247,7 +254,12 @@ void ParallelFor(uint64_t n, uint64_t grain,
 }
 
 uint64_t ShardsFor(uint64_t n, uint64_t min_items_per_shard) {
-  const uint64_t threads = static_cast<uint64_t>(Threads());
+  return ShardsForWidth(n, min_items_per_shard, Threads());
+}
+
+uint64_t ShardsForWidth(uint64_t n, uint64_t min_items_per_shard, int width) {
+  const uint64_t threads =
+      static_cast<uint64_t>(std::min(width, Threads()));
   if (threads <= 1 || min_items_per_shard == 0) return 1;
   const uint64_t by_size = n / min_items_per_shard;
   return std::max<uint64_t>(1, std::min(threads, by_size));

@@ -70,10 +70,21 @@ void ParallelFor(uint64_t n, uint64_t grain,
                  const std::function<void(uint64_t begin, uint64_t end,
                                           uint64_t chunk)>& body);
 
+// As ParallelFor, but with an explicit width: the region fans out over
+// min(width, Threads()) lanes (chunk c -> lane c % effective width), so a
+// narrower ExecContext is honored without resizing the pool. width <= 1
+// is the inline serial path regardless of the pool size.
+void ParallelForWidth(uint64_t n, uint64_t grain, int width,
+                      const std::function<void(uint64_t begin, uint64_t end,
+                                               uint64_t chunk)>& body);
+
 // Convenience: number of contiguous shards a size-n input should be split
 // into for per-shard partial aggregation — Threads() when n is worth
 // parallelizing, else 1.
 uint64_t ShardsFor(uint64_t n, uint64_t min_items_per_shard);
+
+// As ShardsFor with an explicit width budget (capped at Threads()).
+uint64_t ShardsForWidth(uint64_t n, uint64_t min_items_per_shard, int width);
 
 // ---------------------------------------------------------------------------
 // Lane CPU accounting

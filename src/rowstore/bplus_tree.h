@@ -81,6 +81,46 @@ class BPlusTree {
 
   uint64_t size() const { return size_; }
   int height() const { return height_; }
+
+  // Leaf-chain layout, the basis of chunked parallel scans. BulkLoad lays
+  // the leaves out as consecutive pages [first_leaf_page, first_leaf_page
+  // + num_leaves); a later leaf split appends its right sibling at the end
+  // of the file and permanently breaks that contiguity, after which
+  // chunked scans must fall back to the serial sibling chain.
+  bool LeafChainContiguous() const { return leaf_chain_contiguous_; }
+  uint32_t first_leaf_page() const { return first_leaf_page_; }
+  uint32_t num_leaves() const { return num_leaves_; }
+
+  // Calls fn(key) for every key in leaves [leaf_begin, leaf_end) of the
+  // contiguous bulk-loaded chain, in key order. Only valid while
+  // LeafChainContiguous(). Pages are fetched through the buffer pool, so
+  // the I/O model observes one sequential page run per chunk.
+  template <typename Fn>
+  void ScanLeaves(uint32_t leaf_begin, uint32_t leaf_end, const Fn& fn) const {
+    SWAN_DCHECK(leaf_chain_contiguous_);
+    SWAN_DCHECK_LE(leaf_end, num_leaves_);
+    for (uint32_t leaf = leaf_begin; leaf < leaf_end; ++leaf) {
+      storage::PageGuard guard =
+          pool_->Fetch(file_.page_id(first_leaf_page_ + leaf));
+      const uint8_t* p = guard.data();
+      const uint16_t count = ReadU16(p + 2);
+      for (uint16_t i = 0; i < count; ++i) fn(LeafKeyAt(p, i));
+    }
+  }
+
+  // Charges the root-to-leftmost-leaf descent to the I/O model without
+  // producing keys. A chunked scan issues this once before fanning out so
+  // its set of touched pages — and therefore its cold I/O bytes — is
+  // identical to the serial cursor's Seek-then-chain walk.
+  void ChargeScanDescent() const {
+    Key min{};
+    min.fill(0);
+    uint32_t leaf;
+    uint16_t slot;
+    bool found;
+    FindLeaf(min, &leaf, &slot, &found);
+  }
+
   uint32_t page_count() const { return file_.page_count(); }
   uint32_t file_id() const { return file_.file_id(); }
   uint64_t disk_bytes() const {
@@ -241,6 +281,9 @@ class BPlusTree {
   uint32_t root_page_ = kInvalidPage;
   uint64_t size_ = 0;
   int height_ = 0;
+  uint32_t first_leaf_page_ = kInvalidPage;
+  uint32_t num_leaves_ = 0;
+  bool leaf_chain_contiguous_ = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -263,6 +306,9 @@ void BPlusTree<W>::BulkLoad(std::span<const Key> sorted_keys) {
     WriteU16(page + 2, 0);       // count
     WriteU32(page + 4, kInvalidPage);
     root_page_ = file_.AppendPage(page);
+    first_leaf_page_ = root_page_;
+    num_leaves_ = 1;
+    leaf_chain_contiguous_ = true;
     height_ = 1;
     return;
   }
@@ -291,6 +337,9 @@ void BPlusTree<W>::BulkLoad(std::span<const Key> sorted_keys) {
       level.emplace_back(sorted_keys[pos], page_no);
       pos += take;
     }
+    first_leaf_page_ = first_leaf;
+    num_leaves_ = static_cast<uint32_t>(num_leaves);
+    leaf_chain_contiguous_ = true;
   }
   height_ = 1;
 
@@ -471,6 +520,11 @@ typename BPlusTree<W>::SplitResult BPlusTree<W>::InsertRecurse(
     std::memcpy(right + kHeaderSize, base + left_count * kKeyBytes,
                 right_count * kKeyBytes);
     const uint32_t right_page = file_.AppendPage(right);
+    // The new right sibling lives at the end of the file, out of key
+    // order: chunked scans must fall back to the sibling chain from now
+    // on.
+    leaf_chain_contiguous_ = false;
+    ++num_leaves_;
 
     WriteU16(page + 2, left_count);
     WriteU32(page + 4, right_page);

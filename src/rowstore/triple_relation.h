@@ -1,9 +1,12 @@
 #ifndef SWANDB_ROWSTORE_TRIPLE_RELATION_H_
 #define SWANDB_ROWSTORE_TRIPLE_RELATION_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "exec/exec_context.h"
 
 #include "audit/audit.h"
 #include "rdf/pattern.h"
@@ -98,6 +101,21 @@ class TripleRelation {
     bool valid_ = false;
   };
   Scan Open(const rdf::TriplePattern& pattern) const;
+
+  // Chunked full scan, the fan-out entry of a parallel whole-relation
+  // read. FullScanChunks returns how many leaf-range chunks a full scan
+  // splits into under `ectx`: 1 when the context is serial or the
+  // clustered tree's bulk-loaded leaf chain has been broken by inserts
+  // (callers then use the ordinary cursor, which is the bit-identical
+  // serial path). When chunking, callers charge the descent once, then
+  // scan each chunk — the union of pages touched equals the serial
+  // cursor's, so cold I/O bytes are width-independent.
+  uint64_t FullScanChunks(const exec::ExecContext& ectx) const;
+  void ChargeFullScanDescent() const;
+  // Emits every triple of chunk `chunk` (of `num_chunks`) in clustered key
+  // order.
+  void FullScanChunk(uint64_t chunk, uint64_t num_chunks,
+                     const std::function<void(const rdf::Triple&)>& fn) const;
 
   // Audit walker. Audits the clustered tree and every secondary index,
   // and checks that all trees agree on the row count.

@@ -362,6 +362,13 @@ std::vector<core::BgpPattern> Bind(const ParsedQuery& parsed,
 Result<QueryOutput> Execute(const core::Backend& backend,
                             const rdf::Dataset& dataset,
                             std::string_view query) {
+  return Execute(backend, dataset, query, exec::ExecContext());
+}
+
+Result<QueryOutput> Execute(const core::Backend& backend,
+                            const rdf::Dataset& dataset,
+                            std::string_view query,
+                            const exec::ExecContext& ectx) {
   SWAN_ASSIGN_OR_RETURN(ParsedQuery parsed, Parse(query));
 
   // Bind constants against the dictionary. A miss means the graph cannot
@@ -394,7 +401,7 @@ Result<QueryOutput> Execute(const core::Backend& backend,
   if (unmatchable) return output;
 
   SWAN_ASSIGN_OR_RETURN(core::BgpResult bgp,
-                        core::ExecuteBgp(backend, patterns));
+                        core::ExecuteBgp(backend, patterns, ectx));
 
   // The evaluator may reorder patterns, so binding columns are located by
   // name against the result's own variable list.

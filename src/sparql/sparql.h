@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "core/backend.h"
 #include "core/bgp.h"
+#include "exec/exec_context.h"
 #include "rdf/dataset.h"
 
 namespace swan::sparql {
@@ -81,6 +82,14 @@ std::vector<core::BgpPattern> Bind(const ParsedQuery& parsed,
 Result<QueryOutput> Execute(const core::Backend& backend,
                             const rdf::Dataset& dataset,
                             std::string_view query);
+
+// As above, under an explicit execution context: the BGP evaluation fans
+// its binding-extension batches out across the context's thread budget
+// (see core::ExecuteBgp); results are identical at every width.
+Result<QueryOutput> Execute(const core::Backend& backend,
+                            const rdf::Dataset& dataset,
+                            std::string_view query,
+                            const exec::ExecContext& ectx);
 
 }  // namespace swan::sparql
 

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/macros.h"
+#include "exec/thread_pool.h"
 
 namespace swan::storage {
 
@@ -86,7 +87,7 @@ Status BufferPool::TryFetch(PageId id, PageGuard* out) {
   // fetchers wait instead of duplicating the read, so the lock can drop
   // for the (virtually slow) transfer.
   lock.unlock();
-  Status st = disk_->ReadPage(id, frame.data.get());
+  Status st = disk_->ReadPage(id, frame.data.get(), exec::CurrentTask());
   lock.lock();
 
   if (!st.ok()) {

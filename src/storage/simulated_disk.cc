@@ -5,7 +5,6 @@
 #include <string>
 
 #include "common/macros.h"
-#include "exec/thread_pool.h"
 
 namespace swan::storage {
 
@@ -52,8 +51,8 @@ void SimulatedDisk::WritePage(PageId id, const void* data) {
   file.checksums[id.page_no] = checksum;
 }
 
-Status SimulatedDisk::ReadPage(PageId id, void* out) {
-  exec::TaskContext* const task = exec::CurrentTask();
+Status SimulatedDisk::ReadPage(PageId id, void* out,
+                               exec::TaskContext* task) {
   uint64_t expected_checksum = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);

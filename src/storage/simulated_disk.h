@@ -8,6 +8,7 @@
 #include "audit/audit.h"
 #include "common/status.h"
 #include "common/timer.h"
+#include "exec/thread_pool.h"
 #include "storage/page.h"
 
 namespace swan::storage {
@@ -50,8 +51,10 @@ struct IoTracePoint {
 // Writes are free and not traced: the paper keeps loading and index
 // construction outside the benchmark scope (§2.3).
 //
-// Concurrent-I/O cost model: ReadPage is thread-safe. Serial reads (no
-// exec::TaskContext, i.e. everything at --threads=1) accrue onto a serial
+// Concurrent-I/O cost model: ReadPage is thread-safe and takes the
+// issuing task explicitly (the BufferPool passes exec::CurrentTask(); the
+// disk itself reads no thread-local execution state). Serial reads
+// (task == nullptr, i.e. everything at --threads=1) accrue onto a serial
 // clock with the global stream-contiguity state, exactly as before
 // parallelism existed. Reads issued from inside a ParallelFor chunk
 // accrue onto the chunk's *lane* (chunk index mod thread count) and judge
@@ -77,10 +80,11 @@ class SimulatedDisk {
   void WritePage(PageId id, const void* data);
 
   // Copies a page image into `out` (kPageSize bytes) and charges virtual
-  // I/O time according to the disk model. Returns Corruption (with the
-  // bytes still copied, for forensics) if the stored image no longer
-  // matches its checksum.
-  [[nodiscard]] Status ReadPage(PageId id, void* out);
+  // I/O time according to the disk model, accruing onto `task`'s lane
+  // stream (or the serial stream when task == nullptr). Returns Corruption
+  // (with the bytes still copied, for forensics) if the stored image no
+  // longer matches its checksum.
+  [[nodiscard]] Status ReadPage(PageId id, void* out, exec::TaskContext* task);
 
   // Recomputes `id`'s checksum against the stored image without charging
   // I/O time or touching read statistics (audit path).

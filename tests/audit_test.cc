@@ -44,11 +44,11 @@ TEST(DiskChecksumTest, ReadPageReportsSilentCorruption) {
   disk.AppendPage(file, page.data());
 
   alignas(8) uint8_t buf[storage::kPageSize];
-  ASSERT_TRUE(disk.ReadPage({file, 0}, buf).ok());
+  ASSERT_TRUE(disk.ReadPage({file, 0}, buf, nullptr).ok());
   ASSERT_TRUE(disk.VerifyFile(file).ok());
 
   disk.CorruptPageForTesting({file, 0}, 17, 0x01);
-  const Status st = disk.ReadPage({file, 0}, buf);
+  const Status st = disk.ReadPage({file, 0}, buf, nullptr);
   EXPECT_EQ(st.code(), StatusCode::kCorruption);
   EXPECT_EQ(disk.VerifyPage({file, 0}).code(), StatusCode::kCorruption);
   EXPECT_EQ(disk.VerifyFile(file).code(), StatusCode::kCorruption);
@@ -57,7 +57,7 @@ TEST(DiskChecksumTest, ReadPageReportsSilentCorruption) {
 
   // Flipping the same bit back restores a clean page.
   disk.CorruptPageForTesting({file, 0}, 17, 0x01);
-  EXPECT_TRUE(disk.ReadPage({file, 0}, buf).ok());
+  EXPECT_TRUE(disk.ReadPage({file, 0}, buf, nullptr).ok());
 }
 
 TEST(DiskChecksumTest, DiskAuditSweepsEveryPage) {
@@ -142,7 +142,7 @@ TEST(BPlusTreeAuditTest, ReorderedLeafKeysAreAStructuralFinding) {
   // through the legitimate write path, so its checksum is valid and only
   // the *logical* invariant (key order) is broken.
   alignas(8) uint8_t page[storage::kPageSize];
-  ASSERT_TRUE(disk.ReadPage({tree.file_id(), 0}, page).ok());
+  ASSERT_TRUE(disk.ReadPage({tree.file_id(), 0}, page, nullptr).ok());
   uint16_t is_leaf;
   std::memcpy(&is_leaf, page, sizeof(is_leaf));
   ASSERT_EQ(is_leaf, 1u);
@@ -172,7 +172,7 @@ TEST(BPlusTreeAuditTest, BrokenLeafChainIsDetected) {
   // Truncate the leftmost leaf's next pointer: scans would silently stop
   // after one page while point lookups keep working.
   alignas(8) uint8_t page[storage::kPageSize];
-  ASSERT_TRUE(disk.ReadPage({tree.file_id(), 0}, page).ok());
+  ASSERT_TRUE(disk.ReadPage({tree.file_id(), 0}, page, nullptr).ok());
   const uint32_t invalid = rowstore::kInvalidPage;
   std::memcpy(page + 4, &invalid, sizeof(invalid));
   disk.WritePage({tree.file_id(), 0}, page);
@@ -203,7 +203,7 @@ TEST(ColumnAuditTest, ShuffledSortedColumnIsAColumnFinding) {
   // Swap the first two values on disk through the legitimate write path:
   // the checksum is valid, but the declared sort order no longer holds.
   alignas(8) uint8_t page[storage::kPageSize];
-  ASSERT_TRUE(disk.ReadPage({col.file_id(), 0}, page).ok());
+  ASSERT_TRUE(disk.ReadPage({col.file_id(), 0}, page, nullptr).ok());
   uint64_t a, b;
   std::memcpy(&a, page, sizeof(a));
   std::memcpy(&b, page + 8, sizeof(b));
@@ -239,7 +239,7 @@ TEST(ColumnAuditTest, DictionaryCodeOutOfRangeIsAColumnFinding) {
 
   // Plant an id no dictionary of size 10 could ever have issued.
   alignas(8) uint8_t page[storage::kPageSize];
-  ASSERT_TRUE(disk.ReadPage({col.file_id(), 0}, page).ok());
+  ASSERT_TRUE(disk.ReadPage({col.file_id(), 0}, page, nullptr).ok());
   const uint64_t bogus = 1u << 20;
   std::memcpy(page + 4 * 8, &bogus, sizeof(bogus));
   disk.WritePage({col.file_id(), 0}, page);

@@ -78,7 +78,7 @@ TEST(InvariantDeathTest, ReadPastEndOfDiskFileAborts) {
   const uint32_t f = disk.CreateFile();
   uint8_t buf[storage::kPageSize] = {};
   disk.AppendPage(f, buf);
-  EXPECT_DEATH((void)disk.ReadPage({f, 5}, buf), "past end");
+  EXPECT_DEATH((void)disk.ReadPage({f, 5}, buf, nullptr), "past end");
 }
 
 }  // namespace

@@ -21,9 +21,9 @@ TEST(SimulatedDiskTest, RoundTripsPages) {
   disk.AppendPage(f, PatternPage(0xAB).data());
   disk.AppendPage(f, PatternPage(0xCD).data());
   uint8_t buf[kPageSize];
-  ASSERT_TRUE(disk.ReadPage({f, 1}, buf).ok());
+  ASSERT_TRUE(disk.ReadPage({f, 1}, buf, nullptr).ok());
   EXPECT_EQ(buf[0], 0xCD);
-  ASSERT_TRUE(disk.ReadPage({f, 0}, buf).ok());
+  ASSERT_TRUE(disk.ReadPage({f, 0}, buf, nullptr).ok());
   EXPECT_EQ(buf[100], 0xAB);
   EXPECT_EQ(disk.PageCount(f), 2u);
 }
@@ -34,7 +34,7 @@ TEST(SimulatedDiskTest, WritePageOverwrites) {
   disk.AppendPage(f, PatternPage(0x11).data());
   disk.WritePage({f, 0}, PatternPage(0x22).data());
   uint8_t buf[kPageSize];
-  ASSERT_TRUE(disk.ReadPage({f, 0}, buf).ok());
+  ASSERT_TRUE(disk.ReadPage({f, 0}, buf, nullptr).ok());
   EXPECT_EQ(buf[0], 0x22);
 }
 
@@ -47,7 +47,7 @@ TEST(SimulatedDiskTest, ChargesBandwidthTime) {
   for (int i = 0; i < 10; ++i) disk.AppendPage(f, PatternPage(0).data());
   uint8_t buf[kPageSize];
   for (uint32_t p = 0; p < 10; ++p) {
-    ASSERT_TRUE(disk.ReadPage({f, p}, buf).ok());
+    ASSERT_TRUE(disk.ReadPage({f, p}, buf, nullptr).ok());
   }
   EXPECT_NEAR(disk.clock().now(), 10 * kPageSize / 8e6, 1e-9);
   EXPECT_EQ(disk.total_bytes_read(), 10 * kPageSize);
@@ -61,7 +61,7 @@ TEST(SimulatedDiskTest, SequentialReadsSkipSeeks) {
   for (int i = 0; i < 5; ++i) disk.AppendPage(f, PatternPage(0).data());
   uint8_t buf[kPageSize];
   for (uint32_t p = 0; p < 5; ++p) {
-    ASSERT_TRUE(disk.ReadPage({f, p}, buf).ok());
+    ASSERT_TRUE(disk.ReadPage({f, p}, buf, nullptr).ok());
   }
   EXPECT_EQ(disk.total_seeks(), 1u);  // only the initial positioning
 }
@@ -71,9 +71,9 @@ TEST(SimulatedDiskTest, RandomReadsPaySeeks) {
   const uint32_t f = disk.CreateFile();
   for (int i = 0; i < 10; ++i) disk.AppendPage(f, PatternPage(0).data());
   uint8_t buf[kPageSize];
-  ASSERT_TRUE(disk.ReadPage({f, 9}, buf).ok());
-  ASSERT_TRUE(disk.ReadPage({f, 0}, buf).ok());
-  ASSERT_TRUE(disk.ReadPage({f, 5}, buf).ok());
+  ASSERT_TRUE(disk.ReadPage({f, 9}, buf, nullptr).ok());
+  ASSERT_TRUE(disk.ReadPage({f, 0}, buf, nullptr).ok());
+  ASSERT_TRUE(disk.ReadPage({f, 5}, buf, nullptr).ok());
   EXPECT_EQ(disk.total_seeks(), 3u);
 }
 
@@ -85,7 +85,7 @@ TEST(SimulatedDiskTest, ForcedSeekIntervalLimitsRunLength) {
   for (int i = 0; i < 8; ++i) disk.AppendPage(f, PatternPage(0).data());
   uint8_t buf[kPageSize];
   for (uint32_t p = 0; p < 8; ++p) {
-    ASSERT_TRUE(disk.ReadPage({f, p}, buf).ok());
+    ASSERT_TRUE(disk.ReadPage({f, p}, buf, nullptr).ok());
   }
   // Seek at page 0, then every 2 sequential pages: 0,2,4,6 -> 4 seeks.
   EXPECT_EQ(disk.total_seeks(), 4u);
@@ -98,7 +98,7 @@ TEST(SimulatedDiskTest, TraceRecordsCumulativeBytes) {
   disk.StartTrace();
   uint8_t buf[kPageSize];
   for (uint32_t p = 0; p < 4; ++p) {
-    ASSERT_TRUE(disk.ReadPage({f, p}, buf).ok());
+    ASSERT_TRUE(disk.ReadPage({f, p}, buf, nullptr).ok());
   }
   const auto trace = disk.StopTrace();
   ASSERT_EQ(trace.size(), 4u);
@@ -113,7 +113,7 @@ TEST(SimulatedDiskTest, ResetStatsClearsCounters) {
   const uint32_t f = disk.CreateFile();
   disk.AppendPage(f, PatternPage(0).data());
   uint8_t buf[kPageSize];
-  ASSERT_TRUE(disk.ReadPage({f, 0}, buf).ok());
+  ASSERT_TRUE(disk.ReadPage({f, 0}, buf, nullptr).ok());
   disk.ResetStats();
   EXPECT_EQ(disk.total_bytes_read(), 0u);
   EXPECT_EQ(disk.total_seeks(), 0u);
@@ -193,7 +193,7 @@ TEST(BufferPoolTest, WriteThroughUpdatesCacheAndDisk) {
     EXPECT_EQ(g.data()[0], 9);
   }
   uint8_t buf[kPageSize];
-  ASSERT_TRUE(disk.ReadPage({f, 0}, buf).ok());
+  ASSERT_TRUE(disk.ReadPage({f, 0}, buf, nullptr).ok());
   EXPECT_EQ(buf[0], 9);
 }
 

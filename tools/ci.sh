@@ -38,16 +38,22 @@ case "$mode" in
   tsan|all)
     # TSan is incompatible with ASan, so it gets its own tree. The full
     # suite is slow under TSan; the concurrency-focused tests are the ones
-    # that exercise cross-thread interleavings, so CI runs just those.
+    # that exercise cross-thread interleavings, so CI runs just those,
+    # plus a small parallel_speedup smoke whose built-in equivalence gate
+    # (same rows and cold I/O bytes as the 1-thread run) aborts the
+    # process on any divergence.
     echo "=== matrix: tsan (thread) ==="
     TSAN_DIR="$REPO_ROOT/build-ci-tsan"
     { cmake -B "$TSAN_DIR" -S "$REPO_ROOT" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSWAN_WERROR=ON \
         -DSWAN_SANITIZE=thread &&
       cmake --build "$TSAN_DIR" -j "$JOBS" \
-        --target thread_pool_test concurrency_stress_test &&
+        --target thread_pool_test concurrency_stress_test bgp_parallel_test \
+                 parallel_speedup &&
       (cd "$TSAN_DIR" && ctest --output-on-failure -j "$JOBS" \
-        -R 'ThreadPool|ConcurrencyStress'); } || status=1
+        -R 'ThreadPool|ConcurrencyStress|BgpParallel') &&
+      SWAN_TRIPLES=60000 SWAN_REPS=1 \
+        "$TSAN_DIR/bench/parallel_speedup" --threads=4; } || status=1
     [ "$mode" = "tsan" ] && exit "$status"
     ;;&
   tidy|all)
