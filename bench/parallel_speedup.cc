@@ -50,6 +50,22 @@ using swan::exec::ExecContext;
 
 std::string Key(int threads) { return std::to_string(threads); }
 
+using Snapshot = swan::exec::OpCounters::Snapshot;
+
+// Counter deltas over one entry's hot-measurement window (warm-up + reps).
+Snapshot Delta(const Snapshot& before, const Snapshot& after) {
+  Snapshot d;
+  d.parallel_regions = after.parallel_regions - before.parallel_regions;
+  d.morsels = after.morsels - before.morsels;
+  d.merge_join_partitions =
+      after.merge_join_partitions - before.merge_join_partitions;
+  d.match_calls = after.match_calls - before.match_calls;
+  d.bgp_batches = after.bgp_batches - before.bgp_batches;
+  d.bytes_read = after.bytes_read - before.bytes_read;
+  d.seeks = after.seeks - before.seeks;
+  return d;
+}
+
 // One bench row: a label, a group (for per-group geomeans), a hot
 // measurement under a context, and an equivalence gate against the
 // 1-thread reference.
@@ -166,8 +182,12 @@ int main(int argc, char** argv) {
   }
 
   // Measure: hot real seconds per entry per width, gated on equivalence.
+  // The operator-counter delta around each hot window (scheduler counters
+  // from the layers below, disk bytes/seeks credited by the harness) is
+  // kept for the per-width counters table.
   bool equivalent = true;
   std::vector<std::vector<double>> hot_real(entries.size());
+  std::vector<std::vector<Snapshot>> hot_counters(entries.size());
   for (size_t t = 0; t < thread_counts.size(); ++t) {
     std::printf("measuring %d thread(s)...\n", thread_counts[t]);
     const ExecContext ectx(thread_counts[t]);
@@ -177,7 +197,9 @@ int main(int argc, char** argv) {
                      entries[e].label.c_str(), thread_counts[t]);
         equivalent = false;
       }
+      const Snapshot before = ectx.counters().Snap();
       hot_real[e].push_back(entries[e].hot_real_seconds(ectx));
+      hot_counters[e].push_back(Delta(before, ectx.counters().Snap()));
     }
   }
   SWAN_CHECK_MSG(equivalent,
@@ -208,6 +230,29 @@ int main(int argc, char** argv) {
     table.AddRow(cells);
   }
   std::printf("%s\n", table.ToString().c_str());
+
+  // Per-width operator/cost counters over each hot window. Scheduler
+  // counters (regions, morsels, partitions, batches) grow with width;
+  // match calls, bytes and seeks must not — parallelism may reshape the
+  // schedule but never the work.
+  std::printf("operator counters per hot window (warm-up + %d reps):\n",
+              reps);
+  swan::TablePrinter counters_table(
+      {"workload", "T", "regions", "morsels", "mj-parts", "match",
+       "bgp-batch", "MB read", "seeks"});
+  for (size_t e = 0; e < entries.size(); ++e) {
+    for (size_t i = 0; i < thread_counts.size(); ++i) {
+      const Snapshot& c = hot_counters[e][i];
+      counters_table.AddRow(
+          {entries[e].label, Key(thread_counts[i]),
+           std::to_string(c.parallel_regions), std::to_string(c.morsels),
+           std::to_string(c.merge_join_partitions),
+           std::to_string(c.match_calls), std::to_string(c.bgp_batches),
+           swan::TablePrinter::Fixed(c.bytes_read / 1e6, 2),
+           std::to_string(c.seeks)});
+    }
+  }
+  std::printf("%s\n", counters_table.ToString().c_str());
 
   std::printf("geomean speedup (hot, modeled):\n");
   for (const auto& [group, by_width] : group_speedups) {

@@ -7,7 +7,9 @@
 
 #include "common/macros.h"
 #include "common/timer.h"
+#include "core/profiling.h"
 #include "exec/thread_pool.h"
+#include "obs/trace.h"
 
 namespace swan::bench_support {
 
@@ -19,6 +21,7 @@ template <typename Body>
 Measurement TimeOnce(storage::SimulatedDisk* disk, const Body& body) {
   const double io_before = disk->clock().now();
   const uint64_t bytes_before = disk->total_bytes_read();
+  const uint64_t seeks_before = disk->total_seeks();
   const std::vector<double> lanes_before = exec::LaneCpuSnapshot();
   WallTimer wall;
   CpuTimer timer;
@@ -30,31 +33,29 @@ Measurement TimeOnce(storage::SimulatedDisk* disk, const Body& body) {
   // Modeled parallel CPU: the portion of the process CPU charged to
   // ParallelFor lanes progresses as its slowest lane; the serial rest
   // runs start to finish. With no parallel work both terms are zero.
-  double lane_sum = 0.0;
-  double lane_max = 0.0;
-  const std::vector<double> lanes_after = exec::LaneCpuSnapshot();
-  for (size_t i = 0; i < lanes_after.size(); ++i) {
-    const double before = i < lanes_before.size() ? lanes_before[i] : 0.0;
-    const double delta = lanes_after[i] - before;
-    lane_sum += delta;
-    lane_max = std::max(lane_max, delta);
-  }
-  const double modeled_cpu =
-      std::max(m.user_seconds - lane_sum + lane_max, lane_max);
+  m.cpu_seconds = exec::ModeledCpuSeconds(
+      lanes_before, exec::LaneCpuSnapshot(), m.user_seconds);
 
-  m.real_seconds = modeled_cpu + (disk->clock().now() - io_before);
+  m.real_seconds = m.cpu_seconds + (disk->clock().now() - io_before);
   m.bytes_read = disk->total_bytes_read() - bytes_before;
+  m.seeks = disk->total_seeks() - seeks_before;
   m.rows_returned = rows;
   return m;
 }
 
-// Executes one benchmark query under `ectx`.
+// Executes one benchmark query under `ectx`, crediting the run's disk
+// traffic to the context's operator counters so benches can print the
+// full counter row per configuration.
 Measurement RunOnce(core::Backend* backend, core::QueryId id,
                     const core::QueryContext& ctx,
                     const exec::ExecContext& ectx) {
-  return TimeOnce(backend->disk(), [&] {
+  Measurement m = TimeOnce(backend->disk(), [&] {
     return backend->Run(id, ctx, ectx).row_count();
   });
+  ectx.counters().bytes_read.fetch_add(m.bytes_read,
+                                       std::memory_order_relaxed);
+  ectx.counters().seeks.fetch_add(m.seeks, std::memory_order_relaxed);
+  return m;
 }
 
 Measurement Average(const std::vector<Measurement>& runs) {
@@ -62,15 +63,20 @@ Measurement Average(const std::vector<Measurement>& runs) {
   if (runs.empty()) return avg;
   for (const Measurement& m : runs) {
     avg.real_seconds += m.real_seconds;
+    avg.cpu_seconds += m.cpu_seconds;
     avg.user_seconds += m.user_seconds;
     avg.wall_seconds += m.wall_seconds;
     avg.bytes_read += m.bytes_read;
+    avg.seeks += m.seeks;
     avg.rows_returned = m.rows_returned;
+    if (m.profile != nullptr) avg.profile = m.profile;
   }
   avg.real_seconds /= static_cast<double>(runs.size());
+  avg.cpu_seconds /= static_cast<double>(runs.size());
   avg.user_seconds /= static_cast<double>(runs.size());
   avg.wall_seconds /= static_cast<double>(runs.size());
   avg.bytes_read /= runs.size();
+  avg.seeks /= runs.size();
   double variance = 0.0;
   for (const Measurement& m : runs) {
     const double d = m.real_seconds - avg.real_seconds;
@@ -114,6 +120,48 @@ Measurement MeasureHot(core::Backend* backend, core::QueryId id,
   return Average(runs);
 }
 
+namespace {
+
+// As RunOnce, but with a trace session attached for the duration of the
+// execution. The session starts on the disk's virtual clock *before*
+// TimeOnce reads it (the clock only advances on reads, so both see the
+// same instant) and finishes with the measurement's own modeled CPU, so
+// profile->RootRealSeconds() equals Measurement::real_seconds exactly.
+Measurement RunOnceProfiled(core::Backend* backend, core::QueryId id,
+                            const core::QueryContext& ctx,
+                            const exec::ExecContext& ectx) {
+  core::ScopedProfile scoped(core::ToString(id), *backend, ectx);
+  Measurement m = RunOnce(backend, id, ctx, ectx);
+  m.profile = scoped.FinishWithCpu(m.cpu_seconds);
+  return m;
+}
+
+}  // namespace
+
+Measurement MeasureColdProfiled(core::Backend* backend, core::QueryId id,
+                                const core::QueryContext& ctx,
+                                const exec::ExecContext& ectx,
+                                int repetitions) {
+  std::vector<Measurement> runs;
+  for (int i = 0; i < repetitions; ++i) {
+    backend->DropCaches();
+    runs.push_back(RunOnceProfiled(backend, id, ctx, ectx));
+  }
+  return Average(runs);
+}
+
+Measurement MeasureHotProfiled(core::Backend* backend, core::QueryId id,
+                               const core::QueryContext& ctx,
+                               const exec::ExecContext& ectx,
+                               int repetitions) {
+  RunOnce(backend, id, ctx, ectx);  // warm-up, unprofiled and ignored
+  std::vector<Measurement> runs;
+  for (int i = 0; i < repetitions; ++i) {
+    runs.push_back(RunOnceProfiled(backend, id, ctx, ectx));
+  }
+  return Average(runs);
+}
+
 Measurement MeasureBgpHot(core::Backend* backend,
                           const std::vector<core::BgpPattern>& patterns,
                           const exec::ExecContext& ectx, int repetitions) {
@@ -126,7 +174,11 @@ Measurement MeasureBgpHot(core::Backend* backend,
   run();  // warm-up, ignored
   std::vector<Measurement> runs;
   for (int i = 0; i < repetitions; ++i) {
-    runs.push_back(TimeOnce(backend->disk(), run));
+    Measurement m = TimeOnce(backend->disk(), run);
+    ectx.counters().bytes_read.fetch_add(m.bytes_read,
+                                         std::memory_order_relaxed);
+    ectx.counters().seeks.fetch_add(m.seeks, std::memory_order_relaxed);
+    runs.push_back(m);
   }
   return Average(runs);
 }

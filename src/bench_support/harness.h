@@ -2,6 +2,7 @@
 #define SWANDB_BENCH_SUPPORT_HARNESS_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,10 @@
 #include "core/bgp.h"
 #include "core/query.h"
 #include "exec/exec_context.h"
+
+namespace swan::obs {
+class TraceSession;
+}  // namespace swan::obs
 
 namespace swan::bench_support {
 
@@ -23,6 +28,7 @@ namespace swan::bench_support {
 // pre-parallel model (CPU time + virtual disk time).
 struct Measurement {
   double real_seconds = 0.0;  // modeled critical-path CPU + virtual disk time
+  double cpu_seconds = 0.0;   // modeled critical-path CPU alone
   double user_seconds = 0.0;  // CPU time summed over all threads
   double wall_seconds = 0.0;  // host wall clock (diagnostic; host-dependent)
   // Standard deviation of real_seconds across the repetitions — the
@@ -30,7 +36,13 @@ struct Measurement {
   // differences were less than 30 milliseconds"), checkable here.
   double real_stddev = 0.0;
   uint64_t bytes_read = 0;    // data pulled from the simulated disk
+  uint64_t seeks = 0;         // random repositionings charged by the disk
   uint64_t rows_returned = 0;
+  // Set by the *Profiled variants: the finished trace session of the last
+  // repetition. RootRealSeconds() matches real_seconds of that repetition
+  // exactly, giving the profile's disk-vs-CPU decomposition of the
+  // measured cost.
+  std::shared_ptr<obs::TraceSession> profile;
 };
 
 // The paper's §2.3 protocol. A *cold* run drops every cache first, so the
@@ -51,6 +63,20 @@ Measurement MeasureCold(core::Backend* backend, core::QueryId id,
 Measurement MeasureHot(core::Backend* backend, core::QueryId id,
                        const core::QueryContext& ctx,
                        const exec::ExecContext& ectx, int repetitions = 3);
+
+// Profiled variants of the cold/hot protocol: each measured repetition
+// runs under an attached obs::TraceSession, and the last repetition's
+// finished session is returned in Measurement::profile. Repetitions
+// default to 1 because a profile describes one execution; averaging
+// virtual times across reps would break the exact root-span equality.
+Measurement MeasureColdProfiled(core::Backend* backend, core::QueryId id,
+                                const core::QueryContext& ctx,
+                                const exec::ExecContext& ectx,
+                                int repetitions = 1);
+Measurement MeasureHotProfiled(core::Backend* backend, core::QueryId id,
+                               const core::QueryContext& ctx,
+                               const exec::ExecContext& ectx,
+                               int repetitions = 1);
 
 // Hot-protocol measurement of a BGP evaluation under an explicit context
 // (one unmeasured warm-up, then averaged measured runs). rows_returned is

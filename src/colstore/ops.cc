@@ -3,10 +3,23 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace swan::colstore {
 
 namespace {
+
+// The merge-join equal-run-length histogram of the attached trace
+// session, or nullptr when untraced. Observation is atomic and the run
+// set is width-invariant (runs never straddle partitions), so the
+// snapshot is identical at every thread count.
+obs::Histogram* RunLengthHist(const exec::ExecContext& ctx) {
+  obs::TraceSession* session = ctx.trace();
+  if (session == nullptr) return nullptr;
+  return session->metrics().GetHistogram("ops.merge_join.run_length",
+                                         {1, 2, 4, 8, 16, 32, 64, 128});
+}
 
 // Morsel size for scan kernels: 64Ki values (512 KB of ids) is large
 // enough to amortize scheduling and small enough to load-balance skew.
@@ -93,7 +106,8 @@ std::vector<uint64_t> SetUnion2(const std::vector<uint64_t>& a,
 void MergeJoinInto(std::span<const uint64_t> left,
                    std::span<const uint64_t> right, uint32_t left_off,
                    uint32_t right_off,
-                   std::vector<std::pair<uint32_t, uint32_t>>* out) {
+                   std::vector<std::pair<uint32_t, uint32_t>>* out,
+                   obs::Histogram* run_lengths = nullptr) {
   uint32_t i = 0, j = 0;
   const uint32_t n = static_cast<uint32_t>(left.size());
   const uint32_t m = static_cast<uint32_t>(right.size());
@@ -109,6 +123,10 @@ void MergeJoinInto(std::span<const uint64_t> left,
       while (i_end < n && left[i_end] == v) ++i_end;
       uint32_t j_end = j;
       while (j_end < m && right[j_end] == v) ++j_end;
+      if (run_lengths != nullptr) {
+        run_lengths->Observe(i_end - i);
+        run_lengths->Observe(j_end - j);
+      }
       for (uint32_t a = i; a < i_end; ++a) {
         for (uint32_t b = j; b < j_end; ++b) {
           out->emplace_back(left_off + a, right_off + b);
@@ -146,36 +164,51 @@ std::vector<uint64_t> RunAlignedBoundaries(std::span<const uint64_t> sorted,
 
 PositionVector SelectEq(std::span<const uint64_t> col, uint64_t value,
                         const exec::ExecContext& ctx) {
-  return MorselSelect(ctx, col.size(),
-                      [&](uint64_t b, uint64_t e, PositionVector* out) {
-                        for (uint64_t i = b; i < e; ++i) {
-                          if (col[i] == value) {
-                            out->push_back(static_cast<uint32_t>(i));
-                          }
-                        }
-                      });
+  obs::Span span(ctx.trace(), "ops.select_eq");
+  span.set_rows_in(col.size());
+  PositionVector out =
+      MorselSelect(ctx, col.size(),
+                   [&](uint64_t b, uint64_t e, PositionVector* out) {
+                     for (uint64_t i = b; i < e; ++i) {
+                       if (col[i] == value) {
+                         out->push_back(static_cast<uint32_t>(i));
+                       }
+                     }
+                   });
+  span.set_rows_out(out.size());
+  return out;
 }
 
 PositionVector SelectEq(std::span<const uint64_t> col,
                         const PositionVector& sel, uint64_t value,
                         const exec::ExecContext& ctx) {
-  return MorselSelect(ctx, sel.size(),
-                      [&](uint64_t b, uint64_t e, PositionVector* out) {
-                        for (uint64_t j = b; j < e; ++j) {
-                          if (col[sel[j]] == value) out->push_back(sel[j]);
-                        }
-                      });
+  obs::Span span(ctx.trace(), "ops.select_eq");
+  span.set_rows_in(sel.size());
+  PositionVector out =
+      MorselSelect(ctx, sel.size(),
+                   [&](uint64_t b, uint64_t e, PositionVector* out) {
+                     for (uint64_t j = b; j < e; ++j) {
+                       if (col[sel[j]] == value) out->push_back(sel[j]);
+                     }
+                   });
+  span.set_rows_out(out.size());
+  return out;
 }
 
 PositionVector SelectNe(std::span<const uint64_t> col,
                         const PositionVector& sel, uint64_t value,
                         const exec::ExecContext& ctx) {
-  return MorselSelect(ctx, sel.size(),
-                      [&](uint64_t b, uint64_t e, PositionVector* out) {
-                        for (uint64_t j = b; j < e; ++j) {
-                          if (col[sel[j]] != value) out->push_back(sel[j]);
-                        }
-                      });
+  obs::Span span(ctx.trace(), "ops.select_ne");
+  span.set_rows_in(sel.size());
+  PositionVector out =
+      MorselSelect(ctx, sel.size(),
+                   [&](uint64_t b, uint64_t e, PositionVector* out) {
+                     for (uint64_t j = b; j < e; ++j) {
+                       if (col[sel[j]] != value) out->push_back(sel[j]);
+                     }
+                   });
+  span.set_rows_out(out.size());
+  return out;
 }
 
 std::pair<uint32_t, uint32_t> EqRangeSorted(std::span<const uint64_t> col,
@@ -198,6 +231,9 @@ std::pair<uint32_t, uint32_t> EqRangeSorted2(
 std::vector<uint64_t> Gather(std::span<const uint64_t> col,
                              const PositionVector& sel,
                              const exec::ExecContext& ctx) {
+  obs::Span span(ctx.trace(), "ops.gather");
+  span.set_rows_in(sel.size());
+  span.set_rows_out(sel.size());
   std::vector<uint64_t> out(sel.size());
   ctx.ParallelFor(sel.size(), kMorsel,
                   [&](uint64_t b, uint64_t e, uint64_t) {
@@ -208,55 +244,77 @@ std::vector<uint64_t> Gather(std::span<const uint64_t> col,
 
 PositionVector SelectMarked(std::span<const uint64_t> col, const MarkSet& set,
                             const exec::ExecContext& ctx) {
-  return MorselSelect(ctx, col.size(),
-                      [&](uint64_t b, uint64_t e, PositionVector* out) {
-                        for (uint64_t i = b; i < e; ++i) {
-                          if (set.Test(col[i])) {
-                            out->push_back(static_cast<uint32_t>(i));
-                          }
-                        }
-                      });
+  obs::Span span(ctx.trace(), "ops.select_marked");
+  span.set_rows_in(col.size());
+  PositionVector out =
+      MorselSelect(ctx, col.size(),
+                   [&](uint64_t b, uint64_t e, PositionVector* out) {
+                     for (uint64_t i = b; i < e; ++i) {
+                       if (set.Test(col[i])) {
+                         out->push_back(static_cast<uint32_t>(i));
+                       }
+                     }
+                   });
+  span.set_rows_out(out.size());
+  return out;
 }
 
 PositionVector SelectMarked(std::span<const uint64_t> col,
                             const PositionVector& sel, const MarkSet& set,
                             const exec::ExecContext& ctx) {
-  return MorselSelect(ctx, sel.size(),
-                      [&](uint64_t b, uint64_t e, PositionVector* out) {
-                        for (uint64_t j = b; j < e; ++j) {
-                          if (set.Test(col[sel[j]])) out->push_back(sel[j]);
-                        }
-                      });
+  obs::Span span(ctx.trace(), "ops.select_marked");
+  span.set_rows_in(sel.size());
+  PositionVector out =
+      MorselSelect(ctx, sel.size(),
+                   [&](uint64_t b, uint64_t e, PositionVector* out) {
+                     for (uint64_t j = b; j < e; ++j) {
+                       if (set.Test(col[sel[j]])) out->push_back(sel[j]);
+                     }
+                   });
+  span.set_rows_out(out.size());
+  return out;
 }
 
 std::vector<std::pair<uint64_t, uint64_t>> CountByKeyDense(
     std::span<const uint64_t> keys, uint64_t universe_size,
     const exec::ExecContext& ctx) {
-  return DenseCount(ctx, keys.size(), universe_size,
-                    [&](uint64_t b, uint64_t e, std::vector<uint64_t>* counts) {
-                      for (uint64_t i = b; i < e; ++i) {
-                        SWAN_DCHECK_LT(keys[i], universe_size);
-                        ++(*counts)[keys[i]];
-                      }
-                    });
+  obs::Span span(ctx.trace(), "ops.count_by_key");
+  span.set_rows_in(keys.size());
+  std::vector<std::pair<uint64_t, uint64_t>> out =
+      DenseCount(ctx, keys.size(), universe_size,
+                 [&](uint64_t b, uint64_t e, std::vector<uint64_t>* counts) {
+                   for (uint64_t i = b; i < e; ++i) {
+                     SWAN_DCHECK_LT(keys[i], universe_size);
+                     ++(*counts)[keys[i]];
+                   }
+                 });
+  span.set_rows_out(out.size());
+  return out;
 }
 
 std::vector<std::pair<uint64_t, uint64_t>> CountByKeyDense(
     std::span<const uint64_t> col, const PositionVector& sel,
     uint64_t universe_size, const exec::ExecContext& ctx) {
-  return DenseCount(ctx, sel.size(), universe_size,
-                    [&](uint64_t b, uint64_t e, std::vector<uint64_t>* counts) {
-                      for (uint64_t j = b; j < e; ++j) {
-                        SWAN_DCHECK_LT(col[sel[j]], universe_size);
-                        ++(*counts)[col[sel[j]]];
-                      }
-                    });
+  obs::Span span(ctx.trace(), "ops.count_by_key");
+  span.set_rows_in(sel.size());
+  std::vector<std::pair<uint64_t, uint64_t>> out =
+      DenseCount(ctx, sel.size(), universe_size,
+                 [&](uint64_t b, uint64_t e, std::vector<uint64_t>* counts) {
+                   for (uint64_t j = b; j < e; ++j) {
+                     SWAN_DCHECK_LT(col[sel[j]], universe_size);
+                     ++(*counts)[col[sel[j]]];
+                   }
+                 });
+  span.set_rows_out(out.size());
+  return out;
 }
 
 std::vector<PairCount> CountByPair(std::span<const uint64_t> a,
                                    std::span<const uint64_t> b,
                                    const exec::ExecContext& ctx) {
   SWAN_CHECK_EQ(a.size(), b.size());
+  obs::Span span(ctx.trace(), "ops.count_by_pair");
+  span.set_rows_in(a.size());
   const uint64_t n = a.size();
   std::vector<uint64_t> packed(n);
   ctx.ParallelFor(n, kMorsel, [&](uint64_t lo, uint64_t hi, uint64_t) {
@@ -311,15 +369,20 @@ std::vector<PairCount> CountByPair(std::span<const uint64_t> a,
     out.push_back(
         PairCount{best >> 32, best & 0xFFFFFFFFull, count});
   }
+  span.set_rows_out(out.size());
   return out;
 }
 
 std::vector<std::pair<uint32_t, uint32_t>> MergeJoin(
     std::span<const uint64_t> left, std::span<const uint64_t> right,
     const exec::ExecContext& ctx) {
+  obs::Span span(ctx.trace(), "ops.merge_join");
+  span.set_rows_in(left.size() + right.size());
+  obs::Histogram* run_lengths = RunLengthHist(ctx);
   if (!ctx.parallel() || left.size() + right.size() < 2 * kMorsel) {
     std::vector<std::pair<uint32_t, uint32_t>> out;
-    MergeJoinInto(left, right, 0, 0, &out);
+    MergeJoinInto(left, right, 0, 0, &out, run_lengths);
+    span.set_rows_out(out.size());
     return out;
   }
 
@@ -339,7 +402,8 @@ std::vector<std::pair<uint32_t, uint32_t>> MergeJoin(
   const uint64_t parts = bounds.size() - 1;
   if (parts <= 1) {
     std::vector<std::pair<uint32_t, uint32_t>> out;
-    MergeJoinInto(left, right, 0, 0, &out);
+    MergeJoinInto(left, right, 0, 0, &out, run_lengths);
+    span.set_rows_out(out.size());
     return out;
   }
   ctx.counters().merge_join_partitions.fetch_add(parts,
@@ -360,12 +424,15 @@ std::vector<std::pair<uint32_t, uint32_t>> MergeJoin(
           small.begin());
       const auto big_sub = big.subspan(blo, bhi - blo);
       const auto small_sub = small.subspan(slo, shi - slo);
+      // The histogram is safe to feed from worker lanes (atomic buckets)
+      // and stays width-invariant: partition boundaries sit on equal-run
+      // edges, so every run is observed exactly once.
       if (left_larger) {
         MergeJoinInto(big_sub, small_sub, static_cast<uint32_t>(blo),
-                      static_cast<uint32_t>(slo), &outs[p]);
+                      static_cast<uint32_t>(slo), &outs[p], run_lengths);
       } else {
         MergeJoinInto(small_sub, big_sub, static_cast<uint32_t>(slo),
-                      static_cast<uint32_t>(blo), &outs[p]);
+                      static_cast<uint32_t>(blo), &outs[p], run_lengths);
       }
     }
   });
@@ -375,12 +442,15 @@ std::vector<std::pair<uint32_t, uint32_t>> MergeJoin(
   std::vector<std::pair<uint32_t, uint32_t>> out;
   out.reserve(total);
   for (const auto& o : outs) out.insert(out.end(), o.begin(), o.end());
+  span.set_rows_out(out.size());
   return out;
 }
 
 uint64_t MergeCountMatches(std::span<const uint64_t> values,
                            std::span<const uint64_t> keys,
                            const exec::ExecContext& ctx) {
+  obs::Span span(ctx.trace(), "ops.merge_count");
+  span.set_rows_in(values.size() + keys.size());
   const uint64_t n = values.size();
   if (ctx.parallel() && n >= 2 * kMorsel && !keys.empty()) {
     // Range-partition `values`; each chunk counts matches against the key
@@ -408,6 +478,7 @@ uint64_t MergeCountMatches(std::span<const uint64_t> values,
     });
     uint64_t total = 0;
     for (uint64_t c : partial) total += c;
+    span.set_rows_out(total);
     return total;
   }
   uint64_t count = 0;
@@ -422,31 +493,36 @@ uint64_t MergeCountMatches(std::span<const uint64_t> values,
       ++i;  // keys are unique; values may repeat
     }
   }
+  span.set_rows_out(count);
   return count;
 }
 
 PositionVector MergeSelectPositions(std::span<const uint64_t> values,
                                     std::span<const uint64_t> keys,
                                     const exec::ExecContext& ctx) {
+  obs::Span span(ctx.trace(), "ops.merge_select");
+  span.set_rows_in(values.size() + keys.size());
   const uint64_t n = values.size();
   if (ctx.parallel() && n >= 2 * kMorsel && !keys.empty()) {
     // Range-partition `values`; chunk outputs concatenate in chunk order,
     // which is ascending position order — exactly the serial sequence.
-    return MorselSelect(ctx, n, [&](uint64_t b, uint64_t e,
-                                    PositionVector* out) {
-      auto j = std::lower_bound(keys.begin(), keys.end(), values[b]);
-      size_t i = b;
-      while (i < e && j != keys.end()) {
-        if (values[i] < *j) {
-          ++i;
-        } else if (*j < values[i]) {
-          ++j;
-        } else {
-          out->push_back(static_cast<uint32_t>(i));
-          ++i;
-        }
-      }
-    });
+    PositionVector out =
+        MorselSelect(ctx, n, [&](uint64_t b, uint64_t e, PositionVector* out) {
+          auto j = std::lower_bound(keys.begin(), keys.end(), values[b]);
+          size_t i = b;
+          while (i < e && j != keys.end()) {
+            if (values[i] < *j) {
+              ++i;
+            } else if (*j < values[i]) {
+              ++j;
+            } else {
+              out->push_back(static_cast<uint32_t>(i));
+              ++i;
+            }
+          }
+        });
+    span.set_rows_out(out.size());
+    return out;
   }
   PositionVector out;
   size_t i = 0, j = 0;
@@ -460,6 +536,7 @@ PositionVector MergeSelectPositions(std::span<const uint64_t> values,
       ++i;
     }
   }
+  span.set_rows_out(out.size());
   return out;
 }
 
@@ -474,13 +551,17 @@ std::vector<uint64_t> SortedIntersect(std::span<const uint64_t> a,
 std::vector<uint64_t> UnionDistinct(
     const std::vector<std::vector<uint64_t>>& lists,
     const exec::ExecContext& ctx) {
+  obs::Span span(ctx.trace(), "ops.union_distinct");
+  size_t rows_in = 0;
+  for (const auto& l : lists) rows_in += l.size();
+  span.set_rows_in(rows_in);
   if (!ctx.parallel() || lists.size() <= 1) {
-    size_t total = 0;
-    for (const auto& l : lists) total += l.size();
     std::vector<uint64_t> out;
-    out.reserve(total);
+    out.reserve(rows_in);
     for (const auto& l : lists) out.insert(out.end(), l.begin(), l.end());
-    return SortDistinct(std::move(out));
+    out = SortDistinct(std::move(out));
+    span.set_rows_out(out.size());
+    return out;
   }
 
   // Sort-distinct every list in parallel, then a parallel pairwise merge
@@ -501,6 +582,7 @@ std::vector<uint64_t> UnionDistinct(
     if (sorted.size() % 2 != 0) next.back() = std::move(sorted.back());
     sorted.swap(next);
   }
+  span.set_rows_out(sorted.front().size());
   return std::move(sorted.front());
 }
 

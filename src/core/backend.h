@@ -81,6 +81,10 @@ class Backend {
   virtual storage::SimulatedDisk* disk() = 0;
   virtual const storage::SimulatedDisk* disk() const = 0;
 
+  // The backend's page cache, or nullptr for engines without one. The
+  // profiling layer snapshots its hit/miss statistics around a traced run.
+  virtual const storage::BufferPool* buffer_pool() const { return nullptr; }
+
   // Total on-disk footprint of the backend's physical design.
   virtual uint64_t disk_bytes() const = 0;
 
@@ -106,6 +110,9 @@ class BackendBase : public Backend {
   storage::SimulatedDisk* disk() override { return disk_.get(); }
   const storage::SimulatedDisk* disk() const override { return disk_.get(); }
   storage::BufferPool* pool() { return pool_.get(); }
+  const storage::BufferPool* buffer_pool() const override {
+    return pool_.get();
+  }
 
   // Storage-level audit shared by every engine: buffer-pool accounting and
   // (at kFull) a checksum sweep of every page on the simulated disk.

@@ -6,6 +6,8 @@
 #include <unordered_map>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace swan::core {
 
@@ -86,8 +88,12 @@ Result<BgpResult> ExecuteBgp(const Backend& backend,
                              const exec::ExecContext& ectx) {
   std::vector<BgpPattern> patterns;
   patterns.reserve(raw_patterns.size());
-  for (size_t i : PlanPatternOrder(raw_patterns)) {
-    patterns.push_back(raw_patterns[i]);
+  {
+    obs::Span plan_span(ectx.trace(), "bgp.plan");
+    plan_span.set_rows_in(raw_patterns.size());
+    for (size_t i : PlanPatternOrder(raw_patterns)) {
+      patterns.push_back(raw_patterns[i]);
+    }
   }
   if (raw_patterns.empty()) {
     return Status::InvalidArgument("empty basic graph pattern");
@@ -104,7 +110,20 @@ Result<BgpResult> ExecuteBgp(const Backend& backend,
   std::unordered_map<std::string, size_t> var_index;
   result.rows.push_back({});  // one empty binding
 
+  // Binding-batch size distribution across all extension steps. Batch
+  // sizes depend only on binding counts, never on the thread budget, so
+  // the histogram is width-invariant.
+  obs::Histogram* batch_hist = nullptr;
+  if (obs::TraceSession* session = ectx.trace()) {
+    batch_hist = session->metrics().GetHistogram(
+        "bgp.batch_rows", {1, 2, 4, 8, 16, 32, 64, 128, 256});
+  }
+
   for (const BgpPattern& pattern : patterns) {
+    // One span per extension step, opened on the control thread; the
+    // Match spans inside worker lanes are suppressed automatically.
+    obs::Span extend_span(ectx.trace(), "bgp.extend");
+    extend_span.set_rows_in(result.rows.size());
     const size_t known_vars = result.vars.size();
     const SlotRef s = ResolveTerm(pattern.subject, &var_index, &result.vars);
     const SlotRef p = ResolveTerm(pattern.property, &var_index, &result.vars);
@@ -156,6 +175,17 @@ Result<BgpResult> ExecuteBgp(const Backend& backend,
 
     std::vector<std::vector<uint64_t>> next_rows;
     const uint64_t n = result.rows.size();
+    if (batch_hist != nullptr) {
+      // Observe the *logical* batch split (a function of n alone), not the
+      // executed one, so the distribution matches at every thread width.
+      if (n >= 2 * kBindingsPerBatch) {
+        for (uint64_t lo = 0; lo < n; lo += kBindingsPerBatch) {
+          batch_hist->Observe(std::min(n, lo + kBindingsPerBatch) - lo);
+        }
+      } else {
+        batch_hist->Observe(n);
+      }
+    }
     const uint64_t batches =
         ectx.parallel() && n >= 2 * kBindingsPerBatch
             ? (n + kBindingsPerBatch - 1) / kBindingsPerBatch
@@ -185,6 +215,7 @@ Result<BgpResult> ExecuteBgp(const Backend& backend,
       }
     }
     result.rows = std::move(next_rows);
+    extend_span.set_rows_out(result.rows.size());
     if (result.rows.empty()) break;
   }
   return result;

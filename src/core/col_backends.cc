@@ -5,6 +5,7 @@
 #include <span>
 
 #include "common/macros.h"
+#include "obs/trace.h"
 
 namespace swan::core {
 
@@ -41,6 +42,8 @@ std::vector<uint64_t> CountPropsOfMarkedSubjects(
     std::span<const uint64_t> subj, std::span<const uint64_t> prop,
     uint64_t dict_size, const MarkSet& subjects,
     const exec::ExecContext& ectx) {
+  obs::Span span(ectx.trace(), "col.count_props");
+  span.set_rows_in(subj.size());
   const uint64_t n = subj.size();
   const uint64_t shards = ectx.ShardsFor(n, kScanMorsel);
   std::vector<uint64_t> counts;
@@ -73,11 +76,14 @@ std::vector<uint64_t> CountPropsOfMarkedSubjects(
 template <typename Pred>
 PositionVector ScanPositions(const exec::ExecContext& ectx, uint64_t n,
                              const Pred& pred) {
+  obs::Span span(ectx.trace(), "col.scan_positions");
+  span.set_rows_in(n);
   if (!ectx.parallel() || n < 2 * kScanMorsel) {
     PositionVector out;
     for (uint64_t i = 0; i < n; ++i) {
       if (pred(i)) out.push_back(static_cast<uint32_t>(i));
     }
+    span.set_rows_out(out.size());
     return out;
   }
   const uint64_t chunks = (n + kScanMorsel - 1) / kScanMorsel;
@@ -92,6 +98,7 @@ PositionVector ScanPositions(const exec::ExecContext& ectx, uint64_t n,
   PositionVector out;
   out.reserve(total);
   for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  span.set_rows_out(out.size());
   return out;
 }
 
@@ -182,6 +189,7 @@ std::vector<uint64_t> ColTripleBackend::SubjectsWithPropObj(
 
 QueryResult ColTripleBackend::RunQ1(const QueryContext& ctx,
                                     const exec::ExecContext& ectx) const {
+  obs::Span span(ectx.trace(), "col_triple.q1");
   const PositionVector sel = PropPositions(ctx.vocab().type, ectx);
   QueryResult result;
   result.column_names = {"obj", "count"};
@@ -194,6 +202,7 @@ QueryResult ColTripleBackend::RunQ1(const QueryContext& ctx,
 
 QueryResult ColTripleBackend::RunQ2Family(QueryId id, const QueryContext& ctx,
                                           const exec::ExecContext& ectx) const {
+  obs::Span span(ectx.trace(), "col_triple.q2_family");
   const auto& v = ctx.vocab();
   MarkSet a_subjects(ctx.dict_size());
   a_subjects.MarkAll(SubjectsWithPropObj(v.type, v.text, ectx));
@@ -221,6 +230,7 @@ QueryResult ColTripleBackend::RunQ2Family(QueryId id, const QueryContext& ctx,
 
 QueryResult ColTripleBackend::RunQ3Family(QueryId id, const QueryContext& ctx,
                                           const exec::ExecContext& ectx) const {
+  obs::Span span(ectx.trace(), "col_triple.q3_family");
   const auto& v = ctx.vocab();
   MarkSet a_subjects(ctx.dict_size());
   a_subjects.MarkAll(SubjectsWithPropObj(v.type, v.text, ectx));
@@ -262,6 +272,7 @@ QueryResult ColTripleBackend::RunQ3Family(QueryId id, const QueryContext& ctx,
 
 QueryResult ColTripleBackend::RunQ5(const QueryContext& ctx,
                                     const exec::ExecContext& ectx) const {
+  obs::Span span(ectx.trace(), "col_triple.q5");
   const auto& v = ctx.vocab();
   MarkSet a_subjects(ctx.dict_size());
   a_subjects.MarkAll(SubjectsWithPropObj(v.origin, v.dlc, ectx));
@@ -300,6 +311,7 @@ QueryResult ColTripleBackend::RunQ5(const QueryContext& ctx,
 
 QueryResult ColTripleBackend::RunQ6Family(QueryId id, const QueryContext& ctx,
                                           const exec::ExecContext& ectx) const {
+  obs::Span span(ectx.trace(), "col_triple.q6_family");
   const auto& v = ctx.vocab();
   const std::vector<uint64_t> a1 = SubjectsWithPropObj(v.type, v.text, ectx);
   MarkSet text_typed(ctx.dict_size());
@@ -338,6 +350,7 @@ QueryResult ColTripleBackend::RunQ6Family(QueryId id, const QueryContext& ctx,
 
 QueryResult ColTripleBackend::RunQ7(const QueryContext& ctx,
                                     const exec::ExecContext& ectx) const {
+  obs::Span span(ectx.trace(), "col_triple.q7");
   const auto& v = ctx.vocab();
   MarkSet a_subjects(ctx.dict_size());
   a_subjects.MarkAll(SubjectsWithPropObj(v.point, v.end, ectx));
@@ -369,6 +382,7 @@ QueryResult ColTripleBackend::RunQ7(const QueryContext& ctx,
 
 QueryResult ColTripleBackend::RunQ8(const QueryContext& ctx,
                                     const exec::ExecContext& ectx) const {
+  obs::Span span(ectx.trace(), "col_triple.q8");
   const auto& v = ctx.vocab();
   std::vector<uint64_t> t;
   if (pso_) {
@@ -442,7 +456,11 @@ void ColTripleBackend::EnsureMerged() {
 
 QueryResult ColTripleBackend::Run(QueryId id, const QueryContext& ctx,
                                   const exec::ExecContext& ectx) {
-  EnsureMerged();
+  if (!delta_.empty()) {
+    obs::Span span(ectx.trace(), "col_triple.merge_delta");
+    span.set_rows_in(delta_.size());
+    EnsureMerged();
+  }
   switch (BaseOf(id)) {
     case QueryId::kQ1:
       return RunQ1(ctx, ectx);
@@ -467,6 +485,8 @@ QueryResult ColTripleBackend::Run(QueryId id, const QueryContext& ctx,
 
 std::vector<rdf::Triple> ColTripleBackend::Match(
     const rdf::TriplePattern& pattern, const exec::ExecContext& ectx) const {
+  // Suppressed automatically when Match runs inside a BGP worker lane.
+  obs::Span span(ectx.trace(), "col_triple.match");
   PositionVector sel;
   bool have_sel = false;
 
@@ -524,6 +544,7 @@ std::vector<rdf::Triple> ColTripleBackend::Match(
   for (const rdf::Triple& t : delta_) {
     if (pattern.Matches(t)) out.push_back(t);
   }
+  span.set_rows_out(out.size());
   return out;
 }
 
@@ -617,6 +638,7 @@ std::vector<uint64_t> ColVerticalBackend::PropertyList(
 
 QueryResult ColVerticalBackend::RunQ1(const QueryContext& ctx,
                                       const exec::ExecContext& ectx) const {
+  obs::Span span(ectx.trace(), "col_vert.q1");
   QueryResult result;
   result.column_names = {"obj", "count"};
   if (!table_->HasPartition(ctx.vocab().type)) return result;
@@ -629,6 +651,7 @@ QueryResult ColVerticalBackend::RunQ1(const QueryContext& ctx,
 
 QueryResult ColVerticalBackend::RunQ2Family(
     QueryId id, const QueryContext& ctx, const exec::ExecContext& ectx) const {
+  obs::Span span(ectx.trace(), "col_vert.q2_family");
   const auto& v = ctx.vocab();
   const std::vector<uint64_t> a = SubjectsWhereObjEq(v.type, v.text, ectx);
 
@@ -669,6 +692,7 @@ QueryResult ColVerticalBackend::RunQ2Family(
 
 QueryResult ColVerticalBackend::RunQ3Family(
     QueryId id, const QueryContext& ctx, const exec::ExecContext& ectx) const {
+  obs::Span span(ectx.trace(), "col_vert.q3_family");
   const auto& v = ctx.vocab();
   std::vector<uint64_t> a = SubjectsWhereObjEq(v.type, v.text, ectx);
   if (BaseOf(id) == QueryId::kQ4) {
@@ -741,6 +765,7 @@ QueryResult ColVerticalBackend::RunQ3Family(
 
 QueryResult ColVerticalBackend::RunQ5(const QueryContext& ctx,
                                       const exec::ExecContext& ectx) const {
+  obs::Span span(ectx.trace(), "col_vert.q5");
   const auto& v = ctx.vocab();
   QueryResult result;
   result.column_names = {"subj", "obj"};
@@ -774,6 +799,7 @@ QueryResult ColVerticalBackend::RunQ5(const QueryContext& ctx,
 
 QueryResult ColVerticalBackend::RunQ6Family(
     QueryId id, const QueryContext& ctx, const exec::ExecContext& ectx) const {
+  obs::Span span(ectx.trace(), "col_vert.q6_family");
   const auto& v = ctx.vocab();
   const std::vector<uint64_t> a1 = SubjectsWhereObjEq(v.type, v.text, ectx);
   MarkSet text_typed(ctx.dict_size());
@@ -822,6 +848,7 @@ QueryResult ColVerticalBackend::RunQ6Family(
 
 QueryResult ColVerticalBackend::RunQ7(const QueryContext& ctx,
                                       const exec::ExecContext& ectx) const {
+  obs::Span span(ectx.trace(), "col_vert.q7");
   const auto& v = ctx.vocab();
   QueryResult result;
   result.column_names = {"subj", "encoding", "type"};
@@ -849,6 +876,7 @@ QueryResult ColVerticalBackend::RunQ7(const QueryContext& ctx,
 
 QueryResult ColVerticalBackend::RunQ8(const QueryContext& ctx,
                                       const exec::ExecContext& ectx) const {
+  obs::Span span(ectx.trace(), "col_vert.q8");
   const auto& v = ctx.vocab();
 
   // Phase 1 (temporary table t): visit *every* property table and collect
@@ -904,7 +932,11 @@ QueryResult ColVerticalBackend::RunQ8(const QueryContext& ctx,
 
 QueryResult ColVerticalBackend::Run(QueryId id, const QueryContext& ctx,
                                     const exec::ExecContext& ectx) {
-  EnsureMerged();
+  if (!delta_.empty()) {
+    obs::Span span(ectx.trace(), "col_vert.merge_delta");
+    span.set_rows_in(delta_set_.size());
+    EnsureMerged();
+  }
   switch (BaseOf(id)) {
     case QueryId::kQ1:
       return RunQ1(ctx, ectx);
@@ -929,7 +961,9 @@ QueryResult ColVerticalBackend::Run(QueryId id, const QueryContext& ctx,
 
 std::vector<rdf::Triple> ColVerticalBackend::Match(
     const rdf::TriplePattern& pattern, const exec::ExecContext& ectx) const {
-  (void)ectx;  // per-partition range scans stay serial (canonical order)
+  // Per-partition range scans stay serial (canonical order); the span is
+  // suppressed automatically when Match runs inside a BGP worker lane.
+  obs::Span span(ectx.trace(), "col_vert.match");
   std::vector<uint64_t> props;
   if (pattern.property) {
     if (table_->HasPartition(*pattern.property)) {
@@ -957,6 +991,7 @@ std::vector<rdf::Triple> ColVerticalBackend::Match(
   for (const rdf::Triple& t : delta_set_) {
     if (pattern.Matches(t)) out.push_back(t);
   }
+  span.set_rows_out(out.size());
   return out;
 }
 

@@ -1,6 +1,7 @@
 #include "core/cstore_backend.h"
 
 #include "common/macros.h"
+#include "obs/trace.h"
 
 namespace swan::core {
 
@@ -68,6 +69,7 @@ QueryResult CStoreBackend::Run(QueryId id, const QueryContext& ctx,
                                const exec::ExecContext& ectx) {
   SWAN_CHECK_MSG(Supports(id),
                  "C-Store's hard-wired plans cover only q1-q7");
+  obs::Span span(ectx.trace(), "cstore.query");
   const cstore::CStoreConstants c = ConstantsFrom(ctx);
   QueryResult result;
   result.column_names = ColumnNamesFor(id);
@@ -96,12 +98,15 @@ QueryResult CStoreBackend::Run(QueryId id, const QueryContext& ctx,
     default:
       SWAN_CHECK(false);
   }
+  span.set_rows_out(result.rows.size());
   return result;
 }
 
 std::vector<rdf::Triple> CStoreBackend::Match(
     const rdf::TriplePattern& pattern, const exec::ExecContext& ectx) const {
-  (void)ectx;  // per-property scans below are cheap and stay serial
+  // Per-property scans below are cheap and stay serial; the span is
+  // suppressed automatically inside BGP worker lanes.
+  obs::Span span(ectx.trace(), "cstore.match");
   std::vector<uint64_t> props;
   if (pattern.property) {
     if (engine_->HasProperty(*pattern.property)) {
@@ -120,6 +125,7 @@ std::vector<rdf::Triple> CStoreBackend::Match(
       out.push_back({subj[i], p, obj[i]});
     }
   }
+  span.set_rows_out(out.size());
   return out;
 }
 

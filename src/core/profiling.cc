@@ -1,0 +1,78 @@
+#include "core/profiling.h"
+
+#include <utility>
+
+#include "exec/thread_pool.h"
+
+namespace swan::core {
+
+ScopedProfile::ScopedProfile(std::string root_name, const Backend& backend,
+                             const exec::ExecContext& ectx)
+    : backend_(&backend), ectx_(&ectx) {
+  const storage::SimulatedDisk* disk = backend.disk();
+  const exec::OpCounters* counters = &ectx.counters();
+  obs::TraceSources sources;
+  sources.now = [disk] { return disk->clock().now(); };
+  sources.sample = [disk, counters] {
+    obs::CounterSample s;
+    s.bytes_read = disk->total_bytes_read();
+    s.seeks = disk->total_seeks();
+    const exec::OpCounters::Snapshot snap = counters->Snap();
+    s.morsels = snap.morsels;
+    s.parallel_regions = snap.parallel_regions;
+    s.lane_seconds = disk->LaneSecondsSnapshot();
+    return s;
+  };
+  if (const storage::BufferPool* pool = backend.buffer_pool()) {
+    pool_hits_before_ = pool->hits();
+    pool_misses_before_ = pool->misses();
+  }
+  disk_reads_before_ = disk->total_reads();
+  lanes_cpu_before_ = exec::LaneCpuSnapshot();
+  session_ = std::make_shared<obs::TraceSession>(
+      std::move(root_name), std::move(sources), ectx.threads());
+  ectx.AttachTrace(session_.get());
+  cpu_timer_.Restart();
+}
+
+ScopedProfile::~ScopedProfile() {
+  if (!finished_) Finish();
+}
+
+std::shared_ptr<obs::TraceSession> ScopedProfile::Finish() {
+  const double user = cpu_timer_.ElapsedSeconds();
+  return FinishWithCpu(exec::ModeledCpuSeconds(
+      lanes_cpu_before_, exec::LaneCpuSnapshot(), user));
+}
+
+std::shared_ptr<obs::TraceSession> ScopedProfile::FinishWithCpu(
+    double cpu_seconds) {
+  if (finished_) return session_;
+  finished_ = true;
+  ectx_->AttachTrace(nullptr);
+
+  // Fold end-of-query storage statistics into the registry. Hit/miss and
+  // byte/seek totals are schedule-independent (the pool deduplicates
+  // in-flight reads), so these snapshots stay deterministic at any width.
+  obs::MetricsRegistry& metrics = session_->metrics();
+  if (const storage::BufferPool* pool = backend_->buffer_pool()) {
+    metrics.GetCounter("buffer_pool.hits")
+        ->Add(pool->hits() - pool_hits_before_);
+    metrics.GetCounter("buffer_pool.misses")
+        ->Add(pool->misses() - pool_misses_before_);
+  }
+  const storage::SimulatedDisk* disk = backend_->disk();
+  metrics.GetCounter("disk.reads")
+      ->Add(disk->total_reads() - disk_reads_before_);
+  metrics.GetCounter("disk.bytes_read")
+      ->Add(session_->root().open.bytes_read <= disk->total_bytes_read()
+                ? disk->total_bytes_read() - session_->root().open.bytes_read
+                : 0);
+  metrics.GetCounter("disk.seeks")
+      ->Add(disk->total_seeks() - session_->root().open.seeks);
+
+  session_->Finish(cpu_seconds);
+  return session_;
+}
+
+}  // namespace swan::core

@@ -1,0 +1,61 @@
+#ifndef SWANDB_CORE_PROFILING_H_
+#define SWANDB_CORE_PROFILING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/backend.h"
+#include "exec/exec_context.h"
+#include "obs/trace.h"
+
+namespace swan::core {
+
+// Glue between a backend, an execution context, and an obs::TraceSession.
+//
+// Construction starts a session whose deterministic time source is the
+// backend's simulated-disk virtual clock and whose cost sample combines
+// the disk's byte/seek/lane accounting with the context's scheduler
+// counters, then attaches it to `ectx` so every instrumented layer below
+// records spans. Finish() (or the destructor) detaches at the same
+// quiescent point, folds buffer-pool and disk totals into the session's
+// metrics registry, and closes the root span.
+//
+// The modeled CPU figure can either be computed here (own CpuTimer + lane
+// snapshots bracketing the scope) or supplied by the caller via
+// FinishWithCpu — the bench harness passes the exact value it measured so
+// the profile's root "real" arithmetic matches Measurement::real_seconds
+// bit for bit.
+class ScopedProfile {
+ public:
+  ScopedProfile(std::string root_name, const Backend& backend,
+                const exec::ExecContext& ectx);
+  ~ScopedProfile();
+
+  ScopedProfile(const ScopedProfile&) = delete;
+  ScopedProfile& operator=(const ScopedProfile&) = delete;
+
+  // Finishes with a self-measured modeled CPU cost.
+  std::shared_ptr<obs::TraceSession> Finish();
+
+  // Finishes with the caller's modeled CPU cost (bench harness path).
+  std::shared_ptr<obs::TraceSession> FinishWithCpu(double cpu_seconds);
+
+  obs::TraceSession* session() { return session_.get(); }
+
+ private:
+  const Backend* backend_;
+  const exec::ExecContext* ectx_;
+  std::shared_ptr<obs::TraceSession> session_;
+  uint64_t pool_hits_before_ = 0;
+  uint64_t pool_misses_before_ = 0;
+  uint64_t disk_reads_before_ = 0;
+  std::vector<double> lanes_cpu_before_;
+  CpuTimer cpu_timer_;
+  bool finished_ = false;
+};
+
+}  // namespace swan::core
+
+#endif  // SWANDB_CORE_PROFILING_H_

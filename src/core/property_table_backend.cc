@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/macros.h"
+#include "obs/trace.h"
 
 namespace swan::core {
 
@@ -288,8 +289,8 @@ QueryResult PropertyTableBackend::Run(QueryId id, const QueryContext& ctx,
                                       const exec::ExecContext& ectx) {
   // The wide-table scans are row-at-a-time over a single clustered tree;
   // they stay serial (the scheme is the paper's excluded extension, not a
-  // scalability subject), so the context is accepted but unused.
-  (void)ectx;
+  // scalability subject), so the context only carries the trace session.
+  obs::Span span(ectx.trace(), "prop_table.query");
   switch (BaseOf(id)) {
     case QueryId::kQ1:
       return RunQ1(ctx);
@@ -328,11 +329,14 @@ Status PropertyTableBackend::Insert(const rdf::Triple& triple) {
 
 std::vector<rdf::Triple> PropertyTableBackend::Match(
     const rdf::TriplePattern& pattern, const exec::ExecContext& ectx) const {
-  (void)ectx;  // pattern scans stay serial
+  // Pattern scans stay serial; the span is suppressed automatically
+  // inside BGP worker lanes.
+  obs::Span span(ectx.trace(), "prop_table.match");
   std::vector<rdf::Triple> out;
   ScanPattern(pattern, [&](const rdf::Triple& t) {
     if (pattern.Matches(t)) out.push_back(t);
   });
+  span.set_rows_out(out.size());
   return out;
 }
 

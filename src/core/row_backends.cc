@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/macros.h"
+#include "obs/trace.h"
 
 namespace swan::core {
 
@@ -58,16 +59,20 @@ std::string RowTripleBackend::name() const {
 }
 
 std::unordered_set<uint64_t> RowTripleBackend::SubjectSet(
-    uint64_t property, uint64_t object) const {
+    uint64_t property, uint64_t object, const exec::ExecContext& ectx) const {
+  obs::Span span(ectx.trace(), "row_triple.index_scan");
   std::unordered_set<uint64_t> out;
   for (auto scan = relation_->Open(PatternPO(property, object)); scan.Valid();
        scan.Next()) {
     out.insert(scan.value().subject);
   }
+  span.set_rows_out(out.size());
   return out;
 }
 
-QueryResult RowTripleBackend::RunQ1(const QueryContext& ctx) const {
+QueryResult RowTripleBackend::RunQ1(const QueryContext& ctx,
+                                    const exec::ExecContext& ectx) const {
+  obs::Span span(ectx.trace(), "row_triple.q1");
   std::unordered_map<uint64_t, uint64_t> counts;
   for (auto scan = relation_->Open(PatternPO(ctx.vocab().type, std::nullopt));
        scan.Valid(); scan.Next()) {
@@ -81,51 +86,58 @@ QueryResult RowTripleBackend::RunQ1(const QueryContext& ctx) const {
 
 QueryResult RowTripleBackend::RunQ2Family(QueryId id, const QueryContext& ctx,
                                           const exec::ExecContext& ectx) const {
+  obs::Span span(ectx.trace(), "row_triple.q2_family");
   const auto& v = ctx.vocab();
-  const std::unordered_set<uint64_t> a = SubjectSet(v.type, v.text);
+  const std::unordered_set<uint64_t> a = SubjectSet(v.type, v.text, ectx);
   const bool filter = UseFilter(id, ctx);
 
   std::unordered_map<uint64_t, uint64_t> counts;
-  const uint64_t chunks = relation_->FullScanChunks(ectx);
-  if (chunks <= 1) {
-    for (auto scan = relation_->Open(rdf::TriplePattern{}); scan.Valid();
-         scan.Next()) {
-      const rdf::Triple& t = scan.value();
-      if (a.count(t.subject) == 0) continue;
-      if (filter && !ctx.IsInteresting(t.property)) continue;
-      ++counts[t.property];
-    }
-  } else {
-    // Chunked leaf-chain scan with one hash accumulator per chunk; the
-    // partial counts are additive, so the merge order is immaterial.
-    relation_->ChargeFullScanDescent();
-    std::vector<std::unordered_map<uint64_t, uint64_t>> partial(chunks);
-    ectx.ParallelFor(chunks, 1, [&](uint64_t b, uint64_t e, uint64_t) {
-      for (uint64_t c = b; c < e; ++c) {
-        relation_->FullScanChunk(c, chunks, [&](const rdf::Triple& t) {
-          if (a.count(t.subject) == 0) return;
-          if (filter && !ctx.IsInteresting(t.property)) return;
-          ++partial[c][t.property];
-        });
+  {
+    obs::Span scan_span(ectx.trace(), "row_triple.full_scan");
+    const uint64_t chunks = relation_->FullScanChunks(ectx);
+    if (chunks <= 1) {
+      for (auto scan = relation_->Open(rdf::TriplePattern{}); scan.Valid();
+           scan.Next()) {
+        const rdf::Triple& t = scan.value();
+        if (a.count(t.subject) == 0) continue;
+        if (filter && !ctx.IsInteresting(t.property)) continue;
+        ++counts[t.property];
       }
-    });
-    for (const auto& part : partial) {
-      for (const auto& [prop, n] : part) counts[prop] += n;
+    } else {
+      // Chunked leaf-chain scan with one hash accumulator per chunk; the
+      // partial counts are additive, so the merge order is immaterial.
+      relation_->ChargeFullScanDescent();
+      std::vector<std::unordered_map<uint64_t, uint64_t>> partial(chunks);
+      ectx.ParallelFor(chunks, 1, [&](uint64_t b, uint64_t e, uint64_t) {
+        for (uint64_t c = b; c < e; ++c) {
+          relation_->FullScanChunk(c, chunks, [&](const rdf::Triple& t) {
+            if (a.count(t.subject) == 0) return;
+            if (filter && !ctx.IsInteresting(t.property)) return;
+            ++partial[c][t.property];
+          });
+        }
+      });
+      for (const auto& part : partial) {
+        for (const auto& [prop, n] : part) counts[prop] += n;
+      }
     }
+    scan_span.set_rows_out(counts.size());
   }
   QueryResult result;
   result.column_names = {"prop", "count"};
   EmitCounts(counts, &result);
+  span.set_rows_out(result.rows.size());
   return result;
 }
 
 QueryResult RowTripleBackend::RunQ3Family(QueryId id, const QueryContext& ctx,
                                           const exec::ExecContext& ectx) const {
+  obs::Span span(ectx.trace(), "row_triple.q3_family");
   const auto& v = ctx.vocab();
-  const std::unordered_set<uint64_t> a = SubjectSet(v.type, v.text);
+  const std::unordered_set<uint64_t> a = SubjectSet(v.type, v.text, ectx);
   const bool with_language = BaseOf(id) == QueryId::kQ4;
   std::unordered_set<uint64_t> c;
-  if (with_language) c = SubjectSet(v.language, v.french);
+  if (with_language) c = SubjectSet(v.language, v.french, ectx);
   const bool filter = UseFilter(id, ctx);
 
   auto accept = [&](const rdf::Triple& t) {
@@ -135,26 +147,30 @@ QueryResult RowTripleBackend::RunQ3Family(QueryId id, const QueryContext& ctx,
   };
 
   std::unordered_map<uint64_t, uint64_t> counts;
-  const uint64_t chunks = relation_->FullScanChunks(ectx);
-  if (chunks <= 1) {
-    for (auto scan = relation_->Open(rdf::TriplePattern{}); scan.Valid();
-         scan.Next()) {
-      const rdf::Triple& t = scan.value();
-      if (accept(t)) ++counts[PackPair(t.property, t.object)];
-    }
-  } else {
-    relation_->ChargeFullScanDescent();
-    std::vector<std::unordered_map<uint64_t, uint64_t>> partial(chunks);
-    ectx.ParallelFor(chunks, 1, [&](uint64_t b, uint64_t e, uint64_t) {
-      for (uint64_t k = b; k < e; ++k) {
-        relation_->FullScanChunk(k, chunks, [&](const rdf::Triple& t) {
-          if (accept(t)) ++partial[k][PackPair(t.property, t.object)];
-        });
+  {
+    obs::Span scan_span(ectx.trace(), "row_triple.full_scan");
+    const uint64_t chunks = relation_->FullScanChunks(ectx);
+    if (chunks <= 1) {
+      for (auto scan = relation_->Open(rdf::TriplePattern{}); scan.Valid();
+           scan.Next()) {
+        const rdf::Triple& t = scan.value();
+        if (accept(t)) ++counts[PackPair(t.property, t.object)];
       }
-    });
-    for (const auto& part : partial) {
-      for (const auto& [packed, n] : part) counts[packed] += n;
+    } else {
+      relation_->ChargeFullScanDescent();
+      std::vector<std::unordered_map<uint64_t, uint64_t>> partial(chunks);
+      ectx.ParallelFor(chunks, 1, [&](uint64_t b, uint64_t e, uint64_t) {
+        for (uint64_t k = b; k < e; ++k) {
+          relation_->FullScanChunk(k, chunks, [&](const rdf::Triple& t) {
+            if (accept(t)) ++partial[k][PackPair(t.property, t.object)];
+          });
+        }
+      });
+      for (const auto& part : partial) {
+        for (const auto& [packed, n] : part) counts[packed] += n;
+      }
     }
+    scan_span.set_rows_out(counts.size());
   }
   QueryResult result;
   result.column_names = {"prop", "obj", "count"};
@@ -163,40 +179,53 @@ QueryResult RowTripleBackend::RunQ3Family(QueryId id, const QueryContext& ctx,
       result.rows.push_back({packed >> 32, packed & 0xFFFFFFFFull, count});
     }
   }
+  span.set_rows_out(result.rows.size());
   return result;
 }
 
-QueryResult RowTripleBackend::RunQ5(const QueryContext& ctx) const {
+QueryResult RowTripleBackend::RunQ5(const QueryContext& ctx,
+                                    const exec::ExecContext& ectx) const {
+  obs::Span span(ectx.trace(), "row_triple.q5");
   const auto& v = ctx.vocab();
-  const std::unordered_set<uint64_t> a = SubjectSet(v.origin, v.dlc);
+  const std::unordered_set<uint64_t> a = SubjectSet(v.origin, v.dlc, ectx);
 
   // Hash join: build on B's object (the records target)...
   std::unordered_map<uint64_t, std::vector<uint64_t>> b_by_object;
-  for (auto scan = relation_->Open(PatternPO(v.records, std::nullopt));
-       scan.Valid(); scan.Next()) {
-    const rdf::Triple& t = scan.value();
-    if (a.count(t.subject) != 0) b_by_object[t.object].push_back(t.subject);
+  {
+    obs::Span build_span(ectx.trace(), "row_triple.hash_build");
+    for (auto scan = relation_->Open(PatternPO(v.records, std::nullopt));
+         scan.Valid(); scan.Next()) {
+      const rdf::Triple& t = scan.value();
+      if (a.count(t.subject) != 0) b_by_object[t.object].push_back(t.subject);
+    }
+    build_span.set_rows_out(b_by_object.size());
   }
   // ... probe with C's subject.
   QueryResult result;
   result.column_names = {"subj", "obj"};
-  for (auto scan = relation_->Open(PatternPO(v.type, std::nullopt));
-       scan.Valid(); scan.Next()) {
-    const rdf::Triple& t = scan.value();
-    if (t.object == v.text) continue;
-    auto it = b_by_object.find(t.subject);
-    if (it == b_by_object.end()) continue;
-    for (uint64_t b_subject : it->second) {
-      result.rows.push_back({b_subject, t.object});
+  {
+    obs::Span probe_span(ectx.trace(), "row_triple.hash_probe");
+    for (auto scan = relation_->Open(PatternPO(v.type, std::nullopt));
+         scan.Valid(); scan.Next()) {
+      const rdf::Triple& t = scan.value();
+      if (t.object == v.text) continue;
+      auto it = b_by_object.find(t.subject);
+      if (it == b_by_object.end()) continue;
+      for (uint64_t b_subject : it->second) {
+        result.rows.push_back({b_subject, t.object});
+      }
     }
+    probe_span.set_rows_out(result.rows.size());
   }
+  span.set_rows_out(result.rows.size());
   return result;
 }
 
 QueryResult RowTripleBackend::RunQ6Family(QueryId id, const QueryContext& ctx,
                                           const exec::ExecContext& ectx) const {
+  obs::Span span(ectx.trace(), "row_triple.q6_family");
   const auto& v = ctx.vocab();
-  std::unordered_set<uint64_t> united = SubjectSet(v.type, v.text);
+  std::unordered_set<uint64_t> united = SubjectSet(v.type, v.text, ectx);
   {
     const std::unordered_set<uint64_t>& text_typed = united;
     std::vector<uint64_t> extra;
@@ -210,98 +239,123 @@ QueryResult RowTripleBackend::RunQ6Family(QueryId id, const QueryContext& ctx,
   const bool filter = UseFilter(id, ctx);
 
   std::unordered_map<uint64_t, uint64_t> counts;
-  const uint64_t chunks = relation_->FullScanChunks(ectx);
-  if (chunks <= 1) {
-    for (auto scan = relation_->Open(rdf::TriplePattern{}); scan.Valid();
-         scan.Next()) {
-      const rdf::Triple& t = scan.value();
-      if (united.count(t.subject) == 0) continue;
-      if (filter && !ctx.IsInteresting(t.property)) continue;
-      ++counts[t.property];
-    }
-  } else {
-    relation_->ChargeFullScanDescent();
-    std::vector<std::unordered_map<uint64_t, uint64_t>> partial(chunks);
-    ectx.ParallelFor(chunks, 1, [&](uint64_t b, uint64_t e, uint64_t) {
-      for (uint64_t k = b; k < e; ++k) {
-        relation_->FullScanChunk(k, chunks, [&](const rdf::Triple& t) {
-          if (united.count(t.subject) == 0) return;
-          if (filter && !ctx.IsInteresting(t.property)) return;
-          ++partial[k][t.property];
-        });
+  {
+    obs::Span scan_span(ectx.trace(), "row_triple.full_scan");
+    const uint64_t chunks = relation_->FullScanChunks(ectx);
+    if (chunks <= 1) {
+      for (auto scan = relation_->Open(rdf::TriplePattern{}); scan.Valid();
+           scan.Next()) {
+        const rdf::Triple& t = scan.value();
+        if (united.count(t.subject) == 0) continue;
+        if (filter && !ctx.IsInteresting(t.property)) continue;
+        ++counts[t.property];
       }
-    });
-    for (const auto& part : partial) {
-      for (const auto& [prop, n] : part) counts[prop] += n;
+    } else {
+      relation_->ChargeFullScanDescent();
+      std::vector<std::unordered_map<uint64_t, uint64_t>> partial(chunks);
+      ectx.ParallelFor(chunks, 1, [&](uint64_t b, uint64_t e, uint64_t) {
+        for (uint64_t k = b; k < e; ++k) {
+          relation_->FullScanChunk(k, chunks, [&](const rdf::Triple& t) {
+            if (united.count(t.subject) == 0) return;
+            if (filter && !ctx.IsInteresting(t.property)) return;
+            ++partial[k][t.property];
+          });
+        }
+      });
+      for (const auto& part : partial) {
+        for (const auto& [prop, n] : part) counts[prop] += n;
+      }
     }
+    scan_span.set_rows_out(counts.size());
   }
   QueryResult result;
   result.column_names = {"prop", "count"};
   EmitCounts(counts, &result);
+  span.set_rows_out(result.rows.size());
   return result;
 }
 
-QueryResult RowTripleBackend::RunQ7(const QueryContext& ctx) const {
+QueryResult RowTripleBackend::RunQ7(const QueryContext& ctx,
+                                    const exec::ExecContext& ectx) const {
+  obs::Span span(ectx.trace(), "row_triple.q7");
   const auto& v = ctx.vocab();
-  const std::unordered_set<uint64_t> a = SubjectSet(v.point, v.end);
+  const std::unordered_set<uint64_t> a = SubjectSet(v.point, v.end, ectx);
 
   std::unordered_map<uint64_t, std::vector<uint64_t>> encodings;
-  for (auto scan = relation_->Open(PatternPO(v.encoding, std::nullopt));
-       scan.Valid(); scan.Next()) {
-    const rdf::Triple& t = scan.value();
-    if (a.count(t.subject) != 0) encodings[t.subject].push_back(t.object);
+  {
+    obs::Span build_span(ectx.trace(), "row_triple.hash_build");
+    for (auto scan = relation_->Open(PatternPO(v.encoding, std::nullopt));
+         scan.Valid(); scan.Next()) {
+      const rdf::Triple& t = scan.value();
+      if (a.count(t.subject) != 0) encodings[t.subject].push_back(t.object);
+    }
+    build_span.set_rows_out(encodings.size());
   }
 
   QueryResult result;
   result.column_names = {"subj", "encoding", "type"};
-  for (auto scan = relation_->Open(PatternPO(v.type, std::nullopt));
-       scan.Valid(); scan.Next()) {
-    const rdf::Triple& t = scan.value();
-    auto it = encodings.find(t.subject);
-    if (it == encodings.end()) continue;
-    for (uint64_t encoding : it->second) {
-      result.rows.push_back({t.subject, encoding, t.object});
+  {
+    obs::Span probe_span(ectx.trace(), "row_triple.hash_probe");
+    for (auto scan = relation_->Open(PatternPO(v.type, std::nullopt));
+         scan.Valid(); scan.Next()) {
+      const rdf::Triple& t = scan.value();
+      auto it = encodings.find(t.subject);
+      if (it == encodings.end()) continue;
+      for (uint64_t encoding : it->second) {
+        result.rows.push_back({t.subject, encoding, t.object});
+      }
     }
+    probe_span.set_rows_out(result.rows.size());
   }
+  span.set_rows_out(result.rows.size());
   return result;
 }
 
 QueryResult RowTripleBackend::RunQ8(const QueryContext& ctx,
                                     const exec::ExecContext& ectx) const {
+  obs::Span span(ectx.trace(), "row_triple.q8");
   const auto& v = ctx.vocab();
   std::unordered_set<uint64_t> t_objects;
   {
+    obs::Span scan_span(ectx.trace(), "row_triple.index_scan");
     rdf::TriplePattern pattern;
     pattern.subject = v.conferences;
     for (auto scan = relation_->Open(pattern); scan.Valid(); scan.Next()) {
       t_objects.insert(scan.value().object);
     }
+    scan_span.set_rows_out(t_objects.size());
   }
   std::unordered_set<uint64_t> subjects;
-  const uint64_t chunks = relation_->FullScanChunks(ectx);
-  if (chunks <= 1) {
-    for (auto scan = relation_->Open(rdf::TriplePattern{}); scan.Valid();
-         scan.Next()) {
-      const rdf::Triple& t = scan.value();
-      if (t.subject != v.conferences && t_objects.count(t.object) != 0) {
-        subjects.insert(t.subject);
+  {
+    obs::Span scan_span(ectx.trace(), "row_triple.full_scan");
+    const uint64_t chunks = relation_->FullScanChunks(ectx);
+    if (chunks <= 1) {
+      for (auto scan = relation_->Open(rdf::TriplePattern{}); scan.Valid();
+           scan.Next()) {
+        const rdf::Triple& t = scan.value();
+        if (t.subject != v.conferences && t_objects.count(t.object) != 0) {
+          subjects.insert(t.subject);
+        }
+      }
+    } else {
+      relation_->ChargeFullScanDescent();
+      std::vector<std::vector<uint64_t>> partial(chunks);
+      ectx.ParallelFor(chunks, 1, [&](uint64_t b, uint64_t e, uint64_t) {
+        for (uint64_t k = b; k < e; ++k) {
+          relation_->FullScanChunk(k, chunks, [&](const rdf::Triple& t) {
+            if (t.subject != v.conferences && t_objects.count(t.object) != 0) {
+              partial[k].push_back(t.subject);
+            }
+          });
+        }
+      });
+      // Insert in chunk (= key) order: the same insertion sequence the
+      // serial scan produces, so even the set's iteration order matches.
+      for (const auto& part : partial) {
+        subjects.insert(part.begin(), part.end());
       }
     }
-  } else {
-    relation_->ChargeFullScanDescent();
-    std::vector<std::vector<uint64_t>> partial(chunks);
-    ectx.ParallelFor(chunks, 1, [&](uint64_t b, uint64_t e, uint64_t) {
-      for (uint64_t k = b; k < e; ++k) {
-        relation_->FullScanChunk(k, chunks, [&](const rdf::Triple& t) {
-          if (t.subject != v.conferences && t_objects.count(t.object) != 0) {
-            partial[k].push_back(t.subject);
-          }
-        });
-      }
-    });
-    // Insert in chunk (= key) order: the same insertion sequence the
-    // serial scan produces, so even the set's iteration order matches.
-    for (const auto& part : partial) subjects.insert(part.begin(), part.end());
+    scan_span.set_rows_out(subjects.size());
   }
   QueryResult result;
   result.column_names = {"subj"};
@@ -313,18 +367,18 @@ QueryResult RowTripleBackend::Run(QueryId id, const QueryContext& ctx,
                                   const exec::ExecContext& ectx) {
   switch (BaseOf(id)) {
     case QueryId::kQ1:
-      return RunQ1(ctx);
+      return RunQ1(ctx, ectx);
     case QueryId::kQ2:
       return RunQ2Family(id, ctx, ectx);
     case QueryId::kQ3:
     case QueryId::kQ4:
       return RunQ3Family(id, ctx, ectx);
     case QueryId::kQ5:
-      return RunQ5(ctx);
+      return RunQ5(ctx, ectx);
     case QueryId::kQ6:
       return RunQ6Family(id, ctx, ectx);
     case QueryId::kQ7:
-      return RunQ7(ctx);
+      return RunQ7(ctx, ectx);
     case QueryId::kQ8:
       return RunQ8(ctx, ectx);
     default:
@@ -336,12 +390,14 @@ QueryResult RowTripleBackend::Run(QueryId id, const QueryContext& ctx,
 std::vector<rdf::Triple> RowTripleBackend::Match(
     const rdf::TriplePattern& pattern, const exec::ExecContext& ectx) const {
   // Pattern lookups are index descents or short range scans; canonical
-  // key order must be preserved, so they stay serial.
-  (void)ectx;
+  // key order must be preserved, so they stay serial. The span is
+  // suppressed automatically when Match runs inside a BGP worker lane.
+  obs::Span span(ectx.trace(), "row_triple.match");
   std::vector<rdf::Triple> out;
   for (auto scan = relation_->Open(pattern); scan.Valid(); scan.Next()) {
     out.push_back(scan.value());
   }
+  span.set_rows_out(out.size());
   return out;
 }
 
@@ -361,17 +417,20 @@ RowVerticalBackend::RowVerticalBackend(const rdf::Dataset& dataset,
 std::string RowVerticalBackend::name() const { return "DBX vert. SO"; }
 
 std::unordered_set<uint64_t> RowVerticalBackend::SubjectSet(
-    uint64_t property, uint64_t object) const {
+    uint64_t property, uint64_t object, const exec::ExecContext& ectx) const {
+  obs::Span span(ectx.trace(), "row_vert.index_scan");
   std::unordered_set<uint64_t> out;
   for (auto scan = relation_->OpenPartition(property, std::nullopt, object);
        scan.Valid(); scan.Next()) {
     out.insert(scan.value().subject);
   }
+  span.set_rows_out(out.size());
   return out;
 }
 
 std::vector<uint64_t> RowVerticalBackend::SubjectTempTable(
-    uint64_t property, uint64_t object) const {
+    uint64_t property, uint64_t object, const exec::ExecContext& ectx) const {
+  obs::Span span(ectx.trace(), "row_vert.temp_table");
   std::vector<uint64_t> out;
   for (auto scan = relation_->OpenPartition(property, std::nullopt, object);
        scan.Valid(); scan.Next()) {
@@ -379,6 +438,7 @@ std::vector<uint64_t> RowVerticalBackend::SubjectTempTable(
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
+  span.set_rows_out(out.size());
   return out;
 }
 
@@ -425,7 +485,9 @@ std::vector<uint64_t> RowVerticalBackend::PropertyList(
   return ctx.interesting_properties();
 }
 
-QueryResult RowVerticalBackend::RunQ1(const QueryContext& ctx) const {
+QueryResult RowVerticalBackend::RunQ1(const QueryContext& ctx,
+                                      const exec::ExecContext& ectx) const {
+  obs::Span span(ectx.trace(), "row_vert.q1");
   std::unordered_map<uint64_t, uint64_t> counts;
   for (auto scan = relation_->OpenPartition(ctx.vocab().type, std::nullopt,
                                             std::nullopt);
@@ -440,6 +502,7 @@ QueryResult RowVerticalBackend::RunQ1(const QueryContext& ctx) const {
 
 QueryResult RowVerticalBackend::RunQ2Family(
     QueryId id, const QueryContext& ctx, const exec::ExecContext& ectx) const {
+  obs::Span span(ectx.trace(), "row_vert.q2_family");
   const auto& v = ctx.vocab();
   // A is materialized once as a temporary table, but the generated SQL
   // contains one join *per property table*, and the row engine's executor
@@ -447,7 +510,7 @@ QueryResult RowVerticalBackend::RunQ2Family(
   // builds its own hash table from A — there is no sub-plan sharing
   // across the hundreds of branches. This per-branch build cost is
   // exactly the "proliferation of unions and joins" overhead of §4.2.
-  const std::vector<uint64_t> a = SubjectTempTable(v.type, v.text);
+  const std::vector<uint64_t> a = SubjectTempTable(v.type, v.text, ectx);
 
   QueryResult result;
   result.column_names = {"prop", "count"};
@@ -456,27 +519,33 @@ QueryResult RowVerticalBackend::RunQ2Family(
   // the per-branch counts are stitched back in property order.
   const std::vector<uint64_t> props = PropertyList(id, ctx);
   std::vector<uint64_t> branch_count(props.size(), 0);
-  ectx.ParallelFor(props.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
-    for (uint64_t k = b; k < e; ++k) {
-      JoinPartitionWithTempTable(props[k], a,
-                                 [&](const rdf::Triple&) { ++branch_count[k]; });
-    }
-  });
+  {
+    obs::Span join_span(ectx.trace(), "row_vert.union_join");
+    join_span.set_rows_in(props.size());
+    ectx.ParallelFor(props.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
+      for (uint64_t k = b; k < e; ++k) {
+        JoinPartitionWithTempTable(
+            props[k], a, [&](const rdf::Triple&) { ++branch_count[k]; });
+      }
+    });
+  }
   for (size_t k = 0; k < props.size(); ++k) {
     if (branch_count[k] > 0) result.rows.push_back({props[k], branch_count[k]});
   }
+  span.set_rows_out(result.rows.size());
   return result;
 }
 
 QueryResult RowVerticalBackend::RunQ3Family(
     QueryId id, const QueryContext& ctx, const exec::ExecContext& ectx) const {
+  obs::Span span(ectx.trace(), "row_vert.q3_family");
   const auto& v = ctx.vocab();
   // Per-branch hash builds, as in RunQ2Family: every union branch of the
   // generated SQL is its own join operator.
-  const std::vector<uint64_t> a = SubjectTempTable(v.type, v.text);
+  const std::vector<uint64_t> a = SubjectTempTable(v.type, v.text, ectx);
   const bool with_language = BaseOf(id) == QueryId::kQ4;
   std::vector<uint64_t> c;
-  if (with_language) c = SubjectTempTable(v.language, v.french);
+  if (with_language) c = SubjectTempTable(v.language, v.french, ectx);
 
   // For q4 the two temp tables are intersected up front (as the SQL's
   // extra join would be folded by the optimizer before the union fan-out).
@@ -495,53 +564,71 @@ QueryResult RowVerticalBackend::RunQ3Family(
   // exactly the serial branch sequence.
   const std::vector<uint64_t> props = PropertyList(id, ctx);
   std::vector<std::vector<std::array<uint64_t, 3>>> branch_rows(props.size());
-  ectx.ParallelFor(props.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
-    for (uint64_t k = b; k < e; ++k) {
-      std::unordered_map<uint64_t, uint64_t> counts;
-      JoinPartitionWithTempTable(
-          props[k], keys, [&](const rdf::Triple& t) { ++counts[t.object]; });
-      for (const auto& [obj, count] : counts) {
-        if (count > 1) branch_rows[k].push_back({props[k], obj, count});
+  {
+    obs::Span join_span(ectx.trace(), "row_vert.union_join");
+    join_span.set_rows_in(props.size());
+    ectx.ParallelFor(props.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
+      for (uint64_t k = b; k < e; ++k) {
+        std::unordered_map<uint64_t, uint64_t> counts;
+        JoinPartitionWithTempTable(
+            props[k], keys, [&](const rdf::Triple& t) { ++counts[t.object]; });
+        for (const auto& [obj, count] : counts) {
+          if (count > 1) branch_rows[k].push_back({props[k], obj, count});
+        }
       }
-    }
-  });
+    });
+  }
   for (const auto& rows : branch_rows) {
     for (const auto& r : rows) result.rows.push_back({r[0], r[1], r[2]});
   }
+  span.set_rows_out(result.rows.size());
   return result;
 }
 
-QueryResult RowVerticalBackend::RunQ5(const QueryContext& ctx) const {
+QueryResult RowVerticalBackend::RunQ5(const QueryContext& ctx,
+                                      const exec::ExecContext& ectx) const {
+  obs::Span span(ectx.trace(), "row_vert.q5");
   const auto& v = ctx.vocab();
-  const std::unordered_set<uint64_t> a = SubjectSet(v.origin, v.dlc);
+  const std::unordered_set<uint64_t> a = SubjectSet(v.origin, v.dlc, ectx);
 
   std::unordered_map<uint64_t, std::vector<uint64_t>> b_by_object;
-  for (auto scan = relation_->OpenPartition(v.records, std::nullopt,
-                                            std::nullopt);
-       scan.Valid(); scan.Next()) {
-    const rdf::Triple& t = scan.value();
-    if (a.count(t.subject) != 0) b_by_object[t.object].push_back(t.subject);
+  {
+    obs::Span build_span(ectx.trace(), "row_vert.hash_build");
+    for (auto scan = relation_->OpenPartition(v.records, std::nullopt,
+                                              std::nullopt);
+         scan.Valid(); scan.Next()) {
+      const rdf::Triple& t = scan.value();
+      if (a.count(t.subject) != 0) b_by_object[t.object].push_back(t.subject);
+    }
+    build_span.set_rows_out(b_by_object.size());
   }
 
   QueryResult result;
   result.column_names = {"subj", "obj"};
-  for (auto scan = relation_->OpenPartition(v.type, std::nullopt, std::nullopt);
-       scan.Valid(); scan.Next()) {
-    const rdf::Triple& t = scan.value();
-    if (t.object == v.text) continue;
-    auto it = b_by_object.find(t.subject);
-    if (it == b_by_object.end()) continue;
-    for (uint64_t b_subject : it->second) {
-      result.rows.push_back({b_subject, t.object});
+  {
+    obs::Span probe_span(ectx.trace(), "row_vert.hash_probe");
+    for (auto scan =
+             relation_->OpenPartition(v.type, std::nullopt, std::nullopt);
+         scan.Valid(); scan.Next()) {
+      const rdf::Triple& t = scan.value();
+      if (t.object == v.text) continue;
+      auto it = b_by_object.find(t.subject);
+      if (it == b_by_object.end()) continue;
+      for (uint64_t b_subject : it->second) {
+        result.rows.push_back({b_subject, t.object});
+      }
     }
+    probe_span.set_rows_out(result.rows.size());
   }
+  span.set_rows_out(result.rows.size());
   return result;
 }
 
 QueryResult RowVerticalBackend::RunQ6Family(
     QueryId id, const QueryContext& ctx, const exec::ExecContext& ectx) const {
+  obs::Span span(ectx.trace(), "row_vert.q6_family");
   const auto& v = ctx.vocab();
-  std::unordered_set<uint64_t> united = SubjectSet(v.type, v.text);
+  std::unordered_set<uint64_t> united = SubjectSet(v.type, v.text, ectx);
   {
     std::vector<uint64_t> extra;
     for (auto scan = relation_->OpenPartition(v.records, std::nullopt,
@@ -562,46 +649,65 @@ QueryResult RowVerticalBackend::RunQ6Family(
   result.column_names = {"prop", "count"};
   const std::vector<uint64_t> props = PropertyList(id, ctx);
   std::vector<uint64_t> branch_count(props.size(), 0);
-  ectx.ParallelFor(props.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
-    for (uint64_t k = b; k < e; ++k) {
-      JoinPartitionWithTempTable(props[k], united_table,
-                                 [&](const rdf::Triple&) { ++branch_count[k]; });
-    }
-  });
+  {
+    obs::Span join_span(ectx.trace(), "row_vert.union_join");
+    join_span.set_rows_in(props.size());
+    ectx.ParallelFor(props.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
+      for (uint64_t k = b; k < e; ++k) {
+        JoinPartitionWithTempTable(
+            props[k], united_table,
+            [&](const rdf::Triple&) { ++branch_count[k]; });
+      }
+    });
+  }
   for (size_t k = 0; k < props.size(); ++k) {
     if (branch_count[k] > 0) result.rows.push_back({props[k], branch_count[k]});
   }
+  span.set_rows_out(result.rows.size());
   return result;
 }
 
-QueryResult RowVerticalBackend::RunQ7(const QueryContext& ctx) const {
+QueryResult RowVerticalBackend::RunQ7(const QueryContext& ctx,
+                                      const exec::ExecContext& ectx) const {
+  obs::Span span(ectx.trace(), "row_vert.q7");
   const auto& v = ctx.vocab();
-  const std::unordered_set<uint64_t> a = SubjectSet(v.point, v.end);
+  const std::unordered_set<uint64_t> a = SubjectSet(v.point, v.end, ectx);
 
   std::unordered_map<uint64_t, std::vector<uint64_t>> encodings;
-  for (auto scan = relation_->OpenPartition(v.encoding, std::nullopt,
-                                            std::nullopt);
-       scan.Valid(); scan.Next()) {
-    const rdf::Triple& t = scan.value();
-    if (a.count(t.subject) != 0) encodings[t.subject].push_back(t.object);
+  {
+    obs::Span build_span(ectx.trace(), "row_vert.hash_build");
+    for (auto scan = relation_->OpenPartition(v.encoding, std::nullopt,
+                                              std::nullopt);
+         scan.Valid(); scan.Next()) {
+      const rdf::Triple& t = scan.value();
+      if (a.count(t.subject) != 0) encodings[t.subject].push_back(t.object);
+    }
+    build_span.set_rows_out(encodings.size());
   }
 
   QueryResult result;
   result.column_names = {"subj", "encoding", "type"};
-  for (auto scan = relation_->OpenPartition(v.type, std::nullopt, std::nullopt);
-       scan.Valid(); scan.Next()) {
-    const rdf::Triple& t = scan.value();
-    auto it = encodings.find(t.subject);
-    if (it == encodings.end()) continue;
-    for (uint64_t encoding : it->second) {
-      result.rows.push_back({t.subject, encoding, t.object});
+  {
+    obs::Span probe_span(ectx.trace(), "row_vert.hash_probe");
+    for (auto scan =
+             relation_->OpenPartition(v.type, std::nullopt, std::nullopt);
+         scan.Valid(); scan.Next()) {
+      const rdf::Triple& t = scan.value();
+      auto it = encodings.find(t.subject);
+      if (it == encodings.end()) continue;
+      for (uint64_t encoding : it->second) {
+        result.rows.push_back({t.subject, encoding, t.object});
+      }
     }
+    probe_span.set_rows_out(result.rows.size());
   }
+  span.set_rows_out(result.rows.size());
   return result;
 }
 
 QueryResult RowVerticalBackend::RunQ8(const QueryContext& ctx,
                                       const exec::ExecContext& ectx) const {
+  obs::Span span(ectx.trace(), "row_vert.q8");
   const auto& v = ctx.vocab();
   const std::vector<uint64_t>& props = relation_->properties();
 
@@ -611,6 +717,8 @@ QueryResult RowVerticalBackend::RunQ8(const QueryContext& ctx,
   // reproduces the serial insertion sequence exactly.
   std::unordered_set<uint64_t> t_objects;
   {
+    obs::Span descents_span(ectx.trace(), "row_vert.probe_descents");
+    descents_span.set_rows_in(props.size());
     std::vector<std::vector<uint64_t>> hits(props.size());
     ectx.ParallelFor(props.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
       for (uint64_t k = b; k < e; ++k) {
@@ -623,12 +731,15 @@ QueryResult RowVerticalBackend::RunQ8(const QueryContext& ctx,
       }
     });
     for (const auto& part : hits) t_objects.insert(part.begin(), part.end());
+    descents_span.set_rows_out(t_objects.size());
   }
 
   // Phase 2: hash-join t back against every partition, one branch per
   // property table (t_objects is read-only from here on).
   std::unordered_set<uint64_t> subjects;
   {
+    obs::Span join_span(ectx.trace(), "row_vert.union_join");
+    join_span.set_rows_in(props.size());
     std::vector<std::vector<uint64_t>> hits(props.size());
     ectx.ParallelFor(props.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
       for (uint64_t k = b; k < e; ++k) {
@@ -644,10 +755,12 @@ QueryResult RowVerticalBackend::RunQ8(const QueryContext& ctx,
       }
     });
     for (const auto& part : hits) subjects.insert(part.begin(), part.end());
+    join_span.set_rows_out(subjects.size());
   }
   QueryResult result;
   result.column_names = {"subj"};
   for (uint64_t s : subjects) result.rows.push_back({s});
+  span.set_rows_out(result.rows.size());
   return result;
 }
 
@@ -655,18 +768,18 @@ QueryResult RowVerticalBackend::Run(QueryId id, const QueryContext& ctx,
                                     const exec::ExecContext& ectx) {
   switch (BaseOf(id)) {
     case QueryId::kQ1:
-      return RunQ1(ctx);
+      return RunQ1(ctx, ectx);
     case QueryId::kQ2:
       return RunQ2Family(id, ctx, ectx);
     case QueryId::kQ3:
     case QueryId::kQ4:
       return RunQ3Family(id, ctx, ectx);
     case QueryId::kQ5:
-      return RunQ5(ctx);
+      return RunQ5(ctx, ectx);
     case QueryId::kQ6:
       return RunQ6Family(id, ctx, ectx);
     case QueryId::kQ7:
-      return RunQ7(ctx);
+      return RunQ7(ctx, ectx);
     case QueryId::kQ8:
       return RunQ8(ctx, ectx);
     default:
@@ -677,7 +790,9 @@ QueryResult RowVerticalBackend::Run(QueryId id, const QueryContext& ctx,
 
 std::vector<rdf::Triple> RowVerticalBackend::Match(
     const rdf::TriplePattern& pattern, const exec::ExecContext& ectx) const {
-  (void)ectx;  // partition scans stay serial to keep canonical order
+  // Partition scans stay serial to keep canonical order; the span is
+  // suppressed automatically when Match runs inside a BGP worker lane.
+  obs::Span span(ectx.trace(), "row_vert.match");
   std::vector<uint64_t> props;
   if (pattern.property) {
     props.push_back(*pattern.property);
@@ -692,6 +807,7 @@ std::vector<rdf::Triple> RowVerticalBackend::Match(
       out.push_back(scan.value());
     }
   }
+  span.set_rows_out(out.size());
   return out;
 }
 

@@ -51,18 +51,21 @@ class RowTripleBackend : public BackendBase {
   }
 
  private:
-  std::unordered_set<uint64_t> SubjectSet(uint64_t property,
-                                          uint64_t object) const;
+  std::unordered_set<uint64_t> SubjectSet(uint64_t property, uint64_t object,
+                                          const exec::ExecContext& ectx) const;
 
-  QueryResult RunQ1(const QueryContext& ctx) const;
+  QueryResult RunQ1(const QueryContext& ctx,
+                    const exec::ExecContext& ectx) const;
   QueryResult RunQ2Family(QueryId id, const QueryContext& ctx,
                           const exec::ExecContext& ectx) const;
   QueryResult RunQ3Family(QueryId id, const QueryContext& ctx,
                           const exec::ExecContext& ectx) const;
-  QueryResult RunQ5(const QueryContext& ctx) const;
+  QueryResult RunQ5(const QueryContext& ctx,
+                    const exec::ExecContext& ectx) const;
   QueryResult RunQ6Family(QueryId id, const QueryContext& ctx,
                           const exec::ExecContext& ectx) const;
-  QueryResult RunQ7(const QueryContext& ctx) const;
+  QueryResult RunQ7(const QueryContext& ctx,
+                    const exec::ExecContext& ectx) const;
   QueryResult RunQ8(const QueryContext& ctx,
                     const exec::ExecContext& ectx) const;
 
@@ -105,12 +108,12 @@ class RowVerticalBackend : public BackendBase {
   }
 
  private:
-  std::unordered_set<uint64_t> SubjectSet(uint64_t property,
-                                          uint64_t object) const;
+  std::unordered_set<uint64_t> SubjectSet(uint64_t property, uint64_t object,
+                                          const exec::ExecContext& ectx) const;
   // Sorted distinct subjects, materialized as a temporary table that each
   // per-partition join branch re-builds its hash table from.
-  std::vector<uint64_t> SubjectTempTable(uint64_t property,
-                                         uint64_t object) const;
+  std::vector<uint64_t> SubjectTempTable(uint64_t property, uint64_t object,
+                                         const exec::ExecContext& ectx) const;
   // One union branch: hash-joins a partition with `temp_table` (sorted,
   // unique subjects), building on the smaller side, and calls `fn` for
   // every matching partition row.
@@ -119,15 +122,18 @@ class RowVerticalBackend : public BackendBase {
       const std::function<void(const rdf::Triple&)>& fn) const;
   std::vector<uint64_t> PropertyList(QueryId id, const QueryContext& ctx) const;
 
-  QueryResult RunQ1(const QueryContext& ctx) const;
+  QueryResult RunQ1(const QueryContext& ctx,
+                    const exec::ExecContext& ectx) const;
   QueryResult RunQ2Family(QueryId id, const QueryContext& ctx,
                           const exec::ExecContext& ectx) const;
   QueryResult RunQ3Family(QueryId id, const QueryContext& ctx,
                           const exec::ExecContext& ectx) const;
-  QueryResult RunQ5(const QueryContext& ctx) const;
+  QueryResult RunQ5(const QueryContext& ctx,
+                    const exec::ExecContext& ectx) const;
   QueryResult RunQ6Family(QueryId id, const QueryContext& ctx,
                           const exec::ExecContext& ectx) const;
-  QueryResult RunQ7(const QueryContext& ctx) const;
+  QueryResult RunQ7(const QueryContext& ctx,
+                    const exec::ExecContext& ectx) const;
   QueryResult RunQ8(const QueryContext& ctx,
                     const exec::ExecContext& ectx) const;
 

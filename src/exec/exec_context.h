@@ -5,6 +5,10 @@
 #include <cstdint>
 #include <functional>
 
+namespace swan::obs {
+class TraceSession;
+}  // namespace swan::obs
+
 namespace swan::exec {
 
 // Per-query operator/cost counters, accumulated by every layer an
@@ -17,6 +21,11 @@ struct OpCounters {
   std::atomic<uint64_t> merge_join_partitions{0};  // key-range join partitions
   std::atomic<uint64_t> match_calls{0};       // Backend::Match invocations
   std::atomic<uint64_t> bgp_batches{0};       // parallel binding-extension batches
+  // Disk-cost snapshots, accumulated by the harness from the simulated
+  // disk's deltas around each measured run (the disk itself never writes
+  // here), so scheduler counters and I/O cost report side by side.
+  std::atomic<uint64_t> bytes_read{0};        // simulated-disk bytes
+  std::atomic<uint64_t> seeks{0};             // simulated-disk seeks
 
   // Plain-value copy for reporting.
   struct Snapshot {
@@ -25,6 +34,8 @@ struct OpCounters {
     uint64_t merge_join_partitions = 0;
     uint64_t match_calls = 0;
     uint64_t bgp_batches = 0;
+    uint64_t bytes_read = 0;
+    uint64_t seeks = 0;
   };
   Snapshot Snap() const {
     Snapshot s;
@@ -34,6 +45,8 @@ struct OpCounters {
         merge_join_partitions.load(std::memory_order_relaxed);
     s.match_calls = match_calls.load(std::memory_order_relaxed);
     s.bgp_batches = bgp_batches.load(std::memory_order_relaxed);
+    s.bytes_read = bytes_read.load(std::memory_order_relaxed);
+    s.seeks = seeks.load(std::memory_order_relaxed);
     return s;
   }
   void Reset() {
@@ -42,6 +55,8 @@ struct OpCounters {
     merge_join_partitions.store(0, std::memory_order_relaxed);
     match_calls.store(0, std::memory_order_relaxed);
     bgp_batches.store(0, std::memory_order_relaxed);
+    bytes_read.store(0, std::memory_order_relaxed);
+    seeks.store(0, std::memory_order_relaxed);
   }
 };
 
@@ -90,9 +105,19 @@ class ExecContext {
 
   OpCounters& counters() const { return counters_; }
 
+  // The trace session observing this query, or nullptr (the default: all
+  // tracing code is a null check). exec only stores the pointer — the
+  // profiling glue (core::ScopedProfile) owns the session and attaches /
+  // detaches it at quiescent points, never while a ParallelFor issued
+  // from this context is in flight. Mutable for the same reason as the
+  // counters: observation state, not execution semantics.
+  obs::TraceSession* trace() const { return trace_; }
+  void AttachTrace(obs::TraceSession* session) const { trace_ = session; }
+
  private:
   int threads_ = 1;
   mutable OpCounters counters_;
+  mutable obs::TraceSession* trace_ = nullptr;
 };
 
 }  // namespace swan::exec

@@ -18,6 +18,14 @@ namespace swan::exec {
 namespace {
 
 thread_local TaskContext* g_current_task = nullptr;
+thread_local int g_region_depth = 0;
+
+// Marks the calling thread as inside a ParallelFor for the duration of
+// the call, inline or fanned out (exception-safe).
+struct RegionDepthGuard {
+  RegionDepthGuard() { ++g_region_depth; }
+  ~RegionDepthGuard() { --g_region_depth; }
+};
 
 double ThreadCpuSeconds() {
   timespec ts{};
@@ -190,6 +198,10 @@ ThreadPool* GlobalPool() {
 
 TaskContext* CurrentTask() { return g_current_task; }
 
+bool InParallelRegion() {
+  return g_region_depth > 0 || g_current_task != nullptr;
+}
+
 void SetThreads(int n) {
   if (n < 1) n = 1;
   SWAN_CHECK_MSG(g_current_task == nullptr,
@@ -218,6 +230,7 @@ void ParallelForWidth(uint64_t n, uint64_t grain, int width,
                           body) {
   if (n == 0) return;
   if (grain == 0) grain = 1;
+  const RegionDepthGuard region_guard;
   const uint64_t chunks = (n + grain - 1) / grain;
   const int threads = std::min(width, Threads());
   if (threads <= 1 || chunks <= 1 || g_current_task != nullptr) {
@@ -268,6 +281,20 @@ uint64_t ShardsForWidth(uint64_t n, uint64_t min_items_per_shard, int width) {
 std::vector<double> LaneCpuSnapshot() {
   std::lock_guard<std::mutex> lock(g_lane_mutex);
   return g_lane_cpu;
+}
+
+double ModeledCpuSeconds(const std::vector<double>& lanes_before,
+                         const std::vector<double>& lanes_after,
+                         double user_seconds) {
+  double lane_sum = 0.0;
+  double lane_max = 0.0;
+  for (size_t i = 0; i < lanes_after.size(); ++i) {
+    const double before = i < lanes_before.size() ? lanes_before[i] : 0.0;
+    const double delta = lanes_after[i] - before;
+    lane_sum += delta;
+    lane_max = std::max(lane_max, delta);
+  }
+  return std::max(user_seconds - lane_sum + lane_max, lane_max);
 }
 
 }  // namespace swan::exec

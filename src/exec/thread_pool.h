@@ -33,6 +33,13 @@ struct TaskContext {
 // nullptr and behave exactly as the pre-parallel engine did.
 TaskContext* CurrentTask();
 
+// True while the calling thread is executing inside a ParallelFor: either
+// in a chunk body (any thread), or on the thread that issued a ParallelFor
+// that is still in flight — including the inline serial path, so the
+// answer is a function of the call structure, not of the thread budget.
+// The tracing layer uses this to keep span trees width-invariant.
+bool InParallelRegion();
+
 // ---------------------------------------------------------------------------
 // Global parallelism knob
 // ---------------------------------------------------------------------------
@@ -95,6 +102,16 @@ uint64_t ShardsForWidth(uint64_t n, uint64_t min_items_per_shard, int width);
 // around a query and models parallel wall cost as max-over-lanes, mirroring
 // the simulated disk's per-lane virtual I/O accrual.
 std::vector<double> LaneCpuSnapshot();
+
+// Models the parallel CPU cost of a region bracketed by two
+// LaneCpuSnapshot calls: CPU spent inside ParallelFor chunks progresses
+// as its slowest lane (max over per-lane deltas) while the serial rest of
+// `user_seconds` runs start to finish. With no parallel work both lane
+// terms are zero and the result is user_seconds. Shared by the bench
+// harness and the profiling layer so both report the same figure.
+double ModeledCpuSeconds(const std::vector<double>& lanes_before,
+                         const std::vector<double>& lanes_after,
+                         double user_seconds);
 
 }  // namespace swan::exec
 

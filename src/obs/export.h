@@ -1,0 +1,37 @@
+#ifndef SWANDB_OBS_EXPORT_H_
+#define SWANDB_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace swan::obs {
+
+// Exporters over a finished TraceSession. All numeric output uses fixed
+// formatting, so two sessions with identical recorded state produce
+// byte-identical strings.
+
+// Human-readable profile: an aligned span tree with inclusive/exclusive
+// virtual time, percent of the modeled real time, row/byte/seek/morsel
+// counts, followed by the metrics registry snapshot. Contains the
+// host-measured modeled-CPU figure, so it is *not* part of the
+// byte-reproducible surface (use ProfileJson(session, false) for that).
+std::string TextProfile(const TraceSession& session);
+
+// Chrome trace_event JSON (chrome://tracing, Perfetto). Track (tid) 1 is
+// the control thread carrying the span tree on the virtual clock; tracks
+// 2..threads+1 are one per lane, carrying each span's per-lane virtual
+// I/O accrual. Timestamps are virtual microseconds. Fully deterministic.
+std::string ChromeTraceJson(const TraceSession& session);
+
+// Machine-readable JSON profile: nested span objects plus the metrics
+// snapshot. With include_host_time the session-level modeled CPU and the
+// derived real_seconds are included (host-dependent); without it the
+// output is a pure function of query, data, and thread width —
+// byte-identical across runs.
+std::string ProfileJson(const TraceSession& session,
+                        bool include_host_time = true);
+
+}  // namespace swan::obs
+
+#endif  // SWANDB_OBS_EXPORT_H_

@@ -1,0 +1,92 @@
+#include "obs/trace.h"
+
+#include "common/macros.h"
+#include "exec/thread_pool.h"
+
+namespace swan::obs {
+
+std::vector<double> SpanNode::LaneIoSeconds() const {
+  std::vector<double> lanes;
+  lanes.resize(close.lane_seconds.size(), 0.0);
+  for (size_t i = 0; i < lanes.size(); ++i) {
+    const double before =
+        i < open.lane_seconds.size() ? open.lane_seconds[i] : 0.0;
+    lanes[i] = close.lane_seconds[i] - before;
+  }
+  while (!lanes.empty() && lanes.back() == 0.0) lanes.pop_back();
+  return lanes;
+}
+
+double SpanNode::ExclusiveVtSeconds() const {
+  double inclusive = vt_seconds();
+  for (const auto& child : children) inclusive -= child->vt_seconds();
+  return inclusive;
+}
+
+TraceSession::TraceSession(std::string root_name, TraceSources sources,
+                           int threads)
+    : owner_(std::this_thread::get_id()),
+      sources_(std::move(sources)),
+      threads_(threads < 1 ? 1 : threads) {
+  root_.name = std::move(root_name);
+  // All span timestamps are relative to the session's start: the virtual
+  // clock accrues monotonically across queries, but a profile describes
+  // one execution, and a byte-reproducible one must not depend on how
+  // much I/O earlier queries happened to do.
+  t0_ = sources_.now ? sources_.now() : 0.0;
+  root_.vt_start = Now();
+  root_.open = Sample();
+  current_ = &root_;
+}
+
+void TraceSession::Finish(double cpu_seconds) {
+  SWAN_CHECK_MSG(OnOwnerThread(), "TraceSession::Finish off the owner thread");
+  SWAN_CHECK_MSG(!finished_, "TraceSession::Finish called twice");
+  SWAN_CHECK_MSG(current_ == &root_,
+                 "TraceSession::Finish with spans still open");
+  root_.vt_end = Now();
+  root_.close = Sample();
+  cpu_seconds_ = cpu_seconds;
+  finished_ = true;
+}
+
+double TraceSession::Now() const {
+  return (sources_.now ? sources_.now() : 0.0) - t0_;
+}
+
+CounterSample TraceSession::Sample() const {
+  return sources_.sample ? sources_.sample() : CounterSample{};
+}
+
+SpanNode* TraceSession::OpenSpan(std::string_view name) {
+  auto node = std::make_unique<SpanNode>();
+  node->name.assign(name.data(), name.size());
+  node->parent = current_;
+  node->vt_start = Now();
+  node->open = Sample();
+  SpanNode* raw = node.get();
+  current_->children.push_back(std::move(node));
+  current_ = raw;
+  return raw;
+}
+
+void TraceSession::CloseSpan(SpanNode* node) {
+  // Spans are strictly nested (RAII) on the owner thread.
+  SWAN_CHECK_MSG(node == current_, "span closed out of LIFO order");
+  node->vt_end = Now();
+  node->close = Sample();
+  current_ = node->parent;
+}
+
+void Span::Init(TraceSession* session, std::string_view name) {
+  if (session->finished()) return;
+  // No spans from worker threads, and none on the owner thread while one
+  // of its ParallelFor calls is in flight — region boundaries are the
+  // same at every width, so the tree shape is width-invariant.
+  if (exec::InParallelRegion()) return;
+  if (!session->OnOwnerThread()) return;
+  session_ = session;
+  node_ = session->OpenSpan(name);
+}
+
+}  // namespace swan::obs

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cctype>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/macros.h"
 #include "core/bgp.h"
+#include "obs/trace.h"
 
 namespace swan::sparql {
 
@@ -369,13 +371,23 @@ Result<QueryOutput> Execute(const core::Backend& backend,
                             const rdf::Dataset& dataset,
                             std::string_view query,
                             const exec::ExecContext& ectx) {
-  SWAN_ASSIGN_OR_RETURN(ParsedQuery parsed, Parse(query));
+  std::optional<ParsedQuery> parsed_opt;
+  {
+    obs::Span parse_span(ectx.trace(), "sparql.parse");
+    SWAN_ASSIGN_OR_RETURN(ParsedQuery parsed, Parse(query));
+    parsed_opt = std::move(parsed);
+  }
+  ParsedQuery& parsed = *parsed_opt;
 
   // Bind constants against the dictionary. A miss means the graph cannot
   // match: produce the empty result with the right header.
   bool unmatchable = false;
-  std::vector<core::BgpPattern> patterns =
-      Bind(parsed, dataset, &unmatchable);
+  std::vector<core::BgpPattern> patterns;
+  {
+    obs::Span bind_span(ectx.trace(), "sparql.bind");
+    patterns = Bind(parsed, dataset, &unmatchable);
+    bind_span.set_rows_out(patterns.size());
+  }
 
   // Projection validation happens even for unmatchable queries.
   std::vector<std::string> all_vars;
@@ -413,6 +425,8 @@ Result<QueryOutput> Execute(const core::Backend& backend,
   }
 
   // Project, optionally deduplicate, apply LIMIT, decode.
+  obs::Span project_span(ectx.trace(), "sparql.project");
+  project_span.set_rows_in(bgp.rows.size());
   std::vector<std::vector<uint64_t>> projected;
   projected.reserve(bgp.rows.size());
   for (const auto& row : bgp.rows) {
@@ -437,6 +451,7 @@ Result<QueryOutput> Execute(const core::Backend& backend,
     }
     output.rows.push_back(std::move(row));
   }
+  project_span.set_rows_out(output.rows.size());
   return output;
 }
 

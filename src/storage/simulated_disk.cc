@@ -116,7 +116,8 @@ Status SimulatedDisk::ReadPage(PageId id, void* out,
     total_bytes_read_ += kPageSize;
     ++total_reads_;
     if (tracing_) {
-      trace_.push_back({clock_.now(), total_bytes_read_});
+      trace_.push_back(
+          {clock_.now(), total_bytes_read_, task == nullptr ? -1 : task->lane});
     }
   }
 

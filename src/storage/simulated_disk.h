@@ -32,10 +32,13 @@ struct DiskConfig {
   uint32_t forced_seek_interval_pages = 0;
 };
 
-// One sample of the cumulative-read trace behind Figure 5.
+// One sample of the cumulative-read trace behind Figure 5. `lane` is the
+// ParallelFor lane that issued the read, or -1 for the serial stream, so
+// parallel reads no longer collapse into one anonymous stream.
 struct IoTracePoint {
   double virtual_seconds;
   uint64_t cumulative_bytes;
+  int lane = -1;
 };
 
 // In-memory "disk": stores page images and charges *virtual* time for
@@ -135,8 +138,16 @@ class SimulatedDisk {
   void StartTrace();
   std::vector<IoTracePoint> StopTrace();
 
+  // Reconfiguration is only legal at quiescent points (no reads in
+  // flight): concurrent ReadPage calls read config_ under mutex_, and the
+  // config() reference below is handed out lock-free. The lock here still
+  // matters — it orders the store against any reader that raced past a
+  // quiescence bug instead of leaving a silent data race.
   const DiskConfig& config() const { return config_; }
-  void set_config(DiskConfig config) { config_ = config; }
+  void set_config(DiskConfig config) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    config_ = config;
+  }
 
   // Total bytes stored across all files (Table 1 "data set size").
   uint64_t TotalStoredBytes() const;

@@ -6,6 +6,10 @@
 #   3. a TSan build running the concurrency-focused tests (thread pool,
 #      buffer-pool/column stress) — ASan and TSan cannot share a binary.
 #
+# The ASan stage ends with a trace smoke: one profiled shell query writes
+# a Chrome trace which tools/validate_trace.py checks for well-formed,
+# monotone span events.
+#
 # Usage: tools/check.sh [--tidy-only|--asan-only|--tsan-only]
 # Exits non-zero if any stage fails.
 set -u
@@ -63,6 +67,19 @@ if [ "$run_asan" -eq 1 ]; then
     failures=$((failures + 1))
   else
     echo "sanitized ctest: clean"
+  fi
+
+  echo "== trace smoke (profiled shell query + Chrome JSON validation) =="
+  TRACE_JSON="$ASAN_BUILD/trace-smoke.json"
+  if "$ASAN_BUILD/tools/swandb_shell" --generate 20000 \
+       --profile="$TRACE_JSON" \
+       --query 'SELECT ?s WHERE { ?s <type> <Text> } LIMIT 5' \
+       >/dev/null &&
+     python3 "$REPO_ROOT/tools/validate_trace.py" "$TRACE_JSON"; then
+    echo "trace smoke: clean"
+  else
+    echo "trace smoke: FAILURES"
+    failures=$((failures + 1))
   fi
 fi
 

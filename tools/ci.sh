@@ -24,8 +24,17 @@ status=0
 case "$mode" in
   release|all)
     echo "=== matrix: release ==="
-    build_and_test "$REPO_ROOT/build-ci-release" \
+    RELEASE_DIR="$REPO_ROOT/build-ci-release"
+    build_and_test "$RELEASE_DIR" \
       -DCMAKE_BUILD_TYPE=Release -DSWAN_WERROR=ON || status=1
+    # Trace smoke: a profiled shell query must emit a well-formed Chrome
+    # trace (non-empty, per-track monotone timestamps).
+    echo "=== release: trace smoke ==="
+    { "$RELEASE_DIR/tools/swandb_shell" --generate 20000 \
+        --profile="$RELEASE_DIR/trace-smoke.json" \
+        --query 'SELECT ?s WHERE { ?s <type> <Text> } LIMIT 5' >/dev/null &&
+      python3 "$REPO_ROOT/tools/validate_trace.py" \
+        "$RELEASE_DIR/trace-smoke.json"; } || status=1
     [ "$mode" = "release" ] && exit "$status"
     ;;&
   sanitize|all)

@@ -3,7 +3,7 @@
 //   swandb_shell [--scheme triple|vertical|ptable] [--engine row|column]
 //                [--clustering spo|pso] [--generate N | --load FILE.nt]
 //                [--query 'SPARQL...' | --file QUERIES.rq] [--explain]
-//                [--audit]
+//                [--profile[=FILE]] [--audit]
 //
 // With no --query/--file, reads SPARQL queries from stdin, separated by
 // lines containing only ';'. Each result is printed with row count and
@@ -12,6 +12,14 @@
 // --audit runs the audit immediately after load and exits (non-zero if
 // any invariant is violated).
 //
+// --profile attaches a trace session to every query and prints the text
+// profile (EXPLAIN ANALYZE: span tree with virtual times, rows, bytes,
+// seeks, plus the metrics snapshot) after the result rows. With
+// --profile=FILE the Chrome trace_event JSON of the *last* profiled query
+// is also written to FILE (open in chrome://tracing or Perfetto).
+// Interactively, prefixing a single query with `profile ` does the same
+// for just that query.
+//
 //   $ ./build/tools/swandb_shell --generate 100000
 //         --query 'SELECT ?s WHERE { ?s <type> <Text> } LIMIT 5'
 
@@ -19,13 +27,17 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "audit/audit.h"
 #include "bench_support/barton_generator.h"
 #include "common/timer.h"
+#include "core/profiling.h"
 #include "core/store.h"
+#include "exec/exec_context.h"
+#include "obs/export.h"
 #include "rdf/ntriples.h"
 #include "sparql/sparql.h"
 
@@ -34,6 +46,8 @@ namespace {
 struct ShellOptions {
   bool explain = false;
   bool audit = false;
+  bool profile = false;
+  std::string profile_path;  // Chrome trace destination; empty = text only
   std::string scheme = "vertical";
   std::string engine = "column";
   std::string clustering = "pso";
@@ -50,7 +64,7 @@ void PrintUsage() {
       "                    [--engine row|column] [--clustering spo|pso]\n"
       "                    [--generate N | --load FILE.nt]\n"
       "                    [--query 'SPARQL' | --file QUERIES.rq]\n"
-      "                    [--audit]\n");
+      "                    [--profile[=FILE]] [--audit]\n");
 }
 
 bool ParseArgs(int argc, char** argv, ShellOptions* options) {
@@ -76,6 +90,11 @@ bool ParseArgs(int argc, char** argv, ShellOptions* options) {
       options->query_file = value;
     } else if (arg == "--explain") {
       options->explain = true;
+    } else if (arg == "--profile") {
+      options->profile = true;
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      options->profile = true;
+      options->profile_path = arg.substr(std::strlen("--profile="));
     } else if (arg == "--audit") {
       options->audit = true;
     } else {
@@ -129,15 +148,30 @@ std::string Trimmed(const std::string& text) {
 
 int RunQuery(const swan::core::RdfStore& store,
              const swan::rdf::Dataset& dataset, const std::string& query,
-             bool explain) {
-  if (Trimmed(query) == "audit") return RunAudit(store);
-  if (explain) ExplainQuery(dataset, query);
+             const ShellOptions& options) {
+  const std::string trimmed = Trimmed(query);
+  if (trimmed == "audit") return RunAudit(store);
+  bool profile = options.profile;
+  std::string text = query;
+  if (trimmed.rfind("profile ", 0) == 0) {
+    profile = true;
+    text = trimmed.substr(std::strlen("profile "));
+  }
+  if (options.explain) ExplainQuery(dataset, text);
+  const swan::exec::ExecContext ectx;
+  std::unique_ptr<swan::core::ScopedProfile> scoped;
+  if (profile) {
+    scoped = std::make_unique<swan::core::ScopedProfile>(
+        "query", store.backend(), ectx);
+  }
   swan::CpuTimer timer;
   const double io_before = store.backend().disk()->clock().now();
-  auto result = swan::sparql::Execute(store.backend(), dataset, query);
+  auto result = swan::sparql::Execute(store.backend(), dataset, text, ectx);
   const double user = timer.ElapsedSeconds();
   const double real =
       user + (store.backend().disk()->clock().now() - io_before);
+  std::shared_ptr<swan::obs::TraceSession> session;
+  if (scoped != nullptr) session = scoped->Finish();
   if (!result.ok()) {
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
     return 1;
@@ -147,12 +181,29 @@ int RunQuery(const swan::core::RdfStore& store,
   }
   std::printf("\n");
   for (const auto& row : result.value().rows) {
-    for (const auto& text : row.text) std::printf("%-28s", text.c_str());
+    for (const auto& text_cell : row.text) {
+      std::printf("%-28s", text_cell.c_str());
+    }
     std::printf("\n");
   }
   std::printf("-- %llu rows, real %.4fs (user %.4fs)\n\n",
               static_cast<unsigned long long>(result.value().rows.size()),
               real, user);
+  if (session != nullptr) {
+    std::printf("%s\n", swan::obs::TextProfile(*session).c_str());
+    if (!options.profile_path.empty()) {
+      std::ofstream out(options.profile_path,
+                        std::ios::binary | std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n",
+                     options.profile_path.c_str());
+        return 1;
+      }
+      out << swan::obs::ChromeTraceJson(*session);
+      std::fprintf(stderr, "wrote Chrome trace to %s\n",
+                   options.profile_path.c_str());
+    }
+  }
   return 0;
 }
 
@@ -230,7 +281,7 @@ int main(int argc, char** argv) {
 
   // Queries.
   if (!options.query.empty()) {
-    return RunQuery(*store, *dataset, options.query, options.explain);
+    return RunQuery(*store, *dataset, options.query, options);
   }
   std::istream* in = &std::cin;
   std::ifstream file;
@@ -252,7 +303,7 @@ int main(int argc, char** argv) {
   while (std::getline(*in, line)) {
     if (line == ";") {
       if (!buffer.empty()) {
-        status |= RunQuery(*store, *dataset, buffer, options.explain);
+        status |= RunQuery(*store, *dataset, buffer, options);
       }
       buffer.clear();
       continue;
@@ -261,7 +312,7 @@ int main(int argc, char** argv) {
     buffer += '\n';
   }
   if (!buffer.empty()) {
-    status |= RunQuery(*store, *dataset, buffer, options.explain);
+    status |= RunQuery(*store, *dataset, buffer, options);
   }
   return status;
 }

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file produced by swandb.
+
+Checks, in order:
+  1. the file parses as JSON and has a non-empty traceEvents array,
+  2. at least one complete ("ph":"X") span event is present,
+  3. per track (tid), complete-event start timestamps are monotone
+     non-decreasing — the virtual clock never runs backwards,
+  4. every complete event has a non-negative duration.
+
+Usage: validate_trace.py TRACE.json
+Exits 0 on success, 1 with a diagnostic on the first violation.
+Stdlib only.
+"""
+
+import json
+import sys
+
+
+def fail(message):
+    print("validate_trace: FAIL: %s" % message, file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: validate_trace.py TRACE.json", file=sys.stderr)
+        sys.exit(2)
+    path = sys.argv[1]
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as err:
+        fail("cannot parse %s: %s" % (path, err))
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+
+    spans = [e for e in events if e.get("ph") == "X"]
+    if not spans:
+        fail("no complete ('X') span events")
+
+    last_ts = {}
+    for event in spans:
+        for key in ("ts", "dur", "tid", "name"):
+            if key not in event:
+                fail("span event missing %r: %r" % (key, event))
+        if event["dur"] < 0:
+            fail("negative duration: %r" % event)
+        tid = event["tid"]
+        if tid in last_ts and event["ts"] < last_ts[tid]:
+            fail(
+                "timestamps go backwards on tid %s: %s after %s"
+                % (tid, event["ts"], last_ts[tid])
+            )
+        last_ts[tid] = event["ts"]
+
+    print(
+        "validate_trace: OK (%d span events on %d tracks)"
+        % (len(spans), len(last_ts))
+    )
+
+
+if __name__ == "__main__":
+    main()
