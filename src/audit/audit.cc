@@ -17,6 +17,8 @@ const char* ToString(FindingClass cls) {
       return "dictionary";
     case FindingClass::kBufferPool:
       return "bufferpool";
+    case FindingClass::kCache:
+      return "cache";
     case FindingClass::kStructure:
       return "structure";
   }

@@ -30,6 +30,7 @@ enum class FindingClass {
   kColumn,      // sortedness, declared size, id range, cache/disk skew
   kDictionary,  // id<->term bijection, dense id space, byte accounting
   kBufferPool,  // pin leaks, frame/page-table disagreement, LRU, capacity
+  kCache,       // result-cache accounting: LRU/byte budget, stale snapshots
   kStructure,   // anything engine-specific above the previous layers
 };
 

@@ -22,6 +22,8 @@ const char* CodeName(StatusCode code) {
       return "Corruption";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

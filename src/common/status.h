@@ -22,6 +22,10 @@ enum class StatusCode {
   kResourceExhausted,
   kCorruption,
   kUnimplemented,
+  // The serving layer's admission queue is full; the caller should back
+  // off and retry (distinct from kResourceExhausted, which is about a
+  // storage-level capacity limit the caller cannot wait out).
+  kOverloaded,
 };
 
 // Value-semantic status object in the style of arrow::Status / absl::Status.
@@ -55,6 +59,9 @@ class [[nodiscard]] Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

@@ -72,6 +72,15 @@ class Backend {
     return Status::Unimplemented("read-only backend");
   }
 
+  // Removes a triple. Column backends tombstone into the delta store and
+  // apply the removal at the next merge; the row engines' B+trees have no
+  // structural delete (the paper's workload is read-mostly), so they
+  // return Unimplemented. Returns NotFound when the triple is absent.
+  virtual Status Delete(const rdf::Triple& triple) {
+    (void)triple;
+    return Status::Unimplemented("backend does not support deletes");
+  }
+
   // Cold-run protocol: drop all memory state (buffer pool, column caches)
   // so the next query pays full I/O.
   virtual void DropCaches() = 0;

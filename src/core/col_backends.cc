@@ -424,6 +424,11 @@ bool ColTripleBackend::BaseContains(const rdf::Triple& t) const {
 }
 
 Status ColTripleBackend::Insert(const rdf::Triple& triple) {
+  if (tombstones_.erase(triple) != 0) {
+    // Re-inserting a tombstoned base row just cancels the pending delete;
+    // the base columns still hold it physically.
+    return Status::OK();
+  }
   if (delta_set_.count(triple) != 0 || BaseContains(triple)) {
     return Status::AlreadyExists("triple already present");
   }
@@ -432,18 +437,35 @@ Status ColTripleBackend::Insert(const rdf::Triple& triple) {
   return Status::OK();
 }
 
+Status ColTripleBackend::Delete(const rdf::Triple& triple) {
+  if (delta_set_.erase(triple) != 0) {
+    // Deleting an unmerged insert cancels the delta entry directly.
+    const auto it = std::find(delta_.begin(), delta_.end(), triple);
+    SWAN_CHECK(it != delta_.end());
+    delta_.erase(it);
+    return Status::OK();
+  }
+  if (tombstones_.count(triple) != 0 || !BaseContains(triple)) {
+    return Status::NotFound("triple not present");
+  }
+  tombstones_.insert(triple);
+  return Status::OK();
+}
+
 void ColTripleBackend::EnsureMerged() {
-  if (delta_.empty()) return;
+  if (delta_.empty() && tombstones_.empty()) return;
   // Merge the write store into the read-optimized columns: read the base
-  // columns back, append the delta, and rebuild — the full cost a
-  // sorted-column store pays for updates.
+  // columns back, drop tombstoned rows, append the delta, and rebuild —
+  // the full cost a sorted-column store pays for updates.
   std::vector<rdf::Triple> all;
   all.reserve(table_->size() + delta_.size());
   const auto& subj = table_->subjects();
   const auto& prop = table_->properties();
   const auto& obj = table_->objects();
   for (size_t i = 0; i < subj.size(); ++i) {
-    all.push_back({subj[i], prop[i], obj[i]});
+    const rdf::Triple t{subj[i], prop[i], obj[i]};
+    if (!tombstones_.empty() && tombstones_.count(t) != 0) continue;
+    all.push_back(t);
   }
   all.insert(all.end(), delta_.begin(), delta_.end());
   table_ = std::make_unique<colstore::TripleTable>(pool_.get(), disk_.get(),
@@ -451,14 +473,15 @@ void ColTripleBackend::EnsureMerged() {
   table_->Load(std::move(all));
   delta_.clear();
   delta_set_.clear();
+  tombstones_.clear();
   ++merge_count_;
 }
 
 QueryResult ColTripleBackend::Run(QueryId id, const QueryContext& ctx,
                                   const exec::ExecContext& ectx) {
-  if (!delta_.empty()) {
+  if (!delta_.empty() || !tombstones_.empty()) {
     obs::Span span(ectx.trace(), "col_triple.merge_delta");
-    span.set_rows_in(delta_.size());
+    span.set_rows_in(delta_.size() + tombstones_.size());
     EnsureMerged();
   }
   switch (BaseOf(id)) {
@@ -539,7 +562,11 @@ std::vector<rdf::Triple> ColTripleBackend::Match(
   const auto& subj = table_->subjects();
   const auto& prop = table_->properties();
   const auto& obj = table_->objects();
-  for (uint32_t i : sel) out.push_back({subj[i], prop[i], obj[i]});
+  for (uint32_t i : sel) {
+    const rdf::Triple t{subj[i], prop[i], obj[i]};
+    if (!tombstones_.empty() && tombstones_.count(t) != 0) continue;
+    out.push_back(t);
+  }
   // Unmerged inserts are visible to pattern lookups via a delta scan.
   for (const rdf::Triple& t : delta_) {
     if (pattern.Matches(t)) out.push_back(t);
@@ -572,6 +599,10 @@ audit::AuditReport ColVerticalBackend::Audit(audit::AuditLevel level) const {
 }
 
 Status ColVerticalBackend::Insert(const rdf::Triple& triple) {
+  if (tombstones_.erase(triple) != 0) {
+    // Cancels a pending delete; the base partition still holds the row.
+    return Status::OK();
+  }
   if (delta_set_.count(triple) != 0) {
     return Status::AlreadyExists("triple already present");
   }
@@ -593,25 +624,69 @@ Status ColVerticalBackend::Insert(const rdf::Triple& triple) {
   return Status::OK();
 }
 
+Status ColVerticalBackend::Delete(const rdf::Triple& triple) {
+  if (delta_set_.erase(triple) != 0) {
+    // Deleting an unmerged insert cancels the delta entry directly.
+    auto it = delta_.find(triple.property);
+    SWAN_CHECK(it != delta_.end());
+    const std::pair<uint64_t, uint64_t> row{triple.subject, triple.object};
+    const auto pos = std::find(it->second.begin(), it->second.end(), row);
+    SWAN_CHECK(pos != it->second.end());
+    it->second.erase(pos);
+    if (it->second.empty()) delta_.erase(it);
+    return Status::OK();
+  }
+  if (tombstones_.count(triple) != 0) {
+    return Status::NotFound("triple not present");
+  }
+  bool in_base = false;
+  if (table_->HasPartition(triple.property)) {
+    const auto [lo, hi] = table_->SubjectRange(triple.property, triple.subject);
+    const auto& obj = table_->Objects(triple.property);
+    for (uint32_t i = lo; i < hi; ++i) {
+      if (obj[i] == triple.object) {
+        in_base = true;
+        break;
+      }
+    }
+  }
+  if (!in_base) return Status::NotFound("triple not present");
+  tombstones_.insert(triple);
+  return Status::OK();
+}
+
 void ColVerticalBackend::EnsureMerged() {
-  if (delta_.empty()) return;
-  for (auto& [property, fresh] : delta_) {
+  if (delta_.empty() && tombstones_.empty()) return;
+  // Every partition touched by an insert or a delete is rebuilt in full —
+  // the data-driven vertical schema's update cost the paper warns about.
+  std::unordered_set<uint64_t> touched;
+  for (const auto& [property, fresh] : delta_) touched.insert(property);
+  for (const rdf::Triple& t : tombstones_) touched.insert(t.property);
+  for (uint64_t property : touched) {
     std::vector<std::pair<uint64_t, uint64_t>> rows;
     if (table_->HasPartition(property)) {
       const auto& subj = table_->Subjects(property);
       const auto& obj = table_->Objects(property);
-      rows.reserve(subj.size() + fresh.size());
+      rows.reserve(subj.size());
       for (size_t i = 0; i < subj.size(); ++i) {
+        if (!tombstones_.empty() &&
+            tombstones_.count({subj[i], property, obj[i]}) != 0) {
+          continue;
+        }
         rows.emplace_back(subj[i], obj[i]);
       }
     }
-    rows.insert(rows.end(), fresh.begin(), fresh.end());
+    const auto it = delta_.find(property);
+    if (it != delta_.end()) {
+      rows.insert(rows.end(), it->second.begin(), it->second.end());
+    }
     std::sort(rows.begin(), rows.end());
     rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
     table_->ReplacePartition(property, rows);
   }
   delta_.clear();
   delta_set_.clear();
+  tombstones_.clear();
   ++merge_count_;
 }
 
@@ -932,9 +1007,9 @@ QueryResult ColVerticalBackend::RunQ8(const QueryContext& ctx,
 
 QueryResult ColVerticalBackend::Run(QueryId id, const QueryContext& ctx,
                                     const exec::ExecContext& ectx) {
-  if (!delta_.empty()) {
+  if (!delta_.empty() || !tombstones_.empty()) {
     obs::Span span(ectx.trace(), "col_vert.merge_delta");
-    span.set_rows_in(delta_set_.size());
+    span.set_rows_in(delta_set_.size() + tombstones_.size());
     EnsureMerged();
   }
   switch (BaseOf(id)) {
@@ -984,6 +1059,10 @@ std::vector<rdf::Triple> ColVerticalBackend::Match(
     }
     for (uint32_t i = lo; i < hi; ++i) {
       if (pattern.object && obj[i] != *pattern.object) continue;
+      if (!tombstones_.empty() &&
+          tombstones_.count({subj[i], p, obj[i]}) != 0) {
+        continue;
+      }
       out.push_back({subj[i], p, obj[i]});
     }
   }

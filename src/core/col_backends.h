@@ -34,6 +34,7 @@ class ColTripleBackend : public BackendBase {
       const rdf::TriplePattern& pattern,
       const exec::ExecContext& ectx) const override;
   Status Insert(const rdf::Triple& triple) override;
+  Status Delete(const rdf::Triple& triple) override;
   void DropCaches() override;
   uint64_t disk_bytes() const override { return table_->disk_bytes(); }
 
@@ -79,6 +80,9 @@ class ColTripleBackend : public BackendBase {
   // Write store: inserts buffer here and merge before the next Run().
   std::vector<rdf::Triple> delta_;
   std::unordered_set<rdf::Triple, rdf::TripleHash> delta_set_;
+  // Deletes of base rows buffer here; applied at the next merge. A delete
+  // of an unmerged insert cancels the delta entry directly instead.
+  std::unordered_set<rdf::Triple, rdf::TripleHash> tombstones_;
   uint64_t merge_count_ = 0;
 };
 
@@ -106,6 +110,7 @@ class ColVerticalBackend : public BackendBase {
   uint64_t disk_bytes() const override { return table_->disk_bytes(); }
 
   Status Insert(const rdf::Triple& triple) override;
+  Status Delete(const rdf::Triple& triple) override;
 
   const colstore::VerticalTable& table() const { return *table_; }
   uint64_t partitions_created() const { return partitions_created_; }
@@ -144,6 +149,8 @@ class ColVerticalBackend : public BackendBase {
   std::unordered_map<uint64_t, std::vector<std::pair<uint64_t, uint64_t>>>
       delta_;
   std::unordered_set<rdf::Triple, rdf::TripleHash> delta_set_;
+  // Deletes of base rows, applied when their partition is next rebuilt.
+  std::unordered_set<rdf::Triple, rdf::TripleHash> tombstones_;
   uint64_t partitions_created_ = 0;
   uint64_t merge_count_ = 0;
 };

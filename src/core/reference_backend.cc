@@ -41,6 +41,16 @@ Status ReferenceBackend::Insert(const rdf::Triple& triple) {
   return Status::OK();
 }
 
+Status ReferenceBackend::Delete(const rdf::Triple& triple) {
+  if (present_.erase(triple) == 0) {
+    return Status::NotFound("triple not present");
+  }
+  const auto it = std::find(triples_.begin(), triples_.end(), triple);
+  SWAN_CHECK(it != triples_.end());
+  triples_.erase(it);
+  return Status::OK();
+}
+
 QueryResult ReferenceBackend::Run(QueryId id, const QueryContext& ctx,
                                   const exec::ExecContext& ectx) {
   (void)ectx;  // the oracle stays single-threaded by design

@@ -31,6 +31,7 @@ class ReferenceBackend : public BackendBase {
       const rdf::TriplePattern& pattern,
       const exec::ExecContext& ectx) const override;
   Status Insert(const rdf::Triple& triple) override;
+  Status Delete(const rdf::Triple& triple) override;
   void DropCaches() override {}
   uint64_t disk_bytes() const override { return 0; }
 

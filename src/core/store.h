@@ -1,6 +1,10 @@
 #ifndef SWANDB_CORE_STORE_H_
 #define SWANDB_CORE_STORE_H_
 
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -98,15 +102,59 @@ class RdfStore {
     return core::ExecuteBgp(*backend_, patterns, ectx);
   }
 
+  // The store's write path. Every *successful* mutation bumps the
+  // snapshot version exactly once; failed writes (duplicates, absent
+  // triples, read-only engines) leave it untouched. Layers that key state
+  // on store contents — notably the serving layer's result cache — use
+  // the version as the invalidation fence: a result computed at version v
+  // is stale once snapshot_version() > v.
+  Status Insert(const rdf::Triple& triple) {
+    const Status st = backend_->Insert(triple);
+    if (st.ok()) snapshot_version_.fetch_add(1, std::memory_order_acq_rel);
+    return st;
+  }
+  Status Delete(const rdf::Triple& triple) {
+    const Status st = backend_->Delete(triple);
+    if (st.ok()) snapshot_version_.fetch_add(1, std::memory_order_acq_rel);
+    return st;
+  }
+
+  // Monotone snapshot counter; starts at 1 for a freshly opened store.
+  uint64_t snapshot_version() const {
+    return snapshot_version_.load(std::memory_order_acquire);
+  }
+
   // Benchmark protocol hooks.
   void DropCaches() { backend_->DropCaches(); }
 
   // Deep invariant audit: backend structures, buffer pool, page checksums,
-  // plus the shared dictionary's id<->term bijection.
+  // plus the shared dictionary's id<->term bijection, plus any registered
+  // auxiliary walkers (e.g. the serving layer's result cache).
   audit::AuditReport Audit(audit::AuditLevel level) const {
     audit::AuditReport report = backend_->Audit(level);
     dataset_->dict().AuditInto(level, &report);
+    for (const HookEntry& entry : audit_hooks_) entry.hook(level, &report);
     return report;
+  }
+
+  // Registers an auxiliary audit walker run by every Audit() call. Used
+  // by layers stacked on top of the store whose invariants reference
+  // store state (the serve::ResultCache entries must not outlive the
+  // snapshot version they were computed at). The hook must stay valid for
+  // the store's lifetime or until the owner unregisters it by token.
+  using AuditHook =
+      std::function<void(audit::AuditLevel, audit::AuditReport*)>;
+  uint64_t AddAuditHook(AuditHook hook) {
+    audit_hooks_.push_back({next_hook_token_, std::move(hook)});
+    return next_hook_token_++;
+  }
+  void RemoveAuditHook(uint64_t token) {
+    for (size_t i = 0; i < audit_hooks_.size(); ++i) {
+      if (audit_hooks_[i].token == token) {
+        audit_hooks_.erase(audit_hooks_.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
   }
 
   Backend& backend() { return *backend_; }
@@ -124,9 +172,17 @@ class RdfStore {
         options_(std::move(options)),
         backend_(std::move(backend)) {}
 
+  struct HookEntry {
+    uint64_t token;
+    AuditHook hook;
+  };
+
   const rdf::Dataset* dataset_;
   StoreOptions options_;
   std::unique_ptr<Backend> backend_;
+  std::atomic<uint64_t> snapshot_version_{1};
+  std::vector<HookEntry> audit_hooks_;
+  uint64_t next_hook_token_ = 1;
 };
 
 }  // namespace swan::core

@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
+#include <map>
 
 namespace swan::obs {
 
@@ -69,17 +70,18 @@ void TextRow(std::string* out, const SpanNode& node, int depth,
 // Chrome trace
 // ---------------------------------------------------------------------------
 
-void ChromeSpanEvents(std::string* out, const SpanNode& node, bool* first) {
-  const double ts_us = node.vt_start * 1e6;
+void ChromeSpanEvents(std::string* out, const SpanNode& node, int pid,
+                      double offset_us, bool* first) {
+  const double ts_us = node.vt_start * 1e6 + offset_us;
   const double dur_us = node.vt_seconds() * 1e6;
   AppendF(out,
-          "%s{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":%.3f,\"dur\":%.3f,"
+          "%s{\"ph\":\"X\",\"pid\":%d,\"tid\":1,\"ts\":%.3f,\"dur\":%.3f,"
           "\"name\":\"%s\",\"args\":{\"rows_in\":%" PRIu64
           ",\"rows_out\":%" PRIu64 ",\"bytes\":%" PRIu64 ",\"seeks\":%" PRIu64
           ",\"morsels\":%" PRIu64 ",\"regions\":%" PRIu64 "}}",
-          *first ? "" : ",\n", ts_us, dur_us, JsonEscape(node.name).c_str(),
-          node.rows_in, node.rows_out, node.bytes(), node.seeks(),
-          node.morsels(), node.regions());
+          *first ? "" : ",\n", pid, ts_us, dur_us,
+          JsonEscape(node.name).c_str(), node.rows_in, node.rows_out,
+          node.bytes(), node.seeks(), node.morsels(), node.regions());
   *first = false;
   // One slice per lane that accrued virtual I/O inside this span, on the
   // lane's own track. Lane slices start at the span's start; their
@@ -89,14 +91,37 @@ void ChromeSpanEvents(std::string* out, const SpanNode& node, bool* first) {
   for (size_t lane = 0; lane < lanes.size(); ++lane) {
     if (lanes[lane] <= 0.0) continue;
     AppendF(out,
-            ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":%zu,\"ts\":%.3f,"
+            ",\n{\"ph\":\"X\",\"pid\":%d,\"tid\":%zu,\"ts\":%.3f,"
             "\"dur\":%.3f,\"name\":\"%s\",\"args\":{\"lane\":%zu}}",
-            lane + 2, ts_us, lanes[lane] * 1e6,
+            pid, lane + 2, ts_us, lanes[lane] * 1e6,
             JsonEscape(node.name).c_str(), lane);
   }
   for (const auto& child : node.children) {
-    ChromeSpanEvents(out, *child, first);
+    ChromeSpanEvents(out, *child, pid, offset_us, first);
   }
+}
+
+// Metadata events naming one session's process and track layout.
+void ChromeTrackMeta(std::string* out, const std::string& process_name,
+                     int pid, int threads, bool* first) {
+  AppendF(out,
+          "%s{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"name\":\"process_name\","
+          "\"args\":{\"name\":\"%s\"}},\n",
+          *first ? "" : ",\n", pid, JsonEscape(process_name).c_str());
+  AppendF(out,
+          "{\"ph\":\"M\",\"pid\":%d,\"tid\":1,\"name\":\"thread_name\","
+          "\"args\":{\"name\":\"control (virtual clock)\"}}",
+          pid);
+  // One named track per lane of the session's thread budget, present even
+  // when a lane accrued no I/O, so the track layout is a function of the
+  // width alone.
+  for (int lane = 0; lane < threads; ++lane) {
+    AppendF(out,
+            ",\n{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\","
+            "\"args\":{\"name\":\"lane %d I/O\"}}",
+            pid, lane + 2, lane);
+  }
+  *first = false;
 }
 
 // ---------------------------------------------------------------------------
@@ -196,24 +221,38 @@ std::string TextProfile(const TraceSession& session) {
 std::string ChromeTraceJson(const TraceSession& session) {
   std::string out;
   out.append("{\"traceEvents\":[\n");
-  out.append(
-      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
-      "\"args\":{\"name\":\"swandb\"}},\n");
-  out.append(
-      "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\","
-      "\"args\":{\"name\":\"control (virtual clock)\"}}");
-  // One named track per lane of the session's thread budget, present even
-  // when a lane accrued no I/O, so the track layout is a function of the
-  // width alone.
-  for (int lane = 0; lane < session.threads(); ++lane) {
-    AppendF(&out,
-            ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\","
-            "\"args\":{\"name\":\"lane %d I/O\"}}",
-            lane + 2, lane);
-  }
+  bool meta_first = true;
+  ChromeTrackMeta(&out, "swandb", /*pid=*/1, session.threads(), &meta_first);
   out.append(",\n");
   bool first = true;
-  ChromeSpanEvents(&out, session.root(), &first);
+  ChromeSpanEvents(&out, session.root(), /*pid=*/1, /*offset_us=*/0.0, &first);
+  out.append("\n],\"displayTimeUnit\":\"ms\"}\n");
+  return out;
+}
+
+std::string ChromeTraceJsonMulti(const std::vector<SessionTrack>& tracks) {
+  std::string out;
+  out.append("{\"traceEvents\":[\n");
+  bool first = true;
+  // Deterministic label -> pid assignment in first-appearance order; the
+  // process metadata is emitted once per label, sized by that label's
+  // first track (later tracks of the same label reuse the pid).
+  std::map<std::string, int> pids;
+  int next_pid = 0;
+  for (const SessionTrack& track : tracks) {
+    if (track.session == nullptr) continue;
+    int pid = 0;
+    const auto it = pids.find(track.label);
+    if (it == pids.end()) {
+      pid = ++next_pid;
+      pids.emplace(track.label, pid);
+      ChromeTrackMeta(&out, track.label, pid, track.session->threads(), &first);
+    } else {
+      pid = it->second;
+    }
+    ChromeSpanEvents(&out, track.session->root(), pid,
+                     track.ts_offset_seconds * 1e6, &first);
+  }
   out.append("\n],\"displayTimeUnit\":\"ms\"}\n");
   return out;
 }

@@ -2,6 +2,7 @@
 #define SWANDB_OBS_EXPORT_H_
 
 #include <string>
+#include <vector>
 
 #include "obs/trace.h"
 
@@ -23,6 +24,23 @@ std::string TextProfile(const TraceSession& session);
 // 2..threads+1 are one per lane, carrying each span's per-lane virtual
 // I/O accrual. Timestamps are virtual microseconds. Fully deterministic.
 std::string ChromeTraceJson(const TraceSession& session);
+
+// Multi-session Chrome trace: every distinct label becomes its own Chrome
+// *process* (pids assigned in first-appearance order) with the same
+// per-pid track layout as ChromeTraceJson — so the serving layer's
+// per-session profiles land on visually distinct track groups in one
+// trace file, and the successive requests of one session share a group.
+// ts_offset_seconds shifts a session's events along the timeline (span
+// times are relative to each session's own start; the serving layer
+// passes each request's start on the store's virtual clock so requests
+// line up end to end per track). Null sessions are skipped. Fully
+// deterministic.
+struct SessionTrack {
+  std::string label;
+  const TraceSession* session = nullptr;
+  double ts_offset_seconds = 0.0;
+};
+std::string ChromeTraceJsonMulti(const std::vector<SessionTrack>& tracks);
 
 // Machine-readable JSON profile: nested span objects plus the metrics
 // snapshot. With include_host_time the session-level modeled CPU and the

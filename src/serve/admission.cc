@@ -1,0 +1,76 @@
+#include "serve/admission.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace swan::serve {
+
+AdmissionController::Lane* AdmissionController::LaneFor(Session* session) {
+  for (Lane& lane : lanes_) {
+    if (lane.session == session) return &lane;
+  }
+  lanes_.push_back(Lane{session, {}, 0});
+  return &lanes_.back();
+}
+
+Status AdmissionController::Admit(Session* session, Request request,
+                                  uint64_t ticket) {
+  SWAN_CHECK(session != nullptr);
+  if (queued_ >= options_.max_queue) {
+    return Status::Overloaded("admission queue full (" +
+                              std::to_string(options_.max_queue) +
+                              " requests queued)");
+  }
+  Ticket entry;
+  entry.ticket = ticket;
+  entry.session = session;
+  entry.priority = session->priority() + request.priority;
+  entry.request = std::move(request);
+  LaneFor(session)->fifo.push_back(std::move(entry));
+  ++queued_;
+  return Status::OK();
+}
+
+Ticket AdmissionController::PickNext() {
+  SWAN_CHECK_MSG(queued_ > 0, "PickNext on an empty admission queue");
+  Lane* best = nullptr;
+  for (Lane& lane : lanes_) {
+    if (lane.fifo.empty()) continue;
+    if (best == nullptr) {
+      best = &lane;
+      continue;
+    }
+    const Ticket& cand = lane.fifo.front();
+    const Ticket& lead = best->fifo.front();
+    if (cand.priority != lead.priority) {
+      if (cand.priority > lead.priority) best = &lane;
+      continue;
+    }
+    if (lane.dispatched != best->dispatched) {
+      if (lane.dispatched < best->dispatched) best = &lane;
+      continue;
+    }
+    // lanes_ is in first-submit order, not session order; compare seqs.
+    if (lane.session->seq() < best->session->seq()) best = &lane;
+  }
+  SWAN_CHECK(best != nullptr);
+  Ticket picked = std::move(best->fifo.front());
+  best->fifo.pop_front();
+  ++best->dispatched;
+  --queued_;
+  return picked;
+}
+
+void AdmissionController::ResetFairness() {
+  for (Lane& lane : lanes_) lane.dispatched = 0;
+}
+
+uint64_t AdmissionController::dispatched(const Session* session) const {
+  for (const Lane& lane : lanes_) {
+    if (lane.session == session) return lane.dispatched;
+  }
+  return 0;
+}
+
+}  // namespace swan::serve

@@ -1,0 +1,88 @@
+#ifndef SWANDB_SERVE_ADMISSION_H_
+#define SWANDB_SERVE_ADMISSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/request.h"
+#include "serve/session.h"
+
+namespace swan::serve {
+
+struct AdmissionOptions {
+  // Total queued (admitted, not yet dispatched) requests across all
+  // sessions; one more is rejected with Status::Overloaded.
+  size_t max_queue = 256;
+};
+
+// A dispatchable unit: one admitted request plus its scheduling identity.
+struct Ticket {
+  uint64_t ticket = 0;          // submission id, 1-based, gapless
+  uint64_t dispatch_index = 0;  // assigned by the service at dispatch
+  Session* session = nullptr;
+  int priority = 0;  // effective: session priority + request offset
+  Request request;
+};
+
+// Bounded, fairness-aware admission queue. Requests are FIFO within a
+// session; across sessions the dispatch policy is a pure function of the
+// queue state, so a fixed submission order yields a fixed dispatch order
+// at any worker count:
+//
+//   1. highest effective priority at the head of a session's queue wins;
+//   2. among those, the session with the fewest dispatches so far (the
+//      fairness term: a client holding 100 queued requests advances its
+//      count every dispatch, so single-request clients interleave
+//      round-robin instead of starving behind it);
+//   3. remaining ties go to the session opened earliest, then FIFO.
+//
+// Externally synchronized — the service calls every method under its
+// scheduler mutex; unit tests drive it single-threaded.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options = {})
+      : options_(options) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  // Queues the request, or rejects it with Status::Overloaded when the
+  // queue is at capacity (the caller's backpressure signal).
+  Status Admit(Session* session, Request request, uint64_t ticket);
+
+  bool HasWork() const { return queued_ > 0; }
+  size_t queued() const { return queued_; }
+
+  // Removes and returns the next ticket under the policy above.
+  // Requires HasWork().
+  Ticket PickNext();
+
+  // Cumulative dispatches of one session (the fairness count).
+  uint64_t dispatched(const Session* session) const;
+
+  // Zeroes every session's fairness count. The service calls this when a
+  // paused service restarts, so each submit-all-then-Start() batch's
+  // dispatch order depends only on that batch's submissions — not on how
+  // many requests each session ran in earlier batches.
+  void ResetFairness();
+
+ private:
+  struct Lane {
+    Session* session = nullptr;
+    std::deque<Ticket> fifo;
+    uint64_t dispatched = 0;
+  };
+
+  Lane* LaneFor(Session* session);
+
+  AdmissionOptions options_;
+  std::vector<Lane> lanes_;  // one per session, in first-submit order
+  size_t queued_ = 0;
+};
+
+}  // namespace swan::serve
+
+#endif  // SWANDB_SERVE_ADMISSION_H_

@@ -1,0 +1,87 @@
+#ifndef SWANDB_SERVE_REQUEST_H_
+#define SWANDB_SERVE_REQUEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/query.h"
+#include "rdf/triple.h"
+
+namespace swan::serve {
+
+// One client request submitted to the service through a session. The four
+// kinds cover the whole public surface of the store: the fixed benchmark
+// queries, the SPARQL front-end, and the write path (whose execution
+// order relative to the reads is fixed by the service's turnstile, so a
+// script mixing updates and queries replays deterministically).
+struct Request {
+  enum class Kind { kBench, kSparql, kInsert, kDelete };
+  Kind kind = Kind::kBench;
+  core::QueryId bench_id = core::QueryId::kQ1;  // kBench
+  std::string text;                             // kSparql: the query text
+  rdf::Triple triple{0, 0, 0};                  // kInsert / kDelete
+  // Priority *offset* added to the owning session's priority at submit
+  // time; higher effective priority dispatches first.
+  int priority = 0;
+};
+
+const char* ToString(Request::Kind kind);
+
+// The unified result payload: both bench queries (core::QueryResult) and
+// SPARQL queries (sparql::QueryOutput) reduce to named columns over
+// dictionary ids / aggregate counts. Comparing payloads row for row is
+// the serving layer's equivalence gate, and the byte estimate is what the
+// result cache charges against its budget.
+struct ResultPayload {
+  std::vector<std::string> column_names;
+  std::vector<std::vector<uint64_t>> rows;
+
+  uint64_t ApproxBytes() const;
+
+  friend bool operator==(const ResultPayload&, const ResultPayload&) =
+      default;
+};
+
+// The completion record of one dispatched request. dispatch_index is the
+// position in the service's deterministic execution order (0-based,
+// gapless); service_seconds is the modeled cost of serving the request —
+// modeled critical-path CPU + simulated-disk virtual time + the fixed
+// per-request handling overhead — which the latency model schedules onto
+// W servers.
+struct Completion {
+  uint64_t ticket = 0;
+  uint64_t dispatch_index = 0;
+  std::string session_id;
+  Request::Kind kind = Request::Kind::kBench;
+  Status status = Status::OK();
+  ResultPayload result;
+  bool cache_hit = false;
+  double service_seconds = 0.0;
+  // Store snapshot version the request executed at (for writes: the
+  // version *after* the mutation).
+  uint64_t snapshot_version = 0;
+};
+
+// Deterministic W-server FCFS schedule model over the completions'
+// modeled service times: all requests arrive at t=0 in dispatch order,
+// each goes to the earliest-free server, latency = its finish time.
+// Throughput is requests / makespan. The percentiles use the
+// nearest-rank method over the modeled latencies.
+struct LatencyStats {
+  uint64_t requests = 0;
+  uint64_t cache_hits = 0;
+  double makespan_seconds = 0.0;
+  double throughput_per_second = 0.0;
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
+};
+
+LatencyStats ModelSchedule(const std::vector<Completion>& completions,
+                           int servers);
+
+}  // namespace swan::serve
+
+#endif  // SWANDB_SERVE_REQUEST_H_

@@ -1,0 +1,141 @@
+#include "serve/result_cache.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace swan::serve {
+
+ResultCache::ResultCache(CacheOptions options, obs::MetricsRegistry* metrics)
+    : options_(options) {
+  SWAN_CHECK(metrics != nullptr);
+  hits_ = metrics->GetCounter("serve.cache.hits");
+  misses_ = metrics->GetCounter("serve.cache.misses");
+  evictions_ = metrics->GetCounter("serve.cache.evictions");
+  invalidations_ = metrics->GetCounter("serve.cache.invalidations");
+}
+
+std::string ResultCache::KeyOf(const std::string& text, uint64_t version) {
+  return text + "@" + std::to_string(version);
+}
+
+std::optional<ResultPayload> ResultCache::Get(const std::string& text,
+                                              uint64_t version) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(KeyOf(text, version));
+  if (it == index_.end()) {
+    misses_->Add(1);
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  hits_->Add(1);
+  return it->second->payload;
+}
+
+void ResultCache::Put(const std::string& text, uint64_t version,
+                      const ResultPayload& payload) {
+  std::string key = KeyOf(text, version);
+  const uint64_t entry_bytes = key.size() + payload.ApproxBytes();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entry_bytes > options_.max_bytes) return;  // would evict everything
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_ -= it->second->bytes;
+    it->second->bytes = entry_bytes;
+    it->second->payload = payload;
+    bytes_ += entry_bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, version, entry_bytes, payload});
+    index_.emplace(std::move(key), lru_.begin());
+    bytes_ += entry_bytes;
+  }
+  EvictToBudgetLocked();
+}
+
+void ResultCache::EvictToBudgetLocked() {
+  while (bytes_ > options_.max_bytes) {
+    SWAN_CHECK(!lru_.empty());
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    evictions_->Add(1);
+  }
+}
+
+void ResultCache::InvalidateOlderThan(uint64_t version) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->version < version) {
+      bytes_ -= it->bytes;
+      index_.erase(it->key);
+      it = lru_.erase(it);
+      invalidations_->Add(1);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t ResultCache::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+uint64_t ResultCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+void ResultCache::AuditInto(audit::AuditLevel level,
+                            audit::AuditReport* report,
+                            uint64_t current_version) const {
+  (void)level;  // all cache invariants are metadata-level (kQuick)
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string object = "result-cache";
+  if (index_.size() != lru_.size()) {
+    report->Add(audit::FindingClass::kCache, object,
+                "index has " + std::to_string(index_.size()) +
+                    " entries but the LRU list has " +
+                    std::to_string(lru_.size()));
+  }
+  uint64_t recomputed = 0;
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    const auto idx = index_.find(it->key);
+    if (idx == index_.end() || idx->second != it) {
+      report->Add(audit::FindingClass::kCache, object,
+                  "LRU entry '" + it->key + "' missing from the index or "
+                  "pointing elsewhere");
+    }
+    const uint64_t expected = it->key.size() + it->payload.ApproxBytes();
+    if (it->bytes != expected) {
+      report->Add(audit::FindingClass::kCache, object,
+                  "entry '" + it->key + "' charges " +
+                      std::to_string(it->bytes) + " bytes but its payload "
+                      "re-adds to " + std::to_string(expected));
+    }
+    recomputed += it->bytes;
+    if (it->version < current_version) {
+      report->Add(audit::FindingClass::kCache, object,
+                  "stale entry '" + it->key + "': computed at snapshot " +
+                      std::to_string(it->version) +
+                      " but the store is at " +
+                      std::to_string(current_version));
+    }
+  }
+  if (recomputed != bytes_) {
+    report->Add(audit::FindingClass::kCache, object,
+                "byte accounting says " + std::to_string(bytes_) +
+                    " but the entries re-add to " +
+                    std::to_string(recomputed));
+  }
+  if (bytes_ > options_.max_bytes) {
+    report->Add(audit::FindingClass::kCache, object,
+                "resident bytes " + std::to_string(bytes_) +
+                    " exceed the budget " +
+                    std::to_string(options_.max_bytes));
+  }
+}
+
+}  // namespace swan::serve

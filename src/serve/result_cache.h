@@ -1,0 +1,93 @@
+#ifndef SWANDB_SERVE_RESULT_CACHE_H_
+#define SWANDB_SERVE_RESULT_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "audit/audit.h"
+#include "obs/metrics.h"
+#include "serve/request.h"
+
+namespace swan::serve {
+
+struct CacheOptions {
+  // Byte budget over entry footprints (key + payload estimate); the
+  // least-recently-used entries are evicted to stay under it. An entry
+  // larger than the whole budget is not cached at all.
+  size_t max_bytes = 8u << 20;
+};
+
+// Snapshot-keyed LRU result cache. The key is the canonicalized query
+// text (prefixed by its kind, e.g. "bench:q3*" or "sparql:SELECT ...")
+// plus the store snapshot version the result was computed at — so a
+// lookup after any write misses by construction, and the service
+// additionally calls InvalidateOlderThan after every successful write to
+// drop the dead entries eagerly (a result computed at version v must
+// never be *stored* past version v; the audit walker checks exactly
+// that).
+//
+// Hit/miss/eviction/invalidation counts land in the service-level
+// obs::MetricsRegistry under serve.cache.*. Internally synchronized:
+// sessions of one service share the cache.
+class ResultCache {
+ public:
+  ResultCache(CacheOptions options, obs::MetricsRegistry* metrics);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // Returns the payload cached for (text, version), refreshing its LRU
+  // position; nullopt on miss.
+  std::optional<ResultPayload> Get(const std::string& text, uint64_t version);
+
+  // Caches the payload under (text, version), evicting from the LRU tail
+  // until the byte budget holds. Re-putting an existing key refreshes it.
+  void Put(const std::string& text, uint64_t version,
+           const ResultPayload& payload);
+
+  // Drops every entry computed before `version` — the write-path
+  // coherence hook (counted under serve.cache.invalidations).
+  void InvalidateOlderThan(uint64_t version);
+
+  size_t entries() const;
+  uint64_t bytes() const;
+
+  // Audit walker (surfaced through core::RdfStore::Audit via the audit
+  // hook the service registers): the byte accounting must re-add up from
+  // the entries, the LRU list and the index must agree, the budget must
+  // hold, and no entry may be older than `current_version`.
+  void AuditInto(audit::AuditLevel level, audit::AuditReport* report,
+                 uint64_t current_version) const;
+
+ private:
+  struct Entry {
+    std::string key;  // text + '@' + version
+    uint64_t version = 0;
+    uint64_t bytes = 0;
+    ResultPayload payload;
+  };
+
+  static std::string KeyOf(const std::string& text, uint64_t version);
+
+  void EvictToBudgetLocked();
+
+  CacheOptions options_;
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* evictions_;
+  obs::Counter* invalidations_;
+
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace swan::serve
+
+#endif  // SWANDB_SERVE_RESULT_CACHE_H_

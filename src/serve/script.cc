@@ -1,0 +1,203 @@
+#include "serve/script.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+namespace swan::serve {
+
+namespace {
+
+Status LineError(size_t line, const std::string& message) {
+  return Status::InvalidArgument("serve script line " + std::to_string(line) +
+                                 ": " + message);
+}
+
+void SkipSpace(std::string_view text, size_t* pos) {
+  while (*pos < text.size() &&
+         (text[*pos] == ' ' || text[*pos] == '\t' || text[*pos] == '\r')) {
+    ++*pos;
+  }
+}
+
+// One whitespace-delimited token. A token starting with '"' runs to the
+// closing unescaped quote and then on to the next whitespace, so quoted
+// dictionary literals (possibly with @lang / ^^type suffixes) survive
+// with their spaces.
+std::string NextToken(std::string_view text, size_t* pos) {
+  SkipSpace(text, pos);
+  const size_t begin = *pos;
+  bool in_quote = false;
+  while (*pos < text.size()) {
+    const char c = text[*pos];
+    if (in_quote) {
+      if (c == '\\' && *pos + 1 < text.size()) {
+        ++*pos;  // skip the escaped character
+      } else if (c == '"') {
+        in_quote = false;
+      }
+    } else if (c == '"') {
+      in_quote = true;
+    } else if (c == ' ' || c == '\t' || c == '\r') {
+      break;
+    }
+    ++*pos;
+  }
+  return std::string(text.substr(begin, *pos - begin));
+}
+
+bool ParseInt(const std::string& text, int* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno == ERANGE) return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
+// Consumes leading key=value tokens; returns the first token that is not
+// an option (or "" at end of line).
+Status ParseOptions(std::string_view line, size_t* pos, size_t line_no,
+                    ScriptCommand* cmd, std::string* first_plain) {
+  for (;;) {
+    const size_t before = *pos;
+    const std::string token = NextToken(line, pos);
+    const size_t eq = token.find('=');
+    if (token.empty() || eq == std::string::npos || token[0] == '"' ||
+        token[0] == '<') {
+      *first_plain = token;
+      if (token.empty()) *pos = before;
+      return Status::OK();
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    int parsed = 0;
+    if (!ParseInt(value, &parsed)) {
+      return LineError(line_no, "bad option value in '" + token + "'");
+    }
+    const bool is_session = cmd->kind == ScriptCommand::Kind::kSession;
+    const bool is_query = cmd->kind == ScriptCommand::Kind::kBench ||
+                          cmd->kind == ScriptCommand::Kind::kSparql;
+    if (key == "priority" && is_session) {
+      cmd->priority = parsed;
+    } else if (key == "threads" && is_session) {
+      if (parsed < 1) return LineError(line_no, "threads must be >= 1");
+      cmd->threads = parsed;
+    } else if (key == "repeat" && is_query) {
+      if (parsed < 1) return LineError(line_no, "repeat must be >= 1");
+      cmd->repeat = parsed;
+    } else {
+      return LineError(line_no, "unknown option '" + key + "' for this "
+                       "command");
+    }
+  }
+}
+
+Status ParseBenchName(const std::string& name, size_t line_no,
+                      ScriptCommand* cmd) {
+  for (const core::QueryId id : core::AllQueries()) {
+    if (core::ToString(id) == name) {
+      cmd->query_name = name;
+      cmd->bench_id = id;
+      return Status::OK();
+    }
+  }
+  return LineError(line_no, "unknown benchmark query '" + name +
+                   "' (expected q1..q8 or q2*/q3*/q4*/q6*)");
+}
+
+}  // namespace
+
+Result<std::vector<ScriptCommand>> ParseScript(std::istream& in) {
+  std::vector<ScriptCommand> script;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    size_t pos = 0;
+    SkipSpace(line, &pos);
+    if (pos >= line.size() || line[pos] == '#') continue;
+
+    const std::string verb = NextToken(line, &pos);
+    ScriptCommand cmd;
+    if (verb == "session") {
+      cmd.kind = ScriptCommand::Kind::kSession;
+    } else if (verb == "bench") {
+      cmd.kind = ScriptCommand::Kind::kBench;
+    } else if (verb == "query") {
+      cmd.kind = ScriptCommand::Kind::kSparql;
+    } else if (verb == "insert") {
+      cmd.kind = ScriptCommand::Kind::kInsert;
+    } else if (verb == "delete") {
+      cmd.kind = ScriptCommand::Kind::kDelete;
+    } else {
+      return LineError(line_no, "unknown command '" + verb + "'");
+    }
+
+    cmd.session = NextToken(line, &pos);
+    if (cmd.session.empty()) {
+      return LineError(line_no, "missing session name");
+    }
+
+    std::string first_plain;
+    const Status opt =
+        ParseOptions(line, &pos, line_no, &cmd, &first_plain);
+    if (!opt.ok()) return opt;
+
+    switch (cmd.kind) {
+      case ScriptCommand::Kind::kSession:
+        if (!first_plain.empty()) {
+          return LineError(line_no, "unexpected token '" + first_plain +
+                           "' after session options");
+        }
+        break;
+      case ScriptCommand::Kind::kBench: {
+        const Status st = ParseBenchName(first_plain, line_no, &cmd);
+        if (!st.ok()) return st;
+        SkipSpace(line, &pos);
+        if (pos < line.size()) {
+          return LineError(line_no, "unexpected trailing text after the "
+                           "query name");
+        }
+        break;
+      }
+      case ScriptCommand::Kind::kSparql: {
+        SkipSpace(line, &pos);
+        cmd.text = first_plain;
+        if (pos < line.size()) {
+          if (!cmd.text.empty()) cmd.text += ' ';
+          cmd.text += line.substr(pos);
+        }
+        if (cmd.text.empty()) {
+          return LineError(line_no, "missing SPARQL text");
+        }
+        break;
+      }
+      case ScriptCommand::Kind::kInsert:
+      case ScriptCommand::Kind::kDelete: {
+        cmd.terms[0] = first_plain;
+        cmd.terms[1] = NextToken(line, &pos);
+        cmd.terms[2] = NextToken(line, &pos);
+        SkipSpace(line, &pos);
+        if (cmd.terms[0].empty() || cmd.terms[1].empty() ||
+            cmd.terms[2].empty() || pos < line.size()) {
+          return LineError(line_no,
+                           "expected exactly three terms (subject property "
+                           "object)");
+        }
+        break;
+      }
+    }
+    script.push_back(std::move(cmd));
+  }
+  return script;
+}
+
+Result<std::vector<ScriptCommand>> ParseScript(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  return ParseScript(in);
+}
+
+}  // namespace swan::serve

@@ -1,0 +1,57 @@
+#ifndef SWANDB_SERVE_SCRIPT_H_
+#define SWANDB_SERVE_SCRIPT_H_
+
+#include <array>
+#include <istream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/query.h"
+
+namespace swan::serve {
+
+// A serve script is the deterministic replay format of the serving
+// layer: one command per line, '#' comments, blank lines ignored.
+//
+//   session alice priority=2 threads=2
+//   session bob
+//   bench alice q1
+//   bench alice repeat=3 q5
+//   query bob SELECT ?s WHERE { ?s <type> <Text> } LIMIT 5
+//   query bob repeat=2 SELECT ?s ?o WHERE { ?s <origin> ?o }
+//   insert alice <subjA> <origin> <info:marcorg/DLC>
+//   delete alice <subjA> <origin> <info:marcorg/DLC>
+//
+// `session` opens a client session (must precede its use); every other
+// command submits one request on the named session. key=value options
+// directly after the session name are parsed per command kind: sessions
+// take priority= and threads=, bench/query take repeat=. Terms of
+// insert/delete are dictionary spellings (quoted literals may contain
+// spaces; backslash escapes are honored inside the quotes).
+//
+// The runner (serve::RunScript) submits every command in file order
+// before starting the workers, so the dispatch order — and with it every
+// result, including the interleaving of updates and queries — replays
+// identically at any worker count.
+struct ScriptCommand {
+  enum class Kind { kSession, kBench, kSparql, kInsert, kDelete };
+  Kind kind = Kind::kSession;
+  std::string session;  // label; kSession defines it, the rest use it
+  int priority = 0;     // kSession
+  int threads = 1;      // kSession
+  int repeat = 1;       // kBench / kSparql
+  std::string query_name;                 // kBench, e.g. "q3*"
+  core::QueryId bench_id = core::QueryId::kQ1;  // resolved from query_name
+  std::string text;                       // kSparql
+  std::array<std::string, 3> terms;       // kInsert / kDelete: s, p, o
+};
+
+// Parses a whole script; errors carry the 1-based line number.
+Result<std::vector<ScriptCommand>> ParseScript(std::istream& in);
+Result<std::vector<ScriptCommand>> ParseScript(std::string_view text);
+
+}  // namespace swan::serve
+
+#endif  // SWANDB_SERVE_SCRIPT_H_

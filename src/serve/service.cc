@@ -1,0 +1,381 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/timer.h"
+#include "core/profiling.h"
+#include "exec/thread_pool.h"
+#include "sparql/sparql.h"
+
+namespace swan::serve {
+
+namespace {
+
+// Cache key text: kind tag + canonical query spelling, so two lexical
+// variants of one SPARQL query share an entry.
+std::string CacheText(const Request& request) {
+  if (request.kind == Request::Kind::kBench) {
+    return "bench:" + core::ToString(request.bench_id);
+  }
+  return "sparql:" + sparql::CanonicalQueryText(request.text);
+}
+
+}  // namespace
+
+QueryService::QueryService(core::RdfStore* store,
+                           std::optional<core::QueryContext> bench_ctx,
+                           ServiceOptions options)
+    : store_(store),
+      bench_ctx_(std::move(bench_ctx)),
+      options_(options),
+      admission_(AdmissionOptions{options.max_queue}) {
+  SWAN_CHECK(store_ != nullptr);
+  SWAN_CHECK(options_.workers >= 1);
+  if (options_.max_in_flight <= 0) options_.max_in_flight = options_.workers;
+  if (options_.cache_bytes > 0) {
+    cache_ = std::make_unique<ResultCache>(CacheOptions{options_.cache_bytes},
+                                           &metrics_);
+    audit_hook_token_ = store_->AddAuditHook(
+        [this](audit::AuditLevel level, audit::AuditReport* report) {
+          cache_->AuditInto(level, report, store_->snapshot_version());
+        });
+  }
+  workers_.reserve(static_cast<size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() {
+  Stop();
+  if (audit_hook_token_ != 0) store_->RemoveAuditHook(audit_hook_token_);
+}
+
+Result<Session*> QueryService::OpenSession(const std::string& label,
+                                           int priority, int threads) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (threads <= 0) threads = options_.default_session_threads;
+  Session* session = sessions_.Open(label, priority, threads);
+  if (session == nullptr) {
+    return Status::AlreadyExists("session '" + label + "' already open");
+  }
+  return session;
+}
+
+Session* QueryService::FindSession(const std::string& label) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.Find(label);
+}
+
+Result<uint64_t> QueryService::Submit(Session* session, Request request) {
+  SWAN_CHECK(session != nullptr);
+  std::unique_lock<std::mutex> lock(mutex_);
+  const uint64_t ticket = next_ticket_;
+  const Status st = admission_.Admit(session, std::move(request), ticket);
+  if (!st.ok()) {
+    metrics_.GetCounter("serve.rejected")->Add(1);
+    session->metrics().GetCounter("session.rejected")->Add(1);
+    return st;
+  }
+  ++next_ticket_;
+  metrics_.GetCounter("serve.submitted")->Add(1);
+  session->metrics().GetCounter("session.submitted")->Add(1);
+  lock.unlock();
+  work_cv_.notify_one();
+  return ticket;
+}
+
+void QueryService::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (started_) return;
+    started_ = true;
+    // Each submit-all-then-Start() batch replays independently: its
+    // dispatch order must not depend on how many requests each session
+    // ran in earlier batches.
+    admission_.ResetFairness();
+    trace_clock0_ = store_->backend().disk()->clock().now();
+  }
+  work_cv_.notify_all();
+}
+
+void QueryService::Pause() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  started_ = false;
+}
+
+void QueryService::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  SWAN_CHECK_MSG(started_, "Drain() before Start()");
+  drained_cv_.wait(lock, [this] {
+    return !admission_.HasWork() && in_flight_ == 0;
+  });
+}
+
+void QueryService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+std::vector<Completion> QueryService::TakeCompletions() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::sort(completions_.begin(), completions_.end(),
+            [](const Completion& a, const Completion& b) {
+              return a.dispatch_index < b.dispatch_index;
+            });
+  return std::exchange(completions_, {});
+}
+
+std::vector<obs::SessionTrack> QueryService::SessionTracks() const {
+  std::lock_guard<std::mutex> lock(turn_mutex_);
+  std::vector<obs::SessionTrack> tracks;
+  tracks.reserve(traces_.size());
+  for (const TraceRecord& record : traces_) {
+    tracks.push_back(obs::SessionTrack{record.label, record.session.get(),
+                                       record.offset_seconds});
+  }
+  return tracks;
+}
+
+void QueryService::WorkerLoop() {
+  for (;;) {
+    Ticket ticket;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] {
+        return stopping_ ||
+               (started_ && admission_.HasWork() &&
+                in_flight_ < options_.max_in_flight);
+      });
+      if (stopping_) return;
+      ticket = admission_.PickNext();
+      ticket.dispatch_index = dispatch_counter_++;
+      ++in_flight_;
+    }
+
+    Completion completion = Execute(std::move(ticket));
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      metrics_.GetCounter("serve.completed")->Add(1);
+      completions_.push_back(std::move(completion));
+      if (!admission_.HasWork() && in_flight_ == 0) {
+        drained_cv_.notify_all();
+      }
+    }
+    // A freed in-flight slot may unblock another worker.
+    work_cv_.notify_one();
+  }
+}
+
+Completion QueryService::Execute(Ticket ticket) {
+  Completion completion;
+  completion.ticket = ticket.ticket;
+  completion.dispatch_index = ticket.dispatch_index;
+  completion.session_id = ticket.session->id();
+  completion.kind = ticket.request.kind;
+
+  // Turnstile: run only when every lower dispatch index has finished.
+  // The lock is held across the whole execution — it doubles as the
+  // backend mutex (column backends merge deltas on read, the buffer pool
+  // is single-writer) and makes the store's state evolution a function
+  // of dispatch order alone.
+  std::unique_lock<std::mutex> turn(turn_mutex_);
+  turn_cv_.wait(turn, [&] { return exec_turn_ == ticket.dispatch_index; });
+
+  obs::MetricsRegistry& session_metrics = ticket.session->metrics();
+  switch (ticket.request.kind) {
+    case Request::Kind::kInsert:
+    case Request::Kind::kDelete: {
+      CpuTimer timer;
+      completion.status = ticket.request.kind == Request::Kind::kInsert
+                              ? store_->Insert(ticket.request.triple)
+                              : store_->Delete(ticket.request.triple);
+      completion.snapshot_version = store_->snapshot_version();
+      if (completion.status.ok() && cache_ != nullptr) {
+        cache_->InvalidateOlderThan(completion.snapshot_version);
+      }
+      completion.service_seconds =
+          timer.ElapsedSeconds() + options_.request_overhead_seconds;
+      session_metrics.GetCounter("session.writes")->Add(1);
+      break;
+    }
+    case Request::Kind::kBench:
+    case Request::Kind::kSparql:
+      RunQueryTicket(ticket, &completion);
+      break;
+  }
+  session_metrics.GetCounter("session.completed")->Add(1);
+  session_metrics.GetCounter("session.rows")->Add(
+      completion.result.rows.size());
+
+  ++exec_turn_;
+  turn.unlock();
+  turn_cv_.notify_all();
+  return completion;
+}
+
+void QueryService::RunQueryTicket(const Ticket& ticket,
+                                  Completion* completion) {
+  core::Backend& backend = store_->backend();
+  const uint64_t version = store_->snapshot_version();
+  completion->snapshot_version = version;
+  const std::string cache_text = CacheText(ticket.request);
+
+  if (cache_ != nullptr) {
+    std::optional<ResultPayload> hit = cache_->Get(cache_text, version);
+    if (hit.has_value()) {
+      completion->result = std::move(*hit);
+      completion->cache_hit = true;
+      completion->service_seconds = options_.request_overhead_seconds;
+      ticket.session->metrics().GetCounter("session.cache_hits")->Add(1);
+      return;
+    }
+  }
+
+  std::unique_ptr<core::ScopedProfile> profile;
+  double trace_offset = 0.0;
+  if (options_.trace) {
+    trace_offset = backend.disk()->clock().now() - trace_clock0_;
+    profile = std::make_unique<core::ScopedProfile>(
+        ToString(ticket.request.kind) +
+            std::string(" #") + std::to_string(ticket.ticket),
+        backend, ticket.session->ectx());
+  }
+
+  const std::vector<double> lanes_before = exec::LaneCpuSnapshot();
+  CpuTimer timer;
+  const double io_before = backend.disk()->clock().now();
+
+  if (ticket.request.kind == Request::Kind::kBench) {
+    if (!bench_ctx_.has_value()) {
+      completion->status = Status::InvalidArgument(
+          "service opened without a benchmark query context");
+    } else if (!backend.Supports(ticket.request.bench_id)) {
+      completion->status = Status::Unimplemented(
+          "backend does not support " +
+          core::ToString(ticket.request.bench_id));
+    } else {
+      core::QueryResult result = backend.Run(
+          ticket.request.bench_id, *bench_ctx_, ticket.session->ectx());
+      completion->result.column_names = std::move(result.column_names);
+      completion->result.rows = std::move(result.rows);
+    }
+  } else {
+    Result<sparql::QueryOutput> output = sparql::Execute(
+        backend, store_->dataset(), ticket.request.text,
+        ticket.session->ectx());
+    if (!output.ok()) {
+      completion->status = output.status();
+    } else {
+      completion->result.column_names = std::move(output.value().vars);
+      completion->result.rows.reserve(output.value().rows.size());
+      for (sparql::Row& row : output.value().rows) {
+        completion->result.rows.push_back(std::move(row.ids));
+      }
+    }
+  }
+
+  const double user = timer.ElapsedSeconds();
+  const double modeled_cpu =
+      exec::ModeledCpuSeconds(lanes_before, exec::LaneCpuSnapshot(), user);
+  const double io = backend.disk()->clock().now() - io_before;
+  completion->service_seconds =
+      modeled_cpu + io + options_.request_overhead_seconds;
+
+  if (profile != nullptr) {
+    std::shared_ptr<obs::TraceSession> session =
+        profile->FinishWithCpu(modeled_cpu);
+    // Already under turn_mutex_ (held across the whole execution).
+    traces_.push_back(
+        TraceRecord{ticket.session->id(), std::move(session), trace_offset});
+  }
+
+  if (completion->status.ok() && cache_ != nullptr) {
+    cache_->Put(cache_text, version, completion->result);
+  }
+}
+
+Result<ScriptRunResult> RunScript(QueryService* service,
+                                  const std::vector<ScriptCommand>& script) {
+  SWAN_CHECK(service != nullptr);
+  const dict::Dictionary& dict = service->store()->dataset().dict();
+  ScriptRunResult result;
+
+  // Enqueue-all-then-start is the replay guarantee; on a service that is
+  // already running (a warm pass), pause dispatch first so this batch is
+  // also fully queued before the fairness policy sees it.
+  service->Pause();
+
+  for (const ScriptCommand& cmd : script) {
+    if (cmd.kind == ScriptCommand::Kind::kSession) {
+      if (service->FindSession(cmd.session) != nullptr) continue;  // warm pass
+      Result<Session*> opened =
+          service->OpenSession(cmd.session, cmd.priority, cmd.threads);
+      if (!opened.ok()) return opened.status();
+      continue;
+    }
+    Session* session = service->FindSession(cmd.session);
+    if (session == nullptr) {
+      return Status::InvalidArgument("serve script: unknown session '" +
+                                     cmd.session + "'");
+    }
+    Request request;
+    switch (cmd.kind) {
+      case ScriptCommand::Kind::kBench:
+        request.kind = Request::Kind::kBench;
+        request.bench_id = cmd.bench_id;
+        break;
+      case ScriptCommand::Kind::kSparql:
+        request.kind = Request::Kind::kSparql;
+        request.text = cmd.text;
+        break;
+      case ScriptCommand::Kind::kInsert:
+      case ScriptCommand::Kind::kDelete: {
+        request.kind = cmd.kind == ScriptCommand::Kind::kInsert
+                           ? Request::Kind::kInsert
+                           : Request::Kind::kDelete;
+        uint64_t ids[3] = {0, 0, 0};
+        for (int i = 0; i < 3; ++i) {
+          const std::optional<uint64_t> id = dict.Find(cmd.terms[i]);
+          if (!id.has_value()) {
+            return Status::InvalidArgument(
+                "serve script: term '" + cmd.terms[i] +
+                "' is not in the store's dictionary");
+          }
+          ids[i] = *id;
+        }
+        request.triple = rdf::Triple{ids[0], ids[1], ids[2]};
+        break;
+      }
+      case ScriptCommand::Kind::kSession:
+        break;  // handled above
+    }
+    for (int r = 0; r < cmd.repeat; ++r) {
+      const Result<uint64_t> ticket = service->Submit(session, request);
+      if (ticket.ok()) {
+        ++result.submitted;
+      } else if (ticket.status().code() == StatusCode::kOverloaded) {
+        ++result.rejected;
+      } else {
+        return ticket.status();
+      }
+    }
+  }
+
+  service->Start();
+  service->Drain();
+  result.completions = service->TakeCompletions();
+  return result;
+}
+
+}  // namespace swan::serve

@@ -1,0 +1,191 @@
+#ifndef SWANDB_SERVE_SERVICE_H_
+#define SWANDB_SERVE_SERVICE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/store.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/admission.h"
+#include "serve/request.h"
+#include "serve/result_cache.h"
+#include "serve/script.h"
+#include "serve/session.h"
+
+namespace swan::serve {
+
+struct ServiceOptions {
+  // Dispatch width: number of worker threads, and the server count of the
+  // modeled latency schedule.
+  int workers = 4;
+  // Dispatched-but-unfinished requests allowed at once; 0 means workers.
+  int max_in_flight = 0;
+  // Admission queue capacity (Status::Overloaded beyond it).
+  size_t max_queue = 256;
+  // Result-cache byte budget; 0 disables the cache.
+  size_t cache_bytes = 8u << 20;
+  // Modeled per-request handling cost (admission, cache lookup, response
+  // marshaling) charged to every completion — the whole service cost of a
+  // cache hit.
+  double request_overhead_seconds = 1e-4;
+  // Attach a core::ScopedProfile to every executed (non-cache-hit) query
+  // so each session's requests land on their own Chrome-trace track
+  // group (see SessionTracks).
+  bool trace = false;
+  // ExecContext width for sessions that do not ask for one explicitly.
+  int default_session_threads = 1;
+};
+
+// The concurrent query service: sessions submit requests, a bounded
+// fairness-aware admission queue hands them to real worker threads, and
+// a snapshot-keyed result cache short-circuits repeated queries.
+//
+// Determinism contract. Dispatch order is a pure function of the
+// submission order (the admission policy never looks at the clock or the
+// worker count), and execution is a *turnstile*: a dispatched ticket
+// runs only when every lower dispatch index has finished, so backend
+// state — delta-store merges, buffer-pool contents, snapshot versions,
+// cache population — evolves through one deterministic sequence at any
+// worker count. Submit everything, then Start(): the completion stream
+// (rows, cache hits, snapshot versions) is bit-identical at 1, 2, or 8
+// workers, which is the serving layer's equivalence gate. (Clients that
+// keep submitting after Start() still get correct, serialized execution;
+// only the replay guarantee needs the submit-then-start protocol.)
+// Genuine cross-thread concurrency — submission, dispatch, cache and
+// metrics bookkeeping — is real and TSan-checked; the *backends* are
+// serialized because their reads mutate state (merge-on-read, buffer
+// pool), exactly like the single-writer engines the paper measures.
+//
+// Latency is modeled, not wall-measured: each completion carries its
+// modeled service cost (critical-path CPU + simulated-disk virtual time
+// + fixed handling overhead) and ModelSchedule replays the completion
+// stream onto `workers` FCFS servers for throughput and p50/p95/p99.
+//
+// The service registers the result cache's audit walker with the store
+// (core::RdfStore::AddAuditHook), so store->Audit() also checks cache
+// accounting and snapshot coherence; the hook is removed on destruction.
+class QueryService {
+ public:
+  QueryService(core::RdfStore* store,
+               std::optional<core::QueryContext> bench_ctx,
+               ServiceOptions options = {});
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // Opens a session. threads == 0 uses options.default_session_threads.
+  // Fails with AlreadyExists on a duplicate label.
+  Result<Session*> OpenSession(const std::string& label, int priority = 0,
+                               int threads = 0);
+  Session* FindSession(const std::string& label);
+
+  // Queues a request; returns its ticket id, or Status::Overloaded when
+  // the admission queue is full (the backpressure signal — retry later).
+  Result<uint64_t> Submit(Session* session, Request request);
+
+  // Releases the workers. Idempotent; submissions may continue after.
+  void Start();
+
+  // Stops dispatching (in-flight requests finish) so a further batch can
+  // be submitted under the replay guarantee and released with Start().
+  // Call only while idle (after Drain); idempotent.
+  void Pause();
+
+  // Blocks until the queue is empty and nothing is in flight. Requires
+  // Start() to have been called.
+  void Drain();
+
+  // Stops and joins the workers (queued-but-undispatched requests are
+  // abandoned — call Drain() first for a clean shutdown). Idempotent;
+  // the destructor calls it.
+  void Stop();
+
+  // Completion records accumulated since the last call, sorted into
+  // dispatch order. Call between Drain()s to separate passes.
+  std::vector<Completion> TakeCompletions();
+
+  // Per-request traces (options.trace) grouped per session, offset so
+  // each session's requests line up end to end — feed directly to
+  // obs::ChromeTraceJsonMulti. Call only while idle (after Drain).
+  std::vector<obs::SessionTrack> SessionTracks() const;
+
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  ResultCache* cache() { return cache_.get(); }
+  core::RdfStore* store() { return store_; }
+  const ServiceOptions& options() const { return options_; }
+  const std::optional<core::QueryContext>& bench_context() const {
+    return bench_ctx_;
+  }
+
+ private:
+  struct TraceRecord {
+    std::string label;
+    std::shared_ptr<obs::TraceSession> session;
+    double offset_seconds = 0.0;
+  };
+
+  void WorkerLoop();
+  Completion Execute(Ticket ticket);
+  void RunQueryTicket(const Ticket& ticket, Completion* completion);
+
+  core::RdfStore* store_;
+  std::optional<core::QueryContext> bench_ctx_;
+  ServiceOptions options_;
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<ResultCache> cache_;
+  uint64_t audit_hook_token_ = 0;
+
+  // Scheduler state (mutex_): admission queue, sessions, completions.
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable drained_cv_;
+  SessionManager sessions_;
+  AdmissionController admission_;
+  bool started_ = false;
+  bool stopping_ = false;
+  uint64_t next_ticket_ = 1;
+  uint64_t dispatch_counter_ = 0;
+  int in_flight_ = 0;
+  std::vector<Completion> completions_;
+
+  // Turnstile (turn_mutex_): serializes execution in dispatch order; the
+  // holder of the current turn also owns backend access and the trace
+  // records.
+  mutable std::mutex turn_mutex_;
+  std::condition_variable turn_cv_;
+  uint64_t exec_turn_ = 0;
+  double trace_clock0_ = 0.0;
+  std::vector<TraceRecord> traces_;
+
+  std::vector<std::thread> workers_;
+};
+
+// Replays a parsed script: opens sessions (reusing ones whose label
+// already exists, so a second replay of the same script is the warm
+// pass), submits every request in file order, then Start() + Drain().
+// Overloaded submissions are counted, not fatal. Fails if a command
+// names an unknown session, or an insert/delete term is not in the
+// store's dictionary.
+struct ScriptRunResult {
+  std::vector<Completion> completions;  // dispatch order
+  uint64_t submitted = 0;
+  uint64_t rejected = 0;  // Status::Overloaded submissions
+};
+
+Result<ScriptRunResult> RunScript(QueryService* service,
+                                  const std::vector<ScriptCommand>& script);
+
+}  // namespace swan::serve
+
+#endif  // SWANDB_SERVE_SERVICE_H_

@@ -361,6 +361,47 @@ std::vector<core::BgpPattern> Bind(const ParsedQuery& parsed,
   return patterns;
 }
 
+std::string CanonicalQueryText(std::string_view query) {
+  std::string out;
+  out.reserve(query.size());
+  bool pending_space = false;
+  size_t i = 0;
+  const auto emit = [&](char c) {
+    if (pending_space && !out.empty()) out.push_back(' ');
+    pending_space = false;
+    out.push_back(c);
+  };
+  while (i < query.size()) {
+    const char c = query[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = true;
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < query.size() && query[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '"') {  // quoted literal: copy verbatim, honoring \-escapes
+      emit(c);
+      ++i;
+      while (i < query.size()) {
+        const char q = query[i++];
+        out.push_back(q);
+        if (q == '\\' && i < query.size()) {
+          out.push_back(query[i++]);
+        } else if (q == '"') {
+          break;
+        }
+      }
+      continue;
+    }
+    emit(c);
+    ++i;
+  }
+  return out;
+}
+
 Result<QueryOutput> Execute(const core::Backend& backend,
                             const rdf::Dataset& dataset,
                             std::string_view query) {

@@ -56,6 +56,14 @@ struct ParsedQuery {
 // Parses the query text. Errors carry 1-based line:column positions.
 Result<ParsedQuery> Parse(std::string_view query);
 
+// Canonical form of a query's text, used by the serving layer as the
+// lexical part of its result-cache key: '#' comments stripped, runs of
+// whitespace outside quoted literals collapsed to a single space, and
+// the ends trimmed. Two texts with the same canonical form tokenize
+// identically (so they parse to the same query); no semantic
+// normalization (variable renaming, pattern reordering) is attempted.
+std::string CanonicalQueryText(std::string_view query);
+
 // --- Execution ------------------------------------------------------------
 
 struct Row {

@@ -23,7 +23,10 @@
 #include "core/col_backends.h"
 #include "core/cstore_backend.h"
 #include "core/query.h"
+#include "core/store.h"
 #include "exec/thread_pool.h"
+#include "serve/request.h"
+#include "serve/service.h"
 #include "storage/buffer_pool.h"
 #include "storage/page.h"
 #include "storage/simulated_disk.h"
@@ -205,6 +208,129 @@ TEST(ConcurrencyStressTest, QueriesBitIdenticalAcrossThreadCounts) {
     }
   }
   exec::SetThreads(1);
+}
+
+// Serving-layer concurrency: real client threads submit through their own
+// sessions while the workers are already running (live dispatch, not the
+// submit-all-then-start replay protocol). Every completion's rows must
+// still match the serially precomputed answer for that query — the
+// turnstile serializes backend access, so concurrency in submission,
+// cache and metrics bookkeeping never changes results. TSan-clean.
+TEST(ConcurrencyStressTest, ConcurrentClientsThroughTheQueryService) {
+  bench_support::BartonConfig config;
+  config.target_triples = 8000;
+  const auto barton = bench_support::GenerateBarton(config);
+  const core::QueryContext ctx =
+      bench_support::MakeBartonContext(barton.dataset, 28);
+
+  struct Client {
+    const char* label;
+    core::QueryId bench;
+    const char* sparql;
+  };
+  const std::vector<Client> clients = {
+      {"c1", core::QueryId::kQ1,
+       "SELECT ?s WHERE { ?s <type> <Text> } LIMIT 50"},
+      {"c2", core::QueryId::kQ2,
+       "SELECT ?s ?o WHERE { ?s <origin> ?o } LIMIT 50"},
+      {"c3", core::QueryId::kQ5,
+       "SELECT ?s WHERE { ?s <language> <language/iso639-2b/fre> } "
+       "LIMIT 50"},
+      {"c4", core::QueryId::kQ6,
+       "SELECT ?s ?o WHERE { ?s <records> ?o . ?o <type> <Text> } "
+       "LIMIT 50"},
+  };
+
+  // Serial reference answers, one per (client, kind).
+  std::vector<serve::ResultPayload> bench_expected;
+  std::vector<serve::ResultPayload> sparql_expected;
+  {
+    auto store = core::RdfStore::Open(barton.dataset, core::StoreOptions{});
+    serve::ServiceOptions options;
+    options.workers = 1;
+    options.cache_bytes = 0;
+    serve::QueryService serial(store.get(), ctx, options);
+    serve::Session* session = serial.OpenSession("ref").value();
+    for (const Client& client : clients) {
+      serve::Request bench;
+      bench.kind = serve::Request::Kind::kBench;
+      bench.bench_id = client.bench;
+      ASSERT_TRUE(serial.Submit(session, bench).ok());
+      serve::Request sparql;
+      sparql.kind = serve::Request::Kind::kSparql;
+      sparql.text = client.sparql;
+      ASSERT_TRUE(serial.Submit(session, sparql).ok());
+    }
+    serial.Start();
+    serial.Drain();
+    const auto done = serial.TakeCompletions();
+    ASSERT_EQ(done.size(), clients.size() * 2);
+    for (size_t i = 0; i < clients.size(); ++i) {
+      ASSERT_TRUE(done[2 * i].status.ok());
+      ASSERT_TRUE(done[2 * i + 1].status.ok());
+      bench_expected.push_back(done[2 * i].result);
+      sparql_expected.push_back(done[2 * i + 1].result);
+    }
+    serial.Stop();
+  }
+
+  auto store = core::RdfStore::Open(barton.dataset, core::StoreOptions{});
+  serve::QueryService service(store.get(), ctx, {});
+  std::vector<serve::Session*> sessions;
+  for (const Client& client : clients) {
+    sessions.push_back(service.OpenSession(client.label).value());
+  }
+  service.Start();  // live dispatch: workers race the submitting clients
+
+  constexpr int kRequestsPerClient = 12;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < clients.size(); ++c) {
+    threads.emplace_back([&, c] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        serve::Request request;
+        if (i % 2 == 0) {
+          request.kind = serve::Request::Kind::kBench;
+          request.bench_id = clients[c].bench;
+        } else {
+          request.kind = serve::Request::Kind::kSparql;
+          request.text = clients[c].sparql;
+        }
+        for (;;) {  // Overloaded is transient backpressure: retry
+          const auto submitted = service.Submit(sessions[c], request);
+          if (submitted.ok()) break;
+          if (submitted.status().code() != StatusCode::kOverloaded) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  service.Drain();
+  const auto completions = service.TakeCompletions();
+  ASSERT_EQ(completions.size(), clients.size() * kRequestsPerClient);
+
+  for (const serve::Completion& completion : completions) {
+    ASSERT_TRUE(completion.status.ok()) << completion.status.ToString();
+    size_t c = clients.size();
+    for (size_t i = 0; i < clients.size(); ++i) {
+      if (completion.session_id == sessions[i]->id()) c = i;
+    }
+    ASSERT_LT(c, clients.size()) << completion.session_id;
+    const serve::ResultPayload& expected =
+        completion.kind == serve::Request::Kind::kBench ? bench_expected[c]
+                                                        : sparql_expected[c];
+    EXPECT_TRUE(completion.result == expected)
+        << clients[c].label << " rows diverged under live concurrency";
+  }
+
+  // Quiescent: cache accounting and store invariants must audit clean.
+  EXPECT_TRUE(store->Audit(AuditLevel::kQuick).ok());
+  service.Stop();
 }
 
 }  // namespace

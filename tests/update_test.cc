@@ -1,6 +1,10 @@
 // Insert support across all writable backends: visibility in queries and
 // pattern matches, duplicate rejection, schema growth in the vertical
 // scheme, and cross-backend equivalence after a mixed insert workload.
+// Also the store's write-path contract consumed by the serving layer:
+// the snapshot version bumps exactly once per successful write, column
+// deletes (delta cancellation / base tombstones) behave, and a cached
+// result is never served after a write touching its property.
 
 #include <gtest/gtest.h>
 
@@ -14,6 +18,9 @@
 #include "core/cstore_backend.h"
 #include "core/reference_backend.h"
 #include "core/row_backends.h"
+#include "core/store.h"
+#include "serve/request.h"
+#include "serve/service.h"
 
 namespace swan::core {
 namespace {
@@ -175,6 +182,140 @@ TEST_F(UpdateTest, AllBackendsAgreeAfterMixedInsertWorkload) {
     const auto report = backend->Audit(audit::AuditLevel::kFull);
     EXPECT_TRUE(report.ok()) << backend->name() << "\n" << report.ToString();
   }
+}
+
+TEST_F(UpdateTest, SnapshotVersionBumpsExactlyOncePerSuccessfulWrite) {
+  auto store = RdfStore::Open(barton_.dataset, StoreOptions{});
+  EXPECT_EQ(store->snapshot_version(), 1u);
+
+  const uint64_t s = barton_.dataset.dict().Intern("<version-subject>");
+  const uint64_t type = *barton_.dataset.dict().Find("<type>");
+  const uint64_t text = *barton_.dataset.dict().Find("<Text>");
+  ASSERT_TRUE(store->Insert({s, type, text}).ok());
+  EXPECT_EQ(store->snapshot_version(), 2u);
+
+  // Failed writes must not advance the version: a version bump without a
+  // state change would invalidate cached results for nothing, and a state
+  // change without a bump would serve stale ones.
+  EXPECT_EQ(store->Insert({s, type, text}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(store->snapshot_version(), 2u);
+
+  ASSERT_TRUE(store->Delete({s, type, text}).ok());
+  EXPECT_EQ(store->snapshot_version(), 3u);
+  EXPECT_EQ(store->Delete({s, type, text}).code(), StatusCode::kNotFound);
+  EXPECT_EQ(store->snapshot_version(), 3u);
+}
+
+TEST_F(UpdateTest, ColumnDeleteSemantics) {
+  const uint64_t s = barton_.dataset.dict().Intern("<delete-subject>");
+  const uint64_t type = *barton_.dataset.dict().Find("<type>");
+  const uint64_t text = *barton_.dataset.dict().Find("<Text>");
+  const auto ctx = bench_support::MakeBartonContext(barton_.dataset, 28);
+
+  std::vector<std::unique_ptr<Backend>> backends;
+  backends.push_back(std::make_unique<ColTripleBackend>(
+      barton_.dataset, rdf::TripleOrder::kPSO));
+  backends.push_back(std::make_unique<ColVerticalBackend>(barton_.dataset));
+  for (auto& backend : backends) {
+    // Deleting an unmerged insert cancels the delta entry directly.
+    ASSERT_TRUE(backend->Insert({s, type, text}).ok()) << backend->name();
+    ASSERT_TRUE(backend->Delete({s, type, text}).ok()) << backend->name();
+    rdf::TriplePattern fresh;
+    fresh.subject = s;
+    EXPECT_TRUE(backend->Match(fresh).empty()) << backend->name();
+    EXPECT_EQ(backend->Delete({s, type, text}).code(), StatusCode::kNotFound)
+        << backend->name();
+
+    // Deleting a base row tombstones it: invisible to queries, duplicate
+    // delete rejected, and a re-insert cancels the tombstone.
+    const rdf::Triple existing = barton_.dataset.triples().front();
+    rdf::TriplePattern bound;
+    bound.subject = existing.subject;
+    bound.property = existing.property;
+    bound.object = existing.object;
+    ASSERT_EQ(backend->Match(bound).size(), 1u) << backend->name();
+    ASSERT_TRUE(backend->Delete(existing).ok()) << backend->name();
+    EXPECT_TRUE(backend->Match(bound).empty()) << backend->name();
+    EXPECT_EQ(backend->Delete(existing).code(), StatusCode::kNotFound)
+        << backend->name();
+    ASSERT_TRUE(backend->Insert(existing).ok()) << backend->name();
+    EXPECT_EQ(backend->Match(bound).size(), 1u) << backend->name();
+
+    // The merge path (triggered by a benchmark run) drops tombstoned base
+    // rows physically; structures must still audit clean afterwards.
+    ASSERT_TRUE(backend->Delete(existing).ok()) << backend->name();
+    backend->Run(QueryId::kQ1, ctx);
+    EXPECT_TRUE(backend->Match(bound).empty()) << backend->name();
+    const auto report = backend->Audit(audit::AuditLevel::kFull);
+    EXPECT_TRUE(report.ok()) << backend->name() << "\n" << report.ToString();
+    ASSERT_TRUE(backend->Insert(existing).ok()) << backend->name();
+  }
+}
+
+// Regression for the serving layer's coherence contract: a result cached
+// by the query service must never be served after a delete (or insert)
+// touching its property — the write bumps the snapshot version, which
+// both misses the cache by key construction and eagerly invalidates.
+TEST_F(UpdateTest, CachedResultNeverServedAfterWriteTouchingItsProperty) {
+  const uint64_t origin = *barton_.dataset.dict().Find("<origin>");
+  rdf::Triple victim{0, 0, 0};
+  for (const rdf::Triple& t : barton_.dataset.triples()) {
+    if (t.property == origin) {
+      victim = t;
+      break;
+    }
+  }
+  ASSERT_NE(victim.property, 0u);
+
+  auto store = RdfStore::Open(barton_.dataset, StoreOptions{});
+  serve::QueryService service(store.get(), std::nullopt, {});
+  serve::Session* session = service.OpenSession("client").value();
+
+  serve::Request query;
+  query.kind = serve::Request::Kind::kSparql;
+  query.text = "SELECT ?s ?o WHERE { ?s <origin> ?o }";
+  ASSERT_TRUE(service.Submit(session, query).ok());
+  ASSERT_TRUE(service.Submit(session, query).ok());  // second → cache hit
+  service.Start();
+  service.Drain();
+  const auto before = service.TakeCompletions();
+  ASSERT_EQ(before.size(), 2u);
+  ASSERT_TRUE(before[0].status.ok()) << before[0].status.ToString();
+  EXPECT_FALSE(before[0].cache_hit);
+  EXPECT_TRUE(before[1].cache_hit);
+  const size_t rows_before = before[0].result.rows.size();
+  ASSERT_GT(rows_before, 0u);
+
+  serve::Request del;
+  del.kind = serve::Request::Kind::kDelete;
+  del.triple = victim;
+  ASSERT_TRUE(service.Submit(session, del).ok());
+  ASSERT_TRUE(service.Submit(session, query).ok());
+  service.Drain();
+  const auto after = service.TakeCompletions();
+  ASSERT_EQ(after.size(), 2u);
+  ASSERT_TRUE(after[0].status.ok()) << after[0].status.ToString();
+  const serve::Completion& requery = after[1];
+  ASSERT_TRUE(requery.status.ok());
+  // Not a cache hit, and the rows reflect the delete.
+  EXPECT_FALSE(requery.cache_hit);
+  EXPECT_EQ(requery.result.rows.size(), rows_before - 1);
+
+  // Same guarantee for an insert touching the property: re-inserting the
+  // victim invalidates again and the re-executed query sees it back.
+  serve::Request ins;
+  ins.kind = serve::Request::Kind::kInsert;
+  ins.triple = victim;
+  ASSERT_TRUE(service.Submit(session, ins).ok());
+  ASSERT_TRUE(service.Submit(session, query).ok());
+  service.Drain();
+  const auto restored = service.TakeCompletions();
+  ASSERT_EQ(restored.size(), 2u);
+  ASSERT_TRUE(restored[1].status.ok());
+  EXPECT_FALSE(restored[1].cache_hit);
+  EXPECT_EQ(restored[1].result.rows.size(), rows_before);
+  service.Stop();
 }
 
 }  // namespace

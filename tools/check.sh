@@ -6,9 +6,12 @@
 #   3. a TSan build running the concurrency-focused tests (thread pool,
 #      buffer-pool/column stress) — ASan and TSan cannot share a binary.
 #
-# The ASan stage ends with a trace smoke: one profiled shell query writes
+# The ASan stage ends with a trace smoke (one profiled shell query writes
 # a Chrome trace which tools/validate_trace.py checks for well-formed,
-# monotone span events.
+# monotone span events) and a serve smoke (a multi-session serve script
+# replayed through `swandb_shell --serve`, whose per-session Chrome trace
+# is validated the same way). The TSan stage runs the serve smoke too —
+# the serving layer is the code with real cross-thread interleavings.
 #
 # Usage: tools/check.sh [--tidy-only|--asan-only|--tsan-only]
 # Exits non-zero if any stage fails.
@@ -33,6 +36,19 @@ case "${1:-}" in
 esac
 
 failures=0
+
+# Small deterministic serve mix used by the ASan and TSan smoke legs.
+write_serve_smoke() {
+  cat > "$1" <<'EOF'
+session alice threads=2
+session bob
+bench alice q1
+bench alice repeat=2 q5
+query bob SELECT ?s WHERE { ?s <type> <Text> } LIMIT 5
+query bob repeat=2 SELECT ?s ?o WHERE { ?s <origin> ?o } LIMIT 5
+bench bob q2
+EOF
+}
 
 if [ "$run_tidy" -eq 1 ]; then
   if command -v clang-tidy >/dev/null 2>&1; then
@@ -81,6 +97,19 @@ if [ "$run_asan" -eq 1 ]; then
     echo "trace smoke: FAILURES"
     failures=$((failures + 1))
   fi
+
+  echo "== serve smoke (multi-session script + per-session trace) =="
+  SERVE_SCRIPT="$ASAN_BUILD/serve-smoke.serve"
+  SERVE_JSON="$ASAN_BUILD/serve-smoke.json"
+  write_serve_smoke "$SERVE_SCRIPT"
+  if "$ASAN_BUILD/tools/swandb_shell" --generate 20000 \
+       --serve "$SERVE_SCRIPT" --profile="$SERVE_JSON" >/dev/null &&
+     python3 "$REPO_ROOT/tools/validate_trace.py" "$SERVE_JSON"; then
+    echo "serve smoke: clean"
+  else
+    echo "serve smoke: FAILURES"
+    failures=$((failures + 1))
+  fi
 fi
 
 if [ "$run_tsan" -eq 1 ]; then
@@ -91,14 +120,25 @@ if [ "$run_tsan" -eq 1 ]; then
     -DSWAN_SANITIZE=thread \
     -DSWAN_WERROR=ON >/dev/null || exit 1
   cmake --build "$TSAN_BUILD" -j "$JOBS" \
-    --target thread_pool_test concurrency_stress_test || exit 1
+    --target thread_pool_test concurrency_stress_test serve_test \
+             swandb_shell || exit 1
   if ! (cd "$TSAN_BUILD" &&
         ctest --output-on-failure -j "$JOBS" \
-          -R 'ThreadPool|ConcurrencyStress'); then
+          -R 'ThreadPool|ConcurrencyStress|Serve|ResultCache|Admission|Script'); then
     echo "tsan ctest: FAILURES"
     failures=$((failures + 1))
   else
     echo "tsan ctest: clean"
+  fi
+
+  echo "== TSan serve smoke =="
+  write_serve_smoke "$TSAN_BUILD/serve-smoke.serve"
+  if "$TSAN_BUILD/tools/swandb_shell" --generate 20000 \
+       --serve "$TSAN_BUILD/serve-smoke.serve" >/dev/null; then
+    echo "tsan serve smoke: clean"
+  else
+    echo "tsan serve smoke: FAILURES"
+    failures=$((failures + 1))
   fi
 fi
 

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # CI matrix driver, runnable locally or from .github/workflows/ci.yml:
-#   release  - plain Release build, -Werror, full ctest
+#   release  - plain Release build, -Werror, full ctest, trace + serve
+#              smokes, and every examples/ binary built and run
 #   sanitize - ASan+UBSan RelWithDebInfo build, full ctest
-#   tsan     - ThreadSanitizer build, concurrency-focused tests
+#   tsan     - ThreadSanitizer build, concurrency-focused tests + the
+#              serve smoke (real client threads through the service)
 #   tidy     - clang-tidy over src/ (skips with a notice if not installed)
 #
 # Usage: tools/ci.sh [release|sanitize|tsan|tidy|all]   (default: all)
@@ -12,6 +14,18 @@ cd "$(dirname "$0")/.."
 REPO_ROOT="$PWD"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 mode="${1:-all}"
+
+write_serve_smoke() {
+  cat > "$1" <<'EOF'
+session alice threads=2
+session bob
+bench alice q1
+bench alice repeat=2 q5
+query bob SELECT ?s WHERE { ?s <type> <Text> } LIMIT 5
+query bob repeat=2 SELECT ?s ?o WHERE { ?s <origin> ?o } LIMIT 5
+bench bob q2
+EOF
+}
 
 build_and_test() {
   local dir="$1"; shift
@@ -35,6 +49,23 @@ case "$mode" in
         --query 'SELECT ?s WHERE { ?s <type> <Text> } LIMIT 5' >/dev/null &&
       python3 "$REPO_ROOT/tools/validate_trace.py" \
         "$RELEASE_DIR/trace-smoke.json"; } || status=1
+    # Serve smoke: a multi-session script through the concurrent query
+    # service; the per-session Chrome trace must validate.
+    echo "=== release: serve smoke ==="
+    write_serve_smoke "$RELEASE_DIR/serve-smoke.serve"
+    { "$RELEASE_DIR/tools/swandb_shell" --generate 20000 \
+        --serve "$RELEASE_DIR/serve-smoke.serve" \
+        --profile="$RELEASE_DIR/serve-smoke.json" >/dev/null &&
+      python3 "$REPO_ROOT/tools/validate_trace.py" \
+        "$RELEASE_DIR/serve-smoke.json"; } || status=1
+    # Every example must keep building and running (they double as living
+    # API documentation).
+    echo "=== release: examples ==="
+    for example in quickstart barton_analytics schema_advisor \
+                   ntriples_roundtrip sparql_demo; do
+      echo "--- examples/$example ---"
+      "$RELEASE_DIR/examples/$example" >/dev/null || status=1
+    done
     [ "$mode" = "release" ] && exit "$status"
     ;;&
   sanitize|all)
@@ -58,11 +89,14 @@ case "$mode" in
         -DSWAN_SANITIZE=thread &&
       cmake --build "$TSAN_DIR" -j "$JOBS" \
         --target thread_pool_test concurrency_stress_test bgp_parallel_test \
-                 parallel_speedup &&
+                 serve_test parallel_speedup swandb_shell &&
       (cd "$TSAN_DIR" && ctest --output-on-failure -j "$JOBS" \
-        -R 'ThreadPool|ConcurrencyStress|BgpParallel') &&
+        -R 'ThreadPool|ConcurrencyStress|BgpParallel|Serve|ResultCache|Admission|Script') &&
       SWAN_TRIPLES=60000 SWAN_REPS=1 \
-        "$TSAN_DIR/bench/parallel_speedup" --threads=4; } || status=1
+        "$TSAN_DIR/bench/parallel_speedup" --threads=4 &&
+      write_serve_smoke "$TSAN_DIR/serve-smoke.serve" &&
+      "$TSAN_DIR/tools/swandb_shell" --generate 20000 \
+        --serve "$TSAN_DIR/serve-smoke.serve" >/dev/null; } || status=1
     [ "$mode" = "tsan" ] && exit "$status"
     ;;&
   tidy|all)

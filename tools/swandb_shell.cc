@@ -2,15 +2,24 @@
 //
 //   swandb_shell [--scheme triple|vertical|ptable] [--engine row|column]
 //                [--clustering spo|pso] [--generate N | --load FILE.nt]
-//                [--query 'SPARQL...' | --file QUERIES.rq] [--explain]
-//                [--profile[=FILE]] [--audit]
+//                [--query 'SPARQL...' | --file QUERIES.rq | --serve SCRIPT]
+//                [--explain] [--profile[=FILE]] [--audit]
 //
-// With no --query/--file, reads SPARQL queries from stdin, separated by
-// lines containing only ';'. Each result is printed with row count and
-// timing (real = CPU + simulated I/O). Typing `audit` (followed by ';')
-// instead of a query runs the deep invariant audit over the open store.
-// --audit runs the audit immediately after load and exits (non-zero if
-// any invariant is violated).
+// With no --query/--file/--serve, reads SPARQL queries from stdin,
+// separated by lines containing only ';'. Each result is printed with row
+// count and timing (real = CPU + simulated I/O). Typing `audit` (followed
+// by ';') instead of a query runs the deep invariant audit over the open
+// store. --audit runs the audit immediately after load and exits
+// (non-zero if any invariant is violated).
+//
+// --serve SCRIPT replays a multi-session serve script (see
+// serve/script.h: `session NAME [priority=N] [threads=N]`, `query NAME
+// SPARQL...`, `bench NAME qK`, `insert|delete NAME s p o`) through the
+// concurrent query service and prints each completion plus the modeled
+// throughput/latency table and the result-cache counters. With
+// --profile=FILE each session's requests are traced onto a separate
+// Chrome-trace process track in FILE. Interactively, `serve SCRIPT`
+// (followed by ';') does the same.
 //
 // --profile attaches a trace session to every query and prints the text
 // profile (EXPLAIN ANALYZE: span tree with virtual times, rows, bytes,
@@ -39,6 +48,8 @@
 #include "exec/exec_context.h"
 #include "obs/export.h"
 #include "rdf/ntriples.h"
+#include "serve/script.h"
+#include "serve/service.h"
 #include "sparql/sparql.h"
 
 namespace {
@@ -55,6 +66,7 @@ struct ShellOptions {
   std::string load_path;
   std::string query;
   std::string query_file;
+  std::string serve_script;
 };
 
 void PrintUsage() {
@@ -63,7 +75,8 @@ void PrintUsage() {
       "usage: swandb_shell [--scheme triple|vertical|ptable]\n"
       "                    [--engine row|column] [--clustering spo|pso]\n"
       "                    [--generate N | --load FILE.nt]\n"
-      "                    [--query 'SPARQL' | --file QUERIES.rq]\n"
+      "                    [--query 'SPARQL' | --file QUERIES.rq |\n"
+      "                     --serve SCRIPT]\n"
       "                    [--profile[=FILE]] [--audit]\n");
 }
 
@@ -88,6 +101,8 @@ bool ParseArgs(int argc, char** argv, ShellOptions* options) {
       options->query = value;
     } else if (arg == "--file" && (value = next())) {
       options->query_file = value;
+    } else if (arg == "--serve" && (value = next())) {
+      options->serve_script = value;
     } else if (arg == "--explain") {
       options->explain = true;
     } else if (arg == "--profile") {
@@ -146,11 +161,100 @@ std::string Trimmed(const std::string& text) {
   return text.substr(begin, end - begin + 1);
 }
 
-int RunQuery(const swan::core::RdfStore& store,
+// Replays a serve script through the concurrent query service: prints
+// every completion, the modeled throughput/latency summary, and the
+// result-cache counters. With --profile=FILE the per-session Chrome
+// trace (one process track per session) is written to FILE.
+int RunServe(swan::core::RdfStore* store, const swan::rdf::Dataset& dataset,
+             const std::string& path, const ShellOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  auto script = swan::serve::ParseScript(in);
+  if (!script.ok()) {
+    std::fprintf(stderr, "serve script error: %s\n",
+                 script.status().ToString().c_str());
+    return 1;
+  }
+  // Benchmark queries (`bench NAME qK`) need the Barton vocabulary; plain
+  // SPARQL and updates work against any dataset.
+  std::optional<swan::core::QueryContext> bench_ctx;
+  if (swan::core::Vocabulary::Resolve(dataset).ok()) {
+    bench_ctx = swan::bench_support::MakeBartonContext(dataset, 28);
+  }
+  swan::serve::ServiceOptions service_options;
+  service_options.trace = options.profile;
+  swan::serve::QueryService service(store, bench_ctx, service_options);
+  auto run = swan::serve::RunScript(&service, script.value());
+  if (!run.ok()) {
+    std::fprintf(stderr, "serve script failed: %s\n",
+                 run.status().ToString().c_str());
+    return 1;
+  }
+  int status = 0;
+  for (const auto& c : run.value().completions) {
+    if (c.status.ok()) {
+      std::printf("  #%-3llu %-7s %-10s %llu rows%s, %.4fs modeled\n",
+                  static_cast<unsigned long long>(c.ticket),
+                  swan::serve::ToString(c.kind), c.session_id.c_str(),
+                  static_cast<unsigned long long>(c.result.rows.size()),
+                  c.cache_hit ? " (cache hit)" : "", c.service_seconds);
+    } else {
+      status = 1;
+      std::printf("  #%-3llu %-7s %-10s error: %s\n",
+                  static_cast<unsigned long long>(c.ticket),
+                  swan::serve::ToString(c.kind), c.session_id.c_str(),
+                  c.status.ToString().c_str());
+    }
+  }
+  const auto stats = swan::serve::ModelSchedule(
+      run.value().completions, service.options().workers);
+  std::printf(
+      "-- %llu completions (%llu rejected), %llu cache hits; modeled "
+      "%.1f req/s,\n   p50 %.3f ms, p95 %.3f ms, p99 %.3f ms on %d "
+      "servers\n",
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(run.value().rejected),
+      static_cast<unsigned long long>(stats.cache_hits),
+      stats.throughput_per_second, stats.p50_seconds * 1e3,
+      stats.p95_seconds * 1e3, stats.p99_seconds * 1e3,
+      service.options().workers);
+  const auto snap = service.metrics().Snap();
+  auto counter = [&](const char* name) -> unsigned long long {
+    const auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0 : it->second;
+  };
+  std::printf("   cache: %llu hits, %llu misses, %llu evictions, %llu "
+              "invalidations\n\n",
+              counter("serve.cache.hits"), counter("serve.cache.misses"),
+              counter("serve.cache.evictions"),
+              counter("serve.cache.invalidations"));
+  if (options.profile && !options.profile_path.empty()) {
+    std::ofstream out(options.profile_path,
+                      std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", options.profile_path.c_str());
+      return 1;
+    }
+    out << swan::obs::ChromeTraceJsonMulti(service.SessionTracks());
+    std::fprintf(stderr, "wrote multi-session Chrome trace to %s\n",
+                 options.profile_path.c_str());
+  }
+  service.Stop();
+  return status;
+}
+
+int RunQuery(swan::core::RdfStore& store,
              const swan::rdf::Dataset& dataset, const std::string& query,
              const ShellOptions& options) {
   const std::string trimmed = Trimmed(query);
   if (trimmed == "audit") return RunAudit(store);
+  if (trimmed.rfind("serve ", 0) == 0) {
+    return RunServe(&store, dataset,
+                    Trimmed(trimmed.substr(std::strlen("serve "))), options);
+  }
   bool profile = options.profile;
   std::string text = query;
   if (trimmed.rfind("profile ", 0) == 0) {
@@ -277,6 +381,10 @@ int main(int argc, char** argv) {
 
   if (options.audit) {
     return RunAudit(*store);
+  }
+
+  if (!options.serve_script.empty()) {
+    return RunServe(store.get(), *dataset, options.serve_script, options);
   }
 
   // Queries.

@@ -48,13 +48,15 @@ def main():
                 fail("span event missing %r: %r" % (key, event))
         if event["dur"] < 0:
             fail("negative duration: %r" % event)
-        tid = event["tid"]
-        if tid in last_ts and event["ts"] < last_ts[tid]:
+        # Multi-session traces reuse tids across pids (one Chrome process
+        # per session), so a track is identified by the (pid, tid) pair.
+        track = (event.get("pid", 0), event["tid"])
+        if track in last_ts and event["ts"] < last_ts[track]:
             fail(
-                "timestamps go backwards on tid %s: %s after %s"
-                % (tid, event["ts"], last_ts[tid])
+                "timestamps go backwards on pid %s tid %s: %s after %s"
+                % (track[0], track[1], event["ts"], last_ts[track])
             )
-        last_ts[tid] = event["ts"]
+        last_ts[track] = event["ts"]
 
     print(
         "validate_trace: OK (%d span events on %d tracks)"
