@@ -1,6 +1,7 @@
 #include "colstore/column.h"
 
 #include "common/macros.h"
+#include "common/mutex.h"
 
 namespace swan::colstore {
 
@@ -25,7 +26,7 @@ void Column::Build(std::span<const uint64_t> values) {
 const std::vector<uint64_t>& Column::Get() const {
   SWAN_CHECK_MSG(built_, "Column::Get before Build");
   if (!loaded_.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> lock(load_mutex_);
+    MutexLock lock(&load_mutex_);
     if (!loaded_.load(std::memory_order_relaxed)) {
       if (codec_ == ColumnCodec::kRaw) {
         storage::ReadU64File(pool_, file_, size_, &cache_);
@@ -41,6 +42,7 @@ const std::vector<uint64_t>& Column::Get() const {
 }
 
 void Column::DropCache() const {
+  MutexLock lock(&load_mutex_);
   cache_.clear();
   cache_.shrink_to_fit();
   loaded_.store(false, std::memory_order_release);
@@ -76,6 +78,10 @@ void Column::AuditInto(audit::AuditLevel level,
     // An unbuilt column has no on-disk image; nothing to verify.
     return;
   }
+  // Audits run at quiescent points, but take the load mutex anyway: the
+  // kFull disk sweep below re-reads pages (pool < load in the rank
+  // table), and holding it makes the cache_ comparisons rank-clean.
+  MutexLock lock(&load_mutex_);
   if (loaded_ && cache_.size() != size_) {
     report->Add(audit::FindingClass::kColumn, label,
                 "cached image has " + std::to_string(cache_.size()) +

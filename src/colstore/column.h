@@ -3,13 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "audit/audit.h"
+#include "common/mutex.h"
 #include "colstore/compression.h"
 #include "storage/buffer_pool.h"
 #include "storage/paged_file.h"
@@ -54,12 +54,14 @@ class Column {
 
   // Materialized view of the column; loads from disk if not cached.
   // Thread-safe: concurrent first accesses serialize on a load mutex so
-  // the column is streamed from disk exactly once.
-  const std::vector<uint64_t>& Get() const;
+  // the column is streamed from disk exactly once. Excluded from static
+  // analysis: the double-checked fast path returns cache_ without the
+  // lock, published safely by the loaded_ acquire/release pair.
+  const std::vector<uint64_t>& Get() const SWAN_NO_THREAD_SAFETY_ANALYSIS;
 
   // Drops the in-memory image (cold-run protocol). Not safe against
   // concurrent Get() — the harness only drops caches between runs.
-  void DropCache() const;
+  void DropCache() const SWAN_EXCLUDES(load_mutex_);
 
   bool loaded() const { return loaded_.load(std::memory_order_acquire); }
   uint64_t size() const { return size_; }
@@ -75,7 +77,7 @@ class Column {
   // sortedness and id-range constraints of `options`, plus agreement
   // between the in-memory cache (if loaded) and the on-disk image.
   void AuditInto(audit::AuditLevel level, const ColumnAuditOptions& options,
-                 audit::AuditReport* report) const;
+                 audit::AuditReport* report) const SWAN_EXCLUDES(load_mutex_);
 
   // AuditInto with default options (structural checks only).
   void AuditInto(audit::AuditLevel level, audit::AuditReport* report) const {
@@ -103,9 +105,10 @@ class Column {
   // Cache state is logically not part of the column's value. loaded_ is
   // the double-checked-locking publication flag for cache_: set with
   // release order after the load completes under load_mutex_, read with
-  // acquire order on the fast path.
-  mutable std::mutex load_mutex_;
-  mutable std::vector<uint64_t> cache_;
+  // acquire order on the fast path. load_mutex_ outranks the buffer pool
+  // and disk because the load streams pages while holding it.
+  mutable Mutex load_mutex_{LockRank::kColumnLoad, "colstore.column-load"};
+  mutable std::vector<uint64_t> cache_ SWAN_GUARDED_BY(load_mutex_);
   mutable std::atomic<bool> loaded_{false};
 };
 

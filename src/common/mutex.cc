@@ -1,0 +1,105 @@
+#include "common/mutex.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace swan {
+
+#ifdef SWAN_LOCK_RANK_CHECKS
+
+namespace {
+
+// The calling thread's currently-held swan::Mutexes, in acquisition
+// order. Ranks along the stack are strictly decreasing — that is the
+// whole invariant, checked on every push.
+thread_local std::vector<const Mutex*> t_held_locks;
+
+[[noreturn]] void RankAbort(const Mutex* acquiring, const Mutex* held) {
+  if (acquiring == held) {
+    std::fprintf(stderr,
+                 "lock-rank violation: recursive acquisition of mutex '%s' "
+                 "(rank %d)\n",
+                 acquiring->name(), static_cast<int>(acquiring->rank()));
+  } else {
+    std::fprintf(stderr,
+                 "lock-rank violation: acquiring mutex '%s' (rank %d) while "
+                 "holding '%s' (rank %d); locks must be taken in strictly "
+                 "decreasing rank order (see LockRank in common/mutex.h)\n",
+                 acquiring->name(), static_cast<int>(acquiring->rank()),
+                 held->name(), static_cast<int>(held->rank()));
+  }
+  std::abort();
+}
+
+void CheckAcquire(const Mutex* mu) {
+  for (const Mutex* held : t_held_locks) {
+    if (held == mu || static_cast<int>(held->rank()) <=
+                          static_cast<int>(mu->rank())) {
+      RankAbort(mu, held);
+    }
+  }
+}
+
+void PopHeld(const Mutex* mu) {
+  // Unlock order may differ from reverse-acquisition order (MutexLock
+  // supports early Unlock), so erase by search from the top.
+  for (auto it = t_held_locks.rbegin(); it != t_held_locks.rend(); ++it) {
+    if (*it == mu) {
+      t_held_locks.erase(std::next(it).base());
+      return;
+    }
+  }
+  std::fprintf(stderr,
+               "lock-rank violation: unlocking mutex '%s' that this thread "
+               "does not hold\n",
+               mu->name());
+  std::abort();
+}
+
+}  // namespace
+
+void Mutex::Lock() {
+  CheckAcquire(this);
+  mu_.lock();
+  t_held_locks.push_back(this);
+}
+
+void Mutex::Unlock() {
+  PopHeld(this);
+  mu_.unlock();
+}
+
+bool LockRankChecksEnabled() { return true; }
+
+int HeldLockCountForTesting() {
+  return static_cast<int>(t_held_locks.size());
+}
+
+#else  // !SWAN_LOCK_RANK_CHECKS
+
+void Mutex::Lock() { mu_.lock(); }
+
+void Mutex::Unlock() { mu_.unlock(); }
+
+bool LockRankChecksEnabled() { return false; }
+
+int HeldLockCountForTesting() { return 0; }
+
+#endif  // SWAN_LOCK_RANK_CHECKS
+
+void CondVar::Wait(MutexLock& lock) {
+  SWAN_CHECK_MSG(lock.held(), "CondVar::Wait on an unlocked MutexLock");
+  // Adopt the already-locked native mutex for the wait, then release the
+  // unique_lock's ownership claim so the MutexLock (and the rank
+  // checker's held stack, which keeps the mutex listed across the wait)
+  // stays the single owner.
+  std::unique_lock<std::mutex> native(lock.mutex()->mu_, std::adopt_lock);
+  cv_.wait(native);
+  native.release();
+}
+
+}  // namespace swan

@@ -4,14 +4,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 
 namespace swan::exec {
 
@@ -36,11 +35,11 @@ double ThreadCpuSeconds() {
 
 // Lane CPU ledger. Lanes only accumulate; readers snapshot before/after a
 // measured region and diff.
-std::mutex g_lane_mutex;
-std::vector<double> g_lane_cpu;  // NOLINT(runtime/global)
+Mutex g_lane_mutex(LockRank::kExecLane, "exec.lane-cpu");
+std::vector<double> g_lane_cpu SWAN_GUARDED_BY(g_lane_mutex);  // NOLINT(runtime/global)
 
 void AddLaneCpu(int lane, double seconds) {
-  std::lock_guard<std::mutex> lock(g_lane_mutex);
+  MutexLock lock(&g_lane_mutex);
   if (g_lane_cpu.size() <= static_cast<size_t>(lane)) {
     g_lane_cpu.resize(static_cast<size_t>(lane) + 1, 0.0);
   }
@@ -60,10 +59,10 @@ struct Batch {
   std::atomic<uint64_t> next{0};
   std::atomic<bool> failed{false};
 
-  std::mutex mutex;
-  std::condition_variable done_cv;
-  uint64_t done = 0;  // guarded by mutex
-  std::exception_ptr exception;  // guarded by mutex
+  Mutex mutex{LockRank::kExecBatch, "exec.batch"};
+  CondVar done_cv;
+  uint64_t done SWAN_GUARDED_BY(mutex) = 0;
+  std::exception_ptr exception SWAN_GUARDED_BY(mutex);
 
   void RunChunks() {
     for (;;) {
@@ -80,15 +79,15 @@ struct Batch {
         try {
           (*body)(begin, end, c);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(mutex);
+          MutexLock lock(&mutex);
           if (exception == nullptr) exception = std::current_exception();
           failed.store(true, std::memory_order_release);
         }
         AddLaneCpu(ctx.lane, ThreadCpuSeconds() - cpu_before);
         g_current_task = prev;
       }
-      std::lock_guard<std::mutex> lock(mutex);
-      if (++done == chunks) done_cv.notify_all();
+      MutexLock lock(&mutex);
+      if (++done == chunks) done_cv.NotifyAll();
     }
   }
 };
@@ -109,10 +108,10 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(wake_mutex_);
+      MutexLock lock(&wake_mutex_);
       stop_ = true;
     }
-    wake_cv_.notify_all();
+    wake_cv_.NotifyAll();
     for (auto& t : threads_) t.join();
   }
 
@@ -122,17 +121,17 @@ class ThreadPool {
     const size_t target = submit_cursor_.fetch_add(1, std::memory_order_relaxed) %
                           queues_.size();
     {
-      std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+      MutexLock lock(&queues_[target]->mutex);
       queues_[target]->tasks.push_back(std::move(task));
     }
     pending_.fetch_add(1, std::memory_order_release);
-    wake_cv_.notify_all();
+    wake_cv_.NotifyAll();
   }
 
  private:
   struct WorkerQueue {
-    std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
+    Mutex mutex{LockRank::kExecQueue, "exec.worker-queue"};
+    std::deque<std::function<void()>> tasks SWAN_GUARDED_BY(mutex);
   };
 
   bool TryRunOne(size_t self) {
@@ -142,7 +141,7 @@ class ThreadPool {
     for (size_t k = 0; k < queues_.size(); ++k) {
       const size_t idx = (self + k) % queues_.size();
       WorkerQueue& q = *queues_[idx];
-      std::lock_guard<std::mutex> lock(q.mutex);
+      MutexLock lock(&q.mutex);
       if (q.tasks.empty()) continue;
       if (k == 0) {
         task = std::move(q.tasks.front());
@@ -163,12 +162,10 @@ class ThreadPool {
     const size_t idx = static_cast<size_t>(self);
     for (;;) {
       if (TryRunOne(idx)) continue;
-      std::unique_lock<std::mutex> lock(wake_mutex_);
-      if (stop_) break;
-      if (pending_.load(std::memory_order_acquire) > 0) continue;
-      wake_cv_.wait(lock, [this] {
-        return stop_ || pending_.load(std::memory_order_acquire) > 0;
-      });
+      MutexLock lock(&wake_mutex_);
+      while (!stop_ && pending_.load(std::memory_order_acquire) == 0) {
+        wake_cv_.Wait(lock);
+      }
       if (stop_) break;
     }
     // Drain anything still queued so no submitted task is dropped.
@@ -178,19 +175,19 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> threads_;
-  std::mutex wake_mutex_;
-  std::condition_variable wake_cv_;
+  Mutex wake_mutex_{LockRank::kExecWake, "exec.pool-wake"};
+  CondVar wake_cv_;
   std::atomic<size_t> submit_cursor_{0};
   std::atomic<int> pending_{0};
-  bool stop_ = false;  // guarded by wake_mutex_
+  bool stop_ SWAN_GUARDED_BY(wake_mutex_) = false;
 };
 
-std::mutex g_pool_mutex;
-std::unique_ptr<ThreadPool> g_pool;  // NOLINT(runtime/global)
+Mutex g_pool_mutex(LockRank::kExecPoolRegistry, "exec.pool-registry");
+std::unique_ptr<ThreadPool> g_pool SWAN_GUARDED_BY(g_pool_mutex);  // NOLINT(runtime/global)
 std::atomic<int> g_threads{1};
 
 ThreadPool* GlobalPool() {
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  MutexLock lock(&g_pool_mutex);
   return g_pool.get();
 }
 
@@ -206,7 +203,7 @@ void SetThreads(int n) {
   if (n < 1) n = 1;
   SWAN_CHECK_MSG(g_current_task == nullptr,
                  "SetThreads inside a ParallelFor chunk");
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  MutexLock lock(&g_pool_mutex);
   if (n == g_threads.load(std::memory_order_relaxed)) return;
   g_pool.reset();  // joins the old workers
   if (n > 1) g_pool = std::make_unique<ThreadPool>(n - 1);
@@ -261,8 +258,8 @@ void ParallelForWidth(uint64_t n, uint64_t grain, int width,
   }
   batch->RunChunks();  // the caller is executor number `threads`
 
-  std::unique_lock<std::mutex> lock(batch->mutex);
-  batch->done_cv.wait(lock, [&] { return batch->done == batch->chunks; });
+  MutexLock lock(&batch->mutex);
+  while (batch->done != batch->chunks) batch->done_cv.Wait(lock);
   if (batch->exception != nullptr) std::rethrow_exception(batch->exception);
 }
 
@@ -279,7 +276,7 @@ uint64_t ShardsForWidth(uint64_t n, uint64_t min_items_per_shard, int width) {
 }
 
 std::vector<double> LaneCpuSnapshot() {
-  std::lock_guard<std::mutex> lock(g_lane_mutex);
+  MutexLock lock(&g_lane_mutex);
   return g_lane_cpu;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 
 namespace swan::obs {
 
@@ -37,7 +38,7 @@ Histogram::Snapshot Histogram::Snap() const {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
@@ -45,7 +46,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<uint64_t> upper_bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto& slot = histograms_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Histogram>(std::move(upper_bounds));
@@ -54,7 +55,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   Snapshot s;
   for (const auto& [name, counter] : counters_) {
     s.counters.emplace(name, counter->value());

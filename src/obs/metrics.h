@@ -5,9 +5,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace swan::obs {
 
@@ -63,23 +64,29 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter* GetCounter(const std::string& name);
+  Counter* GetCounter(const std::string& name) SWAN_EXCLUDES(mutex_);
 
   // Creates the histogram with `upper_bounds` on first use; later calls
   // with the same name ignore the bounds argument.
   Histogram* GetHistogram(const std::string& name,
-                          std::vector<uint64_t> upper_bounds);
+                          std::vector<uint64_t> upper_bounds)
+      SWAN_EXCLUDES(mutex_);
 
   struct Snapshot {
     std::map<std::string, uint64_t> counters;
     std::map<std::string, Histogram::Snapshot> histograms;
   };
-  Snapshot Snap() const;
+  Snapshot Snap() const SWAN_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Leaf of the lock-rank hierarchy: registries are looked up under every
+  // other subsystem's locks (serve scheduler, turnstile) and acquire
+  // nothing themselves.
+  mutable Mutex mutex_{LockRank::kMetrics, "obs.metrics"};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      SWAN_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      SWAN_GUARDED_BY(mutex_);
 };
 
 }  // namespace swan::obs

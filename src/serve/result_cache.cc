@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 
 namespace swan::serve {
 
@@ -21,7 +22,7 @@ std::string ResultCache::KeyOf(const std::string& text, uint64_t version) {
 
 std::optional<ResultPayload> ResultCache::Get(const std::string& text,
                                               uint64_t version) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const auto it = index_.find(KeyOf(text, version));
   if (it == index_.end()) {
     misses_->Add(1);
@@ -36,7 +37,7 @@ void ResultCache::Put(const std::string& text, uint64_t version,
                       const ResultPayload& payload) {
   std::string key = KeyOf(text, version);
   const uint64_t entry_bytes = key.size() + payload.ApproxBytes();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (entry_bytes > options_.max_bytes) return;  // would evict everything
   const auto it = index_.find(key);
   if (it != index_.end()) {
@@ -65,7 +66,7 @@ void ResultCache::EvictToBudgetLocked() {
 }
 
 void ResultCache::InvalidateOlderThan(uint64_t version) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->version < version) {
       bytes_ -= it->bytes;
@@ -79,12 +80,12 @@ void ResultCache::InvalidateOlderThan(uint64_t version) {
 }
 
 size_t ResultCache::entries() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return lru_.size();
 }
 
 uint64_t ResultCache::bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return bytes_;
 }
 
@@ -92,7 +93,7 @@ void ResultCache::AuditInto(audit::AuditLevel level,
                             audit::AuditReport* report,
                             uint64_t current_version) const {
   (void)level;  // all cache invariants are metadata-level (kQuick)
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const std::string object = "result-cache";
   if (index_.size() != lru_.size()) {
     report->Add(audit::FindingClass::kCache, object,

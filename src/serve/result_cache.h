@@ -4,12 +4,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
 #include "audit/audit.h"
+#include "common/mutex.h"
 #include "obs/metrics.h"
 #include "serve/request.h"
 
@@ -43,26 +43,27 @@ class ResultCache {
 
   // Returns the payload cached for (text, version), refreshing its LRU
   // position; nullopt on miss.
-  std::optional<ResultPayload> Get(const std::string& text, uint64_t version);
+  std::optional<ResultPayload> Get(const std::string& text, uint64_t version)
+      SWAN_EXCLUDES(mutex_);
 
   // Caches the payload under (text, version), evicting from the LRU tail
   // until the byte budget holds. Re-putting an existing key refreshes it.
   void Put(const std::string& text, uint64_t version,
-           const ResultPayload& payload);
+           const ResultPayload& payload) SWAN_EXCLUDES(mutex_);
 
   // Drops every entry computed before `version` — the write-path
   // coherence hook (counted under serve.cache.invalidations).
-  void InvalidateOlderThan(uint64_t version);
+  void InvalidateOlderThan(uint64_t version) SWAN_EXCLUDES(mutex_);
 
-  size_t entries() const;
-  uint64_t bytes() const;
+  size_t entries() const SWAN_EXCLUDES(mutex_);
+  uint64_t bytes() const SWAN_EXCLUDES(mutex_);
 
   // Audit walker (surfaced through core::RdfStore::Audit via the audit
   // hook the service registers): the byte accounting must re-add up from
   // the entries, the LRU list and the index must agree, the budget must
   // hold, and no entry may be older than `current_version`.
   void AuditInto(audit::AuditLevel level, audit::AuditReport* report,
-                 uint64_t current_version) const;
+                 uint64_t current_version) const SWAN_EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -74,7 +75,7 @@ class ResultCache {
 
   static std::string KeyOf(const std::string& text, uint64_t version);
 
-  void EvictToBudgetLocked();
+  void EvictToBudgetLocked() SWAN_REQUIRES(mutex_);
 
   CacheOptions options_;
   obs::Counter* hits_;
@@ -82,10 +83,12 @@ class ResultCache {
   obs::Counter* evictions_;
   obs::Counter* invalidations_;
 
-  mutable std::mutex mutex_;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  uint64_t bytes_ = 0;
+  mutable Mutex mutex_{LockRank::kServeCache, "serve.result-cache"};
+  // front = most recently used
+  std::list<Entry> lru_ SWAN_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      SWAN_GUARDED_BY(mutex_);
+  uint64_t bytes_ SWAN_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace swan::serve

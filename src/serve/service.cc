@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "common/timer.h"
 #include "core/profiling.h"
 #include "exec/thread_pool.h"
@@ -55,7 +56,7 @@ QueryService::~QueryService() {
 
 Result<Session*> QueryService::OpenSession(const std::string& label,
                                            int priority, int threads) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (threads <= 0) threads = options_.default_session_threads;
   Session* session = sessions_.Open(label, priority, threads);
   if (session == nullptr) {
@@ -65,13 +66,13 @@ Result<Session*> QueryService::OpenSession(const std::string& label,
 }
 
 Session* QueryService::FindSession(const std::string& label) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return sessions_.Find(label);
 }
 
 Result<uint64_t> QueryService::Submit(Session* session, Request request) {
   SWAN_CHECK(session != nullptr);
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const uint64_t ticket = next_ticket_;
   const Status st = admission_.Admit(session, std::move(request), ticket);
   if (!st.ok()) {
@@ -82,51 +83,56 @@ Result<uint64_t> QueryService::Submit(Session* session, Request request) {
   ++next_ticket_;
   metrics_.GetCounter("serve.submitted")->Add(1);
   session->metrics().GetCounter("session.submitted")->Add(1);
-  lock.unlock();
-  work_cv_.notify_one();
+  lock.Unlock();
+  work_cv_.NotifyOne();
   return ticket;
 }
 
 void QueryService::Start() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (started_) return;
     started_ = true;
     // Each submit-all-then-Start() batch replays independently: its
     // dispatch order must not depend on how many requests each session
     // ran in earlier batches.
     admission_.ResetFairness();
+    // The trace epoch is read by executors under the turnstile, so write
+    // it under turn_mutex_ too. Nesting it inside mutex_ here is the
+    // service > turnstile lock order made executable (no request is in
+    // flight: started_ was false, so no worker holds the turnstile).
+    MutexLock turn(&turn_mutex_);
     trace_clock0_ = store_->backend().disk()->clock().now();
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 }
 
 void QueryService::Pause() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   started_ = false;
 }
 
 void QueryService::Drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   SWAN_CHECK_MSG(started_, "Drain() before Start()");
-  drained_cv_.wait(lock, [this] {
-    return !admission_.HasWork() && in_flight_ == 0;
-  });
+  while (admission_.HasWork() || in_flight_ != 0) {
+    drained_cv_.Wait(lock);
+  }
 }
 
 void QueryService::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (stopping_) return;
     stopping_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
 }
 
 std::vector<Completion> QueryService::TakeCompletions() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::sort(completions_.begin(), completions_.end(),
             [](const Completion& a, const Completion& b) {
               return a.dispatch_index < b.dispatch_index;
@@ -135,7 +141,7 @@ std::vector<Completion> QueryService::TakeCompletions() {
 }
 
 std::vector<obs::SessionTrack> QueryService::SessionTracks() const {
-  std::lock_guard<std::mutex> lock(turn_mutex_);
+  MutexLock lock(&turn_mutex_);
   std::vector<obs::SessionTrack> tracks;
   tracks.reserve(traces_.size());
   for (const TraceRecord& record : traces_) {
@@ -149,12 +155,12 @@ void QueryService::WorkerLoop() {
   for (;;) {
     Ticket ticket;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] {
-        return stopping_ ||
-               (started_ && admission_.HasWork() &&
-                in_flight_ < options_.max_in_flight);
-      });
+      MutexLock lock(&mutex_);
+      while (!stopping_ &&
+             !(started_ && admission_.HasWork() &&
+               in_flight_ < options_.max_in_flight)) {
+        work_cv_.Wait(lock);
+      }
       if (stopping_) return;
       ticket = admission_.PickNext();
       ticket.dispatch_index = dispatch_counter_++;
@@ -164,16 +170,16 @@ void QueryService::WorkerLoop() {
     Completion completion = Execute(std::move(ticket));
 
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       --in_flight_;
       metrics_.GetCounter("serve.completed")->Add(1);
       completions_.push_back(std::move(completion));
       if (!admission_.HasWork() && in_flight_ == 0) {
-        drained_cv_.notify_all();
+        drained_cv_.NotifyAll();
       }
     }
     // A freed in-flight slot may unblock another worker.
-    work_cv_.notify_one();
+    work_cv_.NotifyOne();
   }
 }
 
@@ -189,8 +195,8 @@ Completion QueryService::Execute(Ticket ticket) {
   // backend mutex (column backends merge deltas on read, the buffer pool
   // is single-writer) and makes the store's state evolution a function
   // of dispatch order alone.
-  std::unique_lock<std::mutex> turn(turn_mutex_);
-  turn_cv_.wait(turn, [&] { return exec_turn_ == ticket.dispatch_index; });
+  MutexLock turn(&turn_mutex_);
+  while (exec_turn_ != ticket.dispatch_index) turn_cv_.Wait(turn);
 
   obs::MetricsRegistry& session_metrics = ticket.session->metrics();
   switch (ticket.request.kind) {
@@ -219,8 +225,8 @@ Completion QueryService::Execute(Ticket ticket) {
       completion.result.rows.size());
 
   ++exec_turn_;
-  turn.unlock();
-  turn_cv_.notify_all();
+  turn.Unlock();
+  turn_cv_.NotifyAll();
   return completion;
 }
 

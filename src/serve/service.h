@@ -1,16 +1,15 @@
 #ifndef SWANDB_SERVE_SERVICE_H_
 #define SWANDB_SERVE_SERVICE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "core/store.h"
 #include "obs/export.h"
@@ -87,38 +86,40 @@ class QueryService {
   // Opens a session. threads == 0 uses options.default_session_threads.
   // Fails with AlreadyExists on a duplicate label.
   Result<Session*> OpenSession(const std::string& label, int priority = 0,
-                               int threads = 0);
-  Session* FindSession(const std::string& label);
+                               int threads = 0) SWAN_EXCLUDES(mutex_);
+  Session* FindSession(const std::string& label) SWAN_EXCLUDES(mutex_);
 
   // Queues a request; returns its ticket id, or Status::Overloaded when
   // the admission queue is full (the backpressure signal — retry later).
-  Result<uint64_t> Submit(Session* session, Request request);
+  Result<uint64_t> Submit(Session* session, Request request)
+      SWAN_EXCLUDES(mutex_);
 
   // Releases the workers. Idempotent; submissions may continue after.
-  void Start();
+  void Start() SWAN_EXCLUDES(mutex_, turn_mutex_);
 
   // Stops dispatching (in-flight requests finish) so a further batch can
   // be submitted under the replay guarantee and released with Start().
   // Call only while idle (after Drain); idempotent.
-  void Pause();
+  void Pause() SWAN_EXCLUDES(mutex_);
 
   // Blocks until the queue is empty and nothing is in flight. Requires
   // Start() to have been called.
-  void Drain();
+  void Drain() SWAN_EXCLUDES(mutex_);
 
   // Stops and joins the workers (queued-but-undispatched requests are
   // abandoned — call Drain() first for a clean shutdown). Idempotent;
   // the destructor calls it.
-  void Stop();
+  void Stop() SWAN_EXCLUDES(mutex_);
 
   // Completion records accumulated since the last call, sorted into
   // dispatch order. Call between Drain()s to separate passes.
-  std::vector<Completion> TakeCompletions();
+  std::vector<Completion> TakeCompletions() SWAN_EXCLUDES(mutex_);
 
   // Per-request traces (options.trace) grouped per session, offset so
   // each session's requests line up end to end — feed directly to
   // obs::ChromeTraceJsonMulti. Call only while idle (after Drain).
-  std::vector<obs::SessionTrack> SessionTracks() const;
+  std::vector<obs::SessionTrack> SessionTracks() const
+      SWAN_EXCLUDES(turn_mutex_);
 
   obs::MetricsRegistry& metrics() { return metrics_; }
   ResultCache* cache() { return cache_.get(); }
@@ -135,9 +136,10 @@ class QueryService {
     double offset_seconds = 0.0;
   };
 
-  void WorkerLoop();
-  Completion Execute(Ticket ticket);
-  void RunQueryTicket(const Ticket& ticket, Completion* completion);
+  void WorkerLoop() SWAN_EXCLUDES(mutex_, turn_mutex_);
+  Completion Execute(Ticket ticket) SWAN_EXCLUDES(turn_mutex_);
+  void RunQueryTicket(const Ticket& ticket, Completion* completion)
+      SWAN_REQUIRES(turn_mutex_);
 
   core::RdfStore* store_;
   std::optional<core::QueryContext> bench_ctx_;
@@ -147,26 +149,31 @@ class QueryService {
   uint64_t audit_hook_token_ = 0;
 
   // Scheduler state (mutex_): admission queue, sessions, completions.
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable drained_cv_;
-  SessionManager sessions_;
-  AdmissionController admission_;
-  bool started_ = false;
-  bool stopping_ = false;
-  uint64_t next_ticket_ = 1;
-  uint64_t dispatch_counter_ = 0;
-  int in_flight_ = 0;
-  std::vector<Completion> completions_;
+  // Lock order: mutex_ (kServeService) outranks turn_mutex_
+  // (kServeTurnstile) — Start() nests them in exactly that direction, and
+  // the rank checker aborts any code path that tries the reverse.
+  mutable Mutex mutex_{LockRank::kServeService, "serve.service"};
+  CondVar work_cv_;
+  CondVar drained_cv_;
+  SessionManager sessions_ SWAN_GUARDED_BY(mutex_);
+  AdmissionController admission_ SWAN_GUARDED_BY(mutex_);
+  bool started_ SWAN_GUARDED_BY(mutex_) = false;
+  bool stopping_ SWAN_GUARDED_BY(mutex_) = false;
+  uint64_t next_ticket_ SWAN_GUARDED_BY(mutex_) = 1;
+  uint64_t dispatch_counter_ SWAN_GUARDED_BY(mutex_) = 0;
+  int in_flight_ SWAN_GUARDED_BY(mutex_) = 0;
+  std::vector<Completion> completions_ SWAN_GUARDED_BY(mutex_);
 
   // Turnstile (turn_mutex_): serializes execution in dispatch order; the
   // holder of the current turn also owns backend access and the trace
-  // records.
-  mutable std::mutex turn_mutex_;
-  std::condition_variable turn_cv_;
-  uint64_t exec_turn_ = 0;
-  double trace_clock0_ = 0.0;
-  std::vector<TraceRecord> traces_;
+  // records. trace_clock0_ lives here (not under mutex_) because its
+  // readers run under the turnstile; Start() writes it with both locks
+  // held.
+  mutable Mutex turn_mutex_{LockRank::kServeTurnstile, "serve.turnstile"};
+  CondVar turn_cv_;
+  uint64_t exec_turn_ SWAN_GUARDED_BY(turn_mutex_) = 0;
+  double trace_clock0_ SWAN_GUARDED_BY(turn_mutex_) = 0.0;
+  std::vector<TraceRecord> traces_ SWAN_GUARDED_BY(turn_mutex_);
 
   std::vector<std::thread> workers_;
 };

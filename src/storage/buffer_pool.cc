@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "exec/thread_pool.h"
 
 namespace swan::storage {
@@ -53,7 +54,7 @@ PageGuard BufferPool::Fetch(PageId id) {
 }
 
 Status BufferPool::TryFetch(PageId id, PageGuard* out) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   for (;;) {
     auto it = map_.find(id);
     if (it == map_.end()) break;
@@ -61,7 +62,7 @@ Status BufferPool::TryFetch(PageId id, PageGuard* out) {
     if (!frame.ready) {
       // Another thread is reading this page from disk. Wait, then re-find:
       // the loader may have hit a checksum error and withdrawn the entry.
-      io_cv_.wait(lock);
+      io_cv_.Wait(lock);
       continue;
     }
     ++hits_;
@@ -86,9 +87,9 @@ Status BufferPool::TryFetch(PageId id, PageGuard* out) {
   // The pin keeps the frame un-evictable and the map entry makes same-page
   // fetchers wait instead of duplicating the read, so the lock can drop
   // for the (virtually slow) transfer.
-  lock.unlock();
+  lock.Unlock();
   Status st = disk_->ReadPage(id, frame.data.get(), exec::CurrentTask());
-  lock.lock();
+  lock.Lock();
 
   if (!st.ok()) {
     // Do not cache a corrupted image: withdraw the entry and release the
@@ -98,12 +99,12 @@ Status BufferPool::TryFetch(PageId id, PageGuard* out) {
     frame.pin_count = 0;
     frame.ready = true;
     free_frames_.push_back(idx);
-    io_cv_.notify_all();
+    io_cv_.NotifyAll();
     *out = PageGuard();
     return st;
   }
   frame.ready = true;
-  io_cv_.notify_all();
+  io_cv_.NotifyAll();
   *out = PageGuard(this, idx, frame.data.get());
   return Status::OK();
 }
@@ -111,7 +112,7 @@ Status BufferPool::TryFetch(PageId id, PageGuard* out) {
 void BufferPool::AuditInto(audit::AuditLevel level,
                            audit::AuditReport* report) const {
   (void)level;  // all pool checks are metadata-only, so kQuick == kFull
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const std::string object = "bufferpool";
 
   if (frames_.size() > capacity_) {
@@ -217,7 +218,7 @@ void BufferPool::AuditInto(audit::AuditLevel level,
 
 void BufferPool::WriteThrough(PageId id, const void* data) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = map_.find(id);
     if (it != map_.end()) {
       std::memcpy(frames_[it->second].data.get(), data, kPageSize);
@@ -227,7 +228,7 @@ void BufferPool::WriteThrough(PageId id, const void* data) {
 }
 
 void BufferPool::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   for (const auto& [id, idx] : map_) {
     SWAN_CHECK_MSG(frames_[idx].pin_count == 0,
                    "Clear() with pinned pages outstanding");
@@ -242,7 +243,7 @@ void BufferPool::Clear() {
 }
 
 void BufferPool::Unpin(size_t frame_index) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   Frame& frame = frames_[frame_index];
   SWAN_CHECK_GT(frame.pin_count, 0u);
   if (--frame.pin_count == 0) {

@@ -1,15 +1,14 @@
 #ifndef SWANDB_STORAGE_BUFFER_POOL_H_
 #define SWANDB_STORAGE_BUFFER_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "audit/audit.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "storage/page.h"
 #include "storage/simulated_disk.h"
@@ -66,11 +65,12 @@ class BufferPool {
   // Aborts loudly if the on-disk page fails its checksum — the hot path
   // must never hand out corrupted bytes. Recoverable callers (the audit
   // walkers) use TryFetch instead.
-  PageGuard Fetch(PageId id);
+  PageGuard Fetch(PageId id) SWAN_EXCLUDES(mutex_);
 
   // Like Fetch, but a checksum mismatch comes back as Status::Corruption
   // (with `*out` left invalid and the frame released) instead of aborting.
-  [[nodiscard]] Status TryFetch(PageId id, PageGuard* out);
+  [[nodiscard]] Status TryFetch(PageId id, PageGuard* out)
+      SWAN_EXCLUDES(mutex_);
 
   // Audit walker: pin accounting (a pin outstanding at a quiescent point
   // is a leak), frame<->page-table agreement, LRU membership, capacity.
@@ -78,26 +78,26 @@ class BufferPool {
 
   // Write-through update: patches the cached copy (if resident) and the
   // disk image. Used by the row store's insert path.
-  void WriteThrough(PageId id, const void* data);
+  void WriteThrough(PageId id, const void* data) SWAN_EXCLUDES(mutex_);
 
   // Evicts everything. All pages must be unpinned.
-  void Clear();
+  void Clear() SWAN_EXCLUDES(mutex_);
 
   size_t capacity_pages() const { return capacity_; }
   size_t resident_pages() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     return map_.size();
   }
   uint64_t hits() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     return hits_;
   }
   uint64_t misses() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     return misses_;
   }
   void ResetStats() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     hits_ = misses_ = 0;
   }
 
@@ -119,24 +119,26 @@ class BufferPool {
     bool ready = true;
   };
 
-  void Unpin(size_t frame_index);
-  size_t AllocateFrame();  // requires mutex_ held
+  void Unpin(size_t frame_index) SWAN_EXCLUDES(mutex_);
+  size_t AllocateFrame() SWAN_REQUIRES(mutex_);
 
   SimulatedDisk* disk_;
   size_t capacity_;
 
   // Guards every member below. Released only around the disk read on a
-  // miss; frames_ never reallocates (reserved to capacity_), so the
-  // loading frame's address is stable while unlocked.
-  mutable std::mutex mutex_;
-  std::condition_variable io_cv_;
+  // miss (pool rank > disk rank, so holding it across the read would be
+  // rank-legal — dropping it is a throughput choice, not a rank one);
+  // frames_ never reallocates (reserved to capacity_), so the loading
+  // frame's address is stable while unlocked.
+  mutable Mutex mutex_{LockRank::kBufferPool, "storage.buffer-pool"};
+  CondVar io_cv_;
 
-  std::vector<Frame> frames_;
-  std::vector<size_t> free_frames_;
-  std::unordered_map<PageId, size_t, PageIdHash> map_;
-  std::list<size_t> lru_;  // front = most recent
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  std::vector<Frame> frames_ SWAN_GUARDED_BY(mutex_);
+  std::vector<size_t> free_frames_ SWAN_GUARDED_BY(mutex_);
+  std::unordered_map<PageId, size_t, PageIdHash> map_ SWAN_GUARDED_BY(mutex_);
+  std::list<size_t> lru_ SWAN_GUARDED_BY(mutex_);  // front = most recent
+  uint64_t hits_ SWAN_GUARDED_BY(mutex_) = 0;
+  uint64_t misses_ SWAN_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace swan::storage

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 
 namespace swan::storage {
 
@@ -23,14 +24,14 @@ uint64_t SimulatedDisk::PageChecksum(const void* data) {
 }
 
 uint32_t SimulatedDisk::CreateFile() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   files_.emplace_back();
   return static_cast<uint32_t>(files_.size() - 1);
 }
 
 uint32_t SimulatedDisk::AppendPage(uint32_t file_id, const void* data) {
   const uint64_t checksum = PageChecksum(data);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   SWAN_CHECK_LT(file_id, files_.size());
   auto& file = files_[file_id];
   const size_t offset = file.bytes.size();
@@ -42,7 +43,7 @@ uint32_t SimulatedDisk::AppendPage(uint32_t file_id, const void* data) {
 
 void SimulatedDisk::WritePage(PageId id, const void* data) {
   const uint64_t checksum = PageChecksum(data);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   SWAN_CHECK_LT(id.file_id, files_.size());
   auto& file = files_[id.file_id];
   const size_t offset = static_cast<size_t>(id.page_no) * kPageSize;
@@ -55,7 +56,7 @@ Status SimulatedDisk::ReadPage(PageId id, void* out,
                                exec::TaskContext* task) {
   uint64_t expected_checksum = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     SWAN_CHECK_LT(id.file_id, files_.size());
     const auto& file = files_[id.file_id];
     const size_t offset = static_cast<size_t>(id.page_no) * kPageSize;
@@ -132,7 +133,7 @@ Status SimulatedDisk::ReadPage(PageId id, void* out,
 }
 
 Status SimulatedDisk::VerifyPage(PageId id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   SWAN_CHECK_LT(id.file_id, files_.size());
   const auto& file = files_[id.file_id];
   const size_t offset = static_cast<size_t>(id.page_no) * kPageSize;
@@ -156,7 +157,7 @@ Status SimulatedDisk::VerifyFile(uint32_t file_id) const {
 
 void SimulatedDisk::CorruptPageForTesting(PageId id, size_t offset,
                                           uint8_t xor_mask) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   SWAN_CHECK_LT(id.file_id, files_.size());
   SWAN_CHECK_LT(offset, kPageSize);
   auto& file = files_[id.file_id];
@@ -170,7 +171,7 @@ void SimulatedDisk::AuditInto(audit::AuditLevel level,
   if (level < audit::AuditLevel::kFull) return;
   uint32_t file_count;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     file_count = static_cast<uint32_t>(files_.size());
   }
   for (uint32_t f = 0; f < file_count; ++f) {
@@ -186,13 +187,13 @@ void SimulatedDisk::AuditInto(audit::AuditLevel level,
 }
 
 uint32_t SimulatedDisk::PageCount(uint32_t file_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   SWAN_CHECK_LT(file_id, files_.size());
   return static_cast<uint32_t>(files_[file_id].bytes.size() / kPageSize);
 }
 
 void SimulatedDisk::ResetStats() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   total_bytes_read_ = 0;
   total_reads_ = 0;
   total_seeks_ = 0;
@@ -205,19 +206,19 @@ void SimulatedDisk::ResetStats() {
 }
 
 void SimulatedDisk::StartTrace() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   tracing_ = true;
   trace_.clear();
 }
 
 std::vector<IoTracePoint> SimulatedDisk::StopTrace() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   tracing_ = false;
   return std::move(trace_);
 }
 
 uint64_t SimulatedDisk::TotalStoredBytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   uint64_t total = 0;
   for (const auto& f : files_) total += f.bytes.size();
   return total;

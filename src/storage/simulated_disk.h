@@ -2,10 +2,10 @@
 #define SWANDB_STORAGE_SIMULATED_DISK_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "audit/audit.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/timer.h"
 #include "exec/thread_pool.h"
@@ -87,7 +87,8 @@ class SimulatedDisk {
   // stream (or the serial stream when task == nullptr). Returns Corruption
   // (with the bytes still copied, for forensics) if the stored image no
   // longer matches its checksum.
-  [[nodiscard]] Status ReadPage(PageId id, void* out, exec::TaskContext* task);
+  [[nodiscard]] Status ReadPage(PageId id, void* out, exec::TaskContext* task)
+      SWAN_EXCLUDES(mutex_);
 
   // Recomputes `id`'s checksum against the stored image without charging
   // I/O time or touching read statistics (audit path).
@@ -111,15 +112,15 @@ class SimulatedDisk {
 
   // --- accounting -------------------------------------------------------
   uint64_t total_bytes_read() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     return total_bytes_read_;
   }
   uint64_t total_reads() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     return total_reads_;
   }
   uint64_t total_seeks() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     return total_seeks_;
   }
   const VirtualClock& clock() const { return clock_; }
@@ -127,7 +128,7 @@ class SimulatedDisk {
   // Virtual seconds accrued per lane since the last ResetStats (index =
   // lane id; empty when no parallel reads happened). For bench reporting.
   std::vector<double> LaneSecondsSnapshot() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     return lane_seconds_;
   }
 
@@ -145,7 +146,7 @@ class SimulatedDisk {
   // quiescence bug instead of leaving a silent data race.
   const DiskConfig& config() const { return config_; }
   void set_config(DiskConfig config) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     config_ = config;
   }
 
@@ -160,33 +161,39 @@ class SimulatedDisk {
     std::vector<uint64_t> checksums;
   };
 
+  // Written only under mutex_ (set_config at quiescent points); the
+  // config() reference above is handed out lock-free, so the field stays
+  // unannotated — the quiescence contract, not the lock, protects reads.
   DiskConfig config_;
-  std::vector<FileData> files_;
+  // clock_ advances only under mutex_; clock().now() reads are lock-free
+  // at points ordered after the reads that advanced it (same contract).
   VirtualClock clock_;
 
-  // Everything below mutex_ is guarded by it. files_ contents are also
+  // Everything below is guarded by mutex_. files_ contents are also
   // read under the lock (AppendPage may reallocate); the checksum over the
   // copied-out page is computed outside it.
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_{LockRank::kStorageDisk, "storage.disk"};
 
-  uint64_t total_bytes_read_ = 0;
-  uint64_t total_reads_ = 0;
-  uint64_t total_seeks_ = 0;
+  std::vector<FileData> files_ SWAN_GUARDED_BY(mutex_);
+
+  uint64_t total_bytes_read_ SWAN_GUARDED_BY(mutex_) = 0;
+  uint64_t total_reads_ SWAN_GUARDED_BY(mutex_) = 0;
+  uint64_t total_seeks_ SWAN_GUARDED_BY(mutex_) = 0;
 
   // Serial (non-task) stream state and clock component.
-  bool has_last_read_ = false;
-  PageId last_read_;
-  uint32_t run_length_pages_ = 0;
-  double serial_seconds_ = 0.0;
+  bool has_last_read_ SWAN_GUARDED_BY(mutex_) = false;
+  PageId last_read_ SWAN_GUARDED_BY(mutex_);
+  uint32_t run_length_pages_ SWAN_GUARDED_BY(mutex_) = 0;
+  double serial_seconds_ SWAN_GUARDED_BY(mutex_) = 0.0;
 
   // Per-lane accrual for reads issued from ParallelFor chunks. Lane
   // values only grow between ResetStats calls, so the running max is
   // maintained incrementally.
-  std::vector<double> lane_seconds_;
-  double max_lane_seconds_ = 0.0;
+  std::vector<double> lane_seconds_ SWAN_GUARDED_BY(mutex_);
+  double max_lane_seconds_ SWAN_GUARDED_BY(mutex_) = 0.0;
 
-  bool tracing_ = false;
-  std::vector<IoTracePoint> trace_;
+  bool tracing_ SWAN_GUARDED_BY(mutex_) = false;
+  std::vector<IoTracePoint> trace_ SWAN_GUARDED_BY(mutex_);
 };
 
 }  // namespace swan::storage

@@ -156,7 +156,8 @@ TEST(ParserFuzzTest, NTriplesNeverCrashesOnGarbage) {
     }
     rdf::Dataset data;
     bool added = false;
-    // Must return (either status), never abort.
+    // Must return (either status), never abort; the discard is the test.
+    // swan-lint: allow(discarded-status)
     (void)rdf::ParseNTriplesLine(line, &data, &added);
   }
 }
@@ -170,7 +171,10 @@ TEST(ParserFuzzTest, SparqlNeverCrashesOnGarbage) {
     for (uint64_t i = 0; i < len; ++i) {
       query += alphabet[rng.Uniform(alphabet.size())];
     }
-    (void)sparql::Parse(query);  // either outcome, never a crash
+    // Either outcome is fine — the property under test is "never a
+    // crash", so the status is discarded on purpose.
+    // swan-lint: allow(discarded-status)
+    (void)sparql::Parse(query);
   }
 }
 
@@ -182,6 +186,7 @@ TEST(ParserFuzzTest, SparqlRejectsTruncationsOfValidQuery) {
   // Every strict prefix must parse-fail or parse to something, without
   // crashing. (Some prefixes are valid queries; most are not.)
   for (size_t cut = 0; cut < valid.size(); ++cut) {
+    // swan-lint: allow(discarded-status)
     (void)sparql::Parse(valid.substr(0, cut));
   }
 }

@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
 # Static-analysis and sanitizer driver:
-#   1. clang-tidy over src/ (skipped with a notice if clang-tidy is not
-#      installed — the container image ships only gcc),
-#   2. an ASan+UBSan build of everything, running the full test suite,
-#   3. a TSan build running the concurrency-focused tests (thread pool,
+#   1. swan-lint (tools/swan_lint.py) over the whole tree plus its
+#      self-test corpus — always runs, needs only python3,
+#   2. a clang -Wthread-safety -Werror=thread-safety build that promotes
+#      the SWAN_GUARDED_BY/SWAN_REQUIRES annotations to errors (skipped
+#      with a notice if clang is not installed — the container image
+#      ships only gcc, where the macros compile to no-ops),
+#   3. clang-tidy over src/ (skipped with a notice if clang-tidy is not
+#      installed),
+#   4. an ASan+UBSan build of everything, running the full test suite,
+#   5. a TSan build running the concurrency-focused tests (thread pool,
 #      buffer-pool/column stress) — ASan and TSan cannot share a binary.
 #
 # The ASan stage ends with a trace smoke (one profiled shell query writes
@@ -13,7 +19,8 @@
 # is validated the same way). The TSan stage runs the serve smoke too —
 # the serving layer is the code with real cross-thread interleavings.
 #
-# Usage: tools/check.sh [--tidy-only|--asan-only|--tsan-only]
+# Usage: tools/check.sh \
+#   [--lint-only|--tsafety-only|--tidy-only|--asan-only|--tsan-only]
 # Exits non-zero if any stage fails.
 set -u
 
@@ -21,16 +28,20 @@ cd "$(dirname "$0")/.."
 REPO_ROOT="$PWD"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
+run_lint=1
+run_tsafety=1
 run_tidy=1
 run_asan=1
 run_tsan=1
 case "${1:-}" in
-  --tidy-only) run_asan=0; run_tsan=0 ;;
-  --asan-only) run_tidy=0; run_tsan=0 ;;
-  --tsan-only) run_tidy=0; run_asan=0 ;;
+  --lint-only)    run_tsafety=0; run_tidy=0; run_asan=0; run_tsan=0 ;;
+  --tsafety-only) run_lint=0; run_tidy=0; run_asan=0; run_tsan=0 ;;
+  --tidy-only)    run_lint=0; run_tsafety=0; run_asan=0; run_tsan=0 ;;
+  --asan-only)    run_lint=0; run_tsafety=0; run_tidy=0; run_tsan=0 ;;
+  --tsan-only)    run_lint=0; run_tsafety=0; run_tidy=0; run_asan=0 ;;
   "") ;;
   *)
-    echo "usage: tools/check.sh [--tidy-only|--asan-only|--tsan-only]" >&2
+    echo "usage: tools/check.sh [--lint-only|--tsafety-only|--tidy-only|--asan-only|--tsan-only]" >&2
     exit 2
     ;;
 esac
@@ -49,6 +60,35 @@ query bob repeat=2 SELECT ?s ?o WHERE { ?s <origin> ?o } LIMIT 5
 bench bob q2
 EOF
 }
+
+if [ "$run_lint" -eq 1 ]; then
+  echo "== swan-lint (project invariants) =="
+  if python3 "$REPO_ROOT/tools/swan_lint.py" &&
+     python3 "$REPO_ROOT/tools/swan_lint.py" --self-test; then
+    echo "swan-lint: clean"
+  else
+    echo "swan-lint: FINDINGS (see above)"
+    failures=$((failures + 1))
+  fi
+fi
+
+if [ "$run_tsafety" -eq 1 ]; then
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "== clang -Wthread-safety (annotations as errors) =="
+    TSAFETY_BUILD="$REPO_ROOT/build-tsafety"
+    if cmake -B "$TSAFETY_BUILD" -S "$REPO_ROOT" \
+         -DCMAKE_CXX_COMPILER=clang++ \
+         -DSWAN_THREAD_SAFETY=ON >/dev/null &&
+       cmake --build "$TSAFETY_BUILD" -j "$JOBS"; then
+      echo "thread-safety: clean"
+    else
+      echo "thread-safety: FAILURES"
+      failures=$((failures + 1))
+    fi
+  else
+    echo "== thread-safety: clang not installed, skipping (gcc-only toolchain; SWAN_* annotations compile to no-ops) =="
+  fi
+fi
 
 if [ "$run_tidy" -eq 1 ]; then
   if command -v clang-tidy >/dev/null 2>&1; then

@@ -6,8 +6,13 @@
 #   tsan     - ThreadSanitizer build, concurrency-focused tests + the
 #              serve smoke (real client threads through the service)
 #   tidy     - clang-tidy over src/ (skips with a notice if not installed)
+#   lint     - swan-lint project-invariant linter + its self-test corpus
+#              (pure python3: always runs, every toolchain)
+#   tsafety  - clang -Wthread-safety -Werror=thread-safety build (skips
+#              with a notice on gcc-only toolchains)
 #
-# Usage: tools/ci.sh [release|sanitize|tsan|tidy|all]   (default: all)
+# Usage: tools/ci.sh [release|sanitize|tsan|tidy|lint|tsafety|all]
+# (default: all)
 set -u
 
 cd "$(dirname "$0")/.."
@@ -104,10 +109,20 @@ case "$mode" in
     bash "$REPO_ROOT/tools/check.sh" --tidy-only || status=1
     [ "$mode" = "tidy" ] && exit "$status"
     ;;&
-  release|sanitize|tsan|tidy|all)
+  lint|all)
+    echo "=== matrix: swan-lint ==="
+    bash "$REPO_ROOT/tools/check.sh" --lint-only || status=1
+    [ "$mode" = "lint" ] && exit "$status"
+    ;;&
+  tsafety|all)
+    echo "=== matrix: thread-safety annotations ==="
+    bash "$REPO_ROOT/tools/check.sh" --tsafety-only || status=1
+    [ "$mode" = "tsafety" ] && exit "$status"
+    ;;&
+  release|sanitize|tsan|tidy|lint|tsafety|all)
     ;;
   *)
-    echo "usage: tools/ci.sh [release|sanitize|tsan|tidy|all]" >&2
+    echo "usage: tools/ci.sh [release|sanitize|tsan|tidy|lint|tsafety|all]" >&2
     exit 2
     ;;
 esac

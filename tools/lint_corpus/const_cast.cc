@@ -1,0 +1,11 @@
+// swan-lint corpus: const_cast is banned outright — fix the constness
+// model (mutable member, non-const accessor, or const-correct API)
+// instead of subverting it.
+
+namespace corpus {
+
+void Mutate(const int* value) {
+  *const_cast<int*>(value) = 7;  // expect(const-cast)
+}
+
+}  // namespace corpus

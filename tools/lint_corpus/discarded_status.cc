@@ -1,0 +1,33 @@
+// swan-lint corpus: dropping a Status / Result on the floor. The
+// declarations below seed the linter's name harvest; the bodies exercise
+// the bare-statement and (void)-cast forms plus the shapes that must NOT
+// fire (handled, returned, multi-line assignment).
+
+namespace corpus {
+
+Status DoWork();
+Result<int> ComputeAnswer();
+
+class Widget {
+ public:
+  Status Flush();
+};
+
+void BadCaller(Widget* w) {
+  DoWork();                        // expect(discarded-status)
+  (void)DoWork();                  // expect(discarded-status)
+  w->Flush();                      // expect(discarded-status)
+  ComputeAnswer(                   // expect(discarded-status)
+      );
+}
+
+Status GoodCaller(Widget* w) {
+  Status st = DoWork();            // assigned: fine
+  if (!st.ok()) return st;
+  auto answer =
+      ComputeAnswer();             // multi-line assignment: fine
+  (void)answer;
+  return w->Flush();               // returned: fine
+}
+
+}  // namespace corpus

@@ -1,0 +1,12 @@
+// swan-lint-corpus-path: src/exec/good_threads.cc
+// swan-lint corpus: the same call is legal inside src/exec — this file
+// must produce NO findings, proving the rule is path-scoped rather than
+// a blanket token ban.
+
+namespace corpus {
+
+int PoolInternalFanout() {
+  return exec::Threads();  // fine here: we pretend to be src/exec
+}
+
+}  // namespace corpus

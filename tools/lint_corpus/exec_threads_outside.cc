@@ -1,0 +1,12 @@
+// swan-lint-corpus-path: src/serve/bad_threads.cc
+// swan-lint corpus: exec::Threads() is the pool's private knob; every
+// other layer receives its parallelism through ExecContext. This file
+// pretends (via the corpus-path directive above) to live in src/serve.
+
+namespace corpus {
+
+int PickFanout() {
+  return exec::Threads();  // expect(exec-threads)
+}
+
+}  // namespace corpus

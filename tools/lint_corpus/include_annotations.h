@@ -1,0 +1,15 @@
+// swan-lint-corpus-path: src/obs/bad_annotations.h
+// swan-lint corpus: a header using the SWAN_* thread-safety macros must
+// include common/thread_annotations.h (or common/mutex.h) directly.
+
+namespace corpus {
+
+class Counter {
+ public:
+  void Add(int delta) SWAN_EXCLUDES(mutex_);  // expect(include-locks)
+
+ private:
+  int value_ = 0;
+};
+
+}  // namespace corpus

@@ -1,0 +1,14 @@
+// swan-lint-corpus-path: src/obs/bad_include.cc
+// swan-lint corpus: includes-what-it-locks. This file names the
+// swan::Mutex vocabulary but only includes its own header, relying on a
+// transitive include for common/mutex.h — the dependency must be direct.
+
+#include "obs/bad_include.h"
+
+namespace corpus {
+
+void Locker(Mutex* mu) {
+  MutexLock lock(mu);  // expect(include-locks)
+}
+
+}  // namespace corpus

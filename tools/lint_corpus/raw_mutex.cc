@@ -1,0 +1,21 @@
+// swan-lint corpus: every raw standard-library locking primitive must be
+// flagged; the only sanctioned spelling is swan::Mutex / MutexLock /
+// CondVar from common/mutex.h. Not compiled — linted only.
+
+#include <mutex>
+
+namespace corpus {
+
+std::mutex g_bad_mutex;                      // expect(raw-mutex)
+std::recursive_mutex g_worse_mutex;          // expect(raw-mutex)
+std::condition_variable g_bad_cv;            // expect(raw-mutex)
+
+void TouchState() {
+  std::lock_guard<std::mutex> lock(g_bad_mutex);  // expect(raw-mutex)
+}
+
+void WaitState() {
+  std::unique_lock<std::mutex> lock(g_bad_mutex);  // expect(raw-mutex)
+}
+
+}  // namespace corpus

@@ -1,0 +1,26 @@
+// swan-lint corpus: every violation below carries a per-rule suppression
+// comment, so this file must produce ZERO findings — it verifies both
+// suppression placements (same line, line above) and that a suppression
+// silences only its named rule.
+
+#include <mutex>
+
+namespace corpus {
+
+Status DetachedWork();
+
+std::mutex g_interop_mutex;  // swan-lint: allow(raw-mutex)
+
+void FireAndForget() {
+  // swan-lint: allow(discarded-status)
+  DetachedWork();
+  (void)DetachedWork();  // swan-lint: allow(discarded-status)
+}
+
+void Wrap(const char* name) {
+  // swan-lint: allow(const-cast)
+  char* mutable_name = const_cast<char*>(name);
+  (void)mutable_name;
+}
+
+}  // namespace corpus
