@@ -10,6 +10,7 @@
 
 #include "bench_support/barton_generator.h"
 #include "bench_support/harness.h"
+#include "colstore/compression.h"
 #include "exec/exec_context.h"
 #include "exec/thread_pool.h"
 
@@ -79,6 +80,32 @@ inline exec::ExecContext InitThreads(int argc, char** argv) {
   }
   exec::SetThreads(static_cast<int>(threads));
   return exec::ExecContext(static_cast<int>(threads));
+}
+
+// Resolves the column codec from --codec=NAME (or "--codec NAME"),
+// falling back to SWAN_CODEC, defaulting to raw so every bench keeps its
+// published uncompressed baseline unless compressed execution is asked
+// for. Unknown names exit rather than silently benchmarking the wrong
+// storage format.
+inline colstore::ColumnCodec InitCodec(int argc, char** argv) {
+  const char* name = std::getenv("SWAN_CODEC");
+  std::string text = (name != nullptr) ? name : "raw";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--codec=", 8) == 0) {
+      text = arg + 8;
+    } else if (std::strcmp(arg, "--codec") == 0 && i + 1 < argc) {
+      text = argv[++i];
+    }
+  }
+  colstore::ColumnCodec codec = colstore::ColumnCodec::kRaw;
+  if (!colstore::CodecFromString(text, &codec)) {
+    std::fprintf(stderr,
+                 "error: unknown --codec value '%s' (expected raw, rle, "
+                 "delta, bitpack, dictbitpack, or auto)\n", text.c_str());
+    std::exit(2);
+  }
+  return codec;
 }
 
 inline void PrintHeader(const std::string& title, const std::string& paper_ref,

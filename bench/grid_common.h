@@ -3,14 +3,20 @@
 
 #include <string>
 
+#include "colstore/compression.h"
+
 namespace swan::bench {
 
 // Shared driver for Tables 6 (cold) and 7 (hot): runs all 12 queries over
 // the full scheme × engine grid — DBX triple SPO / triple PSO / vert. SO,
 // MonetDB triple SPO / triple PSO / vert. SO, C-Store vert. SO — verifying
 // cross-backend result equality first, and prints the paper-style table
-// with real/user rows, G, G* and G*/G columns.
-void RunGrid(bool hot, const std::string& title);
+// with real/user rows, G, G* and G*/G columns. `codec` configures the
+// column engine's on-disk format; the storage-accounting block reports
+// both the encoded on-disk bytes and the full-width logical bytes so
+// compressed cold runs can be related to the bytes they actually read.
+void RunGrid(bool hot, const std::string& title,
+             colstore::ColumnCodec codec = colstore::ColumnCodec::kRaw);
 
 }  // namespace swan::bench
 

@@ -2,16 +2,21 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <vector>
 
+#include "colstore/column.h"
+#include "colstore/compression.h"
 #include "colstore/ops.h"
 #include "common/random.h"
 
 namespace {
 
 using swan::Rng;
+using swan::colstore::ColumnCodec;
 using swan::colstore::CountByKeyDense;
 using swan::colstore::CountByPair;
+using swan::colstore::EncodedColumn;
 using swan::colstore::MergeCountMatches;
 using swan::colstore::MergeJoin;
 using swan::colstore::SelectEq;
@@ -21,6 +26,15 @@ std::vector<uint64_t> RandomColumn(size_t n, uint64_t universe,
   Rng rng(seed);
   std::vector<uint64_t> out(n);
   for (auto& v : out) v = rng.Uniform(universe);
+  return out;
+}
+
+// The RLE-friendly shape: a sorted low-cardinality column (the PSO
+// property column), as both its encoded image and its raw values.
+std::vector<uint64_t> SortedRunColumn(size_t n, uint64_t cardinality,
+                                      uint64_t seed) {
+  auto out = RandomColumn(n, cardinality, seed);
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -63,6 +77,78 @@ void BM_MergeJoin(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
 }
 BENCHMARK(BM_MergeJoin)->Range(1 << 10, 1 << 18);
+
+// Encoded-kernel vs decode-then-raw: the tentpole claim is that running
+// directly on the compressed image at least matches first materializing
+// the column and then running the span kernel over it.
+
+void BM_SelectEqEncodedRle(benchmark::State& state) {
+  const auto values = SortedRunColumn(state.range(0), 100, 9);
+  const auto enc = EncodedColumn::FromValues(values, ColumnCodec::kRle);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectEq(enc, 7));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SelectEqEncodedRle)->Range(1 << 10, 1 << 20);
+
+void BM_SelectEqDecodeThenRaw(benchmark::State& state) {
+  const auto values = SortedRunColumn(state.range(0), 100, 9);
+  const auto enc = EncodedColumn::FromValues(values, ColumnCodec::kRle);
+  for (auto _ : state) {
+    const std::vector<uint64_t> decoded = enc.Materialize();
+    benchmark::DoNotOptimize(SelectEq(decoded, 7));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SelectEqDecodeThenRaw)->Range(1 << 10, 1 << 20);
+
+void BM_SelectEqEncodedBitPack(benchmark::State& state) {
+  const auto values = RandomColumn(state.range(0), 100, 10);
+  const auto enc = EncodedColumn::FromValues(values, ColumnCodec::kBitPack);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectEq(enc, 7));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SelectEqEncodedBitPack)->Range(1 << 10, 1 << 20);
+
+void BM_MergeJoinEncodedRle(benchmark::State& state) {
+  auto left = RandomColumn(state.range(0) / 4, state.range(0) / 64 + 2, 11);
+  std::sort(left.begin(), left.end());
+  const auto right =
+      SortedRunColumn(state.range(0), state.range(0) / 64 + 2, 12);
+  const auto enc = EncodedColumn::FromValues(right, ColumnCodec::kRle);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MergeJoin(left, enc, 0, enc.size()));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MergeJoinEncodedRle)->Range(1 << 10, 1 << 18);
+
+void BM_MergeJoinDecodeThenRaw(benchmark::State& state) {
+  auto left = RandomColumn(state.range(0) / 4, state.range(0) / 64 + 2, 11);
+  std::sort(left.begin(), left.end());
+  const auto right =
+      SortedRunColumn(state.range(0), state.range(0) / 64 + 2, 12);
+  const auto enc = EncodedColumn::FromValues(right, ColumnCodec::kRle);
+  for (auto _ : state) {
+    const std::vector<uint64_t> decoded = enc.Materialize();
+    benchmark::DoNotOptimize(MergeJoin(left, decoded));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MergeJoinDecodeThenRaw)->Range(1 << 10, 1 << 18);
+
+void BM_CountByKeyDenseEncodedRle(benchmark::State& state) {
+  const auto values = SortedRunColumn(state.range(0), 222, 13);
+  const auto enc = EncodedColumn::FromValues(values, ColumnCodec::kRle);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountByKeyDense(enc, 1 << 16));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CountByKeyDenseEncodedRle)->Range(1 << 10, 1 << 20);
 
 void BM_MergeCountMatches(benchmark::State& state) {
   auto values = RandomColumn(state.range(0), state.range(0) * 2, 7);

@@ -76,6 +76,26 @@ void BM_CompressAuto_ObjectColumn(benchmark::State& state) {
 }
 BENCHMARK(BM_CompressAuto_ObjectColumn)->Range(1 << 12, 1 << 16);
 
+void BM_CompressBitPack_ObjectColumn(benchmark::State& state) {
+  // Dense id space: fixed-width packing needs no palette.
+  RunCompress(state, ColumnCodec::kBitPack,
+              [](size_t n) { return UnsortedObjectColumn(n, 1 << 20); });
+}
+BENCHMARK(BM_CompressBitPack_ObjectColumn)->Range(1 << 12, 1 << 16);
+
+void BM_CompressDictBitPack_LowCardColumn(benchmark::State& state) {
+  // Few distinct values spread over a wide id range — the palette case.
+  RunCompress(state, ColumnCodec::kDictBitPack, [](size_t n) {
+    Rng rng(3);
+    std::vector<uint64_t> palette(222);
+    for (auto& v : palette) v = rng.Uniform(1ull << 40);
+    std::vector<uint64_t> out(n);
+    for (auto& v : out) v = palette[rng.Uniform(palette.size())];
+    return out;
+  });
+}
+BENCHMARK(BM_CompressDictBitPack_LowCardColumn)->Range(1 << 12, 1 << 16);
+
 void BM_DecompressRle(benchmark::State& state) {
   const auto values = PsoPropertyColumn(static_cast<size_t>(state.range(0)));
   const auto encoded = CompressU64(values, ColumnCodec::kRle);
@@ -96,6 +116,17 @@ void BM_DecompressDelta(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_DecompressDelta)->Range(1 << 12, 1 << 18);
+
+void BM_DecompressBitPack(benchmark::State& state) {
+  const auto values =
+      UnsortedObjectColumn(static_cast<size_t>(state.range(0)), 1 << 20);
+  const auto encoded = CompressU64(values, ColumnCodec::kBitPack);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecompressU64(encoded, values.size()));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecompressBitPack)->Range(1 << 12, 1 << 18);
 
 }  // namespace
 

@@ -6,6 +6,7 @@
 
 int main(int argc, char** argv) {
   swan::bench::InitThreads(argc, argv);
-  swan::bench::RunGrid(/*hot=*/false, "Table 6: cold runs");
+  swan::bench::RunGrid(/*hot=*/false, "Table 6: cold runs",
+                       swan::bench::InitCodec(argc, argv));
   return 0;
 }

@@ -6,6 +6,7 @@
 
 int main(int argc, char** argv) {
   swan::bench::InitThreads(argc, argv);
-  swan::bench::RunGrid(/*hot=*/true, "Table 7: hot runs");
+  swan::bench::RunGrid(/*hot=*/true, "Table 7: hot runs",
+                       swan::bench::InitCodec(argc, argv));
   return 0;
 }

@@ -1,9 +1,130 @@
 #include "colstore/column.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "common/macros.h"
 #include "common/mutex.h"
 
 namespace swan::colstore {
+
+// --- EncodedColumn --------------------------------------------------------
+
+Status EncodedColumn::TryParse(std::span<const uint8_t> bytes, uint64_t count,
+                               EncodedColumn* out) {
+  out->size_ = count;
+  return TryParseEncoding(bytes, count, &out->enc_);
+}
+
+EncodedColumn EncodedColumn::Parse(std::span<const uint8_t> bytes,
+                                   uint64_t count) {
+  EncodedColumn out;
+  Status st = TryParse(bytes, count, &out);
+  SWAN_CHECK_MSG(st.ok(), st.ToString().c_str());
+  return out;
+}
+
+EncodedColumn EncodedColumn::FromValues(std::span<const uint64_t> values,
+                                        ColumnCodec codec) {
+  return Parse(CompressU64(values, codec), values.size());
+}
+
+EncodedColumn EncodedColumn::FromRaw(std::vector<uint64_t> values) {
+  EncodedColumn out;
+  out.size_ = values.size();
+  out.enc_.rep = Rep::kFlat;
+  out.enc_.flat = std::move(values);
+  return out;
+}
+
+size_t EncodedColumn::RunIndexOf(uint64_t pos) const {
+  SWAN_DCHECK_LT(pos, size_);
+  const auto it = std::upper_bound(
+      enc_.runs.begin(), enc_.runs.end(), pos,
+      [](uint64_t p, const RleRun& r) { return p < r.start; });
+  return static_cast<size_t>(it - enc_.runs.begin()) - 1;
+}
+
+uint64_t EncodedColumn::ValueAt(uint64_t i) const {
+  switch (enc_.rep) {
+    case Rep::kFlat:
+      return enc_.flat[i];
+    case Rep::kRle:
+      return enc_.runs[RunIndexOf(i)].value;
+    case Rep::kPacked:
+      return DecodeCode(PackedValueAt(enc_.words.data(), enc_.bit_width, i));
+  }
+  SWAN_CHECK(false);
+  return 0;
+}
+
+void EncodedColumn::MaterializeInto(uint64_t lo, uint64_t hi,
+                                    uint64_t* out) const {
+  SWAN_DCHECK_LE(lo, hi);
+  SWAN_DCHECK_LE(hi, size_);
+  switch (enc_.rep) {
+    case Rep::kFlat:
+      if (lo != hi) std::memcpy(out, enc_.flat.data() + lo, (hi - lo) * 8);
+      return;
+    case Rep::kRle: {
+      if (lo == hi) return;
+      uint64_t at = lo;
+      for (size_t r = RunIndexOf(lo); at < hi; ++r) {
+        const RleRun& run = enc_.runs[r];
+        const uint64_t end = std::min<uint64_t>(run.start + run.length, hi);
+        for (; at < end; ++at) out[at - lo] = run.value;
+      }
+      return;
+    }
+    case Rep::kPacked: {
+      const uint64_t* words = enc_.words.data();
+      const int width = enc_.bit_width;
+      if (enc_.palette.empty()) {
+        for (uint64_t i = lo; i < hi; ++i) {
+          out[i - lo] = PackedValueAt(words, width, i);
+        }
+      } else {
+        const uint64_t* palette = enc_.palette.data();
+        for (uint64_t i = lo; i < hi; ++i) {
+          out[i - lo] = palette[PackedValueAt(words, width, i)];
+        }
+      }
+      return;
+    }
+  }
+  SWAN_CHECK(false);
+}
+
+std::vector<uint64_t> EncodedColumn::Materialize() const {
+  std::vector<uint64_t> out(size_);
+  MaterializeInto(0, size_, out.data());
+  return out;
+}
+
+bool EncodedColumn::CodeFor(uint64_t value, uint64_t* code) const {
+  if (enc_.rep != Rep::kPacked || enc_.palette.empty()) {
+    if (enc_.rep == Rep::kPacked && enc_.bit_width < 64 &&
+        value >= (1ull << enc_.bit_width)) {
+      return false;  // wider than the pack width: cannot occur
+    }
+    *code = value;
+    return true;
+  }
+  const auto it =
+      std::lower_bound(enc_.palette.begin(), enc_.palette.end(), value);
+  if (it == enc_.palette.end() || *it != value) return false;
+  *code = static_cast<uint64_t>(it - enc_.palette.begin());
+  return true;
+}
+
+uint64_t EncodedColumn::memory_bytes() const {
+  return enc_.flat.size() * sizeof(uint64_t) +
+         enc_.runs.size() * sizeof(RleRun) +
+         enc_.words.size() * sizeof(uint64_t) +
+         enc_.palette.size() * sizeof(uint64_t);
+}
+
+// --- Column ---------------------------------------------------------------
 
 void Column::Build(std::span<const uint64_t> values) {
   SWAN_CHECK_MSG(!built_, "Column::Build called twice");
@@ -11,6 +132,8 @@ void Column::Build(std::span<const uint64_t> values) {
   size_ = values.size();
   if (codec_ == ColumnCodec::kRaw) {
     // Fast path: the raw layout needs no staging buffer.
+    stored_bytes_ = size_ * 8;
+    resolved_codec_ = ColumnCodec::kRaw;
     storage::U64FileWriter writer(&file_);
     for (uint64_t v : values) writer.Append(v);
     writer.Finish();
@@ -18,9 +141,35 @@ void Column::Build(std::span<const uint64_t> values) {
   }
   const std::vector<uint8_t> encoded = CompressU64(values, codec_);
   stored_bytes_ = encoded.size();
+  resolved_codec_ = CodecOfEncoded(encoded);
   storage::ByteFileWriter writer(&file_);
   writer.Append(encoded.data(), encoded.size());
   writer.Finish();
+}
+
+const EncodedColumn& Column::EncodedLocked() const {
+  if (!encoded_loaded_.load(std::memory_order_relaxed)) {
+    if (codec_ == ColumnCodec::kRaw) {
+      std::vector<uint64_t> values;
+      storage::ReadU64File(pool_, file_, size_, &values);
+      encoded_ = EncodedColumn::FromRaw(std::move(values));
+    } else {
+      std::vector<uint8_t> encoded;
+      storage::ReadByteFile(pool_, file_, stored_bytes_, &encoded);
+      encoded_ = EncodedColumn::Parse(encoded, size_);
+    }
+    encoded_loaded_.store(true, std::memory_order_release);
+  }
+  return encoded_;
+}
+
+const EncodedColumn& Column::Encoded() const {
+  SWAN_CHECK_MSG(built_, "Column::Encoded before Build");
+  if (!encoded_loaded_.load(std::memory_order_acquire)) {
+    MutexLock lock(&load_mutex_);
+    EncodedLocked();
+  }
+  return encoded_;
 }
 
 const std::vector<uint64_t>& Column::Get() const {
@@ -28,24 +177,24 @@ const std::vector<uint64_t>& Column::Get() const {
   if (!loaded_.load(std::memory_order_acquire)) {
     MutexLock lock(&load_mutex_);
     if (!loaded_.load(std::memory_order_relaxed)) {
-      if (codec_ == ColumnCodec::kRaw) {
-        storage::ReadU64File(pool_, file_, size_, &cache_);
-      } else {
-        std::vector<uint8_t> encoded;
-        storage::ReadByteFile(pool_, file_, stored_bytes_, &encoded);
-        cache_ = DecompressU64(encoded, size_);
-      }
+      const EncodedColumn& enc = EncodedLocked();
+      // A flat encoded image *is* the raw materialization; only run- and
+      // bit-compressed reps need a second buffer.
+      if (enc.rep() != EncodedColumn::Rep::kFlat) cache_ = enc.Materialize();
       loaded_.store(true, std::memory_order_release);
     }
   }
-  return cache_;
+  return encoded_.rep() == EncodedColumn::Rep::kFlat ? encoded_.flat()
+                                                     : cache_;
 }
 
 void Column::DropCache() const {
   MutexLock lock(&load_mutex_);
   cache_.clear();
   cache_.shrink_to_fit();
+  encoded_ = EncodedColumn();
   loaded_.store(false, std::memory_order_release);
+  encoded_loaded_.store(false, std::memory_order_release);
 }
 
 bool Column::AuditRead(const std::string& label, std::vector<uint64_t>* out,
@@ -61,12 +210,17 @@ bool Column::AuditRead(const std::string& label, std::vector<uint64_t>* out,
   std::vector<uint8_t> encoded;
   Status st = storage::TryReadByteFile(pool_, file_, stored_bytes_, &encoded);
   if (!st.ok()) {
-    // Do not attempt to decode a buffer that failed its checksum —
-    // DecompressU64 aborts on malformed input by design.
     report->Add(audit::FindingClass::kChecksum, label, st.ToString());
     return false;
   }
-  *out = DecompressU64(encoded, size_);
+  // The page checksums passed but the encoding itself may still be
+  // malformed (logical corruption behind a valid checksum); the tolerant
+  // decoder turns that into a finding instead of aborting.
+  st = TryDecompressU64(encoded, size_, out);
+  if (!st.ok()) {
+    report->Add(audit::FindingClass::kColumn, label, st.ToString());
+    return false;
+  }
   return true;
 }
 
@@ -80,18 +234,44 @@ void Column::AuditInto(audit::AuditLevel level,
   }
   // Audits run at quiescent points, but take the load mutex anyway: the
   // kFull disk sweep below re-reads pages (pool < load in the rank
-  // table), and holding it makes the cache_ comparisons rank-clean.
+  // table), and holding it makes the cache comparisons rank-clean.
   MutexLock lock(&load_mutex_);
-  if (loaded_ && cache_.size() != size_) {
+  // Metadata consistency: the recorded encoded size must agree with the
+  // on-disk image. A divergence means cold-bytes accounting (and the
+  // encoded cold load itself) is reading the wrong number of pages.
+  const uint64_t expected_pages = (stored_bytes_ + storage::kPageSize - 1) /
+                                  storage::kPageSize;
+  if (expected_pages != file_.page_count()) {
     report->Add(audit::FindingClass::kColumn, label,
-                "cached image has " + std::to_string(cache_.size()) +
+                "recorded encoded size " + std::to_string(stored_bytes_) +
+                    " bytes implies " + std::to_string(expected_pages) +
+                    " pages, on-disk file has " +
+                    std::to_string(file_.page_count()));
+  }
+  // The raw in-memory image, when one exists (a flat encoded cache *is*
+  // the raw image; see Get()).
+  const std::vector<uint64_t>* cached_raw = nullptr;
+  if (loaded_.load(std::memory_order_relaxed)) {
+    cached_raw = encoded_.rep() == EncodedColumn::Rep::kFlat
+                     ? &encoded_.flat()
+                     : &cache_;
+  }
+  if (encoded_loaded_.load(std::memory_order_relaxed) &&
+      encoded_.size() != size_) {
+    report->Add(audit::FindingClass::kColumn, label,
+                "cached encoded image has " + std::to_string(encoded_.size()) +
+                    " values, declared size is " + std::to_string(size_));
+  }
+  if (cached_raw != nullptr && cached_raw->size() != size_) {
+    report->Add(audit::FindingClass::kColumn, label,
+                "cached image has " + std::to_string(cached_raw->size()) +
                     " values, declared size is " + std::to_string(size_));
   }
   if (level == audit::AuditLevel::kQuick) {
     // Quick audits verify whatever is already in memory, without paying
     // for a disk sweep.
-    if (!loaded_) return;
-    AuditValues(label, cache_, options, report);
+    if (cached_raw == nullptr) return;
+    AuditValues(label, *cached_raw, options, report);
     return;
   }
   std::vector<uint64_t> disk_values;
@@ -103,7 +283,7 @@ void Column::AuditInto(audit::AuditLevel level,
                     " values, declared size is " + std::to_string(size_));
     return;
   }
-  if (loaded_ && cache_ != disk_values) {
+  if (cached_raw != nullptr && *cached_raw != disk_values) {
     report->Add(audit::FindingClass::kColumn, label,
                 "in-memory cache diverges from on-disk image");
   }

@@ -1,5 +1,7 @@
 #include "colstore/compression.h"
 
+#include <algorithm>
+#include <bit>
 #include <cstring>
 
 #include "common/macros.h"
@@ -11,6 +13,8 @@ namespace {
 constexpr uint8_t kTagRaw = 0;
 constexpr uint8_t kTagRle = 1;
 constexpr uint8_t kTagDelta = 2;
+constexpr uint8_t kTagBitPack = 3;
+constexpr uint8_t kTagDictBitPack = 4;
 
 void PutU64(std::vector<uint8_t>* out, uint64_t v) {
   const size_t at = out->size();
@@ -24,20 +28,21 @@ void PutU32(std::vector<uint8_t>* out, uint32_t v) {
   std::memcpy(out->data() + at, &v, sizeof(v));
 }
 
-uint64_t GetU64(std::span<const uint8_t> bytes, size_t* pos) {
-  SWAN_CHECK_MSG(*pos + 8 <= bytes.size(), "corrupt compressed column");
-  uint64_t v;
-  std::memcpy(&v, bytes.data() + *pos, sizeof(v));
+// Tolerant readers: the decode path reports malformed buffers as
+// Status::Corruption (the caller decides whether that aborts), so every
+// bounds check returns false instead of SWAN_CHECK-ing.
+bool GetU64(std::span<const uint8_t> bytes, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > bytes.size()) return false;
+  std::memcpy(v, bytes.data() + *pos, sizeof(*v));
   *pos += 8;
-  return v;
+  return true;
 }
 
-uint32_t GetU32(std::span<const uint8_t> bytes, size_t* pos) {
-  SWAN_CHECK_MSG(*pos + 4 <= bytes.size(), "corrupt compressed column");
-  uint32_t v;
-  std::memcpy(&v, bytes.data() + *pos, sizeof(v));
+bool GetU32(std::span<const uint8_t> bytes, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > bytes.size()) return false;
+  std::memcpy(v, bytes.data() + *pos, sizeof(*v));
   *pos += 4;
-  return v;
+  return true;
 }
 
 uint64_t ZigZag(int64_t v) {
@@ -56,17 +61,35 @@ void PutVarint(std::vector<uint8_t>* out, uint64_t v) {
   out->push_back(static_cast<uint8_t>(v));
 }
 
-uint64_t GetVarint(std::span<const uint8_t> bytes, size_t* pos) {
-  uint64_t v = 0;
+bool GetVarint(std::span<const uint8_t> bytes, size_t* pos, uint64_t* v) {
+  *v = 0;
   int shift = 0;
   for (;;) {
-    SWAN_CHECK_MSG(*pos < bytes.size() && shift < 64,
-                   "corrupt varint in compressed column");
+    if (*pos >= bytes.size() || shift >= 64) return false;
     const uint8_t byte = bytes[(*pos)++];
-    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
-    if ((byte & 0x80) == 0) return v;
+    *v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return true;
     shift += 7;
   }
+}
+
+// Packs `values` (each < 2^width) at `width` bits per value into `words`,
+// which must be zero-initialized and sized (count*width + 63) / 64.
+void PackInto(std::span<const uint64_t> values, int width, uint64_t* words) {
+  for (uint64_t i = 0; i < values.size(); ++i) {
+    const uint64_t bit = i * static_cast<uint64_t>(width);
+    const uint64_t word = bit >> 6;
+    const int off = static_cast<int>(bit & 63);
+    words[word] |= values[i] << off;
+    if (off + width > 64) words[word + 1] |= values[i] >> (64 - off);
+  }
+}
+
+void AppendWords(std::vector<uint8_t>* out, std::span<const uint64_t> words) {
+  if (words.empty()) return;  // memcpy from a null data() is UB
+  const size_t at = out->size();
+  out->resize(at + words.size() * 8);
+  std::memcpy(out->data() + at, words.data(), words.size() * 8);
 }
 
 std::vector<uint8_t> EncodeRaw(std::span<const uint64_t> values) {
@@ -105,6 +128,67 @@ std::vector<uint8_t> EncodeDelta(std::span<const uint64_t> values) {
   return out;
 }
 
+std::vector<uint8_t> EncodeBitPack(std::span<const uint64_t> values) {
+  uint64_t max_value = 0;
+  for (uint64_t v : values) max_value = std::max(max_value, v);
+  const int width = BitWidthFor(max_value);
+  const uint64_t word_count =
+      (values.size() * static_cast<uint64_t>(width) + 63) / 64;
+  std::vector<uint64_t> words(word_count, 0);
+  PackInto(values, width, words.data());
+  std::vector<uint8_t> out;
+  out.reserve(2 + word_count * 8);
+  out.push_back(kTagBitPack);
+  out.push_back(static_cast<uint8_t>(width));
+  AppendWords(&out, words);
+  return out;
+}
+
+std::vector<uint8_t> EncodeDictBitPack(std::span<const uint64_t> values) {
+  std::vector<uint64_t> palette(values.begin(), values.end());
+  std::sort(palette.begin(), palette.end());
+  palette.erase(std::unique(palette.begin(), palette.end()), palette.end());
+  SWAN_CHECK_MSG(palette.size() < (1ull << 32),
+                 "dictionary codec requires < 2^32 distinct values");
+  const int width =
+      BitWidthFor(palette.empty() ? 0 : palette.size() - 1);
+  std::vector<uint64_t> codes(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    codes[i] = static_cast<uint64_t>(
+        std::lower_bound(palette.begin(), palette.end(), values[i]) -
+        palette.begin());
+  }
+  const uint64_t word_count =
+      (codes.size() * static_cast<uint64_t>(width) + 63) / 64;
+  std::vector<uint64_t> words(word_count, 0);
+  PackInto(codes, width, words.data());
+  std::vector<uint8_t> out;
+  out.reserve(2 + 4 + palette.size() * 8 + word_count * 8);
+  out.push_back(kTagDictBitPack);
+  out.push_back(static_cast<uint8_t>(width));
+  PutU32(&out, static_cast<uint32_t>(palette.size()));
+  AppendWords(&out, palette);
+  AppendWords(&out, words);
+  return out;
+}
+
+Status Corrupt(const char* what) { return Status::Corruption(what); }
+
+// Copies `word_count` packed words starting at bytes[*pos] into `words`,
+// appending one zero pad word so two-word straddling reads stay in
+// bounds.
+Status ReadPackedWords(std::span<const uint8_t> bytes, size_t* pos,
+                       uint64_t word_count, std::vector<uint64_t>* words) {
+  if (*pos + word_count * 8 > bytes.size()) {
+    return Corrupt("corrupt bit-packed column: truncated word stream");
+  }
+  words->resize(word_count + 1, 0);
+  std::memcpy(words->data(), bytes.data() + *pos, word_count * 8);
+  (*words)[word_count] = 0;
+  *pos += word_count * 8;
+  return Status::OK();
+}
+
 }  // namespace
 
 std::string ToString(ColumnCodec codec) {
@@ -115,10 +199,31 @@ std::string ToString(ColumnCodec codec) {
       return "rle";
     case ColumnCodec::kDelta:
       return "delta";
+    case ColumnCodec::kBitPack:
+      return "bitpack";
+    case ColumnCodec::kDictBitPack:
+      return "dictbitpack";
     case ColumnCodec::kAuto:
       return "auto";
   }
   return "?";
+}
+
+bool CodecFromString(std::string_view name, ColumnCodec* out) {
+  for (ColumnCodec codec :
+       {ColumnCodec::kRaw, ColumnCodec::kRle, ColumnCodec::kDelta,
+        ColumnCodec::kBitPack, ColumnCodec::kDictBitPack,
+        ColumnCodec::kAuto}) {
+    if (name == ToString(codec)) {
+      *out = codec;
+      return true;
+    }
+  }
+  return false;
+}
+
+int BitWidthFor(uint64_t v) {
+  return std::max(1, static_cast<int>(std::bit_width(v)));
 }
 
 std::vector<uint8_t> CompressU64(std::span<const uint64_t> values,
@@ -130,9 +235,17 @@ std::vector<uint8_t> CompressU64(std::span<const uint64_t> values,
       return EncodeRle(values);
     case ColumnCodec::kDelta:
       return EncodeDelta(values);
+    case ColumnCodec::kBitPack:
+      return EncodeBitPack(values);
+    case ColumnCodec::kDictBitPack:
+      return EncodeDictBitPack(values);
     case ColumnCodec::kAuto: {
+      // Smallest wins; ties keep the earlier candidate, so the choice is
+      // deterministic for a given input.
       std::vector<uint8_t> best = EncodeRaw(values);
-      for (auto candidate : {EncodeRle(values), EncodeDelta(values)}) {
+      for (auto candidate :
+           {EncodeRle(values), EncodeDelta(values), EncodeBitPack(values),
+            EncodeDictBitPack(values)}) {
         if (candidate.size() < best.size()) best = std::move(candidate);
       }
       return best;
@@ -142,37 +255,175 @@ std::vector<uint8_t> CompressU64(std::span<const uint64_t> values,
   return {};
 }
 
-std::vector<uint64_t> DecompressU64(std::span<const uint8_t> bytes,
-                                    uint64_t count) {
-  SWAN_CHECK_MSG(!bytes.empty(), "empty compressed column buffer");
-  std::vector<uint64_t> out;
-  out.reserve(count);
-  size_t pos = 1;
+ColumnCodec CodecOfEncoded(std::span<const uint8_t> bytes) {
+  if (bytes.empty()) return ColumnCodec::kRaw;
   switch (bytes[0]) {
     case kTagRaw:
-      for (uint64_t i = 0; i < count; ++i) out.push_back(GetU64(bytes, &pos));
-      break;
+      return ColumnCodec::kRaw;
     case kTagRle:
-      while (out.size() < count) {
-        const uint64_t value = GetU64(bytes, &pos);
-        const uint32_t run = GetU32(bytes, &pos);
-        SWAN_CHECK_MSG(run > 0 && out.size() + run <= count,
-                       "corrupt RLE run");
-        out.insert(out.end(), run, value);
+      return ColumnCodec::kRle;
+    case kTagDelta:
+      return ColumnCodec::kDelta;
+    case kTagBitPack:
+      return ColumnCodec::kBitPack;
+    case kTagDictBitPack:
+      return ColumnCodec::kDictBitPack;
+    default:
+      return ColumnCodec::kRaw;
+  }
+}
+
+Status TryParseEncoding(std::span<const uint8_t> bytes, uint64_t count,
+                        ParsedEncoding* out) {
+  *out = ParsedEncoding{};
+  if (bytes.empty()) return Corrupt("empty compressed column buffer");
+  size_t pos = 1;
+  switch (bytes[0]) {
+    case kTagRaw: {
+      out->rep = ParsedEncoding::Rep::kFlat;
+      if (pos + count * 8 > bytes.size()) {
+        return Corrupt("corrupt compressed column: truncated raw payload");
       }
-      break;
+      out->flat.resize(count);
+      if (count != 0) {
+        std::memcpy(out->flat.data(), bytes.data() + pos, count * 8);
+      }
+      return Status::OK();
+    }
+    case kTagRle: {
+      out->rep = ParsedEncoding::Rep::kRle;
+      uint64_t at = 0;
+      while (at < count) {
+        uint64_t value;
+        uint32_t run;
+        if (!GetU64(bytes, &pos, &value) || !GetU32(bytes, &pos, &run)) {
+          return Corrupt("corrupt compressed column: truncated RLE pair");
+        }
+        if (run == 0 || at + run > count) {
+          return Corrupt("corrupt RLE run");
+        }
+        out->runs.push_back(RleRun{value, at, run});
+        at += run;
+      }
+      return Status::OK();
+    }
     case kTagDelta: {
+      out->rep = ParsedEncoding::Rep::kFlat;
+      out->flat.reserve(count);
       uint64_t prev = 0;
       for (uint64_t i = 0; i < count; ++i) {
-        prev += static_cast<uint64_t>(UnZigZag(GetVarint(bytes, &pos)));
-        out.push_back(prev);
+        uint64_t z;
+        if (!GetVarint(bytes, &pos, &z)) {
+          return Corrupt("corrupt varint in compressed column");
+        }
+        prev += static_cast<uint64_t>(UnZigZag(z));
+        out->flat.push_back(prev);
       }
-      break;
+      return Status::OK();
+    }
+    case kTagBitPack: {
+      out->rep = ParsedEncoding::Rep::kPacked;
+      if (bytes.size() < 2) {
+        return Corrupt("corrupt bit-packed column: missing width");
+      }
+      const int width = bytes[pos++];
+      if (width < 1 || width > 64) {
+        return Corrupt("corrupt bit-packed column: width out of range");
+      }
+      out->bit_width = width;
+      const uint64_t word_count =
+          (count * static_cast<uint64_t>(width) + 63) / 64;
+      return ReadPackedWords(bytes, &pos, word_count, &out->words);
+    }
+    case kTagDictBitPack: {
+      out->rep = ParsedEncoding::Rep::kPacked;
+      if (bytes.size() < 2) {
+        return Corrupt("corrupt dictionary column: missing width");
+      }
+      const int width = bytes[pos++];
+      if (width < 1 || width > 64) {
+        return Corrupt("corrupt dictionary column: width out of range");
+      }
+      out->bit_width = width;
+      uint32_t dict_count;
+      if (!GetU32(bytes, &pos, &dict_count)) {
+        return Corrupt("corrupt dictionary column: missing palette size");
+      }
+      if (count > 0 && dict_count == 0) {
+        return Corrupt("corrupt dictionary column: empty palette");
+      }
+      if (pos + static_cast<uint64_t>(dict_count) * 8 > bytes.size()) {
+        return Corrupt("corrupt dictionary column: truncated palette");
+      }
+      out->palette.resize(dict_count);
+      if (dict_count != 0) {
+        std::memcpy(out->palette.data(), bytes.data() + pos,
+                    static_cast<uint64_t>(dict_count) * 8);
+      }
+      pos += static_cast<uint64_t>(dict_count) * 8;
+      for (size_t i = 1; i < out->palette.size(); ++i) {
+        if (out->palette[i - 1] >= out->palette[i]) {
+          return Corrupt("corrupt dictionary column: palette not sorted");
+        }
+      }
+      const uint64_t word_count =
+          (count * static_cast<uint64_t>(width) + 63) / 64;
+      Status st = ReadPackedWords(bytes, &pos, word_count, &out->words);
+      if (!st.ok()) return st;
+      // Every code must index the palette; a single pass catches flipped
+      // bits in the word stream that the header checks cannot.
+      for (uint64_t i = 0; i < count; ++i) {
+        if (PackedValueAt(out->words.data(), width, i) >= dict_count) {
+          return Corrupt("corrupt dictionary column: code out of range");
+        }
+      }
+      return Status::OK();
     }
     default:
-      SWAN_CHECK_MSG(false, "unknown column codec tag");
+      return Corrupt("unknown column codec tag");
   }
-  SWAN_CHECK_EQ(out.size(), count);
+}
+
+Status TryDecompressU64(std::span<const uint8_t> bytes, uint64_t count,
+                        std::vector<uint64_t>* out) {
+  ParsedEncoding enc;
+  Status st = TryParseEncoding(bytes, count, &enc);
+  if (!st.ok()) return st;
+  switch (enc.rep) {
+    case ParsedEncoding::Rep::kFlat:
+      *out = std::move(enc.flat);
+      break;
+    case ParsedEncoding::Rep::kRle:
+      out->clear();
+      out->reserve(count);
+      for (const RleRun& run : enc.runs) {
+        out->insert(out->end(), run.length, run.value);
+      }
+      break;
+    case ParsedEncoding::Rep::kPacked:
+      out->clear();
+      out->reserve(count);
+      if (enc.palette.empty()) {
+        for (uint64_t i = 0; i < count; ++i) {
+          out->push_back(PackedValueAt(enc.words.data(), enc.bit_width, i));
+        }
+      } else {
+        for (uint64_t i = 0; i < count; ++i) {
+          out->push_back(enc.palette[PackedValueAt(enc.words.data(),
+                                                   enc.bit_width, i)]);
+        }
+      }
+      break;
+  }
+  SWAN_CHECK_EQ(out->size(), count);
+  return Status::OK();
+}
+
+std::vector<uint64_t> DecompressU64(std::span<const uint8_t> bytes,
+                                    uint64_t count) {
+  std::vector<uint64_t> out;
+  Status st = TryDecompressU64(bytes, count, &out);
+  SWAN_CHECK_MSG(st.ok(), st.ToString().c_str());
   return out;
 }
 

@@ -592,4 +592,689 @@ std::vector<uint64_t> SortDistinct(std::vector<uint64_t> values) {
   return values;
 }
 
+// --- Encoded execution ----------------------------------------------------
+
+namespace {
+
+using Rep = EncodedColumn::Rep;
+
+// Monotone positional reader over an RLE column: amortized O(1) when
+// positions arrive in ascending order (the common case for selection
+// vectors), falling back to a binary-search reseek on jumps.
+class RleReader {
+ public:
+  explicit RleReader(const EncodedColumn& enc) : enc_(&enc) {}
+
+  uint64_t At(uint64_t pos) {
+    const auto& runs = enc_->runs();
+    const RleRun* r = &runs[idx_];
+    if (pos < r->start || pos >= r->start + r->length) {
+      if (idx_ + 1 < runs.size() && pos >= runs[idx_ + 1].start &&
+          pos < runs[idx_ + 1].start + runs[idx_ + 1].length) {
+        ++idx_;
+      } else {
+        idx_ = enc_->RunIndexOf(pos);
+      }
+      r = &runs[idx_];
+    }
+    return r->value;
+  }
+
+ private:
+  const EncodedColumn* enc_;
+  size_t idx_ = 0;
+};
+
+// Pull iterator over the maximal equal-value runs of enc[lo, hi): the
+// merge-join building block ("advance run-by-run, decompress only at
+// projection"). Adjacent stored RLE runs with equal values are coalesced
+// (the encoder caps a stored run at 2^32 - 1 rows); flat data is scanned
+// in place and packed data unpacked kDecodeBatch values at a time, so the
+// cursor never materializes the full range.
+class RunCursor {
+ public:
+  RunCursor(const EncodedColumn& enc, uint64_t lo, uint64_t hi)
+      : enc_(&enc), hi_(hi), next_(lo) {
+    if (enc_->rep() == Rep::kRle && lo < hi_) run_idx_ = enc_->RunIndexOf(lo);
+    Advance();
+  }
+
+  bool done() const { return start_ >= hi_; }
+  uint64_t value() const { return value_; }
+  uint64_t start() const { return start_; }
+  uint64_t end() const { return end_; }
+  uint64_t length() const { return end_ - start_; }
+  void Next() { Advance(); }
+
+ private:
+  uint64_t At(uint64_t pos) {
+    if (enc_->rep() == Rep::kFlat) return enc_->flat()[pos];
+    if (pos >= buf_hi_ || pos < buf_lo_) {
+      buf_lo_ = pos;
+      buf_hi_ = std::min(pos + kDecodeBatch, hi_);
+      buf_.resize(buf_hi_ - buf_lo_);
+      enc_->MaterializeInto(buf_lo_, buf_hi_, buf_.data());
+    }
+    return buf_[pos - buf_lo_];
+  }
+
+  void Advance() {
+    start_ = next_;
+    if (start_ >= hi_) {
+      end_ = start_;
+      return;
+    }
+    if (enc_->rep() == Rep::kRle) {
+      const auto& runs = enc_->runs();
+      value_ = runs[run_idx_].value;
+      for (;;) {
+        end_ = std::min<uint64_t>(
+            runs[run_idx_].start + runs[run_idx_].length, hi_);
+        if (end_ >= hi_) break;
+        if (runs[run_idx_ + 1].value != value_) break;
+        ++run_idx_;
+      }
+      // Ending short of hi_ means the next Advance starts in the
+      // following run.
+      if (end_ < hi_) ++run_idx_;
+    } else {
+      value_ = At(start_);
+      end_ = start_ + 1;
+      while (end_ < hi_ && At(end_) == value_) ++end_;
+    }
+    next_ = end_;
+  }
+
+  const EncodedColumn* enc_;
+  uint64_t hi_;
+  uint64_t next_;
+  uint64_t start_ = 0;
+  uint64_t end_ = 0;
+  uint64_t value_ = 0;
+  size_t run_idx_ = 0;
+  std::vector<uint64_t> buf_;  // packed-rep decode window
+  uint64_t buf_lo_ = 0;
+  uint64_t buf_hi_ = 0;
+};
+
+// lower/upper bound over [lo, hi) of a sorted encoded column by decoded
+// value. ValueAt is O(1) for flat/packed and O(log runs) for RLE, so
+// these are at worst O(log^2).
+uint64_t EncLowerBound(const EncodedColumn& enc, uint64_t lo, uint64_t hi,
+                       uint64_t value) {
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (enc.ValueAt(mid) < value) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+uint64_t EncUpperBound(const EncodedColumn& enc, uint64_t lo, uint64_t hi,
+                       uint64_t value) {
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (enc.ValueAt(mid) <= value) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Equal-run-aligned partition boundaries over [lo, hi) of a sorted
+// encoded column — the encoded analog of RunAlignedBoundaries. Each
+// tentative cut advances to the end of the maximal equal-value run
+// containing it, so no run straddles a partition (keeping partitioned
+// merge-join output and the run-length histogram width-invariant).
+std::vector<uint64_t> EncRunAlignedBoundaries(const EncodedColumn& enc,
+                                              uint64_t lo, uint64_t hi,
+                                              uint64_t target_parts) {
+  const uint64_t size = hi - lo;
+  const uint64_t grain = std::max<uint64_t>(1, size / target_parts);
+  std::vector<uint64_t> bounds;
+  bounds.push_back(lo);
+  for (uint64_t t = lo + grain; t < hi; t += grain) {
+    const uint64_t cut = EncUpperBound(enc, t, hi, enc.ValueAt(t));
+    if (cut > bounds.back() && cut < hi) bounds.push_back(cut);
+  }
+  bounds.push_back(hi);
+  return bounds;
+}
+
+// Serial merge-join kernel: materialized sorted left against the encoded
+// sorted right range [rlo, rhi), run-by-run. Emits (left_off + left
+// index, right position - right_base); a matching run crosses without
+// decoding any right row.
+void MergeJoinEncInto(std::span<const uint64_t> left, uint32_t left_off,
+                      const EncodedColumn& right, uint64_t rlo, uint64_t rhi,
+                      uint64_t right_base,
+                      std::vector<std::pair<uint32_t, uint32_t>>* out,
+                      obs::Histogram* run_lengths = nullptr) {
+  RunCursor rc(right, rlo, rhi);
+  uint32_t i = 0;
+  const uint32_t n = static_cast<uint32_t>(left.size());
+  while (i < n && !rc.done()) {
+    if (left[i] < rc.value()) {
+      ++i;
+    } else if (rc.value() < left[i]) {
+      rc.Next();
+    } else {
+      const uint64_t v = left[i];
+      uint32_t i_end = i;
+      while (i_end < n && left[i_end] == v) ++i_end;
+      if (run_lengths != nullptr) {
+        run_lengths->Observe(i_end - i);
+        run_lengths->Observe(rc.length());
+      }
+      for (uint32_t a = i; a < i_end; ++a) {
+        for (uint64_t p = rc.start(); p < rc.end(); ++p) {
+          out->emplace_back(left_off + a,
+                            static_cast<uint32_t>(p - right_base));
+        }
+      }
+      i = i_end;
+      rc.Next();
+    }
+  }
+}
+
+}  // namespace
+
+void MarkSet::MarkAll(const EncodedColumn& col) {
+  switch (col.rep()) {
+    case Rep::kFlat:
+      MarkAll(std::span<const uint64_t>(col.flat()));
+      return;
+    case Rep::kRle:
+      for (const RleRun& r : col.runs()) Mark(r.value);
+      return;
+    case Rep::kPacked:
+      if (!col.palette().empty()) {
+        // Every palette entry occurs in the column by construction.
+        for (uint64_t v : col.palette()) Mark(v);
+        return;
+      }
+      ForEachDecodedBatch(col, 0, col.size(),
+                          [&](uint64_t, const uint64_t* values, uint64_t n) {
+                            for (uint64_t i = 0; i < n; ++i) Mark(values[i]);
+                          });
+      return;
+  }
+}
+
+PositionVector SelectEq(const EncodedColumn& col, uint64_t value,
+                        const exec::ExecContext& ctx) {
+  if (col.rep() == Rep::kFlat) {
+    return SelectEq(std::span<const uint64_t>(col.flat()), value, ctx);
+  }
+  obs::Span span(ctx.trace(), "ops.select_eq_enc");
+  span.set_rows_in(col.size());
+  PositionVector out;
+  if (col.rep() == Rep::kRle) {
+    // One comparison per run; a matching run emits its whole position
+    // range. Chunk order is run order is position order.
+    const auto& runs = col.runs();
+    out = MorselSelect(ctx, runs.size(),
+                       [&](uint64_t b, uint64_t e, PositionVector* out) {
+                         for (uint64_t r = b; r < e; ++r) {
+                           if (runs[r].value != value) continue;
+                           const uint64_t end = runs[r].start + runs[r].length;
+                           for (uint64_t p = runs[r].start; p < end; ++p) {
+                             out->push_back(static_cast<uint32_t>(p));
+                           }
+                         }
+                       });
+  } else {
+    // Compare in the code domain: the probe value is mapped once and no
+    // row is ever decoded. kMorsel chunks start on pack-word edges.
+    uint64_t code;
+    if (!col.CodeFor(value, &code)) {
+      span.set_rows_out(0);
+      return out;  // value cannot occur in this column
+    }
+    const uint64_t* words = col.words().data();
+    const int width = col.bit_width();
+    out = MorselSelect(ctx, col.size(),
+                       [&](uint64_t b, uint64_t e, PositionVector* out) {
+                         for (uint64_t i = b; i < e; ++i) {
+                           if (PackedValueAt(words, width, i) == code) {
+                             out->push_back(static_cast<uint32_t>(i));
+                           }
+                         }
+                       });
+  }
+  span.set_rows_out(out.size());
+  return out;
+}
+
+PositionVector SelectEq(const EncodedColumn& col, const PositionVector& sel,
+                        uint64_t value, const exec::ExecContext& ctx) {
+  if (col.rep() == Rep::kFlat) {
+    return SelectEq(std::span<const uint64_t>(col.flat()), sel, value, ctx);
+  }
+  obs::Span span(ctx.trace(), "ops.select_eq_enc");
+  span.set_rows_in(sel.size());
+  PositionVector out;
+  if (col.rep() == Rep::kRle) {
+    out = MorselSelect(ctx, sel.size(),
+                       [&](uint64_t b, uint64_t e, PositionVector* out) {
+                         RleReader reader(col);
+                         for (uint64_t j = b; j < e; ++j) {
+                           if (reader.At(sel[j]) == value) {
+                             out->push_back(sel[j]);
+                           }
+                         }
+                       });
+  } else {
+    uint64_t code;
+    if (!col.CodeFor(value, &code)) {
+      span.set_rows_out(0);
+      return out;
+    }
+    const uint64_t* words = col.words().data();
+    const int width = col.bit_width();
+    out = MorselSelect(ctx, sel.size(),
+                       [&](uint64_t b, uint64_t e, PositionVector* out) {
+                         for (uint64_t j = b; j < e; ++j) {
+                           if (PackedValueAt(words, width, sel[j]) == code) {
+                             out->push_back(sel[j]);
+                           }
+                         }
+                       });
+  }
+  span.set_rows_out(out.size());
+  return out;
+}
+
+std::pair<uint32_t, uint32_t> EqRangeSorted(const EncodedColumn& col,
+                                            uint64_t value) {
+  if (col.rep() == Rep::kFlat) {
+    return EqRangeSorted(std::span<const uint64_t>(col.flat()), value);
+  }
+  if (col.rep() == Rep::kRle) {
+    // A sorted column's runs are sorted by value: binary search the run
+    // directory instead of the row space.
+    const auto& runs = col.runs();
+    const auto lo = std::lower_bound(
+        runs.begin(), runs.end(), value,
+        [](const RleRun& r, uint64_t v) { return r.value < v; });
+    const auto hi = std::upper_bound(
+        lo, runs.end(), value,
+        [](uint64_t v, const RleRun& r) { return v < r.value; });
+    const uint64_t lo_pos = lo == runs.end() ? col.size() : lo->start;
+    const uint64_t hi_pos = hi == runs.end() ? col.size() : hi->start;
+    return {static_cast<uint32_t>(lo_pos), static_cast<uint32_t>(hi_pos)};
+  }
+  const uint64_t lo = EncLowerBound(col, 0, col.size(), value);
+  const uint64_t hi = EncUpperBound(col, lo, col.size(), value);
+  return {static_cast<uint32_t>(lo), static_cast<uint32_t>(hi)};
+}
+
+std::pair<uint32_t, uint32_t> EqRangeSorted2(const EncodedColumn& primary,
+                                             const EncodedColumn& secondary,
+                                             uint64_t v1, uint64_t v2) {
+  const auto [plo, phi] = EqRangeSorted(primary, v1);
+  const uint64_t slo = EncLowerBound(secondary, plo, phi, v2);
+  const uint64_t shi = EncUpperBound(secondary, slo, phi, v2);
+  return {static_cast<uint32_t>(slo), static_cast<uint32_t>(shi)};
+}
+
+std::vector<uint64_t> Gather(const EncodedColumn& col,
+                             const PositionVector& sel,
+                             const exec::ExecContext& ctx) {
+  if (col.rep() == Rep::kFlat) {
+    return Gather(std::span<const uint64_t>(col.flat()), sel, ctx);
+  }
+  obs::Span span(ctx.trace(), "ops.gather_enc");
+  span.set_rows_in(sel.size());
+  span.set_rows_out(sel.size());
+  std::vector<uint64_t> out(sel.size());
+  if (col.rep() == Rep::kRle) {
+    ctx.ParallelFor(sel.size(), kMorsel,
+                    [&](uint64_t b, uint64_t e, uint64_t) {
+                      RleReader reader(col);
+                      for (uint64_t i = b; i < e; ++i) {
+                        out[i] = reader.At(sel[i]);
+                      }
+                    });
+  } else {
+    const uint64_t* words = col.words().data();
+    const int width = col.bit_width();
+    ctx.ParallelFor(sel.size(), kMorsel,
+                    [&](uint64_t b, uint64_t e, uint64_t) {
+                      for (uint64_t i = b; i < e; ++i) {
+                        out[i] = col.DecodeCode(
+                            PackedValueAt(words, width, sel[i]));
+                      }
+                    });
+  }
+  return out;
+}
+
+PositionVector SelectMarked(const EncodedColumn& col, const MarkSet& set,
+                            const exec::ExecContext& ctx) {
+  if (col.rep() == Rep::kFlat) {
+    return SelectMarked(std::span<const uint64_t>(col.flat()), set, ctx);
+  }
+  obs::Span span(ctx.trace(), "ops.select_marked_enc");
+  span.set_rows_in(col.size());
+  PositionVector out;
+  if (col.rep() == Rep::kRle) {
+    const auto& runs = col.runs();
+    out = MorselSelect(ctx, runs.size(),
+                       [&](uint64_t b, uint64_t e, PositionVector* out) {
+                         for (uint64_t r = b; r < e; ++r) {
+                           if (!set.Test(runs[r].value)) continue;
+                           const uint64_t end = runs[r].start + runs[r].length;
+                           for (uint64_t p = runs[r].start; p < end; ++p) {
+                             out->push_back(static_cast<uint32_t>(p));
+                           }
+                         }
+                       });
+  } else {
+    // Hoist the membership test into code space: one Test per palette
+    // entry up front, then the scan never decodes.
+    const uint64_t* words = col.words().data();
+    const int width = col.bit_width();
+    std::vector<char> code_marked;
+    if (!col.palette().empty()) {
+      code_marked.resize(col.palette().size());
+      for (size_t c = 0; c < col.palette().size(); ++c) {
+        code_marked[c] = set.Test(col.palette()[c]) ? 1 : 0;
+      }
+    }
+    out = MorselSelect(
+        ctx, col.size(), [&](uint64_t b, uint64_t e, PositionVector* out) {
+          for (uint64_t i = b; i < e; ++i) {
+            const uint64_t code = PackedValueAt(words, width, i);
+            const bool hit = code_marked.empty() ? set.Test(code)
+                                                 : code_marked[code] != 0;
+            if (hit) out->push_back(static_cast<uint32_t>(i));
+          }
+        });
+  }
+  span.set_rows_out(out.size());
+  return out;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> CountByKeyDense(
+    const EncodedColumn& keys, uint64_t universe_size,
+    const exec::ExecContext& ctx) {
+  if (keys.rep() == Rep::kFlat) {
+    return CountByKeyDense(std::span<const uint64_t>(keys.flat()),
+                           universe_size, ctx);
+  }
+  obs::Span span(ctx.trace(), "ops.count_by_key_enc");
+  span.set_rows_in(keys.size());
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  if (keys.rep() == Rep::kRle) {
+    // A run adds its length to one counter: O(runs), not O(rows).
+    const auto& runs = keys.runs();
+    out = DenseCount(ctx, runs.size(), universe_size,
+                     [&](uint64_t b, uint64_t e, std::vector<uint64_t>* c) {
+                       for (uint64_t r = b; r < e; ++r) {
+                         SWAN_DCHECK_LT(runs[r].value, universe_size);
+                         (*c)[runs[r].value] += runs[r].length;
+                       }
+                     });
+  } else if (!keys.palette().empty()) {
+    // Aggregate in code space — the counter array is palette-sized, not
+    // universe-sized — then decode once per distinct value. The palette
+    // is sorted, so the output is value-ordered like the span kernel's.
+    const uint64_t* words = keys.words().data();
+    const int width = keys.bit_width();
+    out = DenseCount(ctx, keys.size(), keys.palette().size(),
+                     [&](uint64_t b, uint64_t e, std::vector<uint64_t>* c) {
+                       for (uint64_t i = b; i < e; ++i) {
+                         ++(*c)[PackedValueAt(words, width, i)];
+                       }
+                     });
+    for (auto& [value, count] : out) value = keys.palette()[value];
+  } else {
+    const uint64_t* words = keys.words().data();
+    const int width = keys.bit_width();
+    out = DenseCount(ctx, keys.size(), universe_size,
+                     [&](uint64_t b, uint64_t e, std::vector<uint64_t>* c) {
+                       for (uint64_t i = b; i < e; ++i) {
+                         const uint64_t v = PackedValueAt(words, width, i);
+                         SWAN_DCHECK_LT(v, universe_size);
+                         ++(*c)[v];
+                       }
+                     });
+  }
+  span.set_rows_out(out.size());
+  return out;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> CountByKeyDense(
+    const EncodedColumn& col, const PositionVector& sel,
+    uint64_t universe_size, const exec::ExecContext& ctx) {
+  if (col.rep() == Rep::kFlat) {
+    return CountByKeyDense(std::span<const uint64_t>(col.flat()), sel,
+                           universe_size, ctx);
+  }
+  obs::Span span(ctx.trace(), "ops.count_by_key_enc");
+  span.set_rows_in(sel.size());
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  if (col.rep() == Rep::kRle) {
+    out = DenseCount(ctx, sel.size(), universe_size,
+                     [&](uint64_t b, uint64_t e, std::vector<uint64_t>* c) {
+                       RleReader reader(col);
+                       for (uint64_t j = b; j < e; ++j) {
+                         const uint64_t v = reader.At(sel[j]);
+                         SWAN_DCHECK_LT(v, universe_size);
+                         ++(*c)[v];
+                       }
+                     });
+  } else if (!col.palette().empty()) {
+    const uint64_t* words = col.words().data();
+    const int width = col.bit_width();
+    out = DenseCount(ctx, sel.size(), col.palette().size(),
+                     [&](uint64_t b, uint64_t e, std::vector<uint64_t>* c) {
+                       for (uint64_t j = b; j < e; ++j) {
+                         ++(*c)[PackedValueAt(words, width, sel[j])];
+                       }
+                     });
+    for (auto& [value, count] : out) value = col.palette()[value];
+  } else {
+    const uint64_t* words = col.words().data();
+    const int width = col.bit_width();
+    out = DenseCount(ctx, sel.size(), universe_size,
+                     [&](uint64_t b, uint64_t e, std::vector<uint64_t>* c) {
+                       for (uint64_t j = b; j < e; ++j) {
+                         const uint64_t v =
+                             PackedValueAt(words, width, sel[j]);
+                         SWAN_DCHECK_LT(v, universe_size);
+                         ++(*c)[v];
+                       }
+                     });
+  }
+  span.set_rows_out(out.size());
+  return out;
+}
+
+std::vector<PairCount> CountByPair(const EncodedColumn& a,
+                                   const EncodedColumn& b,
+                                   const exec::ExecContext& ctx) {
+  SWAN_CHECK_EQ(a.size(), b.size());
+  if (a.rep() == Rep::kFlat && b.rep() == Rep::kFlat) {
+    return CountByPair(std::span<const uint64_t>(a.flat()),
+                       std::span<const uint64_t>(b.flat()), ctx);
+  }
+  obs::Span span(ctx.trace(), "ops.count_by_pair_enc");
+  span.set_rows_in(a.size());
+  // Lockstep run walk: every maximal segment where both columns are
+  // constant contributes its whole length in O(1). Segment count is
+  // bounded by runs(a) + runs(b), so the sort-and-merge aggregation
+  // below works on run-compressed data.
+  std::vector<PairCount> segs;
+  RunCursor ca(a, 0, a.size());
+  RunCursor cb(b, 0, b.size());
+  uint64_t pos = 0;
+  while (pos < a.size()) {
+    const uint64_t seg_end = std::min(ca.end(), cb.end());
+    SWAN_CHECK_MSG(ca.value() < (1ull << 32) && cb.value() < (1ull << 32),
+                   "CountByPair requires 32-bit dictionary ids");
+    segs.push_back(PairCount{ca.value(), cb.value(), seg_end - pos});
+    pos = seg_end;
+    if (ca.end() == pos) ca.Next();
+    if (cb.end() == pos) cb.Next();
+  }
+  std::sort(segs.begin(), segs.end(), [](const PairCount& x,
+                                         const PairCount& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  });
+  std::vector<PairCount> out;
+  for (const PairCount& s : segs) {
+    if (!out.empty() && out.back().a == s.a && out.back().b == s.b) {
+      out.back().count += s.count;
+    } else {
+      out.push_back(s);
+    }
+  }
+  span.set_rows_out(out.size());
+  return out;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> MergeJoin(
+    std::span<const uint64_t> left, const EncodedColumn& right, uint64_t rlo,
+    uint64_t rhi, const exec::ExecContext& ctx) {
+  SWAN_DCHECK_LE(rlo, rhi);
+  SWAN_DCHECK_LE(rhi, right.size());
+  if (right.rep() == Rep::kFlat) {
+    // Right indices of the span kernel are already relative to the
+    // subspan start.
+    return MergeJoin(
+        left,
+        std::span<const uint64_t>(right.flat()).subspan(rlo, rhi - rlo), ctx);
+  }
+  obs::Span span(ctx.trace(), "ops.merge_join_enc");
+  span.set_rows_in(left.size() + (rhi - rlo));
+  obs::Histogram* run_lengths = RunLengthHist(ctx);
+  if (!ctx.parallel() || left.size() + (rhi - rlo) < 2 * kMorsel) {
+    std::vector<std::pair<uint32_t, uint32_t>> out;
+    MergeJoinEncInto(left, 0, right, rlo, rhi, rlo, &out, run_lengths);
+    span.set_rows_out(out.size());
+    return out;
+  }
+
+  // Partition the encoded side at equal-run edges; each partition
+  // recovers its matching left range by binary search. Same ordering
+  // argument as the span kernel: partition p's key range strictly
+  // precedes p+1's, so concatenation reproduces the serial sequence.
+  const uint64_t parts_target =
+      std::max<uint64_t>(static_cast<uint64_t>(ctx.threads()),
+                         (rhi - rlo) / kMorsel);
+  const std::vector<uint64_t> bounds =
+      EncRunAlignedBoundaries(right, rlo, rhi, parts_target);
+  const uint64_t parts = bounds.size() - 1;
+  if (parts <= 1) {
+    std::vector<std::pair<uint32_t, uint32_t>> out;
+    MergeJoinEncInto(left, 0, right, rlo, rhi, rlo, &out, run_lengths);
+    span.set_rows_out(out.size());
+    return out;
+  }
+  ctx.counters().merge_join_partitions.fetch_add(parts,
+                                                 std::memory_order_relaxed);
+
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> outs(parts);
+  ctx.ParallelFor(parts, 1, [&](uint64_t pb, uint64_t pe, uint64_t) {
+    for (uint64_t p = pb; p < pe; ++p) {
+      const uint64_t blo = bounds[p];
+      const uint64_t bhi = bounds[p + 1];
+      const uint64_t first = right.ValueAt(blo);
+      const uint64_t last = right.ValueAt(bhi - 1);
+      const uint64_t llo = static_cast<uint64_t>(
+          std::lower_bound(left.begin(), left.end(), first) - left.begin());
+      const uint64_t lhi = static_cast<uint64_t>(
+          std::upper_bound(left.begin() + static_cast<ptrdiff_t>(llo),
+                           left.end(), last) -
+          left.begin());
+      MergeJoinEncInto(left.subspan(llo, lhi - llo),
+                       static_cast<uint32_t>(llo), right, blo, bhi, rlo,
+                       &outs[p], run_lengths);
+    }
+  });
+
+  size_t total = 0;
+  for (const auto& o : outs) total += o.size();
+  std::vector<std::pair<uint32_t, uint32_t>> out;
+  out.reserve(total);
+  for (const auto& o : outs) out.insert(out.end(), o.begin(), o.end());
+  span.set_rows_out(out.size());
+  return out;
+}
+
+uint64_t MergeCountMatches(const EncodedColumn& values, uint64_t lo,
+                           uint64_t hi, std::span<const uint64_t> keys,
+                           const exec::ExecContext& ctx) {
+  SWAN_DCHECK_LE(lo, hi);
+  SWAN_DCHECK_LE(hi, values.size());
+  if (values.rep() == Rep::kFlat) {
+    return MergeCountMatches(
+        std::span<const uint64_t>(values.flat()).subspan(lo, hi - lo), keys,
+        ctx);
+  }
+  obs::Span span(ctx.trace(), "ops.merge_count_enc");
+  span.set_rows_in((hi - lo) + keys.size());
+  // Run-by-run merge: a matching run contributes its length in O(1), so
+  // the cost is O(runs + keys) regardless of row count. Callers that want
+  // parallelism fan out over row ranges (counts are additive).
+  uint64_t count = 0;
+  RunCursor rc(values, lo, hi);
+  size_t j = 0;
+  while (!rc.done() && j < keys.size()) {
+    if (rc.value() < keys[j]) {
+      rc.Next();
+    } else if (keys[j] < rc.value()) {
+      ++j;
+    } else {
+      count += rc.length();
+      rc.Next();
+      ++j;  // keys are unique
+    }
+  }
+  span.set_rows_out(count);
+  return count;
+}
+
+PositionVector MergeSelectPositions(const EncodedColumn& values, uint64_t lo,
+                                    uint64_t hi,
+                                    std::span<const uint64_t> keys,
+                                    const exec::ExecContext& ctx) {
+  SWAN_DCHECK_LE(lo, hi);
+  SWAN_DCHECK_LE(hi, values.size());
+  if (values.rep() == Rep::kFlat) {
+    return MergeSelectPositions(
+        std::span<const uint64_t>(values.flat()).subspan(lo, hi - lo), keys,
+        ctx);
+  }
+  obs::Span span(ctx.trace(), "ops.merge_select_enc");
+  span.set_rows_in((hi - lo) + keys.size());
+  PositionVector out;
+  RunCursor rc(values, lo, hi);
+  size_t j = 0;
+  while (!rc.done() && j < keys.size()) {
+    if (rc.value() < keys[j]) {
+      rc.Next();
+    } else if (keys[j] < rc.value()) {
+      ++j;
+    } else {
+      // A matching run emits its position range without decoding.
+      for (uint64_t p = rc.start(); p < rc.end(); ++p) {
+        out.push_back(static_cast<uint32_t>(p - lo));
+      }
+      rc.Next();
+      ++j;  // keys are unique
+    }
+  }
+  span.set_rows_out(out.size());
+  return out;
+}
+
 }  // namespace swan::colstore

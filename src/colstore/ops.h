@@ -1,11 +1,13 @@
 #ifndef SWANDB_COLSTORE_OPS_H_
 #define SWANDB_COLSTORE_OPS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "colstore/column.h"
 #include "exec/exec_context.h"
 
 namespace swan::colstore {
@@ -70,6 +72,10 @@ class MarkSet {
   void MarkAll(std::span<const uint64_t> values) {
     for (uint64_t v : values) Mark(v);
   }
+  // Encoded view: an RLE run contributes one Mark regardless of its
+  // length, a dictionary palette is marked wholesale (every palette entry
+  // occurs by construction).
+  void MarkAll(const EncodedColumn& col);
   void Mark(uint64_t v) { bits_[v >> 6] |= 1ull << (v & 63); }
   bool Test(uint64_t v) const { return (bits_[v >> 6] >> (v & 63)) & 1u; }
 
@@ -150,6 +156,127 @@ std::vector<uint64_t> UnionDistinct(
 
 // Sorted copy with duplicates removed.
 std::vector<uint64_t> SortDistinct(std::vector<uint64_t> values);
+
+// --- Encoded execution ----------------------------------------------------
+//
+// Overloads that consume the still-compressed EncodedColumn view and
+// decompress only at final projection:
+//   - RLE reps are walked run-by-run: a run of length n contributes its n
+//     rows in O(1) (selection emits the position range, aggregation adds
+//     n to one counter, a merge join crosses whole runs).
+//   - Bit-packed reps evaluate equality predicates in the *code* domain
+//     (CodeFor maps the probe value once; rows whose code mismatches are
+//     never decoded) and unpack positionally for gathers.
+//   - Flat reps (raw / delta disk formats) delegate to the span kernels
+//     above — one code path, zero copies.
+//
+// Parallel chunking matches the span kernels: RLE work splits at run
+// boundaries and packed work at kMorsel (= 2^16, a multiple of 64, so
+// every chunk starts on a pack-word edge); chunk outputs concatenate in
+// chunk order. Results are therefore bit-identical to the span kernels at
+// every thread width.
+
+// Batch size for projection-time decompression: 4096 values (32 KB) stay
+// cache-resident while amortizing per-batch dispatch.
+inline constexpr uint64_t kDecodeBatch = 4096;
+
+// Decodes [lo, hi) of `enc` in kDecodeBatch-sized chunks and invokes
+// body(base, values, count), base being the global position of values[0].
+// Flat columns pass their cached array through without copying. Serial —
+// callers fan out per morsel and run one batch stream per chunk.
+template <typename Body>
+void ForEachDecodedBatch(const EncodedColumn& enc, uint64_t lo, uint64_t hi,
+                         const Body& body) {
+  if (lo >= hi) return;
+  if (enc.rep() == EncodedColumn::Rep::kFlat) {
+    body(lo, enc.flat().data() + lo, hi - lo);
+    return;
+  }
+  std::vector<uint64_t> buf(std::min(kDecodeBatch, hi - lo));
+  for (uint64_t b = lo; b < hi; b += kDecodeBatch) {
+    const uint64_t e = std::min(b + kDecodeBatch, hi);
+    enc.MaterializeInto(b, e, buf.data());
+    body(b, buf.data(), e - b);
+  }
+}
+
+// Positions where col[i] == value, without materializing col.
+PositionVector SelectEq(const EncodedColumn& col, uint64_t value,
+                        const exec::ExecContext& ctx = exec::ExecContext());
+
+// Positions i in `sel` where col[i] == value.
+PositionVector SelectEq(const EncodedColumn& col, const PositionVector& sel,
+                        uint64_t value,
+                        const exec::ExecContext& ctx = exec::ExecContext());
+
+// [lo, hi) such that col[lo..hi) == value, for a sorted encoded column
+// (binary search over runs / packed codes; never materializes).
+std::pair<uint32_t, uint32_t> EqRangeSorted(const EncodedColumn& col,
+                                            uint64_t value);
+
+// [lo, hi) of rows where (primary, secondary) == (v1, v2), for encoded
+// columns sorted lexicographically by (primary, secondary).
+std::pair<uint32_t, uint32_t> EqRangeSorted2(const EncodedColumn& primary,
+                                             const EncodedColumn& secondary,
+                                             uint64_t v1, uint64_t v2);
+
+// Materializes col[sel[i]] for all i — positional unpack; only the
+// selected rows are decoded.
+std::vector<uint64_t> Gather(const EncodedColumn& col,
+                             const PositionVector& sel,
+                             const exec::ExecContext& ctx = exec::ExecContext());
+
+// Positions i (of `col`) where the decoded value is marked. RLE runs cost
+// one membership test each.
+PositionVector SelectMarked(const EncodedColumn& col, const MarkSet& set,
+                            const exec::ExecContext& ctx = exec::ExecContext());
+
+// Dense group-by-count without materializing: RLE runs add their length
+// to one counter; dictionary-packed columns aggregate in code space (a
+// palette-sized counter array) and decode once per distinct value.
+std::vector<std::pair<uint64_t, uint64_t>> CountByKeyDense(
+    const EncodedColumn& keys, uint64_t universe_size,
+    const exec::ExecContext& ctx = exec::ExecContext());
+
+// As above but counting col[sel[i]].
+std::vector<std::pair<uint64_t, uint64_t>> CountByKeyDense(
+    const EncodedColumn& col, const PositionVector& sel,
+    uint64_t universe_size,
+    const exec::ExecContext& ctx = exec::ExecContext());
+
+// Group-by-count over aligned (a, b) columns. Both cursors advance
+// run-by-run; every overlapping (a-run, b-run) segment contributes its
+// whole length in O(1). Output matches the span kernel: ((a, b), count)
+// sorted by (a, b).
+std::vector<PairCount> CountByPair(
+    const EncodedColumn& a, const EncodedColumn& b,
+    const exec::ExecContext& ctx = exec::ExecContext());
+
+// Merge join of a materialized (sorted) left side against rows [rlo, rhi)
+// of a sorted encoded right column, advancing the right side run-by-run —
+// an equal run joins as one cross product without decoding its rows.
+// Returned right indices are relative to rlo (matching a left side that
+// was gathered from the same row range). Parallelism partitions the
+// encoded side at equal-run edges, so outputs concatenate to the serial
+// pair sequence at every thread width.
+std::vector<std::pair<uint32_t, uint32_t>> MergeJoin(
+    std::span<const uint64_t> left, const EncodedColumn& right, uint64_t rlo,
+    uint64_t rhi, const exec::ExecContext& ctx = exec::ExecContext());
+
+// Number of rows in [lo, hi) of `values` (sorted in that range) whose
+// value occurs in `keys` (sorted, unique). A matching RLE run contributes
+// its length in O(1): cost is O(runs + keys), not O(rows).
+uint64_t MergeCountMatches(const EncodedColumn& values, uint64_t lo,
+                           uint64_t hi, std::span<const uint64_t> keys,
+                           const exec::ExecContext& ctx = exec::ExecContext());
+
+// Positions (relative to lo) of rows in [lo, hi) of `values` (sorted in
+// that range) whose value occurs in `keys` (sorted, unique). A matching
+// run emits its position range without decoding.
+PositionVector MergeSelectPositions(
+    const EncodedColumn& values, uint64_t lo, uint64_t hi,
+    std::span<const uint64_t> keys,
+    const exec::ExecContext& ctx = exec::ExecContext());
 
 }  // namespace swan::colstore
 

@@ -47,15 +47,28 @@ const std::vector<uint64_t>& TripleTable::ComponentColumn(
   }
 }
 
+const EncodedColumn& TripleTable::ComponentEncoded(int component_index) const {
+  switch (component_index) {
+    case 0:
+      return encoded_subjects();
+    case 1:
+      return encoded_properties();
+    default:
+      return encoded_objects();
+  }
+}
+
 std::pair<uint32_t, uint32_t> TripleTable::PrimaryRange(uint64_t v) const {
+  // Binary search on the encoded view: a cold PrimaryRange probe reads the
+  // compressed column but never materializes it.
   const auto comp = ComponentsOf(order_);
-  return EqRangeSorted(ComponentColumn(comp[0]), v);
+  return EqRangeSorted(ComponentEncoded(comp[0]), v);
 }
 
 std::pair<uint32_t, uint32_t> TripleTable::PrimarySecondaryRange(
     uint64_t v1, uint64_t v2) const {
   const auto comp = ComponentsOf(order_);
-  return EqRangeSorted2(ComponentColumn(comp[0]), ComponentColumn(comp[1]),
+  return EqRangeSorted2(ComponentEncoded(comp[0]), ComponentEncoded(comp[1]),
                         v1, v2);
 }
 
@@ -67,6 +80,15 @@ void TripleTable::DropCaches() const {
 
 uint64_t TripleTable::disk_bytes() const {
   return subj_->disk_bytes() + prop_->disk_bytes() + obj_->disk_bytes();
+}
+
+uint64_t TripleTable::stored_bytes() const {
+  return subj_->stored_bytes() + prop_->stored_bytes() + obj_->stored_bytes();
+}
+
+uint64_t TripleTable::logical_bytes() const {
+  return subj_->logical_bytes() + prop_->logical_bytes() +
+         obj_->logical_bytes();
 }
 
 void TripleTable::AuditInto(audit::AuditLevel level,

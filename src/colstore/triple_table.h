@@ -41,6 +41,13 @@ class TripleTable {
   const std::vector<uint64_t>& properties() const { return prop_->Get(); }
   const std::vector<uint64_t>& objects() const { return obj_->Get(); }
 
+  // Encoded views: the cold load stops here — kernels execute on the
+  // compressed image and raw materialization never happens unless some
+  // caller also asks for the span accessors above.
+  const EncodedColumn& encoded_subjects() const { return subj_->Encoded(); }
+  const EncodedColumn& encoded_properties() const { return prop_->Encoded(); }
+  const EncodedColumn& encoded_objects() const { return obj_->Encoded(); }
+
   rdf::TripleOrder order() const { return order_; }
   uint64_t size() const { return size_; }
 
@@ -54,6 +61,9 @@ class TripleTable {
 
   void DropCaches() const;
   uint64_t disk_bytes() const;
+  // Exact on-disk payload bytes (encoded) vs the full-width logical image.
+  uint64_t stored_bytes() const;
+  uint64_t logical_bytes() const;
 
   // Audit walker. Verifies each column structurally, then (at kFull)
   // re-reads all three from disk and checks that the rows are sorted
@@ -64,6 +74,7 @@ class TripleTable {
 
  private:
   const std::vector<uint64_t>& ComponentColumn(int component_index) const;
+  const EncodedColumn& ComponentEncoded(int component_index) const;
 
   rdf::TripleOrder order_;
   uint64_t size_ = 0;

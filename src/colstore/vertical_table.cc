@@ -89,9 +89,17 @@ const std::vector<uint64_t>& VerticalTable::Objects(uint64_t property) const {
   return Require(property).obj->Get();
 }
 
+const EncodedColumn& VerticalTable::EncodedSubjects(uint64_t property) const {
+  return Require(property).subj->Encoded();
+}
+
+const EncodedColumn& VerticalTable::EncodedObjects(uint64_t property) const {
+  return Require(property).obj->Encoded();
+}
+
 std::pair<uint32_t, uint32_t> VerticalTable::SubjectRange(uint64_t property,
                                                           uint64_t s) const {
-  return EqRangeSorted(Subjects(property), s);
+  return EqRangeSorted(EncodedSubjects(property), s);
 }
 
 void VerticalTable::DropCaches() const {
@@ -105,6 +113,22 @@ uint64_t VerticalTable::disk_bytes() const {
   uint64_t total = 0;
   for (const auto& [prop, part] : partitions_) {
     total += part.subj->disk_bytes() + part.obj->disk_bytes();
+  }
+  return total;
+}
+
+uint64_t VerticalTable::stored_bytes() const {
+  uint64_t total = 0;
+  for (const auto& [prop, part] : partitions_) {
+    total += part.subj->stored_bytes() + part.obj->stored_bytes();
+  }
+  return total;
+}
+
+uint64_t VerticalTable::logical_bytes() const {
+  uint64_t total = 0;
+  for (const auto& [prop, part] : partitions_) {
+    total += part.subj->logical_bytes() + part.obj->logical_bytes();
   }
   return total;
 }

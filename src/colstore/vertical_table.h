@@ -54,12 +54,20 @@ class VerticalTable {
   const std::vector<uint64_t>& Subjects(uint64_t property) const;
   const std::vector<uint64_t>& Objects(uint64_t property) const;
 
+  // Encoded views of the same columns: the cold load stops at the parsed
+  // compressed image, kernels execute on it directly.
+  const EncodedColumn& EncodedSubjects(uint64_t property) const;
+  const EncodedColumn& EncodedObjects(uint64_t property) const;
+
   // Row range within the partition where subject == s.
   std::pair<uint32_t, uint32_t> SubjectRange(uint64_t property,
                                              uint64_t s) const;
 
   void DropCaches() const;
   uint64_t disk_bytes() const;
+  // Exact on-disk payload bytes (encoded) vs the full-width logical image.
+  uint64_t stored_bytes() const;
+  uint64_t logical_bytes() const;
 
   // Audit walker. Verifies the property index (ascending, in one-to-one
   // correspondence with the partition map) and each partition: equal-size

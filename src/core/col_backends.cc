@@ -13,8 +13,11 @@ namespace {
 
 using colstore::CountByKeyDense;
 using colstore::CountByPair;
+using colstore::EncodedColumn;
 using colstore::EqRangeSorted;
+using colstore::ForEachDecodedBatch;
 using colstore::Gather;
+using colstore::kDecodeBatch;
 using colstore::MarkSet;
 using colstore::MergeCountMatches;
 using colstore::MergeJoin;
@@ -38,30 +41,59 @@ constexpr uint64_t kScanMorsel = 1ull << 16;
 // Fused scan-and-count: counts occurrences of prop[i] over rows whose
 // subject is in `subjects`. Sharded into per-chunk dense partials that are
 // summed afterwards, so the totals are identical at any thread count.
+// Operates on the encoded views: an RLE property column (the PSO case)
+// contributes one counter target per run and only the subject column is
+// decoded, batch by batch.
 std::vector<uint64_t> CountPropsOfMarkedSubjects(
-    std::span<const uint64_t> subj, std::span<const uint64_t> prop,
-    uint64_t dict_size, const MarkSet& subjects,
-    const exec::ExecContext& ectx) {
+    const EncodedColumn& subj, const EncodedColumn& prop, uint64_t dict_size,
+    const MarkSet& subjects, const exec::ExecContext& ectx) {
   obs::Span span(ectx.trace(), "col.count_props");
   span.set_rows_in(subj.size());
   const uint64_t n = subj.size();
+  const auto accumulate = [&](uint64_t b, uint64_t e,
+                              std::vector<uint64_t>* counts) {
+    if (b >= e) return;
+    if (prop.rep() == EncodedColumn::Rep::kRle) {
+      for (size_t r = prop.RunIndexOf(b);; ++r) {
+        const colstore::RleRun& run = prop.runs()[r];
+        const uint64_t lo = std::max<uint64_t>(run.start, b);
+        const uint64_t hi = std::min<uint64_t>(run.start + run.length, e);
+        uint64_t hits = 0;
+        ForEachDecodedBatch(
+            subj, lo, hi, [&](uint64_t, const uint64_t* vals, uint64_t cnt) {
+              for (uint64_t i = 0; i < cnt; ++i) {
+                if (subjects.Test(vals[i])) ++hits;
+              }
+            });
+        (*counts)[run.value] += hits;
+        if (hi >= e) break;
+      }
+      return;
+    }
+    // Sized per batch: the flat fast path hands the whole range over as
+    // one batch, which can exceed kDecodeBatch.
+    std::vector<uint64_t> pbuf;
+    ForEachDecodedBatch(
+        subj, b, e, [&](uint64_t base, const uint64_t* vals, uint64_t cnt) {
+          if (pbuf.size() < cnt) pbuf.resize(cnt);
+          prop.MaterializeInto(base, base + cnt, pbuf.data());
+          for (uint64_t i = 0; i < cnt; ++i) {
+            if (subjects.Test(vals[i])) ++(*counts)[pbuf[i]];
+          }
+        });
+  };
   const uint64_t shards = ectx.ShardsFor(n, kScanMorsel);
   std::vector<uint64_t> counts;
   if (shards <= 1) {
     counts.assign(dict_size, 0);
-    for (uint64_t i = 0; i < n; ++i) {
-      if (subjects.Test(subj[i])) ++counts[prop[i]];
-    }
+    accumulate(0, n, &counts);
     return counts;
   }
   const uint64_t grain = (n + shards - 1) / shards;
   std::vector<std::vector<uint64_t>> partials(shards);
   ectx.ParallelFor(n, grain, [&](uint64_t b, uint64_t e, uint64_t c) {
     partials[c].assign(dict_size, 0);
-    auto& local = partials[c];
-    for (uint64_t i = b; i < e; ++i) {
-      if (subjects.Test(subj[i])) ++local[prop[i]];
-    }
+    accumulate(b, e, &partials[c]);
   });
   counts = std::move(partials[0]);
   for (uint64_t s = 1; s < shards; ++s) {
@@ -71,27 +103,41 @@ std::vector<uint64_t> CountPropsOfMarkedSubjects(
   return counts;
 }
 
-// Chunked positional scan: collects positions i where pred(i), morsel by
-// morsel, concatenated in chunk order — the serial scan's output.
+// Chunked positional scan over two aligned encoded columns: decodes
+// kDecodeBatch values of each at a time and collects positions i where
+// pred(a[i], b[i]), morsel by morsel, concatenated in chunk order — the
+// serial scan's output. Neither column is ever fully materialized.
 template <typename Pred>
-PositionVector ScanPositions(const exec::ExecContext& ectx, uint64_t n,
-                             const Pred& pred) {
+PositionVector ScanPairPositions(const exec::ExecContext& ectx,
+                                 const EncodedColumn& a,
+                                 const EncodedColumn& b, const Pred& pred) {
   obs::Span span(ectx.trace(), "col.scan_positions");
+  const uint64_t n = a.size();
   span.set_rows_in(n);
+  const auto fill = [&](uint64_t lo, uint64_t hi, PositionVector* out) {
+    if (lo >= hi) return;
+    std::vector<uint64_t> bbuf;
+    ForEachDecodedBatch(
+        a, lo, hi, [&](uint64_t base, const uint64_t* av, uint64_t cnt) {
+          if (bbuf.size() < cnt) bbuf.resize(cnt);
+          b.MaterializeInto(base, base + cnt, bbuf.data());
+          for (uint64_t i = 0; i < cnt; ++i) {
+            if (pred(av[i], bbuf[i])) {
+              out->push_back(static_cast<uint32_t>(base + i));
+            }
+          }
+        });
+  };
   if (!ectx.parallel() || n < 2 * kScanMorsel) {
     PositionVector out;
-    for (uint64_t i = 0; i < n; ++i) {
-      if (pred(i)) out.push_back(static_cast<uint32_t>(i));
-    }
+    fill(0, n, &out);
     span.set_rows_out(out.size());
     return out;
   }
   const uint64_t chunks = (n + kScanMorsel - 1) / kScanMorsel;
   std::vector<PositionVector> parts(chunks);
-  ectx.ParallelFor(n, kScanMorsel, [&](uint64_t b, uint64_t e, uint64_t c) {
-    for (uint64_t i = b; i < e; ++i) {
-      if (pred(i)) parts[c].push_back(static_cast<uint32_t>(i));
-    }
+  ectx.ParallelFor(n, kScanMorsel, [&](uint64_t b2, uint64_t e2, uint64_t c) {
+    fill(b2, e2, &parts[c]);
   });
   size_t total = 0;
   for (const auto& p : parts) total += p.size();
@@ -175,16 +221,17 @@ PositionVector ColTripleBackend::PropPositions(
     std::iota(out.begin(), out.end(), lo);
     return out;
   }
-  return SelectEq(table_->properties(), property, ectx);
+  return SelectEq(table_->encoded_properties(), property, ectx);
 }
 
 std::vector<uint64_t> ColTripleBackend::SubjectsWithPropObj(
     uint64_t property, uint64_t object, const exec::ExecContext& ectx) const {
   const PositionVector props = PropPositions(property, ectx);
-  const PositionVector sel = SelectEq(table_->objects(), props, object, ectx);
+  const PositionVector sel =
+      SelectEq(table_->encoded_objects(), props, object, ectx);
   // Subjects come out ascending in both sort orders: SPO is globally
   // subject-sorted, PSO is subject-sorted within one property.
-  return Gather(table_->subjects(), sel, ectx);
+  return Gather(table_->encoded_subjects(), sel, ectx);
 }
 
 QueryResult ColTripleBackend::RunQ1(const QueryContext& ctx,
@@ -194,7 +241,8 @@ QueryResult ColTripleBackend::RunQ1(const QueryContext& ctx,
   QueryResult result;
   result.column_names = {"obj", "count"};
   for (const auto& [obj, count] :
-       CountByKeyDense(table_->objects(), sel, ctx.dict_size(), ectx)) {
+       CountByKeyDense(table_->encoded_objects(), sel, ctx.dict_size(),
+                       ectx)) {
     result.rows.push_back({obj, count});
   }
   return result;
@@ -214,9 +262,9 @@ QueryResult ColTripleBackend::RunQ2Family(QueryId id, const QueryContext& ctx,
   // Count every property of the marked subjects (morsel-parallel), then
   // apply the property filter when emitting — non-interesting properties
   // simply never produce a row, so the rows match the fused filter scan.
-  const std::vector<uint64_t> counts =
-      CountPropsOfMarkedSubjects(table_->subjects(), table_->properties(),
-                                 ctx.dict_size(), a_subjects, ectx);
+  const std::vector<uint64_t> counts = CountPropsOfMarkedSubjects(
+      table_->encoded_subjects(), table_->encoded_properties(),
+      ctx.dict_size(), a_subjects, ectx);
 
   QueryResult result;
   result.column_names = {"prop", "count"};
@@ -247,18 +295,19 @@ QueryResult ColTripleBackend::RunQ3Family(QueryId id, const QueryContext& ctx,
   MarkSet interesting(filter ? ctx.dict_size() : 1);
   if (filter) interesting.MarkAll(ctx.interesting_properties());
 
-  const auto& subj = table_->subjects();
-  const auto& prop = table_->properties();
-  const PositionVector sel =
-      ScanPositions(ectx, subj.size(), [&](uint64_t i) {
-        if (!a_subjects.Test(subj[i])) return false;
-        if (with_language && !c_subjects.Test(subj[i])) return false;
-        if (filter && !interesting.Test(prop[i])) return false;
+  const PositionVector sel = ScanPairPositions(
+      ectx, table_->encoded_subjects(), table_->encoded_properties(),
+      [&](uint64_t s, uint64_t p) {
+        if (!a_subjects.Test(s)) return false;
+        if (with_language && !c_subjects.Test(s)) return false;
+        if (filter && !interesting.Test(p)) return false;
         return true;
       });
 
-  const std::vector<uint64_t> props = Gather(prop, sel, ectx);
-  const std::vector<uint64_t> objs = Gather(table_->objects(), sel, ectx);
+  const std::vector<uint64_t> props =
+      Gather(table_->encoded_properties(), sel, ectx);
+  const std::vector<uint64_t> objs =
+      Gather(table_->encoded_objects(), sel, ectx);
 
   QueryResult result;
   result.column_names = {"prop", "obj", "count"};
@@ -278,29 +327,48 @@ QueryResult ColTripleBackend::RunQ5(const QueryContext& ctx,
   a_subjects.MarkAll(SubjectsWithPropObj(v.origin, v.dlc, ectx));
 
   // B: records-triples of DLC-origin subjects, as (object, subject) pairs
-  // sorted by object for the C-join.
+  // sorted by object for the C-join. Only the selected rows are decoded.
   const PositionVector rec_positions = PropPositions(v.records, ectx);
   std::vector<std::pair<uint64_t, uint64_t>> b_pairs;
   {
-    const auto& subj = table_->subjects();
-    const auto& obj = table_->objects();
-    for (uint32_t i : rec_positions) {
-      if (a_subjects.Test(subj[i])) b_pairs.emplace_back(obj[i], subj[i]);
+    const std::vector<uint64_t> rec_subj =
+        Gather(table_->encoded_subjects(), rec_positions, ectx);
+    const std::vector<uint64_t> rec_obj =
+        Gather(table_->encoded_objects(), rec_positions, ectx);
+    for (size_t i = 0; i < rec_positions.size(); ++i) {
+      if (a_subjects.Test(rec_subj[i])) {
+        b_pairs.emplace_back(rec_obj[i], rec_subj[i]);
+      }
     }
   }
   std::sort(b_pairs.begin(), b_pairs.end());
   std::vector<uint64_t> b_objects(b_pairs.size());
   for (size_t i = 0; i < b_pairs.size(); ++i) b_objects[i] = b_pairs[i].first;
 
-  // C: type-triples, subject-sorted in both physical orders.
-  const PositionVector type_positions = PropPositions(v.type, ectx);
-  const std::vector<uint64_t> c_subjects =
-      Gather(table_->subjects(), type_positions, ectx);
-  const std::vector<uint64_t> c_objects =
-      Gather(table_->objects(), type_positions, ectx);
-
   QueryResult result;
   result.column_names = {"subj", "obj"};
+  if (pso_) {
+    // C is one contiguous PSO row range: merge-join directly against the
+    // encoded subject column, run-by-run; objects decode only at
+    // projection.
+    const auto [lo, hi] = table_->PrimaryRange(v.type);
+    std::vector<uint64_t> c_objects(hi - lo);
+    table_->encoded_objects().MaterializeInto(lo, hi, c_objects.data());
+    for (const auto& [bi, ci] :
+         MergeJoin(b_objects, table_->encoded_subjects(), lo, hi, ectx)) {
+      if (c_objects[ci] != v.text) {
+        result.rows.push_back({b_pairs[bi].second, c_objects[ci]});
+      }
+    }
+    return result;
+  }
+  // SPO: type rows are scattered; gather both C columns (subject-sorted
+  // because the whole table is).
+  const PositionVector type_positions = PropPositions(v.type, ectx);
+  const std::vector<uint64_t> c_subjects =
+      Gather(table_->encoded_subjects(), type_positions, ectx);
+  const std::vector<uint64_t> c_objects =
+      Gather(table_->encoded_objects(), type_positions, ectx);
   for (const auto& [bi, ci] : MergeJoin(b_objects, c_subjects, ectx)) {
     if (c_objects[ci] != v.text) {
       result.rows.push_back({b_pairs[bi].second, c_objects[ci]});
@@ -323,10 +391,12 @@ QueryResult ColTripleBackend::RunQ6Family(QueryId id, const QueryContext& ctx,
   united.MarkAll(a1);
   {
     const PositionVector recs = PropPositions(v.records, ectx);
-    const auto& subj = table_->subjects();
-    const auto& obj = table_->objects();
-    for (uint32_t i : recs) {
-      if (text_typed.Test(obj[i])) united.Mark(subj[i]);
+    const std::vector<uint64_t> rec_subj =
+        Gather(table_->encoded_subjects(), recs, ectx);
+    const std::vector<uint64_t> rec_obj =
+        Gather(table_->encoded_objects(), recs, ectx);
+    for (size_t i = 0; i < recs.size(); ++i) {
+      if (text_typed.Test(rec_obj[i])) united.Mark(rec_subj[i]);
     }
   }
 
@@ -334,9 +404,9 @@ QueryResult ColTripleBackend::RunQ6Family(QueryId id, const QueryContext& ctx,
   MarkSet interesting(filter ? ctx.dict_size() : 1);
   if (filter) interesting.MarkAll(ctx.interesting_properties());
 
-  const std::vector<uint64_t> counts =
-      CountPropsOfMarkedSubjects(table_->subjects(), table_->properties(),
-                                 ctx.dict_size(), united, ectx);
+  const std::vector<uint64_t> counts = CountPropsOfMarkedSubjects(
+      table_->encoded_subjects(), table_->encoded_properties(),
+      ctx.dict_size(), united, ectx);
 
   QueryResult result;
   result.column_names = {"prop", "count"};
@@ -358,12 +428,14 @@ QueryResult ColTripleBackend::RunQ7(const QueryContext& ctx,
   auto collect = [&](uint64_t property, std::vector<uint64_t>* subjects,
                      std::vector<uint64_t>* objects) {
     const PositionVector positions = PropPositions(property, ectx);
-    const auto& subj = table_->subjects();
-    const auto& obj = table_->objects();
-    for (uint32_t i : positions) {
-      if (a_subjects.Test(subj[i])) {
-        subjects->push_back(subj[i]);
-        objects->push_back(obj[i]);
+    const std::vector<uint64_t> ps =
+        Gather(table_->encoded_subjects(), positions, ectx);
+    const std::vector<uint64_t> po =
+        Gather(table_->encoded_objects(), positions, ectx);
+    for (size_t i = 0; i < positions.size(); ++i) {
+      if (a_subjects.Test(ps[i])) {
+        subjects->push_back(ps[i]);
+        objects->push_back(po[i]);
       }
     }
   };
@@ -387,24 +459,24 @@ QueryResult ColTripleBackend::RunQ8(const QueryContext& ctx,
   std::vector<uint64_t> t;
   if (pso_) {
     const PositionVector sel =
-        SelectEq(table_->subjects(), v.conferences, ectx);
-    t = SortDistinct(Gather(table_->objects(), sel, ectx));
+        SelectEq(table_->encoded_subjects(), v.conferences, ectx);
+    t = SortDistinct(Gather(table_->encoded_objects(), sel, ectx));
   } else {
     const auto [lo, hi] = table_->PrimaryRange(v.conferences);
-    PositionVector sel(hi - lo);
-    std::iota(sel.begin(), sel.end(), lo);
-    t = SortDistinct(Gather(table_->objects(), sel, ectx));
+    std::vector<uint64_t> range_objs(hi - lo);
+    table_->encoded_objects().MaterializeInto(lo, hi, range_objs.data());
+    t = SortDistinct(std::move(range_objs));
   }
   MarkSet shared(ctx.dict_size());
   shared.MarkAll(t);
 
-  const auto& subj = table_->subjects();
-  const auto& obj = table_->objects();
-  const PositionVector hits =
-      ScanPositions(ectx, subj.size(), [&](uint64_t i) {
-        return subj[i] != v.conferences && shared.Test(obj[i]);
+  const PositionVector hits = ScanPairPositions(
+      ectx, table_->encoded_subjects(), table_->encoded_objects(),
+      [&](uint64_t s, uint64_t o) {
+        return s != v.conferences && shared.Test(o);
       });
-  std::vector<uint64_t> out = SortDistinct(Gather(subj, hits, ectx));
+  std::vector<uint64_t> out =
+      SortDistinct(Gather(table_->encoded_subjects(), hits, ectx));
 
   QueryResult result;
   result.column_names = {"subj"};
@@ -416,9 +488,10 @@ bool ColTripleBackend::BaseContains(const rdf::Triple& t) const {
   const auto [lo, hi] =
       pso_ ? table_->PrimarySecondaryRange(t.property, t.subject)
            : table_->PrimarySecondaryRange(t.subject, t.property);
-  const auto& obj = table_->objects();
+  // Point probes decode only the rows of the (usually tiny) range.
+  const EncodedColumn& obj = table_->encoded_objects();
   for (uint32_t i = lo; i < hi; ++i) {
-    if (obj[i] == t.object) return true;
+    if (obj.ValueAt(i) == t.object) return true;
   }
   return false;
 }
@@ -609,9 +682,9 @@ Status ColVerticalBackend::Insert(const rdf::Triple& triple) {
   if (table_->HasPartition(triple.property)) {
     const auto [lo, hi] =
         table_->SubjectRange(triple.property, triple.subject);
-    const auto& obj = table_->Objects(triple.property);
+    const EncodedColumn& obj = table_->EncodedObjects(triple.property);
     for (uint32_t i = lo; i < hi; ++i) {
-      if (obj[i] == triple.object) {
+      if (obj.ValueAt(i) == triple.object) {
         return Status::AlreadyExists("triple already present");
       }
     }
@@ -642,9 +715,9 @@ Status ColVerticalBackend::Delete(const rdf::Triple& triple) {
   bool in_base = false;
   if (table_->HasPartition(triple.property)) {
     const auto [lo, hi] = table_->SubjectRange(triple.property, triple.subject);
-    const auto& obj = table_->Objects(triple.property);
+    const EncodedColumn& obj = table_->EncodedObjects(triple.property);
     for (uint32_t i = lo; i < hi; ++i) {
-      if (obj[i] == triple.object) {
+      if (obj.ValueAt(i) == triple.object) {
         in_base = true;
         break;
       }
@@ -700,9 +773,10 @@ void ColVerticalBackend::DropCaches() {
 std::vector<uint64_t> ColVerticalBackend::SubjectsWhereObjEq(
     uint64_t property, uint64_t object, const exec::ExecContext& ectx) const {
   if (!table_->HasPartition(property)) return {};
-  const PositionVector sel = SelectEq(table_->Objects(property), object, ectx);
+  const PositionVector sel =
+      SelectEq(table_->EncodedObjects(property), object, ectx);
   // Subject columns are sorted, so the gathered subset stays sorted.
-  return Gather(table_->Subjects(property), sel, ectx);
+  return Gather(table_->EncodedSubjects(property), sel, ectx);
 }
 
 std::vector<uint64_t> ColVerticalBackend::PropertyList(
@@ -718,7 +792,7 @@ QueryResult ColVerticalBackend::RunQ1(const QueryContext& ctx,
   result.column_names = {"obj", "count"};
   if (!table_->HasPartition(ctx.vocab().type)) return result;
   for (const auto& [obj, count] : CountByKeyDense(
-           table_->Objects(ctx.vocab().type), ctx.dict_size(), ectx)) {
+           table_->EncodedObjects(ctx.vocab().type), ctx.dict_size(), ectx)) {
     result.rows.push_back({obj, count});
   }
   return result;
@@ -739,20 +813,16 @@ QueryResult ColVerticalBackend::RunQ2Family(
   // dominate q2* load-balance across lanes; per-morsel counts are
   // additive per property, so the totals match the serial loop exactly.
   const std::vector<uint64_t> props = PropertyList(id, ctx);
-  const std::vector<PropMorsel> morsels =
-      FlattenPropMorsels(props.size(), [&](uint64_t k) -> uint64_t {
-        return table_->HasPartition(props[k])
-                   ? table_->Subjects(props[k]).size()
-                   : 0;
-      });
+  const std::vector<PropMorsel> morsels = FlattenPropMorsels(
+      props.size(),
+      [&](uint64_t k) -> uint64_t { return table_->PartitionSize(props[k]); });
   std::vector<uint64_t> partial(morsels.size(), 0);
   ectx.ParallelFor(morsels.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
     for (uint64_t m = b; m < e; ++m) {
       const PropMorsel& ms = morsels[m];
-      const auto subj =
-          std::span<const uint64_t>(table_->Subjects(props[ms.prop_idx]))
-              .subspan(ms.lo, ms.hi - ms.lo);
-      partial[m] = MergeCountMatches(subj, a, ectx);
+      partial[m] =
+          MergeCountMatches(table_->EncodedSubjects(props[ms.prop_idx]),
+                            ms.lo, ms.hi, a, ectx);
     }
   });
   std::vector<uint64_t> counts(props.size(), 0);
@@ -783,24 +853,23 @@ QueryResult ColVerticalBackend::RunQ3Family(
   // sort-and-count. This is the q4* fix: before, one skewed partition
   // pinned the entire query to a single lane.
   const std::vector<uint64_t> props = PropertyList(id, ctx);
-  const std::vector<PropMorsel> morsels =
-      FlattenPropMorsels(props.size(), [&](uint64_t k) -> uint64_t {
-        return table_->HasPartition(props[k])
-                   ? table_->Subjects(props[k]).size()
-                   : 0;
-      });
+  const std::vector<PropMorsel> morsels = FlattenPropMorsels(
+      props.size(),
+      [&](uint64_t k) -> uint64_t { return table_->PartitionSize(props[k]); });
   std::vector<std::vector<std::pair<uint64_t, uint64_t>>> partial(
       morsels.size());
   ectx.ParallelFor(morsels.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
     for (uint64_t m = b; m < e; ++m) {
       const PropMorsel& ms = morsels[m];
       const uint64_t p = props[ms.prop_idx];
-      const auto subj = std::span<const uint64_t>(table_->Subjects(p))
-                            .subspan(ms.lo, ms.hi - ms.lo);
-      const PositionVector sel = MergeSelectPositions(subj, a, ectx);
-      const auto& obj = table_->Objects(p);
+      // Positions are relative to ms.lo; only the selected objects decode.
+      const PositionVector sel = MergeSelectPositions(
+          table_->EncodedSubjects(p), ms.lo, ms.hi, a, ectx);
+      const EncodedColumn& obj = table_->EncodedObjects(p);
       std::vector<uint64_t> objs(sel.size());
-      for (size_t i = 0; i < sel.size(); ++i) objs[i] = obj[ms.lo + sel[i]];
+      for (size_t i = 0; i < sel.size(); ++i) {
+        objs[i] = obj.ValueAt(ms.lo + sel[i]);
+      }
       std::sort(objs.begin(), objs.end());
       size_t i = 0;
       while (i < objs.size()) {
@@ -850,23 +919,32 @@ QueryResult ColVerticalBackend::RunQ5(const QueryContext& ctx,
   const std::vector<uint64_t> a = SubjectsWhereObjEq(v.origin, v.dlc, ectx);
 
   const PositionVector rec_sel =
-      MergeSelectPositions(table_->Subjects(v.records), a, ectx);
+      MergeSelectPositions(table_->EncodedSubjects(v.records), 0,
+                           table_->PartitionSize(v.records), a, ectx);
   std::vector<std::pair<uint64_t, uint64_t>> b_pairs;  // (object, subject)
   {
-    const auto& rs = table_->Subjects(v.records);
-    const auto& ro = table_->Objects(v.records);
+    const std::vector<uint64_t> rs =
+        Gather(table_->EncodedSubjects(v.records), rec_sel, ectx);
+    const std::vector<uint64_t> ro =
+        Gather(table_->EncodedObjects(v.records), rec_sel, ectx);
     b_pairs.reserve(rec_sel.size());
-    for (uint32_t i : rec_sel) b_pairs.emplace_back(ro[i], rs[i]);
+    for (size_t i = 0; i < rec_sel.size(); ++i) {
+      b_pairs.emplace_back(ro[i], rs[i]);
+    }
   }
   std::sort(b_pairs.begin(), b_pairs.end());
   std::vector<uint64_t> b_objects(b_pairs.size());
   for (size_t i = 0; i < b_pairs.size(); ++i) b_objects[i] = b_pairs[i].first;
 
-  const auto& c_subjects = table_->Subjects(v.type);
-  const auto& c_objects = table_->Objects(v.type);
-  for (const auto& [bi, ci] : MergeJoin(b_objects, c_subjects, ectx)) {
-    if (c_objects[ci] != v.text) {
-      result.rows.push_back({b_pairs[bi].second, c_objects[ci]});
+  // Run-by-run join against the encoded type partition; the object column
+  // decodes only at projection, one matched row at a time.
+  const EncodedColumn& c_objects = table_->EncodedObjects(v.type);
+  for (const auto& [bi, ci] :
+       MergeJoin(b_objects, table_->EncodedSubjects(v.type), 0,
+                 table_->PartitionSize(v.type), ectx)) {
+    const uint64_t c_obj = c_objects.ValueAt(ci);
+    if (c_obj != v.text) {
+      result.rows.push_back({b_pairs[bi].second, c_obj});
     }
   }
   return result;
@@ -882,11 +960,9 @@ QueryResult ColVerticalBackend::RunQ6Family(
 
   std::vector<uint64_t> via_records;
   if (table_->HasPartition(v.records)) {
-    const auto& rs = table_->Subjects(v.records);
-    const auto& ro = table_->Objects(v.records);
-    for (size_t i = 0; i < ro.size(); ++i) {
-      if (text_typed.Test(ro[i])) via_records.push_back(rs[i]);
-    }
+    const PositionVector sel =
+        SelectMarked(table_->EncodedObjects(v.records), text_typed, ectx);
+    via_records = Gather(table_->EncodedSubjects(v.records), sel, ectx);
   }
   const std::vector<uint64_t> united = UnionDistinct({a1, via_records}, ectx);
 
@@ -895,20 +971,16 @@ QueryResult ColVerticalBackend::RunQ6Family(
   // Same flattened (property, row-range) fan-out as the q2 family; counts
   // are additive per property.
   const std::vector<uint64_t> props = PropertyList(id, ctx);
-  const std::vector<PropMorsel> morsels =
-      FlattenPropMorsels(props.size(), [&](uint64_t k) -> uint64_t {
-        return table_->HasPartition(props[k])
-                   ? table_->Subjects(props[k]).size()
-                   : 0;
-      });
+  const std::vector<PropMorsel> morsels = FlattenPropMorsels(
+      props.size(),
+      [&](uint64_t k) -> uint64_t { return table_->PartitionSize(props[k]); });
   std::vector<uint64_t> partial(morsels.size(), 0);
   ectx.ParallelFor(morsels.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
     for (uint64_t m = b; m < e; ++m) {
       const PropMorsel& ms = morsels[m];
-      const auto subj =
-          std::span<const uint64_t>(table_->Subjects(props[ms.prop_idx]))
-              .subspan(ms.lo, ms.hi - ms.lo);
-      partial[m] = MergeCountMatches(subj, united, ectx);
+      partial[m] =
+          MergeCountMatches(table_->EncodedSubjects(props[ms.prop_idx]),
+                            ms.lo, ms.hi, united, ectx);
     }
   });
   std::vector<uint64_t> counts(props.size(), 0);
@@ -935,9 +1007,10 @@ QueryResult ColVerticalBackend::RunQ7(const QueryContext& ctx,
   auto collect = [&](uint64_t property, std::vector<uint64_t>* subjects,
                      std::vector<uint64_t>* objects) {
     const PositionVector sel =
-        MergeSelectPositions(table_->Subjects(property), a, ectx);
-    *subjects = Gather(table_->Subjects(property), sel, ectx);
-    *objects = Gather(table_->Objects(property), sel, ectx);
+        MergeSelectPositions(table_->EncodedSubjects(property), 0,
+                             table_->PartitionSize(property), a, ectx);
+    *subjects = Gather(table_->EncodedSubjects(property), sel, ectx);
+    *objects = Gather(table_->EncodedObjects(property), sel, ectx);
   };
   std::vector<uint64_t> b_subj, b_obj, c_subj, c_obj;
   collect(v.encoding, &b_subj, &b_obj);
@@ -965,9 +1038,9 @@ QueryResult ColVerticalBackend::RunQ8(const QueryContext& ctx,
           const uint64_t p = all_props[k];
           const auto [lo, hi] = table_->SubjectRange(p, v.conferences);
           if (lo == hi) continue;
-          PositionVector sel(hi - lo);
-          std::iota(sel.begin(), sel.end(), lo);
-          object_lists[k] = Gather(table_->Objects(p), sel, ectx);
+          object_lists[k].resize(hi - lo);
+          table_->EncodedObjects(p).MaterializeInto(lo, hi,
+                                                    object_lists[k].data());
         }
       });
   const std::vector<uint64_t> t = UnionDistinct(object_lists, ectx);
@@ -978,21 +1051,32 @@ QueryResult ColVerticalBackend::RunQ8(const QueryContext& ctx,
   // flattened (property, row-range) morsels — the probe side is dominated
   // by the few giant partitions, which would otherwise serialize. `shared`
   // is only read from here on.
-  const std::vector<PropMorsel> morsels =
-      FlattenPropMorsels(all_props.size(), [&](uint64_t k) -> uint64_t {
-        return table_->Subjects(all_props[k]).size();
+  const std::vector<PropMorsel> morsels = FlattenPropMorsels(
+      all_props.size(),
+      [&](uint64_t k) -> uint64_t {
+        return table_->PartitionSize(all_props[k]);
       });
   std::vector<std::vector<uint64_t>> hits(morsels.size());
   ectx.ParallelFor(morsels.size(), 1, [&](uint64_t b, uint64_t e, uint64_t) {
+    std::vector<uint64_t> obuf;
     for (uint64_t m = b; m < e; ++m) {
       const PropMorsel& ms = morsels[m];
-      const auto& subj = table_->Subjects(all_props[ms.prop_idx]);
-      const auto& obj = table_->Objects(all_props[ms.prop_idx]);
-      for (uint32_t i = ms.lo; i < ms.hi; ++i) {
-        if (subj[i] != v.conferences && shared.Test(obj[i])) {
-          hits[m].push_back(subj[i]);
-        }
-      }
+      const EncodedColumn& subj =
+          table_->EncodedSubjects(all_props[ms.prop_idx]);
+      const EncodedColumn& obj = table_->EncodedObjects(all_props[ms.prop_idx]);
+      ForEachDecodedBatch(
+          subj, ms.lo, ms.hi,
+          [&](uint64_t base, const uint64_t* s, uint64_t cnt) {
+            // Flat columns hand the whole morsel through as one batch, so
+            // the side buffer sizes to the callback, not kDecodeBatch.
+            if (obuf.size() < cnt) obuf.resize(cnt);
+            obj.MaterializeInto(base, base + cnt, obuf.data());
+            for (uint64_t i = 0; i < cnt; ++i) {
+              if (s[i] != v.conferences && shared.Test(obuf[i])) {
+                hits[m].push_back(s[i]);
+              }
+            }
+          });
     }
   });
   std::vector<uint64_t> out;

@@ -37,6 +37,9 @@ class ColTripleBackend : public BackendBase {
   Status Delete(const rdf::Triple& triple) override;
   void DropCaches() override;
   uint64_t disk_bytes() const override { return table_->disk_bytes(); }
+  // Exact encoded payload vs the 8-bytes-per-value logical image.
+  uint64_t stored_bytes() const { return table_->stored_bytes(); }
+  uint64_t logical_bytes() const { return table_->logical_bytes(); }
 
   const colstore::TripleTable& table() const { return *table_; }
   uint64_t delta_size() const { return delta_.size(); }
@@ -108,6 +111,9 @@ class ColVerticalBackend : public BackendBase {
       const exec::ExecContext& ectx) const override;
   void DropCaches() override;
   uint64_t disk_bytes() const override { return table_->disk_bytes(); }
+  // Exact encoded payload vs the 8-bytes-per-value logical image.
+  uint64_t stored_bytes() const { return table_->stored_bytes(); }
+  uint64_t logical_bytes() const { return table_->logical_bytes(); }
 
   Status Insert(const rdf::Triple& triple) override;
   Status Delete(const rdf::Triple& triple) override;

@@ -51,13 +51,183 @@ TEST_P(CodecTest, RoundTripsExtremeValues) {
   EXPECT_EQ(DecompressU64(encoded, values.size()), values);
 }
 
+TEST_P(CodecTest, RoundTripsSingleValue) {
+  const std::vector<uint64_t> values = {0xDEADBEEFull};
+  const auto encoded = CompressU64(values, GetParam());
+  EXPECT_EQ(DecompressU64(encoded, 1), values);
+}
+
+TEST_P(CodecTest, RoundTripsAllEqual) {
+  const std::vector<uint64_t> values(12345, 99);
+  const auto encoded = CompressU64(values, GetParam());
+  EXPECT_EQ(DecompressU64(encoded, values.size()), values);
+}
+
+TEST_P(CodecTest, RoundTripsAdversarialRunLengths) {
+  // Run lengths that straddle the decode-batch boundary (4095/4096/4097),
+  // lone singletons between long runs, and a sawtooth of 1-runs.
+  std::vector<uint64_t> values;
+  values.insert(values.end(), 4095, 1);
+  values.push_back(2);
+  values.insert(values.end(), 4096, 3);
+  values.push_back(4);
+  values.insert(values.end(), 4097, 5);
+  for (uint64_t i = 0; i < 1000; ++i) values.push_back(i % 2);
+  const auto encoded = CompressU64(values, GetParam());
+  EXPECT_EQ(DecompressU64(encoded, values.size()), values);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecTest,
                          ::testing::Values(ColumnCodec::kRaw, ColumnCodec::kRle,
                                            ColumnCodec::kDelta,
+                                           ColumnCodec::kBitPack,
+                                           ColumnCodec::kDictBitPack,
                                            ColumnCodec::kAuto),
                          [](const ::testing::TestParamInfo<ColumnCodec>& info) {
                            return ToString(info.param);
                          });
+
+TEST(CompressionTest, BitPackRoundTripsEveryWidth) {
+  // Widths 1..64 bits: the max value of each width must survive packing,
+  // including the straddling two-word reads at unaligned widths.
+  Rng rng(11);
+  for (int width = 1; width <= 64; ++width) {
+    const uint64_t max =
+        width >= 64 ? UINT64_MAX : (1ull << width) - 1;
+    std::vector<uint64_t> values(257);
+    for (auto& v : values) v = rng.Next() & max;
+    values[0] = max;          // force the width
+    values[256] = max;        // last element exercises the pad word
+    const auto encoded = CompressU64(values, ColumnCodec::kBitPack);
+    EXPECT_EQ(DecompressU64(encoded, values.size()), values)
+        << "width " << width;
+  }
+}
+
+TEST(CompressionTest, BitPackShrinksNarrowColumns) {
+  const auto values = RandomValues(10000, 1 << 10, 12);  // 10-bit ids
+  const auto packed = CompressU64(values, ColumnCodec::kBitPack);
+  EXPECT_LT(packed.size(), values.size() * 2);  // ~1.25 bytes per value
+}
+
+TEST(CompressionTest, DictBitPackShrinksLowCardinalityWideIds) {
+  // 64 distinct values drawn from a 2^40 space: plain bit-packing needs
+  // 40 bits per value, the palette form 6 bits plus a small dictionary.
+  Rng rng(13);
+  std::vector<uint64_t> palette(64);
+  for (auto& v : palette) v = rng.Next() >> 24;
+  std::vector<uint64_t> values(20000);
+  for (auto& v : values) v = palette[rng.Uniform(64)];
+  const auto dict = CompressU64(values, ColumnCodec::kDictBitPack);
+  const auto plain = CompressU64(values, ColumnCodec::kBitPack);
+  EXPECT_LT(dict.size(), plain.size() / 4);
+  EXPECT_EQ(DecompressU64(dict, values.size()), values);
+}
+
+TEST(CompressionTest, AutoPicksSmallestOfAllFive) {
+  for (uint64_t seed = 20; seed < 26; ++seed) {
+    auto values = RandomValues(5000, 1000, seed);
+    if (seed % 2 == 0) std::sort(values.begin(), values.end());
+    const size_t auto_size = CompressU64(values, ColumnCodec::kAuto).size();
+    for (auto codec : {ColumnCodec::kRaw, ColumnCodec::kRle,
+                       ColumnCodec::kDelta, ColumnCodec::kBitPack,
+                       ColumnCodec::kDictBitPack}) {
+      EXPECT_LE(auto_size, CompressU64(values, codec).size());
+    }
+  }
+}
+
+TEST(CompressionTest, TryDecompressRejectsCorruptInputWithoutAborting) {
+  const auto values = RandomValues(1000, 1 << 10, 14);
+  std::vector<uint64_t> out;
+
+  // Unknown codec tag.
+  std::vector<uint8_t> bad_tag = CompressU64(values, ColumnCodec::kBitPack);
+  bad_tag[0] = 0xEE;
+  EXPECT_TRUE(TryDecompressU64(bad_tag, values.size(), &out).code() == StatusCode::kCorruption);
+
+  // Truncated payload.
+  std::vector<uint8_t> truncated = CompressU64(values, ColumnCodec::kRle);
+  truncated.resize(truncated.size() / 2);
+  EXPECT_TRUE(
+      TryDecompressU64(truncated, values.size(), &out).code() == StatusCode::kCorruption);
+
+  // Count mismatch: buffer decodes fewer values than promised.
+  const std::vector<uint8_t> short_buf =
+      CompressU64(values, ColumnCodec::kDelta);
+  EXPECT_TRUE(
+      TryDecompressU64(short_buf, values.size() + 5, &out).code() == StatusCode::kCorruption);
+
+  // Zero / oversized bit width.
+  std::vector<uint8_t> bad_width = CompressU64(values, ColumnCodec::kBitPack);
+  bad_width[1] = 0;
+  EXPECT_TRUE(
+      TryDecompressU64(bad_width, values.size(), &out).code() == StatusCode::kCorruption);
+  bad_width[1] = 65;
+  EXPECT_TRUE(
+      TryDecompressU64(bad_width, values.size(), &out).code() == StatusCode::kCorruption);
+
+  // The intact buffer still decodes.
+  const std::vector<uint8_t> good = CompressU64(values, ColumnCodec::kBitPack);
+  ASSERT_TRUE(TryDecompressU64(good, values.size(), &out).ok());
+  EXPECT_EQ(out, values);
+}
+
+TEST(EncodedColumnTest, ValueAtAgreesWithMaterializeAcrossReps) {
+  Rng rng(15);
+  for (auto codec : {ColumnCodec::kRaw, ColumnCodec::kRle,
+                     ColumnCodec::kDelta, ColumnCodec::kBitPack,
+                     ColumnCodec::kDictBitPack}) {
+    auto values = RandomValues(3000, 64, 16);
+    if (codec == ColumnCodec::kRle || codec == ColumnCodec::kDelta) {
+      std::sort(values.begin(), values.end());
+    }
+    const EncodedColumn enc = EncodedColumn::FromValues(values, codec);
+    ASSERT_EQ(enc.size(), values.size());
+    EXPECT_EQ(enc.Materialize(), values);
+    for (int probe = 0; probe < 100; ++probe) {
+      const uint64_t i = rng.Uniform(values.size());
+      EXPECT_EQ(enc.ValueAt(i), values[i]);
+    }
+    // Ranged materialization, including awkward unaligned windows.
+    std::vector<uint64_t> window(700);
+    enc.MaterializeInto(1234, 1934, window.data());
+    EXPECT_TRUE(std::equal(window.begin(), window.end(),
+                           values.begin() + 1234));
+  }
+}
+
+TEST(EncodedColumnTest, CodeForDistinguishesPresentAndImpossibleValues) {
+  std::vector<uint64_t> values = {10, 10, 500, 500, 500, 9000};
+  const EncodedColumn dict =
+      EncodedColumn::FromValues(values, ColumnCodec::kDictBitPack);
+  uint64_t code = 0;
+  ASSERT_TRUE(dict.CodeFor(500, &code));
+  EXPECT_EQ(dict.DecodeCode(code), 500u);
+  EXPECT_FALSE(dict.CodeFor(777, &code));  // not in the palette
+
+  const EncodedColumn plain =
+      EncodedColumn::FromValues(values, ColumnCodec::kBitPack);
+  ASSERT_TRUE(plain.CodeFor(9000, &code));
+  EXPECT_EQ(code, 9000u);  // identity codes for plain packing
+  // Wider than the pack width -> cannot appear.
+  EXPECT_FALSE(plain.CodeFor(1ull << 40, &code));
+}
+
+TEST(EncodedColumnTest, RunIndexOfFindsContainingRun) {
+  std::vector<uint64_t> values;
+  values.insert(values.end(), 100, 7);
+  values.insert(values.end(), 50, 8);
+  values.insert(values.end(), 200, 9);
+  const EncodedColumn enc =
+      EncodedColumn::FromValues(values, ColumnCodec::kRle);
+  ASSERT_EQ(enc.rep(), EncodedColumn::Rep::kRle);
+  EXPECT_EQ(enc.runs()[enc.RunIndexOf(0)].value, 7u);
+  EXPECT_EQ(enc.runs()[enc.RunIndexOf(99)].value, 7u);
+  EXPECT_EQ(enc.runs()[enc.RunIndexOf(100)].value, 8u);
+  EXPECT_EQ(enc.runs()[enc.RunIndexOf(149)].value, 8u);
+  EXPECT_EQ(enc.runs()[enc.RunIndexOf(349)].value, 9u);
+}
 
 TEST(CompressionTest, RleShrinksLowCardinalitySortedColumn) {
   // A PSO-sorted property column: 222 runs over 100k rows.
@@ -129,6 +299,42 @@ TEST(CompressedColumnTest, ColdLoadReadsFewerBytes) {
   packed.Get();
   const uint64_t packed_bytes = disk.total_bytes_read();
   EXPECT_LT(packed_bytes, raw_bytes / 2);
+}
+
+TEST(CompressedColumnTest, StoredBytesTracksEncodedAndLogicalImages) {
+  storage::SimulatedDisk disk;
+  storage::BufferPool pool(&disk, 1 << 12);
+  std::vector<uint64_t> values;
+  for (uint64_t p = 0; p < 10; ++p) values.insert(values.end(), 1000, p);
+
+  Column col(&pool, &disk, ColumnCodec::kAuto);
+  col.Build(values);
+  EXPECT_EQ(col.logical_bytes(), values.size() * 8);
+  EXPECT_LT(col.stored_bytes(), col.logical_bytes() / 2);
+  EXPECT_NE(col.resolved_codec(), ColumnCodec::kAuto);  // resolved concrete
+
+  Column raw(&pool, &disk, ColumnCodec::kRaw);
+  raw.Build(values);
+  EXPECT_EQ(raw.stored_bytes(), raw.logical_bytes());
+}
+
+TEST(CompressedColumnTest, AuditFlagsStoredBytesDesync) {
+  storage::SimulatedDisk disk;
+  storage::BufferPool pool(&disk, 1 << 12);
+  const auto values = RandomValues(20000, 1 << 12, 8);
+  Column col(&pool, &disk, ColumnCodec::kAuto);
+  col.Build(values);
+
+  audit::AuditReport clean;
+  col.AuditInto(audit::AuditLevel::kQuick, &clean);
+  EXPECT_TRUE(clean.ok());
+
+  // Desync the recorded encoded size from the on-disk image: the audit
+  // must notice even at kQuick (no disk sweep needed).
+  col.CorruptStoredBytesForTesting(col.stored_bytes() + storage::kPageSize);
+  audit::AuditReport dirty;
+  col.AuditInto(audit::AuditLevel::kQuick, &dirty);
+  EXPECT_FALSE(dirty.ok());
 }
 
 TEST(CompressedColumnTest, DropCacheAndReloadStillCorrect) {

@@ -138,6 +138,24 @@ if [ "$run_asan" -eq 1 ]; then
     failures=$((failures + 1))
   fi
 
+  echo "== codec smoke (raw vs auto must answer identically) =="
+  CODEC_RAW_OUT="$ASAN_BUILD/codec-smoke-raw.txt"
+  CODEC_AUTO_OUT="$ASAN_BUILD/codec-smoke-auto.txt"
+  # The `-- N rows, real ...` footer carries wall-clock times; strip it so
+  # the diff compares result rows only.
+  if "$ASAN_BUILD/tools/swandb_shell" --generate 20000 --codec raw \
+       --query 'SELECT ?s ?o WHERE { ?s <origin> ?o } LIMIT 20' \
+       | grep -v '^-- ' > "$CODEC_RAW_OUT" &&
+     "$ASAN_BUILD/tools/swandb_shell" --generate 20000 --codec auto \
+       --query 'SELECT ?s ?o WHERE { ?s <origin> ?o } LIMIT 20' \
+       | grep -v '^-- ' > "$CODEC_AUTO_OUT" &&
+     diff -u "$CODEC_RAW_OUT" "$CODEC_AUTO_OUT"; then
+    echo "codec smoke: clean"
+  else
+    echo "codec smoke: FAILURES"
+    failures=$((failures + 1))
+  fi
+
   echo "== serve smoke (multi-session script + per-session trace) =="
   SERVE_SCRIPT="$ASAN_BUILD/serve-smoke.serve"
   SERVE_JSON="$ASAN_BUILD/serve-smoke.json"

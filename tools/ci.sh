@@ -63,6 +63,12 @@ case "$mode" in
         --profile="$RELEASE_DIR/serve-smoke.json" >/dev/null &&
       python3 "$REPO_ROOT/tools/validate_trace.py" \
         "$RELEASE_DIR/serve-smoke.json"; } || status=1
+    # Codec-equivalence smoke: the compression ablation verifies every
+    # codec against the row reference on all 12 queries and gates on the
+    # cold-bytes reduction, at a scale small enough for CI.
+    echo "=== release: codec smoke ==="
+    SWAN_TRIPLES=40000 "$RELEASE_DIR/bench/ablation_compression" \
+      >/dev/null || status=1
     # Every example must keep building and running (they double as living
     # API documentation).
     echo "=== release: examples ==="

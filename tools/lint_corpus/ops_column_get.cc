@@ -1,0 +1,32 @@
+// swan-lint-corpus-path: src/colstore/ops.cc
+// swan-lint corpus: a kernel in ops.cc that reaches for Column::Get()
+// defeats compressed execution — the whole column is decoded before the
+// operator runs. Both receiver spellings must fire; ValueAt and the
+// encoded accessors must not.
+
+namespace corpus {
+
+uint64_t SumViaFullDecode(const Column& col) {
+  uint64_t total = 0;
+  for (uint64_t v : col.Get()) total += v;  // expect(ops-column-get)
+  return total;
+}
+
+uint64_t SumViaPointer(const Column* col) {
+  uint64_t total = 0;
+  for (uint64_t v : col->Get()) total += v;  // expect(ops-column-get)
+  return total;
+}
+
+uint64_t SumEncoded(const EncodedColumn& enc) {
+  uint64_t total = 0;
+  for (uint64_t i = 0; i < enc.size(); ++i) total += enc.ValueAt(i);  // fine
+  return total;
+}
+
+uint64_t Interop(const Column& col) {
+  // A deliberate, audited escape hatch still works:
+  return col.Get().size();  // swan-lint: allow(ops-column-get)
+}
+
+}  // namespace corpus

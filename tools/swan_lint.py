@@ -19,6 +19,10 @@ Enforces repo-specific rules that clang-tidy cannot express:
                     SWAN_* thread-safety macros must include
                     "common/thread_annotations.h" or "common/mutex.h"
                     directly — not transitively.
+  ops-column-get    src/colstore/ops.cc holds the compressed-execution
+                    kernels: they must read columns through the encoded
+                    reps (ValueAt, MaterializeInto, runs(), words()), never
+                    force a full raw materialization with Column::Get().
 
 Suppression: append `// swan-lint: allow(<rule>)` to the offending line,
 or place it alone on the line directly above. Suppressions are per-rule;
@@ -50,7 +54,14 @@ RULES = [
     "discarded-status",
     "const-cast",
     "include-locks",
+    "ops-column-get",
 ]
+
+# Files where Column::Get() is banned: the encoded kernels. Decoding is
+# the caller's decision at projection time, never the kernel's.
+OPS_COLUMN_GET_PATHS = {
+    "src/colstore/ops.cc",
+}
 
 # Files allowed to touch the raw std::mutex machinery: the wrapper itself.
 RAW_MUTEX_ALLOWLIST = {
@@ -72,6 +83,7 @@ RAW_MUTEX_RE = re.compile(
     r"|\bstd::condition_variable(?:_any)?\b"
 )
 EXEC_THREADS_RE = re.compile(r"\bexec::Threads\s*\(")
+COLUMN_GET_RE = re.compile(r"(?:\.|->)\s*Get\s*\(")
 CONST_CAST_RE = re.compile(r"\bconst_cast\s*<")
 SUPPRESS_RE = re.compile(r"//\s*swan-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 EXPECT_RE = re.compile(r"//\s*expect\(([a-z-]+)\)")
@@ -282,6 +294,11 @@ def lint_file(path, display_path, lines, status_names):
         if CONST_CAST_RE.search(code):
             report(idx, "const-cast",
                    "const_cast is banned; fix the constness model")
+
+        if display_path in OPS_COLUMN_GET_PATHS and COLUMN_GET_RE.search(code):
+            report(idx, "ops-column-get",
+                   "encoded kernels must not call Column::Get(); operate on "
+                   "the encoded rep and decompress only at projection")
 
         for name in status_names:
             if name in code and find_bare_call(lines, idx, name):

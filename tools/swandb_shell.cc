@@ -62,6 +62,7 @@ struct ShellOptions {
   std::string scheme = "vertical";
   std::string engine = "column";
   std::string clustering = "pso";
+  std::string codec = "raw";
   uint64_t generate = 0;
   std::string load_path;
   std::string query;
@@ -74,6 +75,7 @@ void PrintUsage() {
       stderr,
       "usage: swandb_shell [--scheme triple|vertical|ptable]\n"
       "                    [--engine row|column] [--clustering spo|pso]\n"
+      "                    [--codec raw|rle|delta|bitpack|dictbitpack|auto]\n"
       "                    [--generate N | --load FILE.nt]\n"
       "                    [--query 'SPARQL' | --file QUERIES.rq |\n"
       "                     --serve SCRIPT]\n"
@@ -93,6 +95,10 @@ bool ParseArgs(int argc, char** argv, ShellOptions* options) {
       options->engine = value;
     } else if (arg == "--clustering" && (value = next())) {
       options->clustering = value;
+    } else if (arg == "--codec" && (value = next())) {
+      options->codec = value;
+    } else if (arg.rfind("--codec=", 0) == 0) {
+      options->codec = arg.substr(std::strlen("--codec="));
     } else if (arg == "--generate" && (value = next())) {
       options->generate = std::strtoull(value, nullptr, 10);
     } else if (arg == "--load" && (value = next())) {
@@ -375,6 +381,10 @@ int main(int argc, char** argv) {
   store_options.clustering = options.clustering == "spo"
                                  ? swan::rdf::TripleOrder::kSPO
                                  : swan::rdf::TripleOrder::kPSO;
+  if (!swan::colstore::CodecFromString(options.codec, &store_options.codec)) {
+    std::fprintf(stderr, "unknown codec '%s'\n", options.codec.c_str());
+    return 2;
+  }
   auto store = swan::core::RdfStore::Open(*dataset, store_options);
   std::fprintf(stderr, "store: %s (%.1f MB on simulated disk)\n\n",
                store->name().c_str(), store->disk_bytes() / 1e6);
