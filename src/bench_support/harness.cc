@@ -165,9 +165,18 @@ Measurement MeasureHotProfiled(core::Backend* backend, core::QueryId id,
 Measurement MeasureBgpHot(core::Backend* backend,
                           const std::vector<core::BgpPattern>& patterns,
                           const exec::ExecContext& ectx, int repetitions) {
+  return MeasureBgpHot(backend, patterns, ectx, plan::PlannerOptions{},
+                       repetitions);
+}
+
+Measurement MeasureBgpHot(core::Backend* backend,
+                          const std::vector<core::BgpPattern>& patterns,
+                          const exec::ExecContext& ectx,
+                          const plan::PlannerOptions& options,
+                          int repetitions) {
   auto run = [&] {
     const Result<core::BgpResult> result =
-        core::ExecuteBgp(*backend, patterns, ectx);
+        core::ExecuteBgp(*backend, patterns, ectx, options);
     SWAN_CHECK_MSG(result.ok(), "BGP evaluation failed during measurement");
     return static_cast<uint64_t>(result.value().rows.size());
   };

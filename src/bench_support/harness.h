@@ -80,10 +80,18 @@ Measurement MeasureHotProfiled(core::Backend* backend, core::QueryId id,
 
 // Hot-protocol measurement of a BGP evaluation under an explicit context
 // (one unmeasured warm-up, then averaged measured runs). rows_returned is
-// the binding-table row count.
+// the binding-table row count. The three-argument form plans with the
+// statistics-free heuristic; pass PlannerOptions to measure a specific
+// planning mode (cost-based, heuristic, worst-order — the planner
+// ablation compares exactly these).
 Measurement MeasureBgpHot(core::Backend* backend,
                           const std::vector<core::BgpPattern>& patterns,
                           const exec::ExecContext& ectx, int repetitions = 3);
+Measurement MeasureBgpHot(core::Backend* backend,
+                          const std::vector<core::BgpPattern>& patterns,
+                          const exec::ExecContext& ectx,
+                          const plan::PlannerOptions& options,
+                          int repetitions = 3);
 
 // Correctness gate run before timing: executes every supported query on
 // every backend and verifies that all backends produce identical rows.

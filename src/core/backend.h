@@ -8,6 +8,7 @@
 #include "audit/audit.h"
 #include "core/query.h"
 #include "exec/exec_context.h"
+#include "plan/stats.h"
 #include "rdf/pattern.h"
 #include "rdf/triple.h"
 #include "storage/buffer_pool.h"
@@ -59,6 +60,12 @@ class Backend {
   std::vector<rdf::Triple> Match(const rdf::TriplePattern& pattern) const {
     return Match(pattern, exec::ExecContext());
   }
+
+  // Access-path costs for the cost-based planner: how this backend's
+  // physical design answers a Match call (clustering, subject access,
+  // per-property fanout). Purely descriptive — returning the default
+  // never affects correctness, only plan quality.
+  virtual plan::AccessHints PlannerHints() const { return {}; }
 
   // Adds a triple (ids must already be interned in the owning dataset's
   // dictionary). Row backends update their B+trees in place; column

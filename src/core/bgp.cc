@@ -1,11 +1,10 @@
 #include "core/bgp.h"
 
 #include <algorithm>
-#include <climits>
+#include <cmath>
 #include <optional>
 #include <unordered_map>
 
-#include "common/macros.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -13,102 +12,487 @@ namespace swan::core {
 
 namespace {
 
+// The binding table a branch builds up: one column per variable, in the
+// order the interpreter first binds them (the final remap to
+// PhysicalPlan::all_vars restores textual order).
+struct Table {
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+  std::vector<std::string> vars;
+  std::unordered_map<std::string, size_t> var_index;
+  std::vector<std::vector<uint64_t>> rows;
+
+  size_t Find(const std::string& v) const {
+    const auto it = var_index.find(v);
+    return it == var_index.end() ? npos : it->second;
+  }
+  size_t AddVar(const std::string& v) {
+    const size_t idx = vars.size();
+    vars.push_back(v);
+    var_index.emplace(v, idx);
+    return idx;
+  }
+};
+
 // Index of a variable in the binding table, or nullopt for constants.
 struct SlotRef {
   std::optional<size_t> var_index;  // set if variable
   uint64_t const_id = 0;
 };
 
-SlotRef ResolveTerm(const Term& term,
-                    std::unordered_map<std::string, size_t>* var_index,
-                    std::vector<std::string>* vars) {
+SlotRef ResolveTerm(const Term& term, Table* table) {
   if (!term.is_var) {
     return SlotRef{std::nullopt, term.id};
   }
-  auto it = var_index->find(term.var);
-  if (it == var_index->end()) {
-    const size_t idx = vars->size();
-    vars->push_back(term.var);
-    var_index->emplace(term.var, idx);
-    return SlotRef{idx, 0};
+  const size_t existing = table->Find(term.var);
+  if (existing != Table::npos) {
+    return SlotRef{existing, 0};
   }
-  return SlotRef{it->second, 0};
+  return SlotRef{table->AddVar(term.var), 0};
 }
 
-}  // namespace
+// Span name for a step: plain in heuristic mode, "<base> est=N" when the
+// planner annotated an estimate — EXPLAIN ANALYZE reads the estimate from
+// the span name and the actual cardinality from rows_out.
+std::string StepSpanName(const char* base, double est_out) {
+  if (est_out < 0) return base;
+  return std::string(base) + " est=" +
+         std::to_string(static_cast<long long>(std::llround(est_out)));
+}
 
-std::vector<size_t> PlanPatternOrder(const std::vector<BgpPattern>& patterns) {
-  std::vector<size_t> order;
-  std::vector<bool> used(patterns.size(), false);
-  std::unordered_map<std::string, bool> bound;
+// Evaluates filters against binding rows. Dictionary-id comparisons are
+// direct; numeric comparisons go through the plan's NumericResolver with
+// per-query memoization. SPARQL error semantics throughout: a comparison
+// over an unbound variable, or a numeric comparison over a non-numeric
+// term, is false — it never raises and never matches.
+class FilterEvaluator {
+ public:
+  explicit FilterEvaluator(const plan::NumericResolver& numeric)
+      : numeric_(numeric) {}
 
-  auto score = [&](const BgpPattern& p) {
-    int constants = 0, joined = 0, fresh = 0;
-    for (const Term* t : {&p.subject, &p.property, &p.object}) {
-      if (!t->is_var) {
-        ++constants;
-      } else if (bound.count(t->var) != 0) {
-        ++joined;
-      } else {
-        ++fresh;
+  bool Passes(const plan::FilterExpr& filter, const Table& table,
+              const std::vector<uint64_t>& row) {
+    const size_t lhs_col = table.Find(filter.var);
+    if (lhs_col == Table::npos || lhs_col >= row.size()) return false;
+    const uint64_t lhs = row[lhs_col];
+    if (lhs == kUnbound) return false;
+
+    auto operand_id =
+        [&](const plan::FilterOperand& v) -> std::optional<uint64_t> {
+      if (!v.is_var()) return v.id;
+      const size_t c = table.Find(v.var);
+      if (c == Table::npos || c >= row.size()) return std::nullopt;
+      const uint64_t val = row[c];
+      if (val == kUnbound) return std::nullopt;
+      return val;
+    };
+
+    // Equality against one operand. `defined` is false when the
+    // comparison is a SPARQL error (unbound variable operand, or a
+    // numeric operand against a non-numeric lhs) — then both `=` and
+    // `!=` are false. An operand absent from the dictionary is a valid
+    // term that simply equals nothing in the store.
+    auto equals = [&](const plan::FilterOperand& v, bool* defined) {
+      *defined = true;
+      if (v.is_var()) {
+        const auto rid = operand_id(v);
+        if (!rid) {
+          *defined = false;
+          return false;
+        }
+        return lhs == *rid;
       }
-    }
-    // Constants narrow the match most; variables already bound turn the
-    // step into a join; fresh variables widen the binding table.
-    return 3 * constants + 2 * joined - fresh;
-  };
-
-  for (size_t step = 0; step < patterns.size(); ++step) {
-    int best_score = INT_MIN;
-    size_t best = 0;
-    for (size_t i = 0; i < patterns.size(); ++i) {
-      if (used[i]) continue;
-      const int s = score(patterns[i]);
-      if (s > best_score) {
-        best_score = s;
-        best = i;
+      if (v.number) {
+        const auto ln = NumberOf(lhs);
+        if (!ln) {
+          *defined = false;
+          return false;
+        }
+        return *ln == *v.number;
       }
+      if (v.id) return lhs == *v.id;
+      return false;  // not in the dictionary
+    };
+
+    switch (filter.op) {
+      case plan::FilterOp::kEq: {
+        bool defined = false;
+        return equals(filter.values[0], &defined) && defined;
+      }
+      case plan::FilterOp::kNe: {
+        bool defined = false;
+        const bool eq = equals(filter.values[0], &defined);
+        return defined && !eq;
+      }
+      case plan::FilterOp::kIn: {
+        for (const plan::FilterOperand& v : filter.values) {
+          bool defined = false;
+          if (equals(v, &defined) && defined) return true;
+        }
+        return false;
+      }
+      default:
+        break;
     }
-    used[best] = true;
-    order.push_back(best);
-    for (const Term* t : {&patterns[best].subject, &patterns[best].property,
-                          &patterns[best].object}) {
-      if (t->is_var) bound[t->var] = true;
+
+    // Relational: numeric only.
+    const auto ln = NumberOf(lhs);
+    if (!ln) return false;
+    const plan::FilterOperand& v = filter.values[0];
+    std::optional<double> rn;
+    if (v.is_var()) {
+      const auto rid = operand_id(v);
+      if (rid) rn = NumberOf(*rid);
+    } else if (v.number) {
+      rn = v.number;
+    } else if (v.id) {
+      rn = NumberOf(*v.id);
+    }
+    if (!rn) return false;
+    switch (filter.op) {
+      case plan::FilterOp::kLt:
+        return *ln < *rn;
+      case plan::FilterOp::kLe:
+        return *ln <= *rn;
+      case plan::FilterOp::kGt:
+        return *ln > *rn;
+      case plan::FilterOp::kGe:
+        return *ln >= *rn;
+      default:
+        return false;
     }
   }
-  return order;
+
+ private:
+  std::optional<double> NumberOf(uint64_t id) {
+    if (id == kUnbound) return std::nullopt;
+    const auto it = memo_.find(id);
+    if (it != memo_.end()) return it->second;
+    std::optional<double> v = numeric_ ? numeric_(id) : std::nullopt;
+    memo_.emplace(id, v);
+    return v;
+  }
+
+  const plan::NumericResolver& numeric_;
+  std::unordered_map<uint64_t, std::optional<double>> memo_;
+};
+
+// Drops the rows failing any of `filters`, preserving row order.
+void ApplyFilters(const std::vector<plan::FilterExpr>& filters,
+                  FilterEvaluator* eval, Table* table) {
+  if (filters.empty() || table->rows.empty()) return;
+  std::vector<std::vector<uint64_t>> kept;
+  kept.reserve(table->rows.size());
+  for (auto& row : table->rows) {
+    bool ok = true;
+    for (const plan::FilterExpr& f : filters) {
+      if (!eval->Passes(f, *table, row)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) kept.push_back(std::move(row));
+  }
+  table->rows = std::move(kept);
 }
 
 // Bindings per extension batch: one Match per binding dominates the work,
 // so small batches balance skewed fan-outs across lanes.
 constexpr uint64_t kBindingsPerBatch = 16;
 
-Result<BgpResult> ExecuteBgp(const Backend& backend,
-                             const std::vector<BgpPattern>& raw_patterns,
-                             const exec::ExecContext& ectx) {
-  std::vector<BgpPattern> patterns;
-  patterns.reserve(raw_patterns.size());
-  {
-    obs::Span plan_span(ectx.trace(), "bgp.plan");
-    plan_span.set_rows_in(raw_patterns.size());
-    for (size_t i : PlanPatternOrder(raw_patterns)) {
-      patterns.push_back(raw_patterns[i]);
+// Extends every binding row with the matches of one instantiated pattern
+// — the classic index-nested-loop step, unchanged by the planner refactor
+// (ordering decisions moved out; the mechanics stayed).
+void ExtendStep(const Backend& backend, const plan::PhysStep& step,
+                const exec::ExecContext& ectx, obs::Histogram* batch_hist,
+                Table* table) {
+  const plan::BgpPattern& pattern = step.pattern;
+  // One span per extension step, opened on the control thread; the
+  // Match spans inside worker lanes are suppressed automatically.
+  obs::Span extend_span(ectx.trace(), StepSpanName("bgp.extend", step.est_out));
+  extend_span.set_rows_in(table->rows.size());
+  const size_t known_vars = table->vars.size();
+  const SlotRef s = ResolveTerm(pattern.subject, table);
+  const SlotRef p = ResolveTerm(pattern.property, table);
+  const SlotRef o = ResolveTerm(pattern.object, table);
+
+  auto bound_value = [&](const SlotRef& ref, const std::vector<uint64_t>& row)
+      -> std::optional<uint64_t> {
+    if (!ref.var_index) return ref.const_id;
+    // A variable padded to kUnbound by an earlier OPTIONAL is free again
+    // (SPARQL compatible-binding semantics), as is one this pattern
+    // introduces.
+    if (*ref.var_index < row.size() && row[*ref.var_index] != kUnbound) {
+      return row[*ref.var_index];
+    }
+    return std::nullopt;
+  };
+
+  // Extends one binding row with every match of the instantiated
+  // pattern, appending the surviving extensions to *out in match order.
+  auto extend_row = [&](const std::vector<uint64_t>& row,
+                        std::vector<std::vector<uint64_t>>* out) {
+    rdf::TriplePattern tp;
+    tp.subject = bound_value(s, row);
+    tp.property = bound_value(p, row);
+    tp.object = bound_value(o, row);
+
+    ++ectx.counters().match_calls;
+    for (const rdf::Triple& t : backend.Match(tp, ectx)) {
+      // Extend the binding; enforce consistency for variables repeated
+      // *within* this pattern (e.g. (?x, p, ?x)).
+      std::vector<uint64_t> extended = row;
+      extended.resize(table->vars.size(), 0);
+      std::vector<bool> set_now(table->vars.size() - known_vars, false);
+      bool consistent = true;
+      auto bind = [&](const SlotRef& ref, uint64_t value) {
+        if (!ref.var_index) return;
+        if (*ref.var_index < known_vars) {
+          // A known variable may still be unbound in this row (OPTIONAL
+          // padding): Match did not enforce it, so bind/check it here.
+          uint64_t& cell = extended[*ref.var_index];
+          if (cell == kUnbound) {
+            cell = value;
+          } else if (cell != value) {
+            consistent = false;
+          }
+          return;
+        }
+        const size_t local = *ref.var_index - known_vars;
+        if (set_now[local] && extended[*ref.var_index] != value) {
+          consistent = false;
+          return;
+        }
+        extended[*ref.var_index] = value;
+        set_now[local] = true;
+      };
+      bind(s, t.subject);
+      bind(p, t.property);
+      bind(o, t.object);
+      if (consistent) out->push_back(std::move(extended));
+    }
+  };
+
+  std::vector<std::vector<uint64_t>> next_rows;
+  const uint64_t n = table->rows.size();
+  if (batch_hist != nullptr) {
+    // Observe the *logical* batch split (a function of n alone), not the
+    // executed one, so the distribution matches at every thread width.
+    if (n >= 2 * kBindingsPerBatch) {
+      for (uint64_t lo = 0; lo < n; lo += kBindingsPerBatch) {
+        batch_hist->Observe(std::min(n, lo + kBindingsPerBatch) - lo);
+      }
+    } else {
+      batch_hist->Observe(n);
     }
   }
-  if (raw_patterns.empty()) {
-    return Status::InvalidArgument("empty basic graph pattern");
-  }
-  for (const BgpPattern& p : patterns) {
-    for (const Term* t : {&p.subject, &p.property, &p.object}) {
-      if (t->is_var && t->var.empty()) {
-        return Status::InvalidArgument("variable term with empty name");
+  const uint64_t batches = ectx.parallel() && n >= 2 * kBindingsPerBatch
+                               ? (n + kBindingsPerBatch - 1) / kBindingsPerBatch
+                               : 1;
+  if (batches <= 1) {
+    for (const auto& row : table->rows) extend_row(row, &next_rows);
+  } else {
+    // Order-preserving stitch: batch b covers a contiguous row range,
+    // and batch outputs concatenate in batch order — the exact serial
+    // extension sequence regardless of lane interleaving.
+    ectx.counters().bgp_batches += batches;
+    std::vector<std::vector<std::vector<uint64_t>>> batch_out(batches);
+    ectx.ParallelFor(batches, 1, [&](uint64_t b, uint64_t e, uint64_t) {
+      for (uint64_t batch = b; batch < e; ++batch) {
+        const uint64_t lo = batch * kBindingsPerBatch;
+        const uint64_t hi = std::min<uint64_t>(n, lo + kBindingsPerBatch);
+        for (uint64_t i = lo; i < hi; ++i) {
+          extend_row(table->rows[i], &batch_out[batch]);
+        }
       }
+    });
+    size_t total = 0;
+    for (const auto& out : batch_out) total += out.size();
+    next_rows.reserve(total);
+    for (auto& out : batch_out) {
+      for (auto& row : out) next_rows.push_back(std::move(row));
+    }
+  }
+  table->rows = std::move(next_rows);
+  extend_span.set_rows_out(table->rows.size());
+}
+
+// Same-subject star elimination: reads each arm's property partition once
+// (one Match per arm, instead of one per binding row per arm) and joins
+// the arms on the subject. Row order stays deterministic — existing rows
+// are walked in order, and fresh subjects follow the first arm's match
+// order — so results are bit-identical to the probing plan's set at any
+// thread width.
+void StarGatherStep(const Backend& backend, const plan::PhysStep& step,
+                    const exec::ExecContext& ectx, Table* table) {
+  obs::Span span(ectx.trace(), StepSpanName("bgp.star", step.est_out));
+  span.set_rows_in(table->rows.size());
+  ++ectx.counters().star_gathers;
+
+  struct Arm {
+    std::optional<size_t> out_col;  // set when the object is a variable
+    std::unordered_map<uint64_t, std::vector<uint64_t>> by_subject;
+  };
+  std::vector<Arm> arms(step.arms.size());
+  std::vector<uint64_t> subject_order;  // first-occurrence order in arm 0
+
+  for (size_t a = 0; a < step.arms.size(); ++a) {
+    const plan::BgpPattern& p = step.arms[a];
+    rdf::TriplePattern tp;
+    tp.property = p.property.id;
+    if (!p.object.is_var) tp.object = p.object.id;
+    ++ectx.counters().match_calls;
+    for (const rdf::Triple& t : backend.Match(tp, ectx)) {
+      auto [it, fresh] = arms[a].by_subject.try_emplace(t.subject);
+      if (fresh && a == 0) subject_order.push_back(t.subject);
+      it->second.push_back(t.object);
     }
   }
 
+  const std::string& subj_name = step.arms[0].subject.var;
+  const size_t existing = table->Find(subj_name);
+  const bool subj_bound = existing != Table::npos;
+  const size_t subj_col = subj_bound ? existing : table->AddVar(subj_name);
+  for (size_t a = 0; a < step.arms.size(); ++a) {
+    if (step.arms[a].object.is_var) {
+      arms[a].out_col = table->AddVar(step.arms[a].object.var);
+    }
+  }
+  const size_t width = table->vars.size();
+
+  // Emits the cross product of the arms' objects for one subject, earlier
+  // arms varying slowest. Constant-object arms are presence checks only.
+  auto emit = [&](uint64_t subject, const std::vector<uint64_t>& base,
+                  std::vector<std::vector<uint64_t>>* out) {
+    std::vector<const std::vector<uint64_t>*> lists;
+    std::vector<size_t> cols;
+    for (const Arm& arm : arms) {
+      const auto it = arm.by_subject.find(subject);
+      if (it == arm.by_subject.end()) return;  // subject misses this arm
+      if (arm.out_col) {
+        lists.push_back(&it->second);
+        cols.push_back(*arm.out_col);
+      }
+    }
+    uint64_t total = 1;
+    for (const auto* l : lists) total *= l->size();
+    for (uint64_t t = 0; t < total; ++t) {
+      std::vector<uint64_t> row = base;
+      row.resize(width, 0);
+      row[subj_col] = subject;
+      uint64_t rem = t;
+      for (size_t k = lists.size(); k-- > 0;) {
+        row[cols[k]] = (*lists[k])[rem % lists[k]->size()];
+        rem /= lists[k]->size();
+      }
+      out->push_back(std::move(row));
+    }
+  };
+
+  std::vector<std::vector<uint64_t>> next_rows;
+  for (const auto& row : table->rows) {
+    if (subj_bound) {
+      if (subj_col < row.size() && row[subj_col] != kUnbound) {
+        emit(row[subj_col], row, &next_rows);
+      }
+    } else {
+      for (uint64_t subject : subject_order) emit(subject, row, &next_rows);
+    }
+  }
+  table->rows = std::move(next_rows);
+  span.set_rows_out(table->rows.size());
+}
+
+// Runs a pipeline's steps (extensions and star gathers) plus their
+// attached filters over the table.
+void RunSteps(const Backend& backend, const std::vector<plan::PhysStep>& steps,
+              const exec::ExecContext& ectx, obs::Histogram* batch_hist,
+              FilterEvaluator* eval, Table* table) {
+  for (const plan::PhysStep& step : steps) {
+    if (step.kind == plan::StepKind::kExtend) {
+      ExtendStep(backend, step, ectx, batch_hist, table);
+    } else {
+      StarGatherStep(backend, step, ectx, table);
+    }
+    ApplyFilters(step.filters, eval, table);
+    if (table->rows.empty()) break;
+  }
+}
+
+// Left-joins one OPTIONAL pipeline into the table: runs the optional's
+// steps over a copy of the rows tagged with a provenance column, then
+// merges — rows with at least one surviving extension keep the extended
+// versions, the rest are padded with kUnbound for the optional's fresh
+// variables.
+void ApplyOptional(const Backend& backend, const plan::PhysPipeline& optional,
+                   const exec::ExecContext& ectx, obs::Histogram* batch_hist,
+                   FilterEvaluator* eval, Table* table) {
+  if (optional.always_empty || table->rows.empty()) {
+    // Nothing to join; the fresh columns still exist, all-unbound.
+    for (const std::string& v : optional.vars) {
+      if (table->Find(v) == Table::npos) table->AddVar(v);
+    }
+    for (auto& row : table->rows) row.resize(table->vars.size(), kUnbound);
+    return;
+  }
+  obs::Span span(ectx.trace(), "bgp.optional");
+  span.set_rows_in(table->rows.size());
+
+  // Parser variables are alphanumeric, so "#src" cannot collide.
+  Table work = *table;
+  const size_t src_col = work.AddVar("#src");
+  for (size_t i = 0; i < work.rows.size(); ++i) {
+    work.rows[i].push_back(static_cast<uint64_t>(i));
+  }
+  RunSteps(backend, optional.steps, ectx, batch_hist, eval, &work);
+
+  std::vector<size_t> fresh_out, fresh_work;
+  for (const std::string& v : optional.vars) {
+    size_t out = table->Find(v);
+    if (out == Table::npos) out = table->AddVar(v);
+    fresh_out.push_back(out);
+    fresh_work.push_back(work.Find(v));
+  }
+  const size_t width = table->vars.size();
+
+  // Extension steps are order-preserving, so the surviving work rows stay
+  // grouped in ascending provenance order: one forward merge pass.
+  std::vector<std::vector<uint64_t>> merged;
+  size_t next = 0;
+  for (size_t i = 0; i < table->rows.size(); ++i) {
+    bool any = false;
+    while (next < work.rows.size() && work.rows[next][src_col] == i) {
+      const std::vector<uint64_t>& wrow = work.rows[next];
+      std::vector<uint64_t> out(width, kUnbound);
+      // Required columns ride along in the work table (the optional may
+      // even have bound a previously-unbound one).
+      for (size_t c = 0; c < src_col; ++c) out[c] = wrow[c];
+      for (size_t k = 0; k < fresh_out.size(); ++k) {
+        out[fresh_out[k]] = fresh_work[k] == Table::npos
+                                ? kUnbound
+                                : wrow[fresh_work[k]];
+      }
+      merged.push_back(std::move(out));
+      any = true;
+      ++next;
+    }
+    if (!any) {
+      std::vector<uint64_t> out = table->rows[i];
+      out.resize(width, kUnbound);
+      merged.push_back(std::move(out));
+    }
+  }
+  table->rows = std::move(merged);
+  span.set_rows_out(table->rows.size());
+}
+
+}  // namespace
+
+Result<BgpResult> ExecutePlan(const Backend& backend,
+                              const plan::PhysicalPlan& plan,
+                              const exec::ExecContext& ectx) {
   BgpResult result;
-  std::unordered_map<std::string, size_t> var_index;
-  result.rows.push_back({});  // one empty binding
+  result.vars = plan.all_vars;
 
   // Binding-batch size distribution across all extension steps. Batch
   // sizes depend only on binding counts, never on the thread budget, so
@@ -118,107 +502,61 @@ Result<BgpResult> ExecuteBgp(const Backend& backend,
     batch_hist = session->metrics().GetHistogram(
         "bgp.batch_rows", {1, 2, 4, 8, 16, 32, 64, 128, 256});
   }
+  FilterEvaluator eval(plan.numeric);
 
-  for (const BgpPattern& pattern : patterns) {
-    // One span per extension step, opened on the control thread; the
-    // Match spans inside worker lanes are suppressed automatically.
-    obs::Span extend_span(ectx.trace(), "bgp.extend");
-    extend_span.set_rows_in(result.rows.size());
-    const size_t known_vars = result.vars.size();
-    const SlotRef s = ResolveTerm(pattern.subject, &var_index, &result.vars);
-    const SlotRef p = ResolveTerm(pattern.property, &var_index, &result.vars);
-    const SlotRef o = ResolveTerm(pattern.object, &var_index, &result.vars);
-
-    auto bound_value = [&](const SlotRef& ref,
-                           const std::vector<uint64_t>& row)
-        -> std::optional<uint64_t> {
-      if (!ref.var_index) return ref.const_id;
-      if (*ref.var_index < row.size()) return row[*ref.var_index];
-      return std::nullopt;  // variable introduced by this pattern
-    };
-
-    // Extends one binding row with every match of the instantiated
-    // pattern, appending the surviving extensions to *out in match order.
-    auto extend_row = [&](const std::vector<uint64_t>& row,
-                          std::vector<std::vector<uint64_t>>* out) {
-      rdf::TriplePattern tp;
-      tp.subject = bound_value(s, row);
-      tp.property = bound_value(p, row);
-      tp.object = bound_value(o, row);
-
-      ++ectx.counters().match_calls;
-      for (const rdf::Triple& t : backend.Match(tp, ectx)) {
-        // Extend the binding; enforce consistency for variables repeated
-        // *within* this pattern (e.g. (?x, p, ?x)).
-        std::vector<uint64_t> extended = row;
-        extended.resize(result.vars.size(), 0);
-        std::vector<bool> set_now(result.vars.size() - known_vars, false);
-        bool consistent = true;
-        auto bind = [&](const SlotRef& ref, uint64_t value) {
-          if (!ref.var_index || *ref.var_index < known_vars) {
-            return;  // constants and known vars are enforced by Match
-          }
-          const size_t local = *ref.var_index - known_vars;
-          if (set_now[local] && extended[*ref.var_index] != value) {
-            consistent = false;
-            return;
-          }
-          extended[*ref.var_index] = value;
-          set_now[local] = true;
-        };
-        bind(s, t.subject);
-        bind(p, t.property);
-        bind(o, t.object);
-        if (consistent) out->push_back(std::move(extended));
-      }
-    };
-
-    std::vector<std::vector<uint64_t>> next_rows;
-    const uint64_t n = result.rows.size();
-    if (batch_hist != nullptr) {
-      // Observe the *logical* batch split (a function of n alone), not the
-      // executed one, so the distribution matches at every thread width.
-      if (n >= 2 * kBindingsPerBatch) {
-        for (uint64_t lo = 0; lo < n; lo += kBindingsPerBatch) {
-          batch_hist->Observe(std::min(n, lo + kBindingsPerBatch) - lo);
-        }
-      } else {
-        batch_hist->Observe(n);
-      }
+  for (const plan::PhysPipeline& branch : plan.branches) {
+    if (branch.always_empty) continue;
+    Table table;
+    table.rows.push_back({});  // one empty binding
+    RunSteps(backend, branch.steps, ectx, batch_hist, &eval, &table);
+    for (const plan::PhysPipeline& optional : branch.optionals) {
+      ApplyOptional(backend, optional, ectx, batch_hist, &eval, &table);
     }
-    const uint64_t batches =
-        ectx.parallel() && n >= 2 * kBindingsPerBatch
-            ? (n + kBindingsPerBatch - 1) / kBindingsPerBatch
-            : 1;
-    if (batches <= 1) {
-      for (const auto& row : result.rows) extend_row(row, &next_rows);
-    } else {
-      // Order-preserving stitch: batch b covers a contiguous row range,
-      // and batch outputs concatenate in batch order — the exact serial
-      // extension sequence regardless of lane interleaving.
-      ectx.counters().bgp_batches += batches;
-      std::vector<std::vector<std::vector<uint64_t>>> batch_out(batches);
-      ectx.ParallelFor(batches, 1, [&](uint64_t b, uint64_t e, uint64_t) {
-        for (uint64_t batch = b; batch < e; ++batch) {
-          const uint64_t lo = batch * kBindingsPerBatch;
-          const uint64_t hi = std::min<uint64_t>(n, lo + kBindingsPerBatch);
-          for (uint64_t i = lo; i < hi; ++i) {
-            extend_row(result.rows[i], &batch_out[batch]);
-          }
-        }
-      });
-      size_t total = 0;
-      for (const auto& out : batch_out) total += out.size();
-      next_rows.reserve(total);
-      for (auto& out : batch_out) {
-        for (auto& row : out) next_rows.push_back(std::move(row));
-      }
+    ApplyFilters(branch.post_filters, &eval, &table);
+
+    // Align this branch's columns to the query-wide textual order.
+    std::vector<size_t> col(plan.all_vars.size(), Table::npos);
+    for (size_t j = 0; j < plan.all_vars.size(); ++j) {
+      col[j] = table.Find(plan.all_vars[j]);
     }
-    result.rows = std::move(next_rows);
-    extend_span.set_rows_out(result.rows.size());
-    if (result.rows.empty()) break;
+    for (const auto& row : table.rows) {
+      std::vector<uint64_t> out(plan.all_vars.size(), kUnbound);
+      for (size_t j = 0; j < out.size(); ++j) {
+        if (col[j] != Table::npos && col[j] < row.size()) out[j] = row[col[j]];
+      }
+      result.rows.push_back(std::move(out));
+    }
   }
   return result;
+}
+
+Result<BgpResult> ExecuteBgp(const Backend& backend,
+                             const std::vector<BgpPattern>& raw_patterns,
+                             const exec::ExecContext& ectx,
+                             const plan::PlannerOptions& options) {
+  if (raw_patterns.empty()) {
+    return Status::InvalidArgument("empty basic graph pattern");
+  }
+  for (const BgpPattern& p : raw_patterns) {
+    for (const Term* t : {&p.subject, &p.property, &p.object}) {
+      if (t->is_var && t->var.empty()) {
+        return Status::InvalidArgument("variable term with empty name");
+      }
+    }
+  }
+  plan::PhysicalPlan physical;
+  {
+    obs::Span plan_span(ectx.trace(), "bgp.plan");
+    plan_span.set_rows_in(raw_patterns.size());
+    physical = plan::OptimizeBgp(raw_patterns, options);
+  }
+  return ExecutePlan(backend, physical, ectx);
+}
+
+Result<BgpResult> ExecuteBgp(const Backend& backend,
+                             const std::vector<BgpPattern>& raw_patterns,
+                             const exec::ExecContext& ectx) {
+  return ExecuteBgp(backend, raw_patterns, ectx, plan::PlannerOptions{});
 }
 
 Result<BgpResult> ExecuteBgp(const Backend& backend,

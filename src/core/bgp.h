@@ -7,6 +7,9 @@
 
 #include "common/status.h"
 #include "core/backend.h"
+#include "plan/algebra.h"
+#include "plan/optimizer.h"
+#include "plan/physical.h"
 
 namespace swan::core {
 
@@ -15,50 +18,58 @@ namespace swan::core {
 // patterns of Figure 2 and arbitrary compositions of the A/B/C join
 // patterns can be expressed and executed, which is how the library covers
 // the full query design space the paper maps out in §2.2.
+//
+// Since the planner refactor this file is the *interpreter* half of query
+// processing: pattern lists (or full logical plans, via the sparql layer)
+// are lowered by plan::Optimize into an annotated physical plan, and
+// ExecutePlan runs that plan — extension steps, star gathers, filters,
+// optionals, unions — against a backend.
 
-// A term of a pattern: either a bound dictionary id or a named variable.
-struct Term {
-  static Term Const(uint64_t id) { return Term{false, id, ""}; }
-  static Term Var(std::string name) { return Term{true, 0, std::move(name)}; }
+// Term and BgpPattern live in plan/algebra.h so the planner layer stays
+// independent of the backends; re-exported here for the existing callers.
+using Term = plan::Term;
+using BgpPattern = plan::BgpPattern;
+using plan::kUnbound;
 
-  bool is_var = false;
-  uint64_t id = 0;
-  std::string var;
-};
-
-struct BgpPattern {
-  Term subject;
-  Term property;
-  Term object;
-};
-
-// Result: a binding table. Column i holds the values of variable vars[i].
+// Result: a binding table. Column i holds the values of variable vars[i],
+// in the query's *textual* first-appearance order — never the evaluation
+// order the planner chose. Cells left unbound by an OPTIONAL that found
+// no match hold plan::kUnbound.
 struct BgpResult {
   std::vector<std::string> vars;
   std::vector<std::vector<uint64_t>> rows;
 };
 
-// Greedy join ordering: returns the indices of `patterns` in evaluation
-// order — the most-bound pattern first, then repeatedly the pattern most
-// connected to the variables already bound. Equivalent results in any
-// order (BGP conjunction is commutative); the ordering only bounds the
-// intermediate binding-table sizes. Exposed for tests and EXPLAIN-style
-// inspection.
-std::vector<size_t> PlanPatternOrder(const std::vector<BgpPattern>& patterns);
-
-// Evaluates the conjunction of `patterns` against `backend` by iterative
-// binding extension (index-nested-loop at the logical level): patterns are
-// evaluated in PlanPatternOrder; for every partial binding the pattern is
-// instantiated and matched through Backend::Match. Repeated variables
-// within one pattern are checked for consistency. Result columns follow
-// first-appearance order *in evaluation order* — consult BgpResult::vars
-// rather than assuming the query's textual order.
+// Interprets a physical plan against `backend`. Each branch runs by
+// iterative binding extension (index-nested-loop at the logical level):
+// for every partial binding the step's pattern is instantiated and matched
+// through Backend::Match; star-gather steps instead read each arm's
+// property partition once and hash-join on the subject. Filters attached
+// to a step apply right after it; OPTIONAL pipelines left-join after the
+// required steps; branch results concatenate in branch order with columns
+// aligned to plan.all_vars.
 //
-// Under a parallel ExecContext the binding table of each step is range-
-// partitioned into batches whose extensions run concurrently (each batch
-// issues its own Match calls); batch outputs concatenate in batch order,
-// so the binding rows come out in exactly the serial sequence at every
-// thread count. ectx.counters() records match_calls and bgp_batches.
+// Under a parallel ExecContext the binding table of each extension step is
+// range-partitioned into batches whose extensions run concurrently (each
+// batch issues its own Match calls); batch outputs concatenate in batch
+// order, so the binding rows come out in exactly the serial sequence at
+// every thread count. ectx.counters() records match_calls, bgp_batches and
+// star_gathers.
+Result<BgpResult> ExecutePlan(const Backend& backend,
+                              const plan::PhysicalPlan& plan,
+                              const exec::ExecContext& ectx);
+
+// Plans and evaluates the conjunction of `patterns`: lowers the list to
+// Join(Scan...), runs plan::Optimize with `options`, then interprets the
+// result. The two-/three-argument overloads use the statistics-free
+// heuristic ordering (the pre-planner behavior, bit-identical); pass
+// PlannerOptions{kCostBased, &store.stats(), backend.PlannerHints()} for
+// the cost-based plan.
+Result<BgpResult> ExecuteBgp(const Backend& backend,
+                             const std::vector<BgpPattern>& patterns,
+                             const exec::ExecContext& ectx,
+                             const plan::PlannerOptions& options);
+
 Result<BgpResult> ExecuteBgp(const Backend& backend,
                              const std::vector<BgpPattern>& patterns,
                              const exec::ExecContext& ectx);

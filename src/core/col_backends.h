@@ -45,6 +45,13 @@ class ColTripleBackend : public BackendBase {
   uint64_t delta_size() const { return delta_.size(); }
   uint64_t merge_count() const { return merge_count_; }
 
+  plan::AccessHints PlannerHints() const override {
+    plan::AccessHints hints;
+    hints.clustered_by_property = pso_;
+    hints.subject_indexed = !pso_;  // SPO order: subject-prefix probes
+    return hints;
+  }
+
   audit::AuditReport Audit(audit::AuditLevel level) const override;
 
  private:
@@ -121,6 +128,14 @@ class ColVerticalBackend : public BackendBase {
   const colstore::VerticalTable& table() const { return *table_; }
   uint64_t partitions_created() const { return partitions_created_; }
   uint64_t merge_count() const { return merge_count_; }
+
+  plan::AccessHints PlannerHints() const override {
+    plan::AccessHints hints;
+    hints.clustered_by_property = true;   // one partition per property
+    hints.subject_indexed = true;         // partitions sorted by subject
+    hints.property_fanout = true;         // unbound property = all partitions
+    return hints;
+  }
 
   audit::AuditReport Audit(audit::AuditLevel level) const override;
 

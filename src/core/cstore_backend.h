@@ -37,6 +37,14 @@ class CStoreBackend : public BackendBase {
 
   const cstore::CStoreEngine& engine() const { return *engine_; }
 
+  plan::AccessHints PlannerHints() const override {
+    plan::AccessHints hints;
+    hints.clustered_by_property = true;  // per-property projections
+    hints.subject_indexed = true;        // sorted on subject
+    hints.property_fanout = true;        // unbound property = all projections
+    return hints;
+  }
+
   audit::AuditReport Audit(audit::AuditLevel level) const override {
     audit::AuditReport report;
     engine_->AuditInto(level, dataset_ptr_->dict().size(), &report);

@@ -59,6 +59,14 @@ class PropertyTableBackend : public BackendBase {
   const std::vector<uint64_t>& wide_properties() const { return wide_props_; }
   uint64_t overflow_triples() const { return overflow_->size(); }
 
+  plan::AccessHints PlannerHints() const override {
+    plan::AccessHints hints;
+    hints.clustered_by_property = true;  // wide columns + PSO overflow
+    hints.subject_indexed = true;        // wide table keyed on subject
+    hints.property_fanout = true;        // unbound property scans all columns
+    return hints;
+  }
+
   audit::AuditReport Audit(audit::AuditLevel level) const override {
     audit::AuditReport report;
     wide_->AuditInto(level, &report);

@@ -35,6 +35,13 @@ class ReferenceBackend : public BackendBase {
   void DropCaches() override {}
   uint64_t disk_bytes() const override { return 0; }
 
+  plan::AccessHints PlannerHints() const override {
+    plan::AccessHints hints;
+    hints.clustered_by_property = false;  // every Match is a full loop
+    hints.subject_indexed = false;
+    return hints;
+  }
+
   // RDF set semantics: the vector and the membership set must hold exactly
   // the same triples.
   audit::AuditReport Audit(audit::AuditLevel level) const override {

@@ -43,6 +43,15 @@ class RowTripleBackend : public BackendBase {
 
   const rowstore::TripleRelation& relation() const { return *relation_; }
 
+  plan::AccessHints PlannerHints() const override {
+    const bool pso =
+        relation_->config().clustered == rdf::TripleOrder::kPSO;
+    plan::AccessHints hints;
+    hints.clustered_by_property = pso;
+    hints.subject_indexed = !pso;  // SPO clustering: subject-prefix probes
+    return hints;
+  }
+
   audit::AuditReport Audit(audit::AuditLevel level) const override {
     audit::AuditReport report;
     relation_->AuditInto(level, &report);
@@ -99,6 +108,14 @@ class RowVerticalBackend : public BackendBase {
   uint64_t disk_bytes() const override { return relation_->disk_bytes(); }
 
   const rowstore::VerticalRelation& relation() const { return *relation_; }
+
+  plan::AccessHints PlannerHints() const override {
+    plan::AccessHints hints;
+    hints.clustered_by_property = true;  // one B+tree per property
+    hints.subject_indexed = true;        // keyed on (subject, object)
+    hints.property_fanout = true;        // unbound property = every tree
+    return hints;
+  }
 
   audit::AuditReport Audit(audit::AuditLevel level) const override {
     audit::AuditReport report;

@@ -93,13 +93,29 @@ class RdfStore {
     return backend_->Match(pattern, ectx);
   }
 
-  // Conjunctive pattern (BGP) query.
+  // Conjunctive pattern (BGP) query. The store facade always plans
+  // cost-based: the statistics are collected once at open time and the
+  // backend supplies its access-path hints. (Call core::ExecuteBgp
+  // directly for the statistics-free heuristic order.)
   Result<BgpResult> ExecuteBgp(const std::vector<BgpPattern>& patterns) const {
-    return core::ExecuteBgp(*backend_, patterns);
+    return core::ExecuteBgp(*backend_, patterns, exec::ExecContext(),
+                            planner_options());
   }
   Result<BgpResult> ExecuteBgp(const std::vector<BgpPattern>& patterns,
                                const exec::ExecContext& ectx) const {
-    return core::ExecuteBgp(*backend_, patterns, ectx);
+    return core::ExecuteBgp(*backend_, patterns, ectx, planner_options());
+  }
+
+  // Load-time statistics over the dataset (per-property cardinalities,
+  // distinct subject/object counts, skew maxima) and the planner options
+  // every store-level query runs under.
+  const plan::StoreStats& stats() const { return stats_; }
+  plan::PlannerOptions planner_options() const {
+    plan::PlannerOptions options;
+    options.mode = plan::PlanMode::kCostBased;
+    options.stats = &stats_;
+    options.hints = backend_->PlannerHints();
+    return options;
   }
 
   // The store's write path. Every *successful* mutation bumps the
@@ -133,6 +149,7 @@ class RdfStore {
   audit::AuditReport Audit(audit::AuditLevel level) const {
     audit::AuditReport report = backend_->Audit(level);
     dataset_->dict().AuditInto(level, &report);
+    stats_.AuditInto(level, &report, *dataset_);
     for (const HookEntry& entry : audit_hooks_) entry.hook(level, &report);
     return report;
   }
@@ -170,7 +187,8 @@ class RdfStore {
            std::unique_ptr<Backend> backend)
       : dataset_(&dataset),
         options_(std::move(options)),
-        backend_(std::move(backend)) {}
+        backend_(std::move(backend)),
+        stats_(plan::StoreStats::Collect(dataset)) {}
 
   struct HookEntry {
     uint64_t token;
@@ -180,6 +198,7 @@ class RdfStore {
   const rdf::Dataset* dataset_;
   StoreOptions options_;
   std::unique_ptr<Backend> backend_;
+  plan::StoreStats stats_;
   std::atomic<uint64_t> snapshot_version_{1};
   std::vector<HookEntry> audit_hooks_;
   uint64_t next_hook_token_ = 1;

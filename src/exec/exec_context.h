@@ -21,6 +21,7 @@ struct OpCounters {
   std::atomic<uint64_t> merge_join_partitions{0};  // key-range join partitions
   std::atomic<uint64_t> match_calls{0};       // Backend::Match invocations
   std::atomic<uint64_t> bgp_batches{0};       // parallel binding-extension batches
+  std::atomic<uint64_t> star_gathers{0};      // same-subject star joins gathered
   // Disk-cost snapshots, accumulated by the harness from the simulated
   // disk's deltas around each measured run (the disk itself never writes
   // here), so scheduler counters and I/O cost report side by side.
@@ -34,6 +35,7 @@ struct OpCounters {
     uint64_t merge_join_partitions = 0;
     uint64_t match_calls = 0;
     uint64_t bgp_batches = 0;
+    uint64_t star_gathers = 0;
     uint64_t bytes_read = 0;
     uint64_t seeks = 0;
   };
@@ -45,6 +47,7 @@ struct OpCounters {
         merge_join_partitions.load(std::memory_order_relaxed);
     s.match_calls = match_calls.load(std::memory_order_relaxed);
     s.bgp_batches = bgp_batches.load(std::memory_order_relaxed);
+    s.star_gathers = star_gathers.load(std::memory_order_relaxed);
     s.bytes_read = bytes_read.load(std::memory_order_relaxed);
     s.seeks = seeks.load(std::memory_order_relaxed);
     return s;
@@ -55,6 +58,7 @@ struct OpCounters {
     merge_join_partitions.store(0, std::memory_order_relaxed);
     match_calls.store(0, std::memory_order_relaxed);
     bgp_batches.store(0, std::memory_order_relaxed);
+    star_gathers.store(0, std::memory_order_relaxed);
     bytes_read.store(0, std::memory_order_relaxed);
     seeks.store(0, std::memory_order_relaxed);
   }

@@ -1,0 +1,134 @@
+#include "plan/algebra.h"
+
+#include <algorithm>
+
+namespace swan::plan {
+
+const char* ToString(FilterOp op) {
+  switch (op) {
+    case FilterOp::kLt:
+      return "<";
+    case FilterOp::kLe:
+      return "<=";
+    case FilterOp::kGt:
+      return ">";
+    case FilterOp::kGe:
+      return ">=";
+    case FilterOp::kEq:
+      return "=";
+    case FilterOp::kNe:
+      return "!=";
+    case FilterOp::kIn:
+      return "IN";
+  }
+  return "?";
+}
+
+const char* ToString(LogicalOp op) {
+  switch (op) {
+    case LogicalOp::kScan:
+      return "Scan";
+    case LogicalOp::kJoin:
+      return "Join";
+    case LogicalOp::kFilter:
+      return "Filter";
+    case LogicalOp::kLeftJoin:
+      return "LeftJoin";
+    case LogicalOp::kUnion:
+      return "Union";
+    case LogicalOp::kDistinct:
+      return "Distinct";
+    case LogicalOp::kProject:
+      return "Project";
+    case LogicalOp::kSlice:
+      return "Slice";
+  }
+  return "?";
+}
+
+std::vector<std::string> FilterExpr::Variables() const {
+  std::vector<std::string> out;
+  out.push_back(var);
+  for (const FilterOperand& value : values) {
+    if (value.is_var() &&
+        std::find(out.begin(), out.end(), value.var) == out.end()) {
+      out.push_back(value.var);
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<LogicalNode> MakeScan(BgpPattern pattern, bool unsatisfiable) {
+  auto node = std::make_unique<LogicalNode>();
+  node->op = LogicalOp::kScan;
+  node->pattern = std::move(pattern);
+  node->unsatisfiable = unsatisfiable;
+  return node;
+}
+
+std::unique_ptr<LogicalNode> MakeJoin(
+    std::vector<std::unique_ptr<LogicalNode>> children) {
+  auto node = std::make_unique<LogicalNode>();
+  node->op = LogicalOp::kJoin;
+  node->children = std::move(children);
+  return node;
+}
+
+std::unique_ptr<LogicalNode> MakeFilter(FilterExpr filter,
+                                        std::unique_ptr<LogicalNode> child) {
+  auto node = std::make_unique<LogicalNode>();
+  node->op = LogicalOp::kFilter;
+  node->filter = std::move(filter);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+std::unique_ptr<LogicalNode> MakeLeftJoin(std::unique_ptr<LogicalNode> left,
+                                          std::unique_ptr<LogicalNode> right) {
+  auto node = std::make_unique<LogicalNode>();
+  node->op = LogicalOp::kLeftJoin;
+  node->children.push_back(std::move(left));
+  node->children.push_back(std::move(right));
+  return node;
+}
+
+std::unique_ptr<LogicalNode> MakeUnion(
+    std::vector<std::unique_ptr<LogicalNode>> children) {
+  auto node = std::make_unique<LogicalNode>();
+  node->op = LogicalOp::kUnion;
+  node->children = std::move(children);
+  return node;
+}
+
+LogicalPlan BuildBgpLogical(const std::vector<BgpPattern>& patterns) {
+  std::vector<std::unique_ptr<LogicalNode>> scans;
+  scans.reserve(patterns.size());
+  for (const BgpPattern& pattern : patterns) {
+    scans.push_back(MakeScan(pattern));
+  }
+  LogicalPlan plan;
+  plan.root = MakeJoin(std::move(scans));
+  return plan;
+}
+
+void CollectPatternVars(const BgpPattern& pattern,
+                        std::vector<std::string>* vars) {
+  for (const Term* t : {&pattern.subject, &pattern.property, &pattern.object}) {
+    if (t->is_var &&
+        std::find(vars->begin(), vars->end(), t->var) == vars->end()) {
+      vars->push_back(t->var);
+    }
+  }
+}
+
+std::vector<std::string> CollectVars(const LogicalNode& node) {
+  std::vector<std::string> vars;
+  std::function<void(const LogicalNode&)> walk = [&](const LogicalNode& n) {
+    if (n.op == LogicalOp::kScan) CollectPatternVars(n.pattern, &vars);
+    for (const auto& child : n.children) walk(*child);
+  };
+  walk(node);
+  return vars;
+}
+
+}  // namespace swan::plan

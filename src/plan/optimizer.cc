@@ -1,0 +1,740 @@
+#include "plan/optimizer.h"
+
+#include <algorithm>
+#include <climits>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/macros.h"
+
+namespace swan::plan {
+
+const char* ToString(PlanMode mode) {
+  switch (mode) {
+    case PlanMode::kCostBased:
+      return "cost-based";
+    case PlanMode::kHeuristic:
+      return "heuristic";
+    case PlanMode::kWorstOrder:
+      return "worst-order";
+    case PlanMode::kAsWritten:
+      return "as-written";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Exhaustive DP is affordable up to this many patterns per group; larger
+// conjunctions fall back to greedy minimum-cardinality ordering.
+constexpr size_t kDpLimit = 8;
+
+// Commit to a star gather only when the modeled probing cost exceeds the
+// gather cost by this factor — estimates are means over skewed data, so
+// the rewrite must be clearly, not marginally, cheaper.
+constexpr double kStarGatherMargin = 2.0;
+
+// --- Variable bitmaps -----------------------------------------------------
+// Join ordering tracks bound-variable sets as uint64 bitmaps. Groups with
+// more than 64 distinct variables (never the paper's workload) fall back
+// to the heuristic ordering.
+
+class VarBits {
+ public:
+  // Returns false once more than 64 variables exist.
+  bool Intern(const std::string& var, int* bit) {
+    auto it = index_.find(var);
+    if (it != index_.end()) {
+      *bit = it->second;
+      return true;
+    }
+    if (index_.size() >= 64) return false;
+    *bit = static_cast<int>(index_.size());
+    index_.emplace(var, *bit);
+    return true;
+  }
+  bool PatternMask(const BgpPattern& p, uint64_t* mask) {
+    *mask = 0;
+    for (const Term* t : {&p.subject, &p.property, &p.object}) {
+      if (!t->is_var) continue;
+      int bit = 0;
+      if (!Intern(t->var, &bit)) return false;
+      *mask |= 1ULL << bit;
+    }
+    return true;
+  }
+
+ private:
+  std::unordered_map<std::string, int> index_;
+};
+
+// --- Cardinality and cost model -------------------------------------------
+
+struct TermState {
+  bool bound = false;     // constant, or variable already bound
+  bool is_const = false;  // constant (id meaningful)
+  uint64_t id = 0;
+};
+
+TermState StateOf(const Term& term, uint64_t var_mask, VarBits* vars) {
+  TermState st;
+  if (!term.is_var) {
+    st.bound = st.is_const = true;
+    st.id = term.id;
+    return st;
+  }
+  int bit = 0;
+  if (vars != nullptr && vars->Intern(term.var, &bit)) {
+    st.bound = (var_mask >> bit) & 1;
+  }
+  return st;
+}
+
+// Expected matches of one instantiated probe of `p`, given which
+// variables are already bound.
+double EstFanout(const BgpPattern& p, uint64_t bound_mask, VarBits* vars,
+                 const StoreStats& stats) {
+  const TermState s = StateOf(p.subject, bound_mask, vars);
+  const TermState pr = StateOf(p.property, bound_mask, vars);
+  const TermState o = StateOf(p.object, bound_mask, vars);
+  const auto opt = [](const TermState& t) {
+    return t.bound ? std::optional<uint64_t>(t.id) : std::nullopt;
+  };
+  if (pr.bound && !pr.is_const) {
+    // Property bound through a variable: average over the properties.
+    const double props =
+        static_cast<double>(std::max<uint64_t>(1, stats.distinct_properties()));
+    return stats.EstimateMatches(opt(s), std::nullopt, opt(o)) / props;
+  }
+  return stats.EstimateMatches(opt(s), opt(pr), opt(o));
+}
+
+// Modeled cost of one Match call for `p` under the backend's access
+// hints. `fanout` is the expected result size of the probe.
+double CallCost(const BgpPattern& p, uint64_t bound_mask, VarBits* vars,
+                double fanout, const StoreStats& stats,
+                const AccessHints& h) {
+  const TermState s = StateOf(p.subject, bound_mask, vars);
+  const TermState pr = StateOf(p.property, bound_mask, vars);
+  const double n = static_cast<double>(stats.total_triples);
+  const double props =
+      static_cast<double>(std::max<uint64_t>(1, stats.distinct_properties()));
+
+  double seeks = 1.0;
+  double touched;  // triples the backend must look at
+  if (pr.bound) {
+    // The property's extent (exact for constants, average for variables).
+    double extent = n / props;
+    if (pr.is_const) {
+      const auto it = stats.by_property.find(pr.id);
+      extent = it == stats.by_property.end()
+                   ? 0.0
+                   : static_cast<double>(it->second.count);
+    }
+    if (h.clustered_by_property) {
+      touched = (s.bound && h.subject_indexed) ? fanout : extent;
+    } else if (s.bound && h.subject_indexed) {
+      // Subject-clustered store: scan the subject's run for the property.
+      touched = n / static_cast<double>(
+                        std::max<uint64_t>(1, stats.distinct_subjects));
+    } else {
+      touched = n;  // full scan
+    }
+  } else if (s.bound && h.subject_indexed) {
+    seeks = h.property_fanout ? props : 1.0;
+    touched = fanout;
+  } else {
+    touched = n;  // object-only or fully unbound: no index applies
+  }
+  return seeks * h.seek_cost + touched * h.scan_row_cost +
+         fanout * h.result_row_cost;
+}
+
+// --- Flattened branch specs -----------------------------------------------
+
+struct GroupSpec {
+  std::vector<BgpPattern> patterns;  // textual order
+  std::vector<size_t> sources;       // textual index of each pattern
+  std::vector<FilterExpr> filters;
+  bool unsat = false;
+  std::string unsat_reason;
+};
+
+struct BranchSpec {
+  GroupSpec required;
+  std::vector<GroupSpec> optionals;
+};
+
+void FlattenGroup(const LogicalNode& node, GroupSpec* group,
+                  size_t* next_source) {
+  switch (node.op) {
+    case LogicalOp::kScan:
+      group->patterns.push_back(node.pattern);
+      group->sources.push_back((*next_source)++);
+      if (node.unsatisfiable && !group->unsat) {
+        group->unsat = true;
+        group->unsat_reason =
+            "pattern " + PatternText(node.pattern) + " cannot match";
+      }
+      return;
+    case LogicalOp::kFilter:
+      group->filters.push_back(node.filter);
+      FlattenGroup(*node.children[0], group, next_source);
+      return;
+    case LogicalOp::kJoin:
+      for (const auto& child : node.children) {
+        FlattenGroup(*child, group, next_source);
+      }
+      return;
+    default:
+      SWAN_CHECK_MSG(false, "unexpected operator inside a group");
+  }
+}
+
+BranchSpec FlattenBranch(const LogicalNode& node) {
+  BranchSpec spec;
+  size_t next_source = 0;
+  // Filters wrap LeftJoins wrap the required Join — peel filters (they
+  // belong to the required group's scope), then left joins.
+  std::function<void(const LogicalNode&)> walk = [&](const LogicalNode& n) {
+    if (n.op == LogicalOp::kFilter) {
+      spec.required.filters.push_back(n.filter);
+      walk(*n.children[0]);
+      return;
+    }
+    if (n.op == LogicalOp::kLeftJoin) {
+      walk(*n.children[0]);
+      GroupSpec optional;
+      FlattenGroup(*n.children[1], &optional, &next_source);
+      spec.optionals.push_back(std::move(optional));
+      return;
+    }
+    FlattenGroup(n, &spec.required, &next_source);
+  };
+  walk(node);
+  return spec;
+}
+
+// --- Ordering strategies --------------------------------------------------
+
+// The pre-planner greedy scoring, with `bound` seeding the join-connected
+// set (empty for a required group, the outer variables for an optional).
+std::vector<size_t> HeuristicOrder(const std::vector<BgpPattern>& patterns,
+                                   std::unordered_map<std::string, bool> bound) {
+  std::vector<size_t> order;
+  std::vector<bool> used(patterns.size(), false);
+
+  auto score = [&](const BgpPattern& p) {
+    int constants = 0, joined = 0, fresh = 0;
+    for (const Term* t : {&p.subject, &p.property, &p.object}) {
+      if (!t->is_var) {
+        ++constants;
+      } else if (bound.count(t->var) != 0) {
+        ++joined;
+      } else {
+        ++fresh;
+      }
+    }
+    // Constants narrow the match most; variables already bound turn the
+    // step into a join; fresh variables widen the binding table.
+    return 3 * constants + 2 * joined - fresh;
+  };
+
+  for (size_t step = 0; step < patterns.size(); ++step) {
+    int best_score = INT_MIN;
+    size_t best = 0;
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      if (used[i]) continue;
+      const int s = score(patterns[i]);
+      if (s > best_score) {
+        best_score = s;
+        best = i;
+      }
+    }
+    used[best] = true;
+    order.push_back(best);
+    for (const Term* t : {&patterns[best].subject, &patterns[best].property,
+                          &patterns[best].object}) {
+      if (t->is_var) bound[t->var] = true;
+    }
+  }
+  return order;
+}
+
+// Cost-based ordering: exhaustive DP over linear join orders (≤ kDpLimit
+// patterns), greedy minimum-cardinality beyond. `outer_mask` holds the
+// variables bound before the group starts.
+std::vector<size_t> CostOrder(const std::vector<BgpPattern>& patterns,
+                              const std::vector<uint64_t>& pattern_masks,
+                              uint64_t outer_mask, double est_in,
+                              VarBits* vars, const StoreStats& stats,
+                              const AccessHints& hints, bool worst) {
+  const size_t n = patterns.size();
+  const double rows0 = std::max(est_in, 0.0);
+
+  if (!worst && n >= 2 && n <= kDpLimit) {
+    const size_t full = (1ULL << n) - 1;
+    std::vector<double> cost(full + 1, kInf), rows(full + 1, 0.0);
+    std::vector<int> last(full + 1, -1);
+    std::vector<size_t> prev(full + 1, 0);
+    cost[0] = 0.0;
+    rows[0] = rows0;
+    for (size_t mask = 0; mask <= full; ++mask) {
+      if (cost[mask] == kInf) continue;
+      uint64_t bound = outer_mask;
+      for (size_t i = 0; i < n; ++i) {
+        if (mask & (1ULL << i)) bound |= pattern_masks[i];
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (mask & (1ULL << i)) continue;
+        const double fanout = EstFanout(patterns[i], bound, vars, stats);
+        const double step =
+            rows[mask] * CallCost(patterns[i], bound, vars, fanout, stats,
+                                  hints);
+        const size_t next = mask | (1ULL << i);
+        if (cost[mask] + step < cost[next]) {
+          cost[next] = cost[mask] + step;
+          rows[next] = rows[mask] * fanout;
+          last[next] = static_cast<int>(i);
+          prev[next] = mask;
+        }
+      }
+    }
+    std::vector<size_t> order;
+    for (size_t mask = full; mask != 0; mask = prev[mask]) {
+      order.push_back(static_cast<size_t>(last[mask]));
+    }
+    std::reverse(order.begin(), order.end());
+    return order;
+  }
+
+  // Greedy: repeatedly take the pattern with the smallest estimated
+  // output (ties: cheapest probe) — or the largest, for the adversarial
+  // worst-order baseline.
+  std::vector<size_t> order;
+  std::vector<bool> used(n, false);
+  uint64_t bound = outer_mask;
+  double r = rows0;
+  for (size_t step = 0; step < n; ++step) {
+    size_t best = 0;
+    double best_rows = worst ? -kInf : kInf;
+    double best_cost = best_rows;
+    double best_fanout = 1.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      const double fanout = EstFanout(patterns[i], bound, vars, stats);
+      const double rows_out = r * fanout;
+      const double c =
+          r * CallCost(patterns[i], bound, vars, fanout, stats, hints);
+      const bool better =
+          worst ? (rows_out > best_rows ||
+                   (rows_out == best_rows && c > best_cost))
+                : (rows_out < best_rows ||
+                   (rows_out == best_rows && c < best_cost));
+      if (better) {
+        best = i;
+        best_rows = rows_out;
+        best_cost = c;
+        best_fanout = fanout;
+      }
+    }
+    used[best] = true;
+    order.push_back(best);
+    bound |= pattern_masks[best];
+    r *= best_fanout;
+  }
+  return order;
+}
+
+// --- Group compilation ----------------------------------------------------
+
+struct OccurrenceCount {
+  std::unordered_map<std::string, int> count;
+  void AddPattern(const BgpPattern& p) {
+    for (const Term* t : {&p.subject, &p.property, &p.object}) {
+      if (t->is_var) ++count[t->var];
+    }
+  }
+  int Of(const std::string& var) const {
+    auto it = count.find(var);
+    return it == count.end() ? 0 : it->second;
+  }
+};
+
+void PatternVarsInto(const BgpPattern& p,
+                     std::unordered_set<std::string>* vars) {
+  for (const Term* t : {&p.subject, &p.property, &p.object}) {
+    if (t->is_var) vars->insert(t->var);
+  }
+}
+
+// Compiles one group (required or optional) into ordered physical steps.
+// `outer` holds the variables bound before the group runs; `occurrences`
+// counts variable uses across the whole branch (for the single-use test
+// of star-gather object columns).
+PhysPipeline CompileGroup(const GroupSpec& group,
+                          const std::unordered_set<std::string>& outer,
+                          double est_in, const OccurrenceCount& occurrences,
+                          const PlannerOptions& opts) {
+  PhysPipeline out;
+  for (const BgpPattern& p : group.patterns) {
+    std::vector<std::string> vs;
+    CollectPatternVars(p, &vs);
+    for (std::string& v : vs) {
+      if (outer.count(v) == 0 &&
+          std::find(out.vars.begin(), out.vars.end(), v) == out.vars.end()) {
+        out.vars.push_back(std::move(v));
+      }
+    }
+  }
+  if (group.unsat) {
+    out.always_empty = true;
+    out.empty_reason = group.unsat_reason;
+    return out;
+  }
+
+  // A filter that can never hold, or that reads a variable bound nowhere
+  // in scope, empties the group (SPARQL error semantics: comparisons over
+  // unbound variables are false for every row).
+  std::unordered_set<std::string> in_scope = outer;
+  for (const std::string& v : out.vars) in_scope.insert(v);
+  for (const FilterExpr& filter : group.filters) {
+    if (filter.impossible) {
+      out.always_empty = true;
+      out.empty_reason = "filter on ?" + filter.var + " can never hold";
+      return out;
+    }
+    for (const std::string& v : filter.Variables()) {
+      if (in_scope.count(v) == 0) {
+        out.always_empty = true;
+        out.empty_reason = "filter reads unbound variable ?" + v;
+        return out;
+      }
+    }
+  }
+
+  // Join ordering.
+  VarBits vars;
+  std::vector<uint64_t> masks(group.patterns.size());
+  uint64_t outer_mask = 0;
+  bool bitmaps_ok = true;
+  for (const std::string& v : outer) {
+    int bit = 0;
+    if (!vars.Intern(v, &bit)) {
+      bitmaps_ok = false;
+      break;
+    }
+    outer_mask |= 1ULL << bit;
+  }
+  for (size_t i = 0; bitmaps_ok && i < group.patterns.size(); ++i) {
+    bitmaps_ok = vars.PatternMask(group.patterns[i], &masks[i]);
+  }
+  const bool cost_mode = opts.mode == PlanMode::kCostBased &&
+                         opts.stats != nullptr && bitmaps_ok;
+  const bool worst_mode = opts.mode == PlanMode::kWorstOrder &&
+                          opts.stats != nullptr && bitmaps_ok;
+  std::vector<size_t> order;
+  if (cost_mode || worst_mode) {
+    order = CostOrder(group.patterns, masks, outer_mask, est_in, &vars,
+                      *opts.stats, opts.hints, worst_mode);
+  } else if (opts.mode == PlanMode::kAsWritten) {
+    order.resize(group.patterns.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  } else {
+    std::unordered_map<std::string, bool> bound;
+    for (const std::string& v : outer) bound[v] = true;
+    order = HeuristicOrder(group.patterns, std::move(bound));
+  }
+
+  for (size_t i : order) {
+    PhysStep step;
+    step.kind = StepKind::kExtend;
+    step.pattern = group.patterns[i];
+    step.source_index = group.sources[i];
+    out.steps.push_back(std::move(step));
+  }
+
+  // Cardinality annotations along the chosen order.
+  double rows = std::max(est_in, 0.0);
+  if (cost_mode || worst_mode) {
+    uint64_t bound = outer_mask;
+    for (size_t k = 0; k < out.steps.size(); ++k) {
+      const size_t i = order[k];
+      const double fanout =
+          EstFanout(group.patterns[i], bound, &vars, *opts.stats);
+      out.steps[k].est_in = rows;
+      out.steps[k].est_matches = fanout;
+      rows *= fanout;
+      out.steps[k].est_out = rows;
+      bound |= masks[i];
+    }
+    out.est_rows = rows;
+  }
+
+  // Same-subject self-join elimination: a maximal run of consecutive
+  // steps probing one subject variable through constant properties, whose
+  // object is a constant or a variable used nowhere else, collapses into
+  // a star gather when the modeled probe cost clearly exceeds reading the
+  // arms' extents once.
+  if (cost_mode) {
+    const StoreStats& stats = *opts.stats;
+    auto is_arm = [&](const PhysStep& step) {
+      if (step.kind != StepKind::kExtend) return false;
+      const BgpPattern& p = step.pattern;
+      if (!p.subject.is_var || p.property.is_var) return false;
+      if (!p.object.is_var) return true;
+      return p.object.var != p.subject.var &&
+             occurrences.Of(p.object.var) == 1 &&
+             outer.count(p.object.var) == 0;
+    };
+    std::vector<PhysStep> rewritten;
+    size_t k = 0;
+    while (k < out.steps.size()) {
+      size_t end = k;
+      while (end < out.steps.size() && is_arm(out.steps[end]) &&
+             out.steps[end].pattern.subject.var ==
+                 out.steps[k].pattern.subject.var) {
+        ++end;
+      }
+      const size_t run = end - k;
+      bool gathered = false;
+      if (run >= 2) {
+        // Decide arm by arm: an arm is gathered when reading its whole
+        // extent once clearly beats probing it per binding row. Mixed
+        // outcomes are fine — gathered arms collapse into one star step,
+        // the rest stay probes behind it.
+        std::vector<size_t> gather_idx, keep_idx;
+        for (size_t j = k; j < end; ++j) {
+          const PhysStep& step = out.steps[j];
+          // Probe side: one Match per binding row for this arm.
+          const double probe_cost =
+              std::max(step.est_in, 1.0) *
+              (opts.hints.seek_cost +
+               step.est_matches * opts.hints.result_row_cost);
+          // Gather side: read the arm's whole extent once.
+          const auto it = stats.by_property.find(step.pattern.property.id);
+          const double extent =
+              it == stats.by_property.end()
+                  ? 0.0
+                  : static_cast<double>(it->second.count);
+          const double gather_cost = opts.hints.seek_cost +
+                                     extent * opts.hints.result_row_cost;
+          if (gather_cost * kStarGatherMargin < probe_cost) {
+            gather_idx.push_back(j);
+          } else {
+            keep_idx.push_back(j);
+          }
+        }
+        if (!gather_idx.empty()) {
+          PhysStep star;
+          star.kind = StepKind::kStarGather;
+          for (size_t j : gather_idx) {
+            star.arms.push_back(out.steps[j].pattern);
+            star.arm_sources.push_back(out.steps[j].source_index);
+          }
+          // Textual arm order keeps EXPLAIN and the gathered column
+          // order independent of the probe order the DP picked.
+          std::vector<size_t> perm(star.arms.size());
+          for (size_t j = 0; j < perm.size(); ++j) perm[j] = j;
+          std::sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+            return star.arm_sources[a] < star.arm_sources[b];
+          });
+          PhysStep sorted = star;
+          for (size_t j = 0; j < perm.size(); ++j) {
+            sorted.arms[j] = star.arms[perm[j]];
+            sorted.arm_sources[j] = star.arm_sources[perm[j]];
+          }
+          sorted.source_index = sorted.arm_sources[0];
+          // The star replaces the gathered arms at the position of the
+          // first one, so cheaper probe arms the DP put before it keep
+          // filtering the bindings first. Re-anchor the cardinality
+          // annotations along the rewritten sequence.
+          double run_rows = std::max(out.steps[k].est_in, 0.0);
+          bool star_emitted = false;
+          for (size_t j = k; j < end; ++j) {
+            const bool gather_here =
+                std::find(gather_idx.begin(), gather_idx.end(), j) !=
+                gather_idx.end();
+            if (gather_here && !star_emitted) {
+              sorted.est_in = run_rows;
+              for (size_t g : gather_idx) run_rows *= out.steps[g].est_matches;
+              sorted.est_out = run_rows;
+              rewritten.push_back(std::move(sorted));
+              star_emitted = true;
+            } else if (!gather_here) {
+              PhysStep step = std::move(out.steps[j]);
+              step.est_in = run_rows;
+              run_rows *= step.est_matches;
+              step.est_out = run_rows;
+              rewritten.push_back(std::move(step));
+            }
+          }
+          gathered = true;
+        }
+      }
+      if (!gathered) {
+        for (size_t j = k; j < end; ++j) {
+          rewritten.push_back(std::move(out.steps[j]));
+        }
+        if (run == 0) {
+          rewritten.push_back(std::move(out.steps[k]));
+          ++end;
+        }
+      }
+      k = std::max(end, k + 1);
+    }
+    out.steps = std::move(rewritten);
+  }
+
+  // Push each filter to the earliest step after which its variables are
+  // all bound.
+  std::unordered_set<std::string> bound_vars = outer;
+  std::vector<std::vector<FilterExpr>> per_step(out.steps.size());
+  std::vector<bool> placed(group.filters.size(), false);
+  for (size_t k = 0; k < out.steps.size(); ++k) {
+    PhysStep& step = out.steps[k];
+    if (step.kind == StepKind::kExtend) {
+      PatternVarsInto(step.pattern, &bound_vars);
+    } else {
+      for (const BgpPattern& arm : step.arms) {
+        PatternVarsInto(arm, &bound_vars);
+      }
+    }
+    for (size_t f = 0; f < group.filters.size(); ++f) {
+      if (placed[f]) continue;
+      const auto fvars = group.filters[f].Variables();
+      const bool ready =
+          std::all_of(fvars.begin(), fvars.end(), [&](const std::string& v) {
+            return bound_vars.count(v) != 0;
+          });
+      if (ready) {
+        step.filters.push_back(group.filters[f]);
+        placed[f] = true;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<size_t> PlanPatternOrder(const std::vector<BgpPattern>& patterns) {
+  return HeuristicOrder(patterns, {});
+}
+
+PhysicalPlan Optimize(const LogicalPlan& logical, const PlannerOptions& opts) {
+  SWAN_CHECK_MSG(logical.root != nullptr, "logical plan without a root");
+  PhysicalPlan plan;
+  plan.numeric = logical.numeric;
+  plan.distinct = logical.distinct;
+
+  // Peel the solution modifiers off the top of the tree.
+  const LogicalNode* node = logical.root.get();
+  for (;;) {
+    if (node->op == LogicalOp::kSlice) {
+      plan.offset = node->offset;
+      plan.limit = node->limit;
+    } else if (node->op == LogicalOp::kProject) {
+      plan.projection = node->projection;
+    } else if (node->op == LogicalOp::kDistinct) {
+      plan.distinct = true;
+    } else {
+      break;
+    }
+    SWAN_CHECK_MSG(node->children.size() == 1, "modifier node needs a child");
+    node = node->children[0].get();
+  }
+
+  std::vector<const LogicalNode*> branch_nodes;
+  if (node->op == LogicalOp::kUnion) {
+    for (const auto& child : node->children) {
+      branch_nodes.push_back(child.get());
+    }
+  } else {
+    branch_nodes.push_back(node);
+  }
+
+  // Column order of the final table: textual first appearance across all
+  // branches — never the planner's evaluation order.
+  for (const LogicalNode* branch : branch_nodes) {
+    for (const std::string& v : CollectVars(*branch)) {
+      if (std::find(plan.all_vars.begin(), plan.all_vars.end(), v) ==
+          plan.all_vars.end()) {
+        plan.all_vars.push_back(v);
+      }
+    }
+  }
+
+  const bool have_stats =
+      opts.mode != PlanMode::kHeuristic && opts.stats != nullptr;
+  for (const LogicalNode* branch_node : branch_nodes) {
+    const BranchSpec spec = FlattenBranch(*branch_node);
+    OccurrenceCount occurrences;
+    for (const BgpPattern& p : spec.required.patterns) {
+      occurrences.AddPattern(p);
+    }
+    for (const GroupSpec& optional : spec.optionals) {
+      for (const BgpPattern& p : optional.patterns) occurrences.AddPattern(p);
+    }
+
+    PhysPipeline branch =
+        CompileGroup(spec.required, {}, 1.0, occurrences, opts);
+
+    // Optionals run after the required steps, in textual order; each sees
+    // the variables of the required group and of earlier optionals.
+    std::unordered_set<std::string> outer;
+    for (const std::string& v : branch.vars) outer.insert(v);
+    std::vector<std::string> branch_vars = branch.vars;
+    for (const GroupSpec& optional : spec.optionals) {
+      PhysPipeline compiled =
+          CompileGroup(optional, outer, branch.est_rows, occurrences, opts);
+      for (const std::string& v : compiled.vars) {
+        outer.insert(v);
+        branch_vars.push_back(v);
+      }
+      branch.optionals.push_back(std::move(compiled));
+    }
+
+    // Filters over optional variables could not be pushed into a required
+    // step; they run after the optionals.
+    if (!branch.always_empty) {
+      std::unordered_set<std::string> required_vars;
+      for (const std::string& v : branch.vars) required_vars.insert(v);
+      std::vector<FilterExpr> unpushed;
+      for (const FilterExpr& filter : spec.required.filters) {
+        const auto fvars = filter.Variables();
+        const bool pushed = std::all_of(
+            fvars.begin(), fvars.end(),
+            [&](const std::string& v) { return required_vars.count(v) != 0; });
+        if (!pushed) unpushed.push_back(filter);
+      }
+      branch.post_filters = std::move(unpushed);
+    }
+    branch.vars = std::move(branch_vars);
+    plan.branches.push_back(std::move(branch));
+  }
+
+  if (opts.mode == PlanMode::kCostBased && opts.stats == nullptr) {
+    plan.mode_note = "heuristic (no statistics)";
+  } else if (have_stats) {
+    plan.mode_note =
+        std::string(ToString(opts.mode)) + " (stats: " +
+        std::to_string(opts.stats->total_triples) + " triples, " +
+        std::to_string(opts.stats->distinct_properties()) + " properties)";
+  } else {
+    plan.mode_note = ToString(opts.mode);
+  }
+  return plan;
+}
+
+PhysicalPlan OptimizeBgp(const std::vector<BgpPattern>& patterns,
+                         const PlannerOptions& opts) {
+  return Optimize(BuildBgpLogical(patterns), opts);
+}
+
+}  // namespace swan::plan

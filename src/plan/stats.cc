@@ -1,0 +1,129 @@
+#include "plan/stats.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+namespace swan::plan {
+
+StoreStats StoreStats::Collect(const rdf::Dataset& dataset) {
+  StoreStats stats;
+  // Per-property frequency maps exist only during collection; the stats
+  // object keeps the aggregates (distinct counts + heaviest key).
+  std::unordered_map<uint64_t, std::unordered_map<uint64_t, uint64_t>>
+      subj_freq;
+  std::unordered_map<uint64_t, std::unordered_map<uint64_t, uint64_t>>
+      obj_freq;
+  std::unordered_set<uint64_t> subjects;
+  std::unordered_set<uint64_t> objects;
+  for (const rdf::Triple& t : dataset.triples()) {
+    ++stats.total_triples;
+    ++stats.by_property[t.property].count;
+    ++subj_freq[t.property][t.subject];
+    ++obj_freq[t.property][t.object];
+    subjects.insert(t.subject);
+    objects.insert(t.object);
+  }
+  stats.distinct_subjects = subjects.size();
+  stats.distinct_objects = objects.size();
+  for (auto& [property, ps] : stats.by_property) {
+    const auto& sf = subj_freq[property];
+    const auto& of = obj_freq[property];
+    ps.distinct_subjects = sf.size();
+    ps.distinct_objects = of.size();
+    for (const auto& [key, n] : sf) {
+      (void)key;
+      ps.max_subject_freq = std::max(ps.max_subject_freq, n);
+    }
+    for (const auto& [key, n] : of) {
+      (void)key;
+      ps.max_object_freq = std::max(ps.max_object_freq, n);
+    }
+  }
+  return stats;
+}
+
+double StoreStats::EstimateMatches(std::optional<uint64_t> subject,
+                                   std::optional<uint64_t> property,
+                                   std::optional<uint64_t> object) const {
+  if (total_triples == 0) return 0.0;
+  double est;
+  if (property) {
+    const auto it = by_property.find(*property);
+    if (it == by_property.end()) return 0.0;  // property never occurs
+    const PropertyStats& ps = it->second;
+    est = static_cast<double>(ps.count);
+    if (subject && ps.distinct_subjects > 0) {
+      est /= static_cast<double>(ps.distinct_subjects);
+    }
+    if (object && ps.distinct_objects > 0) {
+      est /= static_cast<double>(ps.distinct_objects);
+    }
+  } else {
+    est = static_cast<double>(total_triples);
+    if (subject && distinct_subjects > 0) {
+      est /= static_cast<double>(distinct_subjects);
+    }
+    if (object && distinct_objects > 0) {
+      est /= static_cast<double>(distinct_objects);
+    }
+  }
+  return est;
+}
+
+void StoreStats::AuditInto(audit::AuditLevel level, audit::AuditReport* report,
+                           const rdf::Dataset& dataset) const {
+  uint64_t sum = 0;
+  for (const auto& [property, ps] : by_property) {
+    sum += ps.count;
+    if (ps.count == 0) {
+      report->Add(audit::FindingClass::kStructure, "plan.stats",
+                  "property " + std::to_string(property) +
+                      " recorded with zero triples");
+    }
+    if (ps.distinct_subjects > ps.count || ps.distinct_objects > ps.count) {
+      report->Add(audit::FindingClass::kStructure, "plan.stats",
+                  "property " + std::to_string(property) +
+                      " has more distinct keys than triples");
+    }
+    if (ps.max_subject_freq > ps.count || ps.max_object_freq > ps.count) {
+      report->Add(audit::FindingClass::kStructure, "plan.stats",
+                  "property " + std::to_string(property) +
+                      " skew maximum exceeds its cardinality");
+    }
+  }
+  if (sum != total_triples) {
+    report->Add(audit::FindingClass::kStructure, "plan.stats",
+                "per-property counts sum to " + std::to_string(sum) +
+                    ", total records " + std::to_string(total_triples));
+  }
+  if (level == audit::AuditLevel::kQuick) return;
+
+  // Full audit: the statistics must equal a fresh collection — load-time
+  // stats never drift from the dataset they were computed over (the store
+  // holds a const reference; mutations go through the backend deltas and
+  // are folded into a new dataset on reload).
+  const StoreStats fresh = Collect(dataset);
+  if (fresh.total_triples != total_triples ||
+      fresh.distinct_subjects != distinct_subjects ||
+      fresh.distinct_objects != distinct_objects ||
+      fresh.by_property.size() != by_property.size()) {
+    report->Add(audit::FindingClass::kStructure, "plan.stats",
+                "stored statistics disagree with a fresh collection pass");
+    return;
+  }
+  for (const auto& [property, ps] : fresh.by_property) {
+    const auto it = by_property.find(property);
+    if (it == by_property.end() || it->second.count != ps.count ||
+        it->second.distinct_subjects != ps.distinct_subjects ||
+        it->second.distinct_objects != ps.distinct_objects ||
+        it->second.max_subject_freq != ps.max_subject_freq ||
+        it->second.max_object_freq != ps.max_object_freq) {
+      report->Add(audit::FindingClass::kStructure, "plan.stats",
+                  "stale statistics for property " + std::to_string(property));
+      return;
+    }
+  }
+}
+
+}  // namespace swan::plan

@@ -279,7 +279,7 @@ void QueryService::RunQueryTicket(const Ticket& ticket,
   } else {
     Result<sparql::QueryOutput> output = sparql::Execute(
         backend, store_->dataset(), ticket.request.text,
-        ticket.session->ectx());
+        ticket.session->ectx(), &store_->stats());
     if (!output.ok()) {
       completion->status = output.status();
     } else {

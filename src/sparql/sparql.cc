@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdlib>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -9,6 +10,8 @@
 #include "common/macros.h"
 #include "core/bgp.h"
 #include "obs/trace.h"
+#include "plan/optimizer.h"
+#include "plan/physical.h"
 
 namespace swan::sparql {
 
@@ -17,7 +20,7 @@ namespace {
 // --- Lexer ----------------------------------------------------------------
 
 enum class TokenKind {
-  kKeyword,   // SELECT / DISTINCT / WHERE / PREFIX / LIMIT (case-insensitive)
+  kKeyword,   // SELECT / WHERE / FILTER / ... (case-insensitive)
   kVariable,  // ?name
   kIri,       // <...>
   kLiteral,   // "..." with optional @lang / ^^<iri> suffix
@@ -25,8 +28,12 @@ enum class TokenKind {
   kStar,
   kLBrace,
   kRBrace,
+  kLParen,
+  kRParen,
+  kComma,
   kDot,
-  kNumber,
+  kNumber,  // digits with an optional fraction
+  kOp,      // < <= > >= = !=
   kEnd,
 };
 
@@ -62,11 +69,32 @@ class Lexer {
         }
         if (token.text.empty()) return Error(token, "empty variable name");
       } else if (c == '<') {
-        token.kind = TokenKind::kIri;
+        // '<' opens either an IRI or a comparison operator: it is an IRI
+        // exactly when a '>' follows before any character that cannot be
+        // part of an IRI (whitespace, quotes, parens, another '<', '?').
+        if (LooksLikeIri()) {
+          token.kind = TokenKind::kIri;
+          token.text += Take();
+          while (!AtEnd() && Peek() != '>') token.text += Take();
+          if (AtEnd()) return Error(token, "unterminated IRI");
+          token.text += Take();  // '>'
+        } else {
+          token.kind = TokenKind::kOp;
+          token.text += Take();
+          if (!AtEnd() && Peek() == '=') token.text += Take();
+        }
+      } else if (c == '>') {
+        token.kind = TokenKind::kOp;
         token.text += Take();
-        while (!AtEnd() && Peek() != '>') token.text += Take();
-        if (AtEnd()) return Error(token, "unterminated IRI");
-        token.text += Take();  // '>'
+        if (!AtEnd() && Peek() == '=') token.text += Take();
+      } else if (c == '=') {
+        token.kind = TokenKind::kOp;
+        token.text += Take();
+      } else if (c == '!') {
+        token.text += Take();
+        if (AtEnd() || Peek() != '=') return Error(token, "expected '!='");
+        token.text += Take();
+        token.kind = TokenKind::kOp;
       } else if (c == '"') {
         token.kind = TokenKind::kLiteral;
         token.text += Take();
@@ -103,12 +131,28 @@ class Lexer {
       } else if (c == '}') {
         token.kind = TokenKind::kRBrace;
         token.text = Take();
+      } else if (c == '(') {
+        token.kind = TokenKind::kLParen;
+        token.text = Take();
+      } else if (c == ')') {
+        token.kind = TokenKind::kRParen;
+        token.text = Take();
+      } else if (c == ',') {
+        token.kind = TokenKind::kComma;
+        token.text = Take();
       } else if (c == '.') {
         token.kind = TokenKind::kDot;
         token.text = Take();
       } else if (std::isdigit(static_cast<unsigned char>(c))) {
         token.kind = TokenKind::kNumber;
         while (!AtEnd() && std::isdigit(Peek())) token.text += Take();
+        // Fraction, only when a digit follows the '.' — so the pattern
+        // separator in "LIMIT 10 ." stays a dot token.
+        if (!AtEnd() && Peek() == '.' && pos_ + 1 < input_.size() &&
+            std::isdigit(static_cast<unsigned char>(input_[pos_ + 1]))) {
+          token.text += Take();
+          while (!AtEnd() && std::isdigit(Peek())) token.text += Take();
+        }
       } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
         // Keyword or prefixed name.
         while (!AtEnd() &&
@@ -157,6 +201,18 @@ class Lexer {
     return c;
   }
   void Advance() { Take(); }
+
+  bool LooksLikeIri() const {
+    for (size_t j = pos_ + 1; j < input_.size(); ++j) {
+      const char ch = input_[j];
+      if (ch == '>') return true;
+      if (std::isspace(static_cast<unsigned char>(ch)) || ch == '<' ||
+          ch == '"' || ch == '(' || ch == ')' || ch == ',' || ch == '?') {
+        return false;
+      }
+    }
+    return false;
+  }
 
   void SkipWhitespaceAndComments() {
     while (!AtEnd()) {
@@ -242,33 +298,60 @@ class Parser {
     if (Current().kind != TokenKind::kLBrace) return Error("expected '{'");
     Next();
 
-    while (Current().kind != TokenKind::kRBrace) {
-      if (Current().kind == TokenKind::kEnd) return Error("expected '}'");
-      if (KeywordIs(Current(), "FILTER") || KeywordIs(Current(), "OPTIONAL") ||
-          KeywordIs(Current(), "UNION")) {
-        return Error(Current().text + " is not supported (BGP subset only)");
+    if (Current().kind == TokenKind::kLBrace) {
+      // Union form: WHERE { { ... } UNION { ... } ... }.
+      for (;;) {
+        Next();  // inner '{'
+        ParsedBranch branch;
+        SWAN_RETURN_NOT_OK(ParseBranchBody(&branch));
+        Next();  // inner '}' (ParseBranchBody stops on it)
+        query.branches.push_back(std::move(branch));
+        if (KeywordIs(Current(), "UNION")) {
+          Next();
+          if (Current().kind != TokenKind::kLBrace) {
+            return Error("expected '{' after UNION");
+          }
+          continue;
+        }
+        break;
       }
-      ParsedPattern pattern;
-      SWAN_ASSIGN_OR_RETURN(pattern.subject, ParseTerm(/*literal_ok=*/false));
-      SWAN_ASSIGN_OR_RETURN(pattern.property, ParseTerm(/*literal_ok=*/false));
-      SWAN_ASSIGN_OR_RETURN(pattern.object, ParseTerm(/*literal_ok=*/true));
-      query.patterns.push_back(std::move(pattern));
-      if (Current().kind == TokenKind::kDot) Next();
-    }
-    Next();  // '}'
-
-    if (KeywordIs(Current(), "LIMIT")) {
+      if (Current().kind != TokenKind::kRBrace) return Error("expected '}'");
       Next();
-      if (Current().kind != TokenKind::kNumber) {
-        return Error("expected number after LIMIT");
+    } else {
+      ParsedBranch branch;
+      SWAN_RETURN_NOT_OK(ParseBranchBody(&branch));
+      Next();  // '}'
+      query.branches.push_back(std::move(branch));
+    }
+
+    // LIMIT / OFFSET, in either order, each at most once.
+    bool saw_limit = false, saw_offset = false;
+    while (KeywordIs(Current(), "LIMIT") || KeywordIs(Current(), "OFFSET")) {
+      const bool is_limit = KeywordIs(Current(), "LIMIT");
+      if (is_limit && saw_limit) return Error("duplicate LIMIT");
+      if (!is_limit && saw_offset) return Error("duplicate OFFSET");
+      Next();
+      if (Current().kind != TokenKind::kNumber ||
+          Current().text.find('.') != std::string::npos) {
+        return Error(is_limit ? "expected number after LIMIT"
+                              : "expected number after OFFSET");
       }
-      query.limit = std::stoull(Current().text);
+      if (is_limit) {
+        query.limit = std::stoull(Current().text);
+        saw_limit = true;
+      } else {
+        query.offset = std::stoull(Current().text);
+        saw_offset = true;
+      }
       Next();
     }
     if (Current().kind != TokenKind::kEnd) {
       return Error("unexpected trailing input '" + Current().text + "'");
     }
-    if (query.patterns.empty()) return Error("empty WHERE block");
+    for (const ParsedBranch& branch : query.branches) {
+      if (branch.required.patterns.empty()) return Error("empty WHERE block");
+    }
+    query.patterns = query.branches.front().required.patterns;
     return query;
   }
 
@@ -282,6 +365,130 @@ class Parser {
     return Status::InvalidArgument(std::to_string(Current().line) + ":" +
                                    std::to_string(Current().column) + ": " +
                                    message);
+  }
+
+  // Parses patterns, filters and OPTIONAL groups until the closing '}'
+  // (not consumed).
+  Status ParseBranchBody(ParsedBranch* branch) {
+    while (Current().kind != TokenKind::kRBrace) {
+      if (Current().kind == TokenKind::kEnd) return Error("expected '}'");
+      if (KeywordIs(Current(), "UNION")) {
+        return Error("UNION branches must each be enclosed in '{ ... }'");
+      }
+      if (KeywordIs(Current(), "FILTER")) {
+        ParsedFilter filter;
+        SWAN_RETURN_NOT_OK(ParseFilter(&filter));
+        branch->required.filters.push_back(std::move(filter));
+        continue;
+      }
+      if (KeywordIs(Current(), "OPTIONAL")) {
+        Next();
+        if (Current().kind != TokenKind::kLBrace) {
+          return Error("expected '{' after OPTIONAL");
+        }
+        Next();
+        ParsedGroup group;
+        SWAN_RETURN_NOT_OK(ParseGroupBody(&group));
+        Next();  // '}'
+        if (group.patterns.empty()) {
+          return Error("empty OPTIONAL block");
+        }
+        branch->optionals.push_back(std::move(group));
+        continue;
+      }
+      SWAN_RETURN_NOT_OK(ParsePatternInto(&branch->required));
+    }
+    return Status::OK();
+  }
+
+  // Patterns + filters until '}' (not consumed); no nesting.
+  Status ParseGroupBody(ParsedGroup* group) {
+    while (Current().kind != TokenKind::kRBrace) {
+      if (Current().kind == TokenKind::kEnd) return Error("expected '}'");
+      if (KeywordIs(Current(), "OPTIONAL")) {
+        return Error("nested OPTIONAL is not supported");
+      }
+      if (KeywordIs(Current(), "UNION")) {
+        return Error("UNION is not supported inside OPTIONAL");
+      }
+      if (KeywordIs(Current(), "FILTER")) {
+        ParsedFilter filter;
+        SWAN_RETURN_NOT_OK(ParseFilter(&filter));
+        group->filters.push_back(std::move(filter));
+        continue;
+      }
+      SWAN_RETURN_NOT_OK(ParsePatternInto(group));
+    }
+    return Status::OK();
+  }
+
+  Status ParsePatternInto(ParsedGroup* group) {
+    ParsedPattern pattern;
+    SWAN_ASSIGN_OR_RETURN(pattern.subject, ParseTerm(/*literal_ok=*/false));
+    SWAN_ASSIGN_OR_RETURN(pattern.property, ParseTerm(/*literal_ok=*/false));
+    SWAN_ASSIGN_OR_RETURN(pattern.object, ParseTerm(/*literal_ok=*/true));
+    group->patterns.push_back(std::move(pattern));
+    if (Current().kind == TokenKind::kDot) Next();
+    return Status::OK();
+  }
+
+  Status ParseFilter(ParsedFilter* filter) {
+    Next();  // FILTER
+    if (Current().kind != TokenKind::kLParen) {
+      return Error("expected '(' after FILTER");
+    }
+    Next();
+    if (Current().kind != TokenKind::kVariable) {
+      return Error("expected ?variable in FILTER");
+    }
+    filter->var = Current().text;
+    Next();
+    if (KeywordIs(Current(), "IN")) {
+      filter->op = "IN";
+      Next();
+      if (Current().kind != TokenKind::kLParen) {
+        return Error("expected '(' after IN");
+      }
+      Next();
+      for (;;) {
+        ParsedTerm value;
+        SWAN_ASSIGN_OR_RETURN(value, ParseOperand());
+        filter->values.push_back(std::move(value));
+        if (Current().kind == TokenKind::kComma) {
+          Next();
+          continue;
+        }
+        break;
+      }
+      if (Current().kind != TokenKind::kRParen) {
+        return Error("expected ')' closing the IN list");
+      }
+      Next();
+    } else if (Current().kind == TokenKind::kOp) {
+      filter->op = Current().text;
+      Next();
+      ParsedTerm value;
+      SWAN_ASSIGN_OR_RETURN(value, ParseOperand());
+      filter->values.push_back(std::move(value));
+    } else {
+      return Error("expected a comparison operator or IN in FILTER");
+    }
+    if (Current().kind != TokenKind::kRParen) {
+      return Error("expected ')' closing FILTER");
+    }
+    Next();
+    return Status::OK();
+  }
+
+  Result<ParsedTerm> ParseOperand() {
+    if (Current().kind == TokenKind::kNumber) {
+      ParsedTerm term;
+      term.kind = ParsedTerm::Kind::kNumber;
+      term.text = Current().text;
+      Next();
+      return term;
+    }
+    return ParseTerm(/*literal_ok=*/true);
   }
 
   Result<ParsedTerm> ParseTerm(bool literal_ok) {
@@ -326,6 +533,103 @@ class Parser {
   std::unordered_map<std::string, std::string> prefixes_;
 };
 
+// --- Lowering helpers ------------------------------------------------------
+
+// Numeric value of a term's text: bare digits, or a quoted literal whose
+// lexical form (before any @lang / ^^ suffix) parses fully as a number.
+std::optional<double> NumericValueOfText(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  if (text.front() == '"') {
+    const size_t close = text.find('"', 1);
+    if (close == std::string_view::npos) return std::nullopt;
+    text = text.substr(1, close - 1);
+  }
+  if (text.empty()) return std::nullopt;
+  const std::string buf(text);
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return std::nullopt;
+  return value;
+}
+
+plan::FilterOp FilterOpFromText(const std::string& op) {
+  if (op == "<") return plan::FilterOp::kLt;
+  if (op == "<=") return plan::FilterOp::kLe;
+  if (op == ">") return plan::FilterOp::kGt;
+  if (op == ">=") return plan::FilterOp::kGe;
+  if (op == "=") return plan::FilterOp::kEq;
+  if (op == "!=") return plan::FilterOp::kNe;
+  return plan::FilterOp::kIn;
+}
+
+plan::FilterExpr CompileFilter(const ParsedFilter& parsed,
+                               const rdf::Dataset& dataset) {
+  plan::FilterExpr filter;
+  filter.var = parsed.var;
+  filter.op = FilterOpFromText(parsed.op);
+  const bool relational = filter.op == plan::FilterOp::kLt ||
+                          filter.op == plan::FilterOp::kLe ||
+                          filter.op == plan::FilterOp::kGt ||
+                          filter.op == plan::FilterOp::kGe;
+  for (const ParsedTerm& term : parsed.values) {
+    plan::FilterOperand value;
+    if (term.kind == ParsedTerm::Kind::kVariable) {
+      value.var = term.text;
+    } else if (term.kind == ParsedTerm::Kind::kNumber) {
+      value.number = NumericValueOfText(term.text);
+    } else if (relational) {
+      // A relational comparison is numeric-only: a term operand whose
+      // lexical form is not a number can never compare true.
+      const auto number = NumericValueOfText(term.text);
+      if (number) {
+        value.number = number;
+      } else {
+        filter.impossible = true;
+      }
+    } else {
+      // Identity comparison: bind the term; a dictionary miss leaves the
+      // operand empty — a valid term that equals nothing in the store.
+      const auto id = dataset.dict().Find(term.text);
+      if (id) value.id = *id;
+    }
+    filter.values.push_back(std::move(value));
+  }
+  return filter;
+}
+
+// Binds one parsed term; a constant absent from the dictionary sets
+// *unsatisfiable (the scan can never match).
+plan::Term BindTerm(const ParsedTerm& term, const rdf::Dataset& dataset,
+                    bool* unsatisfiable) {
+  if (term.kind == ParsedTerm::Kind::kVariable) {
+    return plan::Term::Var(term.text);
+  }
+  const auto id = dataset.dict().Find(term.text);
+  if (!id) {
+    *unsatisfiable = true;
+    return plan::Term::Const(0);
+  }
+  return plan::Term::Const(*id);
+}
+
+std::unique_ptr<plan::LogicalNode> BuildGroupNode(
+    const ParsedGroup& group, const rdf::Dataset& dataset) {
+  std::vector<std::unique_ptr<plan::LogicalNode>> scans;
+  for (const ParsedPattern& p : group.patterns) {
+    bool unsatisfiable = false;
+    plan::BgpPattern pattern;
+    pattern.subject = BindTerm(p.subject, dataset, &unsatisfiable);
+    pattern.property = BindTerm(p.property, dataset, &unsatisfiable);
+    pattern.object = BindTerm(p.object, dataset, &unsatisfiable);
+    scans.push_back(plan::MakeScan(std::move(pattern), unsatisfiable));
+  }
+  std::unique_ptr<plan::LogicalNode> node = plan::MakeJoin(std::move(scans));
+  for (const ParsedFilter& f : group.filters) {
+    node = plan::MakeFilter(CompileFilter(f, dataset), std::move(node));
+  }
+  return node;
+}
+
 }  // namespace
 
 Result<ParsedQuery> Parse(std::string_view query) {
@@ -333,6 +637,65 @@ Result<ParsedQuery> Parse(std::string_view query) {
   SWAN_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
   Parser parser(std::move(tokens));
   return parser.Run();
+}
+
+Result<plan::LogicalPlan> BuildLogicalPlan(const ParsedQuery& parsed,
+                                           const rdf::Dataset& dataset) {
+  plan::LogicalPlan logical;
+  std::vector<std::unique_ptr<plan::LogicalNode>> branches;
+  for (const ParsedBranch& branch : parsed.branches) {
+    // Required join, then the left-joined optionals (group filters stay
+    // inside their group), then the branch-level filters outermost.
+    ParsedGroup required_patterns_only;
+    required_patterns_only.patterns = branch.required.patterns;
+    std::unique_ptr<plan::LogicalNode> node =
+        BuildGroupNode(required_patterns_only, dataset);
+    for (const ParsedGroup& optional : branch.optionals) {
+      node = plan::MakeLeftJoin(std::move(node),
+                                BuildGroupNode(optional, dataset));
+    }
+    for (const ParsedFilter& f : branch.required.filters) {
+      node = plan::MakeFilter(CompileFilter(f, dataset), std::move(node));
+    }
+    branches.push_back(std::move(node));
+  }
+  if (branches.size() == 1) {
+    logical.root = std::move(branches.front());
+  } else {
+    logical.root = plan::MakeUnion(std::move(branches));
+  }
+
+  // Solution modifiers, innermost first: Distinct, Project, Slice.
+  logical.distinct = parsed.distinct;
+  if (parsed.distinct) {
+    auto distinct = std::make_unique<plan::LogicalNode>();
+    distinct->op = plan::LogicalOp::kDistinct;
+    distinct->children.push_back(std::move(logical.root));
+    logical.root = std::move(distinct);
+  }
+  if (!parsed.projection.empty()) {
+    auto project = std::make_unique<plan::LogicalNode>();
+    project->op = plan::LogicalOp::kProject;
+    project->projection = parsed.projection;
+    project->children.push_back(std::move(logical.root));
+    logical.root = std::move(project);
+  }
+  if (parsed.limit || parsed.offset) {
+    auto slice = std::make_unique<plan::LogicalNode>();
+    slice->op = plan::LogicalOp::kSlice;
+    slice->offset = parsed.offset;
+    slice->limit = parsed.limit;
+    slice->children.push_back(std::move(logical.root));
+    logical.root = std::move(slice);
+  }
+
+  // Numeric filter support: decode a dictionary id to its numeric value.
+  logical.numeric = [dict = &dataset.dict()](
+                        uint64_t id) -> std::optional<double> {
+    if (id >= dict->size()) return std::nullopt;
+    return NumericValueOfText(dict->Lookup(id));
+  };
+  return logical;
 }
 
 std::vector<core::BgpPattern> Bind(const ParsedQuery& parsed,
@@ -362,6 +725,14 @@ std::vector<core::BgpPattern> Bind(const ParsedQuery& parsed,
 }
 
 std::string CanonicalQueryText(std::string_view query) {
+  // Bare words that are keywords in the grammar; upper-cased so casing
+  // variants share one cache entry. Variables, prefixed names, IRIs and
+  // literals are copied verbatim (a word followed by ':' is a prefixed
+  // name, and `?select` is a variable, never a keyword).
+  static const std::unordered_set<std::string>* const kKeywords =
+      new std::unordered_set<std::string>{
+          "PREFIX", "SELECT", "DISTINCT", "WHERE",    "LIMIT",
+          "OFFSET", "FILTER", "OPTIONAL", "UNION",    "IN"};
   std::string out;
   out.reserve(query.size());
   bool pending_space = false;
@@ -370,6 +741,9 @@ std::string CanonicalQueryText(std::string_view query) {
     if (pending_space && !out.empty()) out.push_back(' ');
     pending_space = false;
     out.push_back(c);
+  };
+  const auto is_word_char = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
   };
   while (i < query.size()) {
     const char c = query[i];
@@ -396,6 +770,64 @@ std::string CanonicalQueryText(std::string_view query) {
       }
       continue;
     }
+    if (c == '<') {
+      // IRI (same lookahead as the lexer): copy verbatim so an IRI like
+      // <http://ex.org/select> is never keyword-cased.
+      size_t close = std::string_view::npos;
+      for (size_t j = i + 1; j < query.size(); ++j) {
+        const char ch = query[j];
+        if (ch == '>') {
+          close = j;
+          break;
+        }
+        if (std::isspace(static_cast<unsigned char>(ch)) || ch == '<' ||
+            ch == '"' || ch == '(' || ch == ')' || ch == ',' || ch == '?') {
+          break;
+        }
+      }
+      if (close != std::string_view::npos) {
+        emit(c);
+        for (size_t j = i + 1; j <= close; ++j) out.push_back(query[j]);
+        i = close + 1;
+        continue;
+      }
+    }
+    if (c == '?') {  // variable: '?' plus name, verbatim
+      emit(c);
+      ++i;
+      while (i < query.size() &&
+             (std::isalnum(static_cast<unsigned char>(query[i])) ||
+              query[i] == '_')) {
+        out.push_back(query[i++]);
+      }
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      size_t j = i;
+      while (j < query.size() && is_word_char(query[j])) word += query[j++];
+      if (j < query.size() && query[j] == ':') {
+        // Prefixed name: word, ':' and the local part, all verbatim.
+        word += query[j++];
+        while (j < query.size() &&
+               (is_word_char(query[j]) || query[j] == '.' ||
+                query[j] == '/')) {
+          word += query[j++];
+        }
+        for (char w : word) emit(w);
+        i = j;
+        continue;
+      }
+      std::string upper = word;
+      for (char& w : upper) {
+        w = static_cast<char>(std::toupper(static_cast<unsigned char>(w)));
+      }
+      const std::string& text =
+          kKeywords->count(upper) != 0 ? upper : word;
+      for (char w : text) emit(w);
+      i = j;
+      continue;
+    }
     emit(c);
     ++i;
   }
@@ -412,6 +844,14 @@ Result<QueryOutput> Execute(const core::Backend& backend,
                             const rdf::Dataset& dataset,
                             std::string_view query,
                             const exec::ExecContext& ectx) {
+  return Execute(backend, dataset, query, ectx, nullptr);
+}
+
+Result<QueryOutput> Execute(const core::Backend& backend,
+                            const rdf::Dataset& dataset,
+                            std::string_view query,
+                            const exec::ExecContext& ectx,
+                            const plan::StoreStats* stats) {
   std::optional<ParsedQuery> parsed_opt;
   {
     obs::Span parse_span(ectx.trace(), "sparql.parse");
@@ -420,26 +860,24 @@ Result<QueryOutput> Execute(const core::Backend& backend,
   }
   ParsedQuery& parsed = *parsed_opt;
 
-  // Bind constants against the dictionary. A miss means the graph cannot
-  // match: produce the empty result with the right header.
-  bool unmatchable = false;
-  std::vector<core::BgpPattern> patterns;
+  // Lower to the logical algebra: constants bound, filters compiled,
+  // unsatisfiable scans marked for constant folding.
+  plan::LogicalPlan logical;
   {
     obs::Span bind_span(ectx.trace(), "sparql.bind");
-    patterns = Bind(parsed, dataset, &unmatchable);
-    bind_span.set_rows_out(patterns.size());
-  }
-
-  // Projection validation happens even for unmatchable queries.
-  std::vector<std::string> all_vars;
-  {
-    std::unordered_set<std::string> seen;
-    for (const core::BgpPattern& p : patterns) {
-      for (const core::Term* t : {&p.subject, &p.property, &p.object}) {
-        if (t->is_var && seen.insert(t->var).second) all_vars.push_back(t->var);
+    SWAN_ASSIGN_OR_RETURN(logical, BuildLogicalPlan(parsed, dataset));
+    size_t pattern_count = 0;
+    for (const ParsedBranch& branch : parsed.branches) {
+      pattern_count += branch.required.patterns.size();
+      for (const ParsedGroup& optional : branch.optionals) {
+        pattern_count += optional.patterns.size();
       }
     }
+    bind_span.set_rows_out(pattern_count);
   }
+
+  // Projection validation happens even for constant-folded-empty queries.
+  const std::vector<std::string> all_vars = plan::CollectVars(*logical.root);
   const std::vector<std::string>& projection =
       parsed.projection.empty() ? all_vars : parsed.projection;
   for (const std::string& var : projection) {
@@ -449,15 +887,27 @@ Result<QueryOutput> Execute(const core::Backend& backend,
     }
   }
 
+  plan::PhysicalPlan physical;
+  {
+    obs::Span plan_span(ectx.trace(), "bgp.plan");
+    plan::PlannerOptions options;
+    if (stats != nullptr) {
+      options.mode = plan::PlanMode::kCostBased;
+      options.stats = stats;
+      options.hints = backend.PlannerHints();
+    }
+    physical = plan::Optimize(logical, options);
+    plan_span.set_rows_in(physical.branches.size());
+  }
+
   QueryOutput output;
   output.vars = projection;
-  if (unmatchable) return output;
 
   SWAN_ASSIGN_OR_RETURN(core::BgpResult bgp,
-                        core::ExecuteBgp(backend, patterns, ectx));
+                        core::ExecutePlan(backend, physical, ectx));
 
-  // The evaluator may reorder patterns, so binding columns are located by
-  // name against the result's own variable list.
+  // Binding columns are located by name against the result's variable
+  // list (textual order, shared by every branch).
   std::vector<size_t> column_of;
   for (const std::string& var : projection) {
     const auto it = std::find(bgp.vars.begin(), bgp.vars.end(), var);
@@ -465,7 +915,7 @@ Result<QueryOutput> Execute(const core::Backend& backend,
     column_of.push_back(static_cast<size_t>(it - bgp.vars.begin()));
   }
 
-  // Project, optionally deduplicate, apply LIMIT, decode.
+  // Project, optionally deduplicate, apply OFFSET/LIMIT, decode.
   obs::Span project_span(ectx.trace(), "sparql.project");
   project_span.set_rows_in(bgp.rows.size());
   std::vector<std::vector<uint64_t>> projected;
@@ -481,6 +931,15 @@ Result<QueryOutput> Execute(const core::Backend& backend,
     projected.erase(std::unique(projected.begin(), projected.end()),
                     projected.end());
   }
+  if (parsed.offset) {
+    if (*parsed.offset >= projected.size()) {
+      projected.clear();
+    } else {
+      projected.erase(projected.begin(),
+                      projected.begin() +
+                          static_cast<ptrdiff_t>(*parsed.offset));
+    }
+  }
   if (parsed.limit && projected.size() > *parsed.limit) {
     projected.resize(*parsed.limit);
   }
@@ -488,7 +947,12 @@ Result<QueryOutput> Execute(const core::Backend& backend,
     Row row;
     row.ids = ids;
     for (uint64_t id : ids) {
-      row.text.emplace_back(dataset.dict().Lookup(id));
+      // kUnbound (an OPTIONAL with no match) decodes to the empty string.
+      if (id == plan::kUnbound) {
+        row.text.emplace_back();
+      } else {
+        row.text.emplace_back(dataset.dict().Lookup(id));
+      }
     }
     output.rows.push_back(std::move(row));
   }

@@ -11,31 +11,41 @@
 #include "core/backend.h"
 #include "core/bgp.h"
 #include "exec/exec_context.h"
+#include "plan/algebra.h"
+#include "plan/stats.h"
 #include "rdf/dataset.h"
 
 namespace swan::sparql {
 
-// A front-end for the SPARQL subset that maps onto basic graph patterns —
-// the query-space fragment the paper analyzes in §2.2 (all 8 simple triple
-// patterns composed through the A/B/C join patterns):
+// A front-end for the SPARQL subset that maps onto the logical algebra of
+// src/plan/ — the query-space fragment the paper analyzes in §2.2 (all 8
+// simple triple patterns composed through the A/B/C join patterns), plus
+// the forms that lower to filters, left joins and unions over them:
 //
 //   PREFIX ex: <http://example.org/>
 //   SELECT DISTINCT ?who ?what
-//   WHERE { ?who ex:authored ?what . ?what ex:cites ?classic . }
-//   LIMIT 10
+//   WHERE { ?who ex:authored ?what . ?what ex:cites ?classic .
+//           FILTER(?what != ex:retracted)
+//           OPTIONAL { ?who ex:name ?name } }
+//   OFFSET 10 LIMIT 10
 //
 // Supported: PREFIX declarations, `SELECT * | ?var...`, DISTINCT, a WHERE
 // block of triple patterns over IRIs (`<...>`), prefixed names
 // (`ex:name`), literals (`"..."` with \-escapes and optional @lang / ^^
-// suffixes), variables (`?name`), and LIMIT. Not supported (rejected with
-// a parse error): FILTER, OPTIONAL, UNION, property paths.
+// suffixes), variables (`?name`), FILTER over one variable
+// (`<,<=,>,>=,=,!=` against a number, term or variable, and
+// `IN (term, ...)`), OPTIONAL groups (patterns + filters; not nested),
+// top-level UNION of braced groups, LIMIT and OFFSET in either order.
+// Not supported (rejected with a parse error): nested OPTIONAL, UNION
+// inside a group, property paths, expressions beyond single comparisons.
 
 // --- Abstract syntax ------------------------------------------------------
 
 struct ParsedTerm {
-  enum class Kind { kVariable, kIri, kLiteral };
+  enum class Kind { kVariable, kIri, kLiteral, kNumber };
   Kind kind = Kind::kVariable;
-  // Variable name without '?', or the full term text including <> / "".
+  // Variable name without '?', the full term text including <> / "", or
+  // the number's digits.
   std::string text;
 };
 
@@ -45,12 +55,38 @@ struct ParsedPattern {
   ParsedTerm object;
 };
 
+// FILTER(?var op operand) or FILTER(?var IN (operand, ...)).
+struct ParsedFilter {
+  std::string var;
+  std::string op;  // "<", "<=", ">", ">=", "=", "!=", "IN"
+  std::vector<ParsedTerm> values;
+};
+
+// One braced group's content: triple patterns plus filters.
+struct ParsedGroup {
+  std::vector<ParsedPattern> patterns;
+  std::vector<ParsedFilter> filters;
+};
+
+// One UNION branch: the required group and its OPTIONAL groups in textual
+// order.
+struct ParsedBranch {
+  ParsedGroup required;
+  std::vector<ParsedGroup> optionals;
+};
+
 struct ParsedQuery {
   bool distinct = false;
   // Empty means SELECT * (all variables in order of first appearance).
   std::vector<std::string> projection;
-  std::vector<ParsedPattern> patterns;
+  std::vector<ParsedBranch> branches;
   std::optional<uint64_t> limit;
+  std::optional<uint64_t> offset;
+
+  // Legacy view kept for BGP-only callers: the first branch's required
+  // patterns (every pre-planner query had exactly one branch and no
+  // filters/optionals).
+  std::vector<ParsedPattern> patterns;
 };
 
 // Parses the query text. Errors carry 1-based line:column positions.
@@ -58,11 +94,34 @@ Result<ParsedQuery> Parse(std::string_view query);
 
 // Canonical form of a query's text, used by the serving layer as the
 // lexical part of its result-cache key: '#' comments stripped, runs of
-// whitespace outside quoted literals collapsed to a single space, and
-// the ends trimmed. Two texts with the same canonical form tokenize
+// whitespace outside quoted literals collapsed to a single space, bare
+// keywords upper-cased (so `select` and `SELECT` share one cache entry),
+// and the ends trimmed. IRIs, literals, variables and prefixed names are
+// copied verbatim. Two texts with the same canonical form tokenize
 // identically (so they parse to the same query); no semantic
 // normalization (variable renaming, pattern reordering) is attempted.
 std::string CanonicalQueryText(std::string_view query);
+
+// --- Lowering -------------------------------------------------------------
+
+// Lowers a parsed query to the logical algebra: constants are bound
+// against the dataset's dictionary (a miss marks the scan unsatisfiable —
+// the planner constant-folds it to the empty result), filters are
+// compiled to id / numeric comparisons, OPTIONAL becomes LeftJoin and
+// branches become a Union, wrapped in Distinct/Project/Slice modifiers.
+// The plan's NumericResolver decodes numeric literals through the
+// dictionary. Exported for the shell's EXPLAIN.
+Result<plan::LogicalPlan> BuildLogicalPlan(const ParsedQuery& parsed,
+                                           const rdf::Dataset& dataset);
+
+// Binds a parsed query's constant terms against the dataset's dictionary,
+// producing executable BGP patterns (legacy first-branch view; filters
+// and optionals are ignored). A constant absent from the dictionary
+// cannot match anything: *unmatchable is set and the caller should return
+// the empty result (standard SPARQL semantics).
+std::vector<core::BgpPattern> Bind(const ParsedQuery& parsed,
+                                   const rdf::Dataset& dataset,
+                                   bool* unmatchable);
 
 // --- Execution ------------------------------------------------------------
 
@@ -76,28 +135,32 @@ struct QueryOutput {
   std::vector<Row> rows;
 };
 
-// Binds a parsed query's constant terms against the dataset's dictionary,
-// producing executable BGP patterns. A constant absent from the dictionary
-// cannot match anything: *unmatchable is set and the caller should return
-// the empty result (standard SPARQL semantics).
-std::vector<core::BgpPattern> Bind(const ParsedQuery& parsed,
-                                   const rdf::Dataset& dataset,
-                                   bool* unmatchable);
-
 // Parses and runs `query` against `backend`, decoding results through the
 // dataset's dictionary. A constant term that is not in the dictionary
-// yields an empty result (standard SPARQL semantics), not an error.
+// yields an empty result (standard SPARQL semantics), not an error. A
+// variable left unbound by an OPTIONAL decodes to the empty string (its
+// id is plan::kUnbound).
 Result<QueryOutput> Execute(const core::Backend& backend,
                             const rdf::Dataset& dataset,
                             std::string_view query);
 
 // As above, under an explicit execution context: the BGP evaluation fans
 // its binding-extension batches out across the context's thread budget
-// (see core::ExecuteBgp); results are identical at every width.
+// (see core::ExecutePlan); results are identical at every width.
 Result<QueryOutput> Execute(const core::Backend& backend,
                             const rdf::Dataset& dataset,
                             std::string_view query,
                             const exec::ExecContext& ectx);
+
+// As above with planner statistics: non-null `stats` selects the
+// cost-based planner (with the backend's access hints); null falls back
+// to the statistics-free heuristic order. RdfStore::stats() supplies the
+// load-time statistics.
+Result<QueryOutput> Execute(const core::Backend& backend,
+                            const rdf::Dataset& dataset,
+                            std::string_view query,
+                            const exec::ExecContext& ectx,
+                            const plan::StoreStats* stats);
 
 }  // namespace swan::sparql
 

@@ -69,8 +69,151 @@ TEST_F(SparqlTest, RejectsUndeclaredPrefix) {
 }
 
 TEST_F(SparqlTest, RejectsUnsupportedConstructs) {
+  // FILTER/OPTIONAL/UNION are supported, but every group still needs at
+  // least one required triple pattern, nesting is rejected, and UNION
+  // branches must be braced.
   EXPECT_FALSE(Parse("SELECT ?x WHERE { FILTER(?x > 3) }").ok());
   EXPECT_FALSE(Parse("SELECT ?x WHERE { OPTIONAL { ?x <p> ?y } }").ok());
+  EXPECT_FALSE(
+      Parse("SELECT ?x WHERE { ?x <p> ?y . "
+            "OPTIONAL { ?x <q> ?z . OPTIONAL { ?z <r> ?w } } }")
+          .ok());
+  EXPECT_FALSE(
+      Parse("SELECT ?x WHERE { ?x <p> ?y UNION ?x <q> ?y }").ok());
+}
+
+TEST_F(SparqlTest, ParsesFilterOptionalUnionOffset) {
+  auto parsed = Parse(
+      "PREFIX ex: <http://ex.org/>\n"
+      "SELECT ?x WHERE {\n"
+      "  { ?x ex:knows ?y . FILTER(?y != ex:carol)\n"
+      "    OPTIONAL { ?y ex:age ?a . FILTER(?a >= 30) } }\n"
+      "  UNION { ?x ex:age ?v . FILTER(?v IN (\"25\", \"30\")) }\n"
+      "} OFFSET 1 LIMIT 10");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().branches.size(), 2u);
+  EXPECT_EQ(parsed.value().branches[0].required.filters.size(), 1u);
+  ASSERT_EQ(parsed.value().branches[0].optionals.size(), 1u);
+  EXPECT_EQ(parsed.value().branches[0].optionals[0].filters.size(), 1u);
+  EXPECT_EQ(parsed.value().branches[1].required.filters[0].op, "IN");
+  EXPECT_EQ(parsed.value().offset, 1u);
+  EXPECT_EQ(parsed.value().limit, 10u);
+}
+
+TEST_F(SparqlTest, FilterComparesNumericLiterals) {
+  // Ages are literals like "30"; numeric comparison reads their lexical
+  // form as a number.
+  auto result = Run(
+      "PREFIX ex: <http://ex.org/>\n"
+      "SELECT ?who WHERE { ?who ex:age ?a . FILTER(?a < 30) }");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().rows.size(), 1u);
+  EXPECT_EQ(result.value().rows[0].text[0], "<http://ex.org/carol>");
+}
+
+TEST_F(SparqlTest, FilterNotEqualsAndIn) {
+  auto ne = Run(
+      "PREFIX ex: <http://ex.org/>\n"
+      "SELECT ?x WHERE { ?x ex:knows ?y . FILTER(?y != ex:bob) }");
+  ASSERT_TRUE(ne.ok()) << ne.status().ToString();
+  ASSERT_EQ(ne.value().rows.size(), 1u);
+  EXPECT_EQ(ne.value().rows[0].text[0], "<http://ex.org/bob>");
+  auto in = Run(
+      "PREFIX ex: <http://ex.org/>\n"
+      "SELECT ?x WHERE { ?x ex:age ?v . FILTER(?v IN (\"25\")) }");
+  ASSERT_TRUE(in.ok()) << in.status().ToString();
+  ASSERT_EQ(in.value().rows.size(), 1u);
+  EXPECT_EQ(in.value().rows[0].text[0], "<http://ex.org/carol>");
+}
+
+TEST_F(SparqlTest, FilterAgainstUnknownTermIsNotAnError) {
+  // ex:nobody is not in the dictionary: equal to nothing, unequal to
+  // every bound value.
+  auto eq = Run(
+      "PREFIX ex: <http://ex.org/>\n"
+      "SELECT ?x WHERE { ?x ex:knows ?y . FILTER(?y = ex:nobody) }");
+  ASSERT_TRUE(eq.ok()) << eq.status().ToString();
+  EXPECT_TRUE(eq.value().rows.empty());
+  auto ne = Run(
+      "PREFIX ex: <http://ex.org/>\n"
+      "SELECT ?x WHERE { ?x ex:knows ?y . FILTER(?y != ex:nobody) }");
+  ASSERT_TRUE(ne.ok()) << ne.status().ToString();
+  EXPECT_EQ(ne.value().rows.size(), 2u);
+}
+
+TEST_F(SparqlTest, OptionalPadsNonMatchesWithEmptyBinding) {
+  data_.Add("<http://ex.org/dave>", "<http://ex.org/knows>",
+            "<http://ex.org/alice>");  // dave has no age
+  backend_ = std::make_unique<core::ColVerticalBackend>(data_);
+  auto result = Run(
+      "PREFIX ex: <http://ex.org/>\n"
+      "SELECT ?x ?a WHERE { ?x ex:knows ?y . "
+      "OPTIONAL { ?x ex:age ?a } }");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().rows.size(), 3u);  // alice, bob, dave
+  size_t padded = 0;
+  for (const auto& row : result.value().rows) {
+    if (row.text[1].empty()) {
+      ++padded;
+      EXPECT_EQ(row.ids[1], plan::kUnbound);
+      EXPECT_EQ(row.text[0], "<http://ex.org/dave>");
+    }
+  }
+  EXPECT_EQ(padded, 1u);
+}
+
+TEST_F(SparqlTest, UnionConcatenatesBranches) {
+  auto result = Run(
+      "PREFIX ex: <http://ex.org/>\n"
+      "SELECT ?x WHERE { { ?x ex:age \"25\" } UNION "
+      "{ ?x ex:knows ex:carol } }");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().rows.size(), 2u);
+  std::vector<std::string> names;
+  for (const auto& row : result.value().rows) names.push_back(row.text[0]);
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"<http://ex.org/bob>",
+                                             "<http://ex.org/carol>"}));
+}
+
+TEST_F(SparqlTest, OffsetSkipsRows) {
+  auto all = Run("SELECT * WHERE { ?s ?p ?o }");
+  ASSERT_TRUE(all.ok());
+  auto sliced = Run("SELECT * WHERE { ?s ?p ?o } OFFSET 2 LIMIT 2");
+  ASSERT_TRUE(sliced.ok());
+  ASSERT_EQ(sliced.value().rows.size(), 2u);
+  EXPECT_EQ(sliced.value().rows[0].ids, all.value().rows[2].ids);
+  auto past_end = Run("SELECT * WHERE { ?s ?p ?o } OFFSET 100");
+  ASSERT_TRUE(past_end.ok());
+  EXPECT_TRUE(past_end.value().rows.empty());
+}
+
+TEST_F(SparqlTest, ResultVarsFollowTextualOrder) {
+  // Regression: the result header must list variables in order of first
+  // textual appearance, not the planner's chosen join order.
+  auto result = Run(
+      "PREFIX ex: <http://ex.org/>\n"
+      "SELECT * WHERE { ?a ex:knows ?b . ?b ex:age ?v }");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().vars, (std::vector<std::string>{"a", "b", "v"}));
+}
+
+TEST_F(SparqlTest, CanonicalTextUppercasesKeywordsOnly) {
+  // Regression: lower/mixed-case keywords used to miss the serve-layer
+  // result cache because canonicalization kept their casing.
+  EXPECT_EQ(CanonicalQueryText("select distinct ?s where { ?s <p> ?o }"),
+            CanonicalQueryText("SELECT DISTINCT ?s WHERE { ?s <p> ?o }"));
+  EXPECT_EQ(CanonicalQueryText("select ?s where { ?s <p> ?o } limit 2"),
+            "SELECT ?s WHERE { ?s <p> ?o } LIMIT 2");
+  // IRIs, literals, prefixed names and variables stay verbatim even when
+  // they spell a keyword.
+  EXPECT_EQ(CanonicalQueryText("SELECT ?s WHERE { ?s <select> \"where\" }"),
+            "SELECT ?s WHERE { ?s <select> \"where\" }");
+  EXPECT_EQ(
+      CanonicalQueryText("PREFIX where: <http://x/> SELECT ?limit WHERE "
+                         "{ ?limit where:union ?o }"),
+      "PREFIX where: <http://x/> SELECT ?limit WHERE "
+      "{ ?limit where:union ?o }");
 }
 
 TEST_F(SparqlTest, ErrorsCarryPositions) {

@@ -156,6 +156,17 @@ if [ "$run_asan" -eq 1 ]; then
     failures=$((failures + 1))
   fi
 
+  echo "== planner smoke (plan modes must agree; planner must not lose) =="
+  # Small scale: the adversarial worst-order mode is quadratic in the
+  # dataset and the ASan build multiplies that; 8k triples still runs all
+  # four modes over the full backend grid.
+  if SWAN_TRIPLES=8000 "$ASAN_BUILD/bench/ablation_planner" >/dev/null; then
+    echo "planner smoke: clean"
+  else
+    echo "planner smoke: FAILURES"
+    failures=$((failures + 1))
+  fi
+
   echo "== serve smoke (multi-session script + per-session trace) =="
   SERVE_SCRIPT="$ASAN_BUILD/serve-smoke.serve"
   SERVE_JSON="$ASAN_BUILD/serve-smoke.json"

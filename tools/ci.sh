@@ -69,6 +69,12 @@ case "$mode" in
     echo "=== release: codec smoke ==="
     SWAN_TRIPLES=40000 "$RELEASE_DIR/bench/ablation_compression" \
       >/dev/null || status=1
+    # Planner smoke: the planner ablation equivalence-gates all four plan
+    # modes on q1-q8 across the backend grid and exits non-zero if the
+    # cost-based plan ever loses to the hand-wired order.
+    echo "=== release: planner smoke ==="
+    SWAN_TRIPLES=20000 "$RELEASE_DIR/bench/ablation_planner" \
+      >/dev/null || status=1
     # Every example must keep building and running (they double as living
     # API documentation).
     echo "=== release: examples ==="

@@ -1,0 +1,19 @@
+// swan-lint-corpus-path: src/core/bad_planner_call.cc
+// swan-lint corpus: calling the planner's internal heuristic seed from
+// outside src/plan/. Join ordering is the planner's decision; callers go
+// through plan::Optimize / plan::OptimizeBgp (or core::ExecuteBgp) and
+// read the chosen order off the physical plan's source_index fields.
+
+namespace corpus {
+
+void HandRollAPlan(const std::vector<plan::BgpPattern>& patterns) {
+  const auto order = plan::PlanPatternOrder(patterns);  // expect(plan-order)
+  (void)order;
+}
+
+void GoThroughTheOptimizer(const std::vector<plan::BgpPattern>& patterns) {
+  const auto physical = plan::OptimizeBgp(patterns);  // fine: planner API
+  (void)physical;
+}
+
+}  // namespace corpus

@@ -23,6 +23,11 @@ Enforces repo-specific rules that clang-tidy cannot express:
                     kernels: they must read columns through the encoded
                     reps (ValueAt, MaterializeInto, runs(), words()), never
                     force a full raw materialization with Column::Get().
+  plan-order        PlanPatternOrder() is the planner's internal heuristic
+                    seed and may only be called inside src/plan/. Every
+                    other layer goes through plan::Optimize /
+                    plan::OptimizeBgp (or core::ExecuteBgp), so join
+                    ordering decisions stay in one place.
 
 Suppression: append `// swan-lint: allow(<rule>)` to the offending line,
 or place it alone on the line directly above. Suppressions are per-rule;
@@ -55,6 +60,7 @@ RULES = [
     "const-cast",
     "include-locks",
     "ops-column-get",
+    "plan-order",
 ]
 
 # Files where Column::Get() is banned: the encoded kernels. Decoding is
@@ -85,6 +91,7 @@ RAW_MUTEX_RE = re.compile(
 EXEC_THREADS_RE = re.compile(r"\bexec::Threads\s*\(")
 COLUMN_GET_RE = re.compile(r"(?:\.|->)\s*Get\s*\(")
 CONST_CAST_RE = re.compile(r"\bconst_cast\s*<")
+PLAN_ORDER_RE = re.compile(r"\bPlanPatternOrder\s*\(")
 SUPPRESS_RE = re.compile(r"//\s*swan-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 EXPECT_RE = re.compile(r"//\s*expect\(([a-z-]+)\)")
 CORPUS_PATH_RE = re.compile(r"^//\s*swan-lint-corpus-path:\s*(\S+)")
@@ -294,6 +301,13 @@ def lint_file(path, display_path, lines, status_names):
         if CONST_CAST_RE.search(code):
             report(idx, "const-cast",
                    "const_cast is banned; fix the constness model")
+
+        if (not display_path.startswith("src/plan/")
+                and PLAN_ORDER_RE.search(code)):
+            report(idx, "plan-order",
+                   "PlanPatternOrder() outside src/plan/; go through "
+                   "plan::Optimize / plan::OptimizeBgp so join ordering "
+                   "stays inside the planner")
 
         if display_path in OPS_COLUMN_GET_PATHS and COLUMN_GET_RE.search(code):
             report(idx, "ops-column-get",

@@ -21,6 +21,13 @@
 // Chrome-trace process track in FILE. Interactively, `serve SCRIPT`
 // (followed by ';') does the same.
 //
+// --explain prints the cost-based planner's annotated physical plan (join
+// order, star gathers, filter placement, estimated cardinalities) before
+// each query's rows. Interactively, `explain SELECT ...` prints just the
+// plan, and `explain analyze SELECT ...` prints the plan followed by the
+// profiled execution — the span tree's `est=` annotations sit next to the
+// actual row counts, so estimate quality is readable in one place.
+//
 // --profile attaches a trace session to every query and prints the text
 // profile (EXPLAIN ANALYZE: span tree with virtual times, rows, bytes,
 // seeks, plus the metrics snapshot) after the result rows. With
@@ -131,26 +138,23 @@ bool ParseArgs(int argc, char** argv, ShellOptions* options) {
   return true;
 }
 
-void ExplainQuery(const swan::rdf::Dataset& dataset,
+// EXPLAIN: lowers the query through the logical algebra and the
+// cost-based planner (the store's load-time statistics and the backend's
+// access hints) and prints the annotated physical plan — join order,
+// star gathers, filter placement, estimated cardinalities.
+void ExplainQuery(const swan::core::RdfStore& store,
+                  const swan::rdf::Dataset& dataset,
                   const std::string& query) {
   auto parsed = swan::sparql::Parse(query);
   if (!parsed.ok()) return;  // RunQuery reports the parse error
-  bool unmatchable = false;
-  const auto patterns =
-      swan::sparql::Bind(parsed.value(), dataset, &unmatchable);
-  const auto order = swan::core::PlanPatternOrder(patterns);
-  std::printf("plan (greedy join order%s):\n",
-              unmatchable ? "; query is unmatchable" : "");
-  auto render = [&](const swan::core::Term& term) -> std::string {
-    if (term.is_var) return "?" + term.var;
-    return std::string(dataset.dict().Lookup(term.id));
+  auto logical = swan::sparql::BuildLogicalPlan(parsed.value(), dataset);
+  if (!logical.ok()) return;
+  const auto physical =
+      swan::plan::Optimize(logical.value(), store.planner_options());
+  auto term_name = [&](uint64_t id) -> std::string {
+    return std::string(dataset.dict().Lookup(id));
   };
-  for (size_t step = 0; step < order.size(); ++step) {
-    const auto& p = patterns[order[step]];
-    std::printf("  %zu. (%s, %s, %s)\n", step + 1,
-                render(p.subject).c_str(), render(p.property).c_str(),
-                render(p.object).c_str());
-  }
+  std::printf("%s", swan::plan::ExplainText(physical, term_name).c_str());
 }
 
 // Deep invariant audit of the open store; returns 1 if anything is wrong.
@@ -262,12 +266,23 @@ int RunQuery(swan::core::RdfStore& store,
                     Trimmed(trimmed.substr(std::strlen("serve "))), options);
   }
   bool profile = options.profile;
+  bool explain = options.explain;
   std::string text = query;
   if (trimmed.rfind("profile ", 0) == 0) {
     profile = true;
     text = trimmed.substr(std::strlen("profile "));
+  } else if (trimmed.rfind("explain analyze ", 0) == 0) {
+    // EXPLAIN ANALYZE: the planned tree with estimates, then the profiled
+    // run whose span tree carries the actual cardinalities next to them.
+    explain = true;
+    profile = true;
+    text = trimmed.substr(std::strlen("explain analyze "));
+  } else if (trimmed.rfind("explain ", 0) == 0) {
+    // EXPLAIN: print the annotated plan without executing.
+    ExplainQuery(store, dataset, trimmed.substr(std::strlen("explain ")));
+    return 0;
   }
-  if (options.explain) ExplainQuery(dataset, text);
+  if (explain) ExplainQuery(store, dataset, text);
   const swan::exec::ExecContext ectx;
   std::unique_ptr<swan::core::ScopedProfile> scoped;
   if (profile) {
@@ -276,7 +291,8 @@ int RunQuery(swan::core::RdfStore& store,
   }
   swan::CpuTimer timer;
   const double io_before = store.backend().disk()->clock().now();
-  auto result = swan::sparql::Execute(store.backend(), dataset, text, ectx);
+  auto result = swan::sparql::Execute(store.backend(), dataset, text, ectx,
+                                      &store.stats());
   const double user = timer.ElapsedSeconds();
   const double real =
       user + (store.backend().disk()->clock().now() - io_before);
