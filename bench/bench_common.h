@@ -3,9 +3,11 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 
 #include "bench_support/barton_generator.h"
@@ -106,6 +108,127 @@ inline colstore::ColumnCodec InitCodec(int argc, char** argv) {
     std::exit(2);
   }
   return codec;
+}
+
+// Machine-readable bench output, written when the bench is invoked with
+// --json[=FILE]. One fixed schema across all benches so scripted
+// consumers (CI trend lines, the EXPERIMENTS.md recipes) never parse
+// bench-specific tables:
+//
+//   {"bench": "<name>",
+//    "workloads": {"<workload>": {"<backend>":
+//        {"cold_bytes": N, "modeled_seconds": S, "speedup": X}}},
+//    <extra top-level fields via AddRaw>}
+//
+// std::map keys make the emission order deterministic.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench_name)
+      : bench_(std::move(bench_name)) {}
+
+  void Add(const std::string& workload, const std::string& backend,
+           uint64_t cold_bytes, double modeled_seconds,
+           double speedup = 1.0) {
+    cells_[workload][backend] = Cell{cold_bytes, modeled_seconds, speedup};
+  }
+
+  // Extra top-level field; `json` must already be valid JSON.
+  void AddRaw(const std::string& key, const std::string& json) {
+    raw_[key] = json;
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\"bench\":\"";
+    out += Escape(bench_);
+    out += "\",\"workloads\":{";
+    bool first_workload = true;
+    for (const auto& [workload, backends] : cells_) {
+      if (!first_workload) out += ',';
+      first_workload = false;
+      out += '"';
+      out += Escape(workload);
+      out += "\":{";
+      bool first_backend = true;
+      for (const auto& [backend, cell] : backends) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "{\"cold_bytes\":%llu,\"modeled_seconds\":%.9f,"
+                      "\"speedup\":%.6f}",
+                      static_cast<unsigned long long>(cell.cold_bytes),
+                      cell.modeled_seconds, cell.speedup);
+        if (!first_backend) out += ',';
+        first_backend = false;
+        out += '"';
+        out += Escape(backend);
+        out += "\":";
+        out += buf;
+      }
+      out += '}';
+    }
+    out += '}';
+    for (const auto& [key, json] : raw_) {
+      out += ",\"";
+      out += Escape(key);
+      out += "\":";
+      out += json;
+    }
+    out += "}\n";
+    return out;
+  }
+
+  // Writes ToJson() to `path`. Returns false (with a stderr notice) on
+  // I/O failure so benches can exit non-zero.
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write bench JSON to '%s'\n",
+                   path.c_str());
+      return false;
+    }
+    const std::string json = ToJson();
+    const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    std::fclose(f);
+    if (ok) std::printf("bench JSON written to %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  struct Cell {
+    uint64_t cold_bytes = 0;
+    double modeled_seconds = 0.0;
+    double speedup = 1.0;
+  };
+
+  static std::string Escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::map<std::string, std::map<std::string, Cell>> cells_;
+  std::map<std::string, std::string> raw_;
+};
+
+// Resolves the --json flag: `--json=FILE` names the output, a bare
+// `--json` defaults to BENCH_<bench_name>.json, absence returns "" (no
+// JSON emission).
+inline std::string InitJsonPath(int argc, char** argv,
+                                const std::string& bench_name) {
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--json=", 7) == 0) {
+      path = arg + 7;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      path = "BENCH_" + bench_name + ".json";
+    }
+  }
+  return path;
 }
 
 inline void PrintHeader(const std::string& title, const std::string& paper_ref,

@@ -27,7 +27,7 @@ struct GridRow {
 
 void AppendBackendRows(const GridRow& row, bool hot,
                        const core::QueryContext& ctx, int reps,
-                       TablePrinter* table) {
+                       TablePrinter* table, BenchJsonWriter* json) {
   std::vector<double> real_times, user_times;
   std::vector<double> real_initial, user_initial;
 
@@ -44,6 +44,10 @@ void AppendBackendRows(const GridRow& row, bool hot,
                                                           reps)
                               : bench_support::MeasureCold(row.backend, id,
                                                            ctx, reps);
+    if (json != nullptr) {
+      json->Add(core::ToString(id), row.store + " " + row.cluster,
+                m.bytes_read, m.real_seconds);
+    }
     real_cells.push_back(TablePrinter::Fixed(m.real_seconds, 3));
     user_cells.push_back(TablePrinter::Fixed(m.user_seconds, 3));
     real_times.push_back(m.real_seconds);
@@ -76,7 +80,7 @@ void AppendBackendRows(const GridRow& row, bool hot,
 }  // namespace
 
 void RunGrid(bool hot, const std::string& title,
-             colstore::ColumnCodec codec) {
+             colstore::ColumnCodec codec, const std::string& json_path) {
   const auto config = DefaultConfig();
   PrintHeader(title,
               hot ? "Table 7 (hot runs) of Sidirourgos et al., VLDB 2008"
@@ -144,12 +148,21 @@ void RunGrid(bool hot, const std::string& title,
   header.insert(header.end(), {"G", "G*", "G*/G"});
   TablePrinter table(header);
 
+  BenchJsonWriter json(hot ? "table7_hot_runs" : "table6_cold_runs");
   const int reps = Repetitions();
   for (const GridRow& row : rows) {
     std::printf("measuring %s %s (%s)...\n", row.store.c_str(),
                 row.cluster.c_str(), hot ? "hot" : "cold");
-    AppendBackendRows(row, hot, ctx, reps, &table);
+    AppendBackendRows(row, hot, ctx, reps, &table,
+                      json_path.empty() ? nullptr : &json);
     table.AddSeparator();
+  }
+
+  if (!json_path.empty()) {
+    json.AddRaw("triples", std::to_string(config.target_triples));
+    json.AddRaw("codec", "\"" + colstore::ToString(codec) + "\"");
+    json.AddRaw("hot", hot ? "true" : "false");
+    if (!json.WriteTo(json_path)) std::exit(1);
   }
 
   std::printf("\n%s\n", table.ToString().c_str());

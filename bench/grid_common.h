@@ -15,8 +15,12 @@ namespace swan::bench {
 // column engine's on-disk format; the storage-accounting block reports
 // both the encoded on-disk bytes and the full-width logical bytes so
 // compressed cold runs can be related to the bytes they actually read.
+// A non-empty `json_path` additionally writes the per-query grid as a
+// bench::BenchJsonWriter file (workload = query, backend = store+cluster,
+// cold_bytes = simulated-disk bytes, modeled_seconds = real).
 void RunGrid(bool hot, const std::string& title,
-             colstore::ColumnCodec codec = colstore::ColumnCodec::kRaw);
+             colstore::ColumnCodec codec = colstore::ColumnCodec::kRaw,
+             const std::string& json_path = "");
 
 }  // namespace swan::bench
 

@@ -291,5 +291,29 @@ int main(int argc, char** argv) {
     std::printf("}");
   }
   std::printf("}}\n");
+
+  // Structured emitter (--json[=FILE]): workload = entry, backend = its
+  // group; cold_bytes from the 1-thread hot window (parallelism must not
+  // change bytes — the gate above already enforced it), modeled_seconds
+  // at the widest sweep point, speedup = serial real / widest real.
+  const std::string json_path =
+      swan::bench::InitJsonPath(argc, argv, "parallel_speedup");
+  if (!json_path.empty()) {
+    swan::bench::BenchJsonWriter json("parallel_speedup");
+    const size_t last = thread_counts.size() - 1;
+    for (size_t e = 0; e < entries.size(); ++e) {
+      json.Add(entries[e].label, entries[e].group,
+               hot_counters[e][0].bytes_read, hot_real[e][last],
+               hot_real[e][0] / hot_real[e][last]);
+    }
+    json.AddRaw("triples", std::to_string(config.target_triples));
+    std::string widths = "[";
+    for (size_t i = 0; i < thread_counts.size(); ++i) {
+      widths += (i ? "," : "") + Key(thread_counts[i]);
+    }
+    json.AddRaw("threads", widths + "]");
+    json.AddRaw("equivalent", "true");
+    if (!json.WriteTo(json_path)) return 1;
+  }
   return 0;
 }

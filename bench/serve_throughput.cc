@@ -22,6 +22,8 @@
 // latency (W-server FCFS schedule over each request's modeled service
 // cost) plus the service's cache hit/miss/eviction counters.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -110,6 +112,25 @@ std::vector<std::string> StatsRow(const std::string& backend,
           swan::TablePrinter::Fixed(stats.p99_seconds * 1e3, 3)};
 }
 
+// Nearest-rank percentile over the raw samples — the brute-force
+// reference the telemetry window snapshots are gated against.
+double BruteForcePercentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples.size())));
+  if (rank == 0) rank = 1;
+  if (rank > samples.size()) rank = samples.size();
+  return samples[rank - 1];
+}
+
+uint64_t SumBytes(const std::vector<swan::obs::QueryLogRecord>& records,
+                  size_t begin, size_t end) {
+  uint64_t bytes = 0;
+  for (size_t i = begin; i < end; ++i) bytes += records[i].bytes_read;
+  return bytes;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -147,6 +168,9 @@ int main(int argc, char** argv) {
 
   swan::TablePrinter table({"backend", "pass", "reqs", "hits", "req/s",
                             "p50 ms", "p95 ms", "p99 ms"});
+  const std::string json_path =
+      swan::bench::InitJsonPath(argc, argv, "serve_throughput");
+  swan::bench::BenchJsonWriter json("serve_throughput");
 
   for (const Grid& point : grid) {
     std::printf("serving on %s...\n", point.label);
@@ -161,6 +185,7 @@ int main(int argc, char** argv) {
     serial_options.workers = 1;
     serial_options.cache_bytes = 0;
     std::vector<Completion> reference;
+    uint64_t serial_bytes = 0;
     {
       QueryService serial(store.get(), ctx, serial_options);
       auto run = swan::serve::RunScript(&serial, script);
@@ -168,6 +193,8 @@ int main(int argc, char** argv) {
       SWAN_CHECK_MSG(run.value().rejected == 0,
                      "serial serve pass rejected submissions");
       reference = std::move(run.value().completions);
+      const auto serial_log = serial.telemetry().LogSnapshot();
+      serial_bytes = SumBytes(serial_log, 0, serial_log.size());
       serial.Stop();
     }
 
@@ -183,6 +210,7 @@ int main(int argc, char** argv) {
     CheckEquivalent(reference, cold.value().completions, "cold");
     const LatencyStats cold_stats =
         swan::serve::ModelSchedule(cold.value().completions, kWorkers);
+    const size_t cold_records = service.telemetry().LogSnapshot().size();
 
     auto warm = swan::serve::RunScript(&service, script);
     SWAN_CHECK_MSG(warm.ok(), "warm serve pass failed");
@@ -199,8 +227,44 @@ int main(int argc, char** argv) {
     const auto audit = store->Audit(swan::audit::AuditLevel::kQuick);
     SWAN_CHECK_MSG(audit.ok(), "post-serve store+cache audit failed");
 
+    // Fleet-telemetry reconciliation gate: the service's windowed
+    // percentile snapshots must re-derive exactly (within one virtual
+    // clock tick) from the deterministic latencies in its own query log.
+    const auto fleet_log = service.telemetry().LogSnapshot();
+    SWAN_CHECK_MSG(fleet_log.size() == cold.value().completions.size() +
+                                           warm.value().completions.size(),
+                   "query log is missing executed requests");
+    std::vector<double> log_latencies;
+    log_latencies.reserve(fleet_log.size());
+    for (const auto& record : fleet_log) {
+      log_latencies.push_back(record.latency_seconds);
+    }
+    const auto pooled = service.telemetry().PooledWindow();
+    SWAN_CHECK_MSG(pooled.count == fleet_log.size(),
+                   "windowed metrics saw a different request count than the "
+                   "query log");
+    SWAN_CHECK_MSG(std::fabs(pooled.p99_seconds -
+                             BruteForcePercentile(log_latencies, 99.0)) <=
+                       1e-9,
+                   "telemetry pooled p99 diverges from the query log");
+    SWAN_CHECK_MSG(std::fabs(pooled.p50_seconds -
+                             BruteForcePercentile(log_latencies, 50.0)) <=
+                       1e-9,
+                   "telemetry pooled p50 diverges from the query log");
+
+    const LatencyStats serial_stats = swan::serve::ModelSchedule(reference, 1);
+    json.Add("serial", point.label, serial_bytes, serial_stats.p99_seconds,
+             1.0);
+    json.Add("cold", point.label, SumBytes(fleet_log, 0, cold_records),
+             cold_stats.p99_seconds, 1.0);
+    json.Add("warm", point.label,
+             SumBytes(fleet_log, cold_records, fleet_log.size()),
+             warm_stats.p99_seconds,
+             warm_stats.throughput_per_second /
+                 cold_stats.throughput_per_second);
+
     table.AddRow(StatsRow(point.label, "serial", {reference, 0, 0},
-                          swan::serve::ModelSchedule(reference, 1)));
+                          serial_stats));
     table.AddRow(StatsRow(point.label, "cold", cold.value(), cold_stats));
     table.AddRow(StatsRow(point.label, "warm", warm.value(), warm_stats));
     table.AddSeparator();
@@ -225,7 +289,15 @@ int main(int argc, char** argv) {
   std::printf(
       "modeled latency: each request's service cost (critical-path CPU + "
       "simulated disk +\nfixed handling overhead) replayed onto %d FCFS "
-      "servers; all equivalence gates passed.\n",
+      "servers; all equivalence gates passed\n(including query-log vs "
+      "windowed-percentile reconciliation).\n",
       kWorkers);
+
+  if (!json_path.empty()) {
+    json.AddRaw("triples", std::to_string(config.target_triples));
+    json.AddRaw("workers", std::to_string(kWorkers));
+    json.AddRaw("telemetry_reconciled", "true");
+    if (!json.WriteTo(json_path)) return 1;
+  }
   return 0;
 }

@@ -7,6 +7,8 @@
 int main(int argc, char** argv) {
   swan::bench::InitThreads(argc, argv);
   swan::bench::RunGrid(/*hot=*/false, "Table 6: cold runs",
-                       swan::bench::InitCodec(argc, argv));
+                       swan::bench::InitCodec(argc, argv),
+                       swan::bench::InitJsonPath(argc, argv,
+                                                 "table6_cold_runs"));
   return 0;
 }

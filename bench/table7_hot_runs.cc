@@ -7,6 +7,8 @@
 int main(int argc, char** argv) {
   swan::bench::InitThreads(argc, argv);
   swan::bench::RunGrid(/*hot=*/true, "Table 7: hot runs",
-                       swan::bench::InitCodec(argc, argv));
+                       swan::bench::InitCodec(argc, argv),
+                       swan::bench::InitJsonPath(argc, argv,
+                                                 "table7_hot_runs"));
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "common/timer.h"
 #include "core/profiling.h"
 #include "exec/thread_pool.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 
 namespace swan::bench_support {
@@ -221,6 +222,32 @@ std::vector<uint64_t> VerifyBackendsAgree(
     row_counts.push_back(reference != nullptr ? expected.row_count() : 0);
   }
   return row_counts;
+}
+
+void RecordMeasurement(obs::Telemetry* telemetry, const std::string& workload,
+                       const std::string& backend, const Measurement& m) {
+  SWAN_CHECK(telemetry != nullptr);
+  obs::QueryLogRecord record;
+  record.seq = telemetry->records();
+  record.session = "bench";
+  record.kind = "bench";
+  record.text = workload;
+  record.text_hash = obs::Fnv1a64(workload);
+  record.backend = backend;
+  record.rows = m.rows_returned;
+  record.bytes_read = m.bytes_read;
+  record.seeks = m.seeks;
+  record.io_seconds = m.real_seconds - m.cpu_seconds;
+  // Standalone benches have no serve epoch; the modeled real cost is both
+  // the record's latency and its position on the window axis.
+  record.latency_seconds = m.real_seconds;
+  record.vt_finish = m.real_seconds;
+  record.cpu_seconds = m.cpu_seconds;
+  record.service_seconds = m.real_seconds;
+  if (m.profile != nullptr && m.profile->finished()) {
+    record.ops = obs::CollectEstimatedOps(m.profile->root());
+  }
+  telemetry->Record(std::move(record), m.profile.get());
 }
 
 uint64_t EnvU64(const char* name, uint64_t fallback) {

@@ -12,6 +12,7 @@
 #include "exec/exec_context.h"
 
 namespace swan::obs {
+class Telemetry;
 class TraceSession;
 }  // namespace swan::obs
 
@@ -92,6 +93,15 @@ Measurement MeasureBgpHot(core::Backend* backend,
                           const exec::ExecContext& ectx,
                           const plan::PlannerOptions& options,
                           int repetitions = 3);
+
+// Folds one measurement into a fleet-telemetry bundle as a query-log
+// record: session "bench", kind "bench", text/hash = the workload name,
+// latency = the modeled real cost, plus byte/seek counters — and, when
+// the measurement came from a *Profiled variant, its span tree into the
+// bundle's cross-query aggregator. Lets standalone benches reuse the
+// serve tier's windowed percentiles and top-operators machinery.
+void RecordMeasurement(obs::Telemetry* telemetry, const std::string& workload,
+                       const std::string& backend, const Measurement& m);
 
 // Correctness gate run before timing: executes every supported query on
 // every backend and verifies that all backends produce identical rows.

@@ -28,6 +28,11 @@ namespace swan {
 //   kBufferPool       storage::BufferPool page table
 //   kStorageDisk      storage::SimulatedDisk model state
 //   kExecLane         exec per-lane CPU ledger
+//   kTelemetry        obs::Telemetry fleet-wide query log / windowed
+//                     metrics / profile aggregator (near-leaf: acquired
+//                     under the serve turnstile and the shell, acquires
+//                     nothing — two Telemetry bundles never nest; merges
+//                     snapshot the source before locking the target)
 //   kMetrics          obs::MetricsRegistry name table (leaf: acquired
 //                     under everything, acquires nothing)
 //
@@ -49,6 +54,7 @@ enum class LockRank : int {
   kBufferPool = 400,
   kStorageDisk = 300,
   kExecLane = 200,
+  kTelemetry = 150,
   kMetrics = 100,
 };
 

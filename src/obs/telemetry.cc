@@ -1,0 +1,368 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <utility>
+
+#include "common/mutex.h"
+
+namespace swan::obs {
+
+namespace {
+
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, std::min<size_t>(static_cast<size_t>(n),
+                                               sizeof(buf) - 1));
+}
+
+uint64_t ToNanos(double seconds) {
+  if (seconds <= 0.0) return 0;
+  return static_cast<uint64_t>(std::llround(seconds * 1e9));
+}
+
+// Nearest-rank percentile over a sorted sample vector (p in [0,100]):
+// the ceil(p/100 * n)-th smallest, matching serve::ModelSchedule.
+double NearestRank(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t n = sorted.size();
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WindowedMetrics
+// ---------------------------------------------------------------------------
+
+WindowedMetrics::WindowedMetrics(double window_seconds,
+                                 double slo_latency_seconds)
+    : width_(window_seconds > 0.0 ? window_seconds : 0.1),
+      slo_(slo_latency_seconds) {}
+
+void WindowedMetrics::Observe(double finish_vt, double latency_seconds,
+                              bool cache_hit, uint64_t queue_depth) {
+  const int64_t index =
+      static_cast<int64_t>(std::floor(finish_vt / width_));
+  Window& window = windows_[index];
+  window.latencies.push_back(latency_seconds);
+  if (cache_hit) ++window.cache_hits;
+  if (latency_seconds > slo_) ++window.slo_breaches;
+  window.max_queue_depth = std::max(window.max_queue_depth, queue_depth);
+  ++total_count_;
+}
+
+void WindowedMetrics::MergeFrom(const WindowedMetrics& other) {
+  for (const auto& [index, window] : other.windows_) {
+    Window& into = windows_[index];
+    into.latencies.insert(into.latencies.end(), window.latencies.begin(),
+                          window.latencies.end());
+    into.cache_hits += window.cache_hits;
+    into.slo_breaches += window.slo_breaches;
+    into.max_queue_depth =
+        std::max(into.max_queue_depth, window.max_queue_depth);
+  }
+  total_count_ += other.total_count_;
+}
+
+void WindowedMetrics::FillPercentiles(std::vector<double> latencies,
+                                      WindowSnapshot* snap) {
+  std::sort(latencies.begin(), latencies.end());
+  snap->count = latencies.size();
+  snap->p50_seconds = NearestRank(latencies, 50.0);
+  snap->p95_seconds = NearestRank(latencies, 95.0);
+  snap->p99_seconds = NearestRank(latencies, 99.0);
+}
+
+std::vector<WindowedMetrics::WindowSnapshot> WindowedMetrics::Windows()
+    const {
+  std::vector<WindowSnapshot> out;
+  out.reserve(windows_.size());
+  for (const auto& [index, window] : windows_) {
+    WindowSnapshot snap;
+    snap.index = index;
+    snap.cache_hits = window.cache_hits;
+    snap.slo_breaches = window.slo_breaches;
+    snap.max_queue_depth = window.max_queue_depth;
+    FillPercentiles(window.latencies, &snap);
+    snap.throughput_per_second =
+        static_cast<double>(snap.count) / width_;
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+WindowedMetrics::WindowSnapshot WindowedMetrics::Pooled() const {
+  WindowSnapshot snap;
+  std::vector<double> all;
+  all.reserve(total_count_);
+  for (const auto& [index, window] : windows_) {
+    all.insert(all.end(), window.latencies.begin(), window.latencies.end());
+    snap.cache_hits += window.cache_hits;
+    snap.slo_breaches += window.slo_breaches;
+    snap.max_queue_depth =
+        std::max(snap.max_queue_depth, window.max_queue_depth);
+  }
+  FillPercentiles(std::move(all), &snap);
+  if (!windows_.empty()) {
+    // Throughput over the observed span of whole windows.
+    const int64_t first = windows_.begin()->first;
+    const int64_t last = windows_.rbegin()->first;
+    const double span = static_cast<double>(last - first + 1) * width_;
+    snap.throughput_per_second = static_cast<double>(snap.count) / span;
+  }
+  return snap;
+}
+
+std::string WindowedMetrics::ToJson() const {
+  std::string out;
+  AppendF(&out, "{\"window_seconds\":%.9f,\"slo_seconds\":%.9f,"
+          "\"windows\":[", width_, slo_);
+  const std::vector<WindowSnapshot> windows = Windows();
+  for (size_t i = 0; i < windows.size(); ++i) {
+    const WindowSnapshot& w = windows[i];
+    AppendF(&out,
+            "%s{\"index\":%lld,\"count\":%" PRIu64 ",\"cache_hits\":%" PRIu64
+            ",\"slo_breaches\":%" PRIu64 ",\"max_queue_depth\":%" PRIu64
+            ",\"throughput\":%.6f,\"p50\":%.9f,\"p95\":%.9f,\"p99\":%.9f}",
+            i ? "," : "", static_cast<long long>(w.index), w.count,
+            w.cache_hits, w.slo_breaches, w.max_queue_depth,
+            w.throughput_per_second, w.p50_seconds, w.p95_seconds,
+            w.p99_seconds);
+  }
+  const WindowSnapshot pooled = Pooled();
+  AppendF(&out,
+          "],\"pooled\":{\"count\":%" PRIu64 ",\"cache_hits\":%" PRIu64
+          ",\"slo_breaches\":%" PRIu64 ",\"max_queue_depth\":%" PRIu64
+          ",\"throughput\":%.6f,\"p50\":%.9f,\"p95\":%.9f,\"p99\":%.9f}}\n",
+          pooled.count, pooled.cache_hits, pooled.slo_breaches,
+          pooled.max_queue_depth, pooled.throughput_per_second,
+          pooled.p50_seconds, pooled.p95_seconds, pooled.p99_seconds);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ProfileAggregator
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Aggregation key of a span: its name with the planner's per-query
+// " est=N" suffix stripped, so "scan <p> est=120" and "scan <p> est=7"
+// accumulate under one operator.
+std::string StrippedName(const SpanNode& span) {
+  std::string op;
+  uint64_t est = 0;
+  if (SplitEstimatedName(span.name, &op, &est)) return op;
+  return span.name;
+}
+
+}  // namespace
+
+void ProfileAggregator::FoldSpan(const SpanNode& span, Node* into) {
+  into->calls += 1;
+  into->incl_ns += ToNanos(span.vt_seconds());
+  into->excl_ns += ToNanos(span.ExclusiveVtSeconds());
+  into->rows_out += span.rows_out;
+  into->bytes += span.bytes();
+  into->seeks += span.seeks();
+  for (const auto& child : span.children) {
+    FoldSpan(*child, &into->children[StrippedName(*child)]);
+  }
+}
+
+void ProfileAggregator::AddSession(const TraceSession& session) {
+  ++sessions_;
+  FoldSpan(session.root(), &roots_[StrippedName(session.root())]);
+}
+
+void ProfileAggregator::MergeNode(const Node& from, Node* into) {
+  into->calls += from.calls;
+  into->incl_ns += from.incl_ns;
+  into->excl_ns += from.excl_ns;
+  into->rows_out += from.rows_out;
+  into->bytes += from.bytes;
+  into->seeks += from.seeks;
+  for (const auto& [name, child] : from.children) {
+    MergeNode(child, &into->children[name]);
+  }
+}
+
+void ProfileAggregator::MergeFrom(const ProfileAggregator& other) {
+  sessions_ += other.sessions_;
+  for (const auto& [name, node] : other.roots_) {
+    MergeNode(node, &roots_[name]);
+  }
+}
+
+std::vector<ProfileAggregator::OpStat> ProfileAggregator::TopOps(
+    size_t n) const {
+  // Sum every trie node into its operator name, independent of stack
+  // position.
+  std::map<std::string, OpStat> by_name;
+  struct Walker {
+    std::map<std::string, OpStat>* by_name;
+    void Walk(const std::string& name, const Node& node) {
+      OpStat& stat = (*by_name)[name];
+      stat.name = name;
+      stat.calls += node.calls;
+      stat.incl_ns += node.incl_ns;
+      stat.excl_ns += node.excl_ns;
+      stat.rows_out += node.rows_out;
+      stat.bytes += node.bytes;
+      stat.seeks += node.seeks;
+      for (const auto& [child_name, child] : node.children) {
+        Walk(child_name, child);
+      }
+    }
+  } walker{&by_name};
+  for (const auto& [name, node] : roots_) walker.Walk(name, node);
+
+  std::vector<OpStat> out;
+  out.reserve(by_name.size());
+  for (auto& [name, stat] : by_name) out.push_back(std::move(stat));
+  std::sort(out.begin(), out.end(), [](const OpStat& a, const OpStat& b) {
+    if (a.excl_ns != b.excl_ns) return a.excl_ns > b.excl_ns;
+    return a.name < b.name;
+  });
+  if (n > 0 && out.size() > n) out.resize(n);
+  return out;
+}
+
+std::string ProfileAggregator::TopOpsTable(size_t n) const {
+  std::string out;
+  AppendF(&out, "top operators (%" PRIu64 " profiles merged):\n", sessions_);
+  AppendF(&out, "%-40s %8s %12s %12s %12s %12s %8s\n", "operator", "calls",
+          "excl(ms)", "incl(ms)", "rows_out", "bytes", "seeks");
+  for (const OpStat& stat : TopOps(n)) {
+    std::string name = stat.name;
+    if (name.size() > 40) name.resize(40);
+    AppendF(&out,
+            "%-40s %8" PRIu64 " %12.3f %12.3f %12" PRIu64 " %12" PRIu64
+            " %8" PRIu64 "\n",
+            name.c_str(), stat.calls, stat.excl_ns / 1e6, stat.incl_ns / 1e6,
+            stat.rows_out, stat.bytes, stat.seeks);
+  }
+  return out;
+}
+
+std::string ProfileAggregator::CollapsedStacks() const {
+  // Flatten the trie into "a;b;c <excl_ns>" lines. std::map iteration
+  // gives lexicographic stack order for free.
+  std::string out;
+  struct Walker {
+    std::string* out;
+    void Walk(const std::string& stack, const Node& node) {
+      if (node.excl_ns > 0) {
+        AppendF(out, "%s %" PRIu64 "\n", stack.c_str(), node.excl_ns);
+      }
+      for (const auto& [name, child] : node.children) {
+        Walk(stack + ";" + name, child);
+      }
+    }
+  } walker{&out};
+  for (const auto& [name, node] : roots_) walker.Walk(name, node);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+
+Telemetry::Telemetry(TelemetryOptions options)
+    : options_(options),
+      windows_(options.window_seconds, options.slo_latency_seconds) {}
+
+void Telemetry::Record(QueryLogRecord record, const TraceSession* profile) {
+  if (record.text.size() > options_.max_text_bytes) {
+    record.text.resize(options_.max_text_bytes);
+  }
+  MutexLock lock(&mutex_);
+  windows_.Observe(record.vt_finish, record.latency_seconds,
+                   record.cache_hit, record.queue_depth);
+  if (profile != nullptr && profile->finished()) {
+    aggregator_.AddSession(*profile);
+  }
+  log_.push_back(std::move(record));
+}
+
+void Telemetry::MergeFrom(const Telemetry& other) {
+  // Snapshot the source under its own lock, release, then lock this
+  // bundle: two kTelemetry mutexes are never held together.
+  std::vector<QueryLogRecord> other_log;
+  WindowedMetrics other_windows(other.options_.window_seconds,
+                                other.options_.slo_latency_seconds);
+  ProfileAggregator other_aggregator;
+  {
+    MutexLock lock(&other.mutex_);
+    other_log = other.log_;
+    other_windows.MergeFrom(other.windows_);
+    other_aggregator.MergeFrom(other.aggregator_);
+  }
+  MutexLock lock(&mutex_);
+  log_.insert(log_.end(), std::make_move_iterator(other_log.begin()),
+              std::make_move_iterator(other_log.end()));
+  windows_.MergeFrom(other_windows);
+  aggregator_.MergeFrom(other_aggregator);
+}
+
+std::vector<QueryLogRecord> Telemetry::LogSnapshot() const {
+  MutexLock lock(&mutex_);
+  return log_;
+}
+
+std::string Telemetry::QueryLogJsonl(bool include_host_time) const {
+  MutexLock lock(&mutex_);
+  return obs::QueryLogJsonl(log_, include_host_time);
+}
+
+std::string Telemetry::WindowsJson() const {
+  MutexLock lock(&mutex_);
+  return windows_.ToJson();
+}
+
+WindowedMetrics::WindowSnapshot Telemetry::PooledWindow() const {
+  MutexLock lock(&mutex_);
+  return windows_.Pooled();
+}
+
+std::vector<WindowedMetrics::WindowSnapshot> Telemetry::Windows() const {
+  MutexLock lock(&mutex_);
+  return windows_.Windows();
+}
+
+std::vector<ProfileAggregator::OpStat> Telemetry::TopOps(size_t n) const {
+  MutexLock lock(&mutex_);
+  return aggregator_.TopOps(n);
+}
+
+std::string Telemetry::TopOpsTable(size_t n) const {
+  MutexLock lock(&mutex_);
+  return aggregator_.TopOpsTable(n);
+}
+
+std::string Telemetry::CollapsedStacks() const {
+  MutexLock lock(&mutex_);
+  return aggregator_.CollapsedStacks();
+}
+
+uint64_t Telemetry::records() const {
+  MutexLock lock(&mutex_);
+  return log_.size();
+}
+
+}  // namespace swan::obs

@@ -22,6 +22,10 @@ struct AdmissionOptions {
 struct Ticket {
   uint64_t ticket = 0;          // submission id, 1-based, gapless
   uint64_t dispatch_index = 0;  // assigned by the service at dispatch
+  // Admitted-but-undispatched requests remaining the moment this ticket
+  // was picked — captured at dispatch (under the scheduler mutex) so the
+  // query log never reads admission state from under the turnstile.
+  uint64_t queue_depth = 0;
   Session* session = nullptr;
   int priority = 0;  // effective: session priority + request offset
   Request request;

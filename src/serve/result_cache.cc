@@ -33,12 +33,12 @@ std::optional<ResultPayload> ResultCache::Get(const std::string& text,
   return it->second->payload;
 }
 
-void ResultCache::Put(const std::string& text, uint64_t version,
-                      const ResultPayload& payload) {
+size_t ResultCache::Put(const std::string& text, uint64_t version,
+                        const ResultPayload& payload) {
   std::string key = KeyOf(text, version);
   const uint64_t entry_bytes = key.size() + payload.ApproxBytes();
   MutexLock lock(&mutex_);
-  if (entry_bytes > options_.max_bytes) return;  // would evict everything
+  if (entry_bytes > options_.max_bytes) return 0;  // would evict everything
   const auto it = index_.find(key);
   if (it != index_.end()) {
     bytes_ -= it->second->bytes;
@@ -51,10 +51,11 @@ void ResultCache::Put(const std::string& text, uint64_t version,
     index_.emplace(std::move(key), lru_.begin());
     bytes_ += entry_bytes;
   }
-  EvictToBudgetLocked();
+  return EvictToBudgetLocked();
 }
 
-void ResultCache::EvictToBudgetLocked() {
+size_t ResultCache::EvictToBudgetLocked() {
+  size_t evicted = 0;
   while (bytes_ > options_.max_bytes) {
     SWAN_CHECK(!lru_.empty());
     const Entry& victim = lru_.back();
@@ -62,7 +63,9 @@ void ResultCache::EvictToBudgetLocked() {
     index_.erase(victim.key);
     lru_.pop_back();
     evictions_->Add(1);
+    ++evicted;
   }
+  return evicted;
 }
 
 void ResultCache::InvalidateOlderThan(uint64_t version) {

@@ -48,8 +48,11 @@ class ResultCache {
 
   // Caches the payload under (text, version), evicting from the LRU tail
   // until the byte budget holds. Re-putting an existing key refreshes it.
-  void Put(const std::string& text, uint64_t version,
-           const ResultPayload& payload) SWAN_EXCLUDES(mutex_);
+  // Returns the number of entries evicted by this insertion, so the
+  // caller can attribute evictions to the session whose Put caused them
+  // (the serve.cache.* counters stay registry-global).
+  size_t Put(const std::string& text, uint64_t version,
+             const ResultPayload& payload) SWAN_EXCLUDES(mutex_);
 
   // Drops every entry computed before `version` — the write-path
   // coherence hook (counted under serve.cache.invalidations).
@@ -75,7 +78,7 @@ class ResultCache {
 
   static std::string KeyOf(const std::string& text, uint64_t version);
 
-  void EvictToBudgetLocked() SWAN_REQUIRES(mutex_);
+  size_t EvictToBudgetLocked() SWAN_REQUIRES(mutex_);
 
   CacheOptions options_;
   obs::Counter* hits_;

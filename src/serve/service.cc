@@ -31,6 +31,7 @@ QueryService::QueryService(core::RdfStore* store,
     : store_(store),
       bench_ctx_(std::move(bench_ctx)),
       options_(options),
+      telemetry_(options.telemetry),
       admission_(AdmissionOptions{options.max_queue}) {
   SWAN_CHECK(store_ != nullptr);
   SWAN_CHECK(options_.workers >= 1);
@@ -58,7 +59,8 @@ Result<Session*> QueryService::OpenSession(const std::string& label,
                                            int priority, int threads) {
   MutexLock lock(&mutex_);
   if (threads <= 0) threads = options_.default_session_threads;
-  Session* session = sessions_.Open(label, priority, threads);
+  Session* session =
+      sessions_.Open(label, priority, threads, options_.telemetry);
   if (session == nullptr) {
     return Status::AlreadyExists("session '" + label + "' already open");
   }
@@ -164,6 +166,11 @@ void QueryService::WorkerLoop() {
       if (stopping_) return;
       ticket = admission_.PickNext();
       ticket.dispatch_index = dispatch_counter_++;
+      // Queue depth is captured here, under the scheduler mutex: with the
+      // submit-all-then-Start() protocol it is a pure function of the
+      // dispatch index, so the query log stays byte-identical at any
+      // worker count.
+      ticket.queue_depth = admission_.queued();
       ++in_flight_;
     }
 
@@ -198,10 +205,29 @@ Completion QueryService::Execute(Ticket ticket) {
   MutexLock turn(&turn_mutex_);
   while (exec_turn_ != ticket.dispatch_index) turn_cv_.Wait(turn);
 
+  // One query-log record per executed request, built under the turnstile
+  // so its deterministic surface (virtual times, counters, cache state)
+  // reads one consistent point of the dispatch-order state evolution.
+  obs::QueryLogRecord record;
+  record.seq = ticket.dispatch_index;
+  record.session = ticket.session->id();
+  record.kind = ToString(ticket.request.kind);
+  record.backend = store_->name();
+  record.queue_depth = ticket.queue_depth;
+  record.vt_start = store_->backend().disk()->clock().now() - trace_clock0_;
+  // The virtual clock does not advance while a request queues, so its
+  // wait is the virtual time from the batch epoch (Start()) to execution.
+  record.queue_wait_seconds = record.vt_start;
+  std::shared_ptr<obs::TraceSession> profile_session;
+
   obs::MetricsRegistry& session_metrics = ticket.session->metrics();
   switch (ticket.request.kind) {
     case Request::Kind::kInsert:
     case Request::Kind::kDelete: {
+      record.text = std::string(ToString(ticket.request.kind)) + " " +
+                    std::to_string(ticket.request.triple.subject) + " " +
+                    std::to_string(ticket.request.triple.property) + " " +
+                    std::to_string(ticket.request.triple.object);
       CpuTimer timer;
       completion.status = ticket.request.kind == Request::Kind::kInsert
                               ? store_->Insert(ticket.request.triple)
@@ -212,17 +238,40 @@ Completion QueryService::Execute(Ticket ticket) {
       }
       completion.service_seconds =
           timer.ElapsedSeconds() + options_.request_overhead_seconds;
+      // A write touches no simulated disk; its deterministic latency is
+      // the fixed handling overhead.
+      record.latency_seconds = options_.request_overhead_seconds;
       session_metrics.GetCounter("session.writes")->Add(1);
       break;
     }
     case Request::Kind::kBench:
     case Request::Kind::kSparql:
-      RunQueryTicket(ticket, &completion);
+      RunQueryTicket(ticket, &completion, &record, &profile_session);
       break;
   }
   session_metrics.GetCounter("session.completed")->Add(1);
   session_metrics.GetCounter("session.rows")->Add(
       completion.result.rows.size());
+
+  record.text_hash = obs::Fnv1a64(record.text);
+  record.ok = completion.status.ok();
+  if (!record.ok) record.error = completion.status.message();
+  record.cache_hit = completion.cache_hit;
+  record.snapshot_version = completion.snapshot_version;
+  record.rows = completion.result.rows.size();
+  record.vt_finish = store_->backend().disk()->clock().now() - trace_clock0_;
+  record.service_seconds = completion.service_seconds;
+  record.session_cache_hits =
+      session_metrics.GetCounter("session.cache_hits")->value();
+  record.session_cache_misses =
+      session_metrics.GetCounter("session.cache_misses")->value();
+  record.session_cache_evictions =
+      session_metrics.GetCounter("session.cache_evictions")->value();
+
+  // kTelemetry ranks below the turnstile, and two bundles never nest —
+  // each Record locks one bundle at a time.
+  ticket.session->telemetry().Record(record, profile_session.get());
+  telemetry_.Record(std::move(record), profile_session.get());
 
   ++exec_turn_;
   turn.Unlock();
@@ -231,11 +280,15 @@ Completion QueryService::Execute(Ticket ticket) {
 }
 
 void QueryService::RunQueryTicket(const Ticket& ticket,
-                                  Completion* completion) {
+                                  Completion* completion,
+                                  obs::QueryLogRecord* record,
+                                  std::shared_ptr<obs::TraceSession>*
+                                      profile_out) {
   core::Backend& backend = store_->backend();
   const uint64_t version = store_->snapshot_version();
   completion->snapshot_version = version;
   const std::string cache_text = CacheText(ticket.request);
+  record->text = cache_text;
 
   if (cache_ != nullptr) {
     std::optional<ResultPayload> hit = cache_->Get(cache_text, version);
@@ -243,21 +296,29 @@ void QueryService::RunQueryTicket(const Ticket& ticket,
       completion->result = std::move(*hit);
       completion->cache_hit = true;
       completion->service_seconds = options_.request_overhead_seconds;
+      // A hit never touches the backend: deterministic latency is the
+      // handling overhead alone.
+      record->latency_seconds = options_.request_overhead_seconds;
       ticket.session->metrics().GetCounter("session.cache_hits")->Add(1);
       return;
     }
+    ticket.session->metrics().GetCounter("session.cache_misses")->Add(1);
   }
 
-  std::unique_ptr<core::ScopedProfile> profile;
-  double trace_offset = 0.0;
-  if (options_.trace) {
-    trace_offset = backend.disk()->clock().now() - trace_clock0_;
-    profile = std::make_unique<core::ScopedProfile>(
-        ToString(ticket.request.kind) +
-            std::string(" #") + std::to_string(ticket.ticket),
-        backend, ticket.session->ectx());
-  }
+  // Profiling is always on: the fleet aggregator needs every executed
+  // query's span tree, and span bookkeeping never advances the virtual
+  // clock, so the modeled figures are unchanged. The Chrome-trace record
+  // (one track per session) is kept only under options.trace.
+  const double trace_offset = backend.disk()->clock().now() - trace_clock0_;
+  auto profile = std::make_unique<core::ScopedProfile>(
+      ToString(ticket.request.kind) +
+          std::string(" #") + std::to_string(ticket.ticket),
+      backend, ticket.session->ectx());
 
+  const exec::OpCounters::Snapshot counters_before =
+      ticket.session->ectx().counters().Snap();
+  const uint64_t disk_bytes_before = backend.disk()->total_bytes_read();
+  const uint64_t disk_seeks_before = backend.disk()->total_seeks();
   const std::vector<double> lanes_before = exec::LaneCpuSnapshot();
   CpuTimer timer;
   const double io_before = backend.disk()->clock().now();
@@ -283,6 +344,7 @@ void QueryService::RunQueryTicket(const Ticket& ticket,
     if (!output.ok()) {
       completion->status = output.status();
     } else {
+      record->plan_mode = output.value().plan_note;
       completion->result.column_names = std::move(output.value().vars);
       completion->result.rows.reserve(output.value().rows.size());
       for (sparql::Row& row : output.value().rows) {
@@ -298,16 +360,37 @@ void QueryService::RunQueryTicket(const Ticket& ticket,
   completion->service_seconds =
       modeled_cpu + io + options_.request_overhead_seconds;
 
-  if (profile != nullptr) {
-    std::shared_ptr<obs::TraceSession> session =
-        profile->FinishWithCpu(modeled_cpu);
+  record->io_seconds = io;
+  record->latency_seconds = io + options_.request_overhead_seconds;
+  record->cpu_seconds = modeled_cpu;
+  record->bytes_read = backend.disk()->total_bytes_read() - disk_bytes_before;
+  record->seeks = backend.disk()->total_seeks() - disk_seeks_before;
+  const exec::OpCounters::Snapshot counters_after =
+      ticket.session->ectx().counters().Snap();
+  record->match_calls = counters_after.match_calls - counters_before.match_calls;
+  record->morsels = counters_after.morsels - counters_before.morsels;
+  record->bgp_batches = counters_after.bgp_batches - counters_before.bgp_batches;
+  record->star_gathers =
+      counters_after.star_gathers - counters_before.star_gathers;
+
+  std::shared_ptr<obs::TraceSession> session =
+      profile->FinishWithCpu(modeled_cpu);
+  record->ops = obs::CollectEstimatedOps(session->root());
+  if (options_.trace) {
     // Already under turn_mutex_ (held across the whole execution).
     traces_.push_back(
-        TraceRecord{ticket.session->id(), std::move(session), trace_offset});
+        TraceRecord{ticket.session->id(), session, trace_offset});
   }
+  *profile_out = std::move(session);
 
   if (completion->status.ok() && cache_ != nullptr) {
-    cache_->Put(cache_text, version, completion->result);
+    const size_t evicted =
+        cache_->Put(cache_text, version, completion->result);
+    if (evicted > 0) {
+      ticket.session->metrics()
+          .GetCounter("session.cache_evictions")
+          ->Add(evicted);
+    }
   }
 }
 

@@ -14,6 +14,8 @@
 #include "core/store.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/querylog.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "serve/admission.h"
 #include "serve/request.h"
@@ -37,12 +39,16 @@ struct ServiceOptions {
   // marshaling) charged to every completion — the whole service cost of a
   // cache hit.
   double request_overhead_seconds = 1e-4;
-  // Attach a core::ScopedProfile to every executed (non-cache-hit) query
-  // so each session's requests land on their own Chrome-trace track
-  // group (see SessionTracks).
+  // Keep the per-request Chrome-trace records (SessionTracks). Profiling
+  // itself is always on — every executed (non-cache-hit) query runs under
+  // a core::ScopedProfile so the fleet telemetry sees its span tree; this
+  // flag only controls whether the raw per-request traces are retained.
   bool trace = false;
   // ExecContext width for sessions that do not ask for one explicitly.
   int default_session_threads = 1;
+  // Fleet-telemetry knobs (window width, SLO threshold, text truncation),
+  // shared by the service-global bundle and every session's bundle.
+  obs::TelemetryOptions telemetry;
 };
 
 // The concurrent query service: sessions submit requests, a bounded
@@ -122,6 +128,12 @@ class QueryService {
       SWAN_EXCLUDES(turn_mutex_);
 
   obs::MetricsRegistry& metrics() { return metrics_; }
+  // The service-global fleet-telemetry bundle: the structured query log
+  // (one record per executed request, in dispatch order), the windowed
+  // latency metrics on the virtual clock, and the cross-query profile
+  // aggregator. Per-session slices live on each Session.
+  obs::Telemetry& telemetry() { return telemetry_; }
+  const obs::Telemetry& telemetry() const { return telemetry_; }
   ResultCache* cache() { return cache_.get(); }
   core::RdfStore* store() { return store_; }
   const ServiceOptions& options() const { return options_; }
@@ -138,13 +150,16 @@ class QueryService {
 
   void WorkerLoop() SWAN_EXCLUDES(mutex_, turn_mutex_);
   Completion Execute(Ticket ticket) SWAN_EXCLUDES(turn_mutex_);
-  void RunQueryTicket(const Ticket& ticket, Completion* completion)
+  void RunQueryTicket(const Ticket& ticket, Completion* completion,
+                      obs::QueryLogRecord* record,
+                      std::shared_ptr<obs::TraceSession>* profile_out)
       SWAN_REQUIRES(turn_mutex_);
 
   core::RdfStore* store_;
   std::optional<core::QueryContext> bench_ctx_;
   ServiceOptions options_;
   obs::MetricsRegistry metrics_;
+  obs::Telemetry telemetry_;
   std::unique_ptr<ResultCache> cache_;
   uint64_t audit_hook_token_ = 0;
 

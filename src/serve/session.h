@@ -9,6 +9,7 @@
 
 #include "exec/exec_context.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 
 namespace swan::serve {
 
@@ -21,6 +22,10 @@ namespace swan::serve {
 //   * its metrics registry — submitted/completed/rejected/cache-hit/row
 //     counters accumulate per client, isolated from the service-level
 //     registry;
+//   * its telemetry bundle — the per-client slice of the fleet query log
+//     and windowed metrics, alongside the service-global bundle (the
+//     registry-global serve.cache.* counters stay global; per-session
+//     cache visibility rides the query-log records instead);
 //   * a deterministic identity: sessions are numbered 1, 2, ... in open
 //     order, so the id ("s<seq>:<label>") and every tie-break keyed on
 //     the sequence number replay identically run to run.
@@ -30,12 +35,14 @@ namespace swan::serve {
 // lives in the AdmissionController.
 class Session {
  public:
-  Session(uint64_t seq, std::string label, int priority, int threads)
+  Session(uint64_t seq, std::string label, int priority, int threads,
+          obs::TelemetryOptions telemetry = {})
       : seq_(seq),
         label_(std::move(label)),
         id_("s" + std::to_string(seq) + ":" + label_),
         priority_(priority),
-        ectx_(threads) {}
+        ectx_(threads),
+        telemetry_(telemetry) {}
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
@@ -48,6 +55,8 @@ class Session {
   const exec::ExecContext& ectx() const { return ectx_; }
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
+  obs::Telemetry& telemetry() { return telemetry_; }
+  const obs::Telemetry& telemetry() const { return telemetry_; }
 
  private:
   uint64_t seq_;
@@ -56,6 +65,7 @@ class Session {
   int priority_;
   exec::ExecContext ectx_;
   obs::MetricsRegistry metrics_;
+  obs::Telemetry telemetry_;
 };
 
 // Owns the sessions of one service, in open order. Labels are unique
@@ -64,11 +74,13 @@ class Session {
 // mutex, tests drive it single-threaded.
 class SessionManager {
  public:
-  Session* Open(std::string label, int priority, int threads) {
+  Session* Open(std::string label, int priority, int threads,
+                obs::TelemetryOptions telemetry = {}) {
     if (Find(label) != nullptr) return nullptr;
     const uint64_t seq = static_cast<uint64_t>(sessions_.size()) + 1;
     sessions_.push_back(std::make_unique<Session>(seq, std::move(label),
-                                                  priority, threads));
+                                                  priority, threads,
+                                                  telemetry));
     return sessions_.back().get();
   }
 

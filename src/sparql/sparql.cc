@@ -902,6 +902,7 @@ Result<QueryOutput> Execute(const core::Backend& backend,
 
   QueryOutput output;
   output.vars = projection;
+  output.plan_note = physical.mode_note;
 
   SWAN_ASSIGN_OR_RETURN(core::BgpResult bgp,
                         core::ExecutePlan(backend, physical, ectx));

@@ -133,6 +133,9 @@ struct Row {
 struct QueryOutput {
   std::vector<std::string> vars;
   std::vector<Row> rows;
+  // The planner's mode note for the executed physical plan (e.g.
+  // "cost-based (sampled statistics)") — surfaced into the query log.
+  std::string plan_note;
 };
 
 // Parses and runs `query` against `backend`, decoding results through the

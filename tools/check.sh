@@ -179,6 +179,20 @@ if [ "$run_asan" -eq 1 ]; then
     echo "serve smoke: FAILURES"
     failures=$((failures + 1))
   fi
+
+  echo "== querylog smoke (fleet telemetry JSONL + collapsed stacks) =="
+  QUERYLOG_JSONL="$ASAN_BUILD/querylog-smoke.jsonl"
+  QUERYLOG_FOLDED="$ASAN_BUILD/querylog-smoke.folded"
+  if "$ASAN_BUILD/tools/swandb_shell" --generate 20000 \
+       --serve "$SERVE_SCRIPT" --querylog="$QUERYLOG_JSONL" \
+       --flamegraph="$QUERYLOG_FOLDED" >/dev/null &&
+     python3 "$REPO_ROOT/tools/validate_querylog.py" \
+       "$QUERYLOG_JSONL" "$QUERYLOG_FOLDED"; then
+    echo "querylog smoke: clean"
+  else
+    echo "querylog smoke: FAILURES"
+    failures=$((failures + 1))
+  fi
 fi
 
 if [ "$run_tsan" -eq 1 ]; then

@@ -63,6 +63,39 @@ case "$mode" in
         --profile="$RELEASE_DIR/serve-smoke.json" >/dev/null &&
       python3 "$REPO_ROOT/tools/validate_trace.py" \
         "$RELEASE_DIR/serve-smoke.json"; } || status=1
+    # Querylog smoke: the same serve script must leave a schema-valid
+    # structured query log and collapsed flamegraph stacks, and the
+    # replay must be byte-reproducible run to run.
+    echo "=== release: querylog smoke ==="
+    { "$RELEASE_DIR/tools/swandb_shell" --generate 20000 \
+        --serve "$RELEASE_DIR/serve-smoke.serve" \
+        --querylog="$RELEASE_DIR/querylog-smoke.jsonl" \
+        --flamegraph="$RELEASE_DIR/querylog-smoke.folded" >/dev/null &&
+      "$RELEASE_DIR/tools/swandb_shell" --generate 20000 \
+        --serve "$RELEASE_DIR/serve-smoke.serve" \
+        --querylog="$RELEASE_DIR/querylog-smoke-2.jsonl" >/dev/null &&
+      cmp "$RELEASE_DIR/querylog-smoke.jsonl" \
+        "$RELEASE_DIR/querylog-smoke-2.jsonl" &&
+      python3 "$REPO_ROOT/tools/validate_querylog.py" \
+        "$RELEASE_DIR/querylog-smoke.jsonl" \
+        "$RELEASE_DIR/querylog-smoke.folded"; } || status=1
+    # Bench JSON smoke: --json emission must be schema-stable enough for
+    # the validator-adjacent consumers (a dict with the fixed cell keys).
+    echo "=== release: bench json smoke ==="
+    { SWAN_TRIPLES=20000 SWAN_REPS=1 \
+        "$RELEASE_DIR/bench/serve_throughput" \
+        --json="$RELEASE_DIR/BENCH_serve_throughput.json" >/dev/null &&
+      python3 -c "
+import json, sys
+doc = json.load(open('$RELEASE_DIR/BENCH_serve_throughput.json'))
+assert doc['bench'] == 'serve_throughput', doc
+assert doc['workloads'], 'no workloads'
+for backend_map in doc['workloads'].values():
+    for cell in backend_map.values():
+        assert set(cell) == {'cold_bytes', 'modeled_seconds', 'speedup'}, cell
+assert doc.get('telemetry_reconciled') is True, doc
+print('bench json smoke: OK')
+"; } || status=1
     # Codec-equivalence smoke: the compression ablation verifies every
     # codec against the row reference on all 12 queries and gates on the
     # cold-bytes reduction, at a scale small enough for CI.

@@ -1,0 +1,39 @@
+// swan-lint-corpus-path: src/serve/bad_telemetry.cc
+// swan-lint corpus: the serve and obs layers must never print — every
+// observation flows through the structured telemetry surface (query log,
+// metrics registry, trace exporters). Buffer formatting (snprintf,
+// vsnprintf) and the printf format *attribute* stay allowed: that is how
+// the exporters themselves are built.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+namespace corpus {
+
+#if defined(__GNUC__)
+__attribute__((format(printf, 1, 2)))  // attribute alone must not fire
+#endif
+void AppendF(const char* fmt, ...);
+
+void ReportCompletion(int ticket, double seconds) {
+  std::printf("ticket %d done in %fs\n", ticket, seconds);  // expect(serve-telemetry)
+  fprintf(stderr, "ticket %d\n", ticket);  // expect(serve-telemetry)
+  puts("done");  // expect(serve-telemetry)
+  std::cout << "ticket " << ticket << "\n";  // expect(serve-telemetry)
+  std::cerr << "oops";  // expect(serve-telemetry)
+}
+
+std::string FormatCompletion(int ticket) {
+  // Formatting into a buffer is the sanctioned exporter idiom: no finding.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "ticket %d", ticket);
+  return buf;
+}
+
+void SanctionedEscapeHatch(int ticket) {
+  // swan-lint: allow(serve-telemetry)
+  std::printf("debug: %d\n", ticket);
+}
+
+}  // namespace corpus

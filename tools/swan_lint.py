@@ -28,6 +28,13 @@ Enforces repo-specific rules that clang-tidy cannot express:
                     other layer goes through plan::Optimize /
                     plan::OptimizeBgp (or core::ExecuteBgp), so join
                     ordering decisions stay in one place.
+  serve-telemetry   No ad-hoc stdout/stderr telemetry (printf, fprintf,
+                    puts, std::cout, std::cerr) inside src/serve/ or
+                    src/obs/: those layers report through the structured
+                    observability surface (query log, metrics registry,
+                    trace exporters), never by printing. Formatting into
+                    buffers/strings (snprintf, vsnprintf) stays allowed —
+                    that is how the exporters are built.
 
 Suppression: append `// swan-lint: allow(<rule>)` to the offending line,
 or place it alone on the line directly above. Suppressions are per-rule;
@@ -61,7 +68,12 @@ RULES = [
     "include-locks",
     "ops-column-get",
     "plan-order",
+    "serve-telemetry",
 ]
+
+# Layers that must never print: everything they observe flows through the
+# structured telemetry surface.
+SERVE_TELEMETRY_PREFIXES = ("src/serve/", "src/obs/")
 
 # Files where Column::Get() is banned: the encoded kernels. Decoding is
 # the caller's decision at projection time, never the kernel's.
@@ -92,6 +104,13 @@ EXEC_THREADS_RE = re.compile(r"\bexec::Threads\s*\(")
 COLUMN_GET_RE = re.compile(r"(?:\.|->)\s*Get\s*\(")
 CONST_CAST_RE = re.compile(r"\bconst_cast\s*<")
 PLAN_ORDER_RE = re.compile(r"\bPlanPatternOrder\s*\(")
+# Direct stream output only: snprintf/vsnprintf (buffer formatting) do not
+# match — `\b` cannot split the identifier — and neither does the
+# `format(printf, ...)` attribute (no opening paren after the name).
+SERVE_TELEMETRY_RE = re.compile(
+    r"\b(?:std::)?(?:printf|fprintf|puts|fputs)\s*\("
+    r"|\bstd::(?:cout|cerr)\b"
+)
 SUPPRESS_RE = re.compile(r"//\s*swan-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 EXPECT_RE = re.compile(r"//\s*expect\(([a-z-]+)\)")
 CORPUS_PATH_RE = re.compile(r"^//\s*swan-lint-corpus-path:\s*(\S+)")
@@ -313,6 +332,13 @@ def lint_file(path, display_path, lines, status_names):
             report(idx, "ops-column-get",
                    "encoded kernels must not call Column::Get(); operate on "
                    "the encoded rep and decompress only at projection")
+
+        if (display_path.startswith(SERVE_TELEMETRY_PREFIXES)
+                and SERVE_TELEMETRY_RE.search(code)):
+            report(idx, "serve-telemetry",
+                   "ad-hoc stdout/stderr telemetry in the serve/obs layers; "
+                   "report through the query log, the metrics registry, or "
+                   "a trace exporter instead")
 
         for name in status_names:
             if name in code and find_bare_call(lines, idx, name):

@@ -36,6 +36,17 @@
 // Interactively, prefixing a single query with `profile ` does the same
 // for just that query.
 //
+// Fleet telemetry is always on: every executed query (interactive, --query,
+// --file, and every request of a --serve run) lands in a shell-level
+// telemetry bundle — a structured query log, windowed latency percentiles
+// on the virtual clock, and a cross-query profile aggregator.
+//   stats;            prints the windowed-metrics JSON snapshot
+//   querylog [FILE];  prints (or writes) the query log as JSON lines
+//   topops [FILE];    prints the cumulative top-operators table (and
+//                     writes collapsed flamegraph stacks to FILE)
+// --querylog=FILE / --flamegraph=FILE write the query-log JSONL and the
+// collapsed stacks on exit.
+//
 //   $ ./build/tools/swandb_shell --generate 100000
 //         --query 'SELECT ?s WHERE { ?s <type> <Text> } LIMIT 5'
 
@@ -54,6 +65,8 @@
 #include "core/store.h"
 #include "exec/exec_context.h"
 #include "obs/export.h"
+#include "obs/querylog.h"
+#include "obs/telemetry.h"
 #include "rdf/ntriples.h"
 #include "serve/script.h"
 #include "serve/service.h"
@@ -66,6 +79,8 @@ struct ShellOptions {
   bool audit = false;
   bool profile = false;
   std::string profile_path;  // Chrome trace destination; empty = text only
+  std::string querylog_path;    // query-log JSONL written on exit
+  std::string flamegraph_path;  // collapsed stacks written on exit
   std::string scheme = "vertical";
   std::string engine = "column";
   std::string clustering = "pso";
@@ -86,7 +101,8 @@ void PrintUsage() {
       "                    [--generate N | --load FILE.nt]\n"
       "                    [--query 'SPARQL' | --file QUERIES.rq |\n"
       "                     --serve SCRIPT]\n"
-      "                    [--profile[=FILE]] [--audit]\n");
+      "                    [--profile[=FILE]] [--audit]\n"
+      "                    [--querylog=FILE] [--flamegraph=FILE]\n");
 }
 
 bool ParseArgs(int argc, char** argv, ShellOptions* options) {
@@ -123,6 +139,14 @@ bool ParseArgs(int argc, char** argv, ShellOptions* options) {
     } else if (arg.rfind("--profile=", 0) == 0) {
       options->profile = true;
       options->profile_path = arg.substr(std::strlen("--profile="));
+    } else if (arg == "--querylog" && (value = next())) {
+      options->querylog_path = value;
+    } else if (arg.rfind("--querylog=", 0) == 0) {
+      options->querylog_path = arg.substr(std::strlen("--querylog="));
+    } else if (arg == "--flamegraph" && (value = next())) {
+      options->flamegraph_path = value;
+    } else if (arg.rfind("--flamegraph=", 0) == 0) {
+      options->flamegraph_path = arg.substr(std::strlen("--flamegraph="));
     } else if (arg == "--audit") {
       options->audit = true;
     } else {
@@ -171,12 +195,81 @@ std::string Trimmed(const std::string& text) {
   return text.substr(begin, end - begin + 1);
 }
 
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+// `stats;` — the windowed-metrics snapshot of the shell's telemetry.
+int RunStats(const swan::obs::Telemetry& fleet) {
+  std::printf("%s", fleet.WindowsJson().c_str());
+  std::printf("-- %llu query-log records\n\n",
+              static_cast<unsigned long long>(fleet.records()));
+  return 0;
+}
+
+// `querylog [FILE];` — the structured query log as JSON lines. To a file
+// the export is the byte-reproducible deterministic surface; on the
+// terminal the host-time fields are included for interactive reading.
+int RunQuerylog(const swan::obs::Telemetry& fleet, const std::string& path) {
+  if (path.empty()) {
+    std::printf("%s", fleet.QueryLogJsonl(/*include_host_time=*/true).c_str());
+    return 0;
+  }
+  if (!WriteTextFile(path, fleet.QueryLogJsonl(/*include_host_time=*/false))) {
+    return 1;
+  }
+  std::fprintf(stderr, "wrote query log to %s\n", path.c_str());
+  return 0;
+}
+
+// `topops [FILE];` — cumulative top-operators table across every profiled
+// query; FILE additionally receives the collapsed flamegraph stacks.
+int RunTopOps(const swan::obs::Telemetry& fleet, const std::string& path) {
+  std::printf("%s\n", fleet.TopOpsTable(10).c_str());
+  if (!path.empty()) {
+    if (!WriteTextFile(path, fleet.CollapsedStacks())) return 1;
+    std::fprintf(stderr, "wrote collapsed stacks to %s\n", path.c_str());
+  }
+  return 0;
+}
+
+// Exit-time dump of the --querylog / --flamegraph destinations.
+int DumpTelemetry(const swan::obs::Telemetry& fleet,
+                  const ShellOptions& options) {
+  int status = 0;
+  if (!options.querylog_path.empty()) {
+    if (WriteTextFile(options.querylog_path,
+                      fleet.QueryLogJsonl(/*include_host_time=*/false))) {
+      std::fprintf(stderr, "wrote query log to %s\n",
+                   options.querylog_path.c_str());
+    } else {
+      status = 1;
+    }
+  }
+  if (!options.flamegraph_path.empty()) {
+    if (WriteTextFile(options.flamegraph_path, fleet.CollapsedStacks())) {
+      std::fprintf(stderr, "wrote collapsed stacks to %s\n",
+                   options.flamegraph_path.c_str());
+    } else {
+      status = 1;
+    }
+  }
+  return status;
+}
+
 // Replays a serve script through the concurrent query service: prints
 // every completion, the modeled throughput/latency summary, and the
 // result-cache counters. With --profile=FILE the per-session Chrome
 // trace (one process track per session) is written to FILE.
 int RunServe(swan::core::RdfStore* store, const swan::rdf::Dataset& dataset,
-             const std::string& path, const ShellOptions& options) {
+             const std::string& path, const ShellOptions& options,
+             swan::obs::Telemetry* fleet) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -253,17 +346,35 @@ int RunServe(swan::core::RdfStore* store, const swan::rdf::Dataset& dataset,
                  options.profile_path.c_str());
   }
   service.Stop();
+  // Fold the service's fleet telemetry (one record per executed request,
+  // dispatch order) into the shell-level bundle so `stats;`, `querylog;`
+  // and the exit-time dumps see serve traffic too.
+  fleet->MergeFrom(service.telemetry());
   return status;
 }
 
 int RunQuery(swan::core::RdfStore& store,
              const swan::rdf::Dataset& dataset, const std::string& query,
-             const ShellOptions& options) {
+             const ShellOptions& options, swan::obs::Telemetry* fleet) {
   const std::string trimmed = Trimmed(query);
   if (trimmed == "audit") return RunAudit(store);
   if (trimmed.rfind("serve ", 0) == 0) {
     return RunServe(&store, dataset,
-                    Trimmed(trimmed.substr(std::strlen("serve "))), options);
+                    Trimmed(trimmed.substr(std::strlen("serve "))), options,
+                    fleet);
+  }
+  if (trimmed == "stats") return RunStats(*fleet);
+  if (trimmed == "querylog" || trimmed.rfind("querylog ", 0) == 0) {
+    return RunQuerylog(*fleet, trimmed == "querylog"
+                                   ? ""
+                                   : Trimmed(trimmed.substr(
+                                         std::strlen("querylog "))));
+  }
+  if (trimmed == "topops" || trimmed.rfind("topops ", 0) == 0) {
+    return RunTopOps(*fleet, trimmed == "topops"
+                                 ? ""
+                                 : Trimmed(trimmed.substr(
+                                       std::strlen("topops "))));
   }
   bool profile = options.profile;
   bool explain = options.explain;
@@ -284,20 +395,51 @@ int RunQuery(swan::core::RdfStore& store,
   }
   if (explain) ExplainQuery(store, dataset, text);
   const swan::exec::ExecContext ectx;
-  std::unique_ptr<swan::core::ScopedProfile> scoped;
-  if (profile) {
-    scoped = std::make_unique<swan::core::ScopedProfile>(
-        "query", store.backend(), ectx);
-  }
+  // Profiling is always on so the fleet telemetry gets operator-level
+  // estimated-vs-actual cardinalities for every query; the `profile` flag
+  // only controls whether the text profile is *printed*.
+  swan::core::ScopedProfile scoped("query", store.backend(), ectx);
   swan::CpuTimer timer;
   const double io_before = store.backend().disk()->clock().now();
+  const uint64_t bytes_before = store.backend().disk()->total_bytes_read();
+  const uint64_t seeks_before = store.backend().disk()->total_seeks();
   auto result = swan::sparql::Execute(store.backend(), dataset, text, ectx,
                                       &store.stats());
   const double user = timer.ElapsedSeconds();
-  const double real =
-      user + (store.backend().disk()->clock().now() - io_before);
-  std::shared_ptr<swan::obs::TraceSession> session;
-  if (scoped != nullptr) session = scoped->Finish();
+  const double io_after = store.backend().disk()->clock().now();
+  const double real = user + (io_after - io_before);
+  std::shared_ptr<swan::obs::TraceSession> session = scoped.Finish();
+
+  // One structured query-log record per executed query. The latency on the
+  // deterministic surface is the virtual-disk delta; host CPU rides along
+  // in the host-time fields only.
+  swan::obs::QueryLogRecord record;
+  record.seq = fleet->records();
+  record.session = "shell";
+  record.kind = "sparql";
+  record.text = swan::sparql::CanonicalQueryText(text);
+  record.text_hash = swan::obs::Fnv1a64(record.text);
+  record.backend = store.name();
+  record.ok = result.ok();
+  if (!result.ok()) record.error = result.status().message();
+  record.snapshot_version = store.snapshot_version();
+  record.vt_start = io_before;
+  record.vt_finish = io_after;
+  record.io_seconds = io_after - io_before;
+  record.latency_seconds = record.io_seconds;
+  record.bytes_read = store.backend().disk()->total_bytes_read() - bytes_before;
+  record.seeks = store.backend().disk()->total_seeks() - seeks_before;
+  record.cpu_seconds = user;
+  record.service_seconds = real;
+  if (result.ok()) {
+    record.rows = result.value().rows.size();
+    record.plan_mode = result.value().plan_note;
+  }
+  if (session != nullptr && session->finished()) {
+    record.ops = swan::obs::CollectEstimatedOps(session->root());
+  }
+  fleet->Record(std::move(record), session.get());
+
   if (!result.ok()) {
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
     return 1;
@@ -315,7 +457,7 @@ int RunQuery(swan::core::RdfStore& store,
   std::printf("-- %llu rows, real %.4fs (user %.4fs)\n\n",
               static_cast<unsigned long long>(result.value().rows.size()),
               real, user);
-  if (session != nullptr) {
+  if (profile && session != nullptr) {
     std::printf("%s\n", swan::obs::TextProfile(*session).c_str());
     if (!options.profile_path.empty()) {
       std::ofstream out(options.profile_path,
@@ -409,13 +551,21 @@ int main(int argc, char** argv) {
     return RunAudit(*store);
   }
 
+  // Shell-level fleet telemetry: every query executed in this process
+  // (interactive, --query, --file, and serve-script requests) lands here.
+  swan::obs::Telemetry fleet;
+
   if (!options.serve_script.empty()) {
-    return RunServe(store.get(), *dataset, options.serve_script, options);
+    const int status =
+        RunServe(store.get(), *dataset, options.serve_script, options, &fleet);
+    return DumpTelemetry(fleet, options) | status;
   }
 
   // Queries.
   if (!options.query.empty()) {
-    return RunQuery(*store, *dataset, options.query, options);
+    const int status = RunQuery(*store, *dataset, options.query, options,
+                                &fleet);
+    return DumpTelemetry(fleet, options) | status;
   }
   std::istream* in = &std::cin;
   std::ifstream file;
@@ -437,7 +587,7 @@ int main(int argc, char** argv) {
   while (std::getline(*in, line)) {
     if (line == ";") {
       if (!buffer.empty()) {
-        status |= RunQuery(*store, *dataset, buffer, options);
+        status |= RunQuery(*store, *dataset, buffer, options, &fleet);
       }
       buffer.clear();
       continue;
@@ -446,7 +596,7 @@ int main(int argc, char** argv) {
     buffer += '\n';
   }
   if (!buffer.empty()) {
-    status |= RunQuery(*store, *dataset, buffer, options);
+    status |= RunQuery(*store, *dataset, buffer, options, &fleet);
   }
-  return status;
+  return DumpTelemetry(fleet, options) | status;
 }

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Validate a structured query-log JSONL file produced by swandb.
+
+Checks, in order:
+  1. every line parses as a standalone JSON object,
+  2. required fields are present with the right types (seq, session,
+     kind, text_hash, text, backend, ok, cache_hit, snapshot, rows,
+     vt_start, vt_finish, latency, bytes_read, seeks, session_cache,
+     ops),
+  3. seq values are exactly 0..n-1 in file order (dispatch order),
+  4. text_hash is a 16-hex-digit string,
+  5. vt_finish >= vt_start and latency >= 0 on every record,
+  6. cache hits read no bytes and carry no operator tree,
+  7. every ops entry is {"op": str, "est": int, "actual": int} and the
+     op name carries no leftover " est=" suffix.
+
+With a second argument, additionally validates a collapsed-stack
+(flamegraph folded) file: every line is "frame(;frame)* <count>" with a
+positive integer count, and no frame retains an " est=" suffix.
+
+Usage: validate_querylog.py QUERYLOG.jsonl [STACKS.folded]
+Exits 0 on success, 1 with a diagnostic on the first violation.
+Stdlib only.
+"""
+
+import json
+import sys
+
+REQUIRED = {
+    "seq": int,
+    "session": str,
+    "kind": str,
+    "text_hash": str,
+    "text": str,
+    "backend": str,
+    "ok": bool,
+    "cache_hit": bool,
+    "snapshot": int,
+    "rows": int,
+    "vt_start": float,
+    "vt_finish": float,
+    "queue_wait": float,
+    "queue_depth": int,
+    "io_seconds": float,
+    "latency": float,
+    "bytes_read": int,
+    "seeks": int,
+    "session_cache": dict,
+    "ops": list,
+}
+
+KINDS = {"sparql", "bench", "insert", "delete"}
+
+
+def fail(message):
+    print("validate_querylog: FAIL: %s" % message, file=sys.stderr)
+    sys.exit(1)
+
+
+def check_record(lineno, record):
+    for key, kind in REQUIRED.items():
+        if key not in record:
+            fail("line %d: missing field %r" % (lineno, key))
+        value = record[key]
+        if kind is float:
+            ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+        elif kind is int:
+            ok = isinstance(value, int) and not isinstance(value, bool)
+        else:
+            ok = isinstance(value, kind)
+        if not ok:
+            fail(
+                "line %d: field %r has type %s, expected %s"
+                % (lineno, key, type(value).__name__, kind.__name__)
+            )
+    if record["kind"] not in KINDS:
+        fail("line %d: unknown kind %r" % (lineno, record["kind"]))
+    h = record["text_hash"]
+    if len(h) != 16 or any(c not in "0123456789abcdef" for c in h):
+        fail("line %d: text_hash %r is not 16 lowercase hex digits" % (lineno, h))
+    if record["vt_finish"] < record["vt_start"]:
+        fail(
+            "line %d: vt_finish %s < vt_start %s"
+            % (lineno, record["vt_finish"], record["vt_start"])
+        )
+    if record["latency"] < 0:
+        fail("line %d: negative latency %s" % (lineno, record["latency"]))
+    if not record["ok"] and "error" not in record:
+        fail("line %d: failed record carries no error field" % lineno)
+    if record["cache_hit"]:
+        if record["bytes_read"] != 0:
+            fail("line %d: cache hit read %d bytes" % (lineno, record["bytes_read"]))
+        if record["ops"]:
+            fail("line %d: cache hit carries an operator tree" % lineno)
+    for key in ("hits", "misses", "evictions"):
+        if not isinstance(record["session_cache"].get(key), int):
+            fail("line %d: session_cache missing integer %r" % (lineno, key))
+    for op in record["ops"]:
+        if not isinstance(op, dict):
+            fail("line %d: ops entry is not an object: %r" % (lineno, op))
+        if not isinstance(op.get("op"), str) or not op["op"]:
+            fail("line %d: ops entry missing op name: %r" % (lineno, op))
+        if " est=" in op["op"]:
+            fail("line %d: op name retains est suffix: %r" % (lineno, op["op"]))
+        for key in ("est", "actual"):
+            value = op.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                fail("line %d: ops entry has bad %r: %r" % (lineno, key, op))
+
+
+def check_querylog(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as err:
+        fail("cannot read %s: %s" % (path, err))
+    records = 0
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            fail("line %d: blank line in JSONL" % lineno)
+        try:
+            record = json.loads(line)
+        except ValueError as err:
+            fail("line %d: not valid JSON: %s" % (lineno, err))
+        if not isinstance(record, dict):
+            fail("line %d: not a JSON object" % lineno)
+        check_record(lineno, record)
+        if record["seq"] != records:
+            fail(
+                "line %d: seq %d out of dispatch order (expected %d)"
+                % (lineno, record["seq"], records)
+            )
+        records += 1
+    if records == 0:
+        fail("%s contains no records" % path)
+    return records
+
+
+def check_stacks(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as err:
+        fail("cannot read %s: %s" % (path, err))
+    stacks = 0
+    for lineno, line in enumerate(lines, start=1):
+        if not line:
+            fail("stacks line %d: blank line" % lineno)
+        stack, sep, count = line.rpartition(" ")
+        if not sep or not stack:
+            fail("stacks line %d: no 'stack count' split: %r" % (lineno, line))
+        if not count.isdigit() or int(count) <= 0:
+            fail("stacks line %d: bad count %r" % (lineno, count))
+        for frame in stack.split(";"):
+            if not frame:
+                fail("stacks line %d: empty frame in %r" % (lineno, stack))
+            if " est=" in frame:
+                fail("stacks line %d: frame retains est suffix: %r" % (lineno, frame))
+        stacks += 1
+    if stacks == 0:
+        fail("%s contains no stacks" % path)
+    return stacks
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        print(
+            "usage: validate_querylog.py QUERYLOG.jsonl [STACKS.folded]",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    records = check_querylog(sys.argv[1])
+    message = "validate_querylog: OK: %d records" % records
+    if len(sys.argv) == 3:
+        message += ", %d stacks" % check_stacks(sys.argv[2])
+    print(message)
+
+
+if __name__ == "__main__":
+    main()
