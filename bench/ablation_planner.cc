@@ -97,6 +97,7 @@ int main(int argc, char** argv) {
   std::vector<Backend*> backends = {&col_triple, &col_vert, &row_triple,
                                     &row_vert};
 
+  swan::bench::BenchJsonWriter json("ablation_planner");
   TablePrinter table({"backend", "query", "as-written", "heuristic",
                       "worst-order", "cost-based", "cold KB (cost/heur)",
                       "verdict"});
@@ -154,6 +155,13 @@ int main(int argc, char** argv) {
                     TablePrinter::Int(cost.cold_bytes / 1024) + "/" +
                         TablePrinter::Int(heuristic.cold_bytes / 1024),
                     verdict});
+      // The JSON cell's speedup slot carries the planner's win ratio in
+      // Match calls over the as-written textual order.
+      json.Add(bgp.name, backend->name(), cost.cold_bytes, cost.seconds,
+               cost.match_calls > 0
+                   ? static_cast<double>(as_written.match_calls) /
+                         static_cast<double>(cost.match_calls)
+                   : 1.0);
     }
   }
   std::printf("%s\n", table.ToString().c_str());
@@ -162,6 +170,13 @@ int main(int argc, char** argv) {
       "expected shape: cost-based <= as-written <= worst-order everywhere;\n"
       "the heuristic sits between — it fixes the pathological textual "
       "orders\n(q2-q4, q6) but cannot see skew or pick star gathers.\n");
+  char raw[96];
+  std::snprintf(raw, sizeof(raw), "{\"losses\":%d,\"gates_passed\":%s}",
+                losses, losses == 0 ? "true" : "false");
+  json.AddRaw("planner", raw);
+  const std::string json_path =
+      swan::bench::InitJsonPath(argc, argv, "ablation_planner");
+  if (!json_path.empty() && !json.WriteTo(json_path)) return 1;
   if (losses > 0) {
     std::fprintf(stderr, "PLANNER LOSSES: %d (see verdict column)\n", losses);
     return 1;

@@ -31,6 +31,8 @@ swan_add_bench(scale_sensitivity)
 swan_add_bench(ablation_q8_join)
 swan_add_bench(ablation_planner)
 swan_add_bench(parallel_speedup)
+swan_add_bench(scaleout)
+target_link_libraries(scaleout PRIVATE swan_shard swan_net)
 swan_add_bench(serve_throughput)
 target_link_libraries(serve_throughput PRIVATE swan_serve swan_sparql)
 

@@ -22,8 +22,8 @@ std::vector<Tree::Key> SortedKeys(size_t n) {
 void BM_BulkLoad(benchmark::State& state) {
   const auto keys = SortedKeys(state.range(0));
   for (auto _ : state) {
-    swan::storage::SimulatedDisk disk;
-    swan::storage::BufferPool pool(&disk, 1 << 15);
+    swan::storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
+    swan::storage::BufferPool pool(&disk, 1 << 15);  // swan-lint: allow(node-disk)
     Tree tree(&pool, &disk);
     tree.BulkLoad(keys);
     benchmark::DoNotOptimize(tree.size());
@@ -33,8 +33,8 @@ void BM_BulkLoad(benchmark::State& state) {
 BENCHMARK(BM_BulkLoad)->Range(1 << 12, 1 << 18);
 
 void BM_PointLookupHot(benchmark::State& state) {
-  swan::storage::SimulatedDisk disk;
-  swan::storage::BufferPool pool(&disk, 1 << 15);
+  swan::storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
+  swan::storage::BufferPool pool(&disk, 1 << 15);  // swan-lint: allow(node-disk)
   Tree tree(&pool, &disk);
   const size_t n = state.range(0);
   tree.BulkLoad(SortedKeys(n));
@@ -48,8 +48,8 @@ void BM_PointLookupHot(benchmark::State& state) {
 BENCHMARK(BM_PointLookupHot)->Range(1 << 12, 1 << 18);
 
 void BM_FullScanHot(benchmark::State& state) {
-  swan::storage::SimulatedDisk disk;
-  swan::storage::BufferPool pool(&disk, 1 << 15);
+  swan::storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
+  swan::storage::BufferPool pool(&disk, 1 << 15);  // swan-lint: allow(node-disk)
   Tree tree(&pool, &disk);
   tree.BulkLoad(SortedKeys(state.range(0)));
   for (auto _ : state) {
@@ -65,8 +65,8 @@ void BM_InsertRandom(benchmark::State& state) {
   swan::Rng rng(11);
   for (auto _ : state) {
     state.PauseTiming();
-    swan::storage::SimulatedDisk disk;
-    swan::storage::BufferPool pool(&disk, 1 << 15);
+    swan::storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
+    swan::storage::BufferPool pool(&disk, 1 << 15);  // swan-lint: allow(node-disk)
     Tree tree(&pool, &disk);
     tree.BulkLoad({});
     state.ResumeTiming();

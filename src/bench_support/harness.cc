@@ -17,12 +17,18 @@ namespace swan::bench_support {
 namespace {
 
 // Times one execution of `body` (which returns the row count) against
-// `disk` and returns the (real, user, bytes, rows) observation.
+// the backend's aggregate cost model and returns the (real, user, bytes,
+// rows) observation. The aggregate virtuals make this topology-agnostic:
+// a single-node backend reports its one disk, a sharded backend reports
+// max-over-nodes virtual time plus modeled network time.
 template <typename Body>
-Measurement TimeOnce(storage::SimulatedDisk* disk, const Body& body) {
-  const double io_before = disk->clock().now();
-  const uint64_t bytes_before = disk->total_bytes_read();
-  const uint64_t seeks_before = disk->total_seeks();
+Measurement TimeOnce(core::Backend* backend, const Body& body) {
+  const double io_before = backend->VirtualSeconds();
+  const uint64_t bytes_before = backend->TotalBytesRead();
+  const uint64_t seeks_before = backend->TotalSeeks();
+  const uint64_t net_bytes_before = backend->TotalNetBytes();
+  const uint64_t net_messages_before = backend->TotalNetMessages();
+  const double net_seconds_before = backend->NetSeconds();
   const std::vector<double> lanes_before = exec::LaneCpuSnapshot();
   WallTimer wall;
   CpuTimer timer;
@@ -37,9 +43,12 @@ Measurement TimeOnce(storage::SimulatedDisk* disk, const Body& body) {
   m.cpu_seconds = exec::ModeledCpuSeconds(
       lanes_before, exec::LaneCpuSnapshot(), m.user_seconds);
 
-  m.real_seconds = m.cpu_seconds + (disk->clock().now() - io_before);
-  m.bytes_read = disk->total_bytes_read() - bytes_before;
-  m.seeks = disk->total_seeks() - seeks_before;
+  m.real_seconds = m.cpu_seconds + (backend->VirtualSeconds() - io_before);
+  m.bytes_read = backend->TotalBytesRead() - bytes_before;
+  m.seeks = backend->TotalSeeks() - seeks_before;
+  m.net_bytes = backend->TotalNetBytes() - net_bytes_before;
+  m.net_messages = backend->TotalNetMessages() - net_messages_before;
+  m.net_seconds = backend->NetSeconds() - net_seconds_before;
   m.rows_returned = rows;
   return m;
 }
@@ -50,7 +59,7 @@ Measurement TimeOnce(storage::SimulatedDisk* disk, const Body& body) {
 Measurement RunOnce(core::Backend* backend, core::QueryId id,
                     const core::QueryContext& ctx,
                     const exec::ExecContext& ectx) {
-  Measurement m = TimeOnce(backend->disk(), [&] {
+  Measurement m = TimeOnce(backend, [&] {
     return backend->Run(id, ctx, ectx).row_count();
   });
   ectx.counters().bytes_read.fetch_add(m.bytes_read,
@@ -69,6 +78,9 @@ Measurement Average(const std::vector<Measurement>& runs) {
     avg.wall_seconds += m.wall_seconds;
     avg.bytes_read += m.bytes_read;
     avg.seeks += m.seeks;
+    avg.net_bytes += m.net_bytes;
+    avg.net_messages += m.net_messages;
+    avg.net_seconds += m.net_seconds;
     avg.rows_returned = m.rows_returned;
     if (m.profile != nullptr) avg.profile = m.profile;
   }
@@ -76,8 +88,11 @@ Measurement Average(const std::vector<Measurement>& runs) {
   avg.cpu_seconds /= static_cast<double>(runs.size());
   avg.user_seconds /= static_cast<double>(runs.size());
   avg.wall_seconds /= static_cast<double>(runs.size());
+  avg.net_seconds /= static_cast<double>(runs.size());
   avg.bytes_read /= runs.size();
   avg.seeks /= runs.size();
+  avg.net_bytes /= runs.size();
+  avg.net_messages /= runs.size();
   double variance = 0.0;
   for (const Measurement& m : runs) {
     const double d = m.real_seconds - avg.real_seconds;
@@ -184,7 +199,7 @@ Measurement MeasureBgpHot(core::Backend* backend,
   run();  // warm-up, ignored
   std::vector<Measurement> runs;
   for (int i = 0; i < repetitions; ++i) {
-    Measurement m = TimeOnce(backend->disk(), run);
+    Measurement m = TimeOnce(backend, run);
     ectx.counters().bytes_read.fetch_add(m.bytes_read,
                                          std::memory_order_relaxed);
     ectx.counters().seeks.fetch_add(m.seeks, std::memory_order_relaxed);

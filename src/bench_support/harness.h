@@ -36,9 +36,15 @@ struct Measurement {
   // paper's §3 remark ("we do not report the standard deviation ... the
   // differences were less than 30 milliseconds"), checkable here.
   double real_stddev = 0.0;
-  uint64_t bytes_read = 0;    // data pulled from the simulated disk
-  uint64_t seeks = 0;         // random repositionings charged by the disk
+  uint64_t bytes_read = 0;    // data pulled from the simulated disk(s)
+  uint64_t seeks = 0;         // random repositionings charged by the disk(s)
   uint64_t rows_returned = 0;
+  // Modeled inter-node traffic (scale-out backends only; zero on one
+  // node). net_seconds is already folded into real_seconds — the sharded
+  // backend's virtual clock is max(node disks) + network.
+  uint64_t net_bytes = 0;
+  uint64_t net_messages = 0;
+  double net_seconds = 0.0;
   // Set by the *Profiled variants: the finished trace session of the last
   // repetition. RootRealSeconds() matches real_seconds of that repetition
   // exactly, giving the profile's disk-vs-CPU decomposition of the

@@ -26,6 +26,11 @@ namespace swan {
 //   kColumnLoad       colstore::Column cache-load mutex (holds across the
 //                     buffer-pool/disk reads that stream the column in)
 //   kBufferPool       storage::BufferPool page table
+//   kNetwork          net::NetworkModel link accounting (acquired above
+//                     the per-node disks: shipping a message may charge
+//                     the network and then read from the destination
+//                     node's disk, so network > disk is the pinned
+//                     direction — see tests/scaleout_test.cc)
 //   kStorageDisk      storage::SimulatedDisk model state
 //   kExecLane         exec per-lane CPU ledger
 //   kTelemetry        obs::Telemetry fleet-wide query log / windowed
@@ -52,6 +57,7 @@ enum class LockRank : int {
   kExecBatch = 600,
   kColumnLoad = 500,
   kBufferPool = 400,
+  kNetwork = 350,
   kStorageDisk = 300,
   kExecLane = 200,
   kTelemetry = 150,

@@ -12,9 +12,45 @@
 #include "rdf/pattern.h"
 #include "rdf/triple.h"
 #include "storage/buffer_pool.h"
+#include "storage/node_storage.h"
 #include "storage/simulated_disk.h"
 
 namespace swan::core {
+
+// Routing surface a scale-out backend exposes to the planner and the BGP
+// interpreter; single-node backends return nullptr from Backend::dist().
+// The interface is deliberately small: placement (which node owns a
+// property's partition), the network cost parameters the planner's
+// ship-mode decision needs, and the charging hook the interpreter calls
+// when a step actually ships bindings or a semi-join filter.
+class DistRouting {
+ public:
+  virtual ~DistRouting() = default;
+
+  // Number of nodes in the topology (>= 1).
+  virtual int nodes() const = 0;
+
+  // The node owning `property`'s vertical partition, or -1 when the
+  // partition is subject-hash sub-split across every node.
+  virtual int HomeNode(uint64_t property) const = 0;
+
+  // Modeled network parameters (the NetworkModel's config).
+  virtual double NetBandwidthBytesPerSec() const = 0;
+  virtual double NetLatencySecondsPerMessage() const = 0;
+
+  // The gather node for scatter/gather execution. The serve tier assigns
+  // each session a coordinator (node affinity); execution is serialized
+  // by the serve turnstile, so the setter is called only at quiescent
+  // points between queries.
+  virtual int Coordinator() const { return 0; }
+  virtual void SetCoordinator(int node) { (void)node; }
+
+  // Charges `bytes` over `messages` messages on the src -> dst link,
+  // advancing the network's virtual clock and folding the cost into
+  // `ectx`'s OpCounters. src == dst is free and not charged.
+  virtual void Ship(int src, int dst, uint64_t bytes, uint64_t messages,
+                    const exec::ExecContext& ectx) = 0;
+};
 
 // One point in the paper's evaluation grid: a storage scheme realized in
 // an engine architecture (e.g. "MonetDB / vertical SO" or "DBX / triple
@@ -93,9 +129,40 @@ class Backend {
   virtual void DropCaches() = 0;
 
   // Const-overloaded accessors (no const_cast laundering: a const backend
-  // hands out a const disk).
+  // hands out a const disk). For sharded backends this is the coordinator
+  // node's disk; aggregate modeled cost lives in the virtuals below.
   virtual storage::SimulatedDisk* disk() = 0;
   virtual const storage::SimulatedDisk* disk() const = 0;
+
+  // The distributed-routing surface, or nullptr for single-node backends
+  // (the default). When non-null, core::ExecuteBgp annotates physical
+  // plans with a home node and ship mode per step. Non-const handle from
+  // a const backend, like ExecContext::trace(): routing is observation
+  // and cost accounting, not query semantics.
+  virtual DistRouting* dist() const { return nullptr; }
+
+  // --- aggregate modeled cost ------------------------------------------
+  // Every consumer of "how much did this backend's model charge" (the
+  // bench harness, ScopedProfile's trace sources, the serve tier's
+  // virtual clock) reads these instead of poking disk() directly, so a
+  // sharded backend can report max-over-node-clocks + network time while
+  // single-node backends keep their exact previous semantics.
+
+  // The backend's virtual clock: single-node = the disk clock; sharded =
+  // max over per-node disk clocks (nodes run in parallel) + network time.
+  virtual double VirtualSeconds() const { return disk()->clock().now(); }
+  virtual uint64_t TotalBytesRead() const {
+    return disk()->total_bytes_read();
+  }
+  virtual uint64_t TotalReads() const { return disk()->total_reads(); }
+  virtual uint64_t TotalSeeks() const { return disk()->total_seeks(); }
+  virtual std::vector<double> LaneSecondsSnapshot() const {
+    return disk()->LaneSecondsSnapshot();
+  }
+  // Modeled network totals; zero on one node.
+  virtual uint64_t TotalNetBytes() const { return 0; }
+  virtual uint64_t TotalNetMessages() const { return 0; }
+  virtual double NetSeconds() const { return 0.0; }
 
   // The backend's page cache, or nullptr for engines without one. The
   // profiling layer snapshots its hit/miss statistics around a traced run.
@@ -116,19 +183,26 @@ class Backend {
   }
 };
 
-// Shared ownership plumbing for disk + buffer pool.
+// Shared ownership plumbing for disk + buffer pool. All construction goes
+// through storage::MakeNodeStorage — the node-disk lint rule's single
+// sanctioned factory — so a backend's storage stack is the same unit a
+// scale-out topology stamps out per node.
 class BackendBase : public Backend {
  public:
   BackendBase(storage::DiskConfig disk_config, size_t pool_pages)
-      : disk_(std::make_unique<storage::SimulatedDisk>(disk_config)),
-        pool_(std::make_unique<storage::BufferPool>(disk_.get(), pool_pages)) {}
+      : owned_(storage::MakeNodeStorage(disk_config, pool_pages)),
+        disk_(owned_.disk.get()),
+        pool_(owned_.pool.get()) {}
 
-  storage::SimulatedDisk* disk() override { return disk_.get(); }
-  const storage::SimulatedDisk* disk() const override { return disk_.get(); }
-  storage::BufferPool* pool() { return pool_.get(); }
-  const storage::BufferPool* buffer_pool() const override {
-    return pool_.get();
-  }
+  // Borrowed storage: a scale-out topology owns this node's disk + pool
+  // and outlives the backend (net::Topology hands out the pointers).
+  BackendBase(storage::SimulatedDisk* disk, storage::BufferPool* pool)
+      : disk_(disk), pool_(pool) {}
+
+  storage::SimulatedDisk* disk() override { return disk_; }
+  const storage::SimulatedDisk* disk() const override { return disk_; }
+  storage::BufferPool* pool() { return pool_; }
+  const storage::BufferPool* buffer_pool() const override { return pool_; }
 
   // Storage-level audit shared by every engine: buffer-pool accounting and
   // (at kFull) a checksum sweep of every page on the simulated disk.
@@ -141,8 +215,10 @@ class BackendBase : public Backend {
   }
 
  protected:
-  std::unique_ptr<storage::SimulatedDisk> disk_;
-  std::unique_ptr<storage::BufferPool> pool_;
+  // Empty (null members) when the storage stack is borrowed.
+  storage::NodeStorage owned_;
+  storage::SimulatedDisk* const disk_;
+  storage::BufferPool* const pool_;
 };
 
 }  // namespace swan::core

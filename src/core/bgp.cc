@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
+#include <set>
 #include <unordered_map>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "plan/distributed.h"
 
 namespace swan::core {
 
@@ -215,6 +217,43 @@ void ExtendStep(const Backend& backend, const plan::PhysStep& step,
   const SlotRef s = ResolveTerm(pattern.subject, table);
   const SlotRef p = ResolveTerm(pattern.property, table);
   const SlotRef o = ResolveTerm(pattern.object, table);
+
+  // Forward ship leg for annotated scale-out steps: the binding table
+  // (or its distinct-key semi-join filter) travels coordinator -> home
+  // before the probes run there. Charged from actual row counts — the
+  // estimates only picked the strategy. The result-return leg is charged
+  // per Match by the sharded backend, so it is not repeated here.
+  if (step.ship != plan::ShipMode::kLocal && step.home_node >= 0 &&
+      !table->rows.empty()) {
+    if (DistRouting* dist = backend.dist()) {
+      const int src = dist->Coordinator();
+      const uint64_t n = table->rows.size();
+      if (step.ship == plan::ShipMode::kShipBindings) {
+        const uint64_t width = std::max<size_t>(known_vars, 1);
+        dist->Ship(src, step.home_node,
+                   n * width * plan::kBytesPerBindingCell,
+                   (n + plan::kBindingsPerMessage - 1) /
+                       plan::kBindingsPerMessage,
+                   ectx);
+      } else {
+        // The filter is the distinct values of the already-bound
+        // variable terms this pattern joins on.
+        std::set<uint64_t> keys;
+        for (const SlotRef* ref : {&s, &p, &o}) {
+          if (!ref->var_index || *ref->var_index >= known_vars) continue;
+          for (const auto& row : table->rows) {
+            if (*ref->var_index < row.size() &&
+                row[*ref->var_index] != kUnbound) {
+              keys.insert(row[*ref->var_index]);
+            }
+          }
+        }
+        const uint64_t distinct = std::max<uint64_t>(keys.size(), 1);
+        dist->Ship(src, step.home_node, distinct * plan::kBytesPerKey, 1,
+                   ectx);
+      }
+    }
+  }
 
   auto bound_value = [&](const SlotRef& ref, const std::vector<uint64_t>& row)
       -> std::optional<uint64_t> {
@@ -549,6 +588,21 @@ Result<BgpResult> ExecuteBgp(const Backend& backend,
     obs::Span plan_span(ectx.trace(), "bgp.plan");
     plan_span.set_rows_in(raw_patterns.size());
     physical = plan::OptimizeBgp(raw_patterns, options);
+  }
+  // Distributed physical layer: price the chosen order against the
+  // topology. Annotation never reorders, so rows stay bit-identical to
+  // the single-node plan.
+  if (const DistRouting* dist = backend.dist(); dist && dist->nodes() > 1) {
+    obs::Span dist_span(ectx.trace(), "bgp.distribute");
+    plan::DistCostModel model;
+    model.nodes = dist->nodes();
+    model.bytes_per_sec = dist->NetBandwidthBytesPerSec();
+    model.seconds_per_message = dist->NetLatencySecondsPerMessage();
+    model.coordinator = dist->Coordinator();
+    model.home_node = [dist](uint64_t property) {
+      return dist->HomeNode(property);
+    };
+    plan::AnnotateDistribution(&physical, model);
   }
   return ExecutePlan(backend, physical, ectx);
 }

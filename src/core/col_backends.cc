@@ -192,9 +192,26 @@ ColTripleBackend::ColTripleBackend(const rdf::Dataset& dataset,
   pso_ = order == rdf::TripleOrder::kPSO;
   codec_ = codec;
   dataset_ = &dataset;
-  table_ = std::make_unique<colstore::TripleTable>(pool_.get(), disk_.get(),
+  table_ = std::make_unique<colstore::TripleTable>(pool_, disk_,
                                                    order, codec);
   table_->Load(dataset.triples());
+}
+
+ColTripleBackend::ColTripleBackend(const rdf::Dataset& dataset,
+                                   rdf::TripleOrder order,
+                                   storage::SimulatedDisk* disk,
+                                   storage::BufferPool* pool,
+                                   std::vector<rdf::Triple> subset,
+                                   colstore::ColumnCodec codec)
+    : BackendBase(disk, pool) {
+  SWAN_CHECK_MSG(
+      order == rdf::TripleOrder::kSPO || order == rdf::TripleOrder::kPSO,
+      "column triple-store supports SPO or PSO sort order");
+  pso_ = order == rdf::TripleOrder::kPSO;
+  codec_ = codec;
+  dataset_ = &dataset;
+  table_ = std::make_unique<colstore::TripleTable>(pool_, disk_, order, codec);
+  table_->Load(std::move(subset));
 }
 
 audit::AuditReport ColTripleBackend::Audit(audit::AuditLevel level) const {
@@ -541,7 +558,7 @@ void ColTripleBackend::EnsureMerged() {
     all.push_back(t);
   }
   all.insert(all.end(), delta_.begin(), delta_.end());
-  table_ = std::make_unique<colstore::TripleTable>(pool_.get(), disk_.get(),
+  table_ = std::make_unique<colstore::TripleTable>(pool_, disk_,
                                                    table_->order(), codec_);
   table_->Load(std::move(all));
   delta_.clear();
@@ -659,9 +676,21 @@ ColVerticalBackend::ColVerticalBackend(const rdf::Dataset& dataset,
     : BackendBase(disk_config, pool_pages) {
   codec_ = codec;
   dataset_ = &dataset;
-  table_ = std::make_unique<colstore::VerticalTable>(pool_.get(), disk_.get(),
+  table_ = std::make_unique<colstore::VerticalTable>(pool_, disk_,
                                                      codec);
   table_->Load(dataset.triples());
+}
+
+ColVerticalBackend::ColVerticalBackend(const rdf::Dataset& dataset,
+                                       storage::SimulatedDisk* disk,
+                                       storage::BufferPool* pool,
+                                       std::vector<rdf::Triple> subset,
+                                       colstore::ColumnCodec codec)
+    : BackendBase(disk, pool) {
+  codec_ = codec;
+  dataset_ = &dataset;
+  table_ = std::make_unique<colstore::VerticalTable>(pool_, disk_, codec);
+  table_->Load(subset);
 }
 
 audit::AuditReport ColVerticalBackend::Audit(audit::AuditLevel level) const {

@@ -25,6 +25,14 @@ class ColTripleBackend : public BackendBase {
                    size_t pool_pages = 4096,
                    colstore::ColumnCodec codec = colstore::ColumnCodec::kRaw);
 
+  // Scale-out partition: this node's share of the dataset, over storage
+  // owned by the topology (ids stay interned in the shared dictionary;
+  // `dataset` still provides the dictionary for audits and vocabulary).
+  ColTripleBackend(const rdf::Dataset& dataset, rdf::TripleOrder order,
+                   storage::SimulatedDisk* disk, storage::BufferPool* pool,
+                   std::vector<rdf::Triple> subset,
+                   colstore::ColumnCodec codec = colstore::ColumnCodec::kRaw);
+
   std::string name() const override;
   using Backend::Run;
   using Backend::Match;
@@ -107,6 +115,13 @@ class ColVerticalBackend : public BackendBase {
                               size_t pool_pages = 4096,
                               colstore::ColumnCodec codec =
                                   colstore::ColumnCodec::kRaw);
+
+  // Scale-out partition over topology-owned storage (see
+  // ColTripleBackend's subset constructor).
+  ColVerticalBackend(const rdf::Dataset& dataset,
+                     storage::SimulatedDisk* disk, storage::BufferPool* pool,
+                     std::vector<rdf::Triple> subset,
+                     colstore::ColumnCodec codec = colstore::ColumnCodec::kRaw);
 
   std::string name() const override;
   using Backend::Run;

@@ -57,7 +57,7 @@ CStoreBackend::CStoreBackend(const rdf::Dataset& dataset,
                              storage::DiskConfig disk_config,
                              size_t pool_pages)
     : BackendBase(disk_config, pool_pages), dataset_ptr_(&dataset) {
-  engine_ = std::make_unique<cstore::CStoreEngine>(pool_.get(), disk_.get());
+  engine_ = std::make_unique<cstore::CStoreEngine>(pool_, disk_);
   engine_->Load(dataset.triples(), properties);
 }
 

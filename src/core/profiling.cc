@@ -9,25 +9,30 @@ namespace swan::core {
 ScopedProfile::ScopedProfile(std::string root_name, const Backend& backend,
                              const exec::ExecContext& ectx)
     : backend_(&backend), ectx_(&ectx) {
-  const storage::SimulatedDisk* disk = backend.disk();
+  // Time and cost come from the backend's aggregate virtuals, so a
+  // sharded backend's spans see max-over-nodes virtual time plus modeled
+  // network time, and single-node backends reduce to their one disk.
+  const Backend* be = &backend;
   const exec::OpCounters* counters = &ectx.counters();
   obs::TraceSources sources;
-  sources.now = [disk] { return disk->clock().now(); };
-  sources.sample = [disk, counters] {
+  sources.now = [be] { return be->VirtualSeconds(); };
+  sources.sample = [be, counters] {
     obs::CounterSample s;
-    s.bytes_read = disk->total_bytes_read();
-    s.seeks = disk->total_seeks();
+    s.bytes_read = be->TotalBytesRead();
+    s.seeks = be->TotalSeeks();
+    s.net_bytes = be->TotalNetBytes();
+    s.net_messages = be->TotalNetMessages();
     const exec::OpCounters::Snapshot snap = counters->Snap();
     s.morsels = snap.morsels;
     s.parallel_regions = snap.parallel_regions;
-    s.lane_seconds = disk->LaneSecondsSnapshot();
+    s.lane_seconds = be->LaneSecondsSnapshot();
     return s;
   };
   if (const storage::BufferPool* pool = backend.buffer_pool()) {
     pool_hits_before_ = pool->hits();
     pool_misses_before_ = pool->misses();
   }
-  disk_reads_before_ = disk->total_reads();
+  disk_reads_before_ = backend.TotalReads();
   lanes_cpu_before_ = exec::LaneCpuSnapshot();
   session_ = std::make_shared<obs::TraceSession>(
       std::move(root_name), std::move(sources), ectx.threads());
@@ -61,15 +66,14 @@ std::shared_ptr<obs::TraceSession> ScopedProfile::FinishWithCpu(
     metrics.GetCounter("buffer_pool.misses")
         ->Add(pool->misses() - pool_misses_before_);
   }
-  const storage::SimulatedDisk* disk = backend_->disk();
   metrics.GetCounter("disk.reads")
-      ->Add(disk->total_reads() - disk_reads_before_);
+      ->Add(backend_->TotalReads() - disk_reads_before_);
   metrics.GetCounter("disk.bytes_read")
-      ->Add(session_->root().open.bytes_read <= disk->total_bytes_read()
-                ? disk->total_bytes_read() - session_->root().open.bytes_read
+      ->Add(session_->root().open.bytes_read <= backend_->TotalBytesRead()
+                ? backend_->TotalBytesRead() - session_->root().open.bytes_read
                 : 0);
   metrics.GetCounter("disk.seeks")
-      ->Add(disk->total_seeks() - session_->root().open.seeks);
+      ->Add(backend_->TotalSeeks() - session_->root().open.seeks);
 
   session_->Finish(cpu_seconds);
   return session_;

@@ -66,12 +66,12 @@ PropertyTableBackend::PropertyTableBackend(const rdf::Dataset& dataset,
     flat.push_back(subject);
     flat.insert(flat.end(), cells.begin(), cells.end());
   }
-  wide_ = std::make_unique<rowstore::SortedTable>(pool_.get(), disk_.get(),
+  wide_ = std::make_unique<rowstore::SortedTable>(pool_, disk_,
                                                   row_width);
   wide_->BulkLoad(flat, rows.size());
 
   overflow_ = std::make_unique<rowstore::TripleRelation>(
-      pool_.get(), disk_.get(), rowstore::TripleRelation::PsoConfig());
+      pool_, disk_, rowstore::TripleRelation::PsoConfig());
   overflow_->Load(overflow);
 }
 

@@ -49,7 +49,7 @@ RowTripleBackend::RowTripleBackend(const rdf::Dataset& dataset,
                                    size_t pool_pages)
     : BackendBase(disk_config, pool_pages) {
   relation_ = std::make_unique<rowstore::TripleRelation>(
-      pool_.get(), disk_.get(), std::move(config));
+      pool_, disk_, std::move(config));
   relation_->Load(dataset.triples());
 }
 
@@ -409,8 +409,8 @@ RowVerticalBackend::RowVerticalBackend(const rdf::Dataset& dataset,
                                        storage::DiskConfig disk_config,
                                        size_t pool_pages)
     : BackendBase(disk_config, pool_pages) {
-  relation_ = std::make_unique<rowstore::VerticalRelation>(pool_.get(),
-                                                           disk_.get());
+  relation_ = std::make_unique<rowstore::VerticalRelation>(pool_,
+                                                           disk_);
   relation_->Load(dataset.triples());
 }
 

@@ -5,6 +5,7 @@
 #include "core/cstore_backend.h"
 #include "core/property_table_backend.h"
 #include "core/row_backends.h"
+#include "shard/sharded_backend.h"
 
 namespace swan::core {
 
@@ -34,11 +35,27 @@ std::string ToString(EngineKind engine) {
 
 std::unique_ptr<RdfStore> RdfStore::Open(const rdf::Dataset& dataset,
                                          StoreOptions options) {
+  SWAN_CHECK_MSG(options.nodes >= 1, "store needs at least one node");
+  SWAN_CHECK_MSG(options.nodes == 1 || options.engine == EngineKind::kColumnStore,
+                 "scale-out (nodes > 1) is column-store only");
   std::unique_ptr<Backend> backend;
   switch (options.engine) {
     case EngineKind::kColumnStore:
       SWAN_CHECK_MSG(options.scheme != StorageScheme::kPropertyTable,
                      "the property-table scheme is row-store only");
+      if (options.nodes > 1) {
+        shard::ShardOptions sharded;
+        sharded.nodes = options.nodes;
+        sharded.vertical =
+            options.scheme == StorageScheme::kVerticalPartitioned;
+        sharded.order = options.clustering;
+        sharded.disk = options.disk;
+        sharded.pool_pages = options.pool_pages;
+        sharded.network = options.network;
+        sharded.codec = options.codec;
+        backend = std::make_unique<shard::ShardedBackend>(dataset, sharded);
+        break;
+      }
       if (options.scheme == StorageScheme::kTripleStore) {
         backend = std::make_unique<ColTripleBackend>(
             dataset, options.clustering, options.disk, options.pool_pages,

@@ -13,6 +13,7 @@
 #include "colstore/compression.h"
 #include "core/bgp.h"
 #include "core/query.h"
+#include "net/network_model.h"
 #include "rdf/dataset.h"
 
 namespace swan::core {
@@ -53,6 +54,14 @@ struct StoreOptions {
   // For StorageScheme::kPropertyTable: how many of the most frequent
   // properties the design wizard flattens into the wide table.
   uint32_t property_table_width = 20;
+
+  // Scale-out: simulated node count. 1 opens the exact single-node
+  // backends; > 1 materializes the column-store schemes as a sharded
+  // store over a simulated multi-node topology (property placement with
+  // subject-hash sub-splits, modeled network). Row and C-Store engines
+  // stay single-node. pool_pages is the TOTAL across nodes either way.
+  int nodes = 1;
+  net::NetworkConfig network;
 };
 
 // The public faсade of swandb: an RDF store materialized under one

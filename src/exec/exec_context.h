@@ -27,6 +27,10 @@ struct OpCounters {
   // here), so scheduler counters and I/O cost report side by side.
   std::atomic<uint64_t> bytes_read{0};        // simulated-disk bytes
   std::atomic<uint64_t> seeks{0};             // simulated-disk seeks
+  // Modeled-network cost (scale-out topologies only; zero on one node).
+  // Charged by net::NetworkModel::Ship via the routing layer.
+  std::atomic<uint64_t> net_bytes{0};         // bytes shipped between nodes
+  std::atomic<uint64_t> net_messages{0};      // inter-node messages
 
   // Plain-value copy for reporting.
   struct Snapshot {
@@ -38,6 +42,8 @@ struct OpCounters {
     uint64_t star_gathers = 0;
     uint64_t bytes_read = 0;
     uint64_t seeks = 0;
+    uint64_t net_bytes = 0;
+    uint64_t net_messages = 0;
   };
   Snapshot Snap() const {
     Snapshot s;
@@ -50,6 +56,8 @@ struct OpCounters {
     s.star_gathers = star_gathers.load(std::memory_order_relaxed);
     s.bytes_read = bytes_read.load(std::memory_order_relaxed);
     s.seeks = seeks.load(std::memory_order_relaxed);
+    s.net_bytes = net_bytes.load(std::memory_order_relaxed);
+    s.net_messages = net_messages.load(std::memory_order_relaxed);
     return s;
   }
   void Reset() {
@@ -61,6 +69,8 @@ struct OpCounters {
     star_gathers.store(0, std::memory_order_relaxed);
     bytes_read.store(0, std::memory_order_relaxed);
     seeks.store(0, std::memory_order_relaxed);
+    net_bytes.store(0, std::memory_order_relaxed);
+    net_messages.store(0, std::memory_order_relaxed);
   }
 };
 

@@ -1,0 +1,64 @@
+#include "net/network_model.h"
+
+#include "common/macros.h"
+#include "common/mutex.h"
+
+namespace swan::net {
+
+NetworkModel::NetworkModel(int nodes, NetworkConfig config)
+    : nodes_(nodes), config_(config) {
+  SWAN_CHECK_MSG(nodes >= 1, "network needs at least one node");
+  links_.resize(static_cast<size_t>(nodes_) * nodes_);
+  for (int s = 0; s < nodes_; ++s) {
+    for (int d = 0; d < nodes_; ++d) {
+      links_[static_cast<size_t>(s) * nodes_ + d].src = s;
+      links_[static_cast<size_t>(s) * nodes_ + d].dst = d;
+    }
+  }
+}
+
+void NetworkModel::Ship(int src, int dst, uint64_t bytes, uint64_t messages,
+                        const exec::ExecContext& ectx) {
+  SWAN_CHECK_MSG(src >= 0 && src < nodes_ && dst >= 0 && dst < nodes_,
+             "ship endpoint out of range");
+  if (src == dst) return;
+  ectx.counters().net_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  ectx.counters().net_messages.fetch_add(messages, std::memory_order_relaxed);
+  MutexLock lock(&mutex_);
+  LinkStats& link = links_[static_cast<size_t>(src) * nodes_ + dst];
+  link.bytes += bytes;
+  link.messages += messages;
+  total_bytes_ += bytes;
+  total_messages_ += messages;
+}
+
+double NetworkModel::seconds() const {
+  MutexLock lock(&mutex_);
+  double transfer =
+      static_cast<double>(total_bytes_) / (config_.bandwidth_mb_per_s * 1e6);
+  double latency =
+      static_cast<double>(total_messages_) * config_.latency_ms_per_message *
+      1e-3;
+  return transfer + latency;
+}
+
+std::vector<LinkStats> NetworkModel::PerLink() const {
+  MutexLock lock(&mutex_);
+  std::vector<LinkStats> out;
+  for (const LinkStats& link : links_) {
+    if (link.bytes != 0 || link.messages != 0) out.push_back(link);
+  }
+  return out;
+}
+
+void NetworkModel::ResetStats() {
+  MutexLock lock(&mutex_);
+  for (LinkStats& link : links_) {
+    link.bytes = 0;
+    link.messages = 0;
+  }
+  total_bytes_ = 0;
+  total_messages_ = 0;
+}
+
+}  // namespace swan::net

@@ -1,0 +1,96 @@
+#ifndef SWANDB_NET_NETWORK_MODEL_H_
+#define SWANDB_NET_NETWORK_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/mutex.h"
+#include "exec/exec_context.h"
+
+namespace swan::net {
+
+// Performance model of the interconnect between simulated nodes, on the
+// same virtual-clock discipline as storage::SimulatedDisk: shipping data
+// charges virtual time instead of sleeping. The defaults model a
+// commodity 10 GbE fabric — fast relative to one node's disk (390 MB/s),
+// which is exactly the regime where shipping a compact semi-join filter
+// beats shipping full bindings.
+struct NetworkConfig {
+  // Per-link payload bandwidth.
+  double bandwidth_mb_per_s = 1000.0;
+  // Fixed per-message cost (serialization + round-trip latency). Charged
+  // once per message regardless of size, so chatty protocols pay for it.
+  double latency_ms_per_message = 0.05;
+};
+
+// Per-link transfer totals, for the bench penalty tables and obs spans.
+struct LinkStats {
+  int src = 0;
+  int dst = 0;
+  uint64_t bytes = 0;
+  uint64_t messages = 0;
+};
+
+// Deterministic network-cost accumulator. Total modeled network time is
+// an order-independent function of the transfer totals:
+//
+//   seconds = total_bytes / bandwidth + total_messages * latency
+//
+// — a sum, not a schedule — so the model charges the same virtual time at
+// any thread width and any interleaving of Ship calls. This mirrors the
+// disk's determinism contract (per-lane accrual there, order-independent
+// totals here) and is what keeps the scale-out equivalence gate's replay
+// byte-identical.
+//
+// Lock rank: kNetwork sits above kStorageDisk — a shipped request may
+// charge the network and then read the destination node's disk, so the
+// network lock is always acquired first (death-tested in
+// tests/scaleout_test.cc).
+class NetworkModel {
+ public:
+  explicit NetworkModel(int nodes, NetworkConfig config = NetworkConfig());
+
+  NetworkModel(const NetworkModel&) = delete;
+  NetworkModel& operator=(const NetworkModel&) = delete;
+
+  int nodes() const { return nodes_; }
+  const NetworkConfig& config() const { return config_; }
+
+  // Charges `bytes` over `messages` messages on the src -> dst link and
+  // folds the transfer into `ectx`'s OpCounters (net_bytes/net_messages).
+  // Local transfers (src == dst) are free: no charge, no counters.
+  void Ship(int src, int dst, uint64_t bytes, uint64_t messages,
+            const exec::ExecContext& ectx) SWAN_EXCLUDES(mutex_);
+
+  // --- accounting -------------------------------------------------------
+  uint64_t total_bytes() const SWAN_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return total_bytes_;
+  }
+  uint64_t total_messages() const SWAN_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return total_messages_;
+  }
+
+  // Modeled network seconds accrued so far (see class comment).
+  double seconds() const SWAN_EXCLUDES(mutex_);
+
+  // Nonzero links in deterministic (src, dst) order.
+  std::vector<LinkStats> PerLink() const SWAN_EXCLUDES(mutex_);
+
+  void ResetStats() SWAN_EXCLUDES(mutex_);
+
+ private:
+  const int nodes_;
+  const NetworkConfig config_;
+
+  mutable Mutex mutex_{LockRank::kNetwork, "net.model"};
+  // Dense (src * nodes + dst) link matrix; diagonal entries stay zero.
+  std::vector<LinkStats> links_ SWAN_GUARDED_BY(mutex_);
+  uint64_t total_bytes_ SWAN_GUARDED_BY(mutex_) = 0;
+  uint64_t total_messages_ SWAN_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace swan::net
+
+#endif  // SWANDB_NET_NETWORK_MODEL_H_

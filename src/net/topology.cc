@@ -1,0 +1,64 @@
+#include "net/topology.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace swan::net {
+
+Topology::Topology(TopologyConfig config)
+    : config_(config), network_(config.nodes, config.network) {
+  SWAN_CHECK_MSG(config_.nodes >= 1, "topology needs at least one node");
+  size_t per_node_pages = std::max<size_t>(
+      64, config_.pool_pages / static_cast<size_t>(config_.nodes));
+  nodes_.reserve(static_cast<size_t>(config_.nodes));
+  for (int n = 0; n < config_.nodes; ++n) {
+    nodes_.push_back(storage::MakeNodeStorage(config_.disk, per_node_pages));
+  }
+}
+
+double Topology::MaxNodeSeconds() const {
+  double max_seconds = 0.0;
+  for (const storage::NodeStorage& node : nodes_) {
+    max_seconds = std::max(max_seconds, node.disk->clock().now());
+  }
+  return max_seconds;
+}
+
+uint64_t Topology::TotalBytesRead() const {
+  uint64_t total = 0;
+  for (const storage::NodeStorage& node : nodes_) {
+    total += node.disk->total_bytes_read();
+  }
+  return total;
+}
+
+uint64_t Topology::TotalReads() const {
+  uint64_t total = 0;
+  for (const storage::NodeStorage& node : nodes_) {
+    total += node.disk->total_reads();
+  }
+  return total;
+}
+
+uint64_t Topology::TotalSeeks() const {
+  uint64_t total = 0;
+  for (const storage::NodeStorage& node : nodes_) {
+    total += node.disk->total_seeks();
+  }
+  return total;
+}
+
+std::vector<double> Topology::LaneSecondsSnapshot() const {
+  std::vector<double> lanes;
+  for (const storage::NodeStorage& node : nodes_) {
+    std::vector<double> node_lanes = node.disk->LaneSecondsSnapshot();
+    if (node_lanes.size() > lanes.size()) lanes.resize(node_lanes.size(), 0.0);
+    for (size_t i = 0; i < node_lanes.size(); ++i) {
+      lanes[i] = std::max(lanes[i], node_lanes[i]);
+    }
+  }
+  return lanes;
+}
+
+}  // namespace swan::net

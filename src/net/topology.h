@@ -1,0 +1,85 @@
+#ifndef SWANDB_NET_TOPOLOGY_H_
+#define SWANDB_NET_TOPOLOGY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/network_model.h"
+#include "storage/node_storage.h"
+
+namespace swan::net {
+
+struct TopologyConfig {
+  // Simulated node count (>= 1). One node is the degenerate topology a
+  // single-node backend is equivalent to.
+  int nodes = 1;
+  // Every node gets an identical disk (homogeneous cluster).
+  storage::DiskConfig disk;
+  // TOTAL buffer-pool budget, split evenly across nodes (floor 64 pages
+  // per node) — scaling out does not quietly grant the cluster more
+  // cache than the single-node baseline it is compared against.
+  size_t pool_pages = 65536;
+  NetworkConfig network;
+};
+
+// A deterministic cluster of N simulated nodes — each owning its private
+// SimulatedDisk + BufferPool stack, built through the one sanctioned
+// storage::MakeNodeStorage factory — joined by a NetworkModel on the same
+// virtual-clock discipline. The topology's virtual clock is
+//
+//   max over nodes of the node disk clock  +  network seconds
+//
+// because the nodes' disks accrue independently (a scatter touches them
+// in parallel in model time even though the simulation issues reads
+// serially), while every inter-node transfer serializes through the
+// modeled fabric. All state below the construction surface is per-node
+// or inside NetworkModel, each behind its own ranked lock; the topology
+// object itself is immutable after construction and needs no mutex.
+class Topology {
+ public:
+  explicit Topology(TopologyConfig config);
+
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  int nodes() const { return config_.nodes; }
+  const TopologyConfig& config() const { return config_; }
+
+  storage::SimulatedDisk* disk(int node) { return nodes_[node].disk.get(); }
+  const storage::SimulatedDisk* disk(int node) const {
+    return nodes_[node].disk.get();
+  }
+  storage::BufferPool* pool(int node) { return nodes_[node].pool.get(); }
+  const storage::BufferPool* pool(int node) const {
+    return nodes_[node].pool.get();
+  }
+
+  NetworkModel& network() { return network_; }
+  const NetworkModel& network() const { return network_; }
+
+  // Max over the per-node disk clocks: the model-time point at which the
+  // slowest node has finished its reads.
+  double MaxNodeSeconds() const;
+
+  // The cluster's virtual clock (see class comment).
+  double VirtualNow() const { return MaxNodeSeconds() + network_.seconds(); }
+
+  // Sums across nodes, for aggregate cost reporting.
+  uint64_t TotalBytesRead() const;
+  uint64_t TotalReads() const;
+  uint64_t TotalSeeks() const;
+
+  // Element-wise max of the per-node lane ledgers: lane i's cluster-wide
+  // busy time is bounded by its busiest node.
+  std::vector<double> LaneSecondsSnapshot() const;
+
+ private:
+  TopologyConfig config_;
+  std::vector<storage::NodeStorage> nodes_;
+  NetworkModel network_;
+};
+
+}  // namespace swan::net
+
+#endif  // SWANDB_NET_TOPOLOGY_H_

@@ -78,10 +78,12 @@ void ChromeSpanEvents(std::string* out, const SpanNode& node, int pid,
           "%s{\"ph\":\"X\",\"pid\":%d,\"tid\":1,\"ts\":%.3f,\"dur\":%.3f,"
           "\"name\":\"%s\",\"args\":{\"rows_in\":%" PRIu64
           ",\"rows_out\":%" PRIu64 ",\"bytes\":%" PRIu64 ",\"seeks\":%" PRIu64
-          ",\"morsels\":%" PRIu64 ",\"regions\":%" PRIu64 "}}",
+          ",\"morsels\":%" PRIu64 ",\"regions\":%" PRIu64
+          ",\"net_bytes\":%" PRIu64 ",\"net_messages\":%" PRIu64 "}}",
           *first ? "" : ",\n", pid, ts_us, dur_us,
           JsonEscape(node.name).c_str(), node.rows_in, node.rows_out,
-          node.bytes(), node.seeks(), node.morsels(), node.regions());
+          node.bytes(), node.seeks(), node.morsels(), node.regions(),
+          node.net_bytes(), node.net_messages());
   *first = false;
   // One slice per lane that accrued virtual I/O inside this span, on the
   // lane's own track. Lane slices start at the span's start; their
@@ -133,10 +135,12 @@ void JsonSpan(std::string* out, const SpanNode& node) {
           "{\"name\":\"%s\",\"vt_start\":%.9f,\"vt_seconds\":%.9f,"
           "\"excl_vt_seconds\":%.9f,\"rows_in\":%" PRIu64
           ",\"rows_out\":%" PRIu64 ",\"bytes\":%" PRIu64 ",\"seeks\":%" PRIu64
-          ",\"morsels\":%" PRIu64 ",\"regions\":%" PRIu64,
+          ",\"morsels\":%" PRIu64 ",\"regions\":%" PRIu64
+          ",\"net_bytes\":%" PRIu64 ",\"net_messages\":%" PRIu64,
           JsonEscape(node.name).c_str(), node.vt_start, node.vt_seconds(),
           node.ExclusiveVtSeconds(), node.rows_in, node.rows_out, node.bytes(),
-          node.seeks(), node.morsels(), node.regions());
+          node.seeks(), node.morsels(), node.regions(), node.net_bytes(),
+          node.net_messages());
   const std::vector<double> lanes = node.LaneIoSeconds();
   out->append(",\"lane_io_seconds\":[");
   for (size_t i = 0; i < lanes.size(); ++i) {

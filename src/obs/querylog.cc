@@ -120,6 +120,11 @@ std::string QueryLogRecordJson(const QueryLogRecord& record,
           record.bytes_read, record.seeks, record.match_calls, record.morsels,
           record.bgp_batches, record.star_gathers);
   AppendF(&out,
+          ",\"node\":%d,\"nodes\":%d,\"net_bytes\":%" PRIu64
+          ",\"net_messages\":%" PRIu64 ",\"net_seconds\":%.9f",
+          record.node, record.nodes, record.net_bytes, record.net_messages,
+          record.net_seconds);
+  AppendF(&out,
           ",\"session_cache\":{\"hits\":%" PRIu64 ",\"misses\":%" PRIu64
           ",\"evictions\":%" PRIu64 "}",
           record.session_cache_hits, record.session_cache_misses,

@@ -72,6 +72,13 @@ struct QueryLogRecord {
   uint64_t morsels = 0;
   uint64_t bgp_batches = 0;
   uint64_t star_gathers = 0;
+  // --- scale-out dimension (all zero on a single-node store) --------------
+  int node = 0;                // coordinator node this query gathered at
+  int nodes = 1;               // topology size of the executing store
+  uint64_t net_bytes = 0;      // modeled inter-node bytes of this execution
+  uint64_t net_messages = 0;   // modeled inter-node messages
+  double net_seconds = 0.0;    // modeled network time (inside io_seconds'
+                               // virtual-clock discipline, not added to it)
   // --- per-session cache visibility (cumulative at record time) ----------
   uint64_t session_cache_hits = 0;
   uint64_t session_cache_misses = 0;

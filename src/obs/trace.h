@@ -45,6 +45,8 @@ struct CounterSample {
   uint64_t seeks = 0;              // cumulative simulated-disk seeks
   uint64_t morsels = 0;            // cumulative ParallelFor chunks
   uint64_t parallel_regions = 0;   // cumulative fanned-out ParallelFor calls
+  uint64_t net_bytes = 0;          // cumulative modeled inter-node bytes
+  uint64_t net_messages = 0;       // cumulative modeled inter-node messages
   std::vector<double> lane_seconds;  // cumulative per-lane virtual I/O time
 };
 
@@ -67,6 +69,10 @@ struct SpanNode {
   uint64_t morsels() const { return close.morsels - open.morsels; }
   uint64_t regions() const {
     return close.parallel_regions - open.parallel_regions;
+  }
+  uint64_t net_bytes() const { return close.net_bytes - open.net_bytes; }
+  uint64_t net_messages() const {
+    return close.net_messages - open.net_messages;
   }
   // Virtual I/O seconds accrued per lane while the span was open (trailing
   // zero lanes trimmed). Non-empty only for spans that bracket parallel

@@ -1,0 +1,106 @@
+#include "plan/distributed.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+
+namespace swan::plan {
+
+namespace {
+
+// Adds the step's variable terms to `vars`, returning how many cells a
+// binding row holds after the step.
+void CollectVars(const PhysStep& step, std::set<std::string>* vars) {
+  auto add = [&](const Term& term) {
+    if (term.is_var) vars->insert(term.var);
+  };
+  if (step.kind == StepKind::kExtend) {
+    add(step.pattern.subject);
+    add(step.pattern.property);
+    add(step.pattern.object);
+  } else {
+    for (const BgpPattern& arm : step.arms) {
+      add(arm.subject);
+      add(arm.property);
+      add(arm.object);
+    }
+  }
+}
+
+void AnnotateStep(PhysStep* step, const DistCostModel& model,
+                  size_t width_in, size_t width_out) {
+  step->home_node = -1;
+  step->ship = ShipMode::kLocal;
+
+  if (step->kind == StepKind::kStarGather) {
+    // Each arm gathers its whole partition (Match-level shipping); the
+    // step is "local" to wherever the bindings are. Record a home only
+    // when every arm lives on the same node, for EXPLAIN.
+    int common = -2;
+    for (const BgpPattern& arm : step->arms) {
+      if (arm.property.is_var) return;
+      const int home = model.home_node(arm.property.id);
+      if (common == -2) common = home;
+      if (home != common) return;
+    }
+    if (common >= 0) step->home_node = common;
+    return;
+  }
+
+  // An unbound property probes every node's partitions; a sub-split
+  // property (-1) fans out regardless. Neither gains from shipping a
+  // filter beyond what the interpreter's Match routing already does.
+  if (step->pattern.property.is_var) return;
+  const int home = model.home_node(step->pattern.property.id);
+  if (home < 0) return;
+  step->home_node = home;
+  if (home == model.coordinator) return;  // bindings already live there
+
+  // Price the two strategies. Both pay a result-return leg; they differ
+  // in what travels forward: the whole binding table vs a distinct-key
+  // semi-join filter (one message, 8 bytes per key).
+  const double in = std::max(step->est_in < 0 ? 1.0 : step->est_in, 1.0);
+  const double out = step->est_out < 0 ? in : std::max(step->est_out, 0.0);
+  const double bindings_fwd = ShipSeconds(
+      model, in * static_cast<double>(width_in) * kBytesPerBindingCell,
+      std::ceil(in / kBindingsPerMessage));
+  const double bindings_back = ShipSeconds(
+      model, out * static_cast<double>(width_out) * kBytesPerBindingCell,
+      std::ceil(out / kBindingsPerMessage));
+  const double semijoin_fwd = ShipSeconds(model, in * kBytesPerKey, 1.0);
+  const double semijoin_back =
+      ShipSeconds(model, out * kBytesPerTriple, 1.0);
+  step->ship = bindings_fwd + bindings_back <= semijoin_fwd + semijoin_back
+                   ? ShipMode::kShipBindings
+                   : ShipMode::kShipSemiJoin;
+}
+
+void AnnotatePipeline(PhysPipeline* pipeline, const DistCostModel& model,
+                      std::set<std::string>* vars) {
+  for (PhysStep& step : pipeline->steps) {
+    const size_t width_in = std::max<size_t>(vars->size(), 1);
+    CollectVars(step, vars);
+    AnnotateStep(&step, model, width_in, std::max<size_t>(vars->size(), 1));
+  }
+  for (PhysPipeline& optional : pipeline->optionals) {
+    AnnotatePipeline(&optional, model, vars);
+  }
+}
+
+}  // namespace
+
+double ShipSeconds(const DistCostModel& model, double bytes, double messages) {
+  if (bytes <= 0 && messages <= 0) return 0.0;
+  return bytes / model.bytes_per_sec + messages * model.seconds_per_message;
+}
+
+void AnnotateDistribution(PhysicalPlan* plan, const DistCostModel& model) {
+  if (plan == nullptr || model.nodes <= 1 || !model.home_node) return;
+  for (PhysPipeline& branch : plan->branches) {
+    std::set<std::string> vars;  // per-branch: UNION arms are independent
+    AnnotatePipeline(&branch, model, &vars);
+  }
+}
+
+}  // namespace swan::plan

@@ -77,6 +77,14 @@ void RenderPipeline(const PhysPipeline& pipeline, const std::string& indent,
       }
       *out << ")";
     }
+    // Distribution annotations only appear on annotated (scale-out)
+    // plans, so single-node EXPLAIN output is unchanged.
+    if (step.ship != ShipMode::kLocal) {
+      *out << "  [" << ToString(step.ship) << " -> node " << step.home_node
+           << "]";
+    } else if (step.home_node >= 0) {
+      *out << "  [node " << step.home_node << "]";
+    }
     *out << "\n";
     for (const FilterExpr& filter : step.filters) {
       *out << indent << "  " << FilterText(filter, term_name) << "\n";
@@ -92,6 +100,18 @@ void RenderPipeline(const PhysPipeline& pipeline, const std::string& indent,
 }
 
 }  // namespace
+
+std::string ToString(ShipMode mode) {
+  switch (mode) {
+    case ShipMode::kLocal:
+      return "local";
+    case ShipMode::kShipBindings:
+      return "ship-bindings";
+    case ShipMode::kShipSemiJoin:
+      return "ship-semijoin";
+  }
+  return "?";
+}
 
 std::string PatternText(
     const BgpPattern& pattern,

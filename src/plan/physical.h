@@ -19,6 +19,26 @@ namespace swan::plan {
 // estimates, EXPLAIN ANALYZE (a profiled run) shows them next to the
 // actual row counts.
 
+// How a step's probe traffic travels in a scale-out topology. Annotated
+// by AnnotateDistribution (plan/distributed.h) after join ordering —
+// distribution never reorders a plan, it only prices the chosen order.
+// Single-node plans keep every step at kLocal.
+enum class ShipMode {
+  // The probe is answered where the bindings already are (single node,
+  // sub-split property, or the step's partition lives on the
+  // coordinator).
+  kLocal,
+  // The full binding table ships to the partition's home node and the
+  // probe runs there. Cheap for small binding sets.
+  kShipBindings,
+  // Only the distinct join keys ship (a semi-join filter); the home node
+  // answers with the matching triples. Cheap for wide or large binding
+  // sets probing a selective partition.
+  kShipSemiJoin,
+};
+
+std::string ToString(ShipMode mode);
+
 enum class StepKind {
   // Extend every binding row with the matches of one instantiated
   // pattern (index-nested-loop at the logical level).
@@ -52,6 +72,12 @@ struct PhysStep {
   double est_in = -1.0;
   double est_out = -1.0;
   double est_matches = -1.0;
+
+  // Scale-out annotations (AnnotateDistribution): the node owning this
+  // step's property partition (-1 = unbound property, sub-split, or
+  // single node) and how the probe traffic ships there.
+  int home_node = -1;
+  ShipMode ship = ShipMode::kLocal;
 };
 
 struct PhysPipeline {

@@ -104,7 +104,7 @@ void QueryService::Start() {
     // service > turnstile lock order made executable (no request is in
     // flight: started_ was false, so no worker holds the turnstile).
     MutexLock turn(&turn_mutex_);
-    trace_clock0_ = store_->backend().disk()->clock().now();
+    trace_clock0_ = store_->backend().VirtualSeconds();
   }
   work_cv_.NotifyAll();
 }
@@ -214,7 +214,7 @@ Completion QueryService::Execute(Ticket ticket) {
   record.kind = ToString(ticket.request.kind);
   record.backend = store_->name();
   record.queue_depth = ticket.queue_depth;
-  record.vt_start = store_->backend().disk()->clock().now() - trace_clock0_;
+  record.vt_start = store_->backend().VirtualSeconds() - trace_clock0_;
   // The virtual clock does not advance while a request queues, so its
   // wait is the virtual time from the batch epoch (Start()) to execution.
   record.queue_wait_seconds = record.vt_start;
@@ -228,6 +228,9 @@ Completion QueryService::Execute(Ticket ticket) {
                     std::to_string(ticket.request.triple.subject) + " " +
                     std::to_string(ticket.request.triple.property) + " " +
                     std::to_string(ticket.request.triple.object);
+      if (const core::DistRouting* dist = store_->backend().dist()) {
+        record.nodes = dist->nodes();
+      }
       CpuTimer timer;
       completion.status = ticket.request.kind == Request::Kind::kInsert
                               ? store_->Insert(ticket.request.triple)
@@ -259,7 +262,7 @@ Completion QueryService::Execute(Ticket ticket) {
   record.cache_hit = completion.cache_hit;
   record.snapshot_version = completion.snapshot_version;
   record.rows = completion.result.rows.size();
-  record.vt_finish = store_->backend().disk()->clock().now() - trace_clock0_;
+  record.vt_finish = store_->backend().VirtualSeconds() - trace_clock0_;
   record.service_seconds = completion.service_seconds;
   record.session_cache_hits =
       session_metrics.GetCounter("session.cache_hits")->value();
@@ -290,8 +293,27 @@ void QueryService::RunQueryTicket(const Ticket& ticket,
   const std::string cache_text = CacheText(ticket.request);
   record->text = cache_text;
 
+  // Scale-out node affinity: each session gathers at a fixed coordinator,
+  // derived from its deterministic open index. Execution is serialized by
+  // the turnstile, so moving the coordinator between queries is a
+  // quiescent-point write. Single-node stores keep node 0.
+  core::DistRouting* dist = backend.dist();
+  const int topology_nodes = dist != nullptr ? dist->nodes() : 1;
+  const int node =
+      static_cast<int>((ticket.session->seq() - 1) %
+                       static_cast<uint64_t>(topology_nodes));
+  if (dist != nullptr) dist->SetCoordinator(node);
+  record->node = node;
+  record->nodes = topology_nodes;
+  // The cached payload is coordinator-independent (row bags are), but the
+  // cost attribution is not: key the cache per gather node so a hit
+  // recorded against node n never masks another node's modeled traffic.
+  const std::string cache_key =
+      topology_nodes > 1 ? cache_text + " @node=" + std::to_string(node)
+                         : cache_text;
+
   if (cache_ != nullptr) {
-    std::optional<ResultPayload> hit = cache_->Get(cache_text, version);
+    std::optional<ResultPayload> hit = cache_->Get(cache_key, version);
     if (hit.has_value()) {
       completion->result = std::move(*hit);
       completion->cache_hit = true;
@@ -309,7 +331,7 @@ void QueryService::RunQueryTicket(const Ticket& ticket,
   // query's span tree, and span bookkeeping never advances the virtual
   // clock, so the modeled figures are unchanged. The Chrome-trace record
   // (one track per session) is kept only under options.trace.
-  const double trace_offset = backend.disk()->clock().now() - trace_clock0_;
+  const double trace_offset = backend.VirtualSeconds() - trace_clock0_;
   auto profile = std::make_unique<core::ScopedProfile>(
       ToString(ticket.request.kind) +
           std::string(" #") + std::to_string(ticket.ticket),
@@ -317,11 +339,12 @@ void QueryService::RunQueryTicket(const Ticket& ticket,
 
   const exec::OpCounters::Snapshot counters_before =
       ticket.session->ectx().counters().Snap();
-  const uint64_t disk_bytes_before = backend.disk()->total_bytes_read();
-  const uint64_t disk_seeks_before = backend.disk()->total_seeks();
+  const uint64_t disk_bytes_before = backend.TotalBytesRead();
+  const uint64_t disk_seeks_before = backend.TotalSeeks();
+  const double net_seconds_before = backend.NetSeconds();
   const std::vector<double> lanes_before = exec::LaneCpuSnapshot();
   CpuTimer timer;
-  const double io_before = backend.disk()->clock().now();
+  const double io_before = backend.VirtualSeconds();
 
   if (ticket.request.kind == Request::Kind::kBench) {
     if (!bench_ctx_.has_value()) {
@@ -356,15 +379,15 @@ void QueryService::RunQueryTicket(const Ticket& ticket,
   const double user = timer.ElapsedSeconds();
   const double modeled_cpu =
       exec::ModeledCpuSeconds(lanes_before, exec::LaneCpuSnapshot(), user);
-  const double io = backend.disk()->clock().now() - io_before;
+  const double io = backend.VirtualSeconds() - io_before;
   completion->service_seconds =
       modeled_cpu + io + options_.request_overhead_seconds;
 
   record->io_seconds = io;
   record->latency_seconds = io + options_.request_overhead_seconds;
   record->cpu_seconds = modeled_cpu;
-  record->bytes_read = backend.disk()->total_bytes_read() - disk_bytes_before;
-  record->seeks = backend.disk()->total_seeks() - disk_seeks_before;
+  record->bytes_read = backend.TotalBytesRead() - disk_bytes_before;
+  record->seeks = backend.TotalSeeks() - disk_seeks_before;
   const exec::OpCounters::Snapshot counters_after =
       ticket.session->ectx().counters().Snap();
   record->match_calls = counters_after.match_calls - counters_before.match_calls;
@@ -372,6 +395,10 @@ void QueryService::RunQueryTicket(const Ticket& ticket,
   record->bgp_batches = counters_after.bgp_batches - counters_before.bgp_batches;
   record->star_gathers =
       counters_after.star_gathers - counters_before.star_gathers;
+  record->net_bytes = counters_after.net_bytes - counters_before.net_bytes;
+  record->net_messages =
+      counters_after.net_messages - counters_before.net_messages;
+  record->net_seconds = backend.NetSeconds() - net_seconds_before;
 
   std::shared_ptr<obs::TraceSession> session =
       profile->FinishWithCpu(modeled_cpu);
@@ -385,7 +412,7 @@ void QueryService::RunQueryTicket(const Ticket& ticket,
 
   if (completion->status.ok() && cache_ != nullptr) {
     const size_t evicted =
-        cache_->Put(cache_text, version, completion->result);
+        cache_->Put(cache_key, version, completion->result);
     if (evicted > 0) {
       ticket.session->metrics()
           .GetCounter("session.cache_evictions")

@@ -1,0 +1,71 @@
+#ifndef SWANDB_SHARD_PLACEMENT_H_
+#define SWANDB_SHARD_PLACEMENT_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/triple.h"
+
+namespace swan::shard {
+
+struct PlacementConfig {
+  int nodes = 1;
+  // A property holding more than total_triples / (split_factor * nodes)
+  // triples is subject-hash sub-split across every node instead of living
+  // on one: without the sub-split a dominant property (Barton's <type> is
+  // ~a third of the data) pins its whole partition to one node and caps
+  // scale-out at that node's disk.
+  double split_factor = 2.0;
+};
+
+// Deterministic property-to-node placement: vertical partitions are the
+// shards (the paper's own storage scheme doubling as the distribution
+// key). Properties are placed by greedy bin-packing — sorted by triple
+// count descending (id ascending on ties), each assigned to the currently
+// least-loaded node — and oversized properties are sub-split by subject
+// hash. The plan is a pure function of the triple multiset and the
+// config, so every node count yields one placement, reproducible across
+// runs and machines.
+class Placement {
+ public:
+  Placement(std::span<const rdf::Triple> triples, PlacementConfig config);
+
+  int nodes() const { return config_.nodes; }
+
+  // The node owning `property`'s partition, or -1 when sub-split across
+  // all nodes. Properties never seen at placement time (post-load
+  // inserts of a new property id) hash to a stable node.
+  int HomeNode(uint64_t property) const;
+
+  // The node storing this triple: HomeNode when pinned, subject-hash
+  // otherwise.
+  int NodeOf(const rdf::Triple& triple) const;
+
+  // Node for a (sub-split property, subject) pair.
+  int SubjectNode(uint64_t subject) const {
+    return static_cast<int>(HashId(subject) %
+                            static_cast<uint64_t>(config_.nodes));
+  }
+
+  // Triples placed per node (for the bench's balance report).
+  const std::vector<uint64_t>& node_loads() const { return loads_; }
+  // Properties that were sub-split.
+  const std::vector<uint64_t>& split_properties() const { return split_; }
+
+  // splitmix64 finalizer: a stable, well-mixed id hash (std::hash on
+  // integers is identity on common toolchains, which would correlate with
+  // generator id assignment).
+  static uint64_t HashId(uint64_t id);
+
+ private:
+  PlacementConfig config_;
+  std::unordered_map<uint64_t, int> home_;  // pinned properties only
+  std::vector<uint64_t> loads_;
+  std::vector<uint64_t> split_;
+};
+
+}  // namespace swan::shard
+
+#endif  // SWANDB_SHARD_PLACEMENT_H_

@@ -1,0 +1,154 @@
+#ifndef SWANDB_SHARD_SHARDED_BACKEND_H_
+#define SWANDB_SHARD_SHARDED_BACKEND_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "colstore/compression.h"
+#include "core/backend.h"
+#include "core/query.h"
+#include "net/topology.h"
+#include "rdf/dataset.h"
+#include "rdf/triple.h"
+#include "shard/placement.h"
+
+namespace swan::shard {
+
+struct ShardOptions {
+  // Simulated node count (>= 1; 1 is the degenerate topology used as the
+  // scale-out baseline — same orchestration, no network traffic).
+  int nodes = 2;
+  // Per-node engine: the vertical column scheme (the paper's) or the
+  // column triple store in `order`.
+  bool vertical = true;
+  rdf::TripleOrder order = rdf::TripleOrder::kPSO;
+  storage::DiskConfig disk;
+  // TOTAL buffer-pool pages, split across nodes by the topology.
+  size_t pool_pages = 65536;
+  net::NetworkConfig network;
+  colstore::ColumnCodec codec = colstore::ColumnCodec::kRaw;
+  double split_factor = 2.0;
+};
+
+// The scale-out backend: N column-store partitions over a simulated
+// multi-node topology, orchestrated by scatter/gather with semi-join
+// filter shipping. Placement is by property (vertical partitions are the
+// shards) with a subject-hash sub-split for dominant properties; every
+// node owns a private disk + buffer pool inside the net::Topology, and
+// all inter-node movement is charged to the NetworkModel on the shared
+// virtual-clock discipline.
+//
+// Equivalence contract: Run and Match return the same row bags as the
+// single-node backends at every node count and thread width. The
+// orchestration is deterministic — node loops in node order, merges
+// through ordered maps, placement a pure function of the data — so the
+// serve tier's byte-identical replay guarantee survives distribution.
+//
+// Network accounting contract: Match charges only the result-return leg
+// (owner -> coordinator, 24 bytes/triple, one message per remote part).
+// The request/shipping leg — scattered bindings or a shipped semi-join
+// filter — belongs to the caller's discipline: Run's orchestration
+// charges it per phase, and the BGP interpreter charges it per annotated
+// step (plan::AnnotateDistribution decides bindings vs semi-join from
+// modeled network cost).
+class ShardedBackend : public core::Backend {
+ public:
+  ShardedBackend(const rdf::Dataset& dataset, ShardOptions options);
+  ~ShardedBackend() override;
+
+  std::string name() const override;
+  bool Supports(core::QueryId id) const override;
+
+  using core::Backend::Run;
+  using core::Backend::Match;
+  core::QueryResult Run(core::QueryId id, const core::QueryContext& ctx,
+                        const exec::ExecContext& ectx) override;
+  std::vector<rdf::Triple> Match(const rdf::TriplePattern& pattern,
+                                 const exec::ExecContext& ectx) const override;
+
+  plan::AccessHints PlannerHints() const override;
+
+  Status Insert(const rdf::Triple& triple) override;
+  Status Delete(const rdf::Triple& triple) override;
+
+  void DropCaches() override;
+
+  // The coordinator node's disk (aggregate modeled cost lives in the
+  // virtuals below).
+  storage::SimulatedDisk* disk() override;
+  const storage::SimulatedDisk* disk() const override;
+  const storage::BufferPool* buffer_pool() const override;
+  uint64_t disk_bytes() const override;
+
+  core::DistRouting* dist() const override;
+
+  double VirtualSeconds() const override;
+  uint64_t TotalBytesRead() const override;
+  uint64_t TotalReads() const override;
+  uint64_t TotalSeeks() const override;
+  std::vector<double> LaneSecondsSnapshot() const override;
+  uint64_t TotalNetBytes() const override;
+  uint64_t TotalNetMessages() const override;
+  double NetSeconds() const override;
+
+  audit::AuditReport Audit(audit::AuditLevel level) const override;
+
+  const net::Topology& topology() const { return *topology_; }
+  const Placement& placement() const { return placement_; }
+  const ShardOptions& options() const { return options_; }
+  int coordinator() const { return coordinator_; }
+
+ private:
+  class Routing;
+
+  std::vector<int> AllNodes() const;
+  // Nodes that can hold triples of `property`: its home, or all when
+  // sub-split.
+  std::vector<int> NodesFor(uint64_t property) const;
+  // Charges a transfer on the modeled network (src == dst is free).
+  void Ship(int src, int dst, uint64_t bytes, uint64_t messages,
+            const exec::ExecContext& ectx) const;
+
+  // Sorted distinct subjects s with (s, property, object) on `node`.
+  std::vector<uint64_t> LocalSubjectsOf(int node, uint64_t property,
+                                        uint64_t object,
+                                        const exec::ExecContext& ectx) const;
+  // Gathers the global subject set of (?, property, object) and charges
+  // its broadcast as a semi-join filter to every consumer node.
+  std::vector<uint64_t> GatherSubjectFilter(
+      uint64_t property, uint64_t object, const std::vector<int>& consumers,
+      const exec::ExecContext& ectx) const;
+
+  core::QueryResult RunQ1(const core::QueryContext& ctx,
+                          const exec::ExecContext& ectx) const;
+  core::QueryResult RunQ2Family(core::QueryId id, const core::QueryContext& ctx,
+                                const exec::ExecContext& ectx) const;
+  core::QueryResult RunQ3Family(core::QueryId id, const core::QueryContext& ctx,
+                                const exec::ExecContext& ectx) const;
+  core::QueryResult RunQ5(const core::QueryContext& ctx,
+                          const exec::ExecContext& ectx) const;
+  core::QueryResult RunQ6Family(core::QueryId id, const core::QueryContext& ctx,
+                                const exec::ExecContext& ectx) const;
+  core::QueryResult RunQ7(const core::QueryContext& ctx,
+                          const exec::ExecContext& ectx) const;
+  core::QueryResult RunQ8(const core::QueryContext& ctx,
+                          const exec::ExecContext& ectx) const;
+
+  ShardOptions options_;
+  const rdf::Dataset* dataset_;
+  Placement placement_;
+  std::unique_ptr<net::Topology> topology_;
+  // One column backend per node, over the topology's borrowed storage.
+  std::vector<std::unique_ptr<core::Backend>> inner_;
+  std::unique_ptr<Routing> routing_;
+  // Session node affinity: written by the serve tier between queries
+  // (turnstile-serialized), read during Run/Match.
+  int coordinator_ = 0;
+  // Charges request legs for Insert/Delete, which carry no ExecContext.
+  exec::ExecContext write_ectx_{1};
+};
+
+}  // namespace swan::shard
+
+#endif  // SWANDB_SHARD_SHARDED_BACKEND_H_

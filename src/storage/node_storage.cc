@@ -1,0 +1,12 @@
+#include "storage/node_storage.h"
+
+namespace swan::storage {
+
+NodeStorage MakeNodeStorage(DiskConfig config, size_t pool_pages) {
+  NodeStorage node;
+  node.disk = std::make_unique<SimulatedDisk>(config);
+  node.pool = std::make_unique<BufferPool>(node.disk.get(), pool_pages);
+  return node;
+}
+
+}  // namespace swan::storage

@@ -1,0 +1,30 @@
+#ifndef SWANDB_STORAGE_NODE_STORAGE_H_
+#define SWANDB_STORAGE_NODE_STORAGE_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "storage/buffer_pool.h"
+#include "storage/simulated_disk.h"
+
+namespace swan::storage {
+
+// One node's private storage stack: a simulated disk plus the buffer pool
+// caching its pages. Scale-out made "a disk and its pool" a unit that is
+// stamped out N times per topology, so construction is funneled through
+// MakeNodeStorage — the only place outside this directory allowed to build
+// the pair (enforced by tools/swan_lint.py rule `node-disk`). That keeps
+// every disk in the system attributable to exactly one node (or to the
+// single-node backend base), which is what makes per-node virtual clocks
+// and the max-over-nodes scale-out timing model honest.
+struct NodeStorage {
+  std::unique_ptr<SimulatedDisk> disk;
+  std::unique_ptr<BufferPool> pool;
+};
+
+// Builds a disk with `config` and a pool of `pool_pages` pages over it.
+NodeStorage MakeNodeStorage(DiskConfig config, size_t pool_pages);
+
+}  // namespace swan::storage
+
+#endif  // SWANDB_STORAGE_NODE_STORAGE_H_

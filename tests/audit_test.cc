@@ -38,7 +38,7 @@ using audit::FindingClass;
 // --- corruption class 1: silent media corruption -------------------------
 
 TEST(DiskChecksumTest, ReadPageReportsSilentCorruption) {
-  storage::SimulatedDisk disk;
+  storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
   const uint32_t file = disk.CreateFile();
   std::vector<uint8_t> page(storage::kPageSize, 0xAB);
   disk.AppendPage(file, page.data());
@@ -61,7 +61,7 @@ TEST(DiskChecksumTest, ReadPageReportsSilentCorruption) {
 }
 
 TEST(DiskChecksumTest, DiskAuditSweepsEveryPage) {
-  storage::SimulatedDisk disk;
+  storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
   const uint32_t file = disk.CreateFile();
   std::vector<uint8_t> page(storage::kPageSize, 0x5C);
   for (int p = 0; p < 10; ++p) disk.AppendPage(file, page.data());
@@ -78,11 +78,11 @@ TEST(DiskChecksumTest, DiskAuditSweepsEveryPage) {
 }
 
 TEST(BufferPoolChecksumTest, TryFetchSurfacesCorruptionAsStatus) {
-  storage::SimulatedDisk disk;
+  storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
   const uint32_t file = disk.CreateFile();
   std::vector<uint8_t> page(storage::kPageSize, 0x11);
   disk.AppendPage(file, page.data());
-  storage::BufferPool pool(&disk, 8);
+  storage::BufferPool pool(&disk, 8);  // swan-lint: allow(node-disk)
 
   disk.CorruptPageForTesting({file, 0}, 0, 0x80);
   storage::PageGuard guard;
@@ -93,11 +93,11 @@ TEST(BufferPoolChecksumTest, TryFetchSurfacesCorruptionAsStatus) {
 }
 
 TEST(BufferPoolChecksumDeathTest, FetchAbortsOnCorruptPage) {
-  storage::SimulatedDisk disk;
+  storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
   const uint32_t file = disk.CreateFile();
   std::vector<uint8_t> page(storage::kPageSize, 0x22);
   disk.AppendPage(file, page.data());
-  storage::BufferPool pool(&disk, 8);
+  storage::BufferPool pool(&disk, 8);  // swan-lint: allow(node-disk)
   disk.CorruptPageForTesting({file, 0}, 9, 0x04);
   EXPECT_DEATH((void)pool.Fetch({file, 0}), "checksum mismatch");
 }
@@ -116,8 +116,8 @@ Tree3 BuildTree(storage::BufferPool* pool, storage::SimulatedDisk* disk,
 }
 
 TEST(BPlusTreeAuditTest, ByteFlippedPageIsAChecksumFinding) {
-  storage::SimulatedDisk disk;
-  storage::BufferPool pool(&disk, 1 << 10);
+  storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
+  storage::BufferPool pool(&disk, 1 << 10);  // swan-lint: allow(node-disk)
   Tree3 tree = BuildTree(&pool, &disk, 2000);
   ASSERT_GT(tree.page_count(), 3u);  // multi-page: leaves + a root
   ASSERT_TRUE(audit::Audit(tree, AuditLevel::kFull).ok());
@@ -133,8 +133,8 @@ TEST(BPlusTreeAuditTest, ByteFlippedPageIsAChecksumFinding) {
 }
 
 TEST(BPlusTreeAuditTest, ReorderedLeafKeysAreAStructuralFinding) {
-  storage::SimulatedDisk disk;
-  storage::BufferPool pool(&disk, 1 << 10);
+  storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
+  storage::BufferPool pool(&disk, 1 << 10);  // swan-lint: allow(node-disk)
   Tree3 tree = BuildTree(&pool, &disk, 2000);
   ASSERT_TRUE(audit::Audit(tree, AuditLevel::kFull).ok());
 
@@ -165,8 +165,8 @@ TEST(BPlusTreeAuditTest, ReorderedLeafKeysAreAStructuralFinding) {
 }
 
 TEST(BPlusTreeAuditTest, BrokenLeafChainIsDetected) {
-  storage::SimulatedDisk disk;
-  storage::BufferPool pool(&disk, 1 << 10);
+  storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
+  storage::BufferPool pool(&disk, 1 << 10);  // swan-lint: allow(node-disk)
   Tree3 tree = BuildTree(&pool, &disk, 2000);
 
   // Truncate the leftmost leaf's next pointer: scans would silently stop
@@ -186,8 +186,8 @@ TEST(BPlusTreeAuditTest, BrokenLeafChainIsDetected) {
 // --- column store: sortedness and id-range corruption ---------------------
 
 TEST(ColumnAuditTest, ShuffledSortedColumnIsAColumnFinding) {
-  storage::SimulatedDisk disk;
-  storage::BufferPool pool(&disk, 64);
+  storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
+  storage::BufferPool pool(&disk, 64);  // swan-lint: allow(node-disk)
   colstore::Column col(&pool, &disk, colstore::ColumnCodec::kRaw);
   std::vector<uint64_t> values(5000);
   for (size_t i = 0; i < values.size(); ++i) values[i] = i;
@@ -224,8 +224,8 @@ TEST(ColumnAuditTest, ShuffledSortedColumnIsAColumnFinding) {
 }
 
 TEST(ColumnAuditTest, DictionaryCodeOutOfRangeIsAColumnFinding) {
-  storage::SimulatedDisk disk;
-  storage::BufferPool pool(&disk, 64);
+  storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
+  storage::BufferPool pool(&disk, 64);  // swan-lint: allow(node-disk)
   colstore::Column col(&pool, &disk, colstore::ColumnCodec::kRaw);
   std::vector<uint64_t> values = {3, 1, 4, 1, 5, 9, 2, 6};
   col.Build(values);
@@ -256,8 +256,8 @@ TEST(ColumnAuditTest, ChecksumFailureOnCompressedColumnDoesNotAbort) {
   // A corrupt page under a compressed column must become a kChecksum
   // finding — the auditor must not attempt to decode the damaged bytes
   // (DecompressU64 aborts on malformed input by design).
-  storage::SimulatedDisk disk;
-  storage::BufferPool pool(&disk, 64);
+  storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
+  storage::BufferPool pool(&disk, 64);  // swan-lint: allow(node-disk)
   colstore::Column col(&pool, &disk, colstore::ColumnCodec::kRle);
   std::vector<uint64_t> values(5000, 7);
   col.Build(values);
@@ -299,11 +299,11 @@ TEST(DictionaryAuditTest, DuplicateIdBreaksTheBijection) {
 // --- corruption class 4: buffer-pool pin accounting ------------------------
 
 TEST(BufferPoolAuditTest, LeakedPinIsDetectedAndReleaseClearsIt) {
-  storage::SimulatedDisk disk;
+  storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
   const uint32_t file = disk.CreateFile();
   std::vector<uint8_t> page(storage::kPageSize, 0x33);
   for (int p = 0; p < 4; ++p) disk.AppendPage(file, page.data());
-  storage::BufferPool pool(&disk, 8);
+  storage::BufferPool pool(&disk, 8);  // swan-lint: allow(node-disk)
 
   {
     storage::PageGuard leak = pool.Fetch({file, 2});

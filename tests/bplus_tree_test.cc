@@ -14,8 +14,8 @@ using Tree2 = BPlusTree<2>;
 using Tree3 = BPlusTree<3>;
 
 struct TreeFixture {
-  storage::SimulatedDisk disk;
-  storage::BufferPool pool{&disk, 1 << 14};
+  storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
+  storage::BufferPool pool{&disk, 1 << 14};  // swan-lint: allow(node-disk)
 };
 
 std::vector<Tree3::Key> SequentialKeys(uint64_t n) {

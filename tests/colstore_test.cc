@@ -14,8 +14,8 @@ namespace swan::colstore {
 namespace {
 
 struct ColFixture {
-  storage::SimulatedDisk disk;
-  storage::BufferPool pool{&disk, 1 << 12};
+  storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
+  storage::BufferPool pool{&disk, 1 << 12};  // swan-lint: allow(node-disk)
 };
 
 TEST(ColumnTest, BuildAndGetRoundTrip) {

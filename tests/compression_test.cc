@@ -265,8 +265,8 @@ TEST(CompressionTest, RawCostsEightBytesPerValue) {
 }
 
 TEST(CompressedColumnTest, CompressedColumnReadsSameValues) {
-  storage::SimulatedDisk disk;
-  storage::BufferPool pool(&disk, 1 << 12);
+  storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
+  storage::BufferPool pool(&disk, 1 << 12);  // swan-lint: allow(node-disk)
   auto values = RandomValues(30000, 1 << 18, 5);
   std::sort(values.begin(), values.end());
 
@@ -280,8 +280,8 @@ TEST(CompressedColumnTest, CompressedColumnReadsSameValues) {
 }
 
 TEST(CompressedColumnTest, ColdLoadReadsFewerBytes) {
-  storage::SimulatedDisk disk;
-  storage::BufferPool pool(&disk, 1 << 12);
+  storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
+  storage::BufferPool pool(&disk, 1 << 12);  // swan-lint: allow(node-disk)
   auto values = RandomValues(100000, 1 << 18, 6);
   std::sort(values.begin(), values.end());
 
@@ -302,8 +302,8 @@ TEST(CompressedColumnTest, ColdLoadReadsFewerBytes) {
 }
 
 TEST(CompressedColumnTest, StoredBytesTracksEncodedAndLogicalImages) {
-  storage::SimulatedDisk disk;
-  storage::BufferPool pool(&disk, 1 << 12);
+  storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
+  storage::BufferPool pool(&disk, 1 << 12);  // swan-lint: allow(node-disk)
   std::vector<uint64_t> values;
   for (uint64_t p = 0; p < 10; ++p) values.insert(values.end(), 1000, p);
 
@@ -319,8 +319,8 @@ TEST(CompressedColumnTest, StoredBytesTracksEncodedAndLogicalImages) {
 }
 
 TEST(CompressedColumnTest, AuditFlagsStoredBytesDesync) {
-  storage::SimulatedDisk disk;
-  storage::BufferPool pool(&disk, 1 << 12);
+  storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
+  storage::BufferPool pool(&disk, 1 << 12);  // swan-lint: allow(node-disk)
   const auto values = RandomValues(20000, 1 << 12, 8);
   Column col(&pool, &disk, ColumnCodec::kAuto);
   col.Build(values);
@@ -338,8 +338,8 @@ TEST(CompressedColumnTest, AuditFlagsStoredBytesDesync) {
 }
 
 TEST(CompressedColumnTest, DropCacheAndReloadStillCorrect) {
-  storage::SimulatedDisk disk;
-  storage::BufferPool pool(&disk, 1 << 12);
+  storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
+  storage::BufferPool pool(&disk, 1 << 12);  // swan-lint: allow(node-disk)
   const auto values = RandomValues(5000, 100, 7);
   Column col(&pool, &disk, ColumnCodec::kAuto);
   col.Build(values);

@@ -8,8 +8,8 @@ namespace swan::cstore {
 namespace {
 
 struct CStoreFixture {
-  storage::SimulatedDisk disk{CStoreEngine::RecommendedDiskConfig(390.0)};
-  storage::BufferPool pool{&disk, 1 << 12};
+  storage::SimulatedDisk disk{CStoreEngine::RecommendedDiskConfig(390.0)};  // swan-lint: allow(node-disk)
+  storage::BufferPool pool{&disk, 1 << 12};  // swan-lint: allow(node-disk)
 };
 
 // Tiny graph with ids assigned manually:
@@ -115,8 +115,8 @@ TEST(CStoreEngineTest, PoorIoUtilizationUnderForcedSeeks) {
   CStoreConstants constants = kConstants;
   constants.dict_size = 128;  // objects reach id 96 in this graph
   auto cold_seconds = [&](double bandwidth) {
-    storage::SimulatedDisk disk(CStoreEngine::RecommendedDiskConfig(bandwidth));
-    storage::BufferPool pool(&disk, 1 << 12);
+    storage::SimulatedDisk disk(CStoreEngine::RecommendedDiskConfig(bandwidth));  // swan-lint: allow(node-disk)
+    storage::BufferPool pool(&disk, 1 << 12);  // swan-lint: allow(node-disk)
     CStoreEngine engine(&pool, &disk);
     std::vector<uint64_t> props = {1};
     engine.Load(triples, props);

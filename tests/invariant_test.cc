@@ -18,8 +18,8 @@ namespace {
 using ::testing::KilledBySignal;
 
 TEST(InvariantDeathTest, ColumnBuildTwiceAborts) {
-  storage::SimulatedDisk disk;
-  storage::BufferPool pool(&disk, 16);
+  storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
+  storage::BufferPool pool(&disk, 16);  // swan-lint: allow(node-disk)
   colstore::Column col(&pool, &disk);
   const std::vector<uint64_t> values = {1, 2, 3};
   col.Build(values);
@@ -27,15 +27,15 @@ TEST(InvariantDeathTest, ColumnBuildTwiceAborts) {
 }
 
 TEST(InvariantDeathTest, ColumnGetBeforeBuildAborts) {
-  storage::SimulatedDisk disk;
-  storage::BufferPool pool(&disk, 16);
+  storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
+  storage::BufferPool pool(&disk, 16);  // swan-lint: allow(node-disk)
   colstore::Column col(&pool, &disk);
   EXPECT_DEATH(col.Get(), "before Build");
 }
 
 TEST(InvariantDeathTest, BulkLoadOnNonEmptyTreeAborts) {
-  storage::SimulatedDisk disk;
-  storage::BufferPool pool(&disk, 64);
+  storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
+  storage::BufferPool pool(&disk, 64);  // swan-lint: allow(node-disk)
   rowstore::BPlusTree<2> tree(&pool, &disk);
   const std::vector<rowstore::BPlusTree<2>::Key> keys = {{1, 2}};
   tree.BulkLoad(keys);
@@ -48,8 +48,8 @@ TEST(InvariantDeathTest, TablePrinterRowWidthMismatchAborts) {
 }
 
 TEST(InvariantDeathTest, SortedTableSizeMismatchAborts) {
-  storage::SimulatedDisk disk;
-  storage::BufferPool pool(&disk, 16);
+  storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
+  storage::BufferPool pool(&disk, 16);  // swan-lint: allow(node-disk)
   rowstore::SortedTable table(&pool, &disk, 3);
   const std::vector<uint64_t> flat = {1, 2, 3, 4};  // not a multiple of 3
   EXPECT_DEATH(table.BulkLoad(flat, 2), "");
@@ -74,7 +74,7 @@ TEST(InvariantDeathTest, TruncatedCompressedBufferAborts) {
 }
 
 TEST(InvariantDeathTest, ReadPastEndOfDiskFileAborts) {
-  storage::SimulatedDisk disk;
+  storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
   const uint32_t f = disk.CreateFile();
   uint8_t buf[storage::kPageSize] = {};
   disk.AppendPage(f, buf);

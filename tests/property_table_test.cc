@@ -20,8 +20,8 @@ namespace {
 // --- SortedTable -----------------------------------------------------------
 
 struct TableFixture {
-  storage::SimulatedDisk disk;
-  storage::BufferPool pool{&disk, 1 << 12};
+  storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
+  storage::BufferPool pool{&disk, 1 << 12};  // swan-lint: allow(node-disk)
 };
 
 TEST(SortedTableTest, RoundTripsRows) {

@@ -12,8 +12,8 @@ namespace swan::rowstore {
 namespace {
 
 struct RowFixture {
-  storage::SimulatedDisk disk;
-  storage::BufferPool pool{&disk, 1 << 14};
+  storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
+  storage::BufferPool pool{&disk, 1 << 14};  // swan-lint: allow(node-disk)
 };
 
 std::vector<rdf::Triple> SmallGraph() {

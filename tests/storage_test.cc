@@ -17,7 +17,7 @@ std::vector<uint8_t> PatternPage(uint8_t fill) {
 }
 
 TEST(SimulatedDiskTest, RoundTripsPages) {
-  SimulatedDisk disk;
+  SimulatedDisk disk;  // swan-lint: allow(node-disk)
   const uint32_t f = disk.CreateFile();
   disk.AppendPage(f, PatternPage(0xAB).data());
   disk.AppendPage(f, PatternPage(0xCD).data());
@@ -30,7 +30,7 @@ TEST(SimulatedDiskTest, RoundTripsPages) {
 }
 
 TEST(SimulatedDiskTest, WritePageOverwrites) {
-  SimulatedDisk disk;
+  SimulatedDisk disk;  // swan-lint: allow(node-disk)
   const uint32_t f = disk.CreateFile();
   disk.AppendPage(f, PatternPage(0x11).data());
   disk.WritePage({f, 0}, PatternPage(0x22).data());
@@ -43,7 +43,7 @@ TEST(SimulatedDiskTest, ChargesBandwidthTime) {
   DiskConfig config;
   config.bandwidth_mb_per_s = 8.0;  // 1 page = 1.024 ms
   config.seek_latency_ms = 0.0;
-  SimulatedDisk disk(config);
+  SimulatedDisk disk(config);  // swan-lint: allow(node-disk)
   const uint32_t f = disk.CreateFile();
   for (int i = 0; i < 10; ++i) disk.AppendPage(f, PatternPage(0).data());
   uint8_t buf[kPageSize];
@@ -57,7 +57,7 @@ TEST(SimulatedDiskTest, ChargesBandwidthTime) {
 TEST(SimulatedDiskTest, SequentialReadsSkipSeeks) {
   DiskConfig config;
   config.seek_latency_ms = 10.0;
-  SimulatedDisk disk(config);
+  SimulatedDisk disk(config);  // swan-lint: allow(node-disk)
   const uint32_t f = disk.CreateFile();
   for (int i = 0; i < 5; ++i) disk.AppendPage(f, PatternPage(0).data());
   uint8_t buf[kPageSize];
@@ -68,7 +68,7 @@ TEST(SimulatedDiskTest, SequentialReadsSkipSeeks) {
 }
 
 TEST(SimulatedDiskTest, RandomReadsPaySeeks) {
-  SimulatedDisk disk;
+  SimulatedDisk disk;  // swan-lint: allow(node-disk)
   const uint32_t f = disk.CreateFile();
   for (int i = 0; i < 10; ++i) disk.AppendPage(f, PatternPage(0).data());
   uint8_t buf[kPageSize];
@@ -81,7 +81,7 @@ TEST(SimulatedDiskTest, RandomReadsPaySeeks) {
 TEST(SimulatedDiskTest, ForcedSeekIntervalLimitsRunLength) {
   DiskConfig config;
   config.forced_seek_interval_pages = 2;
-  SimulatedDisk disk(config);
+  SimulatedDisk disk(config);  // swan-lint: allow(node-disk)
   const uint32_t f = disk.CreateFile();
   for (int i = 0; i < 8; ++i) disk.AppendPage(f, PatternPage(0).data());
   uint8_t buf[kPageSize];
@@ -93,7 +93,7 @@ TEST(SimulatedDiskTest, ForcedSeekIntervalLimitsRunLength) {
 }
 
 TEST(SimulatedDiskTest, TraceRecordsCumulativeBytes) {
-  SimulatedDisk disk;
+  SimulatedDisk disk;  // swan-lint: allow(node-disk)
   const uint32_t f = disk.CreateFile();
   for (int i = 0; i < 4; ++i) disk.AppendPage(f, PatternPage(0).data());
   disk.StartTrace();
@@ -113,7 +113,7 @@ TEST(SimulatedDiskTest, TraceTagsParallelReadsWithLanes) {
   constexpr int kWidth = 4;
   constexpr uint32_t kPages = 64;
   swan::exec::SetThreads(kWidth);
-  SimulatedDisk disk;
+  SimulatedDisk disk;  // swan-lint: allow(node-disk)
   const uint32_t f = disk.CreateFile();
   for (uint32_t i = 0; i < kPages; ++i) {
     disk.AppendPage(f, PatternPage(static_cast<uint8_t>(i)).data());
@@ -146,7 +146,7 @@ TEST(SimulatedDiskTest, TraceTagsParallelReadsWithLanes) {
 }
 
 TEST(SimulatedDiskTest, ResetStatsClearsCounters) {
-  SimulatedDisk disk;
+  SimulatedDisk disk;  // swan-lint: allow(node-disk)
   const uint32_t f = disk.CreateFile();
   disk.AppendPage(f, PatternPage(0).data());
   uint8_t buf[kPageSize];
@@ -158,10 +158,10 @@ TEST(SimulatedDiskTest, ResetStatsClearsCounters) {
 }
 
 TEST(BufferPoolTest, MissThenHit) {
-  SimulatedDisk disk;
+  SimulatedDisk disk;  // swan-lint: allow(node-disk)
   const uint32_t f = disk.CreateFile();
   disk.AppendPage(f, PatternPage(0x5A).data());
-  BufferPool pool(&disk, 16);
+  BufferPool pool(&disk, 16);  // swan-lint: allow(node-disk)
   {
     PageGuard g = pool.Fetch({f, 0});
     EXPECT_EQ(g.data()[0], 0x5A);
@@ -173,10 +173,10 @@ TEST(BufferPoolTest, MissThenHit) {
 }
 
 TEST(BufferPoolTest, EvictsLeastRecentlyUsed) {
-  SimulatedDisk disk;
+  SimulatedDisk disk;  // swan-lint: allow(node-disk)
   const uint32_t f = disk.CreateFile();
   for (int i = 0; i < 20; ++i) disk.AppendPage(f, PatternPage(i).data());
-  BufferPool pool(&disk, 8);
+  BufferPool pool(&disk, 8);  // swan-lint: allow(node-disk)
   for (uint32_t p = 0; p < 20; ++p) {
     PageGuard g = pool.Fetch({f, p});
   }
@@ -192,10 +192,10 @@ TEST(BufferPoolTest, EvictsLeastRecentlyUsed) {
 }
 
 TEST(BufferPoolTest, PinnedPagesSurviveEvictionPressure) {
-  SimulatedDisk disk;
+  SimulatedDisk disk;  // swan-lint: allow(node-disk)
   const uint32_t f = disk.CreateFile();
   for (int i = 0; i < 20; ++i) disk.AppendPage(f, PatternPage(i).data());
-  BufferPool pool(&disk, 8);
+  BufferPool pool(&disk, 8);  // swan-lint: allow(node-disk)
   PageGuard pinned = pool.Fetch({f, 0});
   for (uint32_t p = 1; p < 20; ++p) {
     PageGuard g = pool.Fetch({f, p});
@@ -208,10 +208,10 @@ TEST(BufferPoolTest, PinnedPagesSurviveEvictionPressure) {
 }
 
 TEST(BufferPoolTest, ClearForcesColdReads) {
-  SimulatedDisk disk;
+  SimulatedDisk disk;  // swan-lint: allow(node-disk)
   const uint32_t f = disk.CreateFile();
   disk.AppendPage(f, PatternPage(1).data());
-  BufferPool pool(&disk, 16);
+  BufferPool pool(&disk, 16);  // swan-lint: allow(node-disk)
   { PageGuard g = pool.Fetch({f, 0}); }
   pool.Clear();
   { PageGuard g = pool.Fetch({f, 0}); }
@@ -219,10 +219,10 @@ TEST(BufferPoolTest, ClearForcesColdReads) {
 }
 
 TEST(BufferPoolTest, WriteThroughUpdatesCacheAndDisk) {
-  SimulatedDisk disk;
+  SimulatedDisk disk;  // swan-lint: allow(node-disk)
   const uint32_t f = disk.CreateFile();
   disk.AppendPage(f, PatternPage(1).data());
-  BufferPool pool(&disk, 16);
+  BufferPool pool(&disk, 16);  // swan-lint: allow(node-disk)
   { PageGuard g = pool.Fetch({f, 0}); }
   pool.WriteThrough({f, 0}, PatternPage(9).data());
   {
@@ -235,7 +235,7 @@ TEST(BufferPoolTest, WriteThroughUpdatesCacheAndDisk) {
 }
 
 TEST(PagedFileTest, U64RoundTrip) {
-  SimulatedDisk disk;
+  SimulatedDisk disk;  // swan-lint: allow(node-disk)
   PagedFile file(&disk);
   U64FileWriter writer(&file);
   std::vector<uint64_t> values;
@@ -244,20 +244,20 @@ TEST(PagedFileTest, U64RoundTrip) {
     writer.Append(i * 7 + 1);
   }
   writer.Finish();
-  BufferPool pool(&disk, 16);
+  BufferPool pool(&disk, 16);  // swan-lint: allow(node-disk)
   std::vector<uint64_t> back;
   ReadU64File(&pool, file, 3000, &back);
   EXPECT_EQ(back, values);
 }
 
 TEST(PagedFileTest, PartialLastPageIsPadded) {
-  SimulatedDisk disk;
+  SimulatedDisk disk;  // swan-lint: allow(node-disk)
   PagedFile file(&disk);
   U64FileWriter writer(&file);
   writer.Append(42);
   writer.Finish();
   EXPECT_EQ(file.page_count(), 1u);
-  BufferPool pool(&disk, 16);
+  BufferPool pool(&disk, 16);  // swan-lint: allow(node-disk)
   std::vector<uint64_t> back;
   ReadU64File(&pool, file, 1, &back);
   ASSERT_EQ(back.size(), 1u);
@@ -265,11 +265,11 @@ TEST(PagedFileTest, PartialLastPageIsPadded) {
 }
 
 TEST(PagedFileTest, EmptyFileReadsEmpty) {
-  SimulatedDisk disk;
+  SimulatedDisk disk;  // swan-lint: allow(node-disk)
   PagedFile file(&disk);
   U64FileWriter writer(&file);
   writer.Finish();
-  BufferPool pool(&disk, 16);
+  BufferPool pool(&disk, 16);  // swan-lint: allow(node-disk)
   std::vector<uint64_t> back{1, 2, 3};
   ReadU64File(&pool, file, 0, &back);
   EXPECT_TRUE(back.empty());

@@ -22,7 +22,7 @@ namespace swan {
 namespace {
 
 TEST(BufferPoolStressTest, RandomAccessMatchesShadowModel) {
-  storage::SimulatedDisk disk;
+  storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
   const uint32_t file = disk.CreateFile();
   constexpr int kPages = 200;
   for (int p = 0; p < kPages; ++p) {
@@ -30,7 +30,7 @@ TEST(BufferPoolStressTest, RandomAccessMatchesShadowModel) {
                               static_cast<uint8_t>(p * 7 + 1));
     disk.AppendPage(file, page.data());
   }
-  storage::BufferPool pool(&disk, 16);
+  storage::BufferPool pool(&disk, 16);  // swan-lint: allow(node-disk)
 
   Rng rng(4);
   for (int round = 0; round < 20000; ++round) {
@@ -48,13 +48,13 @@ TEST(BufferPoolStressTest, RandomAccessMatchesShadowModel) {
 }
 
 TEST(BufferPoolStressTest, ManyConcurrentPinsUpToCapacity) {
-  storage::SimulatedDisk disk;
+  storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
   const uint32_t file = disk.CreateFile();
   for (int p = 0; p < 64; ++p) {
     std::vector<uint8_t> page(storage::kPageSize, static_cast<uint8_t>(p));
     disk.AppendPage(file, page.data());
   }
-  storage::BufferPool pool(&disk, 32);
+  storage::BufferPool pool(&disk, 32);  // swan-lint: allow(node-disk)
   std::vector<storage::PageGuard> pins;
   for (uint32_t p = 0; p < 31; ++p) pins.push_back(pool.Fetch({file, p}));
   // One frame left: repeated fetches of distinct pages must recycle it.
@@ -69,8 +69,8 @@ TEST(BufferPoolStressTest, ManyConcurrentPinsUpToCapacity) {
 }
 
 TEST(BPlusTreeStressTest, TinyPoolFullScanAndLookups) {
-  storage::SimulatedDisk disk;
-  storage::BufferPool pool(&disk, 8);  // pathologically small
+  storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
+  storage::BufferPool pool(&disk, 8);  // pathologically small  // swan-lint: allow(node-disk)
   rowstore::BPlusTree<2> tree(&pool, &disk);
   std::vector<std::array<uint64_t, 2>> keys;
   for (uint64_t i = 0; i < 60000; ++i) keys.push_back({i, i * 3});
@@ -91,8 +91,8 @@ TEST(BPlusTreeStressTest, TinyPoolFullScanAndLookups) {
 }
 
 TEST(BPlusTreeStressTest, InterleavedIteratorsUnderEviction) {
-  storage::SimulatedDisk disk;
-  storage::BufferPool pool(&disk, 12);
+  storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
+  storage::BufferPool pool(&disk, 12);  // swan-lint: allow(node-disk)
   rowstore::BPlusTree<2> tree(&pool, &disk);
   std::vector<std::array<uint64_t, 2>> keys;
   for (uint64_t i = 0; i < 20000; ++i) keys.push_back({i, 0});
@@ -118,8 +118,8 @@ TEST(BPlusTreeStressTest, InterleavedIteratorsUnderEviction) {
 }
 
 TEST(BPlusTreeStressTest, MixedInsertAndScanAgainstShadowSet) {
-  storage::SimulatedDisk disk;
-  storage::BufferPool pool(&disk, 64);
+  storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
+  storage::BufferPool pool(&disk, 64);  // swan-lint: allow(node-disk)
   rowstore::BPlusTree<3> tree(&pool, &disk);
   tree.BulkLoad({});
   std::set<std::array<uint64_t, 3>> shadow;
@@ -146,8 +146,8 @@ TEST(BPlusTreeStressTest, MixedInsertAndScanAgainstShadowSet) {
 }
 
 TEST(ColumnStressTest, CompressedColumnsUnderTinyPool) {
-  storage::SimulatedDisk disk;
-  storage::BufferPool pool(&disk, 8);
+  storage::SimulatedDisk disk;  // swan-lint: allow(node-disk)
+  storage::BufferPool pool(&disk, 8);  // swan-lint: allow(node-disk)
   Rng rng(10);
   for (auto codec : {colstore::ColumnCodec::kRaw, colstore::ColumnCodec::kRle,
                      colstore::ColumnCodec::kDelta,

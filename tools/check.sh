@@ -167,6 +167,19 @@ if [ "$run_asan" -eq 1 ]; then
     failures=$((failures + 1))
   fi
 
+  echo "== scaleout smoke (multi-node equivalence + scaling gates) =="
+  # Small N: ASan multiplies the host-CPU share and the equivalence
+  # section runs 12 queries x 3 node counts x 2 widths x 2 schemes; the
+  # gates themselves are scale-independent (they pass at 60k, 120k, and
+  # the default 400k in release).
+  if SWAN_TRIPLES=60000 SWAN_REPS=1 "$ASAN_BUILD/bench/scaleout" \
+       >/dev/null; then
+    echo "scaleout smoke: clean"
+  else
+    echo "scaleout smoke: FAILURES"
+    failures=$((failures + 1))
+  fi
+
   echo "== serve smoke (multi-session script + per-session trace) =="
   SERVE_SCRIPT="$ASAN_BUILD/serve-smoke.serve"
   SERVE_JSON="$ASAN_BUILD/serve-smoke.json"
@@ -191,6 +204,24 @@ if [ "$run_asan" -eq 1 ]; then
     echo "querylog smoke: clean"
   else
     echo "querylog smoke: FAILURES"
+    failures=$((failures + 1))
+  fi
+
+  echo "== sharded querylog smoke (per-node dimensions on a 2-node store) =="
+  SHARDED_JSONL="$ASAN_BUILD/querylog-sharded-smoke.jsonl"
+  if "$ASAN_BUILD/tools/swandb_shell" --generate 20000 --nodes 2 \
+       --serve "$SERVE_SCRIPT" --querylog="$SHARDED_JSONL" >/dev/null &&
+     python3 "$REPO_ROOT/tools/validate_querylog.py" "$SHARDED_JSONL" &&
+     python3 -c "
+import json, sys
+records = [json.loads(l) for l in open('$SHARDED_JSONL')]
+assert all(r['nodes'] == 2 for r in records), 'nodes dimension missing'
+assert len({r['node'] for r in records}) == 2, 'sessions all on one node'
+print('sharded querylog: %d records over 2 nodes' % len(records))
+"; then
+    echo "sharded querylog smoke: clean"
+  else
+    echo "sharded querylog smoke: FAILURES"
     failures=$((failures + 1))
   fi
 fi

@@ -108,6 +108,39 @@ print('bench json smoke: OK')
     echo "=== release: planner smoke ==="
     SWAN_TRIPLES=20000 "$RELEASE_DIR/bench/ablation_planner" \
       >/dev/null || status=1
+    # Scale-out smoke, at the full default scale (release is fast
+    # enough): 12-query equivalence at nodes {1,2,4} x threads {1,8},
+    # the >=1.7x / >=3.0x cold-throughput gates, and the
+    # cross-partition attribution gate all live inside the binary.
+    echo "=== release: scaleout smoke ==="
+    { SWAN_REPS=1 "$RELEASE_DIR/bench/scaleout" \
+        --json="$RELEASE_DIR/BENCH_scaleout.json" >/dev/null &&
+      python3 -c "
+import json
+doc = json.load(open('$RELEASE_DIR/BENCH_scaleout.json'))
+assert doc['bench'] == 'scaleout', doc
+gates = doc['scaleout']
+assert gates['gates_passed'] is True, gates
+assert gates['speedup_2_nodes'] >= gates['gate_2_nodes'], gates
+assert gates['speedup_4_nodes'] >= gates['gate_4_nodes'], gates
+assert gates['cross_net_bytes'] > 0, gates
+print('scaleout json smoke: OK')
+"; } || status=1
+    # Sharded querylog smoke: a 2-node serve run must emit per-node
+    # dimensions that validate, spread across both gather nodes.
+    echo "=== release: sharded querylog smoke ==="
+    { "$RELEASE_DIR/tools/swandb_shell" --generate 20000 --nodes 2 \
+        --serve "$RELEASE_DIR/serve-smoke.serve" \
+        --querylog="$RELEASE_DIR/querylog-sharded.jsonl" >/dev/null &&
+      python3 "$REPO_ROOT/tools/validate_querylog.py" \
+        "$RELEASE_DIR/querylog-sharded.jsonl" &&
+      python3 -c "
+import json
+records = [json.loads(l) for l in open('$RELEASE_DIR/querylog-sharded.jsonl')]
+assert all(r['nodes'] == 2 for r in records), 'nodes dimension missing'
+assert len({r['node'] for r in records}) == 2, 'sessions all on one node'
+print('sharded querylog: %d records over 2 nodes' % len(records))
+"; } || status=1
     # Every example must keep building and running (they double as living
     # API documentation).
     echo "=== release: examples ==="

@@ -1,0 +1,42 @@
+// swan-lint-corpus-path: src/shard/bad_node_disk.cc
+// Seeded corpus for the node-disk rule: a node's disk+pool stack may only
+// be stamped out by storage::MakeNodeStorage (src/storage/); building
+// either half directly anywhere else creates a disk no topology owns,
+// whose virtual clock nothing aggregates into the scale-out timing model.
+#include <memory>
+
+#include "storage/buffer_pool.h"
+#include "storage/node_storage.h"
+#include "storage/simulated_disk.h"
+
+namespace swan::shard {
+
+void BadConstruction() {
+  storage::SimulatedDisk disk;            // expect(node-disk)
+  storage::BufferPool pool(&disk, 16);    // expect(node-disk)
+  auto heap =
+      std::make_unique<storage::SimulatedDisk>();  // expect(node-disk)
+  auto* raw = new storage::BufferPool(heap.get(), 8);  // expect(node-disk)
+  delete raw;
+}
+
+void PointersAreFine(storage::SimulatedDisk* disk,
+                     storage::BufferPool& pool) {
+  // Receiving an existing disk/pool is how every table and backend works;
+  // only *construction* is fenced.
+  storage::SimulatedDisk* alias = disk;
+  storage::BufferPool* pool_ptr = &pool;
+  (void)alias;
+  (void)pool_ptr;
+}
+
+void SanctionedConstruction() {
+  // The factory is the one allowed path outside src/storage/ tests.
+  storage::NodeStorage node = storage::MakeNodeStorage({}, 64);
+  (void)node;
+  // swan-lint: allow(node-disk)
+  storage::SimulatedDisk scratch;
+  (void)scratch;
+}
+
+}  // namespace swan::shard

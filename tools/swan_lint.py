@@ -35,6 +35,14 @@ Enforces repo-specific rules that clang-tidy cannot express:
                     trace exporters), never by printing. Formatting into
                     buffers/strings (snprintf, vsnprintf) stays allowed —
                     that is how the exporters are built.
+  node-disk         No direct construction of storage::SimulatedDisk or
+                    storage::BufferPool outside src/storage/. Scale-out
+                    made "a disk and its pool" a per-node unit stamped out
+                    by storage::MakeNodeStorage (used by net::Topology); a
+                    disk built anywhere else has a virtual clock no
+                    topology aggregates, which silently corrupts the
+                    max-over-nodes timing model. Holding a pointer or
+                    reference to an existing disk/pool is fine.
 
 Suppression: append `// swan-lint: allow(<rule>)` to the offending line,
 or place it alone on the line directly above. Suppressions are per-rule;
@@ -69,7 +77,12 @@ RULES = [
     "ops-column-get",
     "plan-order",
     "serve-telemetry",
+    "node-disk",
 ]
+
+# The only directory allowed to construct the per-node storage stack; the
+# factory storage::MakeNodeStorage lives here and net::Topology calls it.
+NODE_DISK_ALLOWED_PREFIX = "src/storage/"
 
 # Layers that must never print: everything they observe flows through the
 # structured telemetry surface.
@@ -110,6 +123,16 @@ PLAN_ORDER_RE = re.compile(r"\bPlanPatternOrder\s*\(")
 SERVE_TELEMETRY_RE = re.compile(
     r"\b(?:std::)?(?:printf|fprintf|puts|fputs)\s*\("
     r"|\bstd::(?:cout|cerr)\b"
+)
+# Construction only: make_unique<...>, new, or a by-value declaration
+# (`SimulatedDisk d;`, `BufferPool p(&d, 16);`). A `*` or `&` between the
+# type and the name breaks the declaration branch, so parameters, members
+# that point, and accessor return types never fire.
+NODE_DISK_RE = re.compile(
+    r"\bmake_unique<\s*(?:swan::)?(?:storage::)?(?:SimulatedDisk|BufferPool)\b"
+    r"|\bnew\s+(?:swan::)?(?:storage::)?(?:SimulatedDisk|BufferPool)\b"
+    r"|\b(?:swan::)?(?:storage::)?(?:SimulatedDisk|BufferPool)\s+"
+    r"[A-Za-z_]\w*\s*[{(;=]"
 )
 SUPPRESS_RE = re.compile(r"//\s*swan-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 EXPECT_RE = re.compile(r"//\s*expect\(([a-z-]+)\)")
@@ -339,6 +362,14 @@ def lint_file(path, display_path, lines, status_names):
                    "ad-hoc stdout/stderr telemetry in the serve/obs layers; "
                    "report through the query log, the metrics registry, or "
                    "a trace exporter instead")
+
+        if (not display_path.startswith(NODE_DISK_ALLOWED_PREFIX)
+                and NODE_DISK_RE.search(code)):
+            report(idx, "node-disk",
+                   "direct SimulatedDisk/BufferPool construction outside "
+                   "src/storage/; stamp the node's stack out through "
+                   "storage::MakeNodeStorage (net::Topology) so every disk "
+                   "belongs to exactly one node")
 
         for name in status_names:
             if name in code and find_bare_call(lines, idx, name):

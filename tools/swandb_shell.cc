@@ -1,7 +1,8 @@
 // swandb_shell: command-line front-end over the library.
 //
 //   swandb_shell [--scheme triple|vertical|ptable] [--engine row|column]
-//                [--clustering spo|pso] [--generate N | --load FILE.nt]
+//                [--clustering spo|pso] [--nodes N]
+//                [--generate N | --load FILE.nt]
 //                [--query 'SPARQL...' | --file QUERIES.rq | --serve SCRIPT]
 //                [--explain] [--profile[=FILE]] [--audit]
 //
@@ -86,6 +87,7 @@ struct ShellOptions {
   std::string clustering = "pso";
   std::string codec = "raw";
   uint64_t generate = 0;
+  int nodes = 1;  // scale-out topology size (column-store only)
   std::string load_path;
   std::string query;
   std::string query_file;
@@ -98,6 +100,7 @@ void PrintUsage() {
       "usage: swandb_shell [--scheme triple|vertical|ptable]\n"
       "                    [--engine row|column] [--clustering spo|pso]\n"
       "                    [--codec raw|rle|delta|bitpack|dictbitpack|auto]\n"
+      "                    [--nodes N]\n"
       "                    [--generate N | --load FILE.nt]\n"
       "                    [--query 'SPARQL' | --file QUERIES.rq |\n"
       "                     --serve SCRIPT]\n"
@@ -149,6 +152,10 @@ bool ParseArgs(int argc, char** argv, ShellOptions* options) {
       options->flamegraph_path = arg.substr(std::strlen("--flamegraph="));
     } else if (arg == "--audit") {
       options->audit = true;
+    } else if (arg == "--nodes" && (value = next())) {
+      options->nodes = std::atoi(value);
+    } else if (arg.rfind("--nodes=", 0) == 0) {
+      options->nodes = std::atoi(arg.c_str() + std::strlen("--nodes="));
     } else {
       std::fprintf(stderr, "unknown or incomplete argument: %s\n",
                    arg.c_str());
@@ -543,6 +550,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown codec '%s'\n", options.codec.c_str());
     return 2;
   }
+  if (options.nodes < 1) {
+    std::fprintf(stderr, "--nodes must be >= 1\n");
+    return 2;
+  }
+  if (options.nodes > 1 &&
+      store_options.engine != swan::core::EngineKind::kColumnStore) {
+    std::fprintf(stderr, "--nodes > 1 requires the column engine\n");
+    return 2;
+  }
+  store_options.nodes = options.nodes;
   auto store = swan::core::RdfStore::Open(*dataset, store_options);
   std::fprintf(stderr, "store: %s (%.1f MB on simulated disk)\n\n",
                store->name().c_str(), store->disk_bytes() / 1e6);

@@ -10,9 +10,14 @@ Checks, in order:
   3. seq values are exactly 0..n-1 in file order (dispatch order),
   4. text_hash is a 16-hex-digit string,
   5. vt_finish >= vt_start and latency >= 0 on every record,
-  6. cache hits read no bytes and carry no operator tree,
+  6. cache hits read no bytes, carry no operator tree, and charge no
+     network traffic,
   7. every ops entry is {"op": str, "est": int, "actual": int} and the
-     op name carries no leftover " est=" suffix.
+     op name carries no leftover " est=" suffix,
+  8. the scale-out dimension is coherent: nodes >= 1, 0 <= node < nodes,
+     net_seconds >= 0, and a single-node store ships nothing (net_bytes
+     == net_messages == 0 and node == 0 when nodes == 1; bytes on the
+     wire imply at least one message).
 
 With a second argument, additionally validates a collapsed-stack
 (flamegraph folded) file: every line is "frame(;frame)* <count>" with a
@@ -45,6 +50,11 @@ REQUIRED = {
     "latency": float,
     "bytes_read": int,
     "seeks": int,
+    "node": int,
+    "nodes": int,
+    "net_bytes": int,
+    "net_messages": int,
+    "net_seconds": float,
     "session_cache": dict,
     "ops": list,
 }
@@ -92,6 +102,25 @@ def check_record(lineno, record):
             fail("line %d: cache hit read %d bytes" % (lineno, record["bytes_read"]))
         if record["ops"]:
             fail("line %d: cache hit carries an operator tree" % lineno)
+        if record["net_bytes"] != 0 or record["net_messages"] != 0:
+            fail("line %d: cache hit charged the network" % lineno)
+    if record["nodes"] < 1:
+        fail("line %d: nodes %d < 1" % (lineno, record["nodes"]))
+    if not 0 <= record["node"] < record["nodes"]:
+        fail(
+            "line %d: node %d outside [0, %d)"
+            % (lineno, record["node"], record["nodes"])
+        )
+    if record["net_bytes"] < 0 or record["net_messages"] < 0:
+        fail("line %d: negative network counters" % lineno)
+    if record["net_seconds"] < 0:
+        fail("line %d: negative net_seconds %s" % (lineno, record["net_seconds"]))
+    if record["nodes"] == 1 and (
+        record["net_bytes"] != 0 or record["net_messages"] != 0 or record["node"] != 0
+    ):
+        fail("line %d: single-node record shipped over the network" % lineno)
+    if record["net_bytes"] > 0 and record["net_messages"] == 0:
+        fail("line %d: net bytes without messages" % lineno)
     for key in ("hits", "misses", "evictions"):
         if not isinstance(record["session_cache"].get(key), int):
             fail("line %d: session_cache missing integer %r" % (lineno, key))

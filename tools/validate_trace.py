@@ -6,7 +6,10 @@ Checks, in order:
   2. at least one complete ("ph":"X") span event is present,
   3. per track (tid), complete-event start timestamps are monotone
      non-decreasing — the virtual clock never runs backwards,
-  4. every complete event has a non-negative duration.
+  4. every complete event has a non-negative duration,
+  5. span args that carry the scale-out network counters (net_bytes,
+     net_messages) are non-negative integers, and bytes on the wire
+     imply at least one message.
 
 Usage: validate_trace.py TRACE.json
 Exits 0 on success, 1 with a diagnostic on the first violation.
@@ -57,6 +60,17 @@ def main():
                 % (track[0], track[1], event["ts"], last_ts[track])
             )
         last_ts[track] = event["ts"]
+
+        args = event.get("args", {})
+        if not isinstance(args, dict):
+            fail("span args is not an object: %r" % event)
+        for key in ("net_bytes", "net_messages"):
+            if key in args:
+                value = args[key]
+                if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                    fail("span %r has bad %s: %r" % (event["name"], key, value))
+        if args.get("net_bytes", 0) > 0 and args.get("net_messages", 0) == 0:
+            fail("span %r ships bytes without messages" % event["name"])
 
     print(
         "validate_trace: OK (%d span events on %d tracks)"
